@@ -1,0 +1,58 @@
+//! Figure regeneration benchmarks: one benchmark per paper figure, running
+//! the analysis over a cached scaled-down capture.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::figures;
+use experiments::run::{run_capture, Capture};
+use experiments::validation;
+use std::sync::OnceLock;
+
+fn capture() -> &'static Capture {
+    static CAPTURE: OnceLock<Capture> = OnceLock::new();
+    CAPTURE.get_or_init(|| run_capture(0.01, 2012))
+}
+
+fn bench_standalone(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures_testbed");
+    g.bench_function("fig1", |b| b.iter(figures::fig1));
+    g.bench_function("fig19", |b| b.iter(figures::fig19));
+    g.sample_size(10);
+    g.bench_function("recommendations", |b| {
+        b.iter(experiments::recommendations::recommendations)
+    });
+    g.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let cap = capture();
+    let mut g = c.benchmark_group("figures");
+    macro_rules! fig {
+        ($name:ident) => {
+            g.bench_function(stringify!($name), |b| b.iter(|| figures::$name(cap)));
+        };
+    }
+    fig!(fig2);
+    fig!(fig3);
+    fig!(fig4);
+    fig!(fig5);
+    fig!(fig6);
+    fig!(fig7);
+    fig!(fig8);
+    fig!(fig9);
+    fig!(fig10);
+    fig!(fig11);
+    fig!(fig12);
+    fig!(fig13);
+    fig!(fig14);
+    fig!(fig15);
+    fig!(fig16);
+    fig!(fig17);
+    fig!(fig18);
+    fig!(fig20);
+    fig!(fig21);
+    g.bench_function("validation", |b| b.iter(|| validation::validate(cap)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_standalone, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Table regeneration benchmarks: one benchmark per paper table, running
+//! the full analysis over a cached scaled-down capture (the capture itself
+//! is benchmarked once as `capture/run_capture`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::run::{run_capture, Capture};
+use experiments::tables;
+use std::sync::OnceLock;
+
+/// Shared scaled-down capture used by all table/figure regeneration
+/// benchmarks (building it once keeps `cargo bench` affordable).
+pub fn capture() -> &'static Capture {
+    static CAPTURE: OnceLock<Capture> = OnceLock::new();
+    CAPTURE.get_or_init(|| run_capture(0.01, 2012))
+}
+
+fn bench_capture(c: &mut Criterion) {
+    let mut g = c.benchmark_group("capture");
+    g.sample_size(10);
+    g.bench_function("run_capture_scale_0.004", |b| {
+        b.iter(|| run_capture(0.004, 7))
+    });
+    g.finish();
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let cap = capture();
+    let mut g = c.benchmark_group("tables");
+    g.bench_function("table1", |b| b.iter(tables::table1));
+    g.bench_function("table2", |b| b.iter(|| tables::table2(cap)));
+    g.bench_function("table3", |b| b.iter(|| tables::table3(cap)));
+    g.bench_function("table4", |b| b.iter(|| tables::table4(cap)));
+    g.bench_function("table5", |b| b.iter(|| tables::table5_report(cap)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_capture, bench_tables);
+criterion_main!(benches);

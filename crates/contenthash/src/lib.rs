@@ -1,0 +1,28 @@
+//! Content hashing and encoding substrate for the Dropbox model.
+//!
+//! The Dropbox client identifies each ≤4 MB chunk by its SHA-256 hash,
+//! deduplicates on that hash, transmits *deltas* computed with a
+//! librsync-style block-matching algorithm, and compresses chunks before
+//! upload (paper, Sec. 2.1). This crate implements those three primitives
+//! from scratch:
+//!
+//! * [`sha256`] — FIPS 180-4 SHA-256 (validated against the standard test
+//!   vectors),
+//! * [`rolling`] — the Adler-32-style rolling checksum used by
+//!   rsync/librsync for weak block matching,
+//! * [`delta`] — block-based delta encoding: signature generation, delta
+//!   computation against a signature, and patch application,
+//! * [`lzss`] — a byte-oriented LZSS compressor/decompressor used to model
+//!   the client's pre-upload compression.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delta;
+pub mod lzss;
+pub mod rolling;
+pub mod sha256;
+
+pub use delta::{apply, compute_delta, signature, Delta, DeltaOp, Signature};
+pub use rolling::RollingAdler;
+pub use sha256::{sha256, Digest};

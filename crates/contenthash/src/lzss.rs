@@ -1,0 +1,252 @@
+//! LZSS compression.
+//!
+//! The Dropbox client "compresses chunks before submitting them" (paper,
+//! Sec. 2.1). We model that with a small byte-oriented LZSS codec: a 4 KiB
+//! sliding window, 3-byte hash chains for match finding, and a flag-byte
+//! framing (1 flag bit per token, literal = 1 byte, match = 2 bytes encoding
+//! a (distance, length) pair with lengths 3–18).
+//!
+//! The codec is exact (decompress ∘ compress = identity) and achieves
+//! realistic ratios on text-like data while leaving already-random data
+//! essentially unchanged in size — exactly the property the traffic model
+//! needs when deciding how many bytes a chunk occupies on the wire.
+
+const WINDOW: usize = 4096;
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 18;
+
+/// Compress `input` with LZSS. The output always starts with the original
+/// length as a little-endian u32 so that decompression can pre-allocate.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    out.extend_from_slice(&(input.len() as u32).to_le_bytes());
+
+    // Hash chains over 3-byte prefixes.
+    const HASH_SIZE: usize = 1 << 13;
+    let hash = |a: u8, b: u8, c: u8| -> usize {
+        ((a as usize) << 6 ^ (b as usize) << 3 ^ c as usize) & (HASH_SIZE - 1)
+    };
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; input.len()];
+
+    let mut pos = 0usize;
+    let mut flag_pos = out.len();
+    out.push(0); // flag byte placeholder
+    let mut flag_bit = 0u8;
+
+    let push_token = |out: &mut Vec<u8>, flag_pos: &mut usize, flag_bit: &mut u8, is_match: bool, bytes: &[u8]| {
+        if *flag_bit == 8 {
+            *flag_pos = out.len();
+            out.push(0);
+            *flag_bit = 0;
+        }
+        if is_match {
+            out[*flag_pos] |= 1 << *flag_bit;
+        }
+        *flag_bit += 1;
+        out.extend_from_slice(bytes);
+    };
+
+    while pos < input.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if pos + MIN_MATCH <= input.len() {
+            let h = hash(input[pos], input[pos + 1], input[pos + 2]);
+            let mut cand = head[h];
+            let mut tries = 32; // bounded chain walk keeps compression O(n)
+            while cand != usize::MAX && tries > 0 {
+                if pos - cand <= WINDOW {
+                    let max = MAX_MATCH.min(input.len() - pos);
+                    let mut l = 0;
+                    while l < max && input[cand + l] == input[pos + l] {
+                        l += 1;
+                    }
+                    if l > best_len {
+                        best_len = l;
+                        best_dist = pos - cand;
+                        if l == MAX_MATCH {
+                            break;
+                        }
+                    }
+                } else {
+                    break; // chain entries only get older
+                }
+                cand = prev[cand];
+                tries -= 1;
+            }
+            // Insert current position into the chain.
+            prev[pos] = head[h];
+            head[h] = pos;
+        }
+
+        if best_len >= MIN_MATCH {
+            // Encode (distance 1..=4096, length 3..=18) in two bytes:
+            // 12 bits distance-1, 4 bits length-3.
+            let d = (best_dist - 1) as u16;
+            let l = (best_len - MIN_MATCH) as u16;
+            let code = (d << 4) | l;
+            push_token(
+                &mut out,
+                &mut flag_pos,
+                &mut flag_bit,
+                true,
+                &code.to_le_bytes(),
+            );
+            // Insert skipped positions into the chains so later matches see them.
+            let end = pos + best_len;
+            let mut p = pos + 1;
+            while p < end && p + MIN_MATCH <= input.len() {
+                let h = hash(input[p], input[p + 1], input[p + 2]);
+                prev[p] = head[h];
+                head[h] = p;
+                p += 1;
+            }
+            pos = end;
+        } else {
+            push_token(
+                &mut out,
+                &mut flag_pos,
+                &mut flag_bit,
+                false,
+                &input[pos..pos + 1],
+            );
+            pos += 1;
+        }
+    }
+    out
+}
+
+/// Decompress LZSS output produced by [`compress`].
+///
+/// Returns `None` on malformed input (truncated stream or invalid
+/// back-reference).
+pub fn decompress(data: &[u8]) -> Option<Vec<u8>> {
+    if data.len() < 4 {
+        return None;
+    }
+    let out_len = u32::from_le_bytes(data[..4].try_into().ok()?) as usize;
+    let mut out = Vec::with_capacity(out_len);
+    let mut i = 4usize;
+    while out.len() < out_len {
+        let flags = *data.get(i)?;
+        i += 1;
+        for bit in 0..8 {
+            if out.len() >= out_len {
+                break;
+            }
+            if flags & (1 << bit) != 0 {
+                let lo = *data.get(i)?;
+                let hi = *data.get(i + 1)?;
+                i += 2;
+                let code = u16::from_le_bytes([lo, hi]);
+                let dist = (code >> 4) as usize + 1;
+                let len = (code & 0xf) as usize + MIN_MATCH;
+                if dist > out.len() {
+                    return None;
+                }
+                let start = out.len() - dist;
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            } else {
+                out.push(*data.get(i)?);
+                i += 1;
+            }
+        }
+    }
+    (out.len() == out_len).then_some(out)
+}
+
+/// Compression ratio `compressed / original` for a buffer (1.0+ means
+/// incompressible after framing overhead).
+pub fn ratio(input: &[u8]) -> f64 {
+    if input.is_empty() {
+        return 1.0;
+    }
+    compress(input).len() as f64 / input.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let c = compress(data);
+        let d = decompress(&c).expect("decompress");
+        assert_eq!(d, data);
+    }
+
+    #[test]
+    fn roundtrip_empty_and_tiny() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"ab");
+        roundtrip(b"abc");
+    }
+
+    #[test]
+    fn roundtrip_repetitive() {
+        let data = b"the quick brown fox jumps over the lazy dog. ".repeat(200);
+        roundtrip(&data);
+        let r = ratio(&data);
+        assert!(r < 0.25, "repetitive text should compress well: {r}");
+    }
+
+    #[test]
+    fn roundtrip_all_same_byte() {
+        let data = vec![0x41u8; 100_000];
+        roundtrip(&data);
+        assert!(ratio(&data) < 0.15);
+    }
+
+    #[test]
+    fn random_data_incompressible() {
+        let mut x = 0x12345678u64;
+        let data: Vec<u8> = (0..50_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 32) as u8
+            })
+            .collect();
+        roundtrip(&data);
+        let r = ratio(&data);
+        assert!(r > 1.0 && r < 1.2, "random data ratio: {r}");
+    }
+
+    #[test]
+    fn roundtrip_structured_binary() {
+        let data: Vec<u8> = (0..60_000u32)
+            .flat_map(|i| (i / 7).to_le_bytes())
+            .collect();
+        roundtrip(&data);
+        assert!(ratio(&data) < 0.7);
+    }
+
+    #[test]
+    fn decompress_rejects_truncation() {
+        let c = compress(b"hello hello hello hello");
+        assert!(decompress(&c[..c.len() - 1]).is_none());
+        assert!(decompress(&[]).is_none());
+    }
+
+    #[test]
+    fn decompress_rejects_bad_backref() {
+        // Length header 4, one flag byte claiming a match, match code
+        // pointing before the start of output.
+        let bad = [4u8, 0, 0, 0, 0b0000_0001, 0xff, 0xff];
+        assert!(decompress(&bad).is_none());
+    }
+
+    #[test]
+    fn window_boundary_matches() {
+        // Repeat a pattern slightly longer than the window to exercise
+        // distance limits.
+        let unit: Vec<u8> = (0..WINDOW + 100).map(|i| (i % 253) as u8).collect();
+        let mut data = unit.clone();
+        data.extend_from_slice(&unit);
+        roundtrip(&data);
+    }
+}

@@ -1,0 +1,98 @@
+//! Rolling weak checksum (rsync's Adler-32 variant).
+//!
+//! librsync — which the Dropbox client embeds — finds matching blocks by
+//! sliding a cheap *rolling* checksum over the new file and only computing
+//! the strong (SHA) hash when the weak one matches a known block. The
+//! checksum here is rsync's: two 16-bit sums `a = Σ xᵢ`, `b = Σ (L-i)·xᵢ`
+//! combined as `b<<16 | a`, which can be rolled in O(1) per byte.
+
+/// Rolling checksum state over a fixed-size window.
+#[derive(Clone, Debug)]
+pub struct RollingAdler {
+    a: u32,
+    b: u32,
+    window: usize,
+}
+
+impl RollingAdler {
+    /// Compute the checksum of `block` and return a roller positioned on it.
+    pub fn new(block: &[u8]) -> Self {
+        let mut a: u32 = 0;
+        let mut b: u32 = 0;
+        let l = block.len() as u32;
+        for (i, &x) in block.iter().enumerate() {
+            a = a.wrapping_add(x as u32);
+            b = b.wrapping_add((l - i as u32) * x as u32);
+        }
+        RollingAdler {
+            a: a & 0xffff,
+            b: b & 0xffff,
+            window: block.len(),
+        }
+    }
+
+    /// Current checksum value.
+    pub fn value(&self) -> u32 {
+        (self.b << 16) | self.a
+    }
+
+    /// Slide the window one byte: remove `out` (the oldest byte) and append
+    /// `inp` (the new byte).
+    pub fn roll(&mut self, out: u8, inp: u8) {
+        let l = self.window as u32;
+        self.a = self
+            .a
+            .wrapping_sub(out as u32)
+            .wrapping_add(inp as u32)
+            & 0xffff;
+        self.b = self
+            .b
+            .wrapping_sub(l * out as u32)
+            .wrapping_add(self.a)
+            & 0xffff;
+    }
+
+    /// Window size this roller was built for.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+}
+
+/// One-shot weak checksum of a block.
+pub fn weak_checksum(block: &[u8]) -> u32 {
+    RollingAdler::new(block).value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolled_equals_recomputed() {
+        let data: Vec<u8> = (0..256u32).map(|i| (i * 17 % 251) as u8).collect();
+        let w = 32;
+        let mut roller = RollingAdler::new(&data[..w]);
+        for start in 1..data.len() - w {
+            roller.roll(data[start - 1], data[start + w - 1]);
+            let direct = weak_checksum(&data[start..start + w]);
+            assert_eq!(roller.value(), direct, "offset {start}");
+        }
+    }
+
+    #[test]
+    fn checksum_depends_on_order() {
+        assert_ne!(weak_checksum(b"abcd"), weak_checksum(b"dcba"));
+    }
+
+    #[test]
+    fn empty_block_is_zero() {
+        assert_eq!(weak_checksum(b""), 0);
+    }
+
+    #[test]
+    fn single_byte_window_roll() {
+        let mut r = RollingAdler::new(b"x");
+        r.roll(b'x', b'y');
+        assert_eq!(r.value(), weak_checksum(b"y"));
+    }
+}

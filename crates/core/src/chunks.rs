@@ -1,0 +1,221 @@
+//! Chunk-count estimation from PSH flags (Appendix A.3).
+//!
+//! The number of chunks in a storage flow is estimated from the TCP
+//! segments with the PSH flag set in the **reverse** direction of the
+//! transfer:
+//!
+//! * retrieve flows: each HTTP request is two pushed segments, plus the two
+//!   client TLS-handshake pushes ⇒ `c = (s − 2) / 2`,
+//! * store flows: the server pushes two TLS-handshake records, one `ok`
+//!   per chunk, and — when it is the server that closes the idle
+//!   connection — one close alert ⇒ `c = s − 3`, otherwise `c = s − 2`.
+//!   Which case applies is inferred from the gap between the last payload
+//!   packets of the two directions (≈ 1 minute ⇒ server closed).
+//!
+//! The estimate is validated by dividing the reverse-direction payload
+//! (minus SSL handshake) by `c`: store flows cluster at ~309 bytes per
+//! chunk, retrieve flows inside 362–426 (Fig. 21).
+
+use crate::classify::{storage_tag, StorageTag, SSL_CLIENT_OVERHEAD, SSL_SERVER_OVERHEAD};
+use nettrace::FlowRecord;
+use simcore::SimDuration;
+
+/// Gap between last server payload and last client payload above which the
+/// close is attributed to the server's 60 s idle timeout.
+const SERVER_CLOSE_GAP: SimDuration = SimDuration::from_secs(55);
+
+/// Estimate the number of chunks transported by a (client-)storage flow.
+///
+/// Returns 0 for flows too small to contain any storage operation.
+pub fn estimate_chunks(flow: &FlowRecord) -> u32 {
+    match storage_tag(flow) {
+        StorageTag::Retrieve => {
+            let s = flow.up.psh_segments;
+            (s.saturating_sub(2) / 2) as u32
+        }
+        StorageTag::Store => {
+            let s = flow.down.psh_segments;
+            let server_closed = match (flow.down.last_payload, flow.up.last_payload) {
+                (Some(d), Some(u)) => d.saturating_since(u) >= SERVER_CLOSE_GAP,
+                _ => false,
+            };
+            let overhead = if server_closed { 3 } else { 2 };
+            s.saturating_sub(overhead) as u32
+        }
+    }
+}
+
+/// The validation quantity of Fig. 21: reverse-direction payload (without
+/// the SSL handshake) divided by the estimated chunk count. `None` when
+/// the estimate is zero.
+pub fn reverse_payload_per_chunk(flow: &FlowRecord) -> Option<f64> {
+    let c = estimate_chunks(flow);
+    if c == 0 {
+        return None;
+    }
+    let reverse_payload = match storage_tag(flow) {
+        StorageTag::Store => flow.down.bytes.saturating_sub(SSL_SERVER_OVERHEAD),
+        StorageTag::Retrieve => flow.up.bytes.saturating_sub(SSL_CLIENT_OVERHEAD),
+    };
+    Some(reverse_payload as f64 / c as f64)
+}
+
+/// Chunk-count group used in Figs. 9 and 10's legends.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ChunkGroup {
+    /// Exactly 1 chunk.
+    One,
+    /// 2–5 chunks.
+    TwoToFive,
+    /// 6–50 chunks.
+    SixToFifty,
+    /// 51–100 chunks.
+    FiftyOneToHundred,
+}
+
+impl ChunkGroup {
+    /// Group of an estimated chunk count (counts above 100 cannot occur in
+    /// protocol-conformant flows but are clamped defensively).
+    pub fn of(chunks: u32) -> ChunkGroup {
+        match chunks {
+            0 | 1 => ChunkGroup::One,
+            2..=5 => ChunkGroup::TwoToFive,
+            6..=50 => ChunkGroup::SixToFifty,
+            _ => ChunkGroup::FiftyOneToHundred,
+        }
+    }
+
+    /// All groups in legend order.
+    pub const ALL: [ChunkGroup; 4] = [
+        ChunkGroup::One,
+        ChunkGroup::TwoToFive,
+        ChunkGroup::SixToFifty,
+        ChunkGroup::FiftyOneToHundred,
+    ];
+
+    /// Legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ChunkGroup::One => "1",
+            ChunkGroup::TwoToFive => "2-5",
+            ChunkGroup::SixToFifty => "6-50",
+            ChunkGroup::FiftyOneToHundred => "51-100",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nettrace::flow::{DirStats, FlowClose};
+    use nettrace::{Endpoint, FlowKey, Ipv4};
+    use simcore::SimTime;
+
+    fn storage_flow(
+        up_bytes: u64,
+        down_bytes: u64,
+        up_psh: u64,
+        down_psh: u64,
+        last_up_s: u64,
+        last_down_s: u64,
+    ) -> FlowRecord {
+        FlowRecord {
+            key: FlowKey::new(
+                Endpoint::new(Ipv4::new(10, 0, 0, 1), 40_000),
+                Endpoint::new(Ipv4::new(107, 22, 0, 1), 443),
+            ),
+            first_syn: SimTime::EPOCH,
+            last_packet: SimTime::from_secs(last_down_s.max(last_up_s)),
+            up: DirStats {
+                bytes: up_bytes,
+                psh_segments: up_psh,
+                last_payload: Some(SimTime::from_secs(last_up_s)),
+                first_payload: Some(SimTime::from_secs(1)),
+                ..DirStats::default()
+            },
+            down: DirStats {
+                bytes: down_bytes,
+                psh_segments: down_psh,
+                last_payload: Some(SimTime::from_secs(last_down_s)),
+                first_payload: Some(SimTime::from_secs(1)),
+                ..DirStats::default()
+            },
+            min_rtt_ms: Some(90.0),
+            rtt_samples: 12,
+            tls_sni: Some("dl-client1.dropbox.com".into()),
+            tls_certificate_cn: Some("*.dropbox.com".into()),
+            http_host: None,
+            server_fqdn: None,
+            notify: None,
+            close: FlowClose::Rst,
+        }
+    }
+
+    #[test]
+    fn store_with_server_close_uses_s_minus_3() {
+        // 5 chunks: server PSH = 2 handshake + 5 OK + 1 alert = 8;
+        // the alert comes 60 s after the client's last data.
+        let f = storage_flow(294 + 5 * 20_000, 4103 + 5 * 309 + 37, 7, 8, 10, 70);
+        assert_eq!(estimate_chunks(&f), 5);
+    }
+
+    #[test]
+    fn store_with_client_close_uses_s_minus_2() {
+        // Client closed right away: no alert, server PSH = 2 + 5 = 7.
+        let f = storage_flow(294 + 5 * 20_000, 4103 + 5 * 309, 7, 7, 10, 11);
+        assert_eq!(estimate_chunks(&f), 5);
+    }
+
+    #[test]
+    fn retrieve_uses_half_of_client_pushes() {
+        // 4 chunks: client PSH = 2 handshake + 4 requests × 2 = 10.
+        let f = storage_flow(294 + 4 * 400, 4103 + 4 * (309 + 50_000), 10, 6, 10, 12);
+        assert_eq!(estimate_chunks(&f), 4);
+    }
+
+    #[test]
+    fn handshake_only_flow_estimates_zero() {
+        let f = storage_flow(294, 4103, 2, 2, 1, 1);
+        assert_eq!(estimate_chunks(&f), 0);
+        assert_eq!(reverse_payload_per_chunk(&f), None);
+    }
+
+    #[test]
+    fn store_validation_near_309() {
+        let c = 10u64;
+        let f = storage_flow(
+            294 + c * (634 + 5_000),
+            4103 + c * 309 + 37,
+            2 + c,
+            2 + c + 1,
+            10,
+            70,
+        );
+        let v = reverse_payload_per_chunk(&f).unwrap();
+        assert!((v - 309.0).abs() < 10.0, "v = {v}");
+    }
+
+    #[test]
+    fn retrieve_validation_in_362_426() {
+        let c = 8u64;
+        let f = storage_flow(
+            294 + c * 400,
+            4103 + c * (309 + 80_000),
+            2 + 2 * c,
+            2 + c,
+            10,
+            12,
+        );
+        let v = reverse_payload_per_chunk(&f).unwrap();
+        assert!((362.0..=426.0).contains(&v), "v = {v}");
+    }
+
+    #[test]
+    fn chunk_groups_cover_legend() {
+        assert_eq!(ChunkGroup::of(1), ChunkGroup::One);
+        assert_eq!(ChunkGroup::of(0), ChunkGroup::One);
+        assert_eq!(ChunkGroup::of(3), ChunkGroup::TwoToFive);
+        assert_eq!(ChunkGroup::of(50), ChunkGroup::SixToFifty);
+        assert_eq!(ChunkGroup::of(100), ChunkGroup::FiftyOneToHundred);
+    }
+}

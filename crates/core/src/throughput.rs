@@ -1,0 +1,257 @@
+//! Flow durations, throughput, and the slow-start bound θ
+//! (Sec. 4.4 and Appendix A.4).
+//!
+//! Durations follow the paper's rules: a transfer starts at the first SYN
+//! (TCP/SSL handshakes are part of the user-perceived latency); a *store*
+//! ends at the last payload packet from the client; a *retrieve* ends at
+//! the last payload from the server, compensated by −60 s when the last
+//! server payload is the idle-timeout close alert. Throughput divides the
+//! SSL-adjusted transferred bytes by that duration.
+//!
+//! θ is the maximum throughput achievable by a flow that stays in TCP slow
+//! start, computed as in Dukkipati et al. [4] with an initial congestion
+//! window of 3 segments, adjusted for the 3 RTTs of TCP+SSL handshakes.
+
+use crate::classify::{storage_tag, transfer_size, StorageTag};
+use nettrace::FlowRecord;
+use simcore::SimDuration;
+
+/// Idle period of storage connections; the close alert trails the last
+/// client payload by this much when the server times the connection out.
+const IDLE_CLOSE: SimDuration = SimDuration::from_secs(60);
+
+/// Effective transfer duration of a tagged storage flow (Appendix A.4).
+/// Returns `None` for flows without payload in the transfer direction.
+pub fn transfer_duration(flow: &FlowRecord) -> Option<SimDuration> {
+    match storage_tag(flow) {
+        StorageTag::Store => {
+            let end = flow.up.last_payload?;
+            Some(end.saturating_since(flow.first_syn))
+        }
+        StorageTag::Retrieve => {
+            let end = flow.down.last_payload?;
+            let mut d = end.saturating_since(flow.first_syn);
+            // Compensate for the 60 s idle-timeout alert: when the last
+            // server payload trails the last client payload by more than
+            // a minute, subtract the idle interval.
+            if let Some(last_up) = flow.up.last_payload {
+                if end.saturating_since(last_up) > IDLE_CLOSE {
+                    d -= IDLE_CLOSE;
+                }
+            }
+            Some(d)
+        }
+    }
+}
+
+/// Throughput of a storage flow in bits/s: SSL-adjusted transferred bytes
+/// over the effective duration. `None` for degenerate flows.
+pub fn throughput_bps(flow: &FlowRecord) -> Option<f64> {
+    let bytes = transfer_size(flow);
+    let dur = transfer_duration(flow)?;
+    if bytes == 0 || dur.is_zero() {
+        return None;
+    }
+    Some(bytes as f64 * 8.0 / dur.as_secs_f64())
+}
+
+/// Parameters of the θ bound.
+#[derive(Clone, Copy, Debug)]
+pub struct ThetaModel {
+    /// Round-trip time to the storage servers.
+    pub rtt: SimDuration,
+    /// Maximum segment size in bytes.
+    pub mss: u32,
+    /// Initial congestion window in segments ([4] argues for larger; the
+    /// paper computes θ with 3).
+    pub initcwnd: u32,
+    /// Handshake overhead in RTTs before data flows (TCP + the "3 RTTs of
+    /// SSL handshakes in the current Dropbox setup").
+    pub overhead_rtts: f64,
+}
+
+impl ThetaModel {
+    /// The configuration the paper uses for Fig. 9, given the storage RTT
+    /// of the vantage point.
+    pub fn paper(rtt: SimDuration) -> Self {
+        ThetaModel {
+            rtt,
+            mss: 1430,
+            initcwnd: 3,
+            overhead_rtts: 3.0,
+        }
+    }
+
+    /// Slow-start rounds needed to deliver `bytes`.
+    pub fn rounds(&self, bytes: u64) -> f64 {
+        let w0 = (self.initcwnd as f64) * self.mss as f64;
+        // Exponential growth: cumulative data after r rounds = w0·(2^r − 1).
+        ((bytes as f64 / w0) + 1.0).log2().ceil().max(1.0)
+    }
+
+    /// Latency to complete a `bytes` transfer that never leaves slow start.
+    pub fn latency(&self, bytes: u64) -> SimDuration {
+        let total_rtts = self.overhead_rtts + self.rounds(bytes);
+        self.rtt.mul_f64(total_rtts)
+    }
+
+    /// The bound θ in bits/s for a transfer of `bytes`.
+    pub fn theta_bps(&self, bytes: u64) -> f64 {
+        let lat = self.latency(bytes).as_secs_f64();
+        bytes as f64 * 8.0 / lat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nettrace::flow::{DirStats, FlowClose};
+    use nettrace::{Endpoint, FlowKey, Ipv4};
+    use simcore::SimTime;
+
+    fn flow(
+        up_bytes: u64,
+        down_bytes: u64,
+        last_up_s: u64,
+        last_down_s: u64,
+    ) -> FlowRecord {
+        FlowRecord {
+            key: FlowKey::new(
+                Endpoint::new(Ipv4::new(10, 0, 0, 1), 40_000),
+                Endpoint::new(Ipv4::new(107, 22, 0, 1), 443),
+            ),
+            first_syn: SimTime::EPOCH,
+            last_packet: SimTime::from_secs(last_up_s.max(last_down_s)),
+            up: DirStats {
+                bytes: up_bytes,
+                first_payload: Some(SimTime::from_millis(300)),
+                last_payload: Some(SimTime::from_secs(last_up_s)),
+                ..DirStats::default()
+            },
+            down: DirStats {
+                bytes: down_bytes,
+                first_payload: Some(SimTime::from_millis(400)),
+                last_payload: Some(SimTime::from_secs(last_down_s)),
+                ..DirStats::default()
+            },
+            min_rtt_ms: Some(90.0),
+            rtt_samples: 10,
+            tls_sni: Some("dl-client1.dropbox.com".into()),
+            tls_certificate_cn: None,
+            http_host: None,
+            server_fqdn: None,
+            notify: None,
+            close: FlowClose::Rst,
+        }
+    }
+
+    #[test]
+    fn store_duration_ends_at_client_payload() {
+        // A store flow whose server alert arrives at t=70 must not count
+        // the idle minute.
+        let f = flow(294 + 100_000, 4103 + 309 + 37, 10, 70);
+        let d = transfer_duration(&f).unwrap();
+        assert_eq!(d.secs(), 10);
+    }
+
+    #[test]
+    fn retrieve_duration_compensates_idle_alert() {
+        // Retrieve: last client payload at 8 s (request), last server
+        // payload at 75 s (the 60 s-later alert) -> duration 75 − 60 = 15.
+        let f = flow(294 + 2_000, 4103 + 500_000, 8, 75);
+        let d = transfer_duration(&f).unwrap();
+        assert_eq!(d.secs(), 15);
+    }
+
+    #[test]
+    fn retrieve_duration_without_alert_is_plain() {
+        let f = flow(294 + 2_000, 4103 + 500_000, 8, 12);
+        assert_eq!(transfer_duration(&f).unwrap().secs(), 12);
+    }
+
+    #[test]
+    fn throughput_uses_adjusted_bytes() {
+        // Store of 100 kB over 10 s → 80 kbit/s on the adjusted bytes.
+        let f = flow(294 + 100_000, 4103 + 309 + 37, 10, 70);
+        let t = throughput_bps(&f).unwrap();
+        assert!((t - 80_000.0).abs() < 1.0, "t = {t}");
+    }
+
+    #[test]
+    fn theta_decreases_with_rtt() {
+        let fast = ThetaModel::paper(SimDuration::from_millis(50));
+        let slow = ThetaModel::paper(SimDuration::from_millis(150));
+        let bytes = 50_000;
+        assert!(fast.theta_bps(bytes) > 2.0 * slow.theta_bps(bytes));
+    }
+
+    #[test]
+    fn theta_grows_with_transfer_size() {
+        let m = ThetaModel::paper(SimDuration::from_millis(100));
+        // Larger transfers amortise the handshake and ramp the window.
+        assert!(m.theta_bps(1_000_000) > m.theta_bps(10_000));
+        assert!(m.theta_bps(10_000) > m.theta_bps(1_000));
+    }
+
+    #[test]
+    fn theta_round_counting() {
+        let m = ThetaModel::paper(SimDuration::from_millis(100));
+        // One window (3 × 1430 = 4290 bytes) fits in 1 round.
+        assert_eq!(m.rounds(4_000), 1.0);
+        // Two windows need 2 rounds (4290·(2²−1) = 12870 ≥ 10 kB).
+        assert_eq!(m.rounds(10_000), 2.0);
+        // Latency = (3 + rounds)·RTT.
+        assert_eq!(m.latency(4_000).millis(), 400);
+    }
+
+    #[test]
+    fn theta_bounds_simulated_single_chunk_flows() {
+        // End-to-end consistency: simulate a single-chunk store on a clean
+        // path and check the measured throughput never exceeds θ (the
+        // bound of Fig. 9) but comes close for single chunks.
+        use simcore::Rng;
+        use tcpmodel::tls;
+        use tcpmodel::{simulate, Dialogue, Direction, Message, PathParams, TcpParams};
+
+        let chunk = 120_000u32;
+        let mut messages =
+            tls::handshake("dl-client1.dropbox.com", "*.dropbox.com", SimDuration::from_millis(40));
+        messages.push(Message::simple(Direction::Up, SimDuration::from_millis(20), 634 + chunk));
+        messages.push(Message::simple(Direction::Down, SimDuration::from_millis(60), 309));
+        let d = Dialogue::new(messages);
+        let path = PathParams {
+            inner_rtt: SimDuration::from_millis(4),
+            outer_rtt: SimDuration::from_millis(96),
+            jitter: 0.0,
+            loss_up: 0.0,
+            loss_down: 0.0,
+            up_rate: None,
+            down_rate: None,
+        };
+        let mut pkts = Vec::new();
+        simulate(
+            SimTime::from_secs(1),
+            FlowKey::new(
+                Endpoint::new(Ipv4::new(10, 0, 0, 1), 40_000),
+                Endpoint::new(Ipv4::new(107, 22, 0, 1), 443),
+            ),
+            &d,
+            &path,
+            &TcpParams::era_2012_v1(),
+            &mut Rng::new(1),
+            &mut pkts,
+        );
+        let mut mon = tstat::Monitor::new(true);
+        let rec = mon.process_flow(&pkts).unwrap();
+        let measured = throughput_bps(&rec).unwrap();
+        let theta = ThetaModel::paper(SimDuration::from_millis(100)).theta_bps(chunk as u64);
+        assert!(
+            measured < theta,
+            "measured {measured:.0} must stay below theta {theta:.0}"
+        );
+        assert!(
+            measured > 0.4 * theta,
+            "single-chunk flow should approach the bound: {measured:.0} vs {theta:.0}"
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Property tests of the analysis methods on synthetically constructed
+//! flow records (no simulator involved: the methods must hold on any
+//! record satisfying the protocol's wire constraints).
+
+use dropbox_analysis::chunks::{estimate_chunks, reverse_payload_per_chunk};
+use dropbox_analysis::classify::{f_u, storage_tag, StorageTag};
+use dropbox_analysis::groups::{group_of, HouseholdUsage, UserGroup};
+use nettrace::flow::{DirStats, FlowClose};
+use nettrace::{Endpoint, FlowKey, FlowRecord, Ipv4};
+use proptest::prelude::*;
+use simcore::SimTime;
+
+fn storage_record(
+    up_bytes: u64,
+    down_bytes: u64,
+    up_psh: u64,
+    down_psh: u64,
+    last_up_s: u64,
+    last_down_s: u64,
+) -> FlowRecord {
+    FlowRecord {
+        key: FlowKey::new(
+            Endpoint::new(Ipv4::new(10, 0, 0, 1), 40_000),
+            Endpoint::new(Ipv4::new(107, 22, 0, 1), 443),
+        ),
+        first_syn: SimTime::EPOCH,
+        last_packet: SimTime::from_secs(last_up_s.max(last_down_s)),
+        up: DirStats {
+            bytes: up_bytes,
+            psh_segments: up_psh,
+            first_payload: Some(SimTime::from_secs(1)),
+            last_payload: Some(SimTime::from_secs(last_up_s)),
+            ..DirStats::default()
+        },
+        down: DirStats {
+            bytes: down_bytes,
+            psh_segments: down_psh,
+            first_payload: Some(SimTime::from_secs(1)),
+            last_payload: Some(SimTime::from_secs(last_down_s)),
+            ..DirStats::default()
+        },
+        min_rtt_ms: Some(90.0),
+        rtt_samples: 10,
+        tls_sni: Some("dl-client1.dropbox.com".into()),
+        tls_certificate_cn: Some("*.dropbox.com".into()),
+        http_host: None,
+        server_fqdn: None,
+        notify: None,
+        close: FlowClose::Rst,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Chunk estimation inverts the protocol's PSH construction exactly,
+    /// for every chunk count, chunk size, and close mode.
+    #[test]
+    fn chunk_estimator_inverts_wire_construction(
+        chunks in 1u64..=100,
+        chunk_bytes in 1u64..4_000_000,
+        server_closed in any::<bool>(),
+    ) {
+        // Store flow per Appendix A: client PSH = 2 + c, server PSH =
+        // 2 + c (+1 alert when the server closes after 60 s idle).
+        let last_up = 10u64;
+        let (down_psh, last_down) = if server_closed {
+            (2 + chunks + 1, last_up + 61)
+        } else {
+            (2 + chunks, last_up + 1)
+        };
+        let up = 294 + chunks * (634 + chunk_bytes);
+        let down = 4103 + chunks * 309 + if server_closed { 37 } else { 0 };
+        let f = storage_record(up, down, 2 + chunks, down_psh, last_up, last_down);
+        prop_assert_eq!(storage_tag(&f), StorageTag::Store);
+        prop_assert_eq!(estimate_chunks(&f) as u64, chunks);
+
+        // Retrieve flow: client PSH = 2 + 2c.
+        let up = 294 + chunks * 394;
+        let down = 4103 + chunks * (309 + chunk_bytes);
+        let f = storage_record(up, down, 2 + 2 * chunks, 2 + chunks, 10, 12);
+        prop_assert_eq!(storage_tag(&f), StorageTag::Retrieve);
+        prop_assert_eq!(estimate_chunks(&f) as u64, chunks);
+        // And the Fig. 21 validation quantity stays in the documented band.
+        let v = reverse_payload_per_chunk(&f).unwrap();
+        prop_assert!((360.0..=430.0).contains(&v), "v = {}", v);
+    }
+
+    /// The f(u) separator margin grows with chunk count: the classifier
+    /// only gets more confident on bigger flows.
+    #[test]
+    fn f_u_margin_monotone_in_chunks(chunk_bytes in 1u64..4_000_000) {
+        let mut prev_margin = f64::NEG_INFINITY;
+        for c in [1u64, 10, 100] {
+            let up = 294 + c * (634 + chunk_bytes);
+            let down = (4103 + c * 309 + 37) as f64;
+            let margin = f_u(up) - down;
+            prop_assert!(margin > 0.0);
+            prop_assert!(margin >= prev_margin);
+            prev_margin = margin;
+        }
+    }
+
+    /// Group classification is scale-consistent: multiplying both volumes
+    /// by the same factor never changes the group (above the occasional
+    /// threshold).
+    #[test]
+    fn group_scale_invariance(
+        store in 10_001u64..1_000_000,
+        retr in 10_001u64..1_000_000,
+        scale in 1u64..1_000,
+    ) {
+        let g1 = group_of(&HouseholdUsage {
+            store_bytes: store,
+            retrieve_bytes: retr,
+            ..HouseholdUsage::default()
+        });
+        let g2 = group_of(&HouseholdUsage {
+            store_bytes: store * scale,
+            retrieve_bytes: retr * scale,
+            ..HouseholdUsage::default()
+        });
+        prop_assert_eq!(g1, g2);
+        prop_assert_ne!(g1, UserGroup::Occasional, "both sides above 10 kB");
+    }
+
+    /// Exactly one group matches any volume pair (classification is total
+    /// and unambiguous by construction).
+    #[test]
+    fn group_classification_total(store in 0u64..10_000_000_000, retr in 0u64..10_000_000_000) {
+        let g = group_of(&HouseholdUsage {
+            store_bytes: store,
+            retrieve_bytes: retr,
+            ..HouseholdUsage::default()
+        });
+        // Re-deriving the conditions reproduces the same group.
+        let expected = if store < 10_000 && retr < 10_000 {
+            UserGroup::Occasional
+        } else if store.max(1) as f64 / retr.max(1) as f64 >= 1_000.0 {
+            UserGroup::UploadOnly
+        } else if retr.max(1) as f64 / store.max(1) as f64 >= 1_000.0 {
+            UserGroup::DownloadOnly
+        } else {
+            UserGroup::Heavy
+        };
+        prop_assert_eq!(g, expected);
+    }
+}

@@ -1,0 +1,120 @@
+//! PlanetLab-style worldwide resolution experiment (Sec. 4.2.1).
+//!
+//! The paper resolved the Dropbox names from PlanetLab nodes in 13
+//! countries on 6 continents and found that **the same address sets are
+//! returned regardless of location** — i.e. Dropbox was a centralized,
+//! single-region (U.S.) service with no geo-DNS. The simulated deployment
+//! has the same property by construction; this module expresses the
+//! experiment so it can be run and asserted by the harness.
+
+use crate::DnsDirectory;
+use nettrace::Ipv4;
+use simcore::SimDuration;
+
+/// A vantage node of the active experiment.
+#[derive(Clone, Debug)]
+pub struct PlanetLabNode {
+    /// Country of the node.
+    pub country: &'static str,
+    /// Continent of the node.
+    pub continent: &'static str,
+    /// Round-trip time from the node to the U.S. data-centers.
+    pub rtt_to_us: SimDuration,
+}
+
+/// The 13 countries / 6 continents of the paper's experiment, with
+/// plausible RTTs to the U.S. East Coast.
+pub fn nodes() -> Vec<PlanetLabNode> {
+    fn n(country: &'static str, continent: &'static str, ms: u64) -> PlanetLabNode {
+        PlanetLabNode {
+            country,
+            continent,
+            rtt_to_us: SimDuration::from_millis(ms),
+        }
+    }
+    vec![
+        n("US", "North America", 20),
+        n("Canada", "North America", 35),
+        n("Brazil", "South America", 140),
+        n("Chile", "South America", 170),
+        n("UK", "Europe", 85),
+        n("Italy", "Europe", 110),
+        n("Netherlands", "Europe", 90),
+        n("Germany", "Europe", 95),
+        n("South Africa", "Africa", 220),
+        n("Japan", "Asia", 160),
+        n("China", "Asia", 210),
+        n("India", "Asia", 230),
+        n("Australia", "Oceania", 200),
+    ]
+}
+
+/// Result of resolving one name from one node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Resolution {
+    /// Node country.
+    pub country: &'static str,
+    /// Resolved address.
+    pub ip: Ipv4,
+}
+
+/// Resolve `name` from every PlanetLab node.
+///
+/// The deployment has no geo-DNS, so all nodes obtain the same address —
+/// the invariant the paper's experiment established.
+pub fn resolve_worldwide(dir: &DnsDirectory, name: &str) -> Vec<Resolution> {
+    nodes()
+        .iter()
+        .filter_map(|node| {
+            dir.resolve(name).map(|ip| Resolution {
+                country: node.country,
+                ip,
+            })
+        })
+        .collect()
+}
+
+/// Check the paper's conclusion for a set of names: every node sees the
+/// same address set, i.e. the service is centralized.
+pub fn is_centralized(dir: &DnsDirectory, names: &[&str]) -> bool {
+    names.iter().all(|name| {
+        let res = resolve_worldwide(dir, name);
+        res.windows(2).all(|w| w[0].ip == w[1].ip)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_countries_six_continents() {
+        let ns = nodes();
+        assert_eq!(ns.len(), 13);
+        let mut continents: Vec<&str> = ns.iter().map(|n| n.continent).collect();
+        continents.sort_unstable();
+        continents.dedup();
+        assert_eq!(continents.len(), 6);
+    }
+
+    #[test]
+    fn resolution_is_location_independent() {
+        let dir = DnsDirectory::new();
+        assert!(is_centralized(
+            &dir,
+            &[
+                "client-lb.dropbox.com",
+                "notify1.dropbox.com",
+                "dl-client17.dropbox.com",
+                "dl.dropbox.com",
+            ]
+        ));
+    }
+
+    #[test]
+    fn every_node_gets_an_answer() {
+        let dir = DnsDirectory::new();
+        let res = resolve_worldwide(&dir, "client-lb.dropbox.com");
+        assert_eq!(res.len(), 13);
+    }
+}

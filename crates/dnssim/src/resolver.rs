@@ -1,0 +1,137 @@
+//! Client-side resolution with rotation and TTL caching.
+//!
+//! Dropbox "distributes the load among its servers both by rotating IP
+//! addresses in DNS responses and by providing different lists of DNS
+//! names to each client" (Sec. 4.2). The alias lists are handled by
+//! [`crate::DnsDirectory::storage_aliases_for`]; this module adds the
+//! response-rotation half: load-balanced names (`client-lb`) answer from a
+//! pool in round-robin order, and a client-side stub resolver caches the
+//! answer for the record TTL, re-querying (and landing on another pool
+//! member) after expiry.
+
+use crate::{DnsDirectory, META_POOL};
+use nettrace::Ipv4;
+use simcore::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// TTL of Dropbox A records (the deployment used short TTLs to keep
+/// rotation effective).
+pub const RECORD_TTL: SimDuration = SimDuration::from_secs(300);
+
+/// Authoritative-side rotation state: which pool member answers next.
+#[derive(Clone, Debug, Default)]
+pub struct RotatingAuthority {
+    counters: HashMap<String, usize>,
+}
+
+impl RotatingAuthority {
+    /// New authority with fresh rotation counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Answer a query. Load-balanced names rotate over their pool; every
+    /// other name resolves statically through the directory.
+    pub fn answer(&mut self, dir: &DnsDirectory, name: &str) -> Option<Ipv4> {
+        if name == "client-lb.dropbox.com" {
+            let i = self.counters.entry(name.to_owned()).or_insert(0);
+            let member = format!("client{}.dropbox.com", (*i % META_POOL) + 1);
+            *i += 1;
+            dir.resolve(&member)
+        } else {
+            dir.resolve(name)
+        }
+    }
+}
+
+/// A client's stub resolver with TTL caching.
+#[derive(Clone, Debug, Default)]
+pub struct StubResolver {
+    cache: HashMap<String, (Ipv4, SimTime)>,
+}
+
+impl StubResolver {
+    /// New empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resolve `name` at time `now`, consulting the cache first. Returns
+    /// `(address, fresh_lookup)`; a fresh lookup is what a probe on the
+    /// access link would see as DNS traffic.
+    pub fn resolve(
+        &mut self,
+        authority: &mut RotatingAuthority,
+        dir: &DnsDirectory,
+        name: &str,
+        now: SimTime,
+    ) -> Option<(Ipv4, bool)> {
+        if let Some(&(ip, expires)) = self.cache.get(name) {
+            if now <= expires {
+                return Some((ip, false));
+            }
+        }
+        let ip = authority.answer(dir, name)?;
+        self.cache.insert(name.to_owned(), (ip, now + RECORD_TTL));
+        Some((ip, true))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_balanced_name_rotates_over_the_meta_pool() {
+        let dir = DnsDirectory::new();
+        let mut auth = RotatingAuthority::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..META_POOL * 2 {
+            seen.insert(auth.answer(&dir, "client-lb.dropbox.com").unwrap());
+        }
+        assert_eq!(seen.len(), META_POOL, "rotation covers the whole pool");
+    }
+
+    #[test]
+    fn static_names_stay_fixed() {
+        let dir = DnsDirectory::new();
+        let mut auth = RotatingAuthority::new();
+        let a = auth.answer(&dir, "dl-client7.dropbox.com").unwrap();
+        let b = auth.answer(&dir, "dl-client7.dropbox.com").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stub_resolver_caches_until_ttl() {
+        let dir = DnsDirectory::new();
+        let mut auth = RotatingAuthority::new();
+        let mut stub = StubResolver::new();
+        let t0 = SimTime::from_secs(1_000);
+        let (ip1, fresh1) = stub
+            .resolve(&mut auth, &dir, "client-lb.dropbox.com", t0)
+            .unwrap();
+        assert!(fresh1);
+        // Within the TTL: cached, same answer, no wire lookup.
+        let (ip2, fresh2) = stub
+            .resolve(&mut auth, &dir, "client-lb.dropbox.com", t0 + SimDuration::from_secs(60))
+            .unwrap();
+        assert!(!fresh2);
+        assert_eq!(ip1, ip2);
+        // After expiry: fresh lookup, rotated answer.
+        let (ip3, fresh3) = stub
+            .resolve(&mut auth, &dir, "client-lb.dropbox.com", t0 + SimDuration::from_secs(400))
+            .unwrap();
+        assert!(fresh3);
+        assert_ne!(ip1, ip3, "rotation moved to the next pool member");
+    }
+
+    #[test]
+    fn unknown_names_fail() {
+        let dir = DnsDirectory::new();
+        let mut auth = RotatingAuthority::new();
+        let mut stub = StubResolver::new();
+        assert!(stub
+            .resolve(&mut auth, &dir, "nope.example.org", SimTime::EPOCH)
+            .is_none());
+    }
+}

@@ -1,0 +1,744 @@
+//! The Dropbox client sync engine.
+//!
+//! Given chunk-level work (uploads after local changes, downloads after
+//! remote changes), the engine produces the TCP [`FlowSpec`]s a real client
+//! would generate, for both protocol generations:
+//!
+//! * **v1.2.52** (the version distributed during the paper's capture):
+//!   every chunk is a separate `store`/`retrieve` operation acknowledged
+//!   sequentially — the client waits one RTT plus the server reaction time
+//!   between chunks (Sec. 4.4.2),
+//! * **v1.4.0** (the Jun/Jul re-capture): `store_batch`/`retrieve_batch`
+//!   bundle small chunks up to the 4 MB bundle budget; single-chunk
+//!   commands remain in use for large chunks, and batches are still issued
+//!   sequentially (Sec. 4.5.1).
+//!
+//! Transactions are limited to [`Command::MAX_CHUNKS_PER_BATCH`] chunks —
+//! the run-time parameter that shapes Fig. 7/8's 100-chunk / ~400 MB flow
+//! caps. Meta-data exchanges (`commit_batch` → `need_blocks`,
+//! `close_changeset`) ride on separate short TLS connections to the
+//! meta-data servers, reflecting their aggressive connection timeouts
+//! (Sec. 2.3.2).
+
+use crate::content::ChunkId;
+use crate::protocol::{Command, ProtocolTrace, Sender};
+use crate::storage::ChunkStore;
+use crate::{FlowSpec, FlowTruth};
+use dnssim::{DnsDirectory, ServerRole};
+use simcore::{dist, Rng, SimDuration, SimTime};
+use tcpmodel::tls;
+use tcpmodel::{CloseMode, Dialogue, Direction, Message, Write};
+
+/// Client software generation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ClientVersion {
+    /// Stable version during the Mar–May 2012 capture.
+    V1_2_52,
+    /// Bundling version of the Jun/Jul 2012 re-capture.
+    V1_4_0,
+}
+
+/// Per-operation wire overheads measured in the paper's testbed
+/// (Appendix A.2/A.3).
+pub mod overhead {
+    /// Client-side overhead of one store operation.
+    pub const STORE_CLIENT: u32 = 634;
+    /// Server-side overhead of one storage operation (the `ok`).
+    pub const SERVER_PER_OP: u32 = 309;
+    /// Minimum client-side overhead of one retrieve request.
+    pub const RETRIEVE_CLIENT_MIN: u32 = 362;
+    /// Maximum client-side overhead of one retrieve request.
+    pub const RETRIEVE_CLIENT_MAX: u32 = 426;
+}
+
+/// Bundle budget of v1.4.0 (chunks are ≤ 4 MB; bundles are packed to the
+/// same cap).
+const BUNDLE_BUDGET: u64 = 4 * 1024 * 1024;
+/// Chunks at or above this size are sent with single-chunk commands even
+/// in v1.4.0 ("the system decides at run-time whether chunks are grouped").
+const BUNDLE_MAX_MEMBER: u64 = 1024 * 1024;
+
+/// Certificate common name of every Dropbox service (Sec. 3.1).
+pub const CERT_CN: &str = "*.dropbox.com";
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct SyncConfig {
+    /// Protocol generation.
+    pub version: ClientVersion,
+    /// Median server reaction time between storage operations.
+    pub server_reaction_ms: f64,
+    /// Median client reaction time between storage operations.
+    pub client_reaction_ms: f64,
+    /// The Home 2 "misbehaving device": submits single 4 MB chunks on
+    /// consecutive connections and its flows lack acknowledgment messages
+    /// (Secs. 4.3.1, A.3).
+    pub no_storage_acks: bool,
+}
+
+impl Default for SyncConfig {
+    fn default() -> Self {
+        SyncConfig {
+            version: ClientVersion::V1_2_52,
+            server_reaction_ms: 120.0,
+            client_reaction_ms: 60.0,
+            no_storage_acks: false,
+        }
+    }
+}
+
+/// A chunk to transfer: identity plus compressed on-wire size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkWork {
+    /// Chunk identity.
+    pub id: ChunkId,
+    /// Compressed (on-wire) size of the chunk data or delta.
+    pub wire_bytes: u64,
+    /// Raw size (for the dedup store accounting).
+    pub raw_bytes: u64,
+}
+
+/// The sync engine of one device.
+pub struct SyncEngine<'a> {
+    dns: &'a DnsDirectory,
+    store: &'a ChunkStore,
+    config: SyncConfig,
+    device_id: u64,
+    alias_cursor: usize,
+}
+
+impl<'a> SyncEngine<'a> {
+    /// Create the engine for a device.
+    pub fn new(
+        dns: &'a DnsDirectory,
+        store: &'a ChunkStore,
+        config: SyncConfig,
+        device_id: u64,
+    ) -> Self {
+        SyncEngine {
+            dns,
+            store,
+            config,
+            device_id,
+            alias_cursor: 0,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &SyncConfig {
+        &self.config
+    }
+
+    fn server_reaction(&self, rng: &mut Rng) -> SimDuration {
+        SimDuration::from_secs_f64(
+            dist::lognormal_median(rng, self.config.server_reaction_ms, 0.4) / 1_000.0,
+        )
+    }
+
+    fn client_reaction(&self, rng: &mut Rng) -> SimDuration {
+        SimDuration::from_secs_f64(
+            dist::lognormal_median(rng, self.config.client_reaction_ms, 0.4) / 1_000.0,
+        )
+    }
+
+    /// Next storage alias in this device's rotation list (Sec. 2.4).
+    fn next_storage_alias(&mut self, day: u32) -> String {
+        let list = self.dns.storage_aliases_for(self.device_id, day);
+        let name = list[self.alias_cursor % list.len()].clone();
+        self.alias_cursor += 1;
+        name
+    }
+
+    /// A short TLS control exchange with the meta-data servers.
+    ///
+    /// `exchanges` request/response pairs of small messages; the connection
+    /// is closed actively by the client shortly after (the aggressive
+    /// timeout behaviour producing "several short TLS connections").
+    pub fn control_flow(
+        &mut self,
+        via_lb: bool,
+        exchanges: &[(u32, u32)],
+        rng: &mut Rng,
+    ) -> FlowSpec {
+        let name = self.dns.meta_name(via_lb, rng);
+        let mut messages = tls::handshake(&name, CERT_CN, self.server_reaction(rng));
+        for &(req, resp) in exchanges {
+            messages.push(Message {
+                dir: Direction::Up,
+                delay: self.client_reaction(rng),
+                writes: vec![tls::record(req)],
+            });
+            messages.push(Message {
+                dir: Direction::Down,
+                delay: self.server_reaction(rng),
+                writes: vec![tls::record(resp)],
+            });
+        }
+        let dialogue = Dialogue::new(messages).with_close(CloseMode::ClientFin {
+            delay: SimDuration::from_millis(200),
+        });
+        FlowSpec {
+            server_name: name,
+            port: ServerRole::MetaData.port(),
+            dialogue,
+            truth: FlowTruth::Control,
+        }
+    }
+
+    /// The session-start control traffic: `register_host` then `list`.
+    /// Returns the flows; `list` responses scale with the amount of
+    /// pending meta-data (`pending_updates`).
+    pub fn session_start_flows(&mut self, pending_updates: usize, rng: &mut Rng) -> Vec<FlowSpec> {
+        let list_resp = 600 + (pending_updates as u32).min(2_000) * 120;
+        vec![
+            self.control_flow(false, &[(420, 380)], rng), // register_host
+            self.control_flow(false, &[(350, list_resp)], rng), // list
+        ]
+    }
+
+    /// Build the flows of one *upload* synchronisation transaction.
+    ///
+    /// `chunks` are the chunk versions the client wants to commit. The
+    /// meta-data side answers `need_blocks` (deduplicated against the
+    /// global store); only the missing chunks are uploaded, in transactions
+    /// of at most 100 chunks, each on its own storage connection. Returns
+    /// the control and storage flows in order. The chunks are inserted
+    /// into the store (they are on the wire; arrival is certain in-model).
+    pub fn upload_transaction(
+        &mut self,
+        chunks: &[ChunkWork],
+        day: u32,
+        rng: &mut Rng,
+        mut trace: Option<&mut ProtocolTrace>,
+        trace_t0: SimTime,
+    ) -> Vec<FlowSpec> {
+        let mut flows = Vec::new();
+        if chunks.is_empty() {
+            return flows;
+        }
+
+        // commit_batch on the meta side; response sized by the hash list.
+        let all_ids: Vec<(ChunkId, u64)> =
+            chunks.iter().map(|c| (c.id, c.raw_bytes)).collect();
+        let commit_req = 400 + 70 * chunks.len() as u32;
+        if let Some(t) = trace.as_deref_mut() {
+            t.record(
+                trace_t0,
+                Sender::Client,
+                Command::CommitBatch {
+                    hashes: all_ids.iter().map(|&(id, _)| id).collect(),
+                },
+            );
+        }
+        let needed_ids = self.store.need_blocks(&all_ids);
+        if let Some(t) = trace.as_deref_mut() {
+            t.record(
+                trace_t0,
+                Sender::Server,
+                Command::NeedBlocks {
+                    hashes: needed_ids.clone(),
+                },
+            );
+        }
+        let need_resp = 200 + 70 * needed_ids.len() as u32;
+        flows.push(self.control_flow(true, &[(commit_req, need_resp)], rng));
+
+        let needed: Vec<ChunkWork> = chunks
+            .iter()
+            .filter(|c| needed_ids.contains(&c.id))
+            .copied()
+            .collect();
+
+        for batch in needed.chunks(Command::MAX_CHUNKS_PER_BATCH) {
+            flows.push(self.store_flow(batch, day, rng, trace.as_deref_mut(), trace_t0));
+            for c in batch {
+                self.store.put(c.id, c.raw_bytes);
+            }
+        }
+
+        // close_changeset back on the meta side.
+        if let Some(t) = trace {
+            t.record(trace_t0, Sender::Client, Command::CloseChangeset);
+            t.record(trace_t0, Sender::Server, Command::Ok);
+        }
+        flows.push(self.control_flow(true, &[(260, 180)], rng));
+        flows
+    }
+
+    /// One storage connection uploading a batch (≤ 100 chunks). Public so
+    /// that pathological actors (the Home 2 single-chunk uploader) can be
+    /// driven without the surrounding meta-data transaction.
+    pub fn store_flow(
+        &mut self,
+        batch: &[ChunkWork],
+        day: u32,
+        rng: &mut Rng,
+        mut trace: Option<&mut ProtocolTrace>,
+        trace_t0: SimTime,
+    ) -> FlowSpec {
+        let name = self.next_storage_alias(day);
+        let mut messages = tls::handshake(&name, CERT_CN, self.server_reaction(rng));
+        let mut data_bytes = 0u64;
+
+        let groups = self.bundle(batch);
+        for group in &groups {
+            let group_bytes: u64 = group.iter().map(|c| c.wire_bytes).sum();
+            data_bytes += group_bytes;
+            if let Some(t) = trace.as_deref_mut() {
+                let ids: Vec<ChunkId> = group.iter().map(|c| c.id).collect();
+                let cmd = if ids.len() == 1 {
+                    Command::Store { id: ids[0] }
+                } else {
+                    Command::StoreBatch { ids }
+                };
+                t.record(trace_t0, Sender::Client, cmd);
+            }
+            messages.push(Message {
+                dir: Direction::Up,
+                delay: self.client_reaction(rng),
+                writes: vec![tls::record(
+                    overhead::STORE_CLIENT + group_bytes as u32,
+                )],
+            });
+            if !self.config.no_storage_acks {
+                if let Some(t) = trace.as_deref_mut() {
+                    t.record(trace_t0, Sender::Server, Command::Ok);
+                }
+                messages.push(Message {
+                    dir: Direction::Down,
+                    delay: self.server_reaction(rng),
+                    writes: vec![Write::plain(overhead::SERVER_PER_OP)],
+                });
+            }
+        }
+
+        let close = if self.config.no_storage_acks {
+            // The misbehaving device opens consecutive connections, killing
+            // each as soon as its upload finishes.
+            CloseMode::ClientRst {
+                delay: SimDuration::from_millis(500),
+            }
+        } else {
+            Dialogue::new(Vec::new()).close // default 60 s server timeout
+        };
+        FlowSpec {
+            server_name: name,
+            port: ServerRole::ClientStorage.port(),
+            dialogue: Dialogue::new(messages).with_close(close),
+            truth: FlowTruth::Store {
+                chunks: batch.len() as u32,
+                data_bytes,
+                acked: !self.config.no_storage_acks,
+            },
+        }
+    }
+
+    /// Build the flows of one *download* synchronisation transaction
+    /// (after `list` reported remote changes). Chunks are fetched in
+    /// transactions of at most 100, each on its own storage connection.
+    pub fn download_transaction(
+        &mut self,
+        chunks: &[ChunkWork],
+        day: u32,
+        rng: &mut Rng,
+        mut trace: Option<&mut ProtocolTrace>,
+        trace_t0: SimTime,
+    ) -> Vec<FlowSpec> {
+        let mut flows = Vec::new();
+        if chunks.is_empty() {
+            return flows;
+        }
+        // The triggering `list` exchange.
+        let list_resp = 400 + 90 * chunks.len() as u32;
+        if let Some(t) = trace.as_deref_mut() {
+            t.record(trace_t0, Sender::Client, Command::List);
+        }
+        flows.push(self.control_flow(false, &[(340, list_resp)], rng));
+
+        for batch in chunks.chunks(Command::MAX_CHUNKS_PER_BATCH) {
+            flows.push(self.retrieve_flow(batch, day, rng, trace.as_deref_mut(), trace_t0));
+        }
+        flows
+    }
+
+    /// One storage connection downloading a batch (≤ 100 chunks).
+    fn retrieve_flow(
+        &mut self,
+        batch: &[ChunkWork],
+        day: u32,
+        rng: &mut Rng,
+        mut trace: Option<&mut ProtocolTrace>,
+        trace_t0: SimTime,
+    ) -> FlowSpec {
+        let name = self.next_storage_alias(day);
+        let mut messages = tls::handshake(&name, CERT_CN, self.server_reaction(rng));
+        let mut data_bytes = 0u64;
+
+        let groups = self.bundle(batch);
+        for group in &groups {
+            let group_bytes: u64 = group.iter().map(|c| c.wire_bytes).sum();
+            data_bytes += group_bytes;
+            if let Some(t) = trace.as_deref_mut() {
+                let ids: Vec<ChunkId> = group.iter().map(|c| c.id).collect();
+                let cmd = if ids.len() == 1 {
+                    Command::Retrieve { id: ids[0] }
+                } else {
+                    Command::RetrieveBatch { ids }
+                };
+                t.record(trace_t0, Sender::Client, cmd);
+            }
+            // The HTTP request is written as two pushed segments
+            // (Fig. 19(b): "HTTP_retrieve (2 x PSH)"), totalling the
+            // 362–426 bytes of Appendix A.3.
+            let total =
+                rng.range_u64(overhead::RETRIEVE_CLIENT_MIN as u64, overhead::RETRIEVE_CLIENT_MAX as u64)
+                    as u32;
+            let first = 200u32;
+            messages.push(Message {
+                dir: Direction::Up,
+                delay: self.client_reaction(rng),
+                writes: vec![Write::plain(first), Write::plain(total - first)],
+            });
+            if let Some(t) = trace.as_deref_mut() {
+                t.record(trace_t0, Sender::Server, Command::Ok);
+            }
+            messages.push(Message {
+                dir: Direction::Down,
+                delay: self.server_reaction(rng),
+                writes: vec![tls::record(
+                    overhead::SERVER_PER_OP + group_bytes as u32,
+                )],
+            });
+        }
+
+        FlowSpec {
+            server_name: name,
+            port: ServerRole::ClientStorage.port(),
+            dialogue: Dialogue::new(messages),
+            truth: FlowTruth::Retrieve {
+                chunks: batch.len() as u32,
+                data_bytes,
+            },
+        }
+    }
+
+    /// Group chunks into transfer operations according to the client
+    /// version: v1.2.52 sends one command per chunk; v1.4.0 packs chunks
+    /// smaller than [`BUNDLE_MAX_MEMBER`] into bundles of up to
+    /// [`BUNDLE_BUDGET`] bytes.
+    fn bundle<'b>(&self, batch: &'b [ChunkWork]) -> Vec<Vec<&'b ChunkWork>> {
+        match self.config.version {
+            ClientVersion::V1_2_52 => batch.iter().map(|c| vec![c]).collect(),
+            ClientVersion::V1_4_0 => {
+                let mut groups: Vec<Vec<&ChunkWork>> = Vec::new();
+                let mut current: Vec<&ChunkWork> = Vec::new();
+                let mut current_bytes = 0u64;
+                for c in batch {
+                    if c.wire_bytes >= BUNDLE_MAX_MEMBER {
+                        groups.push(vec![c]);
+                        continue;
+                    }
+                    if current_bytes + c.wire_bytes > BUNDLE_BUDGET && !current.is_empty() {
+                        groups.push(std::mem::take(&mut current));
+                        current_bytes = 0;
+                    }
+                    current_bytes += c.wire_bytes;
+                    current.push(c);
+                }
+                if !current.is_empty() {
+                    groups.push(current);
+                }
+                groups
+            }
+        }
+    }
+
+    /// An exception back-trace upload (`dl-debugX.dropbox.com`, Sec. 2.3)
+    /// — rare crash reports shipped to Amazon-side collectors.
+    pub fn backtrace_flow(&mut self, rng: &mut Rng) -> FlowSpec {
+        let name = format!("dl-debug{}.dropbox.com", rng.range_u64(1, 4));
+        let mut messages = tls::handshake(&name, CERT_CN, self.server_reaction(rng));
+        messages.push(Message {
+            dir: Direction::Up,
+            delay: SimDuration::from_millis(100),
+            writes: vec![tls::record(rng.range_u64(2_000, 40_000) as u32)],
+        });
+        messages.push(Message {
+            dir: Direction::Down,
+            delay: self.server_reaction(rng),
+            writes: vec![tls::record(150)],
+        });
+        FlowSpec {
+            server_name: name,
+            port: 443,
+            dialogue: Dialogue::new(messages).with_close(CloseMode::ClientFin {
+                delay: SimDuration::from_millis(100),
+            }),
+            truth: FlowTruth::SystemLog,
+        }
+    }
+
+    /// An event-log report flow (`d.dropbox.com`, Sec. 2.3) — sporadic,
+    /// small, and excluded from the paper's deeper analysis.
+    pub fn event_log_flow(&mut self, rng: &mut Rng) -> FlowSpec {
+        let name = "d.dropbox.com".to_owned();
+        let mut messages = tls::handshake(&name, CERT_CN, self.server_reaction(rng));
+        messages.push(Message {
+            dir: Direction::Up,
+            delay: SimDuration::from_millis(50),
+            writes: vec![tls::record(rng.range_u64(300, 2_000) as u32)],
+        });
+        messages.push(Message {
+            dir: Direction::Down,
+            delay: self.server_reaction(rng),
+            writes: vec![tls::record(120)],
+        });
+        FlowSpec {
+            server_name: name,
+            port: 443,
+            dialogue: Dialogue::new(messages).with_close(CloseMode::ClientFin {
+                delay: SimDuration::from_millis(100),
+            }),
+            truth: FlowTruth::SystemLog,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::content::ChunkId;
+
+    fn chunkw(id: u64, bytes: u64) -> ChunkWork {
+        ChunkWork {
+            id: ChunkId(id),
+            wire_bytes: bytes,
+            raw_bytes: bytes,
+        }
+    }
+
+    fn engine_with<'a>(
+        dns: &'a DnsDirectory,
+        store: &'a ChunkStore,
+        version: ClientVersion,
+    ) -> SyncEngine<'a> {
+        SyncEngine::new(
+            dns,
+            store,
+            SyncConfig {
+                version,
+                ..SyncConfig::default()
+            },
+            42,
+        )
+    }
+
+    #[test]
+    fn upload_splits_into_100_chunk_batches() {
+        let dns = DnsDirectory::new();
+        let store = ChunkStore::new();
+        let mut eng = engine_with(&dns, &store, ClientVersion::V1_2_52);
+        let chunks: Vec<ChunkWork> = (0..250).map(|i| chunkw(i, 10_000)).collect();
+        let mut rng = Rng::new(1);
+        let flows = eng.upload_transaction(&chunks, 0, &mut rng, None, SimTime::EPOCH);
+        let storage: Vec<&FlowSpec> = flows
+            .iter()
+            .filter(|f| matches!(f.truth, FlowTruth::Store { .. }))
+            .collect();
+        assert_eq!(storage.len(), 3, "250 chunks -> 3 batches");
+        let counts: Vec<u32> = storage.iter().filter_map(|f| f.truth.chunks()).collect();
+        assert_eq!(counts, vec![100, 100, 50]);
+        // Control flows bracket the storage flows.
+        assert!(matches!(flows.first().unwrap().truth, FlowTruth::Control));
+        assert!(matches!(flows.last().unwrap().truth, FlowTruth::Control));
+    }
+
+    #[test]
+    fn dedup_suppresses_known_chunks() {
+        let dns = DnsDirectory::new();
+        let store = ChunkStore::new();
+        let chunks: Vec<ChunkWork> = (0..10).map(|i| chunkw(i, 5_000)).collect();
+        let mut rng = Rng::new(2);
+        let mut eng1 = engine_with(&dns, &store, ClientVersion::V1_2_52);
+        let f1 = eng1.upload_transaction(&chunks, 0, &mut rng, None, SimTime::EPOCH);
+        assert!(f1.iter().any(|f| matches!(f.truth, FlowTruth::Store { .. })));
+        // Second device uploads the same content: fully deduplicated, no
+        // storage flows at all.
+        let mut eng2 = SyncEngine::new(&dns, &store, SyncConfig::default(), 43);
+        let f2 = eng2.upload_transaction(&chunks, 0, &mut rng, None, SimTime::EPOCH);
+        assert!(f2.iter().all(|f| matches!(f.truth, FlowTruth::Control)));
+    }
+
+    #[test]
+    fn v1_sends_one_ok_per_chunk() {
+        let dns = DnsDirectory::new();
+        let store = ChunkStore::new();
+        let mut eng = engine_with(&dns, &store, ClientVersion::V1_2_52);
+        let chunks: Vec<ChunkWork> = (0..5).map(|i| chunkw(i, 20_000)).collect();
+        let mut rng = Rng::new(3);
+        let flows = eng.upload_transaction(&chunks, 0, &mut rng, None, SimTime::EPOCH);
+        let store_flow = flows
+            .iter()
+            .find(|f| matches!(f.truth, FlowTruth::Store { .. }))
+            .unwrap();
+        // Down messages: 2 TLS handshake + 5 OKs.
+        let down = store_flow
+            .dialogue
+            .messages
+            .iter()
+            .filter(|m| m.dir == Direction::Down)
+            .count();
+        assert_eq!(down, 7);
+        // Each OK is exactly the 309-byte per-op overhead.
+        let oks: Vec<u32> = store_flow
+            .dialogue
+            .messages
+            .iter()
+            .filter(|m| m.dir == Direction::Down)
+            .skip(2)
+            .map(|m| m.size())
+            .collect();
+        assert!(oks.iter().all(|&s| s == overhead::SERVER_PER_OP));
+    }
+
+    #[test]
+    fn v14_bundles_small_chunks() {
+        let dns = DnsDirectory::new();
+        let store = ChunkStore::new();
+        let mut eng = engine_with(&dns, &store, ClientVersion::V1_4_0);
+        // 40 chunks of 100 kB -> bundles of ~40 fit 4 MB -> 1 group.
+        let chunks: Vec<ChunkWork> = (0..40).map(|i| chunkw(i, 100_000)).collect();
+        let mut rng = Rng::new(4);
+        let flows = eng.upload_transaction(&chunks, 0, &mut rng, None, SimTime::EPOCH);
+        let store_flow = flows
+            .iter()
+            .find(|f| matches!(f.truth, FlowTruth::Store { .. }))
+            .unwrap();
+        let down = store_flow
+            .dialogue
+            .messages
+            .iter()
+            .filter(|m| m.dir == Direction::Down)
+            .count();
+        // 2 handshake + 1 single bundle OK.
+        assert_eq!(down, 3);
+    }
+
+    #[test]
+    fn v14_keeps_large_chunks_single() {
+        let dns = DnsDirectory::new();
+        let store = ChunkStore::new();
+        let eng = engine_with(&dns, &store, ClientVersion::V1_4_0);
+        let big = [chunkw(1, 3_000_000), chunkw(2, 3_500_000), chunkw(3, 50_000)];
+        let refs: Vec<&ChunkWork> = big.iter().collect();
+        let groups = eng.bundle(&big);
+        assert_eq!(groups.len(), 3, "two large singles + one small group");
+        assert_eq!(groups[0].len(), 1);
+        assert_eq!(groups[2], vec![refs[2]]);
+    }
+
+    #[test]
+    fn retrieve_requests_are_two_pushed_writes() {
+        let dns = DnsDirectory::new();
+        let store = ChunkStore::new();
+        let mut eng = engine_with(&dns, &store, ClientVersion::V1_2_52);
+        let chunks = [chunkw(1, 10_000), chunkw(2, 12_000)];
+        let mut rng = Rng::new(5);
+        let flows = eng.download_transaction(&chunks, 0, &mut rng, None, SimTime::EPOCH);
+        let rf = flows
+            .iter()
+            .find(|f| matches!(f.truth, FlowTruth::Retrieve { .. }))
+            .unwrap();
+        let up_requests: Vec<&Message> = rf
+            .dialogue
+            .messages
+            .iter()
+            .filter(|m| m.dir == Direction::Up)
+            .skip(2) // TLS handshake writes
+            .collect();
+        assert_eq!(up_requests.len(), 2);
+        for req in up_requests {
+            assert_eq!(req.writes.len(), 2, "HTTP_retrieve is 2 x PSH");
+            let total = req.size();
+            assert!((overhead::RETRIEVE_CLIENT_MIN..=overhead::RETRIEVE_CLIENT_MAX)
+                .contains(&total));
+        }
+    }
+
+    #[test]
+    fn storage_aliases_rotate_per_flow() {
+        let dns = DnsDirectory::new();
+        let store = ChunkStore::new();
+        let mut eng = engine_with(&dns, &store, ClientVersion::V1_2_52);
+        let mut rng = Rng::new(6);
+        let chunks: Vec<ChunkWork> = (0..250).map(|i| chunkw(i, 1_000)).collect();
+        let flows = eng.upload_transaction(&chunks, 0, &mut rng, None, SimTime::EPOCH);
+        let names: Vec<&str> = flows
+            .iter()
+            .filter(|f| matches!(f.truth, FlowTruth::Store { .. }))
+            .map(|f| f.server_name.as_str())
+            .collect();
+        assert_eq!(names.len(), 3);
+        assert!(names[0] != names[1] || names[1] != names[2]);
+        assert!(names.iter().all(|n| n.starts_with("dl-client")));
+    }
+
+    #[test]
+    fn misbehaving_device_has_no_acks_and_rst_close() {
+        let dns = DnsDirectory::new();
+        let store = ChunkStore::new();
+        let mut eng = SyncEngine::new(
+            &dns,
+            &store,
+            SyncConfig {
+                no_storage_acks: true,
+                ..SyncConfig::default()
+            },
+            4096,
+        );
+        let mut rng = Rng::new(7);
+        let chunks = [chunkw(1, 4 * 1024 * 1024)];
+        let flows = eng.upload_transaction(&chunks, 0, &mut rng, None, SimTime::EPOCH);
+        let sf = flows
+            .iter()
+            .find(|f| matches!(f.truth, FlowTruth::Store { .. }))
+            .unwrap();
+        let down = sf
+            .dialogue
+            .messages
+            .iter()
+            .filter(|m| m.dir == Direction::Down)
+            .count();
+        assert_eq!(down, 2, "handshake only, no OKs");
+        assert!(matches!(sf.dialogue.close, CloseMode::ClientRst { .. }));
+        match sf.truth {
+            FlowTruth::Store { acked, .. } => assert!(!acked),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn protocol_trace_matches_figure_1() {
+        let dns = DnsDirectory::new();
+        let store = ChunkStore::new();
+        let mut eng = engine_with(&dns, &store, ClientVersion::V1_2_52);
+        let mut rng = Rng::new(8);
+        let mut trace = ProtocolTrace::new();
+        let chunks = [chunkw(900, 5_000), chunkw(901, 6_000)];
+        eng.upload_transaction(&chunks, 0, &mut rng, Some(&mut trace), SimTime::EPOCH);
+        let ladder = trace.ladder();
+        assert_eq!(
+            ladder,
+            vec![
+                "commit_batch",
+                "need_blocks",
+                "store",
+                "ok",
+                "store",
+                "ok",
+                "close_changeset",
+                "ok"
+            ]
+        );
+    }
+}

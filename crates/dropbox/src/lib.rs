@@ -1,0 +1,113 @@
+//! Model of the Dropbox personal cloud storage system (client + servers),
+//! as documented by the paper's testbed dissection (Sec. 2 and Appendix A).
+//!
+//! The crate implements the *system under measurement*:
+//!
+//! * [`content`] — file content descriptors, 4 MB chunking, SHA-256 chunk
+//!   identities, and the wire-size model (compression + delta encoding)
+//!   calibrated against the real codecs in the `contenthash` crate,
+//! * [`metadata`] — the server-side meta-data database: users, devices
+//!   (`host_int`), namespaces (shared folders), file entries, and the
+//!   per-namespace journal that drives incremental `list` updates,
+//! * [`storage`] — the deduplicating chunk store backing the Amazon plane,
+//! * [`protocol`] — the client⇆server command vocabulary
+//!   (`register_host`, `list`, `commit_batch`, `store`, `store_batch`, …)
+//!   and a trace recorder reproducing Fig. 1's message ladder,
+//! * [`client`] — the sync engine: given local file events it produces the
+//!   control and storage [`FlowSpec`]s (TCP dialogues plus ground truth)
+//!   for both protocol generations (v1.2.52 per-chunk acknowledgments and
+//!   v1.4.0 bundling),
+//! * [`server`] — the reference server-side command handlers the engine's
+//!   ladders must satisfy (protocol conformance),
+//! * [`lan_sync`] — the LAN Sync Protocol (discovery + local serving),
+//! * [`notification`] — the cleartext notification long-poll,
+//! * [`web`] — web interface, direct-link, and API traffic builders.
+//!
+//! Every flow this crate emits carries a [`FlowTruth`] annotation so the
+//! analysis layer's *inferences* (store/retrieve tagging, chunk counting)
+//! can be validated against ground truth — the validation the paper could
+//! only do inside its testbed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod content;
+pub mod lan_sync;
+pub mod metadata;
+pub mod notification;
+pub mod protocol;
+pub mod server;
+pub mod storage;
+pub mod web;
+
+pub use client::{ClientVersion, SyncEngine};
+pub use content::{ChunkId, Content, ContentKind, CHUNK_SIZE};
+pub use protocol::{Command, ProtocolTrace};
+
+use tcpmodel::Dialogue;
+
+/// Ground-truth annotation of a generated flow (never visible to the
+/// monitor; used only for validating the analysis methods).
+#[derive(Clone, Debug, PartialEq)]
+pub enum FlowTruth {
+    /// Storage flow carrying chunk uploads.
+    Store {
+        /// Number of chunks transported.
+        chunks: u32,
+        /// Application payload bytes of chunk data (compressed).
+        data_bytes: u64,
+        /// True when the per-chunk acknowledgments are missing (the Home 2
+        /// "misbehaving device" of Sec. 4.3.1).
+        acked: bool,
+    },
+    /// Storage flow carrying chunk downloads.
+    Retrieve {
+        /// Number of chunks transported.
+        chunks: u32,
+        /// Application payload bytes of chunk data (compressed).
+        data_bytes: u64,
+    },
+    /// Meta-data / control exchange.
+    Control,
+    /// Notification long-poll connection.
+    Notification,
+    /// Event-log or back-trace reporting.
+    SystemLog,
+    /// Main web interface (storage of thumbnails/files over `dl-web`).
+    WebStorage {
+        /// True for an upload, false for a download.
+        upload: bool,
+    },
+    /// Main web interface control traffic (`www`).
+    WebControl,
+    /// Public direct-link download (`dl`).
+    DirectLink,
+    /// API control traffic (`api`).
+    ApiControl,
+    /// API storage traffic (`api-content`).
+    ApiStorage,
+}
+
+impl FlowTruth {
+    /// Number of chunks carried, when the flow is a storage flow.
+    pub fn chunks(&self) -> Option<u32> {
+        match self {
+            FlowTruth::Store { chunks, .. } | FlowTruth::Retrieve { chunks, .. } => Some(*chunks),
+            _ => None,
+        }
+    }
+}
+
+/// A fully-specified TCP connection to be played by `tcpmodel::simulate`.
+#[derive(Clone, Debug)]
+pub struct FlowSpec {
+    /// Server FQDN the client resolved for this connection.
+    pub server_name: String,
+    /// Server TCP port.
+    pub port: u16,
+    /// The application dialogue.
+    pub dialogue: Dialogue,
+    /// Ground truth for validation.
+    pub truth: FlowTruth,
+}

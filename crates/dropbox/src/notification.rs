@@ -1,0 +1,229 @@
+//! The notification protocol (Sec. 2.3.1).
+//!
+//! Each client keeps one TCP connection to a `notifyX.dropbox.com` server
+//! open for its whole session. The protocol is plain HTTP long-polling:
+//! the client sends a request carrying its `host_int` and its current
+//! namespace list **in clear text**; the server answers ~60 s later when
+//! nothing changed, or immediately when a change was committed elsewhere.
+//! The client then issues the next request at once.
+//!
+//! Because the payload is cleartext, the probe can read device identifiers
+//! and namespace lists — the paper's source for device counts (Table 3),
+//! devices per household (Fig. 12), namespaces per device (Fig. 13) and
+//! session durations (Fig. 16).
+
+use crate::metadata::{HostInt, NamespaceId};
+use crate::{FlowSpec, FlowTruth};
+use dnssim::{DnsDirectory, ServerRole};
+use nettrace::AppMarker;
+use simcore::{Rng, SimDuration};
+use tcpmodel::{CloseMode, Dialogue, Direction, Message, Write};
+
+/// Long-poll response delay when no change is pending.
+pub const POLL_PERIOD: SimDuration = SimDuration::from_secs(60);
+
+/// How a notification session ends.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionEnd {
+    /// Normal client shutdown (FIN).
+    ClientShutdown,
+    /// Killed by a home gateway / NAT idle timeout (abrupt RST) — the
+    /// source of the <1 min notification flows in the home datasets
+    /// (Sec. 5.5). The client immediately re-establishes a new connection.
+    NatReset,
+}
+
+/// Build the notification connection for a session (or session fragment)
+/// of duration `span`. `changes` is the number of poll cycles that were
+/// answered early because a change was signalled.
+pub fn notification_flow(
+    dns: &DnsDirectory,
+    host: HostInt,
+    namespaces: &[NamespaceId],
+    span: SimDuration,
+    changes: u32,
+    end: SessionEnd,
+    rng: &mut Rng,
+) -> FlowSpec {
+    let name = dns.notify_name(rng);
+    let ns_list: Vec<u64> = namespaces.iter().map(|n| n.0).collect();
+
+    // Request size grows with the advertised namespace list.
+    let req_size = 310 + 18 * ns_list.len() as u32;
+    let resp_size = 160u32;
+
+    let mut messages = Vec::new();
+    let total_cycles = (span.secs() / POLL_PERIOD.secs()).max(1);
+    // Keep long sessions affordable: the wire pattern is strictly periodic,
+    // so sessions longer than 50 cycles are represented by proportionally
+    // spaced cycles with identical per-cycle sizes (the monitor sees the
+    // same byte totals, durations, and endpoints).
+    let modeled_cycles = total_cycles.min(50);
+    let cycle_gap = SimDuration::from_micros(span.micros() / modeled_cycles);
+    for i in 0..modeled_cycles {
+        let marker = AppMarker::NotifyRequest {
+            host: name.clone(),
+            host_int: host.0,
+            namespaces: ns_list.clone(),
+        };
+        messages.push(Message {
+            dir: Direction::Up,
+            delay: if i == 0 {
+                SimDuration::from_millis(rng.range_u64(5, 50))
+            } else {
+                SimDuration::from_millis(rng.range_u64(5, 30))
+            },
+            writes: vec![Write::marked(req_size, marker)],
+        });
+        let early = (i as u32) < changes;
+        let delay = if early {
+            // A change elsewhere triggers an immediate response somewhere
+            // inside the window.
+            SimDuration::from_millis(rng.range_u64(500, 30_000))
+        } else {
+            cycle_gap - SimDuration::from_millis(rng.range_u64(40, 90)).min(cycle_gap)
+        };
+        messages.push(Message {
+            dir: Direction::Down,
+            delay,
+            writes: vec![Write::plain(resp_size)],
+        });
+    }
+
+    let close = match end {
+        SessionEnd::ClientShutdown => CloseMode::ClientFin {
+            delay: SimDuration::from_millis(150),
+        },
+        SessionEnd::NatReset => CloseMode::ClientRst {
+            delay: SimDuration::from_millis(20),
+        },
+    };
+    FlowSpec {
+        server_name: name,
+        port: ServerRole::Notification.port(),
+        dialogue: Dialogue::new(messages).with_close(close),
+        truth: FlowTruth::Notification,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dns() -> DnsDirectory {
+        DnsDirectory::new()
+    }
+
+    #[test]
+    fn flow_targets_notify_server_on_port_80() {
+        let mut rng = Rng::new(1);
+        let f = notification_flow(
+            &dns(),
+            HostInt(7),
+            &[NamespaceId(1)],
+            SimDuration::from_mins(10),
+            0,
+            SessionEnd::ClientShutdown,
+            &mut rng,
+        );
+        assert!(f.server_name.starts_with("notify"));
+        assert_eq!(f.port, 80);
+        assert_eq!(f.truth, FlowTruth::Notification);
+    }
+
+    #[test]
+    fn requests_carry_host_int_and_namespaces() {
+        let mut rng = Rng::new(2);
+        let nss = [NamespaceId(11), NamespaceId(22), NamespaceId(33)];
+        let f = notification_flow(
+            &dns(),
+            HostInt(99),
+            &nss,
+            SimDuration::from_mins(5),
+            0,
+            SessionEnd::ClientShutdown,
+            &mut rng,
+        );
+        let first_up = f
+            .dialogue
+            .messages
+            .iter()
+            .find(|m| m.dir == Direction::Up)
+            .unwrap();
+        match &first_up.writes[0].marker {
+            Some(AppMarker::NotifyRequest {
+                host,
+                host_int,
+                namespaces,
+            }) => {
+                assert!(host.starts_with("notify"));
+                assert_eq!(*host_int, 99);
+                assert_eq!(namespaces, &vec![11, 22, 33]);
+            }
+            other => panic!("unexpected marker: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn session_span_sets_cycle_count() {
+        let mut rng = Rng::new(3);
+        let f = notification_flow(
+            &dns(),
+            HostInt(1),
+            &[NamespaceId(1)],
+            SimDuration::from_mins(10),
+            0,
+            SessionEnd::ClientShutdown,
+            &mut rng,
+        );
+        let ups = f
+            .dialogue
+            .messages
+            .iter()
+            .filter(|m| m.dir == Direction::Up)
+            .count();
+        assert_eq!(ups, 10, "one poll per minute");
+    }
+
+    #[test]
+    fn very_long_sessions_are_subsampled_not_truncated() {
+        let mut rng = Rng::new(4);
+        let f = notification_flow(
+            &dns(),
+            HostInt(1),
+            &[NamespaceId(1)],
+            SimDuration::from_hours(8),
+            0,
+            SessionEnd::ClientShutdown,
+            &mut rng,
+        );
+        let ups = f
+            .dialogue
+            .messages
+            .iter()
+            .filter(|m| m.dir == Direction::Up)
+            .count();
+        assert_eq!(ups, 50, "capped cycle count");
+        // Total modelled span still ≈ 8 h: gaps between cycles stretch.
+        let span: SimDuration = f.dialogue.messages.iter().map(|m| m.delay).fold(
+            SimDuration::ZERO,
+            |acc, d| acc + d,
+        );
+        assert!(span.secs() > 7 * 3600, "span {span}");
+    }
+
+    #[test]
+    fn nat_reset_closes_with_rst() {
+        let mut rng = Rng::new(5);
+        let f = notification_flow(
+            &dns(),
+            HostInt(1),
+            &[NamespaceId(1)],
+            SimDuration::from_secs(45),
+            0,
+            SessionEnd::NatReset,
+            &mut rng,
+        );
+        assert!(matches!(f.dialogue.close, CloseMode::ClientRst { .. }));
+    }
+}

@@ -1,0 +1,225 @@
+//! The client ⇆ server command vocabulary and the protocol trace.
+//!
+//! Fig. 1 of the paper shows the message ladder of a commit: after
+//! `register_host` and `list`, a `commit_batch` on the meta-data servers
+//! answers with `need_blocks`; the client `store`s the missing chunks on
+//! the Amazon plane (each acknowledged with `ok` in v1.2.52), then commits
+//! the changeset back on the meta-data side. [`ProtocolTrace`] records that
+//! ladder so experiments can print and assert it.
+
+use crate::content::ChunkId;
+use simcore::SimTime;
+use std::fmt;
+
+/// Where a command is executed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Plane {
+    /// Meta-data servers (`client-lb`/`clientX`, Dropbox DC).
+    Meta,
+    /// Storage servers (`dl-clientX`, Amazon).
+    Storage,
+    /// Notification servers (`notifyX`).
+    Notify,
+}
+
+/// Protocol commands (the subset the paper documents).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Command {
+    /// Device registration at session start.
+    RegisterHost,
+    /// Incremental meta-data listing.
+    List,
+    /// Submit meta-data of new/changed files.
+    CommitBatch {
+        /// Chunk ids of the committed versions.
+        hashes: Vec<ChunkId>,
+    },
+    /// Server reply: chunks the store does not yet hold.
+    NeedBlocks {
+        /// Missing chunk ids.
+        hashes: Vec<ChunkId>,
+    },
+    /// Upload one chunk (v1.2.52).
+    Store {
+        /// The chunk being uploaded.
+        id: ChunkId,
+    },
+    /// Upload several bundled chunks (v1.4.0).
+    StoreBatch {
+        /// The bundled chunks.
+        ids: Vec<ChunkId>,
+    },
+    /// Download one chunk (v1.2.52).
+    Retrieve {
+        /// The requested chunk.
+        id: ChunkId,
+    },
+    /// Download several bundled chunks (v1.4.0).
+    RetrieveBatch {
+        /// The bundled chunks.
+        ids: Vec<ChunkId>,
+    },
+    /// Per-operation acknowledgment.
+    Ok,
+    /// Conclude a changeset on the meta-data side.
+    CloseChangeset,
+    /// Notification long-poll request.
+    NotifyPoll,
+    /// Notification response (delayed up to 60 s).
+    NotifyResponse {
+        /// Whether a change elsewhere was signalled.
+        changed: bool,
+    },
+}
+
+impl Command {
+    /// Maximum number of chunks a single transaction may carry
+    /// (Sec. 2.3.2: "at most 100 per transaction").
+    pub const MAX_CHUNKS_PER_BATCH: usize = 100;
+
+    /// The plane a command belongs to.
+    pub fn plane(&self) -> Plane {
+        match self {
+            Command::RegisterHost
+            | Command::List
+            | Command::CommitBatch { .. }
+            | Command::NeedBlocks { .. }
+            | Command::CloseChangeset => Plane::Meta,
+            Command::Store { .. }
+            | Command::StoreBatch { .. }
+            | Command::Retrieve { .. }
+            | Command::RetrieveBatch { .. }
+            | Command::Ok => Plane::Storage,
+            Command::NotifyPoll | Command::NotifyResponse { .. } => Plane::Notify,
+        }
+    }
+
+    /// Short wire name, as in Fig. 1.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Command::RegisterHost => "register_host",
+            Command::List => "list",
+            Command::CommitBatch { .. } => "commit_batch",
+            Command::NeedBlocks { .. } => "need_blocks",
+            Command::Store { .. } => "store",
+            Command::StoreBatch { .. } => "store_batch",
+            Command::Retrieve { .. } => "retrieve",
+            Command::RetrieveBatch { .. } => "retrieve_batch",
+            Command::Ok => "ok",
+            Command::CloseChangeset => "close_changeset",
+            Command::NotifyPoll => "notify_poll",
+            Command::NotifyResponse { .. } => "notify_response",
+        }
+    }
+}
+
+/// Direction of a traced message.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Sender {
+    /// Sent by the client.
+    Client,
+    /// Sent by a server.
+    Server,
+}
+
+/// One traced protocol message.
+#[derive(Clone, Debug)]
+pub struct TraceEntry {
+    /// When the message was issued.
+    pub at: SimTime,
+    /// Who sent it.
+    pub from: Sender,
+    /// The command.
+    pub command: Command,
+}
+
+/// An ordered protocol trace (the testbed view of Fig. 1 / Fig. 19).
+#[derive(Clone, Debug, Default)]
+pub struct ProtocolTrace {
+    entries: Vec<TraceEntry>,
+}
+
+impl ProtocolTrace {
+    /// New empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a message.
+    pub fn record(&mut self, at: SimTime, from: Sender, command: Command) {
+        self.entries.push(TraceEntry { at, from, command });
+    }
+
+    /// All entries in order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// The command-name ladder (for assertions and printing).
+    pub fn ladder(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|e| e.command.name()).collect()
+    }
+
+    /// Entries on one plane only.
+    pub fn on_plane(&self, plane: Plane) -> Vec<&TraceEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.command.plane() == plane)
+            .collect()
+    }
+}
+
+impl fmt::Display for ProtocolTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.entries {
+            let arrow = match e.from {
+                Sender::Client => "->",
+                Sender::Server => "<-",
+            };
+            let plane = match e.command.plane() {
+                Plane::Meta => "meta    ",
+                Plane::Storage => "storage ",
+                Plane::Notify => "notify  ",
+            };
+            writeln!(f, "{:>16}  {plane} {arrow} {}", format!("{}", e.at), e.command.name())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planes_match_figure_1() {
+        assert_eq!(Command::RegisterHost.plane(), Plane::Meta);
+        assert_eq!(Command::CommitBatch { hashes: vec![] }.plane(), Plane::Meta);
+        assert_eq!(Command::Store { id: ChunkId(1) }.plane(), Plane::Storage);
+        assert_eq!(Command::Ok.plane(), Plane::Storage);
+        assert_eq!(Command::NotifyPoll.plane(), Plane::Notify);
+    }
+
+    #[test]
+    fn batch_limit_is_100() {
+        assert_eq!(Command::MAX_CHUNKS_PER_BATCH, 100);
+    }
+
+    #[test]
+    fn trace_preserves_order_and_filters() {
+        let mut t = ProtocolTrace::new();
+        t.record(SimTime::from_secs(1), Sender::Client, Command::RegisterHost);
+        t.record(SimTime::from_secs(2), Sender::Client, Command::List);
+        t.record(
+            SimTime::from_secs(3),
+            Sender::Client,
+            Command::Store { id: ChunkId(1) },
+        );
+        t.record(SimTime::from_secs(4), Sender::Server, Command::Ok);
+        assert_eq!(t.ladder(), vec!["register_host", "list", "store", "ok"]);
+        assert_eq!(t.on_plane(Plane::Storage).len(), 2);
+        let rendered = format!("{t}");
+        assert!(rendered.contains("register_host"));
+        assert!(rendered.contains("storage"));
+    }
+}

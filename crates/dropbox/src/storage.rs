@@ -1,0 +1,162 @@
+//! The deduplicating chunk store (the Amazon storage plane).
+//!
+//! Dropbox deduplicates chunk uploads by SHA-256 id: after a
+//! `commit_batch`, the meta-data server answers `need_blocks` with the
+//! subset of ids the store does not yet hold (Fig. 1); only those are
+//! uploaded. The store is shared by all users of the simulated deployment
+//! (the global dedup the side-channel literature the paper cites [8, 9]
+//! analyses). `parking_lot` guards the map so that vantage-point
+//! simulations can run in parallel threads against one deployment.
+
+use crate::content::ChunkId;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Statistics of the store.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Distinct chunks held.
+    pub chunks: u64,
+    /// Total raw bytes of held chunks.
+    pub bytes: u64,
+    /// Uploads avoided thanks to deduplication.
+    pub dedup_hits: u64,
+    /// Bytes whose upload was avoided.
+    pub dedup_bytes: u64,
+}
+
+/// The deduplicating chunk store.
+#[derive(Debug, Default)]
+pub struct ChunkStore {
+    inner: RwLock<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    chunks: HashMap<ChunkId, u64>, // id -> raw size
+    stats: StoreStats,
+}
+
+impl ChunkStore {
+    /// Fresh empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Which of `ids` still need to be uploaded (the `need_blocks` reply).
+    /// Dedup hits are accounted immediately, as the server's answer is the
+    /// moment the upload is avoided.
+    pub fn need_blocks(&self, ids: &[(ChunkId, u64)]) -> Vec<ChunkId> {
+        let mut inner = self.inner.write();
+        let mut need = Vec::new();
+        for &(id, size) in ids {
+            if inner.chunks.contains_key(&id) {
+                inner.stats.dedup_hits += 1;
+                inner.stats.dedup_bytes += size;
+            } else {
+                need.push(id);
+            }
+        }
+        need
+    }
+
+    /// Store a chunk (after a `store`/`store_batch` command). Returns true
+    /// when the chunk was new.
+    pub fn put(&self, id: ChunkId, size: u64) -> bool {
+        let mut inner = self.inner.write();
+        if inner.chunks.insert(id, size).is_none() {
+            inner.stats.chunks += 1;
+            inner.stats.bytes += size;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the store holds a chunk (retrieve path).
+    pub fn has(&self, id: ChunkId) -> bool {
+        self.inner.read().chunks.contains_key(&id)
+    }
+
+    /// Raw size of a held chunk.
+    pub fn size_of(&self, id: ChunkId) -> Option<u64> {
+        self.inner.read().chunks.get(&id).copied()
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> StoreStats {
+        self.inner.read().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn need_blocks_filters_known_chunks() {
+        let store = ChunkStore::new();
+        store.put(ChunkId(1), 100);
+        let need = store.need_blocks(&[(ChunkId(1), 100), (ChunkId(2), 200)]);
+        assert_eq!(need, vec![ChunkId(2)]);
+        let s = store.stats();
+        assert_eq!(s.dedup_hits, 1);
+        assert_eq!(s.dedup_bytes, 100);
+    }
+
+    #[test]
+    fn put_is_idempotent() {
+        let store = ChunkStore::new();
+        assert!(store.put(ChunkId(7), 50));
+        assert!(!store.put(ChunkId(7), 50));
+        let s = store.stats();
+        assert_eq!(s.chunks, 1);
+        assert_eq!(s.bytes, 50);
+    }
+
+    #[test]
+    fn cross_user_dedup() {
+        // Two "users" uploading identical content: the second upload is
+        // fully deduplicated.
+        let store = ChunkStore::new();
+        let ids: Vec<(ChunkId, u64)> = (0..10).map(|i| (ChunkId(i), 1000)).collect();
+        let first = store.need_blocks(&ids);
+        assert_eq!(first.len(), 10);
+        for &(id, s) in &ids {
+            store.put(id, s);
+        }
+        let second = store.need_blocks(&ids);
+        assert!(second.is_empty());
+        assert_eq!(store.stats().dedup_bytes, 10_000);
+    }
+
+    #[test]
+    fn retrieval_queries() {
+        let store = ChunkStore::new();
+        store.put(ChunkId(3), 42);
+        assert!(store.has(ChunkId(3)));
+        assert_eq!(store.size_of(ChunkId(3)), Some(42));
+        assert!(!store.has(ChunkId(4)));
+        assert_eq!(store.size_of(ChunkId(4)), None);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        use std::sync::Arc;
+        let store = Arc::new(ChunkStore::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let s = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    s.put(ChunkId(t * 1000 + i), 10);
+                    s.need_blocks(&[(ChunkId(i), 10)]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.stats().chunks, 4000);
+    }
+}

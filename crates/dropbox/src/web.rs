@@ -1,0 +1,330 @@
+//! Web interface, direct-link, and API traffic (Secs. 2.5 and 6).
+//!
+//! Content in Dropbox is also reachable without the client application:
+//!
+//! * the **main web interface** (`www` for control, `dl-web` for storage)
+//!   — browsers open several parallel SSL connections, most of which only
+//!   fetch thumbnails, so the flow-size CDF is dominated by handshake
+//!   sizes (Fig. 17); uploads through the web form are rare and small,
+//! * **direct links** (`dl.dropbox.com`) — the preferred web mechanism
+//!   (92% of web-storage flows in Home 1), served over plain HTTP or
+//!   HTTPS, mostly files under 10 MB (Fig. 18),
+//! * the **public API** (`api` control, `api-content` storage) used by
+//!   mobile and third-party apps.
+
+use crate::client::CERT_CN;
+use crate::{FlowSpec, FlowTruth};
+use dnssim::ServerRole;
+use nettrace::AppMarker;
+use simcore::{dist, Rng, SimDuration};
+use tcpmodel::tls;
+use tcpmodel::{CloseMode, Dialogue, Direction, Message, Write};
+
+/// A browser visit to the main web interface: one `www` control flow plus
+/// several parallel `dl-web` storage flows (thumbnails and, rarely, a file
+/// download or upload).
+pub fn web_session_flows(rng: &mut Rng) -> Vec<FlowSpec> {
+    let mut flows = Vec::new();
+
+    // Control flow to www.dropbox.com: page loads, a few kB each way.
+    let mut messages = tls::handshake("www.dropbox.com", CERT_CN, SimDuration::from_millis(80));
+    let pages = rng.range_u64(1, 4);
+    for _ in 0..pages {
+        messages.push(Message {
+            dir: Direction::Up,
+            delay: SimDuration::from_millis(rng.range_u64(300, 4_000)),
+            writes: vec![tls::record(rng.range_u64(400, 900) as u32)],
+        });
+        messages.push(Message {
+            dir: Direction::Down,
+            delay: SimDuration::from_millis(rng.range_u64(50, 150)),
+            writes: vec![tls::record(dist::lognormal_median(rng, 30_000.0, 0.8) as u32)],
+        });
+    }
+    flows.push(FlowSpec {
+        server_name: "www.dropbox.com".into(),
+        port: ServerRole::Www.port(),
+        dialogue: Dialogue::new(messages).with_close(CloseMode::ClientFin {
+            delay: SimDuration::from_millis(500),
+        }),
+        truth: FlowTruth::WebControl,
+    });
+
+    // Parallel dl-web connections: mostly thumbnails (a few kB), the CDF
+    // strongly biased toward the SSL handshake floor (Fig. 17).
+    let conns = rng.range_u64(1, 4);
+    for _ in 0..conns {
+        let mut m = tls::handshake("dl-web.dropbox.com", CERT_CN, SimDuration::from_millis(80));
+        let objects = rng.range_u64(0, 3);
+        let mut download = 0u64;
+        for _ in 0..objects {
+            let size = if rng.chance(0.9) {
+                // Thumbnail.
+                dist::lognormal_median(rng, 6_000.0, 0.9) as u64
+            } else {
+                // An actual file view/download, < 10 MB in ~95% of cases.
+                (dist::lognormal_median(rng, 300_000.0, 1.5) as u64).min(60_000_000)
+            };
+            download += size;
+            m.push(Message {
+                dir: Direction::Up,
+                delay: SimDuration::from_millis(rng.range_u64(20, 400)),
+                writes: vec![tls::record(rng.range_u64(350, 600) as u32)],
+            });
+            m.push(Message {
+                dir: Direction::Down,
+                delay: SimDuration::from_millis(rng.range_u64(60, 160)),
+                writes: vec![tls::record(size as u32)],
+            });
+        }
+        let _ = download;
+        flows.push(FlowSpec {
+            server_name: "dl-web.dropbox.com".into(),
+            port: ServerRole::WebStorage.port(),
+            dialogue: Dialogue::new(m).with_close(CloseMode::ClientFin {
+                delay: SimDuration::from_millis(rng.range_u64(200, 2_000)),
+            }),
+            truth: FlowTruth::WebStorage { upload: false },
+        });
+    }
+
+    // Occasionally an upload through the web form (rare and small:
+    // >95% of web upload flows stay below 10 kB of payload).
+    if rng.chance(0.15) {
+        let mut m = tls::handshake("dl-web.dropbox.com", CERT_CN, SimDuration::from_millis(80));
+        let size = dist::lognormal_median(rng, 2_500.0, 1.2) as u32;
+        m.push(Message {
+            dir: Direction::Up,
+            delay: SimDuration::from_millis(rng.range_u64(500, 5_000)),
+            writes: vec![tls::record(size)],
+        });
+        m.push(Message {
+            dir: Direction::Down,
+            delay: SimDuration::from_millis(100),
+            writes: vec![tls::record(250)],
+        });
+        flows.push(FlowSpec {
+            server_name: "dl-web.dropbox.com".into(),
+            port: ServerRole::WebStorage.port(),
+            dialogue: Dialogue::new(m).with_close(CloseMode::ClientFin {
+                delay: SimDuration::from_millis(300),
+            }),
+            truth: FlowTruth::WebStorage { upload: true },
+        });
+    }
+
+    flows
+}
+
+/// A public direct-link download (`dl.dropbox.com`): a single HTTP GET;
+/// not always encrypted, so no SSL size floor (Fig. 18). Sizes are mostly
+/// below 10 MB — "their usage is not related to the sharing of movies".
+pub fn direct_link_flow(rng: &mut Rng) -> FlowSpec {
+    let https = rng.chance(0.3);
+    let size = (dist::lognormal_median(rng, 120_000.0, 1.7) as u64).clamp(400, 300_000_000);
+    let mut messages = Vec::new();
+    if https {
+        messages.extend(tls::handshake(
+            "dl.dropbox.com",
+            CERT_CN,
+            SimDuration::from_millis(80),
+        ));
+    }
+    messages.push(Message {
+        dir: Direction::Up,
+        delay: SimDuration::from_millis(rng.range_u64(5, 60)),
+        writes: vec![Write::marked(
+            rng.range_u64(280, 450) as u32,
+            AppMarker::HttpRequest {
+                host: "dl.dropbox.com".into(),
+                path: format!("/s/{:08x}/file", rng.next_u64() as u32),
+            },
+        )],
+    });
+    messages.push(Message {
+        dir: Direction::Down,
+        delay: SimDuration::from_millis(rng.range_u64(60, 180)),
+        writes: vec![Write::marked(
+            (size as u32).max(1),
+            AppMarker::HttpResponse { status: 200 },
+        )],
+    });
+    FlowSpec {
+        server_name: "dl.dropbox.com".into(),
+        port: if https { 443 } else { 80 },
+        dialogue: Dialogue::new(messages).with_close(CloseMode::ClientFin {
+            delay: SimDuration::from_millis(rng.range_u64(50, 500)),
+        }),
+        truth: FlowTruth::DirectLink,
+    }
+}
+
+/// An API session (mobile/third-party): one `api` control flow and, with
+/// some probability, an `api-content` transfer. API volume is small but
+/// non-negligible in home networks (up to 4% of volume, Fig. 4).
+pub fn api_session_flows(rng: &mut Rng) -> Vec<FlowSpec> {
+    let mut flows = Vec::new();
+    let mut m = tls::handshake("api.dropbox.com", CERT_CN, SimDuration::from_millis(90));
+    for _ in 0..rng.range_u64(1, 3) {
+        m.push(Message {
+            dir: Direction::Up,
+            delay: SimDuration::from_millis(rng.range_u64(50, 2_000)),
+            writes: vec![tls::record(rng.range_u64(300, 700) as u32)],
+        });
+        m.push(Message {
+            dir: Direction::Down,
+            delay: SimDuration::from_millis(rng.range_u64(60, 200)),
+            writes: vec![tls::record(rng.range_u64(300, 5_000) as u32)],
+        });
+    }
+    flows.push(FlowSpec {
+        server_name: "api.dropbox.com".into(),
+        port: ServerRole::ApiControl.port(),
+        dialogue: Dialogue::new(m).with_close(CloseMode::ClientFin {
+            delay: SimDuration::from_millis(200),
+        }),
+        truth: FlowTruth::ApiControl,
+    });
+
+    if rng.chance(0.5) {
+        let mut m = tls::handshake("api-content.dropbox.com", CERT_CN, SimDuration::from_millis(90));
+        let upload = rng.chance(0.35);
+        let size = (dist::lognormal_median(rng, 250_000.0, 1.4) as u64).min(50_000_000) as u32;
+        if upload {
+            m.push(Message {
+                dir: Direction::Up,
+                delay: SimDuration::from_millis(rng.range_u64(50, 500)),
+                writes: vec![tls::record(size)],
+            });
+            m.push(Message {
+                dir: Direction::Down,
+                delay: SimDuration::from_millis(120),
+                writes: vec![tls::record(350)],
+            });
+        } else {
+            m.push(Message {
+                dir: Direction::Up,
+                delay: SimDuration::from_millis(rng.range_u64(50, 500)),
+                writes: vec![tls::record(420)],
+            });
+            m.push(Message {
+                dir: Direction::Down,
+                delay: SimDuration::from_millis(120),
+                writes: vec![tls::record(size)],
+            });
+        }
+        flows.push(FlowSpec {
+            server_name: "api-content.dropbox.com".into(),
+            port: ServerRole::ApiStorage.port(),
+            dialogue: Dialogue::new(m).with_close(CloseMode::ClientFin {
+                delay: SimDuration::from_millis(300),
+            }),
+            truth: FlowTruth::ApiStorage,
+        });
+    }
+    flows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn web_session_has_control_and_parallel_storage() {
+        let mut rng = Rng::new(1);
+        let flows = web_session_flows(&mut rng);
+        assert!(flows.iter().any(|f| f.truth == FlowTruth::WebControl));
+        let storage = flows
+            .iter()
+            .filter(|f| matches!(f.truth, FlowTruth::WebStorage { .. }))
+            .count();
+        assert!(storage >= 1, "browsers open dl-web connections");
+    }
+
+    #[test]
+    fn web_uploads_are_rare_and_small() {
+        let mut rng = Rng::new(2);
+        let mut uploads = 0;
+        let mut sessions = 0;
+        for _ in 0..200 {
+            sessions += 1;
+            for f in web_session_flows(&mut rng) {
+                if let FlowTruth::WebStorage { upload: true } = f.truth {
+                    uploads += 1;
+                    let up_payload: u64 = f
+                        .dialogue
+                        .messages
+                        .iter()
+                        .filter(|m| m.dir == Direction::Up)
+                        .map(|m| m.size() as u64)
+                        .sum();
+                    // Handshake (294) + form post, overwhelmingly small.
+                    assert!(up_payload < 200_000, "upload payload {up_payload}");
+                }
+            }
+        }
+        let frac = uploads as f64 / sessions as f64;
+        assert!(frac > 0.05 && frac < 0.3, "upload fraction {frac}");
+    }
+
+    #[test]
+    fn direct_links_use_http_mostly_and_stay_small() {
+        let mut rng = Rng::new(3);
+        let mut http = 0;
+        let mut over_10mb = 0;
+        let n = 500;
+        for _ in 0..n {
+            let f = direct_link_flow(&mut rng);
+            assert_eq!(f.server_name, "dl.dropbox.com");
+            if f.port == 80 {
+                http += 1;
+            }
+            let down: u64 = f
+                .dialogue
+                .messages
+                .iter()
+                .filter(|m| m.dir == Direction::Down)
+                .map(|m| m.size() as u64)
+                .sum();
+            if down > 10_000_000 {
+                over_10mb += 1;
+            }
+        }
+        assert!(http as f64 / n as f64 > 0.5, "direct links mostly cleartext");
+        assert!(
+            (over_10mb as f64 / n as f64) < 0.1,
+            "only a small share exceeds 10 MB: {over_10mb}/{n}"
+        );
+    }
+
+    #[test]
+    fn direct_link_request_carries_http_marker() {
+        let mut rng = Rng::new(4);
+        let f = direct_link_flow(&mut rng);
+        let host = f
+            .dialogue
+            .messages
+            .iter()
+            .filter(|m| m.dir == Direction::Up)
+            .find_map(|m| match m.writes[0].marker.as_ref() {
+                Some(AppMarker::HttpRequest { host, .. }) => Some(host.clone()),
+                _ => None,
+            })
+            .expect("direct-link flow must carry an HTTP request marker");
+        assert_eq!(host, "dl.dropbox.com");
+    }
+
+    #[test]
+    fn api_sessions_mix_control_and_content() {
+        let mut rng = Rng::new(5);
+        let mut saw_content = false;
+        for _ in 0..50 {
+            let flows = api_session_flows(&mut rng);
+            assert!(matches!(flows[0].truth, FlowTruth::ApiControl));
+            if flows.iter().any(|f| matches!(f.truth, FlowTruth::ApiStorage)) {
+                saw_content = true;
+            }
+        }
+        assert!(saw_content);
+    }
+}

@@ -1,0 +1,288 @@
+//! Ablations of the design parameters DESIGN.md calls out.
+//!
+//! Three protocol/stack parameters shape the paper's measurements; each is
+//! swept here with everything else held fixed:
+//!
+//! * **server initial congestion window** — the paper-era servers
+//!   effectively used a small window, costing one extra RTT inside the
+//!   TLS handshake ("this parameter has been tuned after the release of
+//!   Dropbox 1.4.0", Appendix A.4),
+//! * **segment loss rate** — the paper ties near-θ throughput to flows
+//!   without retransmissions (Sec. 4.4.1),
+//! * **chunks-per-transaction limit** — the run-time parameter (100) that
+//!   caps flows at ~400 MB and shapes Figs. 7–8.
+
+use crate::report::{fmt_bps, fmt_bytes, Report, TextTable};
+use dropbox::client::{ChunkWork, SyncConfig, SyncEngine};
+use dropbox::content::ChunkId;
+use dropbox::storage::ChunkStore;
+use dropbox::FlowTruth;
+use dropbox_analysis::throughput::throughput_bps;
+use nettrace::{Endpoint, FlowKey, Ipv4};
+use simcore::{Rng, SimDuration, SimTime};
+use tcpmodel::tls;
+use tcpmodel::{simulate, Dialogue, Direction, Message, PathParams, TcpParams};
+use tstat::Monitor;
+
+fn key() -> FlowKey {
+    FlowKey::new(
+        Endpoint::new(Ipv4::new(10, 0, 0, 1), 40_000),
+        Endpoint::new(Ipv4::new(107, 22, 0, 1), 443),
+    )
+}
+
+fn path(rtt_ms: u64, loss: f64) -> PathParams {
+    PathParams {
+        inner_rtt: SimDuration::from_millis(8),
+        outer_rtt: SimDuration::from_millis(rtt_ms - 8),
+        jitter: 0.02,
+        loss_up: loss,
+        loss_down: loss,
+        up_rate: None,
+        down_rate: None,
+    }
+}
+
+/// Single-chunk store dialogue (the flow type Fig. 9's θ analysis uses).
+fn single_chunk_dialogue(chunk_bytes: u32) -> Dialogue {
+    let mut m = tls::handshake(
+        "dl-client1.dropbox.com",
+        "*.dropbox.com",
+        SimDuration::from_millis(100),
+    );
+    m.push(Message::simple(
+        Direction::Up,
+        SimDuration::from_millis(50),
+        634 + chunk_bytes,
+    ));
+    m.push(Message::simple(
+        Direction::Down,
+        SimDuration::from_millis(100),
+        309,
+    ));
+    Dialogue::new(m)
+}
+
+/// Sweep the server's initial congestion window: time until the client
+/// may send its first application byte (handshake latency) and the
+/// throughput of a single-chunk store.
+pub fn initcwnd_ablation() -> Report {
+    let mut t = TextTable::new(vec![
+        "server initcwnd",
+        "handshake done",
+        "1-chunk (100kB) throughput",
+    ]);
+    let mut handshakes = Vec::new();
+    for initcwnd in [1u32, 2, 3, 10] {
+        let tcp = TcpParams {
+            server_initcwnd: initcwnd,
+            ..TcpParams::era_2012_v1()
+        };
+        let d = single_chunk_dialogue(100_000);
+        let mut packets = Vec::new();
+        let summary = simulate(
+            SimTime::from_secs(1),
+            key(),
+            &d,
+            &path(100, 0.0),
+            &tcp,
+            &mut Rng::new(1),
+            &mut packets,
+        );
+        // Handshake completion = delivery of the server's final TLS flight
+        // (message index 3), measured from the first SYN.
+        let hs_done = summary.deliveries[3].saturating_since(SimTime::from_secs(1));
+        let mut monitor = Monitor::new(true);
+        let rec = monitor.process_flow(&packets).expect("record");
+        let thr = throughput_bps(&rec).unwrap_or(0.0);
+        handshakes.push((initcwnd, hs_done));
+        t.row(vec![
+            initcwnd.to_string(),
+            format!("{:.0}ms", hs_done.as_secs_f64() * 1_000.0),
+            fmt_bps(thr),
+        ]);
+    }
+    let small = handshakes
+        .iter()
+        .find(|(w, _)| *w == 2)
+        .expect("initcwnd 2 swept")
+        .1;
+    let big = handshakes
+        .iter()
+        .find(|(w, _)| *w == 10)
+        .expect("initcwnd 10 swept")
+        .1;
+    let body = format!(
+        "{}\nwith a small window the 4 kB server TLS flight needs an extra round:\n\
+         initcwnd 2 -> {:.0} ms vs initcwnd 10 -> {:.0} ms (≈1 RTT saved) —\n\
+         Appendix A.4's \"pause of 1 RTT during the SSL handshake\", tuned away\n\
+         after the 1.4.0 release.\n",
+        t.render(),
+        small.as_secs_f64() * 1_000.0,
+        big.as_secs_f64() * 1_000.0,
+    );
+    Report::new(
+        "ablation_initcwnd",
+        "Server initial-window ablation (TLS handshake latency)",
+        body,
+    )
+    .with_csv("ablation_initcwnd.csv", t.csv())
+}
+
+/// Sweep the path loss rate: retransmissions and throughput of a bulk
+/// store flow (Sec. 4.4.1 ties near-θ throughput to loss-free flows).
+pub fn loss_ablation() -> Report {
+    let mut t = TextTable::new(vec!["loss", "retransmissions", "throughput", "vs lossless"]);
+    let size = 2_000_000u32;
+    let mut base = 0.0f64;
+    for loss_pct in [0.0f64, 0.1, 0.5, 1.0, 2.0, 5.0] {
+        let d = single_chunk_dialogue(size);
+        let mut packets = Vec::new();
+        simulate(
+            SimTime::from_secs(1),
+            key(),
+            &d,
+            &path(100, loss_pct / 100.0),
+            &TcpParams::era_2012_v1(),
+            &mut Rng::new(2),
+            &mut packets,
+        );
+        let mut monitor = Monitor::new(true);
+        let rec = monitor.process_flow(&packets).expect("record");
+        let thr = throughput_bps(&rec).unwrap_or(0.0);
+        if loss_pct == 0.0 {
+            base = thr;
+        }
+        t.row(vec![
+            format!("{loss_pct:.1}%"),
+            rec.up.retransmissions.to_string(),
+            fmt_bps(thr),
+            format!("{:.2}x", thr / base.max(1.0)),
+        ]);
+    }
+    let body = format!(
+        "{}\nloss-free flows sit at the top of Fig. 9's envelope; each loss event\n\
+         halves the window and stalls a round, dragging flows below θ — the\n\
+         wireless Campus 2 flows (88%/75% retransmission-free) show exactly this.\n",
+        t.render()
+    );
+    Report::new("ablation_loss", "Loss-rate ablation (bulk store flow)", body)
+        .with_csv("ablation_loss.csv", t.csv())
+}
+
+/// Sweep the chunks-per-transaction limit: how the protocol parameter
+/// shapes flow counts and flow sizes for a fixed 600-chunk backlog.
+pub fn batch_limit_ablation() -> Report {
+    let dns = dnssim::DnsDirectory::new();
+    let mut t = TextTable::new(vec![
+        "limit", "storage flows", "max flow bytes", "max chunks/flow",
+    ]);
+    for limit in [10usize, 50, 100, 200] {
+        let store = ChunkStore::new();
+        let mut engine = SyncEngine::new(&dns, &store, SyncConfig::default(), 5);
+        let mut rng = Rng::new(3);
+        let chunks: Vec<ChunkWork> = (0..600)
+            .map(|i| ChunkWork {
+                id: ChunkId(i),
+                wire_bytes: 700_000,
+                raw_bytes: 700_000,
+            })
+            .collect();
+        // The engine's limit is the protocol constant; emulate other limits
+        // by slicing the backlog ourselves.
+        let mut flows = 0usize;
+        let mut max_bytes = 0u64;
+        let mut max_chunks = 0u32;
+        for batch in chunks.chunks(limit.min(dropbox::Command::MAX_CHUNKS_PER_BATCH)) {
+            for spec in engine.upload_transaction(batch, 0, &mut rng, None, SimTime::EPOCH) {
+                if let FlowTruth::Store { chunks, .. } = spec.truth {
+                    flows += 1;
+                    max_bytes = max_bytes.max(spec.dialogue.bytes_up());
+                    max_chunks = max_chunks.max(chunks);
+                }
+            }
+        }
+        t.row(vec![
+            limit.to_string(),
+            flows.to_string(),
+            fmt_bytes(max_bytes),
+            max_chunks.to_string(),
+        ]);
+    }
+    let body = format!(
+        "{}\nthe 100-chunk limit explains Fig. 7's ~400 MB flow cap and Fig. 8's mass\n\
+         at exactly 100 chunks; halving it would double the per-sync flow count.\n",
+        t.render()
+    );
+    Report::new(
+        "ablation_batch_limit",
+        "Chunks-per-transaction limit ablation",
+        body,
+    )
+    .with_csv("ablation_batch_limit.csv", t.csv())
+}
+
+/// All ablation reports.
+pub fn all() -> Vec<Report> {
+    vec![initcwnd_ablation(), loss_ablation(), batch_limit_ablation()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_window_costs_an_extra_handshake_round() {
+        let rep = initcwnd_ablation();
+        assert!(rep.body.contains("initcwnd 2"));
+        // The body quotes both latencies; parse them back for the check.
+        let nums: Vec<f64> = rep
+            .body
+            .lines()
+            .find(|l| l.contains("-> ") && l.contains("vs"))
+            .expect("summary line")
+            .split(&['>', 'm'][..])
+            .filter_map(|w| w.trim().parse::<f64>().ok())
+            .collect();
+        assert!(nums.len() >= 2, "latencies parsed: {nums:?}");
+        assert!(
+            nums[0] - nums[1] > 60.0,
+            "≈1 RTT (100 ms) saved: {nums:?}"
+        );
+    }
+
+    #[test]
+    fn loss_reduces_throughput_monotonically_ish() {
+        let rep = loss_ablation();
+        // The 5% table row must be well below 1x.
+        let last = rep
+            .body
+            .lines().rfind(|l| l.trim_start().starts_with("5.0%"))
+            .unwrap();
+        let factor: f64 = last
+            .split('x')
+            .next()
+            .unwrap()
+            .split_whitespace()
+            .last()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(factor < 0.8, "5% loss factor {factor}");
+    }
+
+    #[test]
+    fn batch_limit_caps_flow_size() {
+        let rep = batch_limit_ablation();
+        assert!(rep.body.contains("100"));
+        // More flows under a smaller limit.
+        let flows: Vec<u64> = rep
+            .body
+            .lines()
+            .filter(|l| l.trim_start().starts_with(char::is_numeric))
+            .filter_map(|l| l.split_whitespace().nth(1)?.parse().ok())
+            .collect();
+        assert!(flows.len() >= 3);
+        assert!(flows[0] > flows[2], "10-limit makes more flows than 100-limit");
+    }
+}

@@ -1,0 +1,170 @@
+//! ASCII chart rendering for the text reports.
+//!
+//! The paper's figures are plots; the text reports approximate them with
+//! terminal-friendly charts so a reader can see the *shapes* (CDF knees,
+//! diurnal peaks, weekly seasonality) without leaving the terminal. CSV
+//! artifacts remain the precise record.
+
+use simcore::stats::Ecdf;
+
+/// Render one or more CDFs as an ASCII line chart on a log-x axis.
+///
+/// Each series gets a marker character; `width`×`height` characters of
+/// plotting area plus axes.
+pub fn cdf_chart(series: &[(&str, &Ecdf)], width: usize, height: usize) -> String {
+    let series: Vec<&(&str, &Ecdf)> = series.iter().filter(|(_, e)| !e.is_empty()).collect();
+    if series.is_empty() {
+        return "(no samples)\n".to_string();
+    }
+    let lo = series
+        .iter()
+        .filter_map(|(_, e)| e.sorted().first().copied())
+        .fold(f64::INFINITY, f64::min)
+        .max(1e-9);
+    // Clip the axis at the worst p99 so a handful of tail outliers cannot
+    // flatten every curve against the left edge of the log axis.
+    let hi = series
+        .iter()
+        .filter_map(|(_, e)| e.quantile(0.99))
+        .fold(0.0f64, f64::max)
+        .max(lo * 1.5);
+
+    const MARKS: [char; 6] = ['*', '+', 'o', 'x', '#', '@'];
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, e)) in series.iter().enumerate() {
+        let mark = MARKS[si % MARKS.len()];
+        for (col, x) in (0..width)
+            .map(|c| lo * (hi / lo).powf(c as f64 / (width - 1) as f64))
+            .enumerate()
+        {
+            // log-spaced x value for this column.
+            let f = e.fraction_le(x);
+            let row = ((1.0 - f) * (height - 1) as f64).round() as usize;
+            grid[row.min(height - 1)][col] = mark;
+        }
+    }
+
+    let mut out = String::new();
+    for (ri, row) in grid.iter().enumerate() {
+        let label = if ri == 0 {
+            "1.0 "
+        } else if ri == height - 1 {
+            "0.0 "
+        } else if ri == height / 2 {
+            "0.5 "
+        } else {
+            "    "
+        };
+        out.push_str(label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("    +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "     {:<12}{:>width$}\n",
+        human(lo),
+        format!("{} (p99)", human(hi)),
+        width = width.saturating_sub(12)
+    ));
+    for (si, (label, _)) in series.iter().enumerate() {
+        out.push_str(&format!("     {} {}\n", MARKS[si % MARKS.len()], label));
+    }
+    out
+}
+
+/// Render a time/value series as an ASCII bar chart (one row per point).
+pub fn bar_chart(points: &[(String, f64)], width: usize) -> String {
+    let max = points.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        return "(empty)\n".to_string();
+    }
+    let label_w = points.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, v) in points {
+        let n = ((v / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{label:>label_w$} |{} {v:.3}\n",
+            "#".repeat(n.min(width)),
+        ));
+    }
+    out
+}
+
+/// Human-ish number formatting for axis labels.
+fn human(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.1}G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.1}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.1}k", x / 1e3)
+    } else if x >= 1.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_chart_has_axes_and_legend() {
+        let e1 = Ecdf::new((1..=1000).map(|i| i as f64).collect());
+        let e2 = Ecdf::new((1..=1000).map(|i| (i * 10) as f64).collect());
+        let chart = cdf_chart(&[("small", &e1), ("large", &e2)], 60, 12);
+        assert!(chart.contains("1.0 |"));
+        assert!(chart.contains("0.0 |"));
+        assert!(chart.contains("* small"));
+        assert!(chart.contains("+ large"));
+        // Both markers appear in the plotting area.
+        assert!(chart.matches('*').count() > 10);
+        assert!(chart.matches('+').count() > 10);
+    }
+
+    #[test]
+    fn cdf_chart_handles_empty() {
+        let e = Ecdf::new(vec![]);
+        assert_eq!(cdf_chart(&[("x", &e)], 40, 8), "(no samples)\n");
+    }
+
+    #[test]
+    fn shifted_cdf_plots_to_the_right() {
+        // The larger distribution's 0.5 crossing must be to the right of
+        // the smaller's: compare marker column at the middle row.
+        let e1 = Ecdf::new((1..=100).map(|i| i as f64).collect());
+        let e2 = Ecdf::new((1..=100).map(|i| (i * 50) as f64).collect());
+        let chart = cdf_chart(&[("a", &e1), ("b", &e2)], 60, 11);
+        let mid_row = chart.lines().nth(5).unwrap();
+        let first_a = mid_row.find('*');
+        let first_b = mid_row.find('+');
+        if let (Some(a), Some(b)) = (first_a, first_b) {
+            assert!(a < b, "a at {a}, b at {b}:\n{chart}");
+        }
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let points = vec![
+            ("00".to_string(), 0.1),
+            ("01".to_string(), 0.4),
+            ("02".to_string(), 0.2),
+        ];
+        let chart = bar_chart(&points, 20);
+        let lines: Vec<&str> = chart.lines().collect();
+        let count = |l: &str| l.matches('#').count();
+        assert_eq!(count(lines[1]), 20, "max bar fills the width");
+        assert!(count(lines[0]) < count(lines[2]));
+    }
+
+    #[test]
+    fn human_labels() {
+        assert_eq!(human(1_500_000.0), "1.5M");
+        assert_eq!(human(2_300.0), "2.3k");
+        assert_eq!(human(0.5), "0.500");
+    }
+}

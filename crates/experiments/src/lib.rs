@@ -1,0 +1,34 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! * [`run`] — simulates the four vantage points (and the Campus 1
+//!   Jun/Jul re-capture with Dropbox 1.4.0) and caches the outputs,
+//! * [`report`] — plain-text/CSV report plumbing,
+//! * [`tables`] — Tables 1–5,
+//! * [`figures`] — Figures 1–21,
+//! * [`validation`] — ground-truth scoring of the analysis methods
+//!   (classification accuracy, chunk-estimation error, user inference),
+//!   the check the original authors could only perform inside a testbed,
+//! * [`recommendations`] — the Sec. 4.5 countermeasure ablation
+//!   (bundling / delayed acks / closer data-centers), all three
+//!   implemented and measured,
+//! * [`ablations`] — parameter sweeps for the design choices DESIGN.md
+//!   calls out (server initcwnd, loss rate, batch limit).
+//!
+//! The `repro` binary drives everything:
+//!
+//! ```text
+//! repro all --scale 0.1 --seed 7 --out results/
+//! repro fig9 table5
+//! ```
+
+pub mod ablations;
+pub mod chart;
+pub mod figures;
+pub mod recommendations;
+pub mod report;
+pub mod run;
+pub mod tables;
+pub mod validation;
+
+pub use report::Report;
+pub use run::{run_capture, Capture};

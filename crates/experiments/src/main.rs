@@ -1,0 +1,166 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [IDS...] [--scale S] [--seed N] [--out DIR] [--export-traces]
+//!
+//!   IDS     table1..table5, fig1..fig21, validation, recommendations,
+//!           or `all` (default)
+//!   --scale population scale factor (default 0.1)
+//!   --seed  simulation seed (default 2012)
+//!   --out   output directory (default results/)
+//!   --export-traces   also write the anonymised flow logs (JSON-lines,
+//!                     one file per vantage point — the counterpart of the
+//!                     paper's published trace repository)
+//! ```
+
+use experiments::ablations;
+use experiments::figures;
+use experiments::recommendations;
+use experiments::report::Report;
+use experiments::run::run_capture;
+use experiments::tables;
+use experiments::validation;
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let mut ids: Vec<String> = Vec::new();
+    let mut scale = 0.1f64;
+    let mut seed = 2012u64;
+    let mut out_dir = PathBuf::from("results");
+    let mut export_traces = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => scale = args.next().expect("--scale value").parse().expect("scale"),
+            "--seed" => seed = args.next().expect("--seed value").parse().expect("seed"),
+            "--out" => out_dir = PathBuf::from(args.next().expect("--out value")),
+            "--export-traces" => export_traces = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [IDS...] [--scale S] [--seed N] [--out DIR] [--export-traces]"
+                );
+                return;
+            }
+            "--list" => {
+                println!("table1 table2 table3 table4 table5");
+                println!("fig1 fig2 … fig21 (no fig19 capture needed: fig1, fig19)");
+                println!("validation recommendations ablations all");
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = vec!["all".into()];
+    }
+    let want = |id: &str| ids[0] == "all" || ids.iter().any(|i| i == id);
+
+    fs::create_dir_all(&out_dir).expect("create output directory");
+
+    let mut reports: Vec<Report> = Vec::new();
+
+    // Standalone testbed figures need no capture.
+    if want("fig1") {
+        reports.push(figures::fig1());
+    }
+    if want("fig19") {
+        reports.push(figures::fig19());
+    }
+    if want("table1") {
+        reports.push(tables::table1());
+    }
+    if want("recommendations") {
+        reports.push(recommendations::recommendations());
+    }
+    if want("ablations") {
+        reports.extend(ablations::all());
+    }
+
+    let needs_capture = ids[0] == "all"
+        || ids
+            .iter()
+            .any(|i| !matches!(i.as_str(), "fig1" | "fig19" | "table1" | "recommendations" | "ablations"));
+    if needs_capture {
+        eprintln!(
+            "simulating 4 vantage points + the Jun/Jul re-capture (scale {scale}, seed {seed})…"
+        );
+        let t0 = Instant::now();
+        let cap = run_capture(scale, seed);
+        eprintln!("simulation finished in {:.1}s", t0.elapsed().as_secs_f64());
+        let total_flows: usize = cap.vantages.iter().map(|v| v.dataset.flows.len()).sum();
+        eprintln!("flow records: {total_flows}");
+
+        type Gen = Box<dyn Fn(&experiments::Capture) -> Report>;
+        let gens: Vec<(&str, Gen)> = vec![
+            ("table2", Box::new(tables::table2)),
+            ("table3", Box::new(tables::table3)),
+            ("table4", Box::new(tables::table4)),
+            ("table5", Box::new(tables::table5_report)),
+            ("fig2", Box::new(figures::fig2)),
+            ("fig3", Box::new(figures::fig3)),
+            ("fig4", Box::new(figures::fig4)),
+            ("fig5", Box::new(figures::fig5)),
+            ("fig6", Box::new(figures::fig6)),
+            ("fig7", Box::new(figures::fig7)),
+            ("fig8", Box::new(figures::fig8)),
+            ("fig9", Box::new(figures::fig9)),
+            ("fig10", Box::new(figures::fig10)),
+            ("fig11", Box::new(figures::fig11)),
+            ("fig12", Box::new(figures::fig12)),
+            ("fig13", Box::new(figures::fig13)),
+            ("fig14", Box::new(figures::fig14)),
+            ("fig15", Box::new(figures::fig15)),
+            ("fig16", Box::new(figures::fig16)),
+            ("fig17", Box::new(figures::fig17)),
+            ("fig18", Box::new(figures::fig18)),
+            ("fig20", Box::new(figures::fig20)),
+            ("fig21", Box::new(figures::fig21)),
+            ("validation", Box::new(validation::validate)),
+        ];
+        for (id, gen) in gens {
+            if want(id) {
+                reports.push(gen(&cap));
+            }
+        }
+
+        if export_traces {
+            for out in &cap.vantages {
+                let name = out.dataset.name.to_lowercase().replace(' ', "");
+                let path = out_dir.join(format!("traces_{name}.jsonl"));
+                let mut flows = out.dataset.flows.clone();
+                nettrace::flowlog::anonymise_clients(&mut flows);
+                let file = fs::File::create(&path).expect("create trace export");
+                nettrace::flowlog::write_jsonl(std::io::BufWriter::new(file), &flows)
+                    .expect("write trace export");
+                eprintln!("exported {} flows to {}", flows.len(), path.display());
+            }
+        }
+    }
+
+    let mut index = String::from(
+        "# results index\n\ngenerated by `repro`; see EXPERIMENTS.md for paper-vs-measured.\n\n",
+    );
+    index.push_str(&format!(
+        "run parameters: scale {scale}, seed {seed}\n\n| report | title | artifacts |\n|---|---|---|\n"
+    ));
+    for rep in &reports {
+        println!("{}", rep.render());
+        let path = out_dir.join(format!("{}.txt", rep.id));
+        fs::write(&path, rep.render()).expect("write report");
+        for (name, contents) in &rep.artifacts {
+            fs::write(out_dir.join(name), contents).expect("write artifact");
+        }
+        let artifacts: Vec<&str> = rep.artifacts.iter().map(|(n, _)| n.as_str()).collect();
+        index.push_str(&format!(
+            "| [{id}.txt]({id}.txt) | {title} | {arts} |\n",
+            id = rep.id,
+            title = rep.title,
+            arts = artifacts.join(", ")
+        ));
+    }
+    fs::write(out_dir.join("INDEX.md"), index).expect("write index");
+    eprintln!("wrote {} reports to {}", reports.len(), out_dir.display());
+}

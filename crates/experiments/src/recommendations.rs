@@ -1,0 +1,250 @@
+//! Ablation of the paper's three recommendations (Sec. 4.5).
+//!
+//! The paper identifies the application-layer protocol combined with large
+//! RTTs as the bottleneck and proposes:
+//!
+//! 1. **bundling** smaller chunks (deployed as Dropbox 1.4.0's
+//!    `store_batch`),
+//! 2. **delayed acknowledgments** — pipelining chunks so the client never
+//!    waits one RTT (+ server reaction) per chunk,
+//! 3. **bringing storage closer** to the customers.
+//!
+//! Each proposal is implemented as a protocol variant and driven over the
+//! same workload and path model; the report shows measured transfer
+//! durations and throughputs side by side, including the RTT sweep for the
+//! data-center-placement recommendation. The paper could only analyse
+//! option 1 (after its deployment); here all three run.
+
+use crate::report::{fmt_bps, Report, TextTable};
+use dropbox_analysis::throughput::throughput_bps;
+use nettrace::{Endpoint, FlowKey, Ipv4};
+use simcore::{Rng, SimDuration, SimTime};
+use tcpmodel::tls;
+use tcpmodel::{
+    simulate, CloseMode, Dialogue, Direction, Message, PathParams, TcpParams, Write,
+};
+use tstat::Monitor;
+
+/// Protocol variant under test.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Variant {
+    /// v1.2.52: one store + one `ok` per chunk, strictly sequential.
+    PerChunkAck,
+    /// v1.4.0: chunks bundled into ≤4 MB `store_batch` operations, one
+    /// `ok` per bundle, bundles sequential.
+    Bundling,
+    /// Recommendation 2: the client pipelines every chunk back-to-back and
+    /// the server acknowledges once at the end.
+    DelayedAck,
+}
+
+impl Variant {
+    /// All variants, baseline first.
+    pub const ALL: [Variant; 3] = [Variant::PerChunkAck, Variant::Bundling, Variant::DelayedAck];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::PerChunkAck => "per-chunk ack (v1.2.52)",
+            Variant::Bundling => "bundling (v1.4.0)",
+            Variant::DelayedAck => "delayed acks (pipelined)",
+        }
+    }
+}
+
+/// Build the store dialogue of a variant for `n` chunks of `chunk_bytes`.
+fn dialogue(variant: Variant, n: u32, chunk_bytes: u32, rng: &mut Rng) -> Dialogue {
+    fn server_reaction(rng: &mut Rng) -> SimDuration {
+        SimDuration::from_millis(rng.range_u64(90, 150))
+    }
+    fn client_reaction(rng: &mut Rng) -> SimDuration {
+        SimDuration::from_millis(rng.range_u64(40, 80))
+    }
+    let mut m = tls::handshake("dl-client1.dropbox.com", "*.dropbox.com", SimDuration::from_millis(120));
+    match variant {
+        Variant::PerChunkAck => {
+            for _ in 0..n {
+                m.push(Message {
+                    dir: Direction::Up,
+                    delay: client_reaction(rng),
+                    writes: vec![tls::record(634 + chunk_bytes)],
+                });
+                m.push(Message {
+                    dir: Direction::Down,
+                    delay: server_reaction(rng),
+                    writes: vec![Write::plain(309)],
+                });
+            }
+        }
+        Variant::Bundling => {
+            let budget = 4 * 1024 * 1024u64;
+            let per_bundle = (budget / chunk_bytes.max(1) as u64).max(1) as u32;
+            let mut left = n;
+            while left > 0 {
+                let take = left.min(per_bundle);
+                left -= take;
+                m.push(Message {
+                    dir: Direction::Up,
+                    delay: client_reaction(rng),
+                    writes: vec![tls::record(634 + take * chunk_bytes)],
+                });
+                m.push(Message {
+                    dir: Direction::Down,
+                    delay: server_reaction(rng),
+                    writes: vec![Write::plain(309)],
+                });
+            }
+        }
+        Variant::DelayedAck => {
+            // All chunks stream back-to-back as separate writes (the PSH
+            // structure stays per-chunk); one cumulative acknowledgment.
+            let writes: Vec<Write> = (0..n).map(|_| tls::record(634 + chunk_bytes)).collect();
+            m.push(Message {
+                dir: Direction::Up,
+                delay: client_reaction(rng),
+                writes,
+            });
+            m.push(Message {
+                dir: Direction::Down,
+                delay: server_reaction(rng),
+                writes: vec![Write::plain(309)],
+            });
+        }
+    }
+    Dialogue::new(m).with_close(CloseMode::ClientFin {
+        delay: SimDuration::from_millis(100),
+    })
+}
+
+/// Measure one configuration; returns (duration s, throughput bit/s).
+fn measure(variant: Variant, n: u32, chunk_bytes: u32, rtt_ms: u64, seed: u64) -> (f64, f64) {
+    let mut rng = Rng::new(seed);
+    let d = dialogue(variant, n, chunk_bytes, &mut rng);
+    let key = FlowKey::new(
+        Endpoint::new(Ipv4::new(10, 0, 0, 1), 40_000),
+        Endpoint::new(Ipv4::new(107, 22, 0, 1), 443),
+    );
+    let path = PathParams {
+        inner_rtt: SimDuration::from_millis(8),
+        outer_rtt: SimDuration::from_millis(rtt_ms.saturating_sub(8).max(1)),
+        jitter: 0.03,
+        loss_up: 0.0005,
+        loss_down: 0.0005,
+        up_rate: None,
+        down_rate: None,
+    };
+    let tcp = match variant {
+        Variant::PerChunkAck => TcpParams::era_2012_v1(),
+        _ => TcpParams::era_2012_v14(),
+    };
+    let mut packets = Vec::new();
+    simulate(SimTime::from_secs(1), key, &d, &path, &tcp, &mut rng, &mut packets);
+    let mut monitor = Monitor::new(true);
+    let rec = monitor.process_flow(&packets).expect("record");
+    let thr = throughput_bps(&rec).unwrap_or(0.0);
+    let dur = dropbox_analysis::throughput::transfer_duration(&rec)
+        .map(|x| x.as_secs_f64())
+        .unwrap_or(0.0);
+    (dur, thr)
+}
+
+/// The full ablation report.
+pub fn recommendations() -> Report {
+    // The paper's motivating workload: many small chunks.
+    let n = 50u32;
+    let chunk = 40_000u32;
+    let baseline_rtt = 100u64;
+
+    let mut t = TextTable::new(vec!["variant", "RTT", "duration", "throughput", "speedup"]);
+    let (base_dur, base_thr) = measure(Variant::PerChunkAck, n, chunk, baseline_rtt, 1);
+    for variant in Variant::ALL {
+        let (dur, thr) = measure(variant, n, chunk, baseline_rtt, 1);
+        t.row(vec![
+            variant.label().to_string(),
+            format!("{baseline_rtt}ms"),
+            format!("{dur:.2}s"),
+            fmt_bps(thr),
+            format!("{:.1}x", thr / base_thr.max(1.0)),
+        ]);
+    }
+    // Recommendation 3: bring storage closer — RTT sweep per variant.
+    for rtt in [10u64, 25, 50, 100, 150, 200] {
+        for variant in Variant::ALL {
+            let (dur, thr) = measure(variant, n, chunk, rtt, 2);
+            t.row(vec![
+                variant.label().to_string(),
+                format!("{rtt}ms"),
+                format!("{dur:.2}s"),
+                fmt_bps(thr),
+                format!("{:.1}x", thr / base_thr.max(1.0)),
+            ]);
+        }
+    }
+
+    let (_, thr_bundle) = measure(Variant::Bundling, n, chunk, baseline_rtt, 1);
+    let (_, thr_pipe) = measure(Variant::DelayedAck, n, chunk, baseline_rtt, 1);
+    let (_, thr_near) = measure(Variant::PerChunkAck, n, chunk, 25, 1);
+    let body = format!(
+        "{}\nworkload: {n} chunks x {} kB; baseline duration {base_dur:.1}s at {baseline_rtt} ms RTT\n\
+         \nsummary at {baseline_rtt} ms: bundling {:.1}x, delayed acks {:.1}x; \
+         per-chunk acks at 25 ms RTT {:.1}x\n\
+         — matching Sec. 4.5: the first two fix the application-layer bottleneck;\n\
+         closer data-centers help every variant and also relieve the core network.\n",
+        t.render(),
+        chunk / 1_000,
+        thr_bundle / base_thr.max(1.0),
+        thr_pipe / base_thr.max(1.0),
+        thr_near / base_thr.max(1.0),
+    );
+    Report::new(
+        "recommendations",
+        "Sec. 4.5 countermeasures, implemented and measured",
+        body,
+    )
+    .with_csv("recommendations.csv", t.csv())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_protocol_fixes_beat_the_baseline() {
+        let (_, base) = measure(Variant::PerChunkAck, 50, 40_000, 100, 1);
+        let (_, bundle) = measure(Variant::Bundling, 50, 40_000, 100, 1);
+        let (_, pipe) = measure(Variant::DelayedAck, 50, 40_000, 100, 1);
+        assert!(bundle > 2.0 * base, "bundling {bundle:.0} vs base {base:.0}");
+        assert!(pipe > 2.0 * base, "pipelining {pipe:.0} vs base {base:.0}");
+    }
+
+    #[test]
+    fn closer_storage_helps_the_baseline() {
+        // Moving storage closer removes the RTT share of the per-chunk
+        // stall, but the server/client reaction times remain — exactly the
+        // paper's point that the protocol itself must change too.
+        let (_, far) = measure(Variant::PerChunkAck, 50, 40_000, 150, 3);
+        let (_, near) = measure(Variant::PerChunkAck, 50, 40_000, 25, 3);
+        assert!(near > 1.3 * far, "near {near:.0} vs far {far:.0}");
+        // For the pipelined variant the gain is much larger.
+        let (_, far_p) = measure(Variant::DelayedAck, 50, 40_000, 150, 3);
+        let (_, near_p) = measure(Variant::DelayedAck, 50, 40_000, 25, 3);
+        assert!(near_p > 3.0 * far_p, "near {near_p:.0} vs far {far_p:.0}");
+    }
+
+    #[test]
+    fn single_chunk_flows_barely_differ_across_variants() {
+        // With one chunk there is no sequential-ack penalty to remove.
+        let (_, a) = measure(Variant::PerChunkAck, 1, 40_000, 100, 4);
+        let (_, b) = measure(Variant::DelayedAck, 1, 40_000, 100, 4);
+        let ratio = b / a;
+        assert!((0.6..1.8).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn report_renders_with_sweep() {
+        let r = recommendations();
+        assert!(r.body.contains("bundling"));
+        assert!(r.body.contains("200ms"));
+        assert!(!r.artifacts.is_empty());
+    }
+}

@@ -1,0 +1,207 @@
+//! Report plumbing: aligned text tables and CSV artifacts.
+
+use simcore::stats::Ecdf;
+
+/// One regenerated table or figure.
+pub struct Report {
+    /// Identifier (`table4`, `fig9`, …).
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// Formatted text body (what the paper's table/plot shows).
+    pub body: String,
+    /// CSV artifacts: (file name, contents).
+    pub artifacts: Vec<(String, String)>,
+}
+
+impl Report {
+    /// New report with no artifacts yet.
+    pub fn new(id: &'static str, title: &'static str, body: String) -> Self {
+        Report {
+            id,
+            title,
+            body,
+            artifacts: Vec::new(),
+        }
+    }
+
+    /// Attach a CSV artifact.
+    pub fn with_csv(mut self, name: impl Into<String>, contents: String) -> Self {
+        self.artifacts.push((name.into(), contents));
+        self
+    }
+
+    /// Render header + body.
+    pub fn render(&self) -> String {
+        format!(
+            "== {} — {} ==\n{}\n",
+            self.id.to_uppercase(),
+            self.title,
+            self.body
+        )
+    }
+}
+
+/// Format a byte count with a binary-ish human unit (paper uses GB/MB).
+pub fn fmt_bytes(bytes: u64) -> String {
+    let b = bytes as f64;
+    if b >= 1e12 {
+        format!("{:.2}TB", b / 1e12)
+    } else if b >= 1e9 {
+        format!("{:.2}GB", b / 1e9)
+    } else if b >= 1e6 {
+        format!("{:.2}MB", b / 1e6)
+    } else if b >= 1e3 {
+        format!("{:.2}kB", b / 1e3)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+/// Format a rate in bits/s.
+pub fn fmt_bps(bps: f64) -> String {
+    if bps >= 1e6 {
+        format!("{:.2}Mbit/s", bps / 1e6)
+    } else if bps >= 1e3 {
+        format!("{:.2}kbit/s", bps / 1e3)
+    } else {
+        format!("{bps:.0}bit/s")
+    }
+}
+
+/// A simple aligned text table.
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "column count mismatch");
+        self.rows.push(row);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(out.len().saturating_sub(1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV.
+    pub fn csv(&self) -> String {
+        let mut out = self.header.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Render one or more labelled CDFs as CSV (`x,label1,label2…` would need
+/// alignment; instead emit long form: `label,x,F`).
+pub fn cdfs_csv(cdfs: &[(&str, &Ecdf)], max_points: usize) -> String {
+    let mut out = String::from("series,x,F\n");
+    for (label, ecdf) in cdfs {
+        for (x, f) in ecdf.points(max_points) {
+            out.push_str(&format!("{label},{x},{f:.6}\n"));
+        }
+    }
+    out
+}
+
+/// Summarise a CDF at the reference probes the paper quotes.
+pub fn cdf_summary(label: &str, ecdf: &Ecdf, probes: &[(f64, &str)]) -> String {
+    if ecdf.is_empty() {
+        return format!("{label}: (no samples)\n");
+    }
+    let mut out = format!(
+        "{label}: n={} median={:.3} p10={:.3} p90={:.3} mean={:.3}\n",
+        ecdf.len(),
+        ecdf.quantile(0.5).unwrap_or(0.0),
+        ecdf.quantile(0.1).unwrap_or(0.0),
+        ecdf.quantile(0.9).unwrap_or(0.0),
+        ecdf.mean(),
+    );
+    for &(x, note) in probes {
+        out.push_str(&format!(
+            "    F({x}) = {:.3}   {note}\n",
+            ecdf.fraction_le(x)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_formatting() {
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(2_500), "2.50kB");
+        assert_eq!(fmt_bytes(3_624_000_000_000), "3.62TB");
+    }
+
+    #[test]
+    fn table_alignment_and_csv() {
+        let mut t = TextTable::new(vec!["Name", "Vol"]);
+        t.row(vec!["Campus 1", "146GB"]);
+        t.row(vec!["Home 1", "1.15TB"]);
+        let text = t.render();
+        assert!(text.contains("Campus 1  146GB"));
+        let csv = t.csv();
+        assert!(csv.starts_with("Name,Vol\n"));
+        assert!(csv.contains("Home 1,1.15TB"));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn table_rejects_bad_rows() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn cdf_summary_mentions_probes() {
+        let e = Ecdf::new((1..=100).map(|i| i as f64).collect());
+        let s = cdf_summary("sizes", &e, &[(50.0, "half")]);
+        assert!(s.contains("F(50) = 0.500"));
+    }
+}

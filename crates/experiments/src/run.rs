@@ -1,0 +1,85 @@
+//! Capture orchestration: simulate all vantage points once, reuse
+//! everywhere.
+
+use crossbeam::thread;
+use dropbox::client::ClientVersion;
+use workload::{simulate_vantage, SimOutput, VantageConfig, VantageKind};
+
+/// A full reproduction run: the four Mar–May captures plus the Campus 1
+/// Jun/Jul re-capture with Dropbox 1.4.0 (Table 4).
+pub struct Capture {
+    /// Population scale factor used.
+    pub scale: f64,
+    /// Seed used.
+    pub seed: u64,
+    /// Campus 1, Campus 2, Home 1, Home 2 (v1.2.52 era).
+    pub vantages: Vec<SimOutput>,
+    /// Campus 1 re-capture (v1.4.0 + tuned server windows).
+    pub campus1_v14: SimOutput,
+}
+
+impl Capture {
+    /// Output of one vantage point.
+    pub fn vantage(&self, kind: VantageKind) -> &SimOutput {
+        let idx = VantageKind::ALL
+            .iter()
+            .position(|&k| k == kind)
+            .expect("known vantage");
+        &self.vantages[idx]
+    }
+}
+
+/// Simulate everything. The four main captures run on worker threads (they
+/// are independent deployments); the Jun/Jul re-capture runs 14 days.
+pub fn run_capture(scale: f64, seed: u64) -> Capture {
+    let configs: Vec<VantageConfig> = VantageKind::ALL
+        .iter()
+        .map(|&k| VantageConfig::paper(k, scale))
+        .collect();
+
+    let mut vantages: Vec<Option<SimOutput>> = Vec::new();
+    for _ in 0..configs.len() {
+        vantages.push(None);
+    }
+    thread::scope(|s| {
+        let mut handles = Vec::new();
+        for config in &configs {
+            handles.push(s.spawn(move |_| {
+                simulate_vantage(config, ClientVersion::V1_2_52, seed)
+            }));
+        }
+        for (slot, h) in vantages.iter_mut().zip(handles) {
+            *slot = Some(h.join().expect("vantage simulation panicked"));
+        }
+    })
+    .expect("scoped threads");
+
+    let mut c1_config = VantageConfig::paper(VantageKind::Campus1, scale);
+    c1_config.days = 14; // Jun/Jul re-capture window
+    let campus1_v14 = simulate_vantage(&c1_config, ClientVersion::V1_4_0, seed ^ 0x14);
+
+    Capture {
+        scale,
+        seed,
+        vantages: vantages.into_iter().map(|v| v.expect("filled")).collect(),
+        campus1_v14,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_produces_all_vantages() {
+        let cap = run_capture(0.012, 3);
+        assert_eq!(cap.vantages.len(), 4);
+        for (kind, out) in VantageKind::ALL.iter().zip(&cap.vantages) {
+            assert_eq!(out.dataset.name, kind.name());
+            assert!(!out.dataset.flows.is_empty(), "{kind:?} empty");
+        }
+        assert_eq!(cap.campus1_v14.dataset.days, 14);
+        // Accessor returns the right dataset.
+        assert_eq!(cap.vantage(VantageKind::Home2).dataset.name, "Home 2");
+    }
+}

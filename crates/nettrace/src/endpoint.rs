@@ -1,0 +1,120 @@
+//! IPv4 endpoints and flow keys.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A (simulated) IPv4 address.
+///
+/// Stored as a plain `u32` in network order semantics; formatting renders
+/// dotted-quad. Client addresses in exported traces are anonymised by the
+/// monitor before export (see `tstat`), mirroring the paper's privacy
+/// handling ("all payload data are discarded directly in the probe").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Ipv4(pub u32);
+
+impl Ipv4 {
+    /// Build from dotted-quad octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4(((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | d as u32)
+    }
+
+    /// Octets of the address.
+    pub const fn octets(self) -> [u8; 4] {
+        [
+            (self.0 >> 24) as u8,
+            (self.0 >> 16) as u8,
+            (self.0 >> 8) as u8,
+            self.0 as u8,
+        ]
+    }
+}
+
+impl fmt::Debug for Ipv4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, b, c, d] = self.octets();
+        write!(f, "{a}.{b}.{c}.{d}")
+    }
+}
+
+impl fmt::Display for Ipv4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A transport endpoint: address and TCP port.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Endpoint {
+    /// IPv4 address.
+    pub ip: Ipv4,
+    /// TCP port.
+    pub port: u16,
+}
+
+impl Endpoint {
+    /// Construct an endpoint.
+    pub const fn new(ip: Ipv4, port: u16) -> Self {
+        Endpoint { ip, port }
+    }
+}
+
+impl fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.ip, self.port)
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Identity of a TCP connection as seen by the monitor: the *client*
+/// (initiator, inside the monitored network) and *server* endpoints.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct FlowKey {
+    /// Connection initiator (inside the vantage point).
+    pub client: Endpoint,
+    /// Remote server.
+    pub server: Endpoint,
+}
+
+impl FlowKey {
+    /// Construct a flow key.
+    pub const fn new(client: Endpoint, server: Endpoint) -> Self {
+        FlowKey { client, server }
+    }
+}
+
+impl fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.client, self.server)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dotted_quad_roundtrip() {
+        let ip = Ipv4::new(192, 168, 1, 42);
+        assert_eq!(ip.octets(), [192, 168, 1, 42]);
+        assert_eq!(format!("{ip}"), "192.168.1.42");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Ipv4::new(10, 0, 0, 1) < Ipv4::new(10, 0, 1, 0));
+    }
+
+    #[test]
+    fn flow_key_display() {
+        let k = FlowKey::new(
+            Endpoint::new(Ipv4::new(10, 0, 0, 1), 50_000),
+            Endpoint::new(Ipv4::new(199, 47, 216, 1), 443),
+        );
+        assert_eq!(format!("{k}"), "10.0.0.1:50000 -> 199.47.216.1:443");
+    }
+}

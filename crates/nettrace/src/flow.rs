@@ -1,0 +1,154 @@
+//! The Tstat-style per-flow record.
+//!
+//! One [`FlowRecord`] is exported per observed TCP connection, carrying the
+//! metrics the paper's analysis consumes (a subset of Tstat's ~100 TCP-log
+//! columns, plus the Dropbox-specific extensions the authors added: TLS
+//! server names, DNS FQDN labels, and notification-payload fields). The
+//! record is `serde`-serialisable; the experiment harness exports JSON-lines
+//! files mirroring the anonymised traces the authors published.
+
+use crate::endpoint::FlowKey;
+use serde::{Deserialize, Serialize};
+use simcore::{SimDuration, SimTime};
+
+/// Per-direction packet/byte counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirStats {
+    /// Segments observed (including pure ACKs and control segments).
+    pub packets: u64,
+    /// Payload bytes (TCP payload only, headers excluded).
+    pub bytes: u64,
+    /// Data segments with the PSH flag set.
+    pub psh_segments: u64,
+    /// Retransmitted data segments.
+    pub retransmissions: u64,
+    /// Timestamp of the first payload-carrying segment.
+    pub first_payload: Option<SimTime>,
+    /// Timestamp of the last payload-carrying segment.
+    pub last_payload: Option<SimTime>,
+}
+
+/// Dropbox-specific notification metadata (cleartext, Sec. 2.3.1).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NotifyMeta {
+    /// Device identifier observed in notification requests.
+    pub host_int: u64,
+    /// Last namespace list observed on this flow.
+    pub namespaces: Vec<u64>,
+}
+
+/// How the connection ended, as visible on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlowClose {
+    /// Orderly FIN exchange.
+    Fin,
+    /// Reset.
+    Rst,
+    /// Still open when the capture (or flow timeout) ended.
+    Timeout,
+}
+
+/// A reconstructed TCP flow with the monitor's measurements.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FlowRecord {
+    /// Client and server endpoints (client address anonymised on export).
+    pub key: FlowKey,
+    /// Time of the first SYN from the client.
+    pub first_syn: SimTime,
+    /// Time of the last packet in either direction.
+    pub last_packet: SimTime,
+    /// Client → server direction counters.
+    pub up: DirStats,
+    /// Server → client direction counters.
+    pub down: DirStats,
+    /// Minimum external RTT (probe ↔ server) in milliseconds, when at least
+    /// one sample was obtained.
+    pub min_rtt_ms: Option<f64>,
+    /// Number of valid RTT samples (the paper requires ≥ 10 for Fig. 6).
+    pub rtt_samples: u32,
+    /// Server name from the TLS SNI extension, if the flow carried TLS.
+    pub tls_sni: Option<String>,
+    /// Certificate common name from the TLS handshake.
+    pub tls_certificate_cn: Option<String>,
+    /// Host header of cleartext HTTP, if any.
+    pub http_host: Option<String>,
+    /// Server FQDN obtained by correlating DNS responses with the server
+    /// address ("DNS to the Rescue" labelling, Sec. 3.1).
+    pub server_fqdn: Option<String>,
+    /// Notification metadata when the flow is a notification long-poll.
+    pub notify: Option<NotifyMeta>,
+    /// How the flow terminated.
+    pub close: FlowClose,
+}
+
+impl FlowRecord {
+    /// Flow duration from first SYN to last packet.
+    pub fn duration(&self) -> SimDuration {
+        self.last_packet.saturating_since(self.first_syn)
+    }
+
+    /// Total payload bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.up.bytes + self.down.bytes
+    }
+
+    /// Best server name available for classification, in the priority order
+    /// the paper uses: DNS FQDN, then TLS SNI, then certificate CN, then
+    /// the HTTP Host header.
+    pub fn server_name(&self) -> Option<&str> {
+        self.server_fqdn
+            .as_deref()
+            .or(self.tls_sni.as_deref())
+            .or(self.tls_certificate_cn.as_deref())
+            .or(self.http_host.as_deref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::{Endpoint, Ipv4};
+
+    fn record() -> FlowRecord {
+        FlowRecord {
+            key: FlowKey::new(
+                Endpoint::new(Ipv4::new(10, 0, 0, 1), 40_000),
+                Endpoint::new(Ipv4::new(199, 47, 216, 10), 443),
+            ),
+            first_syn: SimTime::from_secs(100),
+            last_packet: SimTime::from_secs(160),
+            up: DirStats::default(),
+            down: DirStats::default(),
+            min_rtt_ms: Some(95.0),
+            rtt_samples: 12,
+            tls_sni: Some("client-lb.dropbox.com".into()),
+            tls_certificate_cn: Some("*.dropbox.com".into()),
+            http_host: None,
+            server_fqdn: None,
+            notify: None,
+            close: FlowClose::Fin,
+        }
+    }
+
+    #[test]
+    fn duration_and_totals() {
+        let mut r = record();
+        r.up.bytes = 1000;
+        r.down.bytes = 5000;
+        assert_eq!(r.duration().secs(), 60);
+        assert_eq!(r.total_bytes(), 6000);
+    }
+
+    #[test]
+    fn server_name_priority() {
+        let mut r = record();
+        assert_eq!(r.server_name(), Some("client-lb.dropbox.com"));
+        r.server_fqdn = Some("client1.dropbox.com".into());
+        assert_eq!(r.server_name(), Some("client1.dropbox.com"));
+        r.server_fqdn = None;
+        r.tls_sni = None;
+        assert_eq!(r.server_name(), Some("*.dropbox.com"));
+        r.tls_certificate_cn = None;
+        assert_eq!(r.server_name(), None);
+    }
+}

@@ -1,0 +1,133 @@
+//! Flow-log serialisation: the anonymised per-flow export format.
+//!
+//! The paper's authors published their flow measurements as anonymised
+//! logs (`http://traces.simpleweb.org/dropbox/`); this module is the
+//! equivalent for the simulated captures — JSON-lines, one
+//! [`FlowRecord`] per line — with reader/writer helpers so downstream
+//! tools can consume exported traces without touching the simulator.
+
+use crate::flow::FlowRecord;
+use std::io::{self, BufRead, Write};
+
+/// Write records as JSON-lines.
+pub fn write_jsonl<W: Write>(mut sink: W, flows: &[FlowRecord]) -> io::Result<()> {
+    for f in flows {
+        let line = serde_json::to_string(f)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        sink.write_all(line.as_bytes())?;
+        sink.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Read records from JSON-lines, skipping blank lines. Fails on the first
+/// malformed record, reporting its line number.
+pub fn read_jsonl<R: BufRead>(source: R) -> io::Result<Vec<FlowRecord>> {
+    let mut out = Vec::new();
+    for (idx, line) in source.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec: FlowRecord = serde_json::from_str(&line).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {e}", idx + 1),
+            )
+        })?;
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+/// Anonymise client addresses in place: replaces each distinct client
+/// address with a sequential identifier in `10.0.0.0/8`, preserving
+/// household groupings but not the original numbering (the paper's probes
+/// exported anonymised addresses for the same reason).
+pub fn anonymise_clients(flows: &mut [FlowRecord]) {
+    use crate::endpoint::Ipv4;
+    use std::collections::HashMap;
+    let mut map: HashMap<Ipv4, Ipv4> = HashMap::new();
+    let mut next: u32 = 1;
+    for f in flows {
+        let anon = *map.entry(f.key.client.ip).or_insert_with(|| {
+            let ip = Ipv4(0x0A00_0000 | next);
+            next += 1;
+            ip
+        });
+        f.key.client.ip = anon;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::{Endpoint, FlowKey, Ipv4};
+    use crate::flow::{DirStats, FlowClose};
+    use simcore::SimTime;
+
+    fn record(client: Ipv4) -> FlowRecord {
+        FlowRecord {
+            key: FlowKey::new(
+                Endpoint::new(client, 40_000),
+                Endpoint::new(Ipv4::new(107, 22, 0, 1), 443),
+            ),
+            first_syn: SimTime::from_secs(10),
+            last_packet: SimTime::from_secs(20),
+            up: DirStats {
+                bytes: 100,
+                ..DirStats::default()
+            },
+            down: DirStats {
+                bytes: 4_200,
+                ..DirStats::default()
+            },
+            min_rtt_ms: Some(92.5),
+            rtt_samples: 11,
+            tls_sni: Some("dl-client1.dropbox.com".into()),
+            tls_certificate_cn: Some("*.dropbox.com".into()),
+            http_host: None,
+            server_fqdn: None,
+            notify: None,
+            close: FlowClose::Fin,
+        }
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let flows = vec![record(Ipv4::new(87, 1, 2, 3)), record(Ipv4::new(87, 1, 2, 4))];
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &flows).unwrap();
+        let parsed = read_jsonl(io::Cursor::new(buf)).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].key, flows[0].key);
+        assert_eq!(parsed[0].min_rtt_ms, flows[0].min_rtt_ms);
+        assert_eq!(parsed[1].down.bytes, 4_200);
+    }
+
+    #[test]
+    fn reader_skips_blank_lines_and_reports_errors() {
+        let input = "\n\n{not json}\n";
+        let err = read_jsonl(io::Cursor::new(input)).unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn anonymisation_is_consistent_and_hides_originals() {
+        let mut flows = vec![
+            record(Ipv4::new(87, 1, 2, 3)),
+            record(Ipv4::new(87, 1, 2, 4)),
+            record(Ipv4::new(87, 1, 2, 3)),
+        ];
+        anonymise_clients(&mut flows);
+        // Same original address -> same anonymised address.
+        assert_eq!(flows[0].key.client.ip, flows[2].key.client.ip);
+        assert_ne!(flows[0].key.client.ip, flows[1].key.client.ip);
+        // Anonymised space.
+        for f in &flows {
+            assert_eq!(f.key.client.ip.octets()[0], 10);
+        }
+        // Server side untouched.
+        assert_eq!(flows[0].key.server.ip, Ipv4::new(107, 22, 0, 1));
+    }
+}

@@ -1,0 +1,34 @@
+//! Packet and flow trace types shared between the traffic generators and
+//! the passive monitor.
+//!
+//! The boundary between "the network" and "the measurement system" in this
+//! reproduction is the [`packet::Packet`]: the TCP model emits packets as
+//! they cross the vantage point, and the `tstat` crate consumes them without
+//! access to any generator state — exactly like a probe on a live link. What
+//! a DPI probe could legitimately read from the wire (TLS handshake server
+//! names, cleartext HTTP, the cleartext notification payloads) is carried by
+//! [`packet::AppMarker`]; everything else about a packet is sizes, flags,
+//! sequence numbers, and timing.
+//!
+//! The crate also provides:
+//!
+//! * [`endpoint`] — IPv4 endpoints and flow keys,
+//! * [`pcap`] — a libpcap file writer that serialises packet streams into
+//!   standard `.pcap` files (synthesising Ethernet/IP/TCP headers), and
+//! * [`flow`] — the Tstat-style per-flow record ([`flow::FlowRecord`]) that
+//!   the monitor exports and the analysis layer consumes, and
+//! * [`flowlog`] — its JSON-lines serialisation with anonymisation,
+//!   mirroring the anonymised flow logs the paper published.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod endpoint;
+pub mod flow;
+pub mod flowlog;
+pub mod packet;
+pub mod pcap;
+
+pub use endpoint::{Endpoint, FlowKey, Ipv4};
+pub use flow::FlowRecord;
+pub use packet::{AppMarker, Packet, TcpFlags};

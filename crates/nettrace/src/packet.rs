@@ -1,0 +1,197 @@
+//! Packets as observed at the vantage point.
+
+use crate::endpoint::Endpoint;
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+use std::fmt;
+
+/// TCP header flags (the subset the monitor cares about).
+#[derive(Clone, Copy, PartialEq, Eq, Default, Hash, Serialize, Deserialize)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    /// FIN flag bit.
+    pub const FIN: TcpFlags = TcpFlags(0x01);
+    /// SYN flag bit.
+    pub const SYN: TcpFlags = TcpFlags(0x02);
+    /// RST flag bit.
+    pub const RST: TcpFlags = TcpFlags(0x04);
+    /// PSH flag bit.
+    pub const PSH: TcpFlags = TcpFlags(0x08);
+    /// ACK flag bit.
+    pub const ACK: TcpFlags = TcpFlags(0x10);
+
+    /// Union of two flag sets.
+    pub const fn union(self, other: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 | other.0)
+    }
+
+    /// True when all bits of `other` are present.
+    pub const fn contains(self, other: TcpFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Convenience predicates.
+    pub const fn syn(self) -> bool {
+        self.contains(TcpFlags::SYN)
+    }
+    /// True when the ACK bit is set.
+    pub const fn ack(self) -> bool {
+        self.contains(TcpFlags::ACK)
+    }
+    /// True when the PSH bit is set.
+    pub const fn psh(self) -> bool {
+        self.contains(TcpFlags::PSH)
+    }
+    /// True when the FIN bit is set.
+    pub const fn fin(self) -> bool {
+        self.contains(TcpFlags::FIN)
+    }
+    /// True when the RST bit is set.
+    pub const fn rst(self) -> bool {
+        self.contains(TcpFlags::RST)
+    }
+}
+
+impl fmt::Debug for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        if self.syn() {
+            parts.push("SYN");
+        }
+        if self.fin() {
+            parts.push("FIN");
+        }
+        if self.rst() {
+            parts.push("RST");
+        }
+        if self.psh() {
+            parts.push("PSH");
+        }
+        if self.ack() {
+            parts.push("ACK");
+        }
+        if parts.is_empty() {
+            write!(f, "∅")
+        } else {
+            write!(f, "{}", parts.join("|"))
+        }
+    }
+}
+
+/// DPI-visible application content of a packet.
+///
+/// This models exactly what the paper's instrumented Tstat could read from
+/// a real packet: TLS handshake fields (cleartext by design), cleartext
+/// HTTP (notification protocol and some direct-link downloads), and the
+/// notification payload (device id + namespace list, Sec. 2.3.1). Encrypted
+/// application data carries `None`.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum AppMarker {
+    /// TLS ClientHello; SNI extension carries the requested server name.
+    TlsClientHello {
+        /// Server name from the SNI extension.
+        sni: String,
+    },
+    /// TLS ServerHello + Certificate; the certificate common name is
+    /// readable (`*.dropbox.com` for all Dropbox services).
+    TlsCertificate {
+        /// Certificate common name.
+        common_name: String,
+    },
+    /// Cleartext HTTP request line + Host header.
+    HttpRequest {
+        /// Value of the Host header.
+        host: String,
+        /// Request path.
+        path: String,
+    },
+    /// Cleartext HTTP response status line.
+    HttpResponse {
+        /// HTTP status code.
+        status: u16,
+    },
+    /// Dropbox notification long-poll request payload. The protocol is
+    /// plain HTTP: the Host header, the device id (`host_int`) and the
+    /// current namespace list are all readable on the wire.
+    NotifyRequest {
+        /// HTTP Host header (`notifyX.dropbox.com`).
+        host: String,
+        /// Unique device identifier.
+        host_int: u64,
+        /// Namespace (shared-folder) identifiers registered on the device.
+        namespaces: Vec<u64>,
+    },
+}
+
+/// One TCP segment crossing the monitored link.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Packet {
+    /// Capture timestamp at the probe.
+    pub ts: SimTime,
+    /// Sender endpoint.
+    pub src: Endpoint,
+    /// Receiver endpoint.
+    pub dst: Endpoint,
+    /// TCP sequence number (byte offset of the first payload byte).
+    pub seq: u32,
+    /// TCP acknowledgment number.
+    pub ack_no: u32,
+    /// Header flags.
+    pub flags: TcpFlags,
+    /// TCP payload bytes carried by this segment.
+    pub payload_len: u32,
+    /// DPI-visible content, when the payload is parseable on the wire.
+    pub marker: Option<AppMarker>,
+}
+
+impl Packet {
+    /// Total on-wire length: Ethernet (14) + IPv4 (20) + TCP (20) + payload.
+    pub fn wire_len(&self) -> u32 {
+        54 + self.payload_len
+    }
+
+    /// True when this segment carries payload.
+    pub fn has_payload(&self) -> bool {
+        self.payload_len > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::{Endpoint, Ipv4};
+
+    fn pkt(flags: TcpFlags, len: u32) -> Packet {
+        Packet {
+            ts: SimTime::EPOCH,
+            src: Endpoint::new(Ipv4::new(10, 0, 0, 1), 1234),
+            dst: Endpoint::new(Ipv4::new(10, 0, 0, 2), 443),
+            seq: 0,
+            ack_no: 0,
+            flags,
+            payload_len: len,
+            marker: None,
+        }
+    }
+
+    #[test]
+    fn flag_predicates() {
+        let f = TcpFlags::SYN.union(TcpFlags::ACK);
+        assert!(f.syn() && f.ack());
+        assert!(!f.psh() && !f.fin() && !f.rst());
+        assert_eq!(format!("{f:?}"), "SYN|ACK");
+    }
+
+    #[test]
+    fn wire_len_includes_headers() {
+        assert_eq!(pkt(TcpFlags::ACK, 0).wire_len(), 54);
+        assert_eq!(pkt(TcpFlags::ACK, 1460).wire_len(), 1514);
+    }
+
+    #[test]
+    fn payload_predicate() {
+        assert!(!pkt(TcpFlags::SYN, 0).has_payload());
+        assert!(pkt(TcpFlags::PSH.union(TcpFlags::ACK), 100).has_payload());
+    }
+}

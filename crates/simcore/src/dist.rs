@@ -1,0 +1,291 @@
+//! Distribution samplers.
+//!
+//! The workload and network models need heavy-tailed and skewed
+//! distributions (file sizes, session lengths, think times, popularity).
+//! Rather than pulling in `rand_distr`, the handful of samplers used by the
+//! paper reproduction are implemented here on top of [`crate::Rng`]; each is
+//! a few lines and unit-tested against its analytic moments.
+
+use crate::rng::Rng;
+
+/// Exponential distribution with the given rate `lambda` (mean `1/lambda`).
+pub fn exponential(rng: &mut Rng, lambda: f64) -> f64 {
+    assert!(lambda > 0.0, "exponential: lambda must be positive");
+    -rng.f64_open().ln() / lambda
+}
+
+/// Standard normal sample via the Box–Muller transform.
+pub fn std_normal(rng: &mut Rng) -> f64 {
+    let u1 = rng.f64_open();
+    let u2 = rng.f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal distribution with mean `mu` and standard deviation `sigma`.
+pub fn normal(rng: &mut Rng, mu: f64, sigma: f64) -> f64 {
+    assert!(sigma >= 0.0, "normal: sigma must be non-negative");
+    mu + sigma * std_normal(rng)
+}
+
+/// Log-normal distribution parameterised by the underlying normal's
+/// `mu` and `sigma` (i.e. `exp(N(mu, sigma^2))`).
+pub fn lognormal(rng: &mut Rng, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Log-normal parameterised by its own *median* and the underlying sigma.
+/// The median of `exp(N(mu, s^2))` is `exp(mu)`, so this is just a more
+/// readable constructor for workload models.
+pub fn lognormal_median(rng: &mut Rng, median: f64, sigma: f64) -> f64 {
+    assert!(median > 0.0, "lognormal_median: median must be positive");
+    lognormal(rng, median.ln(), sigma)
+}
+
+/// Pareto (type I) distribution with scale `x_min` and shape `alpha`.
+pub fn pareto(rng: &mut Rng, x_min: f64, alpha: f64) -> f64 {
+    assert!(x_min > 0.0 && alpha > 0.0, "pareto: invalid parameters");
+    x_min / rng.f64_open().powf(1.0 / alpha)
+}
+
+/// Bounded Pareto on `[lo, hi]` with shape `alpha` (inverse-CDF sampling).
+pub fn bounded_pareto(rng: &mut Rng, lo: f64, hi: f64, alpha: f64) -> f64 {
+    assert!(lo > 0.0 && hi > lo && alpha > 0.0, "bounded_pareto: invalid parameters");
+    let u = rng.f64();
+    let la = lo.powf(alpha);
+    let ha = hi.powf(alpha);
+    // Inverse CDF of the truncated Pareto.
+    (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha)
+}
+
+/// Geometric distribution: number of Bernoulli(p) failures before the first
+/// success, in `{0, 1, 2, …}`.
+pub fn geometric(rng: &mut Rng, p: f64) -> u64 {
+    assert!(p > 0.0 && p <= 1.0, "geometric: p out of range");
+    if p >= 1.0 {
+        return 0;
+    }
+    (rng.f64_open().ln() / (1.0 - p).ln()).floor() as u64
+}
+
+/// Poisson distribution with mean `lambda` (Knuth's method; adequate for
+/// the small means used in the workload models).
+pub fn poisson(rng: &mut Rng, lambda: f64) -> u64 {
+    assert!(lambda >= 0.0, "poisson: negative lambda");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda > 30.0 {
+        // Normal approximation for large means.
+        return normal(rng, lambda, lambda.sqrt()).round().max(0.0) as u64;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.f64();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Zipf-like rank sampler over `[0, n)` with exponent `s`, implemented by
+/// precomputing the CDF. Suitable for moderate `n` (we use it for file and
+/// folder popularity).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the sampler for `n` ranks with exponent `s > 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf: n must be positive");
+        assert!(s > 0.0, "Zipf: s must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Sample a rank in `[0, n)`; rank 0 is the most popular.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let u = rng.f64();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("NaN in CDF"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+/// Weighted categorical sampler over arbitrary items.
+#[derive(Clone, Debug)]
+pub struct Categorical<T: Clone> {
+    items: Vec<T>,
+    cdf: Vec<f64>,
+}
+
+impl<T: Clone> Categorical<T> {
+    /// Build from `(item, weight)` pairs. Weights must be non-negative with
+    /// a positive sum.
+    pub fn new(pairs: &[(T, f64)]) -> Self {
+        assert!(!pairs.is_empty(), "Categorical: empty");
+        let mut items = Vec::with_capacity(pairs.len());
+        let mut cdf = Vec::with_capacity(pairs.len());
+        let mut acc = 0.0;
+        for (item, w) in pairs {
+            assert!(*w >= 0.0, "Categorical: negative weight");
+            acc += *w;
+            items.push(item.clone());
+            cdf.push(acc);
+        }
+        assert!(acc > 0.0, "Categorical: zero total weight");
+        for v in &mut cdf {
+            *v /= acc;
+        }
+        Categorical { items, cdf }
+    }
+
+    /// Sample an item.
+    pub fn sample(&self, rng: &mut Rng) -> &T {
+        let u = rng.f64();
+        let idx = match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("NaN in CDF"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.items.len() - 1),
+        };
+        &self.items[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_of(mut f: impl FnMut(&mut Rng) -> f64, n: usize, seed: u64) -> f64 {
+        let mut rng = Rng::new(seed);
+        (0..n).map(|_| f(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let m = mean_of(|r| exponential(r, 0.5), 200_000, 1);
+        assert!((m - 2.0).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Rng::new(2);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut rng, 3.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median_matches() {
+        let mut rng = Rng::new(3);
+        let n = 100_001;
+        let mut xs: Vec<f64> = (0..n)
+            .map(|_| lognormal_median(&mut rng, 100.0, 1.0))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[n / 2];
+        assert!((median / 100.0 - 1.0).abs() < 0.05, "median {median}");
+    }
+
+    #[test]
+    fn pareto_respects_x_min() {
+        let mut rng = Rng::new(4);
+        for _ in 0..10_000 {
+            assert!(pareto(&mut rng, 5.0, 1.5) >= 5.0);
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_in_range() {
+        let mut rng = Rng::new(5);
+        for _ in 0..10_000 {
+            let x = bounded_pareto(&mut rng, 1.0, 1000.0, 1.2);
+            assert!((1.0..=1000.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_is_heavy_tailed() {
+        let mut rng = Rng::new(6);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n)
+            .map(|_| bounded_pareto(&mut rng, 1.0, 10_000.0, 1.1))
+            .collect();
+        let below10 = xs.iter().filter(|&&x| x < 10.0).count() as f64 / n as f64;
+        // For alpha=1.1 the mass below 10x the minimum is large but not total.
+        assert!(below10 > 0.8 && below10 < 0.95, "below10 {below10}");
+    }
+
+    #[test]
+    fn geometric_mean() {
+        let m = mean_of(|r| geometric(r, 0.25) as f64, 100_000, 7);
+        // mean of failures-before-success = (1-p)/p = 3
+        assert!((m - 3.0).abs() < 0.1, "mean {m}");
+    }
+
+    #[test]
+    fn poisson_mean_small_and_large() {
+        let m = mean_of(|r| poisson(r, 4.0) as f64, 100_000, 8);
+        assert!((m - 4.0).abs() < 0.1, "mean {m}");
+        let m = mean_of(|r| poisson(r, 80.0) as f64, 50_000, 9);
+        assert!((m - 80.0).abs() < 1.0, "mean {m}");
+    }
+
+    #[test]
+    fn zipf_rank_zero_most_popular() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = Rng::new(10);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+    }
+
+    #[test]
+    fn categorical_proportions() {
+        let c = Categorical::new(&[("a", 1.0), ("b", 3.0)]);
+        let mut rng = Rng::new(11);
+        let mut b = 0;
+        for _ in 0..100_000 {
+            if *c.sample(&mut rng) == "b" {
+                b += 1;
+            }
+        }
+        let frac = b as f64 / 100_000.0;
+        assert!((frac - 0.75).abs() < 0.01, "frac {frac}");
+    }
+}

@@ -1,0 +1,347 @@
+//! Statistics helpers: running summaries, quantiles, and empirical CDFs.
+//!
+//! The analysis layer (crate `dropbox-analysis`) reports the same summary
+//! statistics the paper does — medians, averages, and CDFs evaluated at the
+//! paper's reference points. These helpers implement those primitives once.
+
+use serde::{Deserialize, Serialize};
+
+/// Running univariate summary (count, mean, min, max, variance via Welford).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Summary {
+    /// New empty summary.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Add one observation.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        self.sum += x;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Maximum (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merge another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let d = other.mean - self.mean;
+        let mean = self.mean + d * other.n as f64 / n as f64;
+        let m2 = self.m2
+            + other.m2
+            + d * d * self.n as f64 * other.n as f64 / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Quantile of a sample using linear interpolation between order statistics
+/// (the common "type 7" definition). `q` must be in `[0, 1]`.
+/// Returns `None` for an empty sample.
+pub fn quantile(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "quantile: input must be sorted"
+    );
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Some(sorted[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// Median convenience wrapper over [`quantile`].
+pub fn median(sorted: &[f64]) -> Option<f64> {
+    quantile(sorted, 0.5)
+}
+
+/// An empirical CDF over `f64` samples.
+///
+/// Built once from a sample, then queried either as `F(x)` (fraction ≤ x) or
+/// as the inverse `F⁻¹(q)`; it can also be dumped as `(x, F(x))` points for
+/// plotting, with optional subsampling for large inputs.
+///
+/// ```
+/// use simcore::stats::Ecdf;
+/// let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(e.fraction_le(2.0), 0.5);
+/// assert_eq!(e.quantile(1.0), Some(4.0));
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from samples (NaNs are rejected).
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "Ecdf: NaN in samples"
+        );
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        Ecdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples ≤ `x` (0 for an empty CDF).
+    pub fn fraction_le(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF: the smallest sample `v` with `F(v) >= q`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        quantile(&self.sorted, q)
+    }
+
+    /// Arithmetic mean of the sample.
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            0.0
+        } else {
+            self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+        }
+    }
+
+    /// `(x, F(x))` step points, subsampled to at most `max_points`.
+    pub fn points(&self, max_points: usize) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let step = (n / max_points.max(1)).max(1);
+        let mut out = Vec::with_capacity(n / step + 1);
+        let mut i = step - 1;
+        while i < n {
+            out.push((self.sorted[i], (i + 1) as f64 / n as f64));
+            i += step;
+        }
+        if out.last().map(|&(_, f)| f) != Some(1.0) {
+            out.push((self.sorted[n - 1], 1.0));
+        }
+        out
+    }
+
+    /// Access the sorted samples.
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+/// Fixed logarithmic binning, used for the scatter→envelope reductions of
+/// Figs. 9–10 ("divide the x-axis in slots of equal sizes in log scale").
+#[derive(Clone, Debug)]
+pub struct LogBins {
+    lo: f64,
+    ratio: f64,
+    n: usize,
+}
+
+impl LogBins {
+    /// `n` bins covering `[lo, hi]` with logarithmically equal widths.
+    pub fn new(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(lo > 0.0 && hi > lo && n > 0, "LogBins: invalid parameters");
+        LogBins {
+            lo,
+            ratio: (hi / lo).powf(1.0 / n as f64),
+            n,
+        }
+    }
+
+    /// Bin index for `x` (clamped to the edge bins).
+    pub fn index(&self, x: f64) -> usize {
+        if x <= self.lo {
+            return 0;
+        }
+        let idx = (x / self.lo).ln() / self.ratio.ln();
+        (idx as usize).min(self.n - 1)
+    }
+
+    /// Geometric midpoint of bin `i`.
+    pub fn center(&self, i: usize) -> f64 {
+        self.lo * self.ratio.powf(i as f64 + 0.5)
+    }
+
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false: constructed with `n > 0`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_moments() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.add(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn summary_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        let mut whole = Summary::new();
+        for (i, &x) in xs.iter().enumerate() {
+            whole.add(x);
+            if i % 2 == 0 {
+                a.add(x)
+            } else {
+                b.add(x)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(4.0));
+        assert_eq!(median(&xs), Some(2.5));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn ecdf_fractions() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!((e.fraction_le(3.0) - 0.6).abs() < 1e-12);
+        assert_eq!(e.fraction_le(0.5), 0.0);
+        assert_eq!(e.fraction_le(10.0), 1.0);
+        assert_eq!(e.quantile(0.5), Some(3.0));
+    }
+
+    #[test]
+    fn ecdf_points_end_at_one() {
+        let e = Ecdf::new((0..1000).map(|i| i as f64).collect());
+        let pts = e.points(50);
+        assert!(pts.len() <= 52);
+        assert_eq!(pts.last().unwrap().1, 1.0);
+        // Monotone in both coordinates.
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn log_bins_cover_range() {
+        let b = LogBins::new(1.0, 1024.0, 10);
+        assert_eq!(b.index(0.5), 0);
+        assert_eq!(b.index(1.0), 0);
+        assert_eq!(b.index(2000.0), 9);
+        // Centers grow geometrically.
+        assert!(b.center(5) / b.center(4) > 1.0);
+    }
+}

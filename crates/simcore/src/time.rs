@@ -1,0 +1,426 @@
+//! Simulated time.
+//!
+//! The simulated clock counts microseconds from the *capture epoch*,
+//! 2012-03-24 00:00:00 local time — the first day of the paper's trace
+//! collection. The epoch fell on a **Saturday**, which the calendar helpers
+//! rely on when classifying working days for the diurnal analyses
+//! (Figs. 14–15 of the paper).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Microseconds in one second.
+pub const MICROS_PER_SEC: u64 = 1_000_000;
+/// Microseconds in one day.
+pub const MICROS_PER_DAY: u64 = 86_400 * MICROS_PER_SEC;
+
+/// Weekday of the capture epoch (2012-03-24). Used by [`SimTime::weekday`].
+const EPOCH_WEEKDAY: Weekday = Weekday::Sat;
+
+/// An instant in simulated time, in microseconds since the capture epoch.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in microseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+/// Day of week, for seasonality modelling.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Weekday {
+    Mon,
+    Tue,
+    Wed,
+    Thu,
+    Fri,
+    Sat,
+    Sun,
+}
+
+impl Weekday {
+    /// All weekdays, Monday-first.
+    pub const ALL: [Weekday; 7] = [
+        Weekday::Mon,
+        Weekday::Tue,
+        Weekday::Wed,
+        Weekday::Thu,
+        Weekday::Fri,
+        Weekday::Sat,
+        Weekday::Sun,
+    ];
+
+    /// Monday-based index (Mon = 0 … Sun = 6).
+    pub fn index(self) -> usize {
+        match self {
+            Weekday::Mon => 0,
+            Weekday::Tue => 1,
+            Weekday::Wed => 2,
+            Weekday::Thu => 3,
+            Weekday::Fri => 4,
+            Weekday::Sat => 5,
+            Weekday::Sun => 6,
+        }
+    }
+
+    /// True for Saturday and Sunday.
+    pub fn is_weekend(self) -> bool {
+        matches!(self, Weekday::Sat | Weekday::Sun)
+    }
+}
+
+impl SimTime {
+    /// The capture epoch itself (t = 0).
+    pub const EPOCH: SimTime = SimTime(0);
+
+    /// Construct from raw microseconds since the epoch.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Construct from whole seconds since the epoch.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * MICROS_PER_SEC)
+    }
+
+    /// Construct from whole milliseconds since the epoch.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// Construct from a day index and an offset within that day.
+    pub const fn from_day_offset(day: u32, offset: SimDuration) -> Self {
+        SimTime(day as u64 * MICROS_PER_DAY + offset.0)
+    }
+
+    /// Raw microseconds since the epoch.
+    pub const fn micros(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds since the epoch (truncating).
+    pub const fn secs(self) -> u64 {
+        self.0 / MICROS_PER_SEC
+    }
+
+    /// Seconds since the epoch as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// Day index since the capture start (day 0 = 2012-03-24).
+    pub const fn day(self) -> u32 {
+        (self.0 / MICROS_PER_DAY) as u32
+    }
+
+    /// Hour of day, 0–23.
+    pub const fn hour(self) -> u32 {
+        ((self.0 % MICROS_PER_DAY) / (3_600 * MICROS_PER_SEC)) as u32
+    }
+
+    /// Offset within the current day.
+    pub const fn time_of_day(self) -> SimDuration {
+        SimDuration(self.0 % MICROS_PER_DAY)
+    }
+
+    /// Day of week of this instant.
+    pub fn weekday(self) -> Weekday {
+        let idx = (EPOCH_WEEKDAY.index() + self.day() as usize) % 7;
+        Weekday::ALL[idx]
+    }
+
+    /// True when the instant falls on a Saturday or Sunday.
+    pub fn is_weekend(self) -> bool {
+        self.weekday().is_weekend()
+    }
+
+    /// Saturating subtraction; returns zero duration if `earlier` is later.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, d: SimDuration) -> Option<SimTime> {
+        self.0.checked_add(d.0).map(SimTime)
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * MICROS_PER_SEC)
+    }
+
+    /// Construct from minutes.
+    pub const fn from_mins(m: u64) -> Self {
+        SimDuration(m * 60 * MICROS_PER_SEC)
+    }
+
+    /// Construct from hours.
+    pub const fn from_hours(h: u64) -> Self {
+        SimDuration(h * 3_600 * MICROS_PER_SEC)
+    }
+
+    /// Construct from days.
+    pub const fn from_days(d: u64) -> Self {
+        SimDuration(d * MICROS_PER_DAY)
+    }
+
+    /// Construct from fractional seconds. Panics on negative or non-finite input.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "invalid duration: {s}");
+        SimDuration((s * MICROS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Raw microseconds.
+    pub const fn micros(self) -> u64 {
+        self.0
+    }
+
+    /// Whole milliseconds (truncating).
+    pub const fn millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Whole seconds (truncating).
+    pub const fn secs(self) -> u64 {
+        self.0 / MICROS_PER_SEC
+    }
+
+    /// Seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// True when the span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Scale by a non-negative float (rounds to the nearest microsecond).
+    pub fn mul_f64(self, k: f64) -> SimDuration {
+        assert!(k.is_finite() && k >= 0.0, "invalid scale: {k}");
+        SimDuration((self.0 as f64 * k).round() as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let day = self.day();
+        let rem = self.0 % MICROS_PER_DAY;
+        let h = rem / (3_600 * MICROS_PER_SEC);
+        let m = (rem / (60 * MICROS_PER_SEC)) % 60;
+        let s = (rem / MICROS_PER_SEC) % 60;
+        let us = rem % MICROS_PER_SEC;
+        write!(f, "d{day}+{h:02}:{m:02}:{s:02}.{us:06}")
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= MICROS_PER_SEC {
+            write!(f, "{:.6}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1_000.0)
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// The calendar of the paper's capture: 42 days, 2012-03-24 … 2012-05-04,
+/// with the holidays the paper notes ("exceptions around holidays in April
+/// and May": Easter Apr 8–9, Liberation Day Apr 25, May 1).
+pub struct CaptureCalendar;
+
+impl CaptureCalendar {
+    /// Number of days of the main capture.
+    pub const DAYS: u32 = 42;
+
+    /// Day indices that are public holidays in the monitored countries.
+    /// Day 0 = 2012-03-24. Easter Sunday = Apr 8 = day 15, Easter Monday =
+    /// day 16, Apr 25 (Italian Liberation Day) = day 32, May 1 = day 38.
+    pub const HOLIDAYS: [u32; 4] = [15, 16, 32, 38];
+
+    /// True when `day` is a holiday.
+    pub fn is_holiday(day: u32) -> bool {
+        Self::HOLIDAYS.contains(&day)
+    }
+
+    /// True when `day` is a working day (not weekend, not holiday).
+    pub fn is_working_day(day: u32) -> bool {
+        let t = SimTime::from_day_offset(day, SimDuration::ZERO);
+        !t.is_weekend() && !Self::is_holiday(day)
+    }
+
+    /// Human-readable date label (`MM-DD`) for a capture day index.
+    pub fn date_label(day: u32) -> String {
+        // Day 0 = March 24. March has 31 days, April 30.
+        let mut d = 24 + day;
+        let mut month = 3;
+        for len in [31u32, 30, 31] {
+            if d <= len {
+                break;
+            }
+            d -= len;
+            month += 1;
+        }
+        format!("{month:02}-{d:02}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_saturday() {
+        assert_eq!(SimTime::EPOCH.weekday(), Weekday::Sat);
+        assert!(SimTime::EPOCH.is_weekend());
+    }
+
+    #[test]
+    fn day_and_hour_arithmetic() {
+        let t = SimTime::from_day_offset(3, SimDuration::from_hours(14))
+            + SimDuration::from_mins(30);
+        assert_eq!(t.day(), 3);
+        assert_eq!(t.hour(), 14);
+        assert_eq!(t.weekday(), Weekday::Tue);
+    }
+
+    #[test]
+    fn duration_roundtrip_f64() {
+        let d = SimDuration::from_secs_f64(1.5);
+        assert_eq!(d.micros(), 1_500_000);
+        assert!((d.as_secs_f64() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_subtraction() {
+        let a = SimTime::from_secs(100);
+        let b = SimTime::from_secs(250);
+        assert_eq!((b - a).secs(), 150);
+        assert_eq!(a.saturating_since(b), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn calendar_labels() {
+        assert_eq!(CaptureCalendar::date_label(0), "03-24");
+        assert_eq!(CaptureCalendar::date_label(7), "03-31");
+        assert_eq!(CaptureCalendar::date_label(8), "04-01");
+        assert_eq!(CaptureCalendar::date_label(41), "05-04");
+    }
+
+    #[test]
+    fn working_days_respect_weekends_and_holidays() {
+        // Day 0 (Sat) and day 1 (Sun) are weekend.
+        assert!(!CaptureCalendar::is_working_day(0));
+        assert!(!CaptureCalendar::is_working_day(1));
+        // Day 2 is Monday 2012-03-26.
+        assert!(CaptureCalendar::is_working_day(2));
+        // Easter Monday.
+        assert!(!CaptureCalendar::is_working_day(16));
+        // May 1.
+        assert!(!CaptureCalendar::is_working_day(38));
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = SimTime::from_day_offset(1, SimDuration::from_secs(3_661));
+        assert_eq!(format!("{t}"), "d1+01:01:01.000000");
+        assert_eq!(format!("{}", SimDuration::from_millis(5)), "5.000ms");
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests of the simulation core.
+
+use proptest::prelude::*;
+use simcore::dist::{bounded_pareto, exponential, lognormal_median, Categorical, Zipf};
+use simcore::stats::{quantile, LogBins};
+use simcore::time::{SimDuration, SimTime};
+use simcore::{EventQueue, Rng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Samplers stay inside their mathematical domains for any seed and
+    /// reasonable parameters.
+    #[test]
+    fn samplers_stay_in_domain(seed in any::<u64>(), lambda in 0.001f64..100.0,
+                               median in 0.001f64..1e9, sigma in 0.0f64..4.0) {
+        let mut rng = Rng::new(seed);
+        let e = exponential(&mut rng, lambda);
+        prop_assert!(e.is_finite() && e >= 0.0);
+        let l = lognormal_median(&mut rng, median, sigma);
+        prop_assert!(l.is_finite() && l > 0.0);
+        let p = bounded_pareto(&mut rng, 1.0, 1e6, 1.3);
+        prop_assert!((1.0..=1e6).contains(&p));
+    }
+
+    /// Zipf ranks are always valid indices.
+    #[test]
+    fn zipf_in_range(seed in any::<u64>(), n in 1usize..500, s in 0.1f64..3.0) {
+        let z = Zipf::new(n, s);
+        let mut rng = Rng::new(seed);
+        for _ in 0..50 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    /// Categorical with one positive weight always returns that item.
+    #[test]
+    fn categorical_degenerate(seed in any::<u64>(), idx in 0usize..5) {
+        let pairs: Vec<(usize, f64)> = (0..5).map(|i| (i, if i == idx { 1.0 } else { 0.0 })).collect();
+        let c = Categorical::new(&pairs);
+        let mut rng = Rng::new(seed);
+        for _ in 0..20 {
+            prop_assert_eq!(*c.sample(&mut rng), idx);
+        }
+    }
+
+    /// Quantiles are bounded by the sample extremes and monotone in q.
+    #[test]
+    fn quantiles_bounded_and_monotone(mut xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let lo = xs[0];
+        let hi = *xs.last().unwrap();
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=10 {
+            let q = i as f64 / 10.0;
+            let v = quantile(&xs, q).unwrap();
+            prop_assert!((lo..=hi).contains(&v));
+            prop_assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    /// LogBins: the center of a bin maps back to that bin.
+    #[test]
+    fn log_bins_center_roundtrip(lo in 1.0f64..100.0, factor in 2.0f64..1e6, n in 1usize..200) {
+        let bins = LogBins::new(lo, lo * factor, n);
+        for i in 0..n {
+            prop_assert_eq!(bins.index(bins.center(i)), i);
+        }
+    }
+
+    /// The event queue pops any schedule in sorted order with FIFO ties.
+    #[test]
+    fn event_queue_total_order(times in proptest::collection::vec(0u64..1_000, 0..300)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_secs(t), (t, i));
+        }
+        let mut popped = Vec::new();
+        while let Some((at, (t, i))) = q.pop() {
+            prop_assert_eq!(at, SimTime::from_secs(t));
+            popped.push((t, i));
+        }
+        // Sorted by time, FIFO (insertion index) among equal times.
+        let mut expected = popped.clone();
+        expected.sort_by_key(|&(t, i)| (t, i));
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// Forked RNG streams never collide on their first outputs for
+    /// distinct labels (sanity of the splitting construction).
+    #[test]
+    fn fork_labels_distinct(seed in any::<u64>(), a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(a != b);
+        let root = Rng::new(seed);
+        let mut fa = root.fork(a);
+        let mut fb = root.fork(b);
+        prop_assert_ne!(fa.next_u64(), fb.next_u64());
+    }
+
+    /// Calendar arithmetic: day/hour decomposition recomposes.
+    #[test]
+    fn time_decomposition(day in 0u32..42, secs in 0u64..86_400) {
+        let t = SimTime::from_day_offset(day, SimDuration::from_secs(secs));
+        prop_assert_eq!(t.day(), day);
+        prop_assert_eq!(t.hour() as u64, secs / 3_600);
+        prop_assert_eq!(t.time_of_day().secs(), secs);
+    }
+}

@@ -1,0 +1,694 @@
+//! The per-connection TCP simulator.
+//!
+//! [`simulate`] plays a [`Dialogue`] over a modelled path and appends every
+//! packet that crosses the vantage-point probe to the output buffer, in
+//! chronological order. The transfer engine is round-based: each RTT the
+//! sender emits up to a congestion window of segments, the receiver
+//! acknowledges (delayed ACKs), and the window evolves by slow start /
+//! congestion avoidance, with fast-retransmit and RTO recovery on loss.
+//! This is the granularity at which the paper's effects live — slow-start
+//! latency for small flows (Fig. 9's θ bound), sequential-acknowledgment
+//! stalls for many-chunk flows (Fig. 10), and retransmission counts.
+
+use crate::dialogue::{CloseMode, Dialogue, Direction};
+use crate::params::{PathParams, TcpParams};
+use nettrace::{AppMarker, FlowKey, Packet, TcpFlags};
+use simcore::{Rng, SimDuration, SimTime};
+
+/// Result of simulating one connection.
+#[derive(Clone, Debug)]
+pub struct ConnSummary {
+    /// When the three-way handshake completed at the client.
+    pub established: SimTime,
+    /// Probe timestamp of the last packet of the connection.
+    pub last_packet: SimTime,
+    /// Delivery time (arrival of the last byte at the receiver) of each
+    /// message, in dialogue order.
+    pub deliveries: Vec<SimTime>,
+    /// Application payload bytes sent by the client (including TLS framing).
+    pub bytes_up: u64,
+    /// Application payload bytes sent by the server.
+    pub bytes_down: u64,
+    /// Retransmitted segments, client direction.
+    pub rtx_up: u64,
+    /// Retransmitted segments, server direction.
+    pub rtx_down: u64,
+}
+
+/// Per-direction sender state.
+struct Sender {
+    next_seq: u32,
+    cwnd: f64,
+    ssthresh: f64,
+    initcwnd: f64,
+    last_activity: SimTime,
+    bytes_sent: u64,
+    rtx_segments: u64,
+}
+
+impl Sender {
+    fn new(initcwnd: u32, now: SimTime) -> Self {
+        Sender {
+            next_seq: 1, // SYN consumed sequence 0
+            cwnd: initcwnd as f64,
+            ssthresh: f64::INFINITY,
+            initcwnd: initcwnd as f64,
+            last_activity: now,
+            bytes_sent: 0,
+            rtx_segments: 0,
+        }
+    }
+
+    /// Slow-start restart after idle.
+    fn maybe_idle_restart(&mut self, now: SimTime, idle_after: SimDuration) {
+        if now.saturating_since(self.last_activity) > idle_after {
+            self.cwnd = self.initcwnd;
+            self.ssthresh = f64::INFINITY;
+        }
+    }
+
+    fn on_ack_progress(&mut self, acked_segments: u32) {
+        for _ in 0..acked_segments {
+            if self.cwnd < self.ssthresh {
+                self.cwnd += 1.0; // slow start: doubles per RTT
+            } else {
+                self.cwnd += 1.0 / self.cwnd; // congestion avoidance
+            }
+        }
+    }
+
+    fn on_loss(&mut self, fast: bool) {
+        self.ssthresh = (self.cwnd / 2.0).max(2.0);
+        self.cwnd = if fast { self.ssthresh } else { 1.0 };
+    }
+}
+
+/// Everything needed to emit probe-timestamped packets.
+struct Wire<'a> {
+    key: FlowKey,
+    path: &'a PathParams,
+    out: &'a mut Vec<Packet>,
+    last_ts: SimTime,
+}
+
+impl Wire<'_> {
+    /// One-way latency from the sender of `dir` to the probe.
+    fn to_probe(&self, dir: Direction) -> SimDuration {
+        match dir {
+            Direction::Up => self.path.inner_rtt / 2,
+            Direction::Down => self.path.outer_rtt / 2,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit(
+        &mut self,
+        dir: Direction,
+        send_time: SimTime,
+        seq: u32,
+        ack_no: u32,
+        flags: TcpFlags,
+        payload: u32,
+        marker: Option<AppMarker>,
+    ) {
+        let ts = send_time + self.to_probe(dir);
+        let (src, dst) = match dir {
+            Direction::Up => (self.key.client, self.key.server),
+            Direction::Down => (self.key.server, self.key.client),
+        };
+        self.last_ts = self.last_ts.max(ts);
+        self.out.push(Packet {
+            ts,
+            src,
+            dst,
+            seq,
+            ack_no,
+            flags,
+            payload_len: payload,
+            marker,
+        });
+    }
+}
+
+/// Simulate one connection; packets are appended to `out` and then the
+/// appended range is sorted by probe timestamp.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate(
+    start: SimTime,
+    key: FlowKey,
+    dialogue: &Dialogue,
+    path: &PathParams,
+    tcp: &TcpParams,
+    rng: &mut Rng,
+    out: &mut Vec<Packet>,
+) -> ConnSummary {
+    let first_new = out.len();
+    let mut wire = Wire {
+        key,
+        path,
+        out,
+        last_ts: start,
+    };
+    let total_rtt = path.total_rtt();
+
+    // --- Three-way handshake -------------------------------------------
+    // SYN / SYN-ACK / ACK. Handshake loss is not modelled (negligible for
+    // every analysis in the paper).
+    wire.emit(Direction::Up, start, 0, 0, TcpFlags::SYN, 0, None);
+    let synack_time = start + total_rtt / 2;
+    wire.emit(
+        Direction::Down,
+        synack_time,
+        0,
+        1,
+        TcpFlags::SYN.union(TcpFlags::ACK),
+        0,
+        None,
+    );
+    let established = start + total_rtt;
+    wire.emit(Direction::Up, established, 1, 1, TcpFlags::ACK, 0, None);
+
+    let mut up = Sender::new(tcp.client_initcwnd, established);
+    let mut down = Sender::new(tcp.server_initcwnd, established);
+    // Cumulative bytes received per direction (for ACK numbers).
+    let mut recvd_up: u32 = 1;
+    let mut recvd_down: u32 = 1;
+
+    let mut deliveries = Vec::with_capacity(dialogue.messages.len());
+    // Time at which the next message may be triggered.
+    let mut ready = established;
+
+    for msg in &dialogue.messages {
+        let trigger = ready + msg.delay;
+        let mut clock = trigger;
+        // The peer only sends ACKs during this message, so its sequence
+        // number is fixed for the duration; capture it before borrowing.
+        let peer_next_seq = match msg.dir {
+            Direction::Up => down.next_seq,
+            Direction::Down => up.next_seq,
+        };
+        let sender = match msg.dir {
+            Direction::Up => &mut up,
+            Direction::Down => &mut down,
+        };
+        sender.maybe_idle_restart(trigger, tcp.idle_restart);
+
+        // Build the segment plan for the whole message: (len, psh, marker).
+        let mut segments: Vec<(u32, bool, Option<AppMarker>)> = Vec::new();
+        for w in &msg.writes {
+            debug_assert!(w.size > 0, "zero-size write");
+            let mut remaining = w.size;
+            let mut first = true;
+            while remaining > 0 {
+                let len = remaining.min(tcp.mss);
+                remaining -= len;
+                let marker = if first { w.marker.clone() } else { None };
+                first = false;
+                segments.push((len, remaining == 0, marker));
+            }
+        }
+
+        let rate = match msg.dir {
+            Direction::Up => path.up_rate,
+            Direction::Down => path.down_rate,
+        };
+
+        // Round-based transfer with a retransmission queue.
+        let mut idx = 0usize; // next fresh segment
+        let mut rtx_queue: Vec<(u32, u32, bool)> = Vec::new(); // (seq, len, psh)
+        let mut last_arrival = clock;
+        while idx < segments.len() || !rtx_queue.is_empty() {
+            let rtt_round =
+                total_rtt.mul_f64(1.0 + path.jitter * rng.f64());
+            let window = (sender.cwnd as u32).clamp(1, tcp.rwnd_segments) as usize;
+
+            // Compose this round's burst: retransmissions first.
+            let mut burst: Vec<(u32, u32, bool, Option<AppMarker>, bool)> = Vec::new();
+            for &(seq, len, psh) in rtx_queue.iter().take(window) {
+                burst.push((seq, len, psh, None, true));
+            }
+            let rtx_in_burst = burst.len();
+            rtx_queue.drain(..rtx_in_burst);
+            while burst.len() < window && idx < segments.len() {
+                let (len, psh, marker) = segments[idx].clone();
+                burst.push((sender.next_seq, len, psh, marker, false));
+                sender.next_seq = sender.next_seq.wrapping_add(len);
+                idx += 1;
+            }
+
+            let burst_bytes: u64 = burst.iter().map(|s| s.1 as u64).sum();
+            // Serialisation time under an access-rate cap.
+            let serialize = rate
+                .map(|r| SimDuration::from_secs_f64(burst_bytes as f64 / r as f64))
+                .unwrap_or(SimDuration::ZERO);
+
+            let loss_p = match msg.dir {
+                Direction::Up => path.loss_up,
+                Direction::Down => path.loss_down,
+            };
+
+            let peer_ack_base = match msg.dir {
+                Direction::Up => recvd_down, // server acks carry its own recv count
+                Direction::Down => recvd_up,
+            };
+
+            let mut delivered = 0usize;
+            let mut lost: Vec<(u32, u32, bool)> = Vec::new();
+            let mut first_hole: Option<u32> = None;
+            let n = burst.len();
+            for (i, (seq, len, psh, marker, is_rtx)) in burst.into_iter().enumerate() {
+                // Spread segments across the serialisation window.
+                let offset = if n > 1 {
+                    serialize.mul_f64(i as f64 / n as f64)
+                } else {
+                    SimDuration::ZERO
+                };
+                let send_t = clock + offset;
+                let mut flags = TcpFlags::ACK;
+                if psh {
+                    flags = flags.union(TcpFlags::PSH);
+                }
+                wire.emit(msg.dir, send_t, seq, peer_ack_base, flags, len, marker);
+                sender.bytes_sent += len as u64;
+                if is_rtx {
+                    sender.rtx_segments += 1;
+                }
+                let dropped = loss_p > 0.0 && rng.chance(loss_p);
+                if dropped && !is_rtx {
+                    lost.push((seq, len, psh));
+                    if first_hole.is_none() {
+                        first_hole = Some(seq);
+                    }
+                } else {
+                    delivered += 1;
+                    // Receiver-side bookkeeping happens below.
+                    let arrival = send_t + rtt_round / 2;
+                    last_arrival = last_arrival.max(arrival);
+                }
+            }
+
+            // Receiver ACKs: cumulative up to the first hole; one delayed
+            // ACK per two delivered segments (at least one).
+            let delivered_bytes: u32 = if lost.is_empty() {
+                burst_bytes as u32
+            } else {
+                // Bytes before the first hole.
+                let hole = first_hole.expect("hole recorded");
+                hole.wrapping_sub(match msg.dir {
+                    Direction::Up => recvd_up,
+                    Direction::Down => recvd_down,
+                })
+            };
+            let new_recvd = match msg.dir {
+                Direction::Up => {
+                    recvd_up = recvd_up.wrapping_add(delivered_bytes);
+                    recvd_up
+                }
+                Direction::Down => {
+                    recvd_down = recvd_down.wrapping_add(delivered_bytes);
+                    recvd_down
+                }
+            };
+            if delivered > 0 {
+                let n_acks = delivered.div_ceil(2);
+                let ack_time = clock + serialize + rtt_round / 2;
+                for a in 0..n_acks {
+                    // Dup-ACKs all carry the same cumulative number when a
+                    // hole exists; spacing is cosmetic.
+                    let t = ack_time + SimDuration::from_micros(a as u64 * 50);
+                    wire.emit(
+                        msg.dir.flip(),
+                        t,
+                        peer_next_seq,
+                        new_recvd,
+                        TcpFlags::ACK,
+                        0,
+                        None,
+                    );
+                }
+            }
+
+            // Window evolution and next-round clock.
+            if lost.is_empty() {
+                sender.on_ack_progress(delivered as u32);
+                clock = clock + serialize.max(SimDuration::ZERO) + rtt_round;
+                // When everything has been sent we do not need to wait for
+                // the final ACK round to trigger the peer's reply: the peer
+                // reacts to the *arrival* of the data. `clock` advances for
+                // the sender only.
+            } else {
+                let fast = delivered >= 3;
+                sender.on_loss(fast);
+                rtx_queue.splice(0..0, lost);
+                let recovery = if fast {
+                    rtt_round
+                } else {
+                    tcp.min_rto.max(rtt_round * 2)
+                };
+                clock = clock + serialize + recovery;
+            }
+        }
+        sender.last_activity = clock;
+        // Delivery: when the last byte reached the receiver.
+        deliveries.push(last_arrival);
+        ready = last_arrival;
+    }
+
+    // --- Close ----------------------------------------------------------
+    match dialogue.close {
+        CloseMode::ServerIdleTimeout { idle, alert_size } => {
+            let t = ready + idle;
+            // Alert (PSH) + FIN in one segment, then client RST.
+            wire.emit(
+                Direction::Down,
+                t,
+                down.next_seq,
+                recvd_up,
+                TcpFlags::PSH.union(TcpFlags::ACK).union(TcpFlags::FIN),
+                alert_size,
+                None,
+            );
+            down.bytes_sent += alert_size as u64;
+            let rst_t = t + total_rtt / 2;
+            wire.emit(
+                Direction::Up,
+                rst_t,
+                up.next_seq,
+                recvd_down,
+                TcpFlags::RST,
+                0,
+                None,
+            );
+        }
+        CloseMode::ClientFin { delay } => {
+            let t = ready + delay;
+            wire.emit(
+                Direction::Up,
+                t,
+                up.next_seq,
+                recvd_down,
+                TcpFlags::FIN.union(TcpFlags::ACK),
+                0,
+                None,
+            );
+            let t2 = t + total_rtt / 2;
+            wire.emit(
+                Direction::Down,
+                t2,
+                down.next_seq,
+                recvd_up.wrapping_add(1),
+                TcpFlags::FIN.union(TcpFlags::ACK),
+                0,
+                None,
+            );
+            wire.emit(
+                Direction::Up,
+                t + total_rtt,
+                up.next_seq.wrapping_add(1),
+                recvd_down.wrapping_add(1),
+                TcpFlags::ACK,
+                0,
+                None,
+            );
+        }
+        CloseMode::ClientRst { delay } => {
+            let t = ready + delay;
+            wire.emit(
+                Direction::Up,
+                t,
+                up.next_seq,
+                recvd_down,
+                TcpFlags::RST,
+                0,
+                None,
+            );
+        }
+        CloseMode::LeftOpen => {}
+    }
+
+    let last_packet = wire.last_ts;
+    out[first_new..].sort_by_key(|p| p.ts);
+
+    ConnSummary {
+        established,
+        last_packet,
+        deliveries,
+        bytes_up: up.bytes_sent,
+        bytes_down: down.bytes_sent,
+        rtx_up: up.rtx_segments,
+        rtx_down: down.rtx_segments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dialogue::{Message, Write};
+    use nettrace::{Endpoint, Ipv4};
+
+    fn key() -> FlowKey {
+        FlowKey::new(
+            Endpoint::new(Ipv4::new(10, 0, 0, 1), 40_000),
+            Endpoint::new(Ipv4::new(199, 47, 216, 10), 443),
+        )
+    }
+
+    fn path_100ms() -> PathParams {
+        PathParams {
+            inner_rtt: SimDuration::from_millis(10),
+            outer_rtt: SimDuration::from_millis(90),
+            jitter: 0.0,
+            loss_up: 0.0,
+            loss_down: 0.0,
+            up_rate: None,
+            down_rate: None,
+        }
+    }
+
+    fn run(dialogue: Dialogue, path: PathParams) -> (Vec<Packet>, ConnSummary) {
+        let mut out = Vec::new();
+        let mut rng = Rng::new(1);
+        let s = simulate(
+            SimTime::from_secs(10),
+            key(),
+            &dialogue,
+            &path,
+            &TcpParams::era_2012_v1(),
+            &mut rng,
+            &mut out,
+        );
+        (out, s)
+    }
+
+    #[test]
+    fn handshake_rtt_visible_at_probe() {
+        let d = Dialogue::new(vec![Message::simple(
+            Direction::Up,
+            SimDuration::ZERO,
+            100,
+        )])
+        .with_close(CloseMode::LeftOpen);
+        let (pkts, _) = run(d, path_100ms());
+        let syn = pkts.iter().find(|p| p.flags.syn() && !p.flags.ack()).unwrap();
+        let synack = pkts.iter().find(|p| p.flags.syn() && p.flags.ack()).unwrap();
+        // Probe-to-server RTT = outer_rtt = 90 ms.
+        assert_eq!((synack.ts - syn.ts).millis(), 90);
+    }
+
+    #[test]
+    fn packets_are_chronological() {
+        let d = Dialogue::new(vec![
+            Message::simple(Direction::Up, SimDuration::ZERO, 50_000),
+            Message::simple(Direction::Down, SimDuration::from_millis(10), 200_000),
+        ]);
+        let (pkts, _) = run(d, path_100ms());
+        for w in pkts.windows(2) {
+            assert!(w[0].ts <= w[1].ts);
+        }
+    }
+
+    #[test]
+    fn psh_on_write_boundaries() {
+        let d = Dialogue::new(vec![Message {
+            dir: Direction::Up,
+            delay: SimDuration::ZERO,
+            writes: vec![Write::plain(3_000), Write::plain(500)],
+        }])
+        .with_close(CloseMode::LeftOpen);
+        let (pkts, _) = run(d, path_100ms());
+        let psh: Vec<&Packet> = pkts
+            .iter()
+            .filter(|p| p.flags.psh() && p.payload_len > 0)
+            .collect();
+        // Two writes -> exactly two PSH segments.
+        assert_eq!(psh.len(), 2);
+        // The first write spans 3 segments (mss 1430), PSH on the last.
+        assert_eq!(psh[0].payload_len, 3_000 - 2 * 1430);
+        assert_eq!(psh[1].payload_len, 500);
+    }
+
+    #[test]
+    fn slow_start_doubles_rounds() {
+        // 100 kB with initcwnd 3, mss 1430: segments = 70.
+        // Rounds: 3+6+12+24+48 -> 5 rounds in slow start.
+        let size = 100_000u32;
+        let d = Dialogue::new(vec![Message::simple(Direction::Up, SimDuration::ZERO, size)])
+            .with_close(CloseMode::LeftOpen);
+        let (_, s) = run(d, path_100ms());
+        let established = s.established;
+        let transfer = s.deliveries[0] - established;
+        // Expect ~4*RTT (rounds after the first) + 0.5 RTT final propagation,
+        // allow the inner/outer split tolerance.
+        let rtts = transfer.as_secs_f64() / 0.1;
+        assert!(rtts > 4.0 && rtts < 5.5, "rtts = {rtts}");
+    }
+
+    #[test]
+    fn sequential_messages_wait_for_delivery() {
+        // Request/response: the response trigger includes the request's
+        // one-way delivery plus the server reaction delay.
+        let d = Dialogue::new(vec![
+            Message::simple(Direction::Up, SimDuration::ZERO, 400),
+            Message::simple(Direction::Down, SimDuration::from_millis(20), 400),
+        ])
+        .with_close(CloseMode::LeftOpen);
+        let (_, s) = run(d, path_100ms());
+        let gap = (s.deliveries[1] - s.deliveries[0]).as_secs_f64();
+        // one-way back (50ms) + 20ms reaction = ~70ms.
+        assert!((gap - 0.07).abs() < 0.02, "gap = {gap}");
+    }
+
+    #[test]
+    fn loss_produces_retransmissions() {
+        let mut path = path_100ms();
+        path.loss_up = 0.05;
+        let d = Dialogue::new(vec![Message::simple(
+            Direction::Up,
+            SimDuration::ZERO,
+            500_000,
+        )])
+        .with_close(CloseMode::LeftOpen);
+        let (pkts, s) = run(d, path);
+        assert!(s.rtx_up > 0, "expected retransmissions");
+        // Retransmitted seqs appear at least twice.
+        let mut seqs: Vec<u32> = pkts
+            .iter()
+            .filter(|p| p.payload_len > 0 && p.src == key().client)
+            .map(|p| p.seq)
+            .collect();
+        seqs.sort_unstable();
+        let dups = seqs.windows(2).filter(|w| w[0] == w[1]).count();
+        assert!(dups as u64 >= s.rtx_up);
+        // All bytes still delivered exactly once at the app level.
+        assert_eq!(s.bytes_up, 500_000 + s.rtx_up * 1430);
+    }
+
+    #[test]
+    fn no_loss_no_retransmissions() {
+        let d = Dialogue::new(vec![Message::simple(
+            Direction::Up,
+            SimDuration::ZERO,
+            1_000_000,
+        )])
+        .with_close(CloseMode::LeftOpen);
+        let (_, s) = run(d, path_100ms());
+        assert_eq!(s.rtx_up, 0);
+        assert_eq!(s.bytes_up, 1_000_000);
+    }
+
+    #[test]
+    fn rate_cap_limits_throughput() {
+        let mut path = path_100ms();
+        path.up_rate = Some(64_000); // 512 kbit/s ADSL-ish uplink
+        let size = 512_000u32;
+        let d = Dialogue::new(vec![Message::simple(Direction::Up, SimDuration::ZERO, size)])
+            .with_close(CloseMode::LeftOpen);
+        let (_, s) = run(d, path);
+        let secs = (s.deliveries[0] - s.established).as_secs_f64();
+        let rate = size as f64 / secs;
+        assert!(rate < 70_000.0, "rate = {rate} B/s exceeds cap");
+        assert!(rate > 40_000.0, "rate = {rate} B/s far below cap");
+    }
+
+    #[test]
+    fn server_idle_timeout_emits_alert_fin_and_rst() {
+        let d = Dialogue::new(vec![Message::simple(
+            Direction::Up,
+            SimDuration::ZERO,
+            1_000,
+        )]);
+        let (pkts, _) = run(d, path_100ms());
+        let fin = pkts
+            .iter()
+            .find(|p| p.flags.fin() && p.src == key().server)
+            .expect("server FIN");
+        assert!(fin.flags.psh() && fin.payload_len == 37);
+        let rst = pkts.iter().find(|p| p.flags.rst()).expect("client RST");
+        assert!(rst.ts > fin.ts);
+        // Idle gap ≈ 60 s after the data delivery.
+        let last_data = pkts
+            .iter()
+            .filter(|p| p.payload_len > 0 && p.src == key().client)
+            .map(|p| p.ts)
+            .max()
+            .unwrap();
+        let gap = (fin.ts - last_data).as_secs_f64();
+        assert!((gap - 60.0).abs() < 1.0, "gap = {gap}");
+    }
+
+    #[test]
+    fn client_fin_close() {
+        let d = Dialogue::new(vec![Message::simple(
+            Direction::Up,
+            SimDuration::ZERO,
+            1_000,
+        )])
+        .with_close(CloseMode::ClientFin {
+            delay: SimDuration::from_millis(100),
+        });
+        let (pkts, _) = run(d, path_100ms());
+        let client_fin = pkts.iter().any(|p| p.flags.fin() && p.src == key().client);
+        let server_fin = pkts.iter().any(|p| p.flags.fin() && p.src == key().server);
+        assert!(client_fin && server_fin);
+        assert!(!pkts.iter().any(|p| p.flags.rst()));
+    }
+
+    #[test]
+    fn idle_restart_resets_window() {
+        // Two large uploads separated by a long idle gap: the second one
+        // must restart slow start, giving a similar per-message duration.
+        let size = 200_000u32;
+        let d = Dialogue::new(vec![
+            Message::simple(Direction::Up, SimDuration::ZERO, size),
+            Message::simple(Direction::Up, SimDuration::from_secs(30), size),
+        ])
+        .with_close(CloseMode::LeftOpen);
+        let (_, s) = run(d, path_100ms());
+        let t1 = (s.deliveries[0] - s.established).as_secs_f64();
+        let t2 = (s.deliveries[1] - (s.deliveries[0] + SimDuration::from_secs(30))).as_secs_f64();
+        assert!(
+            (t1 - t2).abs() / t1 < 0.35,
+            "t1 = {t1}, t2 = {t2}: second transfer should restart slow start"
+        );
+    }
+
+    #[test]
+    fn delivered_bytes_match_dialogue() {
+        let d = Dialogue::new(vec![
+            Message::simple(Direction::Up, SimDuration::ZERO, 12_345),
+            Message::simple(Direction::Down, SimDuration::from_millis(5), 67_890),
+        ])
+        .with_close(CloseMode::ClientFin {
+            delay: SimDuration::from_millis(10),
+        });
+        let (pkts, s) = run(d, path_100ms());
+        assert_eq!(s.bytes_up, 12_345);
+        assert_eq!(s.bytes_down, 67_890);
+        let up_payload: u64 = pkts
+            .iter()
+            .filter(|p| p.src == key().client)
+            .map(|p| p.payload_len as u64)
+            .sum();
+        assert_eq!(up_payload, 12_345);
+    }
+}

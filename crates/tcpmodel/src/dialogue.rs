@@ -1,0 +1,201 @@
+//! Application-level dialogues.
+//!
+//! A [`Dialogue`] describes what the two endpoints say to each other over
+//! one TCP connection: an ordered list of [`Message`]s, each triggered when
+//! the previous message has been fully delivered plus a think/reaction
+//! delay. This sequential structure is exactly how the Dropbox storage
+//! protocol behaves in v1.2.52 (store → per-chunk OK → next store …) and is
+//! what produces the sequential-acknowledgment bottleneck of Sec. 4.4.2.
+
+use nettrace::AppMarker;
+use simcore::SimDuration;
+
+/// Which endpoint sends a message.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Client → server ("upload" direction at the probe).
+    Up,
+    /// Server → client ("download" direction at the probe).
+    Down,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn flip(self) -> Direction {
+        match self {
+            Direction::Up => Direction::Down,
+            Direction::Down => Direction::Up,
+        }
+    }
+}
+
+/// One application write. The final TCP segment of every write carries the
+/// PSH flag (this is what `write()`/flush boundaries produce on real stacks
+/// and what Appendix A's chunk counting keys on).
+#[derive(Clone, Debug)]
+pub struct Write {
+    /// Application bytes in this write.
+    pub size: u32,
+    /// DPI-visible content attached to the first segment of the write.
+    pub marker: Option<AppMarker>,
+}
+
+impl Write {
+    /// A plain write of `size` bytes.
+    pub fn plain(size: u32) -> Self {
+        Write { size, marker: None }
+    }
+
+    /// A write carrying a DPI-visible marker.
+    pub fn marked(size: u32, marker: AppMarker) -> Self {
+        Write {
+            size,
+            marker: Some(marker),
+        }
+    }
+}
+
+/// One application message: one or more writes in a single direction.
+#[derive(Clone, Debug)]
+pub struct Message {
+    /// Sender of the message.
+    pub dir: Direction,
+    /// Think/reaction time at the sender, measured from the delivery of the
+    /// previous message (or from connection establishment for the first).
+    pub delay: SimDuration,
+    /// The writes making up the message.
+    pub writes: Vec<Write>,
+}
+
+impl Message {
+    /// Single-write message.
+    pub fn simple(dir: Direction, delay: SimDuration, size: u32) -> Self {
+        Message {
+            dir,
+            delay,
+            writes: vec![Write::plain(size)],
+        }
+    }
+
+    /// Single-write message with a marker.
+    pub fn marked(dir: Direction, delay: SimDuration, size: u32, marker: AppMarker) -> Self {
+        Message {
+            dir,
+            delay,
+            writes: vec![Write::marked(size, marker)],
+        }
+    }
+
+    /// Total bytes of the message.
+    pub fn size(&self) -> u32 {
+        self.writes.iter().map(|w| w.size).sum()
+    }
+}
+
+/// How the connection terminates after the last message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CloseMode {
+    /// The server times the connection out after an idle period (Dropbox
+    /// storage servers: 60 s), sending a TLS close-notify alert (PSH) +
+    /// FIN; the client answers with RST (Fig. 19).
+    ServerIdleTimeout {
+        /// Idle period before the server closes.
+        idle: SimDuration,
+        /// Size of the alert record the server sends with the FIN.
+        alert_size: u32,
+    },
+    /// The client closes actively with FIN after a short delay.
+    ClientFin {
+        /// Delay after the last delivery before the FIN.
+        delay: SimDuration,
+    },
+    /// The connection is killed by an RST from the client side (NAT/firewall
+    /// behaviour seen on home notification flows, Sec. 5.5).
+    ClientRst {
+        /// Delay after the last delivery before the RST.
+        delay: SimDuration,
+    },
+    /// The capture ends while the connection is still open (no close
+    /// packets; the monitor flushes it as `Timeout`).
+    LeftOpen,
+}
+
+/// A full connection script.
+#[derive(Clone, Debug)]
+pub struct Dialogue {
+    /// Messages in trigger order.
+    pub messages: Vec<Message>,
+    /// Termination behaviour.
+    pub close: CloseMode,
+}
+
+impl Dialogue {
+    /// New dialogue with the default storage-server close behaviour
+    /// (60 s idle timeout, 37-byte close-notify alert).
+    pub fn new(messages: Vec<Message>) -> Self {
+        Dialogue {
+            messages,
+            close: CloseMode::ServerIdleTimeout {
+                idle: SimDuration::from_secs(60),
+                alert_size: 37,
+            },
+        }
+    }
+
+    /// Replace the close mode.
+    pub fn with_close(mut self, close: CloseMode) -> Self {
+        self.close = close;
+        self
+    }
+
+    /// Total application bytes sent by the client.
+    pub fn bytes_up(&self) -> u64 {
+        self.messages
+            .iter()
+            .filter(|m| m.dir == Direction::Up)
+            .map(|m| m.size() as u64)
+            .sum()
+    }
+
+    /// Total application bytes sent by the server (excluding any close
+    /// alert).
+    pub fn bytes_down(&self) -> u64 {
+        self.messages
+            .iter()
+            .filter(|m| m.dir == Direction::Down)
+            .map(|m| m.size() as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_flip() {
+        assert_eq!(Direction::Up.flip(), Direction::Down);
+        assert_eq!(Direction::Down.flip(), Direction::Up);
+    }
+
+    #[test]
+    fn message_size_sums_writes() {
+        let m = Message {
+            dir: Direction::Up,
+            delay: SimDuration::ZERO,
+            writes: vec![Write::plain(100), Write::plain(250)],
+        };
+        assert_eq!(m.size(), 350);
+    }
+
+    #[test]
+    fn dialogue_byte_totals() {
+        let d = Dialogue::new(vec![
+            Message::simple(Direction::Up, SimDuration::ZERO, 500),
+            Message::simple(Direction::Down, SimDuration::ZERO, 2_000),
+            Message::simple(Direction::Up, SimDuration::ZERO, 300),
+        ]);
+        assert_eq!(d.bytes_up(), 800);
+        assert_eq!(d.bytes_down(), 2_000);
+    }
+}

@@ -1,0 +1,118 @@
+//! Path and TCP parameters.
+
+use simcore::SimDuration;
+
+/// Network-path characteristics of one connection.
+///
+/// The vantage-point probe sits between the client (inside the monitored
+/// network) and the server. The round-trip time is split into an *inner*
+/// component (client ↔ probe, i.e. the access technology) and an *outer*
+/// component (probe ↔ server); the monitor can only measure the outer part,
+/// exactly as the paper notes for Fig. 6.
+#[derive(Clone, Debug)]
+pub struct PathParams {
+    /// Client ↔ probe round-trip time (access link).
+    pub inner_rtt: SimDuration,
+    /// Probe ↔ server round-trip time (what Tstat measures).
+    pub outer_rtt: SimDuration,
+    /// Multiplicative RTT jitter: each round's RTT is
+    /// `base * (1 + jitter * u)` with `u ∈ [0,1)`, keeping the *minimum*
+    /// at the base value (the paper's storage RTTs are stable minima).
+    pub jitter: f64,
+    /// Per-segment loss probability, client → server.
+    pub loss_up: f64,
+    /// Per-segment loss probability, server → client.
+    pub loss_down: f64,
+    /// Access-link uplink rate in bytes/s (`None` = not limiting).
+    /// Models the ADSL uplink bottleneck in the home datasets and the
+    /// client-side transfer-rate limit the Dropbox client can configure.
+    pub up_rate: Option<u64>,
+    /// Access-link downlink rate in bytes/s (`None` = not limiting).
+    pub down_rate: Option<u64>,
+}
+
+impl PathParams {
+    /// Full client ↔ server RTT.
+    pub fn total_rtt(&self) -> SimDuration {
+        self.inner_rtt + self.outer_rtt
+    }
+
+    /// An unconstrained LAN-like path, useful in tests.
+    pub fn lan() -> Self {
+        PathParams {
+            inner_rtt: SimDuration::from_millis(1),
+            outer_rtt: SimDuration::from_millis(1),
+            jitter: 0.0,
+            loss_up: 0.0,
+            loss_down: 0.0,
+            up_rate: None,
+            down_rate: None,
+        }
+    }
+}
+
+/// TCP stack parameters for both endpoints of a connection.
+#[derive(Clone, Debug)]
+pub struct TcpParams {
+    /// Maximum segment size in bytes.
+    pub mss: u32,
+    /// Client's initial congestion window, in segments.
+    pub client_initcwnd: u32,
+    /// Server's initial congestion window, in segments. Paper-era Dropbox
+    /// servers effectively used 2 (the "pause of 1 RTT during the SSL
+    /// handshake", Appendix A.4); after the v1.4.0 deployment this was
+    /// tuned up.
+    pub server_initcwnd: u32,
+    /// Receiver window, in segments (caps the in-flight data).
+    pub rwnd_segments: u32,
+    /// Minimum retransmission timeout.
+    pub min_rto: SimDuration,
+    /// Idle time after which the congestion window collapses back to the
+    /// initial window (slow-start restart).
+    pub idle_restart: SimDuration,
+}
+
+impl TcpParams {
+    /// Parameters matching the paper's capture period (Mar–May 2012,
+    /// Dropbox client 1.2.52): small server initial window.
+    pub fn era_2012_v1() -> Self {
+        TcpParams {
+            mss: 1430,
+            client_initcwnd: 3,
+            server_initcwnd: 2,
+            rwnd_segments: 90,
+            min_rto: SimDuration::from_millis(300),
+            idle_restart: SimDuration::from_secs(1),
+        }
+    }
+
+    /// Parameters matching the Jun/Jul 2012 re-capture (Dropbox 1.4.0 plus
+    /// server initcwnd tuning).
+    pub fn era_2012_v14() -> Self {
+        TcpParams {
+            server_initcwnd: 10,
+            ..Self::era_2012_v1()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_rtt_sums_components() {
+        let p = PathParams {
+            inner_rtt: SimDuration::from_millis(20),
+            outer_rtt: SimDuration::from_millis(100),
+            ..PathParams::lan()
+        };
+        assert_eq!(p.total_rtt().millis(), 120);
+    }
+
+    #[test]
+    fn era_presets_differ_in_server_window() {
+        assert!(TcpParams::era_2012_v14().server_initcwnd > TcpParams::era_2012_v1().server_initcwnd);
+        assert_eq!(TcpParams::era_2012_v1().client_initcwnd, 3);
+    }
+}

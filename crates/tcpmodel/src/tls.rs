@@ -1,0 +1,146 @@
+//! TLS overlay: dialogue fragments for the handshake and record framing.
+//!
+//! The monitor must see what a DPI box sees on a real TLS connection: the
+//! ClientHello (with the SNI extension), the server Certificate (common
+//! name `*.dropbox.com` for every Dropbox service), the handshake record
+//! sizes, and from then on only opaque record lengths. The constants below
+//! are the ones the paper measured in its testbed (Appendix A):
+//!
+//! * clients contribute **294 bytes** of handshake,
+//! * servers contribute **4103 bytes** (dominated by the certificate chain),
+//! * each application record adds a small per-record overhead.
+//!
+//! With the paper-era server initial window of 2 segments, the 4 kB server
+//! flight does not fit in one round — this is the "pause of 1 RTT during
+//! the SSL handshake" of Appendix A.4 and makes 4–5 RTTs elapse before the
+//! first application byte, as in Fig. 19.
+
+use crate::dialogue::{Direction, Message, Write};
+use nettrace::AppMarker;
+use simcore::SimDuration;
+
+/// Client handshake bytes (ClientHello + ClientKeyExchange/CCS/Finished).
+pub const CLIENT_HANDSHAKE_BYTES: u32 = 294;
+/// Server handshake bytes (ServerHello + Certificate + CCS/Finished).
+pub const SERVER_HANDSHAKE_BYTES: u32 = 4103;
+/// ClientHello share of the client handshake bytes.
+pub const CLIENT_HELLO_BYTES: u32 = 160;
+/// ServerHello + Certificate share of the server handshake bytes.
+pub const SERVER_HELLO_CERT_BYTES: u32 = 4000;
+/// TLS record overhead added to each application write (type + version +
+/// length + MAC + padding, averaged).
+pub const RECORD_OVERHEAD: u32 = 29;
+/// Size of the close-notify alert record.
+pub const ALERT_BYTES: u32 = 37;
+
+/// The TLS handshake as four dialogue messages (2 round trips after the
+/// TCP handshake):
+///
+/// 1. C→S ClientHello (PSH, carries the SNI),
+/// 2. S→C ServerHello + Certificate (PSH, carries the certificate CN),
+/// 3. C→S ClientKeyExchange + ChangeCipherSpec + Finished (PSH),
+/// 4. S→C ChangeCipherSpec + Finished (PSH).
+pub fn handshake(sni: &str, certificate_cn: &str, server_reaction: SimDuration) -> Vec<Message> {
+    vec![
+        Message::marked(
+            Direction::Up,
+            SimDuration::ZERO,
+            CLIENT_HELLO_BYTES,
+            AppMarker::TlsClientHello {
+                sni: sni.to_owned(),
+            },
+        ),
+        Message::marked(
+            Direction::Down,
+            server_reaction,
+            SERVER_HELLO_CERT_BYTES,
+            AppMarker::TlsCertificate {
+                common_name: certificate_cn.to_owned(),
+            },
+        ),
+        Message::simple(
+            Direction::Up,
+            SimDuration::ZERO,
+            CLIENT_HANDSHAKE_BYTES - CLIENT_HELLO_BYTES,
+        ),
+        Message::simple(
+            Direction::Down,
+            server_reaction,
+            SERVER_HANDSHAKE_BYTES - SERVER_HELLO_CERT_BYTES,
+        ),
+    ]
+}
+
+/// Wrap an application write in TLS record framing (adds the per-record
+/// overhead).
+pub fn record(size: u32) -> Write {
+    Write::plain(size + RECORD_OVERHEAD)
+}
+
+/// Total handshake bytes sent by the client.
+pub fn client_overhead() -> u32 {
+    CLIENT_HANDSHAKE_BYTES
+}
+
+/// Total handshake bytes sent by the server.
+pub fn server_overhead() -> u32 {
+    SERVER_HANDSHAKE_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handshake_byte_totals_match_paper() {
+        let msgs = handshake("client-lb.dropbox.com", "*.dropbox.com", SimDuration::ZERO);
+        let up: u32 = msgs
+            .iter()
+            .filter(|m| m.dir == Direction::Up)
+            .map(|m| m.size())
+            .sum();
+        let down: u32 = msgs
+            .iter()
+            .filter(|m| m.dir == Direction::Down)
+            .map(|m| m.size())
+            .sum();
+        assert_eq!(up, 294);
+        assert_eq!(down, 4103);
+    }
+
+    #[test]
+    fn handshake_is_two_round_trips() {
+        let msgs = handshake("x", "y", SimDuration::ZERO);
+        assert_eq!(msgs.len(), 4);
+        let dirs: Vec<Direction> = msgs.iter().map(|m| m.dir).collect();
+        assert_eq!(
+            dirs,
+            [
+                Direction::Up,
+                Direction::Down,
+                Direction::Up,
+                Direction::Down
+            ]
+        );
+    }
+
+    #[test]
+    fn markers_carry_names() {
+        let msgs = handshake("notify1.dropbox.com", "*.dropbox.com", SimDuration::ZERO);
+        match &msgs[0].writes[0].marker {
+            Some(AppMarker::TlsClientHello { sni }) => assert_eq!(sni, "notify1.dropbox.com"),
+            other => panic!("unexpected marker: {other:?}"),
+        }
+        match &msgs[1].writes[0].marker {
+            Some(AppMarker::TlsCertificate { common_name }) => {
+                assert_eq!(common_name, "*.dropbox.com")
+            }
+            other => panic!("unexpected marker: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn record_adds_overhead() {
+        assert_eq!(record(100).size, 129);
+    }
+}

@@ -1,0 +1,654 @@
+//! A Tstat-like passive monitor.
+//!
+//! [`Monitor`] reconstructs per-TCP-flow metrics from the packet stream
+//! crossing the vantage point, exactly as the paper's instrumented Tstat
+//! does (Sec. 3.1):
+//!
+//! * byte/packet/PSH counters per direction and payload timestamps,
+//! * retransmission detection from sequence numbers,
+//! * **external RTT** estimation (probe ↔ server): samples are taken from
+//!   client-sent SYN/data segments and the server's covering ACKs, with a
+//!   Karn-style rule that suspends sampling while a retransmission is
+//!   outstanding,
+//! * TLS server-name extraction from ClientHello/Certificate records,
+//! * FQDN labelling of server addresses from observed DNS answers
+//!   ("DNS to the Rescue", [2]) — available only at vantage points whose
+//!   DNS traffic passes the probe (not Campus 2),
+//! * notification-payload inspection: device `host_int` and namespace
+//!   lists are cleartext (Sec. 2.3.1).
+//!
+//! The monitor never reads opaque payload bytes: everything comes from
+//! headers, sizes, timing, and the cleartext/handshake fields a real DPI
+//! probe could parse.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use nettrace::flow::{DirStats, FlowClose, NotifyMeta};
+use nettrace::{AppMarker, FlowKey, FlowRecord, Ipv4, Packet};
+use simcore::SimTime;
+use std::collections::HashMap;
+
+/// Maximum outstanding (unacknowledged) client segments tracked for RTT
+/// sampling per flow.
+const RTT_WINDOW: usize = 64;
+
+/// Per-flow reconstruction state.
+struct FlowState {
+    key: FlowKey,
+    first_syn: SimTime,
+    last_packet: SimTime,
+    up: DirStats,
+    down: DirStats,
+    max_seq_end_up: u32,
+    max_seq_end_down: u32,
+    seen_up_data: bool,
+    seen_down_data: bool,
+    outstanding: Vec<(u32, SimTime)>, // client seq_end -> probe ts
+    karn_suspended: bool,
+    min_rtt: Option<f64>,
+    rtt_samples: u32,
+    tls_sni: Option<String>,
+    tls_cn: Option<String>,
+    http_host: Option<String>,
+    notify: Option<NotifyMeta>,
+    fin_up: bool,
+    fin_down: bool,
+    rst: bool,
+}
+
+impl FlowState {
+    fn new(key: FlowKey, ts: SimTime) -> Self {
+        FlowState {
+            key,
+            first_syn: ts,
+            last_packet: ts,
+            up: DirStats::default(),
+            down: DirStats::default(),
+            max_seq_end_up: 0,
+            max_seq_end_down: 0,
+            seen_up_data: false,
+            seen_down_data: false,
+            outstanding: Vec::new(),
+            karn_suspended: false,
+            min_rtt: None,
+            rtt_samples: 0,
+            tls_sni: None,
+            tls_cn: None,
+            http_host: None,
+            notify: None,
+            fin_up: false,
+            fin_down: false,
+            rst: false,
+        }
+    }
+
+    fn finalize(self, server_fqdn: Option<String>) -> FlowRecord {
+        let close = if self.rst {
+            FlowClose::Rst
+        } else if self.fin_up || self.fin_down {
+            FlowClose::Fin
+        } else {
+            FlowClose::Timeout
+        };
+        FlowRecord {
+            key: self.key,
+            first_syn: self.first_syn,
+            last_packet: self.last_packet,
+            up: self.up,
+            down: self.down,
+            min_rtt_ms: self.min_rtt,
+            rtt_samples: self.rtt_samples,
+            tls_sni: self.tls_sni,
+            tls_certificate_cn: self.tls_cn,
+            http_host: self.http_host,
+            server_fqdn,
+            notify: self.notify,
+            close,
+        }
+    }
+}
+
+/// Wrapping sequence-space comparison: is `a <= b`?
+#[inline]
+fn seq_le(a: u32, b: u32) -> bool {
+    b.wrapping_sub(a) < 0x8000_0000
+}
+
+/// The passive monitor of one vantage point.
+pub struct Monitor {
+    flows: HashMap<FlowKey, FlowState>,
+    dns_view: HashMap<Ipv4, String>,
+    expose_dns: bool,
+    done: Vec<FlowRecord>,
+}
+
+impl Monitor {
+    /// Create a monitor. `expose_dns` states whether the vantage point's
+    /// DNS traffic passes the probe (false in Campus 2, Sec. 3.2).
+    pub fn new(expose_dns: bool) -> Self {
+        Monitor {
+            flows: HashMap::new(),
+            dns_view: HashMap::new(),
+            expose_dns,
+            done: Vec::new(),
+        }
+    }
+
+    /// Record a DNS answer seen on the wire (name → address). Ignored when
+    /// the vantage point does not expose DNS.
+    pub fn observe_dns(&mut self, name: &str, ip: Ipv4) {
+        if self.expose_dns {
+            self.dns_view.insert(ip, name.to_owned());
+        }
+    }
+
+    /// Number of flows currently being tracked.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Feed one packet.
+    pub fn observe(&mut self, pkt: &Packet) {
+        // Determine orientation: a pure SYN identifies the client side.
+        let (key, from_client) = if pkt.flags.syn() && !pkt.flags.ack() {
+            (FlowKey::new(pkt.src, pkt.dst), true)
+        } else if let Some(key) = self.orient(pkt) {
+            key
+        } else {
+            // Mid-flow packet for an unknown connection (trimmed capture):
+            // assume the lower port is the server, as Tstat's heuristics do.
+            if pkt.src.port > pkt.dst.port {
+                ((FlowKey::new(pkt.src, pkt.dst)), true)
+            } else {
+                ((FlowKey::new(pkt.dst, pkt.src)), false)
+            }
+        };
+
+        // A fresh SYN for a key already tracked (port reuse) finalizes the
+        // previous incarnation.
+        if pkt.flags.syn() && !pkt.flags.ack() {
+            if let Some(old) = self.flows.remove(&key) {
+                let fqdn = self.dns_view.get(&old.key.server.ip).cloned();
+                self.done.push(old.finalize(fqdn));
+            }
+        }
+
+        let state = self
+            .flows
+            .entry(key)
+            .or_insert_with(|| FlowState::new(key, pkt.ts));
+        state.last_packet = state.last_packet.max(pkt.ts);
+
+        // --- RTT sampling (probe ↔ server semi-connection) -------------
+        if from_client {
+            if pkt.flags.syn() || pkt.payload_len > 0 {
+                let seq_end = pkt
+                    .seq
+                    .wrapping_add(pkt.payload_len.max(if pkt.flags.syn() { 1 } else { 0 }));
+                // Retransmission? (seen this sequence range before)
+                let is_rtx = pkt.payload_len > 0
+                    && state.seen_up_data
+                    && seq_le(seq_end, state.max_seq_end_up);
+                if is_rtx {
+                    // Karn: stop sampling until acks pass the rtx point.
+                    state.karn_suspended = true;
+                    state.outstanding.clear();
+                } else if state.outstanding.len() < RTT_WINDOW && !state.karn_suspended {
+                    state.outstanding.push((seq_end, pkt.ts));
+                }
+            }
+        } else if pkt.flags.ack() {
+            // Server ACK: sample every outstanding segment it covers.
+            let mut i = 0;
+            while i < state.outstanding.len() {
+                let (seq_end, t_data) = state.outstanding[i];
+                if seq_le(seq_end, pkt.ack_no) {
+                    let sample_ms = (pkt.ts - t_data).as_secs_f64() * 1_000.0;
+                    state.min_rtt = Some(match state.min_rtt {
+                        Some(m) => m.min(sample_ms),
+                        None => sample_ms,
+                    });
+                    state.rtt_samples += 1;
+                    state.outstanding.swap_remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+            if state.karn_suspended && state.outstanding.is_empty() {
+                state.karn_suspended = false;
+            }
+        }
+
+        // --- Per-direction counters -------------------------------------
+        let (dir, max_seq_end, seen_data) = if from_client {
+            (
+                &mut state.up,
+                &mut state.max_seq_end_up,
+                &mut state.seen_up_data,
+            )
+        } else {
+            (
+                &mut state.down,
+                &mut state.max_seq_end_down,
+                &mut state.seen_down_data,
+            )
+        };
+        dir.packets += 1;
+        if pkt.payload_len > 0 {
+            let seq_end = pkt.seq.wrapping_add(pkt.payload_len);
+            if *seen_data && seq_le(seq_end, *max_seq_end) {
+                dir.retransmissions += 1;
+            } else {
+                dir.bytes += pkt.payload_len as u64;
+                *max_seq_end = seq_end;
+                *seen_data = true;
+            }
+            if pkt.flags.psh() {
+                dir.psh_segments += 1;
+            }
+            if dir.first_payload.is_none() {
+                dir.first_payload = Some(pkt.ts);
+            }
+            dir.last_payload = Some(pkt.ts);
+        }
+
+        // --- DPI-visible content ----------------------------------------
+        if let Some(marker) = &pkt.marker {
+            match marker {
+                AppMarker::TlsClientHello { sni } => {
+                    state.tls_sni.get_or_insert_with(|| sni.clone());
+                }
+                AppMarker::TlsCertificate { common_name } => {
+                    state.tls_cn.get_or_insert_with(|| common_name.clone());
+                }
+                AppMarker::HttpRequest { host, .. } => {
+                    state.http_host.get_or_insert_with(|| host.clone());
+                }
+                AppMarker::HttpResponse { .. } => {}
+                AppMarker::NotifyRequest {
+                    host,
+                    host_int,
+                    namespaces,
+                } => {
+                    state.http_host.get_or_insert_with(|| host.clone());
+                    state.notify = Some(NotifyMeta {
+                        host_int: *host_int,
+                        namespaces: namespaces.clone(),
+                    });
+                }
+            }
+        }
+
+        // --- Close tracking ----------------------------------------------
+        if pkt.flags.rst() {
+            state.rst = true;
+        }
+        if pkt.flags.fin() {
+            if from_client {
+                state.fin_up = true;
+            } else {
+                state.fin_down = true;
+            }
+        }
+        // A reset is the last packet of a connection: finalize eagerly.
+        // Orderly FIN closes are finalized lazily (at flush or on port
+        // reuse) because the final ACK still belongs to the flow.
+        if state.rst {
+            let state = self.flows.remove(&key).expect("state exists");
+            let fqdn = self.dns_view.get(&key.server.ip).cloned();
+            self.done.push(state.finalize(fqdn));
+        }
+    }
+
+    /// Orient a non-SYN packet onto a tracked flow.
+    fn orient(&self, pkt: &Packet) -> Option<(FlowKey, bool)> {
+        let as_client = FlowKey::new(pkt.src, pkt.dst);
+        if self.flows.contains_key(&as_client) {
+            return Some((as_client, true));
+        }
+        let as_server = FlowKey::new(pkt.dst, pkt.src);
+        if self.flows.contains_key(&as_server) {
+            return Some((as_server, false));
+        }
+        None
+    }
+
+    /// Take the flows completed so far.
+    pub fn drain_completed(&mut self) -> Vec<FlowRecord> {
+        std::mem::take(&mut self.done)
+    }
+
+    /// Evict flows idle since before `now - idle`: real Tstat flushes
+    /// long-silent connections so state does not grow over a 42-day
+    /// capture. Evicted flows are finalized as their observed close state.
+    pub fn evict_idle(&mut self, now: simcore::SimTime, idle: simcore::SimDuration) {
+        let keys: Vec<FlowKey> = self
+            .flows
+            .iter()
+            .filter(|(_, st)| now.saturating_since(st.last_packet) > idle)
+            .map(|(&k, _)| k)
+            .collect();
+        for key in keys {
+            let state = self.flows.remove(&key).expect("listed");
+            let fqdn = self.dns_view.get(&key.server.ip).cloned();
+            self.done.push(state.finalize(fqdn));
+        }
+    }
+
+    /// End of capture: finalize all remaining flows and return everything
+    /// not yet drained.
+    pub fn flush(&mut self) -> Vec<FlowRecord> {
+        let keys: Vec<FlowKey> = self.flows.keys().copied().collect();
+        for key in keys {
+            let state = self.flows.remove(&key).expect("key listed");
+            let fqdn = self.dns_view.get(&key.server.ip).cloned();
+            self.done.push(state.finalize(fqdn));
+        }
+        self.drain_completed()
+    }
+
+    /// Convenience: process the complete packet trace of a single
+    /// connection and return its record. Equivalent to `observe`ing every
+    /// packet and flushing. DNS labelling uses the monitor's current view.
+    pub fn process_flow(&mut self, packets: &[Packet]) -> Option<FlowRecord> {
+        for p in packets {
+            self.observe(p);
+        }
+        // The flow either completed eagerly or is still tracked.
+        if let Some(last) = packets.last() {
+            let key_a = FlowKey::new(last.src, last.dst);
+            let key_b = FlowKey::new(last.dst, last.src);
+            for key in [key_a, key_b] {
+                if let Some(state) = self.flows.remove(&key) {
+                    let fqdn = self.dns_view.get(&key.server.ip).cloned();
+                    return Some(state.finalize(fqdn));
+                }
+            }
+        }
+        self.done.pop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nettrace::{Endpoint, TcpFlags};
+    use simcore::{Rng, SimDuration};
+    use tcpmodel::tls;
+    use tcpmodel::{
+        simulate, CloseMode, Dialogue, Direction, Message, PathParams, TcpParams,
+    };
+
+    fn key() -> FlowKey {
+        FlowKey::new(
+            Endpoint::new(Ipv4::new(10, 0, 0, 5), 42_000),
+            Endpoint::new(Ipv4::new(107, 22, 1, 2), 443),
+        )
+    }
+
+    fn path(outer_ms: u64) -> PathParams {
+        PathParams {
+            inner_rtt: SimDuration::from_millis(12),
+            outer_rtt: SimDuration::from_millis(outer_ms),
+            jitter: 0.02,
+            loss_up: 0.0,
+            loss_down: 0.0,
+            up_rate: None,
+            down_rate: None,
+        }
+    }
+
+    fn play(dialogue: Dialogue, p: PathParams, seed: u64) -> FlowRecord {
+        let mut out = Vec::new();
+        let mut rng = Rng::new(seed);
+        simulate(
+            SimTime::from_secs(5),
+            key(),
+            &dialogue,
+            &p,
+            &TcpParams::era_2012_v1(),
+            &mut rng,
+            &mut out,
+        );
+        let mut mon = Monitor::new(true);
+        mon.observe_dns("dl-client9.dropbox.com", key().server.ip);
+        mon.process_flow(&out).expect("flow record")
+    }
+
+    fn store_like_dialogue(chunks: usize, chunk_bytes: u32) -> Dialogue {
+        let mut messages = tls::handshake(
+            "dl-client9.dropbox.com",
+            "*.dropbox.com",
+            SimDuration::from_millis(50),
+        );
+        for _ in 0..chunks {
+            messages.push(Message::simple(
+                Direction::Up,
+                SimDuration::from_millis(30),
+                634 + chunk_bytes,
+            ));
+            messages.push(Message::simple(
+                Direction::Down,
+                SimDuration::from_millis(60),
+                309,
+            ));
+        }
+        Dialogue::new(messages)
+    }
+
+    #[test]
+    fn byte_counters_match_dialogue() {
+        let d = store_like_dialogue(3, 10_000);
+        let rec = play(d.clone(), path(90), 1);
+        assert_eq!(rec.up.bytes, d.bytes_up());
+        // Down includes the 37-byte close alert.
+        assert_eq!(rec.down.bytes, d.bytes_down() + 37);
+    }
+
+    #[test]
+    fn external_rtt_measured_not_total() {
+        let rec = play(store_like_dialogue(5, 5_000), path(90), 2);
+        let rtt = rec.min_rtt_ms.expect("rtt measured");
+        // Probe↔server RTT is 90 ms; client access adds 12 ms that must
+        // NOT appear in the estimate.
+        assert!((rtt - 90.0).abs() < 3.0, "rtt = {rtt}");
+        assert!(rec.rtt_samples >= 10);
+    }
+
+    #[test]
+    fn psh_counting_matches_appendix_a() {
+        // Store flow with c chunks closed by the server: the server sends
+        // 2 handshake PSH + c OK PSH + 1 alert PSH => c = s - 3 (A.3).
+        let c = 7;
+        let rec = play(store_like_dialogue(c, 2_000), path(90), 3);
+        assert_eq!(rec.down.psh_segments as usize, c + 3);
+        // Client side: 2 handshake PSH + c data-chunk PSH.
+        assert_eq!(rec.up.psh_segments as usize, c + 2);
+    }
+
+    #[test]
+    fn tls_names_extracted() {
+        let rec = play(store_like_dialogue(1, 500), path(90), 4);
+        assert_eq!(rec.tls_sni.as_deref(), Some("dl-client9.dropbox.com"));
+        assert_eq!(rec.tls_certificate_cn.as_deref(), Some("*.dropbox.com"));
+        assert_eq!(rec.server_fqdn.as_deref(), Some("dl-client9.dropbox.com"));
+        assert_eq!(rec.server_name(), Some("dl-client9.dropbox.com"));
+    }
+
+    #[test]
+    fn dns_hidden_when_not_exposed() {
+        let mut out = Vec::new();
+        let mut rng = Rng::new(5);
+        simulate(
+            SimTime::from_secs(5),
+            key(),
+            &store_like_dialogue(1, 500),
+            &path(90),
+            &TcpParams::era_2012_v1(),
+            &mut rng,
+            &mut out,
+        );
+        let mut mon = Monitor::new(false);
+        mon.observe_dns("dl-client9.dropbox.com", key().server.ip);
+        let rec = mon.process_flow(&out).unwrap();
+        assert!(rec.server_fqdn.is_none());
+        // TLS still identifies the service.
+        assert_eq!(rec.tls_sni.as_deref(), Some("dl-client9.dropbox.com"));
+    }
+
+    #[test]
+    fn retransmissions_counted_once_bytes_not_double_counted() {
+        let mut p = path(90);
+        p.loss_up = 0.03;
+        let d = Dialogue::new(vec![Message::simple(
+            Direction::Up,
+            SimDuration::ZERO,
+            400_000,
+        )])
+        .with_close(CloseMode::ClientFin {
+            delay: SimDuration::from_millis(50),
+        });
+        let mut out = Vec::new();
+        let mut rng = Rng::new(6);
+        let sum = simulate(
+            SimTime::from_secs(5),
+            key(),
+            &d,
+            &p,
+            &TcpParams::era_2012_v1(),
+            &mut rng,
+            &mut out,
+        );
+        let mut mon = Monitor::new(true);
+        let rec = mon.process_flow(&out).unwrap();
+        assert!(sum.rtx_up > 0);
+        assert_eq!(rec.up.retransmissions, sum.rtx_up);
+        assert_eq!(rec.up.bytes, 400_000, "unique bytes only");
+    }
+
+    #[test]
+    fn close_classification() {
+        // Server idle timeout ends with a client RST.
+        let rec = play(store_like_dialogue(1, 100), path(90), 7);
+        assert_eq!(rec.close, FlowClose::Rst);
+        // Client FIN close.
+        let d = Dialogue::new(vec![Message::simple(Direction::Up, SimDuration::ZERO, 100)])
+            .with_close(CloseMode::ClientFin {
+                delay: SimDuration::from_millis(10),
+            });
+        let rec = play(d, path(90), 8);
+        assert_eq!(rec.close, FlowClose::Fin);
+        // Left open: timeout at flush.
+        let d = Dialogue::new(vec![Message::simple(Direction::Up, SimDuration::ZERO, 100)])
+            .with_close(CloseMode::LeftOpen);
+        let rec = play(d, path(90), 9);
+        assert_eq!(rec.close, FlowClose::Timeout);
+    }
+
+    #[test]
+    fn notify_metadata_extracted() {
+        let mut messages = vec![Message {
+            dir: Direction::Up,
+            delay: SimDuration::from_millis(10),
+            writes: vec![tcpmodel::Write::marked(
+                350,
+                AppMarker::NotifyRequest {
+                    host: "notify5.dropbox.com".into(),
+                    host_int: 777,
+                    namespaces: vec![1, 2, 3],
+                },
+            )],
+        }];
+        messages.push(Message::simple(
+            Direction::Down,
+            SimDuration::from_secs(60),
+            160,
+        ));
+        // A later request advertises one more namespace.
+        messages.push(Message {
+            dir: Direction::Up,
+            delay: SimDuration::from_millis(5),
+            writes: vec![tcpmodel::Write::marked(
+                368,
+                AppMarker::NotifyRequest {
+                    host: "notify5.dropbox.com".into(),
+                    host_int: 777,
+                    namespaces: vec![1, 2, 3, 4],
+                },
+            )],
+        });
+        let d = Dialogue::new(messages).with_close(CloseMode::ClientFin {
+            delay: SimDuration::from_millis(10),
+        });
+        let rec = play(d, path(150), 10);
+        assert_eq!(rec.http_host.as_deref(), Some("notify5.dropbox.com"));
+        let notify = rec.notify.expect("notify meta");
+        assert_eq!(notify.host_int, 777);
+        assert_eq!(notify.namespaces, vec![1, 2, 3, 4], "last list wins");
+    }
+
+    #[test]
+    fn multiple_interleaved_flows_tracked() {
+        // Two connections from different client ports, packets interleaved.
+        let mut out1 = Vec::new();
+        let mut out2 = Vec::new();
+        let mut rng = Rng::new(11);
+        let k2 = FlowKey::new(
+            Endpoint::new(Ipv4::new(10, 0, 0, 5), 42_001),
+            key().server,
+        );
+        simulate(
+            SimTime::from_secs(5),
+            key(),
+            &store_like_dialogue(2, 1_000),
+            &path(90),
+            &TcpParams::era_2012_v1(),
+            &mut rng,
+            &mut out1,
+        );
+        simulate(
+            SimTime::from_secs(5),
+            k2,
+            &store_like_dialogue(3, 1_000),
+            &path(90),
+            &TcpParams::era_2012_v1(),
+            &mut rng,
+            &mut out2,
+        );
+        let mut all: Vec<Packet> = out1.into_iter().chain(out2).collect();
+        all.sort_by_key(|p| p.ts);
+        let mut mon = Monitor::new(true);
+        for p in &all {
+            mon.observe(p);
+        }
+        let recs = mon.flush();
+        assert_eq!(recs.len(), 2);
+        let mut psh: Vec<u64> = recs.iter().map(|r| r.down.psh_segments).collect();
+        psh.sort_unstable();
+        assert_eq!(psh, vec![2 + 3, 3 + 3]); // c+3 each
+    }
+
+    #[test]
+    fn syn_reuse_splits_flows() {
+        let mut mon = Monitor::new(false);
+        let mk = |ts: u64, flags: TcpFlags, payload: u32| Packet {
+            ts: SimTime::from_secs(ts),
+            src: key().client,
+            dst: key().server,
+            seq: 1,
+            ack_no: 0,
+            flags,
+            payload_len: payload,
+            marker: None,
+        };
+        mon.observe(&mk(1, TcpFlags::SYN, 0));
+        mon.observe(&mk(2, TcpFlags::PSH.union(TcpFlags::ACK), 100));
+        // New SYN on the same 4-tuple.
+        mon.observe(&mk(100, TcpFlags::SYN, 0));
+        let completed = mon.drain_completed();
+        assert_eq!(completed.len(), 1);
+        assert_eq!(completed[0].up.bytes, 100);
+        assert_eq!(mon.active_flows(), 1);
+    }
+}

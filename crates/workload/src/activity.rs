@@ -1,0 +1,361 @@
+//! Session schedules and file-event processes (Secs. 5.4–5.5).
+//!
+//! Sessions follow the patterns of Figs. 14–16: office-hour workstation
+//! sessions on working days in Campus 1, transit-driven daytime sessions
+//! in Campus 2 with a strong weekly seasonality, morning/evening peaks in
+//! the home networks with ~40% of devices starting a session every day,
+//! and a small population of always-on devices producing the tails of the
+//! session-duration CDF. Within a session, file events arrive at
+//! behaviour-group-dependent rates.
+
+use crate::population::{Behavior, Device};
+use crate::vantage::VantageKind;
+use dropbox::content::ContentKind;
+use simcore::time::CaptureCalendar;
+use simcore::{dist, Rng, SimDuration, SimTime};
+
+/// One on-line period of a device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Session {
+    /// Session start.
+    pub start: SimTime,
+    /// Session end.
+    pub end: SimTime,
+}
+
+impl Session {
+    /// Session length.
+    pub fn duration(&self) -> SimDuration {
+        self.end.saturating_since(self.start)
+    }
+}
+
+/// Sample the start hour (fractional) of a session for a vantage point.
+fn sample_start_hour(kind: VantageKind, workstation: bool, rng: &mut Rng) -> f64 {
+    match kind {
+        VantageKind::Campus1 if workstation => dist::normal(rng, 8.8, 1.0).clamp(6.0, 12.0),
+        VantageKind::Campus1 | VantageKind::Campus2 => {
+            // Student transit: spread across the teaching day.
+            dist::normal(rng, 13.0, 3.2).clamp(7.5, 21.0)
+        }
+        VantageKind::Home1 | VantageKind::Home2 => {
+            // Morning and evening peaks (Fig. 15(a)).
+            let u = rng.f64();
+            if u < 0.30 {
+                dist::normal(rng, 8.0, 1.1).clamp(5.0, 12.0)
+            } else if u < 0.85 {
+                dist::normal(rng, 20.0, 1.8).clamp(16.0, 23.9)
+            } else {
+                rng.range_f64(10.0, 18.0)
+            }
+        }
+    }
+}
+
+/// Sample a session duration.
+fn sample_duration(kind: VantageKind, workstation: bool, rng: &mut Rng) -> SimDuration {
+    let hours = match kind {
+        VantageKind::Campus1 if workstation => dist::normal(rng, 8.3, 1.3).clamp(4.0, 12.0),
+        VantageKind::Campus1 | VantageKind::Campus2 => {
+            dist::lognormal_median(rng, 1.4, 0.8).clamp(0.05, 10.0)
+        }
+        VantageKind::Home1 | VantageKind::Home2 => {
+            dist::lognormal_median(rng, 1.8, 1.0).clamp(0.05, 16.0)
+        }
+    };
+    SimDuration::from_secs_f64(hours * 3600.0)
+}
+
+/// Weekly presence factor (Fig. 14: strong weekday seasonality at the
+/// campuses, flat at home).
+fn weekday_factor(kind: VantageKind, day: u32) -> f64 {
+    let working = CaptureCalendar::is_working_day(day);
+    match kind {
+        VantageKind::Campus1 => {
+            if working {
+                1.0
+            } else {
+                0.12
+            }
+        }
+        VantageKind::Campus2 => {
+            if working {
+                1.0
+            } else {
+                0.35
+            }
+        }
+        VantageKind::Home1 | VantageKind::Home2 => 1.0,
+    }
+}
+
+/// Generate the session schedule of one device over the capture.
+pub fn device_sessions(
+    kind: VantageKind,
+    device: &Device,
+    days: u32,
+    rng: &mut Rng,
+) -> Vec<Session> {
+    if device.always_on {
+        // Connected from early in the capture to its end.
+        let start =
+            SimTime::from_day_offset(0, SimDuration::from_secs(rng.range_u64(0, 86_399)));
+        let end = SimTime::from_day_offset(days - 1, SimDuration::from_hours(24));
+        return vec![Session { start, end }];
+    }
+
+    let mut sessions: Vec<Session> = Vec::new();
+    for day in 0..days {
+        let p = device.daily_presence * weekday_factor(kind, day);
+        if !rng.chance(p) {
+            continue;
+        }
+        let n = if rng.chance(match kind {
+            VantageKind::Campus1 => 0.10,
+            VantageKind::Campus2 => 0.18,
+            _ => 0.30,
+        }) {
+            2
+        } else {
+            1
+        };
+        for _ in 0..n {
+            let hour = sample_start_hour(kind, device.workstation, rng);
+            let start = SimTime::from_day_offset(day, SimDuration::from_secs_f64(hour * 3600.0));
+            let dur = sample_duration(kind, device.workstation, rng);
+            sessions.push(Session {
+                start,
+                end: start + dur,
+            });
+        }
+    }
+    sessions.sort_by_key(|s| s.start);
+    // Merge overlaps (a device has at most one live session) and clip at
+    // the end of the capture — the probe simply stops observing.
+    let capture_end = SimTime::from_day_offset(days - 1, SimDuration::from_hours(24));
+    let mut merged: Vec<Session> = Vec::with_capacity(sessions.len());
+    for mut s in sessions {
+        if s.start >= capture_end {
+            continue;
+        }
+        s.end = s.end.min(capture_end);
+        match merged.last_mut() {
+            Some(last) if s.start <= last.end => last.end = last.end.max(s.end),
+            _ => merged.push(s),
+        }
+    }
+    merged
+}
+
+/// A local file event inside a session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FileEvent {
+    /// When the client detects the change.
+    pub at: SimTime,
+    /// Content class of the touched file.
+    pub kind: ContentKind,
+    /// True for an edit of an existing file (delta path), false for a new
+    /// file.
+    pub is_edit: bool,
+}
+
+/// Upload-event rate per active hour, by behaviour group.
+pub fn upload_rate_per_hour(behavior: Behavior) -> f64 {
+    match behavior {
+        Behavior::Occasional => 0.002,
+        Behavior::UploadOnly => 2.0,
+        Behavior::DownloadOnly => 0.005,
+        Behavior::Heavy => 2.6,
+    }
+}
+
+/// Sample the content-kind mix of a group (upload-only users skew to
+/// media/backup content).
+fn sample_kind(behavior: Behavior, rng: &mut Rng) -> ContentKind {
+    let (text, doc) = match behavior {
+        Behavior::UploadOnly => (0.25, 0.25),
+        // The rare uploads of passive users are small text/config files.
+        Behavior::Occasional | Behavior::DownloadOnly => (0.85, 0.12),
+        Behavior::Heavy => (0.60, 0.28),
+    };
+    let u = rng.f64();
+    if u < text {
+        ContentKind::Text
+    } else if u < text + doc {
+        ContentKind::Document
+    } else {
+        ContentKind::Media
+    }
+}
+
+/// Poisson file events of one session.
+pub fn file_events(behavior: Behavior, session: &Session, rng: &mut Rng) -> Vec<FileEvent> {
+    let rate = upload_rate_per_hour(behavior);
+    let hours = session.duration().as_secs_f64() / 3600.0;
+    let mut out = Vec::new();
+    let mut t = 0.0;
+    loop {
+        t += dist::exponential(rng, rate.max(1e-9)) ;
+        if t >= hours {
+            break;
+        }
+        out.push(FileEvent {
+            at: session.start + SimDuration::from_secs_f64(t * 3600.0),
+            kind: sample_kind(behavior, rng),
+            is_edit: rng.chance(0.45),
+        });
+        if out.len() >= 400 {
+            break; // safety valve for extreme sessions
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dropbox::client::ClientVersion;
+
+    fn device(presence: f64) -> Device {
+        Device {
+            host_int: 1,
+            namespace_count: 3,
+            workstation: false,
+            always_on: false,
+            nat_afflicted: false,
+            abnormal_uploader: false,
+            daily_presence: presence,
+            version: ClientVersion::V1_2_52,
+        }
+    }
+
+    #[test]
+    fn sessions_are_disjoint_and_ordered() {
+        let mut rng = Rng::new(1);
+        let d = device(0.9);
+        let sessions = device_sessions(VantageKind::Home1, &d, 42, &mut rng);
+        assert!(!sessions.is_empty());
+        for w in sessions.windows(2) {
+            assert!(w[0].end < w[1].start, "sessions must not overlap");
+        }
+    }
+
+    #[test]
+    fn always_on_device_has_single_long_session() {
+        let mut rng = Rng::new(2);
+        let mut d = device(0.5);
+        d.always_on = true;
+        let sessions = device_sessions(VantageKind::Home1, &d, 42, &mut rng);
+        assert_eq!(sessions.len(), 1);
+        assert!(sessions[0].duration().secs() > 40 * 86_400);
+    }
+
+    #[test]
+    fn campus1_workstation_office_hours() {
+        let mut rng = Rng::new(3);
+        let mut d = device(0.9);
+        d.workstation = true;
+        let sessions = device_sessions(VantageKind::Campus1, &d, 42, &mut rng);
+        let mut weekend = 0;
+        for s in &sessions {
+            let h = s.start.hour();
+            assert!((6..=12).contains(&h), "start hour {h}");
+            if s.start.is_weekend() {
+                weekend += 1;
+            }
+        }
+        assert!(
+            (weekend as f64) < 0.2 * sessions.len() as f64,
+            "weekday seasonality: {weekend}/{}",
+            sessions.len()
+        );
+        // Typical duration around a work day.
+        let avg_h: f64 = sessions
+            .iter()
+            .map(|s| s.duration().as_secs_f64() / 3600.0)
+            .sum::<f64>()
+            / sessions.len() as f64;
+        assert!((6.0..11.0).contains(&avg_h), "avg session {avg_h} h");
+    }
+
+    #[test]
+    fn home_presence_is_flat_across_week() {
+        let rng = Rng::new(4);
+        let d = device(0.6);
+        let mut weekday_days = std::collections::BTreeSet::new();
+        let mut weekend_days = std::collections::BTreeSet::new();
+        // Aggregate over many devices for stability.
+        for seed in 0..200u64 {
+            let mut r = rng.fork(seed);
+            for s in device_sessions(VantageKind::Home1, &d, 42, &mut r) {
+                let day = s.start.day();
+                if s.start.is_weekend() {
+                    weekend_days.insert((seed, day));
+                } else {
+                    weekday_days.insert((seed, day));
+                }
+            }
+        }
+        // 12 weekend days vs 30 weekdays in the capture: the per-day rate
+        // should be comparable.
+        let weekday_rate = weekday_days.len() as f64 / 30.0;
+        let weekend_rate = weekend_days.len() as f64 / 12.0;
+        assert!(
+            (weekend_rate / weekday_rate) > 0.8,
+            "home usage should not drop at weekends: {weekend_rate:.1} vs {weekday_rate:.1}"
+        );
+    }
+
+    #[test]
+    fn presence_scales_days_online() {
+        let rng = Rng::new(5);
+        let low = device(0.3);
+        let high = device(0.9);
+        let days_of = |d: &Device, r: &mut Rng| {
+            let mut set = std::collections::BTreeSet::new();
+            for s in device_sessions(VantageKind::Home1, d, 42, r) {
+                set.insert(s.start.day());
+            }
+            set.len()
+        };
+        let mut low_sum = 0;
+        let mut high_sum = 0;
+        for i in 0..30 {
+            let mut r1 = rng.fork(i);
+            let mut r2 = rng.fork(1000 + i);
+            low_sum += days_of(&low, &mut r1);
+            high_sum += days_of(&high, &mut r2);
+        }
+        assert!(high_sum > low_sum * 2, "{high_sum} vs {low_sum}");
+    }
+
+    #[test]
+    fn file_event_rates_differ_by_group() {
+        let mut rng = Rng::new(6);
+        let session = Session {
+            start: SimTime::from_day_offset(2, SimDuration::from_hours(10)),
+            end: SimTime::from_day_offset(2, SimDuration::from_hours(14)),
+        };
+        let mut heavy = 0usize;
+        let mut occasional = 0usize;
+        for _ in 0..100 {
+            heavy += file_events(Behavior::Heavy, &session, &mut rng).len();
+            occasional += file_events(Behavior::Occasional, &session, &mut rng).len();
+        }
+        // 4-hour sessions at 2.6/h → ~10.4 expected per heavy session.
+        assert!((850..1_250).contains(&heavy), "heavy events {heavy}");
+        assert!(occasional < 30, "occasional events {occasional}");
+    }
+
+    #[test]
+    fn events_fall_inside_session() {
+        let mut rng = Rng::new(7);
+        let session = Session {
+            start: SimTime::from_secs(1_000),
+            end: SimTime::from_secs(10_000),
+        };
+        for e in file_events(Behavior::Heavy, &session, &mut rng) {
+            assert!(e.at >= session.start && e.at < session.end);
+        }
+    }
+}

@@ -1,0 +1,919 @@
+//! The end-to-end vantage-point simulation.
+//!
+//! [`simulate_vantage`] plays one vantage point's whole capture:
+//!
+//! 1. builds the population and registers devices/namespaces with the
+//!    meta-data plane,
+//! 2. schedules every device's sessions and file events,
+//! 3. orders all commits (local uploads and external-producer commits)
+//!    chronologically and propagates them to the namespace members —
+//!    on-line members download after a notification delay, off-line
+//!    members queue the work for their next session start (the login
+//!    synchronisation burst of Fig. 15(c)), same-LAN members are served by
+//!    the LAN Sync Protocol and generate no WAN traffic (Sec. 5.2),
+//! 4. renders every resulting connection through the `dropbox` protocol
+//!    engine and the `tcpmodel` network onto a `tstat::Monitor`,
+//! 5. adds web/API/direct-link usage and the flow-fidelity background
+//!    services.
+//!
+//! The output pairs each monitored flow record with its generator ground
+//! truth so the analysis layer's inferences can be scored.
+
+use crate::activity::{device_sessions, file_events, FileEvent, Session};
+use crate::population::{Behavior, Population};
+use crate::providers::background_flows;
+use crate::vantage::{Access, VantageConfig};
+use dnssim::DnsDirectory;
+use dropbox::client::{ChunkWork, ClientVersion, SyncConfig, SyncEngine};
+use dropbox::content::{sample_file_size, ChunkId, Content};
+use dropbox::lan_sync::{Announcement, LanSync};
+use dropbox::metadata::{FileId, HostInt, MetadataServer, NamespaceId, UserId};
+use dropbox::notification::{notification_flow, SessionEnd};
+use dropbox::storage::ChunkStore;
+use dropbox::web::{api_session_flows, direct_link_flow, web_session_flows};
+use dropbox::{FlowSpec, FlowTruth};
+use dropbox_analysis::Dataset;
+use nettrace::{Endpoint, FlowKey, FlowRecord, Ipv4};
+use simcore::{dist, Rng, SimDuration, SimTime};
+use std::collections::HashMap;
+use tcpmodel::{simulate, TcpParams};
+use tstat::Monitor;
+
+/// Result of one vantage-point simulation.
+pub struct SimOutput {
+    /// The dataset (monitored flow records + background records).
+    pub dataset: Dataset,
+    /// Ground truth aligned with `dataset.flows` (`None` for background).
+    pub truths: Vec<Option<FlowTruth>>,
+    /// Number of chunk transfers served by the LAN Sync Protocol (never
+    /// seen at the probe).
+    pub lan_synced: u64,
+    /// Ground-truth user accounts: groups of device ids (`host_int`s)
+    /// belonging to one user, for scoring the Sec. 2.3.1 inference.
+    pub truth_users: Vec<Vec<u64>>,
+}
+
+/// A commit of chunks into a namespace, in global time order.
+struct Commit {
+    at: SimTime,
+    ns: NamespaceId,
+    committer: Option<usize>, // global device index; None = external producer
+    chunks: Vec<ChunkWork>,
+}
+
+/// Work queued for a device.
+#[derive(Default)]
+struct DeviceQueue {
+    /// (deliver_at, chunks) for downloads while on-line.
+    online_downloads: Vec<(SimTime, Vec<ChunkWork>)>,
+    /// Per-commit chunk batches waiting for the next session start.
+    pending: Vec<(SimTime, Vec<ChunkWork>)>,
+    /// Pending commit batches per session index (resolved before render).
+    pending_at_start: HashMap<usize, Vec<Vec<ChunkWork>>>,
+}
+
+/// Flattened device handle.
+struct Dev {
+    hh: usize,
+    host_int: HostInt,
+    namespaces: Vec<NamespaceId>,
+    sessions: Vec<Session>,
+    behavior: Behavior,
+    version: ClientVersion,
+    abnormal: bool,
+    nat_afflicted: bool,
+    workstation: bool,
+}
+
+impl Dev {
+    fn session_containing(&self, t: SimTime) -> Option<usize> {
+        self.sessions
+            .iter()
+            .position(|s| s.start <= t && t <= s.end)
+    }
+
+    fn next_session_after(&self, t: SimTime) -> Option<usize> {
+        self.sessions.iter().position(|s| s.start > t)
+    }
+}
+
+/// Simulate one vantage point. `version` selects the client generation
+/// (v1.2.52 for the Mar–May capture, v1.4.0 for the Jun/Jul re-capture of
+/// Table 4).
+pub fn simulate_vantage(
+    config: &VantageConfig,
+    version: ClientVersion,
+    seed: u64,
+) -> SimOutput {
+    let root_rng = Rng::new(seed).fork_named(config.kind.name());
+    let dns = DnsDirectory::new();
+    let store = ChunkStore::new();
+    let mut md = MetadataServer::new();
+    let mut monitor = Monitor::new(config.expose_dns);
+
+    let population = Population::generate(config, version, &mut root_rng.fork_named("population"));
+
+    // ---- Register devices and namespaces ------------------------------
+    let mut devs: Vec<Dev> = Vec::new();
+    let mut truth_users: Vec<Vec<u64>> = Vec::new();
+    let mut ns_members: HashMap<NamespaceId, Vec<usize>> = HashMap::new();
+    let mut fed_namespaces: Vec<NamespaceId> = Vec::new();
+    let mut sched_rng = root_rng.fork_named("schedules");
+
+    for (hh_idx, hh) in population.households.iter().enumerate() {
+        let Some(behavior) = hh.behavior else { continue };
+        let user = UserId(1_000 + hh_idx as u64);
+        // Shared-folder pool of the household: enough folders so that the
+        // most connected device reaches its namespace count.
+        let max_ns = hh.devices.iter().map(|d| d.namespace_count).max().unwrap_or(1);
+        // Shared-folder pool of the household, created unlinked; devices
+        // join exactly the folders their namespace count calls for.
+        let mut pool: Vec<NamespaceId> = Vec::new();
+        while pool.len() < max_ns.saturating_sub(1) {
+            let ns = md.create_namespace_unlinked();
+            // External feed probability by behaviour: download-only
+            // households subscribe to folders produced elsewhere.
+            let fed_p = match behavior {
+                Behavior::DownloadOnly => 0.85,
+                Behavior::Heavy => 0.50,
+                Behavior::UploadOnly => 0.10,
+                Behavior::Occasional => 0.03,
+            };
+            if sched_rng.chance(fed_p) {
+                fed_namespaces.push(ns);
+            }
+            pool.push(ns);
+        }
+        truth_users.push(hh.devices.iter().map(|d| d.host_int).collect());
+        let mut root_marked = false;
+        for d in hh.devices.iter() {
+            let host = HostInt(d.host_int);
+            let root = md.register_host(user, host);
+            // Download-only (and some heavy) accounts receive content into
+            // their *root* from their own unmonitored devices elsewhere —
+            // the mirror image of the paper's upload-only users submitting
+            // "to geographically dispersed devices".
+            if !root_marked {
+                root_marked = true;
+                let root_fed_p = match behavior {
+                    Behavior::DownloadOnly => 0.85,
+                    Behavior::Heavy => 0.35,
+                    _ => 0.0,
+                };
+                if root_fed_p > 0.0 && sched_rng.chance(root_fed_p) {
+                    fed_namespaces.push(root);
+                }
+            }
+            // Link this device to the first (namespace_count - 1) folders.
+            let mut nss = vec![root];
+            for &ns in pool.iter().take(d.namespace_count.saturating_sub(1)) {
+                md.link_namespace(host, ns);
+                nss.push(ns);
+            }
+            let global_idx = devs.len();
+            for &ns in &nss {
+                ns_members.entry(ns).or_default().push(global_idx);
+            }
+            let sessions = device_sessions(
+                config.kind,
+                d,
+                config.days,
+                &mut sched_rng.fork(d.host_int),
+            );
+            devs.push(Dev {
+                hh: hh_idx,
+                host_int: host,
+                namespaces: nss,
+                sessions,
+                behavior,
+                version: d.version,
+                abnormal: d.abnormal_uploader,
+                nat_afflicted: d.nat_afflicted,
+                workstation: d.workstation,
+            });
+        }
+    }
+
+    // ---- Phase A: all commits in time order ----------------------------
+    let mut commit_rng = root_rng.fork_named("commits");
+    let mut raw_events: Vec<(SimTime, usize, FileEvent)> = Vec::new();
+    for (di, dev) in devs.iter().enumerate() {
+        if dev.abnormal {
+            continue; // handled separately
+        }
+        for s in &dev.sessions {
+            for e in file_events(dev.behavior, s, &mut commit_rng) {
+                raw_events.push((e.at, di, e));
+            }
+        }
+    }
+    // External producer commits on fed namespaces.
+    let mut external: Vec<(SimTime, NamespaceId)> = Vec::new();
+    for &ns in &fed_namespaces {
+        let rate_per_day = 1.5;
+        let mut t_days = 0.0;
+        loop {
+            t_days += dist::exponential(&mut commit_rng, rate_per_day);
+            if t_days >= config.days as f64 {
+                break;
+            }
+            external.push((
+                SimTime::from_micros((t_days * 86_400.0 * 1e6) as u64),
+                ns,
+            ));
+        }
+    }
+
+    // Materialise commits chronologically so edits see a consistent file
+    // registry per namespace.
+    #[derive(Clone)]
+    struct FileState {
+        content: Content,
+        chunk_ids: Vec<ChunkId>,
+    }
+    let mut ns_files: HashMap<NamespaceId, Vec<FileState>> = HashMap::new();
+    let mut next_seed: u64 = root_rng.fork_named("contentseed").next_u64() | 1;
+    let mut next_file: u64 = 1;
+
+    enum RawCommit {
+        Local(usize, FileEvent),
+        External(NamespaceId),
+    }
+    let mut ordered: Vec<(SimTime, RawCommit)> = raw_events
+        .into_iter()
+        .map(|(t, di, e)| (t, RawCommit::Local(di, e)))
+        .chain(external.into_iter().map(|(t, ns)| (t, RawCommit::External(ns))))
+        .collect();
+    ordered.sort_by_key(|(t, _)| *t);
+
+    let mut commits: Vec<Commit> = Vec::new();
+    for (t, raw) in ordered {
+        let (ns, committer, kind, is_edit) = match &raw {
+            RawCommit::Local(di, e) => {
+                let dev = &devs[*di];
+                // Root namespace favoured for personal files.
+                let ns = if dev.namespaces.len() == 1 || commit_rng.chance(0.5) {
+                    dev.namespaces[0]
+                } else {
+                    dev.namespaces[1 + commit_rng.below_usize(dev.namespaces.len() - 1)]
+                };
+                (ns, Some(*di), e.kind, e.is_edit)
+            }
+            RawCommit::External(ns) => {
+                // Collaborators elsewhere both add and edit; the kind mix
+                // matches ordinary users.
+                let kind = {
+                    let u = commit_rng.f64();
+                    if u < 0.42 {
+                        dropbox::content::ContentKind::Text
+                    } else if u < 0.75 {
+                        dropbox::content::ContentKind::Document
+                    } else {
+                        dropbox::content::ContentKind::Media
+                    }
+                };
+                (*ns, None, kind, commit_rng.chance(0.5))
+            }
+        };
+        let files = ns_files.entry(ns).or_default();
+        // A change event usually touches several files at once (saving a
+        // project, dropping a folder): 1 + geometric burst.
+        let burst = 1 + simcore::dist::geometric(&mut commit_rng, 0.38) as usize;
+        let mut chunks: Vec<ChunkWork> = Vec::new();
+        for b in 0..burst {
+            let edit_this = (is_edit || b > 0 && commit_rng.chance(0.5)) && !files.is_empty();
+            if edit_this {
+                let fi = commit_rng.below_usize(files.len());
+                let frac = (0.03 + commit_rng.f64() * 0.30).min(1.0);
+                let (next, changed) = files[fi].content.edit(frac, &mut commit_rng);
+                for &ci in &changed {
+                    let id = next.chunk_id(ci);
+                    files[fi].chunk_ids[ci as usize] = id;
+                    chunks.push(ChunkWork {
+                        id,
+                        wire_bytes: next.delta_wire_size(ci, frac),
+                        raw_bytes: next.chunk_size(ci),
+                    });
+                }
+                files[fi].content = next;
+            } else {
+                next_seed = next_seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let size = sample_file_size(kind, &mut commit_rng);
+                let content = Content::new(next_seed, size, kind);
+                let ids = content.chunk_ids();
+                for (i, &id) in ids.iter().enumerate() {
+                    chunks.push(ChunkWork {
+                        id,
+                        wire_bytes: content.wire_chunk_size(i as u32),
+                        raw_bytes: content.chunk_size(i as u32),
+                    });
+                }
+                next_file += 1;
+                files.push(FileState {
+                    content,
+                    chunk_ids: ids,
+                });
+                // Journal bookkeeping on the meta-data plane.
+                if let Some(nsm) = md.namespace_mut(ns) {
+                    nsm.commit(FileId(next_file), content, files.last().unwrap().chunk_ids.clone());
+                }
+            }
+        }
+        if chunks.is_empty() {
+            continue;
+        }
+        commits.push(Commit {
+            at: t,
+            ns,
+            committer,
+            chunks,
+        });
+    }
+
+    // ---- Phase B: propagate commits to members -------------------------
+    // Each household runs the LAN Sync Protocol on its subnet: on-line
+    // devices broadcast discovery announcements and serve chunks they hold
+    // to peers sharing the namespace, keeping that traffic off the WAN.
+    let mut queues: Vec<DeviceQueue> = (0..devs.len()).map(|_| DeviceQueue::default()).collect();
+    let mut uploads: Vec<Vec<(SimTime, Vec<ChunkWork>)>> = vec![Vec::new(); devs.len()];
+    let mut lans: HashMap<usize, LanSync> = HashMap::new();
+    let mut prop_rng = root_rng.fork_named("propagation");
+
+    for c in &commits {
+        if let Some(di) = c.committer {
+            uploads[di].push((c.at, c.chunks.clone()));
+            // The committer holds the chunks and, while on-line, announces
+            // itself on the household subnet.
+            let dev = &devs[di];
+            let lan = lans.entry(dev.hh).or_default();
+            if dev.session_containing(c.at).is_some() {
+                lan.announce(Announcement {
+                    host: dev.host_int,
+                    namespaces: dev.namespaces.clone(),
+                    at: c.at,
+                });
+            }
+            for w in &c.chunks {
+                lan.chunk_available(dev.host_int, w.id);
+            }
+        }
+        let members = ns_members.get(&c.ns).cloned().unwrap_or_default();
+        for m in members {
+            if Some(m) == c.committer {
+                continue;
+            }
+            let dev = &devs[m];
+            if dev.session_containing(c.at).is_some() {
+                // On-line member: ask the LAN first (Sec. 5.2), then fall
+                // back to a cloud retrieve.
+                let lan = lans.entry(dev.hh).or_default();
+                let pairs: Vec<(ChunkId, u64)> =
+                    c.chunks.iter().map(|w| (w.id, w.raw_bytes)).collect();
+                if lan.try_serve(dev.host_int, c.ns, &pairs, c.at).is_some() {
+                    continue;
+                }
+                let delay = SimDuration::from_secs(prop_rng.range_u64(2, 25));
+                queues[m].online_downloads.push((c.at + delay, c.chunks.clone()));
+                // Once the cloud retrieve lands, this device can serve the
+                // chunks to later peers on its LAN.
+                for w in &c.chunks {
+                    lan.chunk_available(dev.host_int, w.id);
+                }
+                lan.announce(Announcement {
+                    host: dev.host_int,
+                    namespaces: dev.namespaces.clone(),
+                    at: c.at,
+                });
+            } else {
+                queues[m].pending.push((c.at, c.chunks.clone()));
+            }
+        }
+    }
+    let lan_synced: u64 = lans.values().map(|l| l.served_chunks()).sum();
+    // Resolve pending commit batches to the first session after their
+    // commit time. Commits after a device's last session never sync
+    // (the capture ends first), as in reality.
+    for (di, dev) in devs.iter().enumerate() {
+        let pending = std::mem::take(&mut queues[di].pending);
+        for (t, batch) in pending {
+            if let Some(si) = dev.next_session_after(t) {
+                queues[di]
+                    .pending_at_start
+                    .entry(si)
+                    .or_default()
+                    .push(batch);
+            }
+        }
+    }
+
+    // ---- Phase C: render all device flows ------------------------------
+    let mut flows: Vec<FlowRecord> = Vec::new();
+    let mut truths: Vec<Option<FlowTruth>> = Vec::new();
+    let mut scratch: Vec<nettrace::Packet> = Vec::new();
+    let render_rng = root_rng.fork_named("render");
+    let mut port_counter: u32 = 0;
+
+    let mut play = |spec: &FlowSpec,
+                    at: SimTime,
+                    client_ip: Ipv4,
+                    access: Access,
+                    day: u32,
+                    monitor: &mut Monitor,
+                    flows: &mut Vec<FlowRecord>,
+                    truths: &mut Vec<Option<FlowTruth>>,
+                    rng: &mut Rng,
+                    scratch: &mut Vec<nettrace::Packet>| {
+        let Some(server_ip) = dns.resolve(&spec.server_name) else {
+            return;
+        };
+        monitor.observe_dns(&spec.server_name, server_ip);
+        port_counter = port_counter.wrapping_add(1);
+        let client = Endpoint::new(client_ip, (10_000 + (port_counter % 50_000)) as u16);
+        let server = Endpoint::new(server_ip, spec.port);
+        // Small household-stable spread on top of the base RTT so the
+        // CDFs of Fig. 6 show the narrow band the paper measures.
+        let spread = SimDuration::from_millis((client_ip.0 as u64 * 7) % 6);
+        let outer = spread
+            + match dnssim::DnsDirectory::role_of_name(&spec.server_name) {
+                Some(role) if role.is_amazon() => config.storage_rtt,
+                _ => config.control_rtt_on(day),
+            };
+        let path = config.path(access, outer, rng);
+        let tcp = match spec.truth {
+            _ if matches!(spec.truth, FlowTruth::Notification) => TcpParams::era_2012_v1(),
+            _ => match version {
+                ClientVersion::V1_2_52 => TcpParams::era_2012_v1(),
+                ClientVersion::V1_4_0 => TcpParams::era_2012_v14(),
+            },
+        };
+        scratch.clear();
+        simulate(
+            at,
+            FlowKey::new(client, server),
+            &spec.dialogue,
+            &path,
+            &tcp,
+            rng,
+            scratch,
+        );
+        if let Some(rec) = monitor.process_flow(scratch) {
+            flows.push(rec);
+            truths.push(Some(spec.truth.clone()));
+        }
+    };
+
+    for (di, dev) in devs.iter().enumerate() {
+        let hh = &population.households[dev.hh];
+        let sync_config = SyncConfig {
+            version: dev.version,
+            no_storage_acks: dev.abnormal,
+            ..SyncConfig::default()
+        };
+        let mut engine = SyncEngine::new(&dns, &store, sync_config, dev.host_int.0);
+        let mut dev_rng = render_rng.fork(dev.host_int.0);
+
+        // Index per-session transactions. Dropbox 1.4.0's bundling lets
+        // changes detected close together ride one connection: coalesce
+        // commits within 60 s into a single transaction for that version.
+        let coalesce = match dev.version {
+            ClientVersion::V1_2_52 => SimDuration::ZERO,
+            ClientVersion::V1_4_0 => SimDuration::from_secs(60),
+        };
+        let mut session_uploads: HashMap<usize, Vec<(SimTime, Vec<ChunkWork>)>> = HashMap::new();
+        for (t, chunks) in &uploads[di] {
+            if let Some(si) = dev.session_containing(*t) {
+                let list = session_uploads.entry(si).or_default();
+                match list.last_mut() {
+                    Some((t0, acc)) if !coalesce.is_zero() && t.saturating_since(*t0) <= coalesce => {
+                        acc.extend(chunks.iter().copied());
+                    }
+                    _ => list.push((*t, chunks.clone())),
+                }
+            }
+        }
+        let mut session_downloads: HashMap<usize, Vec<(SimTime, Vec<ChunkWork>)>> = HashMap::new();
+        for (t, chunks) in &queues[di].online_downloads {
+            let si = dev
+                .session_containing(*t)
+                .or_else(|| dev.next_session_after(*t));
+            if let Some(si) = si {
+                let t = (*t).max(dev.sessions[si].start);
+                session_downloads.entry(si).or_default().push((t, chunks.clone()));
+            }
+        }
+
+        for (si, session) in dev.sessions.iter().enumerate() {
+            let day = session.start.day();
+            let changes = session_downloads.get(&si).map(|v| v.len()).unwrap_or(0) as u32;
+
+            // Session-start control traffic.
+            let mut pending = queues[di].pending_at_start.remove(&si).unwrap_or_default();
+            // The login burst replays each missed changeset; very long
+            // offline periods collapse the tail into one bulk transaction.
+            const MAX_LOGIN_TRANSACTIONS: usize = 12;
+            if pending.len() > MAX_LOGIN_TRANSACTIONS {
+                let tail: Vec<ChunkWork> = pending
+                    .drain(MAX_LOGIN_TRANSACTIONS - 1..)
+                    .flatten()
+                    .collect();
+                pending.push(tail);
+            }
+            let pending_chunks: usize = pending.iter().map(Vec::len).sum();
+            for spec in engine.session_start_flows(pending_chunks, &mut dev_rng) {
+                play(
+                    &spec,
+                    session.start + SimDuration::from_millis(dev_rng.range_u64(50, 900)),
+                    hh.ip,
+                    hh.access,
+                    day,
+                    &mut monitor,
+                    &mut flows,
+                    &mut truths,
+                    &mut dev_rng,
+                    &mut scratch,
+                );
+            }
+
+            // Notification connection(s) covering the session.
+            let span = session.duration();
+            if dev.nat_afflicted {
+                // The gateway kills the connection within a minute; the
+                // client reconnects immediately. The effect is bursty in
+                // real gateways ([10]): model ~35 kills per session, after
+                // which the connection survives.
+                let mut t = session.start;
+                let mut frags = 0;
+                while t < session.end && frags < 28 {
+                    let frag = SimDuration::from_secs(dev_rng.range_u64(20, 55))
+                        .min(session.end.saturating_since(t));
+                    let spec = notification_flow(
+                        &dns,
+                        dev.host_int,
+                        md.namespaces_of(dev.host_int),
+                        frag,
+                        0,
+                        SessionEnd::NatReset,
+                        &mut dev_rng,
+                    );
+                    play(
+                        &spec, t, hh.ip, hh.access, day, &mut monitor, &mut flows, &mut truths,
+                        &mut dev_rng, &mut scratch,
+                    );
+                    t += frag + SimDuration::from_millis(200);
+                    frags += 1;
+                }
+                if t < session.end {
+                    let spec = notification_flow(
+                        &dns,
+                        dev.host_int,
+                        md.namespaces_of(dev.host_int),
+                        session.end.saturating_since(t),
+                        0,
+                        SessionEnd::ClientShutdown,
+                        &mut dev_rng,
+                    );
+                    play(
+                        &spec, t, hh.ip, hh.access, day, &mut monitor, &mut flows, &mut truths,
+                        &mut dev_rng, &mut scratch,
+                    );
+                }
+            } else {
+                let spec = notification_flow(
+                    &dns,
+                    dev.host_int,
+                    md.namespaces_of(dev.host_int),
+                    span,
+                    changes,
+                    SessionEnd::ClientShutdown,
+                    &mut dev_rng,
+                );
+                play(
+                    &spec,
+                    session.start,
+                    hh.ip,
+                    hh.access,
+                    day,
+                    &mut monitor,
+                    &mut flows,
+                    &mut truths,
+                    &mut dev_rng,
+                    &mut scratch,
+                );
+            }
+
+            // Login synchronisation burst: one transaction per missed
+            // changeset, staggered over the first minutes of the session.
+            let mut t_login = session.start + SimDuration::from_secs(dev_rng.range_u64(10, 40));
+            for batch in &pending {
+                for spec in engine.download_transaction(batch, day, &mut dev_rng, None, t_login) {
+                    play(
+                        &spec, t_login, hh.ip, hh.access, day, &mut monitor, &mut flows,
+                        &mut truths, &mut dev_rng, &mut scratch,
+                    );
+                }
+                t_login += SimDuration::from_secs(dev_rng.range_u64(3, 25));
+            }
+
+            // Periodic list refreshes (the short meta-data connections).
+            let mut t = session.start + SimDuration::from_mins(dev_rng.range_u64(20, 45));
+            while t < session.end {
+                let spec = engine.control_flow(false, &[(340, 420)], &mut dev_rng);
+                play(
+                    &spec, t, hh.ip, hh.access, day, &mut monitor, &mut flows, &mut truths,
+                    &mut dev_rng, &mut scratch,
+                );
+                t += SimDuration::from_mins(dev_rng.range_u64(25, 50));
+            }
+
+            // Uploads.
+            if let Some(ups) = session_uploads.get(&si) {
+                for (t, chunks) in ups {
+                    for spec in engine.upload_transaction(chunks, day, &mut dev_rng, None, *t) {
+                        play(
+                            &spec, *t, hh.ip, hh.access, day, &mut monitor, &mut flows,
+                            &mut truths, &mut dev_rng, &mut scratch,
+                        );
+                    }
+                }
+            }
+
+            // Downloads while on-line.
+            if let Some(downs) = session_downloads.get(&si) {
+                for (t, chunks) in downs {
+                    for spec in engine.download_transaction(chunks, day, &mut dev_rng, None, *t) {
+                        play(
+                            &spec, *t, hh.ip, hh.access, day, &mut monitor, &mut flows,
+                            &mut truths, &mut dev_rng, &mut scratch,
+                        );
+                    }
+                }
+            }
+
+            // Rare crash report (exception back-trace to dl-debugX).
+            if dev_rng.chance(0.008) {
+                let spec = engine.backtrace_flow(&mut dev_rng);
+                play(
+                    &spec,
+                    session.start + SimDuration::from_secs(dev_rng.range_u64(30, 300)),
+                    hh.ip,
+                    hh.access,
+                    day,
+                    &mut monitor,
+                    &mut flows,
+                    &mut truths,
+                    &mut dev_rng,
+                    &mut scratch,
+                );
+            }
+
+            // Occasional event-log report.
+            if dev_rng.chance(0.15) {
+                let spec = engine.event_log_flow(&mut dev_rng);
+                play(
+                    &spec,
+                    session.start + SimDuration::from_secs(dev_rng.range_u64(60, 600)),
+                    hh.ip,
+                    hh.access,
+                    day,
+                    &mut monitor,
+                    &mut flows,
+                    &mut truths,
+                    &mut dev_rng,
+                    &mut scratch,
+                );
+            }
+
+            // The misbehaving uploader: consecutive single-4MB-chunk
+            // connections during its active window (Home 2, days 8–22),
+            // clipped to the part of the session overlapping that window.
+            if dev.abnormal {
+                let win_lo = SimTime::from_day_offset(8.min(config.days - 1), SimDuration::ZERO);
+                let win_hi =
+                    SimTime::from_day_offset(23.min(config.days), SimDuration::ZERO);
+                let lo = session.start.max(win_lo);
+                let hi = session.end.min(win_hi);
+                let mut t = lo + SimDuration::from_secs(30);
+                let mut n: u64 = dev.host_int.0 << 16;
+                while t < hi {
+                    n += 1;
+                    let chunk = ChunkWork {
+                        id: ChunkId(n),
+                        wire_bytes: 4 * 1024 * 1024,
+                        raw_bytes: 4 * 1024 * 1024,
+                    };
+                    let spec = engine.store_flow(&[chunk], day, &mut dev_rng, None, t);
+                    play(
+                        &spec, t, hh.ip, hh.access, day, &mut monitor, &mut flows, &mut truths,
+                        &mut dev_rng, &mut scratch,
+                    );
+                    t += SimDuration::from_secs(dev_rng.range_u64(1_100, 1_900));
+                }
+            }
+
+            let _ = dev.workstation;
+        }
+    }
+
+    // ---- Phase D: web interface, direct links, API ----------------------
+    let mut web_rng = root_rng.fork_named("web");
+    for hh in &population.households {
+        if !hh.uses_web {
+            continue;
+        }
+        for day in 0..config.days {
+            let at = |r: &mut Rng| {
+                SimTime::from_day_offset(
+                    day,
+                    SimDuration::from_secs(r.range_u64(8 * 3600, 85_000)),
+                )
+            };
+            if web_rng.chance(0.06) {
+                let t = at(&mut web_rng);
+                for spec in web_session_flows(&mut web_rng) {
+                    play(
+                        &spec, t, hh.ip, hh.access, day, &mut monitor, &mut flows, &mut truths,
+                        &mut web_rng.clone(), &mut scratch,
+                    );
+                }
+            }
+            if web_rng.chance(0.55) {
+                let t = at(&mut web_rng);
+                let spec = direct_link_flow(&mut web_rng);
+                play(
+                    &spec, t, hh.ip, hh.access, day, &mut monitor, &mut flows, &mut truths,
+                    &mut web_rng.clone(), &mut scratch,
+                );
+            }
+            if hh.behavior.is_some() && web_rng.chance(0.08) {
+                let t = at(&mut web_rng);
+                for spec in api_session_flows(&mut web_rng) {
+                    play(
+                        &spec, t, hh.ip, hh.access, day, &mut monitor, &mut flows, &mut truths,
+                        &mut web_rng.clone(), &mut scratch,
+                    );
+                }
+            }
+        }
+    }
+
+    // ---- Phase E: background providers ----------------------------------
+    let background = background_flows(config, &population, &mut root_rng.fork_named("providers"));
+    for rec in background {
+        flows.push(rec);
+        truths.push(None);
+    }
+
+    let mut dataset = Dataset::new(config.kind.name(), config.expose_dns, config.days);
+    dataset.flows = flows;
+    SimOutput {
+        dataset,
+        truths,
+        lan_synced,
+        truth_users,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vantage::VantageKind;
+    use dropbox_analysis::classify::{dropbox_role, provider_of, DropboxRole, Provider};
+
+    fn small_sim(kind: VantageKind) -> SimOutput {
+        let mut config = VantageConfig::paper(kind, 0.02);
+        config.days = 7;
+        simulate_vantage(&config, ClientVersion::V1_2_52, 42)
+    }
+
+    #[test]
+    fn produces_flows_of_all_planes() {
+        let out = small_sim(VantageKind::Home1);
+        let ds = &out.dataset;
+        assert!(!ds.flows.is_empty());
+        let mut roles = std::collections::HashSet::new();
+        for f in ds.flows.iter() {
+            if let Some(r) = dropbox_role(f) {
+                roles.insert(format!("{r:?}"));
+            }
+        }
+        assert!(roles.contains("ClientStorage"), "roles: {roles:?}");
+        assert!(roles.contains("ClientControl"));
+        assert!(roles.contains("NotifyControl"));
+    }
+
+    #[test]
+    fn truths_align_with_flows() {
+        let out = small_sim(VantageKind::Home1);
+        assert_eq!(out.dataset.flows.len(), out.truths.len());
+        // All monitored Dropbox flows carry a truth; background has none.
+        for (f, t) in out.dataset.flows.iter().zip(&out.truths) {
+            match provider_of(f) {
+                Provider::Dropbox => assert!(t.is_some(), "dropbox flow without truth"),
+                _ => assert!(t.is_none(), "background flow with truth"),
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = small_sim(VantageKind::Campus1);
+        let b = small_sim(VantageKind::Campus1);
+        assert_eq!(a.dataset.flows.len(), b.dataset.flows.len());
+        let bytes_a: u64 = a.dataset.flows.iter().map(|f| f.total_bytes()).sum();
+        let bytes_b: u64 = b.dataset.flows.iter().map(|f| f.total_bytes()).sum();
+        assert_eq!(bytes_a, bytes_b);
+    }
+
+    #[test]
+    fn notification_flows_carry_device_ids() {
+        let out = small_sim(VantageKind::Home1);
+        let notify: Vec<_> = out
+            .dataset
+            .flows
+            .iter()
+            .filter(|f| dropbox_role(f) == Some(DropboxRole::NotifyControl))
+            .collect();
+        assert!(!notify.is_empty());
+        assert!(notify.iter().all(|f| f.notify.is_some()));
+    }
+
+    #[test]
+    fn storage_flows_have_valid_truth_tags() {
+        let out = small_sim(VantageKind::Home1);
+        let mut stores = 0;
+        let mut retrieves = 0;
+        for (f, t) in out.dataset.flows.iter().zip(&out.truths) {
+            if dropbox_role(f) == Some(DropboxRole::ClientStorage) {
+                match t {
+                    Some(FlowTruth::Store { .. }) => stores += 1,
+                    Some(FlowTruth::Retrieve { .. }) => retrieves += 1,
+                    other => panic!("storage flow with truth {other:?}"),
+                }
+            }
+        }
+        assert!(stores > 0, "no store flows generated");
+        assert!(retrieves > 0, "no retrieve flows generated");
+    }
+
+    #[test]
+    fn lan_sync_saves_wan_retrievals_in_multi_device_homes() {
+        // With LAN sync active, some same-household propagation is served
+        // locally; the saving counter must be positive on home vantages.
+        let mut config = VantageConfig::paper(VantageKind::Home1, 0.04);
+        config.days = 10;
+        let out = simulate_vantage(&config, ClientVersion::V1_2_52, 11);
+        assert!(out.lan_synced > 0, "no LAN-sync savings recorded");
+    }
+
+    #[test]
+    fn v14_coalescing_reduces_storage_flow_count() {
+        let mut config = VantageConfig::paper(VantageKind::Campus1, 0.2);
+        config.days = 10;
+        let v1 = simulate_vantage(&config, ClientVersion::V1_2_52, 5);
+        let v14 = simulate_vantage(&config, ClientVersion::V1_4_0, 5);
+        let stores = |o: &SimOutput| {
+            o.truths
+                .iter()
+                .filter(|t| matches!(t, Some(FlowTruth::Store { .. })))
+                .count()
+        };
+        // Same population and events; coalescing merges commits within
+        // 60 s, so v1.4.0 produces at most as many store flows.
+        assert!(
+            stores(&v14) <= stores(&v1),
+            "v14 {} vs v1 {}",
+            stores(&v14),
+            stores(&v1)
+        );
+    }
+
+    #[test]
+    fn truth_users_cover_all_observed_devices() {
+        let mut config = VantageConfig::paper(VantageKind::Home2, 0.03);
+        config.days = 7;
+        let out = simulate_vantage(&config, ClientVersion::V1_2_52, 9);
+        let truth_devices: std::collections::BTreeSet<u64> =
+            out.truth_users.iter().flatten().copied().collect();
+        for f in &out.dataset.flows {
+            if let Some(meta) = &f.notify {
+                assert!(
+                    truth_devices.contains(&meta.host_int),
+                    "observed device {} missing from truth users",
+                    meta.host_int
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn campus2_records_lack_fqdn() {
+        let out = small_sim(VantageKind::Campus2);
+        assert!(out.dataset.flows.iter().all(|f| f.server_fqdn.is_none()));
+        // But SNI still identifies Dropbox.
+        assert!(out
+            .dataset
+            .flows
+            .iter()
+            .any(|f| provider_of(f) == Provider::Dropbox));
+    }
+}

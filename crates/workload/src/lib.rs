@@ -1,0 +1,30 @@
+//! Workload generation: the populations, behaviours, and schedules that
+//! drive the simulated Dropbox deployment at the four vantage points.
+//!
+//! * [`vantage`] — per-vantage-point configuration: population sizes,
+//!   access technologies, RTT bands to the storage and control
+//!   data-centers, loss rates, and capability flags (Table 2 / Sec. 3.2),
+//! * [`population`] — households, devices and users: behaviour groups
+//!   (Sec. 5.1), devices per household (Fig. 12), namespaces per device
+//!   (Fig. 13), and the special actors (the Home 2 misbehaving uploader),
+//! * [`activity`] — session schedules (diurnal and weekly patterns,
+//!   Figs. 14–16) and file-event processes per behaviour group,
+//! * [`providers`] — background services at flow fidelity: iCloud,
+//!   SkyDrive, Google Drive (with its launch-day step), the smaller
+//!   providers, YouTube, and residual traffic (Figs. 2–3),
+//! * [`driver`] — the end-to-end simulation: plays every device's sessions
+//!   through the `dropbox` protocol engine and the `tcpmodel` network onto
+//!   a `tstat` monitor, producing one [`dropbox_analysis`-ready] dataset
+//!   of flow records per vantage point.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activity;
+pub mod driver;
+pub mod population;
+pub mod providers;
+pub mod vantage;
+
+pub use driver::{simulate_vantage, SimOutput};
+pub use vantage::{VantageConfig, VantageKind};

@@ -1,0 +1,280 @@
+//! Vantage-point configurations (Table 2 / Secs. 3.2, 4.2).
+//!
+//! The four monitored networks differ in access technology, user
+//! population, and distance to the Dropbox data-centers. Absolute
+//! population sizes are scaled by a configurable factor (simulating tens
+//! of thousands of ADSL lines at packet fidelity is pointless); every
+//! reported figure is a *share* or a *distribution*, so the scale cancels
+//! out — `EXPERIMENTS.md` documents the factor used for the shipped
+//! results.
+
+use simcore::{Rng, SimDuration};
+use tcpmodel::PathParams;
+
+/// The four vantage points.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum VantageKind {
+    /// Wired research/administrative workstations (CS department).
+    Campus1,
+    /// Border of a university: wireless access points + student houses,
+    /// NAT and proxies; DNS not visible to the probe.
+    Campus2,
+    /// FTTH/ADSL customers of a nationwide ISP.
+    Home1,
+    /// ADSL customers.
+    Home2,
+}
+
+impl VantageKind {
+    /// All vantage points in the paper's order.
+    pub const ALL: [VantageKind; 4] = [
+        VantageKind::Campus1,
+        VantageKind::Campus2,
+        VantageKind::Home1,
+        VantageKind::Home2,
+    ];
+
+    /// Dataset name as in Table 2.
+    pub fn name(self) -> &'static str {
+        match self {
+            VantageKind::Campus1 => "Campus 1",
+            VantageKind::Campus2 => "Campus 2",
+            VantageKind::Home1 => "Home 1",
+            VantageKind::Home2 => "Home 2",
+        }
+    }
+
+    /// Whether this is a home (ISP) vantage point.
+    pub fn is_home(self) -> bool {
+        matches!(self, VantageKind::Home1 | VantageKind::Home2)
+    }
+}
+
+/// Access technology of a household / client machine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Access {
+    /// Campus wired Ethernet.
+    Wired,
+    /// Campus WiFi.
+    Wireless,
+    /// Fibre to the home.
+    Ftth,
+    /// ADSL (asymmetric, uplink-constrained).
+    Adsl,
+}
+
+/// Full configuration of one vantage point simulation.
+#[derive(Clone, Debug)]
+pub struct VantageConfig {
+    /// Which vantage point.
+    pub kind: VantageKind,
+    /// Number of client addresses (households / workstations) simulated.
+    pub addresses: usize,
+    /// Fraction of addresses with the Dropbox client installed.
+    pub dropbox_penetration: f64,
+    /// Capture length in days.
+    pub days: u32,
+    /// Whether the probe sees DNS traffic.
+    pub expose_dns: bool,
+    /// Base probe↔storage (Amazon) RTT.
+    pub storage_rtt: SimDuration,
+    /// Base probe↔control (Dropbox DC) RTT.
+    pub control_rtt: SimDuration,
+    /// Days at which the control route shifts by a small step
+    /// (the <10 ms steps of Fig. 6 in Campus 1 / Home 2).
+    pub control_route_steps: Vec<(u32, i64)>,
+    /// Whether this vantage hosts the misbehaving single-chunk uploader.
+    pub has_abnormal_uploader: bool,
+}
+
+impl VantageConfig {
+    /// The paper-calibrated configuration of a vantage point, with the
+    /// device population scaled by `scale`.
+    pub fn paper(kind: VantageKind, scale: f64) -> Self {
+        let s = |n: usize| ((n as f64 * scale).round() as usize).max(8);
+        match kind {
+            VantageKind::Campus1 => VantageConfig {
+                kind,
+                addresses: s(400),
+                dropbox_penetration: 0.62, // 283 devices over 400 wired IPs
+                days: 42,
+                expose_dns: true,
+                storage_rtt: SimDuration::from_millis(96),
+                control_rtt: SimDuration::from_millis(168),
+                control_route_steps: vec![(12, 6), (30, -4)],
+                has_abnormal_uploader: false,
+            },
+            VantageKind::Campus2 => VantageConfig {
+                kind,
+                addresses: s(2_528),
+                dropbox_penetration: 0.75,
+                days: 42,
+                expose_dns: false,
+                storage_rtt: SimDuration::from_millis(88),
+                control_rtt: SimDuration::from_millis(152),
+                control_route_steps: Vec::new(),
+                has_abnormal_uploader: false,
+            },
+            VantageKind::Home1 => VantageConfig {
+                kind,
+                addresses: s(18_785),
+                dropbox_penetration: 0.069, // 6.9% of households (Sec. 3.3)
+                days: 42,
+                expose_dns: true,
+                storage_rtt: SimDuration::from_millis(108),
+                control_rtt: SimDuration::from_millis(204),
+                control_route_steps: Vec::new(),
+                has_abnormal_uploader: false,
+            },
+            VantageKind::Home2 => VantageConfig {
+                kind,
+                addresses: s(13_723),
+                dropbox_penetration: 0.062,
+                days: 42,
+                expose_dns: true,
+                storage_rtt: SimDuration::from_millis(82),
+                control_rtt: SimDuration::from_millis(146),
+                control_route_steps: vec![(20, 8)],
+                has_abnormal_uploader: true,
+            },
+        }
+    }
+
+    /// Sample the access technology of a household at this vantage point.
+    pub fn sample_access(&self, rng: &mut Rng) -> Access {
+        match self.kind {
+            VantageKind::Campus1 => Access::Wired,
+            VantageKind::Campus2 => {
+                if rng.chance(0.75) {
+                    Access::Wireless
+                } else {
+                    Access::Wired
+                }
+            }
+            VantageKind::Home1 => {
+                if rng.chance(0.35) {
+                    Access::Ftth
+                } else {
+                    Access::Adsl
+                }
+            }
+            VantageKind::Home2 => Access::Adsl,
+        }
+    }
+
+    /// Control-plane RTT on a given day (including route steps).
+    pub fn control_rtt_on(&self, day: u32) -> SimDuration {
+        let mut ms = self.control_rtt.millis() as i64;
+        for &(step_day, delta) in &self.control_route_steps {
+            if day >= step_day {
+                ms += delta;
+            }
+        }
+        SimDuration::from_millis(ms.max(1) as u64)
+    }
+
+    /// Path parameters for a flow from a household with the given access
+    /// technology to a server plane with base RTT `outer`.
+    pub fn path(&self, access: Access, outer: SimDuration, rng: &mut Rng) -> PathParams {
+        let (inner_ms, loss, up_rate, down_rate) = match access {
+            Access::Wired => (rng.range_u64(2, 8), 0.0004, None, None),
+            Access::Wireless => (rng.range_u64(6, 35), 0.006, None, None),
+            Access::Ftth => (
+                rng.range_u64(3, 10),
+                0.0006,
+                Some(rng.range_u64(1_200_000, 4_000_000)),
+                Some(rng.range_u64(3_000_000, 12_000_000)),
+            ),
+            Access::Adsl => (
+                rng.range_u64(25, 60),
+                0.001,
+                Some(rng.range_u64(40_000, 130_000)),
+                Some(rng.range_u64(250_000, 2_500_000)),
+            ),
+        };
+        PathParams {
+            inner_rtt: SimDuration::from_millis(inner_ms),
+            outer_rtt: outer,
+            jitter: 0.06,
+            loss_up: loss,
+            loss_down: loss,
+            up_rate,
+            down_rate,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_respects_minimum() {
+        let c = VantageConfig::paper(VantageKind::Campus1, 0.001);
+        assert!(c.addresses >= 8);
+        let full = VantageConfig::paper(VantageKind::Home1, 1.0);
+        assert_eq!(full.addresses, 18_785);
+    }
+
+    #[test]
+    fn storage_rtt_band_matches_figure_6() {
+        for kind in VantageKind::ALL {
+            let c = VantageConfig::paper(kind, 0.1);
+            let s = c.storage_rtt.millis();
+            let ctl = c.control_rtt.millis();
+            assert!((80..=120).contains(&s), "{kind:?} storage {s}");
+            assert!((140..=220).contains(&ctl), "{kind:?} control {ctl}");
+            assert!(ctl > s, "control farther than storage");
+        }
+    }
+
+    #[test]
+    fn control_route_steps_apply() {
+        let c = VantageConfig::paper(VantageKind::Campus1, 0.1);
+        let before = c.control_rtt_on(0).millis();
+        let mid = c.control_rtt_on(15).millis();
+        assert_eq!(mid as i64 - before as i64, 6);
+        // Steps stay under 10 ms as in the paper.
+        for d in 0..42 {
+            let diff = (c.control_rtt_on(d).millis() as i64 - before as i64).abs();
+            assert!(diff < 10);
+        }
+    }
+
+    #[test]
+    fn access_matches_vantage() {
+        let mut rng = Rng::new(1);
+        let c1 = VantageConfig::paper(VantageKind::Campus1, 0.1);
+        for _ in 0..10 {
+            assert_eq!(c1.sample_access(&mut rng), Access::Wired);
+        }
+        let h2 = VantageConfig::paper(VantageKind::Home2, 0.1);
+        for _ in 0..10 {
+            assert_eq!(h2.sample_access(&mut rng), Access::Adsl);
+        }
+        let h1 = VantageConfig::paper(VantageKind::Home1, 0.1);
+        let mut kinds = std::collections::HashSet::new();
+        for _ in 0..100 {
+            kinds.insert(format!("{:?}", h1.sample_access(&mut rng)));
+        }
+        assert!(kinds.contains("Ftth") && kinds.contains("Adsl"));
+    }
+
+    #[test]
+    fn adsl_paths_are_rate_capped() {
+        let mut rng = Rng::new(2);
+        let h2 = VantageConfig::paper(VantageKind::Home2, 0.1);
+        let p = h2.path(Access::Adsl, h2.storage_rtt, &mut rng);
+        assert!(p.up_rate.unwrap() < 150_000, "ADSL uplink under ~1.2 Mbit/s");
+        assert!(p.down_rate.unwrap() > p.up_rate.unwrap(), "asymmetric");
+        let c1 = VantageConfig::paper(VantageKind::Campus1, 0.1);
+        let p = c1.path(Access::Wired, c1.storage_rtt, &mut rng);
+        assert!(p.up_rate.is_none() && p.down_rate.is_none());
+    }
+
+    #[test]
+    fn campus2_hides_dns() {
+        assert!(!VantageConfig::paper(VantageKind::Campus2, 0.1).expose_dns);
+        assert!(VantageConfig::paper(VantageKind::Home1, 0.1).expose_dns);
+    }
+}

@@ -1,0 +1,105 @@
+//! Downstream trace analysis: consume an exported anonymised flow log
+//! (the repository's counterpart of the paper's published traces) and
+//! recompute the headline analyses — no simulator involved.
+//!
+//! ```text
+//! cargo run --release -p experiments --bin repro -- table3 --scale 0.02 --export-traces
+//! cargo run --release --example analyze_trace -- results/traces_home1.jsonl
+//! ```
+//!
+//! Without an argument, the example generates a small capture in memory,
+//! round-trips it through the JSONL format, and analyses that.
+
+use inside_dropbox::analysis::chunks::estimate_chunks;
+use inside_dropbox::analysis::classify::{
+    dropbox_role, provider_of, storage_tag, DropboxRole, Provider, StorageTag,
+};
+use inside_dropbox::analysis::groups::{aggregate_households, group_of, UserGroup};
+use inside_dropbox::analysis::throughput::throughput_bps;
+use inside_dropbox::prelude::*;
+use inside_dropbox::trace::flowlog;
+
+fn load_or_generate() -> Vec<FlowRecord> {
+    if let Some(path) = std::env::args().nth(1) {
+        let file = std::fs::File::open(&path).unwrap_or_else(|e| panic!("open {path}: {e}"));
+        let flows =
+            flowlog::read_jsonl(std::io::BufReader::new(file)).expect("parse flow log");
+        println!("loaded {} flows from {path}", flows.len());
+        flows
+    } else {
+        println!("no trace given — generating a small capture and round-tripping it");
+        let mut config = VantageConfig::paper(VantageKind::Home1, 0.015);
+        config.days = 7;
+        let out = simulate_vantage(&config, ClientVersion::V1_2_52, 77);
+        let mut flows = out.dataset.flows;
+        flowlog::anonymise_clients(&mut flows);
+        let mut buf = Vec::new();
+        flowlog::write_jsonl(&mut buf, &flows).expect("serialise");
+        flowlog::read_jsonl(std::io::Cursor::new(buf)).expect("reparse")
+    }
+}
+
+fn main() {
+    let flows = load_or_generate();
+
+    // Provider attribution.
+    let dropbox: Vec<&FlowRecord> = flows
+        .iter()
+        .filter(|f| provider_of(f) == Provider::Dropbox)
+        .collect();
+    println!(
+        "\n{} of {} flows are Dropbox ({:.1}% of bytes)",
+        dropbox.len(),
+        flows.len(),
+        100.0 * dropbox.iter().map(|f| f.total_bytes()).sum::<u64>() as f64
+            / flows.iter().map(|f| f.total_bytes()).sum::<u64>().max(1) as f64
+    );
+
+    // Storage tagging + chunk estimation + throughput.
+    let mut store = 0usize;
+    let mut retrieve = 0usize;
+    let mut chunk_hist = [0usize; 4];
+    let mut thr = Vec::new();
+    for f in &dropbox {
+        if dropbox_role(f) != Some(DropboxRole::ClientStorage) {
+            continue;
+        }
+        match storage_tag(f) {
+            StorageTag::Store => store += 1,
+            StorageTag::Retrieve => retrieve += 1,
+        }
+        let c = estimate_chunks(f);
+        let bucket = match c {
+            0..=1 => 0,
+            2..=5 => 1,
+            6..=50 => 2,
+            _ => 3,
+        };
+        chunk_hist[bucket] += 1;
+        if let Some(x) = throughput_bps(f) {
+            thr.push(x);
+        }
+    }
+    println!("storage flows : {store} store / {retrieve} retrieve");
+    println!(
+        "chunks/flow   : 1:{} 2-5:{} 6-50:{} 51-100:{}",
+        chunk_hist[0], chunk_hist[1], chunk_hist[2], chunk_hist[3]
+    );
+    let avg = thr.iter().sum::<f64>() / thr.len().max(1) as f64;
+    println!("avg throughput: {:.0} kbit/s over {} flows", avg / 1e3, thr.len());
+
+    // User groups on the anonymised addresses.
+    let households = aggregate_households(&flows);
+    let mut groups: std::collections::BTreeMap<UserGroup, usize> = Default::default();
+    for h in households.values() {
+        *groups.entry(group_of(h)).or_default() += 1;
+    }
+    println!("\nhouseholds by group (anonymised addresses):");
+    for g in UserGroup::ALL {
+        println!(
+            "  {:<14} {:>5}",
+            g.label(),
+            groups.get(&g).copied().unwrap_or(0)
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! A working day at the Campus 2 border router: diurnal usage, RTT
+//! structure, and the throughput picture of Sec. 4, on a small population.
+//!
+//! ```text
+//! cargo run --release --example campus_day
+//! ```
+
+use inside_dropbox::analysis::chunks::estimate_chunks;
+use inside_dropbox::analysis::classify::{dropbox_role, storage_tag, DropboxRole};
+use inside_dropbox::analysis::sessions::hourly_profiles;
+use inside_dropbox::analysis::throughput::{throughput_bps, ThetaModel};
+use inside_dropbox::prelude::*;
+
+fn bar(frac: f64, width: usize) -> String {
+    let n = (frac * width as f64).round() as usize;
+    "#".repeat(n.min(width))
+}
+
+fn main() {
+    // Five capture days (Mon–Fri live on days 2–6 of the calendar).
+    let mut config = VantageConfig::paper(VantageKind::Campus2, 0.015);
+    config.days = 7;
+    let out = simulate_vantage(&config, ClientVersion::V1_2_52, 1234);
+    let ds = &out.dataset;
+    println!("{}: {} flow records", ds.name, ds.flows.len());
+
+    // Hourly activity (Fig. 15 in miniature).
+    let p = hourly_profiles(&ds.flows, ds.days);
+    let max = p
+        .active
+        .iter()
+        .cloned()
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    println!("\nactive devices by hour (working days):");
+    for h in 0..24 {
+        println!("  {h:02}:00 {:<40} {:.3}", bar(p.active[h] / max, 40), p.active[h]);
+    }
+
+    // RTT split (Fig. 6).
+    let mut storage_rtt = Vec::new();
+    let mut control_rtt = Vec::new();
+    for f in &ds.flows {
+        if f.rtt_samples < 10 {
+            continue;
+        }
+        match dropbox_role(f) {
+            Some(DropboxRole::ClientStorage) => storage_rtt.extend(f.min_rtt_ms),
+            Some(DropboxRole::ClientControl) => control_rtt.extend(f.min_rtt_ms),
+            _ => {}
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "\nmin-RTT: storage {:.0} ms ({} flows), control {:.0} ms ({} flows)",
+        mean(&storage_rtt),
+        storage_rtt.len(),
+        mean(&control_rtt),
+        control_rtt.len()
+    );
+
+    // Throughput vs the slow-start bound (Fig. 9).
+    let theta = ThetaModel::paper(SimDuration::from_millis(100));
+    let mut rows: Vec<(u64, f64, u32)> = Vec::new();
+    for f in ds.client_storage_flows() {
+        if storage_tag(f) != StorageTag::Store {
+            continue;
+        }
+        if let Some(thr) = throughput_bps(f) {
+            rows.push((
+                inside_dropbox::analysis::classify::transfer_size(f),
+                thr,
+                estimate_chunks(f),
+            ));
+        }
+    }
+    rows.sort_by_key(|r| r.0);
+    println!("\nstore throughput vs size (sampled) — θ is the slow-start bound:");
+    println!("{:>12} {:>14} {:>8} {:>14}", "bytes", "throughput", "chunks", "θ(bytes)");
+    let step = (rows.len() / 12).max(1);
+    for row in rows.iter().step_by(step) {
+        println!(
+            "{:>12} {:>11.0} kb/s {:>8} {:>11.0} kb/s",
+            row.0,
+            row.1 / 1e3,
+            row.2,
+            theta.theta_bps(row.0) / 1e3
+        );
+    }
+    let avg: f64 = rows.iter().map(|r| r.1).sum::<f64>() / rows.len().max(1) as f64;
+    println!(
+        "\naverage store throughput: {:.0} kbit/s  (paper Campus 2: 462 kbit/s)",
+        avg / 1e3
+    );
+}

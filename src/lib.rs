@@ -1,0 +1,68 @@
+//! # inside-dropbox
+//!
+//! A full reproduction of *Inside Dropbox: Understanding Personal Cloud
+//! Storage Services* (Drago et al., IMC 2012) as a Rust workspace: the
+//! Dropbox client/server protocol, a segment-level TCP+TLS network model,
+//! a Tstat-like passive monitor, the four vantage-point workloads, and the
+//! paper's complete analysis methodology.
+//!
+//! This facade crate re-exports the workspace so applications and the
+//! bundled examples can depend on a single crate:
+//!
+//! ```
+//! use inside_dropbox::prelude::*;
+//!
+//! // Simulate one small vantage point and run the paper's classifier.
+//! let mut config = VantageConfig::paper(VantageKind::Home1, 0.01);
+//! config.days = 3;
+//! let out = simulate_vantage(&config, ClientVersion::V1_2_52, 7);
+//! let dropbox_flows = out
+//!     .dataset
+//!     .flows
+//!     .iter()
+//!     .filter(|f| provider_of(f) == Provider::Dropbox)
+//!     .count();
+//! assert!(dropbox_flows > 0);
+//! ```
+//!
+//! The layer map (see `DESIGN.md` for the full inventory):
+//!
+//! | layer | crate | re-export |
+//! |---|---|---|
+//! | analysis (the paper's contribution) | `dropbox-analysis` | [`analysis`] |
+//! | passive monitor | `tstat` | [`monitor`] |
+//! | workload / vantage points | `workload` | [`scenarios`] |
+//! | the Dropbox system model | `dropbox` | [`system`] |
+//! | TCP + TLS network model | `tcpmodel` | [`net`] |
+//! | DNS substrate | `dnssim` | [`dns`] |
+//! | packet/flow records | `nettrace` | [`trace`] |
+//! | content codecs | `contenthash` | [`codecs`] |
+//! | simulation core | `simcore` | [`sim`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use contenthash as codecs;
+pub use dnssim as dns;
+pub use dropbox as system;
+pub use dropbox_analysis as analysis;
+pub use nettrace as trace;
+pub use simcore as sim;
+pub use tcpmodel as net;
+pub use tstat as monitor;
+pub use workload as scenarios;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use dropbox::client::{ChunkWork, ClientVersion, SyncConfig, SyncEngine};
+    pub use dropbox::{FlowSpec, FlowTruth};
+    pub use dropbox_analysis::classify::{
+        dropbox_role, provider_of, storage_tag, DropboxRole, Provider, StorageTag,
+    };
+    pub use dropbox_analysis::Dataset;
+    pub use nettrace::{FlowRecord, Packet};
+    pub use simcore::{Rng, SimDuration, SimTime};
+    pub use tcpmodel::{simulate as simulate_connection, Dialogue, PathParams, TcpParams};
+    pub use tstat::Monitor;
+    pub use workload::{simulate_vantage, SimOutput, VantageConfig, VantageKind};
+}

@@ -1,0 +1,53 @@
+//! Smoke test: every report generator produces a non-empty body and
+//! well-formed CSV artifacts on a tiny capture.
+
+use experiments::run::run_capture;
+use experiments::{ablations, figures, recommendations, tables, validation};
+
+#[test]
+fn every_report_generates() {
+    let cap = run_capture(0.012, 21);
+    let mut reports = vec![
+        tables::table1(),
+        tables::table2(&cap),
+        tables::table3(&cap),
+        tables::table4(&cap),
+        tables::table5_report(&cap),
+        validation::validate(&cap),
+    ];
+    reports.extend(figures::standalone());
+    reports.extend(figures::all_with_capture(&cap));
+
+    assert!(reports.len() >= 27, "reports: {}", reports.len());
+    for rep in &reports {
+        assert!(!rep.body.trim().is_empty(), "{} empty", rep.id);
+        assert!(!rep.render().is_empty());
+        for (name, csv) in &rep.artifacts {
+            assert!(name.ends_with(".csv"), "{name}");
+            let mut lines = csv.lines();
+            let header = lines.next().unwrap_or("");
+            let cols = header.split(',').count();
+            assert!(cols >= 2, "{}: {name} header {header}", rep.id);
+            for (i, line) in lines.enumerate() {
+                assert_eq!(
+                    line.split(',').count(),
+                    cols,
+                    "{}:{name} line {} column mismatch",
+                    rep.id,
+                    i + 2
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn extension_reports_generate() {
+    // The standalone extensions need no capture.
+    let rec = recommendations::recommendations();
+    assert!(rec.body.contains("bundling"));
+    for rep in ablations::all() {
+        assert!(!rep.body.trim().is_empty(), "{} empty", rep.id);
+        assert!(!rep.artifacts.is_empty(), "{} lacks CSV", rep.id);
+    }
+}

@@ -1,0 +1,179 @@
+//! Shape-level assertions on the paper's performance findings (Sec. 4),
+//! measured end-to-end through the monitor on a small population.
+
+use inside_dropbox::analysis::chunks::estimate_chunks;
+use inside_dropbox::analysis::classify::{
+    dropbox_role, storage_tag, transfer_size, DropboxRole, StorageTag,
+};
+use inside_dropbox::analysis::throughput::{throughput_bps, transfer_duration, ThetaModel};
+use inside_dropbox::prelude::*;
+
+fn capture(kind: VantageKind, version: ClientVersion, seed: u64) -> SimOutput {
+    let mut config = VantageConfig::paper(kind, 0.03);
+    config.days = 10;
+    simulate_vantage(&config, version, seed)
+}
+
+#[test]
+fn storage_rtt_below_control_rtt() {
+    let out = capture(VantageKind::Home1, ClientVersion::V1_2_52, 1);
+    let mut storage = Vec::new();
+    let mut control = Vec::new();
+    for f in &out.dataset.flows {
+        if f.rtt_samples < 10 {
+            continue;
+        }
+        match dropbox_role(f) {
+            Some(DropboxRole::ClientStorage) => storage.extend(f.min_rtt_ms),
+            // Control plane as in Fig. 6: meta-data + notification servers
+            // (short meta connections rarely reach 10 RTT samples).
+            Some(DropboxRole::ClientControl | DropboxRole::NotifyControl) => {
+                control.extend(f.min_rtt_ms)
+            }
+            _ => {}
+        }
+    }
+    assert!(storage.len() > 30 && control.len() > 30);
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let (s, c) = (mean(&storage), mean(&control));
+    // Fig. 6: storage in the 80–120 ms band, control in 140–220 ms.
+    assert!((80.0..125.0).contains(&s), "storage RTT {s}");
+    assert!((140.0..225.0).contains(&c), "control RTT {c}");
+    assert!(c > s + 30.0, "control data-center farther away");
+}
+
+#[test]
+fn throughput_respects_theta_bound() {
+    let out = capture(VantageKind::Campus2, ClientVersion::V1_2_52, 2);
+    let theta = ThetaModel::paper(SimDuration::from_millis(98));
+    let mut n = 0;
+    let mut above = 0;
+    for f in out.dataset.client_storage_flows() {
+        let bytes = transfer_size(f);
+        if bytes < 1_000 {
+            continue;
+        }
+        if let Some(thr) = throughput_bps(f) {
+            n += 1;
+            // Allow a small tolerance for RTT jitter.
+            if thr > 1.15 * theta.theta_bps(bytes) {
+                above += 1;
+            }
+        }
+    }
+    assert!(n > 200, "flows measured: {n}");
+    assert!(
+        (above as f64) < 0.02 * n as f64,
+        "θ is an upper envelope: {above}/{n} above"
+    );
+}
+
+#[test]
+fn many_chunk_flows_are_slow_regardless_of_size() {
+    // Sec. 4.4.2: sequential acknowledgments put a duration floor of
+    // roughly (RTT + reaction) per chunk on v1.2.52 flows.
+    let out = capture(VantageKind::Campus2, ClientVersion::V1_2_52, 3);
+    let mut checked = 0;
+    for f in out.dataset.client_storage_flows() {
+        if storage_tag(f) != StorageTag::Store {
+            continue;
+        }
+        let chunks = estimate_chunks(f);
+        if chunks >= 10 {
+            let d = transfer_duration(f).unwrap().as_secs_f64();
+            assert!(
+                d > chunks as f64 * 0.15,
+                "{chunks}-chunk flow finished in {d:.1}s"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 2, "need multi-chunk flows: {checked}");
+}
+
+#[test]
+fn bundling_improves_median_throughput() {
+    // Table 4's direction: the same campus under v1.4.0 gets faster.
+    let v1 = capture(VantageKind::Campus1, ClientVersion::V1_2_52, 4);
+    let v14 = capture(VantageKind::Campus1, ClientVersion::V1_4_0, 4);
+    let med = |out: &SimOutput, tag: StorageTag| -> f64 {
+        let mut xs: Vec<f64> = out
+            .dataset
+            .client_storage_flows()
+            .filter(|f| storage_tag(f) == tag)
+            .filter_map(throughput_bps)
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        simcore::stats::median(&xs).unwrap_or(0.0)
+    };
+    let before = med(&v1, StorageTag::Store);
+    let after = med(&v14, StorageTag::Store);
+    assert!(
+        after > before,
+        "bundling must improve store throughput: {before:.0} -> {after:.0}"
+    );
+}
+
+#[test]
+fn retrieve_flows_stochastically_larger_than_store() {
+    let out = capture(VantageKind::Home1, ClientVersion::V1_2_52, 5);
+    let collect = |tag: StorageTag| -> Vec<f64> {
+        out.dataset
+            .client_storage_flows()
+            .filter(|f| storage_tag(f) == tag)
+            .map(|f| f.total_bytes() as f64)
+            .collect()
+    };
+    let mut store = collect(StorageTag::Store);
+    let mut retr = collect(StorageTag::Retrieve);
+    store.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    retr.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let ms = simcore::stats::median(&store).unwrap();
+    let mr = simcore::stats::median(&retr).unwrap();
+    assert!(mr > ms * 0.8, "retrieve median {mr:.0} vs store {ms:.0}");
+    // Means: retrieve at least comparable (first-sync batches are large).
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    assert!(mean(&retr) > 0.5 * mean(&store));
+}
+
+#[test]
+fn home2_store_cdf_biased_by_abnormal_client() {
+    let out = capture(VantageKind::Home2, ClientVersion::V1_2_52, 6);
+    let sizes: Vec<u64> = out
+        .dataset
+        .client_storage_flows()
+        .filter(|f| storage_tag(f) == StorageTag::Store)
+        .map(|f| f.total_bytes())
+        .collect();
+    // The misbehaving uploader pushes a visible mass of ~4 MB single-chunk
+    // flows into the Home 2 store CDF (Sec. 4.3.1).
+    let four_mb = sizes
+        .iter()
+        .filter(|&&s| (3_900_000..4_600_000).contains(&s))
+        .count();
+    assert!(
+        four_mb as f64 > 0.02 * sizes.len() as f64,
+        "4 MB bias missing: {four_mb}/{}",
+        sizes.len()
+    );
+}
+
+#[test]
+fn adsl_homes_slower_than_campus_uplink() {
+    let campus = capture(VantageKind::Campus2, ClientVersion::V1_2_52, 7);
+    let home = capture(VantageKind::Home2, ClientVersion::V1_2_52, 7);
+    let mean_store = |out: &SimOutput| -> f64 {
+        let xs: Vec<f64> = out
+            .dataset
+            .client_storage_flows()
+            .filter(|f| storage_tag(f) == StorageTag::Store && transfer_size(f) > 100_000)
+            .filter_map(throughput_bps)
+            .collect();
+        xs.iter().sum::<f64>() / xs.len().max(1) as f64
+    };
+    let (c, h) = (mean_store(&campus), mean_store(&home));
+    assert!(
+        c > 1.3 * h,
+        "ADSL uplink should throttle large home uploads: campus {c:.0} vs home {h:.0}"
+    );
+}

@@ -1,0 +1,156 @@
+//! End-to-end pipeline integration: workload → protocol → TCP → monitor →
+//! analysis, on a small population.
+
+use inside_dropbox::analysis::classify::{
+    dropbox_role, provider_of, storage_tag, DropboxRole, Provider, StorageTag,
+};
+use inside_dropbox::analysis::groups::{aggregate_households, table5, UserGroup};
+use inside_dropbox::analysis::sessions::{distinct_devices, merged_sessions};
+use inside_dropbox::prelude::*;
+
+fn small(kind: VantageKind, seed: u64) -> SimOutput {
+    let mut config = VantageConfig::paper(kind, 0.02);
+    config.days = 10;
+    simulate_vantage(&config, ClientVersion::V1_2_52, seed)
+}
+
+#[test]
+fn records_are_well_formed() {
+    let out = small(VantageKind::Home1, 1);
+    assert!(out.dataset.flows.len() > 100);
+    for f in &out.dataset.flows {
+        assert!(f.last_packet >= f.first_syn, "time order");
+        assert!(
+            f.first_syn.day() < out.dataset.days,
+            "flow starts inside the capture"
+        );
+        if let Some(rtt) = f.min_rtt_ms {
+            assert!(rtt > 0.0 && rtt < 1_000.0, "plausible RTT: {rtt}");
+        }
+    }
+}
+
+#[test]
+fn storage_tags_match_ground_truth() {
+    let out = small(VantageKind::Home1, 2);
+    let mut checked = 0;
+    for (f, truth) in out.dataset.flows.iter().zip(&out.truths) {
+        if dropbox_role(f) != Some(DropboxRole::ClientStorage) {
+            continue;
+        }
+        let expect = match truth {
+            Some(FlowTruth::Store { .. }) => StorageTag::Store,
+            Some(FlowTruth::Retrieve { .. }) => StorageTag::Retrieve,
+            other => panic!("storage flow without storage truth: {other:?}"),
+        };
+        assert_eq!(storage_tag(f), expect, "f(u) must match ground truth");
+        checked += 1;
+    }
+    assert!(checked > 50, "enough storage flows checked: {checked}");
+}
+
+#[test]
+fn chunk_estimates_track_ground_truth() {
+    let out = small(VantageKind::Campus1, 3);
+    let mut total_err = 0.0;
+    let mut n = 0u32;
+    for (f, truth) in out.dataset.flows.iter().zip(&out.truths) {
+        if let Some(FlowTruth::Store {
+            chunks,
+            acked: true,
+            ..
+        }) = truth
+        {
+            let est = inside_dropbox::analysis::chunks::estimate_chunks(f);
+            total_err += (est as f64 - *chunks as f64).abs();
+            n += 1;
+        }
+    }
+    assert!(n > 20);
+    assert!(total_err / n as f64 <= 0.25, "mean |err| = {}", total_err / n as f64);
+}
+
+#[test]
+fn devices_and_sessions_recovered_from_notifications() {
+    let out = small(VantageKind::Home1, 4);
+    let devices = distinct_devices(&out.dataset.flows);
+    assert!(devices > 3, "devices recovered: {devices}");
+    let sessions = merged_sessions(&out.dataset.flows);
+    assert!(sessions.len() >= devices, "at least one session per device");
+    for s in &sessions {
+        assert!(s.end >= s.start);
+        assert!(!s.namespaces.is_empty(), "root namespace always advertised");
+    }
+}
+
+#[test]
+fn user_groups_are_populated_with_roughly_paper_shares() {
+    let mut config = VantageConfig::paper(VantageKind::Home1, 0.05);
+    config.days = 14;
+    let out = simulate_vantage(&config, ClientVersion::V1_2_52, 5);
+    let households = aggregate_households(&out.dataset.flows);
+    let t = table5(&households);
+    let sum: f64 = t.values().map(|r| r.addr_frac).sum();
+    assert!((sum - 1.0).abs() < 1e-9);
+    // Heavy households dominate the volume (Table 5's core finding).
+    let heavy = &t[&UserGroup::Heavy];
+    let occasional = &t[&UserGroup::Occasional];
+    assert!(heavy.store_bytes + heavy.retrieve_bytes
+        > 10 * (occasional.store_bytes + occasional.retrieve_bytes));
+    // All four groups appear.
+    for g in UserGroup::ALL {
+        assert!(t[&g].addr_frac > 0.0, "{g:?} empty");
+    }
+}
+
+#[test]
+fn provider_mix_includes_background_services() {
+    let out = small(VantageKind::Home1, 6);
+    let mut providers = std::collections::BTreeSet::new();
+    for f in &out.dataset.flows {
+        providers.insert(provider_of(f));
+    }
+    for p in [
+        Provider::Dropbox,
+        Provider::ICloud,
+        Provider::YouTube,
+        Provider::Unknown,
+    ] {
+        assert!(providers.contains(&p), "{p:?} missing");
+    }
+}
+
+#[test]
+fn campus2_works_without_dns_but_home_has_fqdn() {
+    let c2 = small(VantageKind::Campus2, 7);
+    assert!(c2.dataset.flows.iter().all(|f| f.server_fqdn.is_none()));
+    // Classification still works through SNI / Host headers.
+    let dropbox = c2
+        .dataset
+        .flows
+        .iter()
+        .filter(|f| provider_of(f) == Provider::Dropbox)
+        .count();
+    assert!(dropbox > 50, "Campus 2 classification via TLS: {dropbox}");
+    let h1 = small(VantageKind::Home1, 7);
+    assert!(h1
+        .dataset
+        .flows
+        .iter()
+        .any(|f| f.server_fqdn.is_some()));
+}
+
+#[test]
+fn same_seed_same_capture_different_seed_different() {
+    let a = small(VantageKind::Home2, 10);
+    let b = small(VantageKind::Home2, 10);
+    let c = small(VantageKind::Home2, 11);
+    let key = |o: &SimOutput| {
+        (
+            o.dataset.flows.len(),
+            o.dataset.flows.iter().map(|f| f.total_bytes()).sum::<u64>(),
+        )
+    };
+    assert_eq!(key(&a), key(&b), "determinism");
+    assert_ne!(key(&a), key(&c), "seed sensitivity");
+}

@@ -1,0 +1,191 @@
+//! Cross-crate property-based tests (proptest).
+
+use inside_dropbox::codecs::{apply, compute_delta, lzss, sha256, signature};
+use inside_dropbox::monitor::Monitor;
+use inside_dropbox::prelude::*;
+use inside_dropbox::sim::stats::Ecdf;
+use inside_dropbox::trace::{Endpoint, FlowKey, Ipv4};
+use proptest::prelude::*;
+use tcpmodel::{CloseMode, Direction, Message, Write};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// LZSS decompress ∘ compress = identity on arbitrary bytes.
+    #[test]
+    fn lzss_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let c = lzss::compress(&data);
+        prop_assert_eq!(lzss::decompress(&c).expect("valid stream"), data);
+    }
+
+    /// rsync delta: apply(old, delta(old→new)) == new, for arbitrary old,
+    /// new derived from old by splice edits.
+    #[test]
+    fn delta_roundtrip(
+        old in proptest::collection::vec(any::<u8>(), 0..8192),
+        edit_at in 0usize..8192,
+        edit in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let mut new = old.clone();
+        let at = edit_at.min(new.len());
+        new.splice(at..at, edit);
+        let sig = signature(&old, 512);
+        let delta = compute_delta(&sig, &new);
+        prop_assert_eq!(apply(&old, &delta).expect("applies"), new);
+    }
+
+    /// SHA-256 incremental == one-shot under arbitrary chunking.
+    #[test]
+    fn sha256_chunking_invariance(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        cuts in proptest::collection::vec(1usize..64, 0..32),
+    ) {
+        let oneshot = sha256(&data);
+        let mut h = inside_dropbox::codecs::sha256::Sha256::new();
+        let mut rest: &[u8] = &data;
+        for c in cuts {
+            let take = c.min(rest.len());
+            h.update(&rest[..take]);
+            rest = &rest[take..];
+        }
+        h.update(rest);
+        prop_assert_eq!(h.finalize(), oneshot);
+    }
+
+    /// ECDF invariants: F is monotone, F(max) = 1, quantile within range.
+    #[test]
+    fn ecdf_invariants(xs in proptest::collection::vec(-1e9f64..1e9, 1..200)) {
+        let e = Ecdf::new(xs.clone());
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(e.fraction_le(hi), 1.0);
+        prop_assert!(e.fraction_le(lo - 1.0) == 0.0);
+        let q = e.quantile(0.5).unwrap();
+        prop_assert!((lo..=hi).contains(&q));
+        let pts = e.points(50);
+        for w in pts.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0 && w[0].1 <= w[1].1);
+        }
+    }
+
+    /// End-to-end conservation: for an arbitrary lossless dialogue, the
+    /// monitor's byte counters equal the dialogue's byte totals, and the
+    /// PSH counts equal the write counts per direction.
+    #[test]
+    fn monitor_conserves_bytes_and_pushes(
+        sizes in proptest::collection::vec((1u32..40_000, any::<bool>()), 1..12),
+        inner_ms in 1u64..40,
+        outer_ms in 20u64..200,
+    ) {
+        let messages: Vec<Message> = sizes
+            .iter()
+            .map(|&(size, up)| Message {
+                dir: if up { Direction::Up } else { Direction::Down },
+                delay: SimDuration::from_millis(5),
+                writes: vec![Write::plain(size)],
+            })
+            .collect();
+        let ups: u64 = sizes.iter().filter(|&&(_, up)| up).count() as u64;
+        let downs: u64 = sizes.len() as u64 - ups;
+        let bytes_up: u64 = sizes.iter().filter(|&&(_, up)| up).map(|&(s, _)| s as u64).sum();
+        let bytes_down: u64 = sizes.iter().filter(|&&(_, up)| !up).map(|&(s, _)| s as u64).sum();
+
+        let dialogue = Dialogue::new(messages).with_close(CloseMode::ClientFin {
+            delay: SimDuration::from_millis(20),
+        });
+        let path = PathParams {
+            inner_rtt: SimDuration::from_millis(inner_ms),
+            outer_rtt: SimDuration::from_millis(outer_ms),
+            jitter: 0.03,
+            loss_up: 0.0,
+            loss_down: 0.0,
+            up_rate: None,
+            down_rate: None,
+        };
+        let key = FlowKey::new(
+            Endpoint::new(Ipv4::new(10, 0, 0, 2), 41_000),
+            Endpoint::new(Ipv4::new(107, 22, 3, 4), 443),
+        );
+        let mut packets = Vec::new();
+        simulate_connection(
+            SimTime::from_secs(3),
+            key,
+            &dialogue,
+            &path,
+            &TcpParams::era_2012_v1(),
+            &mut simcore::Rng::new(9),
+            &mut packets,
+        );
+        let mut monitor = Monitor::new(false);
+        let rec = monitor.process_flow(&packets).expect("record");
+        prop_assert_eq!(rec.up.bytes, bytes_up);
+        prop_assert_eq!(rec.down.bytes, bytes_down);
+        prop_assert_eq!(rec.up.psh_segments, ups);
+        prop_assert_eq!(rec.down.psh_segments, downs);
+        // Monitor's external RTT equals the configured outer RTT.
+        if let Some(rtt) = rec.min_rtt_ms {
+            prop_assert!((rtt - outer_ms as f64).abs() < 2.0 + 0.05 * outer_ms as f64);
+        }
+    }
+
+    /// With loss enabled, unique bytes are still conserved and every loss
+    /// event is visible as a retransmission at the probe.
+    #[test]
+    fn monitor_counts_retransmissions_under_loss(
+        size in 50_000u32..400_000,
+        loss_milli in 1u64..40, // 0.1% .. 4%
+        seed in 0u64..1_000,
+    ) {
+        let dialogue = Dialogue::new(vec![Message::simple(
+            Direction::Up,
+            SimDuration::ZERO,
+            size,
+        )])
+        .with_close(CloseMode::ClientFin { delay: SimDuration::from_millis(10) });
+        let path = PathParams {
+            inner_rtt: SimDuration::from_millis(10),
+            outer_rtt: SimDuration::from_millis(90),
+            jitter: 0.02,
+            loss_up: loss_milli as f64 / 1000.0,
+            loss_down: 0.0,
+            up_rate: None,
+            down_rate: None,
+        };
+        let key = FlowKey::new(
+            Endpoint::new(Ipv4::new(10, 0, 0, 3), 42_000),
+            Endpoint::new(Ipv4::new(107, 22, 5, 6), 443),
+        );
+        let mut packets = Vec::new();
+        let summary = simulate_connection(
+            SimTime::from_secs(1),
+            key,
+            &dialogue,
+            &path,
+            &TcpParams::era_2012_v1(),
+            &mut simcore::Rng::new(seed),
+            &mut packets,
+        );
+        let mut monitor = Monitor::new(false);
+        let rec = monitor.process_flow(&packets).expect("record");
+        prop_assert_eq!(rec.up.bytes, size as u64, "unique bytes conserved");
+        prop_assert_eq!(rec.up.retransmissions, summary.rtx_up);
+    }
+
+    /// f(u) tagging of synthetic store/retrieve byte profiles is exact for
+    /// all chunk counts and sizes in the protocol's domain.
+    #[test]
+    fn f_u_is_exact_over_protocol_domain(
+        chunks in 1u64..=100,
+        chunk_bytes in 1u64..4_000_000,
+    ) {
+        use inside_dropbox::analysis::classify::f_u;
+        // Store profile.
+        let up = 294 + chunks * (634 + chunk_bytes);
+        let down = 4103 + chunks * 309 + 37;
+        prop_assert!((down as f64) < f_u(up), "store misclassified");
+        // Retrieve profile.
+        let up = 294 + chunks * 400;
+        let down = 4103 + chunks * (309 + chunk_bytes);
+        prop_assert!((down as f64) >= f_u(up), "retrieve misclassified");
+    }
+}

@@ -1,0 +1,181 @@
+//! Protocol-level conformance against the constants the paper measured
+//! in its testbed (Sec. 2, Appendix A).
+
+use inside_dropbox::analysis::chunks::estimate_chunks;
+use inside_dropbox::analysis::classify::{f_u, ssl_adjusted, storage_tag, StorageTag};
+use inside_dropbox::dns::DnsDirectory;
+use inside_dropbox::monitor::Monitor;
+use inside_dropbox::prelude::*;
+use inside_dropbox::system::content::ChunkId;
+use inside_dropbox::system::storage::ChunkStore;
+use inside_dropbox::trace::{Endpoint, FlowKey, Ipv4};
+
+fn play_store(
+    n_chunks: u64,
+    chunk_bytes: u64,
+    version: ClientVersion,
+) -> (inside_dropbox::trace::FlowRecord, Vec<FlowSpec>) {
+    let dns = DnsDirectory::new();
+    let store = ChunkStore::new();
+    let mut engine = SyncEngine::new(
+        &dns,
+        &store,
+        SyncConfig {
+            version,
+            ..SyncConfig::default()
+        },
+        7,
+    );
+    let mut rng = Rng::new(1);
+    let chunks: Vec<ChunkWork> = (0..n_chunks)
+        .map(|i| ChunkWork {
+            id: ChunkId(i),
+            wire_bytes: chunk_bytes,
+            raw_bytes: chunk_bytes,
+        })
+        .collect();
+    let flows = engine.upload_transaction(&chunks, 0, &mut rng, None, SimTime::EPOCH);
+    let spec = flows
+        .iter()
+        .find(|f| matches!(f.truth, FlowTruth::Store { .. }))
+        .expect("storage flow")
+        .clone();
+    let key = FlowKey::new(
+        Endpoint::new(Ipv4::new(10, 0, 0, 1), 40_000),
+        Endpoint::new(dns.resolve(&spec.server_name).unwrap(), 443),
+    );
+    let path = PathParams {
+        inner_rtt: SimDuration::from_millis(10),
+        outer_rtt: SimDuration::from_millis(90),
+        jitter: 0.0,
+        loss_up: 0.0,
+        loss_down: 0.0,
+        up_rate: None,
+        down_rate: None,
+    };
+    let mut packets = Vec::new();
+    simulate_connection(
+        SimTime::from_secs(1),
+        key,
+        &spec.dialogue,
+        &path,
+        &TcpParams::era_2012_v1(),
+        &mut Rng::new(2),
+        &mut packets,
+    );
+    let mut monitor = Monitor::new(true);
+    monitor.observe_dns(&spec.server_name, key.server.ip);
+    (monitor.process_flow(&packets).expect("record"), flows)
+}
+
+#[test]
+fn ssl_handshake_floor_is_about_4kb() {
+    // A storage flow with one tiny chunk still carries the TLS handshakes:
+    // ≥ 294 B up and ≥ 4103 B down (Appendix A.2).
+    let (rec, _) = play_store(1, 64, ClientVersion::V1_2_52);
+    assert!(rec.up.bytes >= 294 + 634);
+    assert!(rec.down.bytes >= 4103 + 309);
+    assert!(
+        rec.total_bytes() >= 4_400 && rec.total_bytes() < 12_000,
+        "≈4 kB floor: {}",
+        rec.total_bytes()
+    );
+}
+
+#[test]
+fn per_chunk_overheads_match_appendix_a() {
+    let c = 9u64;
+    let (rec, _) = play_store(c, 10_000, ClientVersion::V1_2_52);
+    // Server side: handshake + c OKs of exactly 309 B + 37 B close alert.
+    assert_eq!(rec.down.bytes, 4103 + c * 309 + 37);
+    // Client side: handshake + per-store overhead (634 B + TLS record
+    // framing) + chunk bytes.
+    assert!(rec.up.bytes >= 294 + c * (634 + 10_000));
+    // PSH relation for server-closed flows: c = s - 3 (Appendix A.3).
+    assert_eq!(rec.down.psh_segments, 2 + c + 1);
+    assert_eq!(estimate_chunks(&rec) as u64, c);
+}
+
+#[test]
+fn hundred_chunk_cap_bounds_flow_size() {
+    // 260 chunks split into ≤100-chunk transactions (Sec. 2.3.2); with
+    // 4 MB chunks a flow can never exceed ~400 MB (Fig. 7's maximum).
+    let dns = DnsDirectory::new();
+    let store = ChunkStore::new();
+    let mut engine = SyncEngine::new(&dns, &store, SyncConfig::default(), 8);
+    let mut rng = Rng::new(3);
+    let chunks: Vec<ChunkWork> = (0..260)
+        .map(|i| ChunkWork {
+            id: ChunkId(i),
+            wire_bytes: 4 * 1024 * 1024,
+            raw_bytes: 4 * 1024 * 1024,
+        })
+        .collect();
+    let flows = engine.upload_transaction(&chunks, 0, &mut rng, None, SimTime::EPOCH);
+    let storage: Vec<_> = flows
+        .iter()
+        .filter(|f| matches!(f.truth, FlowTruth::Store { .. }))
+        .collect();
+    assert_eq!(storage.len(), 3);
+    for s in &storage {
+        let chunks = s.truth.chunks().unwrap();
+        assert!(chunks <= 100);
+        assert!(s.dialogue.bytes_up() <= 420 * 1024 * 1024);
+    }
+}
+
+#[test]
+fn f_u_line_separates_constructed_extremes() {
+    // Store flows stay below f(u), retrieve flows above, across sizes.
+    for &(chunks, bytes) in &[(1u64, 1_000u64), (5, 50_000), (50, 500_000)] {
+        let (rec, _) = play_store(chunks, bytes, ClientVersion::V1_2_52);
+        assert_eq!(storage_tag(&rec), StorageTag::Store);
+        assert!((rec.down.bytes as f64) < f_u(rec.up.bytes));
+    }
+}
+
+#[test]
+fn ssl_adjustment_recovers_payload() {
+    let c = 4u64;
+    let size = 25_000u64;
+    let (rec, _) = play_store(c, size, ClientVersion::V1_2_52);
+    let (up_adj, _) = ssl_adjusted(&rec);
+    // Adjusted upload ≈ chunks + per-op overhead; within 10%.
+    let expected = c * (size + 634);
+    let ratio = up_adj as f64 / expected as f64;
+    assert!((0.95..1.10).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn v14_bundles_reduce_server_acks() {
+    let (rec_v1, _) = play_store(40, 50_000, ClientVersion::V1_2_52);
+    let (rec_v14, _) = play_store(40, 50_000, ClientVersion::V1_4_0);
+    // v1: one OK per chunk; v1.4: one OK per bundle — far fewer PSH
+    // segments from the server.
+    assert!(rec_v14.down.psh_segments < rec_v1.down.psh_segments / 4);
+    // And the PSH↔chunk relation no longer holds (Sec. 4.5.1 footnote).
+    assert_ne!(estimate_chunks(&rec_v14), 40);
+}
+
+#[test]
+fn upload_transactions_bracket_storage_with_control() {
+    let (_, flows) = play_store(3, 10_000, ClientVersion::V1_2_52);
+    assert!(matches!(flows.first().unwrap().truth, FlowTruth::Control));
+    assert!(matches!(flows.last().unwrap().truth, FlowTruth::Control));
+    let names: Vec<&str> = flows.iter().map(|f| f.server_name.as_str()).collect();
+    assert!(names[0].contains("client"), "meta first: {names:?}");
+    assert!(names[1].starts_with("dl-client"), "storage second");
+}
+
+#[test]
+fn planetlab_confirms_centralization() {
+    let dir = DnsDirectory::new();
+    assert!(inside_dropbox::dns::planetlab::is_centralized(
+        &dir,
+        &[
+            "client-lb.dropbox.com",
+            "notify3.dropbox.com",
+            "dl-client100.dropbox.com"
+        ]
+    ));
+}

@@ -1,0 +1,117 @@
+//! Trace export: the anonymised flow-log (JSON-lines) round-trips through
+//! serde, and the pcap writer produces structurally valid captures — the
+//! counterpart of the paper's published trace repository.
+
+use inside_dropbox::prelude::*;
+use inside_dropbox::trace::pcap::PcapWriter;
+
+fn capture() -> SimOutput {
+    let mut config = VantageConfig::paper(VantageKind::Home2, 0.01);
+    config.days = 5;
+    simulate_vantage(&config, ClientVersion::V1_2_52, 99)
+}
+
+#[test]
+fn flow_log_roundtrips_as_json_lines() {
+    let out = capture();
+    let mut jsonl = String::new();
+    for f in &out.dataset.flows {
+        jsonl.push_str(&serde_json::to_string(f).expect("serialise"));
+        jsonl.push('\n');
+    }
+    let parsed: Vec<FlowRecord> = jsonl
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("parse"))
+        .collect();
+    assert_eq!(parsed.len(), out.dataset.flows.len());
+    for (a, b) in out.dataset.flows.iter().zip(&parsed) {
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.up.bytes, b.up.bytes);
+        assert_eq!(a.down.bytes, b.down.bytes);
+        assert_eq!(a.tls_sni, b.tls_sni);
+        assert_eq!(a.notify, b.notify);
+    }
+}
+
+#[test]
+fn exported_log_contains_no_payload() {
+    // The paper's privacy constraint: flows only, no payload bytes. The
+    // serialised record must not contain any content-carrying field.
+    let out = capture();
+    let sample = serde_json::to_value(&out.dataset.flows[0]).expect("json");
+    let obj = sample.as_object().expect("object");
+    for forbidden in ["payload", "data", "content", "body"] {
+        assert!(
+            !obj.keys().any(|k| k.to_lowercase().contains(forbidden)),
+            "field leaking payload: {forbidden}"
+        );
+    }
+}
+
+#[test]
+fn pcap_export_is_structurally_valid() {
+    // Render one connection and check the pcap framing invariants by
+    // walking the file.
+    use inside_dropbox::trace::{Endpoint, FlowKey, Ipv4};
+    use tcpmodel::{Dialogue, Direction, Message};
+
+    let d = Dialogue::new(vec![
+        Message::simple(Direction::Up, SimDuration::ZERO, 5_000),
+        Message::simple(Direction::Down, SimDuration::from_millis(50), 20_000),
+    ]);
+    let key = FlowKey::new(
+        Endpoint::new(Ipv4::new(10, 9, 8, 7), 45_000),
+        Endpoint::new(Ipv4::new(107, 22, 9, 9), 443),
+    );
+    let path = PathParams {
+        inner_rtt: SimDuration::from_millis(10),
+        outer_rtt: SimDuration::from_millis(80),
+        jitter: 0.0,
+        loss_up: 0.0,
+        loss_down: 0.0,
+        up_rate: None,
+        down_rate: None,
+    };
+    let mut packets = Vec::new();
+    simulate_connection(
+        SimTime::from_secs(2),
+        key,
+        &d,
+        &path,
+        &TcpParams::era_2012_v1(),
+        &mut Rng::new(4),
+        &mut packets,
+    );
+    let mut w = PcapWriter::new(Vec::new()).unwrap();
+    for p in &packets {
+        w.write_packet(p).unwrap();
+    }
+    assert_eq!(w.packets_written() as usize, packets.len());
+    let bytes = w.finish().unwrap();
+
+    // Walk the file: global header, then len-prefixed records.
+    assert_eq!(
+        u32::from_le_bytes(bytes[0..4].try_into().unwrap()),
+        0xa1b2_c3d4
+    );
+    let mut off = 24usize;
+    let mut count = 0usize;
+    let mut last_ts = (0u32, 0u32);
+    while off < bytes.len() {
+        let sec = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+        let usec = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().unwrap());
+        let incl = u32::from_le_bytes(bytes[off + 8..off + 12].try_into().unwrap()) as usize;
+        let orig = u32::from_le_bytes(bytes[off + 12..off + 16].try_into().unwrap()) as usize;
+        assert_eq!(incl, orig, "no truncation");
+        assert!(incl >= 54, "at least headers");
+        assert!(
+            (sec, usec) >= last_ts,
+            "pcap timestamps monotonic: {last_ts:?} -> ({sec},{usec})"
+        );
+        last_ts = (sec, usec);
+        off += 16 + incl;
+        count += 1;
+    }
+    assert_eq!(off, bytes.len(), "no trailing garbage");
+    assert_eq!(count, packets.len());
+}
