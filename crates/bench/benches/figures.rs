@@ -1,7 +1,7 @@
 //! Figure regeneration benchmarks: one benchmark per paper figure, running
 //! the analysis over a cached scaled-down capture.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::Harness;
 use experiments::figures;
 use experiments::run::{run_capture, Capture};
 use experiments::validation;
@@ -12,8 +12,8 @@ fn capture() -> &'static Capture {
     CAPTURE.get_or_init(|| run_capture(0.01, 2012))
 }
 
-fn bench_standalone(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures_testbed");
+fn bench_standalone(c: &mut Harness) {
+    let mut g = c.group("figures_testbed");
     g.bench_function("fig1", |b| b.iter(figures::fig1));
     g.bench_function("fig19", |b| b.iter(figures::fig19));
     g.sample_size(10);
@@ -23,9 +23,9 @@ fn bench_standalone(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_figures(c: &mut Criterion) {
+fn bench_figures(c: &mut Harness) {
     let cap = capture();
-    let mut g = c.benchmark_group("figures");
+    let mut g = c.group("figures");
     macro_rules! fig {
         ($name:ident) => {
             g.bench_function(stringify!($name), |b| b.iter(|| figures::$name(cap)));
@@ -54,5 +54,9 @@ fn bench_figures(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_standalone, bench_figures);
-criterion_main!(benches);
+fn main() {
+    let mut c = Harness::new("figures");
+    bench_standalone(&mut c);
+    bench_figures(&mut c);
+    c.finish().expect("write benchmark results");
+}

@@ -1,6 +1,6 @@
 //! Micro-benchmarks of the hot substrate paths.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use bench::{BatchSize, Harness, Throughput};
 use dropbox::client::{ChunkWork, SyncConfig, SyncEngine};
 use dropbox::content::ChunkId;
 use dropbox::storage::ChunkStore;
@@ -9,9 +9,9 @@ use simcore::{Rng, SimDuration, SimTime};
 use tcpmodel::{simulate, tls, Dialogue, Direction, Message, PathParams, TcpParams};
 use tstat::Monitor;
 
-fn bench_sha256(c: &mut Criterion) {
+fn bench_sha256(c: &mut Harness) {
     let data = vec![0xabu8; 1 << 20];
-    let mut g = c.benchmark_group("sha256");
+    let mut g = c.group("sha256");
     g.throughput(Throughput::Bytes(data.len() as u64));
     g.bench_function("1MiB", |b| {
         b.iter(|| contenthash::sha256(std::hint::black_box(&data)))
@@ -19,11 +19,11 @@ fn bench_sha256(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_lzss(c: &mut Criterion) {
+fn bench_lzss(c: &mut Harness) {
     let data: Vec<u8> = (0..256usize * 1024)
         .map(|i| ((i / 7) % 251) as u8)
         .collect();
-    let mut g = c.benchmark_group("lzss");
+    let mut g = c.group("lzss");
     g.throughput(Throughput::Bytes(data.len() as u64));
     g.bench_function("compress_256KiB", |b| {
         b.iter(|| contenthash::lzss::compress(std::hint::black_box(&data)))
@@ -35,14 +35,14 @@ fn bench_lzss(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_delta(c: &mut Criterion) {
+fn bench_delta(c: &mut Harness) {
     let mut rng = Rng::new(1);
     let old: Vec<u8> = (0..256 * 1024).map(|_| rng.next_u64() as u8).collect();
     let mut new = old.clone();
     for b in &mut new[100_000..108_000] {
         *b ^= 0x55;
     }
-    let mut g = c.benchmark_group("rsync_delta");
+    let mut g = c.group("rsync_delta");
     g.throughput(Throughput::Bytes(new.len() as u64));
     g.bench_function("signature_256KiB", |b| {
         b.iter(|| contenthash::signature(std::hint::black_box(&old), 2048))
@@ -94,8 +94,8 @@ fn path() -> PathParams {
     }
 }
 
-fn bench_tcp_simulate(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tcpmodel");
+fn bench_tcp_simulate(c: &mut Harness) {
+    let mut g = c.group("tcpmodel");
     let d = store_dialogue(10, 100_000);
     g.throughput(Throughput::Bytes(d.bytes_up() + d.bytes_down()));
     g.bench_function("store_10x100kB", |b| {
@@ -119,7 +119,7 @@ fn bench_tcp_simulate(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_monitor(c: &mut Criterion) {
+fn bench_monitor(c: &mut Harness) {
     let d = store_dialogue(10, 100_000);
     let mut out = Vec::new();
     simulate(
@@ -131,7 +131,7 @@ fn bench_monitor(c: &mut Criterion) {
         &mut Rng::new(7),
         &mut out,
     );
-    let mut g = c.benchmark_group("tstat");
+    let mut g = c.group("tstat");
     g.throughput(Throughput::Elements(out.len() as u64));
     g.bench_function("process_flow", |b| {
         b.iter(|| {
@@ -142,7 +142,7 @@ fn bench_monitor(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_sync_engine(c: &mut Criterion) {
+fn bench_sync_engine(c: &mut Harness) {
     let dns = dnssim::DnsDirectory::new();
     c.bench_function("sync_engine/upload_transaction_100", |b| {
         b.iter_batched(
@@ -166,13 +166,13 @@ fn bench_sync_engine(c: &mut Criterion) {
     });
 }
 
-fn bench_classification(c: &mut Criterion) {
+fn bench_classification(c: &mut Harness) {
     // Classify a realistic record set.
     let mut config = workload::VantageConfig::paper(workload::VantageKind::Home1, 0.01);
     config.days = 3;
     let out = workload::simulate_vantage(&config, dropbox::client::ClientVersion::V1_2_52, 1);
     let flows = out.dataset.flows;
-    let mut g = c.benchmark_group("analysis");
+    let mut g = c.group("analysis");
     g.throughput(Throughput::Elements(flows.len() as u64));
     g.bench_function("classify_flows", |b| {
         b.iter(|| {
@@ -190,14 +190,14 @@ fn bench_classification(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_sha256,
-    bench_lzss,
-    bench_delta,
-    bench_tcp_simulate,
-    bench_monitor,
-    bench_sync_engine,
-    bench_classification
-);
-criterion_main!(benches);
+fn main() {
+    let mut c = Harness::new("substrate");
+    bench_sha256(&mut c);
+    bench_lzss(&mut c);
+    bench_delta(&mut c);
+    bench_tcp_simulate(&mut c);
+    bench_monitor(&mut c);
+    bench_sync_engine(&mut c);
+    bench_classification(&mut c);
+    c.finish().expect("write benchmark results");
+}

@@ -2,7 +2,7 @@
 //! the full analysis over a cached scaled-down capture (the capture itself
 //! is benchmarked once as `capture/run_capture`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::Harness;
 use experiments::run::{run_capture, Capture};
 use experiments::tables;
 use std::sync::OnceLock;
@@ -14,8 +14,8 @@ pub fn capture() -> &'static Capture {
     CAPTURE.get_or_init(|| run_capture(0.01, 2012))
 }
 
-fn bench_capture(c: &mut Criterion) {
-    let mut g = c.benchmark_group("capture");
+fn bench_capture(c: &mut Harness) {
+    let mut g = c.group("capture");
     g.sample_size(10);
     g.bench_function("run_capture_scale_0.004", |b| {
         b.iter(|| run_capture(0.004, 7))
@@ -23,9 +23,9 @@ fn bench_capture(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_tables(c: &mut Criterion) {
+fn bench_tables(c: &mut Harness) {
     let cap = capture();
-    let mut g = c.benchmark_group("tables");
+    let mut g = c.group("tables");
     g.bench_function("table1", |b| b.iter(tables::table1));
     g.bench_function("table2", |b| b.iter(|| tables::table2(cap)));
     g.bench_function("table3", |b| b.iter(|| tables::table3(cap)));
@@ -34,5 +34,9 @@ fn bench_tables(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_capture, bench_tables);
-criterion_main!(benches);
+fn main() {
+    let mut c = Harness::new("tables");
+    bench_capture(&mut c);
+    bench_tables(&mut c);
+    c.finish().expect("write benchmark results");
+}

@@ -7,8 +7,9 @@ use dropbox_analysis::classify::{f_u, storage_tag, StorageTag};
 use dropbox_analysis::groups::{group_of, HouseholdUsage, UserGroup};
 use nettrace::flow::{DirStats, FlowClose};
 use nettrace::{Endpoint, FlowKey, FlowRecord, Ipv4};
-use proptest::prelude::*;
+use simcore::proptest::any_bool;
 use simcore::SimTime;
+use simcore::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
 
 fn storage_record(
     up_bytes: u64,
@@ -51,7 +52,7 @@ fn storage_record(
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+    #![cases(256)]
 
     /// Chunk estimation inverts the protocol's PSH construction exactly,
     /// for every chunk count, chunk size, and close mode.
@@ -59,7 +60,7 @@ proptest! {
     fn chunk_estimator_inverts_wire_construction(
         chunks in 1u64..=100,
         chunk_bytes in 1u64..4_000_000,
-        server_closed in any::<bool>(),
+        server_closed in any_bool(),
     ) {
         // Store flow per Appendix A: client PSH = 2 + c, server PSH =
         // 2 + c (+1 alert when the server closes after 60 s idle).

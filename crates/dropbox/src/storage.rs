@@ -5,12 +5,12 @@
 //! subset of ids the store does not yet hold (Fig. 1); only those are
 //! uploaded. The store is shared by all users of the simulated deployment
 //! (the global dedup the side-channel literature the paper cites [8, 9]
-//! analyses). `parking_lot` guards the map so that vantage-point
+//! analyses). An `RwLock` guards the map so that vantage-point
 //! simulations can run in parallel threads against one deployment.
 
 use crate::content::ChunkId;
-use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::RwLock;
 
 /// Statistics of the store.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -47,7 +47,7 @@ impl ChunkStore {
     /// Dedup hits are accounted immediately, as the server's answer is the
     /// moment the upload is avoided.
     pub fn need_blocks(&self, ids: &[(ChunkId, u64)]) -> Vec<ChunkId> {
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.write().expect("chunk store lock poisoned");
         let mut need = Vec::new();
         for &(id, size) in ids {
             if inner.chunks.contains_key(&id) {
@@ -63,7 +63,7 @@ impl ChunkStore {
     /// Store a chunk (after a `store`/`store_batch` command). Returns true
     /// when the chunk was new.
     pub fn put(&self, id: ChunkId, size: u64) -> bool {
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.write().expect("chunk store lock poisoned");
         if inner.chunks.insert(id, size).is_none() {
             inner.stats.chunks += 1;
             inner.stats.bytes += size;
@@ -75,17 +75,21 @@ impl ChunkStore {
 
     /// Whether the store holds a chunk (retrieve path).
     pub fn has(&self, id: ChunkId) -> bool {
-        self.inner.read().chunks.contains_key(&id)
+        self.read().chunks.contains_key(&id)
     }
 
     /// Raw size of a held chunk.
     pub fn size_of(&self, id: ChunkId) -> Option<u64> {
-        self.inner.read().chunks.get(&id).copied()
+        self.read().chunks.get(&id).copied()
     }
 
     /// Current statistics snapshot.
     pub fn stats(&self) -> StoreStats {
-        self.inner.read().stats
+        self.read().stats
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, Inner> {
+        self.inner.read().expect("chunk store lock poisoned")
     }
 }
 

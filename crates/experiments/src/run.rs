@@ -1,8 +1,8 @@
 //! Capture orchestration: simulate all vantage points once, reuse
 //! everywhere.
 
-use crossbeam::thread;
 use dropbox::client::ClientVersion;
+use std::thread;
 use workload::{simulate_vantage, SimOutput, VantageConfig, VantageKind};
 
 /// A full reproduction run: the four Mar–May captures plus the Campus 1
@@ -44,15 +44,12 @@ pub fn run_capture(scale: f64, seed: u64) -> Capture {
     thread::scope(|s| {
         let mut handles = Vec::new();
         for config in &configs {
-            handles.push(s.spawn(move |_| {
-                simulate_vantage(config, ClientVersion::V1_2_52, seed)
-            }));
+            handles.push(s.spawn(move || simulate_vantage(config, ClientVersion::V1_2_52, seed)));
         }
         for (slot, h) in vantages.iter_mut().zip(handles) {
             *slot = Some(h.join().expect("vantage simulation panicked"));
         }
-    })
-    .expect("scoped threads");
+    });
 
     let mut c1_config = VantageConfig::paper(VantageKind::Campus1, scale);
     c1_config.days = 14; // Jun/Jul re-capture window

@@ -1,6 +1,6 @@
 //! IPv4 endpoints and flow keys.
 
-use serde::{Deserialize, Serialize};
+use simcore::json::{FromJson, Json, JsonError, ToJson};
 use std::fmt;
 
 /// A (simulated) IPv4 address.
@@ -9,8 +9,20 @@ use std::fmt;
 /// dotted-quad. Client addresses in exported traces are anonymised by the
 /// monitor before export (see `tstat`), mirroring the paper's privacy
 /// handling ("all payload data are discarded directly in the probe").
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Ipv4(pub u32);
+
+impl ToJson for Ipv4 {
+    fn to_json(&self) -> Json {
+        Json::U64(self.0 as u64)
+    }
+}
+
+impl FromJson for Ipv4 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        u32::from_json(v).map(Ipv4)
+    }
+}
 
 impl Ipv4 {
     /// Build from dotted-quad octets.
@@ -43,7 +55,7 @@ impl fmt::Display for Ipv4 {
 }
 
 /// A transport endpoint: address and TCP port.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Endpoint {
     /// IPv4 address.
     pub ip: Ipv4,
@@ -55,6 +67,21 @@ impl Endpoint {
     /// Construct an endpoint.
     pub const fn new(ip: Ipv4, port: u16) -> Self {
         Endpoint { ip, port }
+    }
+}
+
+impl ToJson for Endpoint {
+    fn to_json(&self) -> Json {
+        Json::obj([("ip", self.ip.to_json()), ("port", self.port.to_json())])
+    }
+}
+
+impl FromJson for Endpoint {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Endpoint {
+            ip: v.field("ip")?,
+            port: v.field("port")?,
+        })
     }
 }
 
@@ -72,7 +99,7 @@ impl fmt::Display for Endpoint {
 
 /// Identity of a TCP connection as seen by the monitor: the *client*
 /// (initiator, inside the monitored network) and *server* endpoints.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct FlowKey {
     /// Connection initiator (inside the vantage point).
     pub client: Endpoint,
@@ -84,6 +111,24 @@ impl FlowKey {
     /// Construct a flow key.
     pub const fn new(client: Endpoint, server: Endpoint) -> Self {
         FlowKey { client, server }
+    }
+}
+
+impl ToJson for FlowKey {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("client", self.client.to_json()),
+            ("server", self.server.to_json()),
+        ])
+    }
+}
+
+impl FromJson for FlowKey {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(FlowKey {
+            client: v.field("client")?,
+            server: v.field("server")?,
+        })
     }
 }
 

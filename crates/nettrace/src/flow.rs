@@ -4,15 +4,16 @@
 //! metrics the paper's analysis consumes (a subset of Tstat's ~100 TCP-log
 //! columns, plus the Dropbox-specific extensions the authors added: TLS
 //! server names, DNS FQDN labels, and notification-payload fields). The
-//! record is `serde`-serialisable; the experiment harness exports JSON-lines
-//! files mirroring the anonymised traces the authors published.
+//! record converts to and from JSON via `simcore::json`; the experiment
+//! harness exports JSON-lines files mirroring the anonymised traces the
+//! authors published.
 
 use crate::endpoint::FlowKey;
-use serde::{Deserialize, Serialize};
+use simcore::json::{FromJson, Json, JsonError, ToJson};
 use simcore::{SimDuration, SimTime};
 
 /// Per-direction packet/byte counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DirStats {
     /// Segments observed (including pure ACKs and control segments).
     pub packets: u64,
@@ -28,8 +29,34 @@ pub struct DirStats {
     pub last_payload: Option<SimTime>,
 }
 
+impl ToJson for DirStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("packets", self.packets.to_json()),
+            ("bytes", self.bytes.to_json()),
+            ("psh_segments", self.psh_segments.to_json()),
+            ("retransmissions", self.retransmissions.to_json()),
+            ("first_payload", self.first_payload.to_json()),
+            ("last_payload", self.last_payload.to_json()),
+        ])
+    }
+}
+
+impl FromJson for DirStats {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(DirStats {
+            packets: v.field("packets")?,
+            bytes: v.field("bytes")?,
+            psh_segments: v.field("psh_segments")?,
+            retransmissions: v.field("retransmissions")?,
+            first_payload: v.field("first_payload")?,
+            last_payload: v.field("last_payload")?,
+        })
+    }
+}
+
 /// Dropbox-specific notification metadata (cleartext, Sec. 2.3.1).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct NotifyMeta {
     /// Device identifier observed in notification requests.
     pub host_int: u64,
@@ -37,8 +64,26 @@ pub struct NotifyMeta {
     pub namespaces: Vec<u64>,
 }
 
+impl ToJson for NotifyMeta {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("host_int", self.host_int.to_json()),
+            ("namespaces", self.namespaces.to_json()),
+        ])
+    }
+}
+
+impl FromJson for NotifyMeta {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(NotifyMeta {
+            host_int: v.field("host_int")?,
+            namespaces: v.field("namespaces")?,
+        })
+    }
+}
+
 /// How the connection ended, as visible on the wire.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FlowClose {
     /// Orderly FIN exchange.
     Fin,
@@ -48,8 +93,38 @@ pub enum FlowClose {
     Timeout,
 }
 
+impl ToJson for FlowClose {
+    fn to_json(&self) -> Json {
+        let name = match self {
+            FlowClose::Fin => "Fin",
+            FlowClose::Rst => "Rst",
+            FlowClose::Timeout => "Timeout",
+        };
+        Json::Str(name.to_string())
+    }
+}
+
+impl FromJson for FlowClose {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Str(s) => match s.as_str() {
+                "Fin" => Ok(FlowClose::Fin),
+                "Rst" => Ok(FlowClose::Rst),
+                "Timeout" => Ok(FlowClose::Timeout),
+                other => Err(JsonError::new(format!(
+                    "unknown FlowClose variant `{other}`"
+                ))),
+            },
+            other => Err(JsonError::new(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
 /// A reconstructed TCP flow with the monitor's measurements.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct FlowRecord {
     /// Client and server endpoints (client address anonymised on export).
     pub key: FlowKey,
@@ -79,6 +154,46 @@ pub struct FlowRecord {
     pub notify: Option<NotifyMeta>,
     /// How the flow terminated.
     pub close: FlowClose,
+}
+
+impl ToJson for FlowRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("key", self.key.to_json()),
+            ("first_syn", self.first_syn.to_json()),
+            ("last_packet", self.last_packet.to_json()),
+            ("up", self.up.to_json()),
+            ("down", self.down.to_json()),
+            ("min_rtt_ms", self.min_rtt_ms.to_json()),
+            ("rtt_samples", self.rtt_samples.to_json()),
+            ("tls_sni", self.tls_sni.to_json()),
+            ("tls_certificate_cn", self.tls_certificate_cn.to_json()),
+            ("http_host", self.http_host.to_json()),
+            ("server_fqdn", self.server_fqdn.to_json()),
+            ("notify", self.notify.to_json()),
+            ("close", self.close.to_json()),
+        ])
+    }
+}
+
+impl FromJson for FlowRecord {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(FlowRecord {
+            key: v.field("key")?,
+            first_syn: v.field("first_syn")?,
+            last_packet: v.field("last_packet")?,
+            up: v.field("up")?,
+            down: v.field("down")?,
+            min_rtt_ms: v.field("min_rtt_ms")?,
+            rtt_samples: v.field("rtt_samples")?,
+            tls_sni: v.field("tls_sni")?,
+            tls_certificate_cn: v.field("tls_certificate_cn")?,
+            http_host: v.field("http_host")?,
+            server_fqdn: v.field("server_fqdn")?,
+            notify: v.field("notify")?,
+            close: v.field("close")?,
+        })
+    }
 }
 
 impl FlowRecord {

@@ -12,8 +12,7 @@ use std::io::{self, BufRead, Write};
 /// Write records as JSON-lines.
 pub fn write_jsonl<W: Write>(mut sink: W, flows: &[FlowRecord]) -> io::Result<()> {
     for f in flows {
-        let line = serde_json::to_string(f)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let line = simcore::json::to_string(f);
         sink.write_all(line.as_bytes())?;
         sink.write_all(b"\n")?;
     }
@@ -29,7 +28,7 @@ pub fn read_jsonl<R: BufRead>(source: R) -> io::Result<Vec<FlowRecord>> {
         if line.trim().is_empty() {
             continue;
         }
-        let rec: FlowRecord = serde_json::from_str(&line).map_err(|e| {
+        let rec: FlowRecord = simcore::json::from_str(&line).map_err(|e| {
             io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("line {}: {e}", idx + 1),
@@ -110,6 +109,20 @@ mod tests {
         let input = "\n\n{not json}\n";
         let err = read_jsonl(io::Cursor::new(input)).unwrap_err();
         assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn reader_reports_one_based_line_for_bad_record_mid_file() {
+        // A valid record, a blank line, then a record with a missing field:
+        // the error must name the physical (1-based) line, counting blanks.
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &[record(Ipv4::new(87, 1, 2, 3))]).unwrap();
+        let mut input = String::from_utf8(buf).unwrap();
+        input.push('\n');
+        input.push_str("{\"key\":null}\n");
+        let err = read_jsonl(io::Cursor::new(input)).unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]

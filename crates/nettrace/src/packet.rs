@@ -1,13 +1,25 @@
 //! Packets as observed at the vantage point.
 
 use crate::endpoint::Endpoint;
-use serde::{Deserialize, Serialize};
+use simcore::json::{FromJson, Json, JsonError, ToJson};
 use simcore::SimTime;
 use std::fmt;
 
 /// TCP header flags (the subset the monitor cares about).
-#[derive(Clone, Copy, PartialEq, Eq, Default, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Default, Hash)]
 pub struct TcpFlags(pub u8);
+
+impl ToJson for TcpFlags {
+    fn to_json(&self) -> Json {
+        Json::U64(self.0 as u64)
+    }
+}
+
+impl FromJson for TcpFlags {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        u8::from_json(v).map(TcpFlags)
+    }
+}
 
 impl TcpFlags {
     /// FIN flag bit.
@@ -86,7 +98,7 @@ impl fmt::Debug for TcpFlags {
 /// HTTP (notification protocol and some direct-link downloads), and the
 /// notification payload (device id + namespace list, Sec. 2.3.1). Encrypted
 /// application data carries `None`.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum AppMarker {
     /// TLS ClientHello; SNI extension carries the requested server name.
     TlsClientHello {
@@ -124,8 +136,79 @@ pub enum AppMarker {
     },
 }
 
+// Externally-tagged representation, `{"VariantName": {fields...}}` — the
+// same wire format the serde derive this replaces produced.
+impl ToJson for AppMarker {
+    fn to_json(&self) -> Json {
+        let (tag, body) = match self {
+            AppMarker::TlsClientHello { sni } => {
+                ("TlsClientHello", Json::obj([("sni", sni.to_json())]))
+            }
+            AppMarker::TlsCertificate { common_name } => (
+                "TlsCertificate",
+                Json::obj([("common_name", common_name.to_json())]),
+            ),
+            AppMarker::HttpRequest { host, path } => (
+                "HttpRequest",
+                Json::obj([("host", host.to_json()), ("path", path.to_json())]),
+            ),
+            AppMarker::HttpResponse { status } => {
+                ("HttpResponse", Json::obj([("status", status.to_json())]))
+            }
+            AppMarker::NotifyRequest {
+                host,
+                host_int,
+                namespaces,
+            } => (
+                "NotifyRequest",
+                Json::obj([
+                    ("host", host.to_json()),
+                    ("host_int", host_int.to_json()),
+                    ("namespaces", namespaces.to_json()),
+                ]),
+            ),
+        };
+        Json::obj([(tag, body)])
+    }
+}
+
+impl FromJson for AppMarker {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let (tag, body) = match v {
+            Json::Obj(fields) if fields.len() == 1 => (&fields[0].0, &fields[0].1),
+            other => {
+                return Err(JsonError::new(format!(
+                    "expected single-key variant object, found {}",
+                    other.kind()
+                )))
+            }
+        };
+        match tag.as_str() {
+            "TlsClientHello" => Ok(AppMarker::TlsClientHello {
+                sni: body.field("sni")?,
+            }),
+            "TlsCertificate" => Ok(AppMarker::TlsCertificate {
+                common_name: body.field("common_name")?,
+            }),
+            "HttpRequest" => Ok(AppMarker::HttpRequest {
+                host: body.field("host")?,
+                path: body.field("path")?,
+            }),
+            "HttpResponse" => Ok(AppMarker::HttpResponse {
+                status: body.field("status")?,
+            }),
+            "NotifyRequest" => Ok(AppMarker::NotifyRequest {
+                host: body.field("host")?,
+                host_int: body.field("host_int")?,
+                namespaces: body.field("namespaces")?,
+            }),
+            other => Err(JsonError::new(format!("unknown AppMarker variant `{other}`"))),
+        }
+    }
+}
+
 /// One TCP segment crossing the monitored link.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Packet {
     /// Capture timestamp at the probe.
     pub ts: SimTime,

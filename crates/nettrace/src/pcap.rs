@@ -8,7 +8,6 @@
 //! payload contents, matching the paper's privacy constraints).
 
 use crate::packet::Packet;
-use bytes::{BufMut, BytesMut};
 use std::io::{self, Write};
 
 /// Classic pcap magic (microsecond timestamps).
@@ -17,6 +16,42 @@ const PCAP_MAGIC: u32 = 0xa1b2_c3d4;
 const LINKTYPE_ETHERNET: u32 = 1;
 /// Maximum bytes captured per packet.
 const SNAPLEN: u32 = 65_535;
+
+/// Byte-appending helpers on `Vec<u8>`, covering the subset of the
+/// `bytes::BufMut` API this module needs.
+trait PutBytes {
+    fn put_u8(&mut self, v: u8);
+    fn put_u16(&mut self, v: u16);
+    fn put_u32(&mut self, v: u32);
+    fn put_u16_le(&mut self, v: u16);
+    fn put_u32_le(&mut self, v: u32);
+    fn put_i32_le(&mut self, v: i32);
+    fn put_slice(&mut self, v: &[u8]);
+}
+
+impl PutBytes for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u16_le(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_i32_le(&mut self, v: i32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_slice(&mut self, v: &[u8]) {
+        self.extend_from_slice(v);
+    }
+}
 
 /// Streaming pcap writer over any [`Write`] sink.
 pub struct PcapWriter<W: Write> {
@@ -27,7 +62,7 @@ pub struct PcapWriter<W: Write> {
 impl<W: Write> PcapWriter<W> {
     /// Create a writer and emit the pcap global header.
     pub fn new(mut sink: W) -> io::Result<Self> {
-        let mut hdr = BytesMut::with_capacity(24);
+        let mut hdr = Vec::with_capacity(24);
         hdr.put_u32_le(PCAP_MAGIC);
         hdr.put_u16_le(2); // version major
         hdr.put_u16_le(4); // version minor
@@ -45,7 +80,7 @@ impl<W: Write> PcapWriter<W> {
     /// Append one packet.
     pub fn write_packet(&mut self, pkt: &Packet) -> io::Result<()> {
         let frame = synthesize_frame(pkt);
-        let mut rec = BytesMut::with_capacity(16 + frame.len());
+        let mut rec = Vec::with_capacity(16 + frame.len());
         let ts = pkt.ts.micros();
         rec.put_u32_le((ts / 1_000_000) as u32);
         rec.put_u32_le((ts % 1_000_000) as u32);
@@ -73,7 +108,7 @@ impl<W: Write> PcapWriter<W> {
 fn synthesize_frame(pkt: &Packet) -> Vec<u8> {
     let payload_len = pkt.payload_len as usize;
     let ip_total = 20 + 20 + payload_len;
-    let mut buf = BytesMut::with_capacity(14 + ip_total);
+    let mut buf = Vec::with_capacity(14 + ip_total);
 
     // Ethernet: synthetic locally-administered MACs derived from the IPs.
     let src_oct = pkt.src.ip.octets();
@@ -91,17 +126,17 @@ fn synthesize_frame(pkt: &Packet) -> Vec<u8> {
     buf.put_u16(0x4000); // don't fragment
     buf.put_u8(64); // TTL
     buf.put_u8(6); // TCP
-    let cksum_pos = buf.len();
+    let ip_cksum_pos = buf.len();
     buf.put_u16(0); // checksum placeholder
     buf.put_slice(&src_oct);
     buf.put_slice(&dst_oct);
     // IPv4 header checksum over the 20 header bytes.
     let ip_start = 14;
-    let cksum = ipv4_checksum(&buf[ip_start..ip_start + 20]);
-    buf[cksum_pos..cksum_pos + 2].copy_from_slice(&cksum.to_be_bytes());
+    let cksum = rfc1071_checksum(&buf[ip_start..ip_start + 20]);
+    buf[ip_cksum_pos..ip_cksum_pos + 2].copy_from_slice(&cksum.to_be_bytes());
 
-    // TCP header (no options; checksum left zero — tools tolerate it and we
-    // document the trace as synthetic).
+    // TCP header (no options).
+    let tcp_start = buf.len();
     buf.put_u16(pkt.src.port);
     buf.put_u16(pkt.dst.port);
     buf.put_u32(pkt.seq);
@@ -109,17 +144,32 @@ fn synthesize_frame(pkt: &Packet) -> Vec<u8> {
     buf.put_u8(0x50); // data offset = 5 words
     buf.put_u8(pkt.flags.0);
     buf.put_u16(65_535); // window
-    buf.put_u16(0); // checksum
+    let tcp_cksum_pos = buf.len();
+    buf.put_u16(0); // checksum placeholder
     buf.put_u16(0); // urgent pointer
 
     buf.resize(buf.len() + payload_len, 0);
-    buf.to_vec()
+
+    // TCP checksum over pseudo-header + TCP header + payload. The payload
+    // is all zeros, so it only lengthens the range, never the sum.
+    let tcp_len = 20 + payload_len;
+    let mut pseudo = Vec::with_capacity(12);
+    pseudo.put_slice(&src_oct);
+    pseudo.put_slice(&dst_oct);
+    pseudo.put_u8(0);
+    pseudo.put_u8(6); // TCP
+    pseudo.put_u16(tcp_len as u16);
+    pseudo.extend_from_slice(&buf[tcp_start..]);
+    let tcp_cksum = rfc1071_checksum(&pseudo);
+    buf[tcp_cksum_pos..tcp_cksum_pos + 2].copy_from_slice(&tcp_cksum.to_be_bytes());
+
+    buf
 }
 
-/// RFC 1071 checksum over a header.
-fn ipv4_checksum(header: &[u8]) -> u16 {
+/// RFC 1071 ones-complement checksum over a byte range.
+fn rfc1071_checksum(data: &[u8]) -> u16 {
     let mut sum = 0u32;
-    for pair in header.chunks(2) {
+    for pair in data.chunks(2) {
         let word = if pair.len() == 2 {
             u16::from_be_bytes([pair[0], pair[1]])
         } else {
@@ -153,13 +203,39 @@ mod tests {
         }
     }
 
+    /// Ones-complement sum including the checksum field: 0xffff iff valid.
+    fn verify_sum(data: &[u8]) -> u16 {
+        let mut sum = 0u32;
+        for pair in data.chunks(2) {
+            let word = if pair.len() == 2 {
+                u16::from_be_bytes([pair[0], pair[1]])
+            } else {
+                u16::from_be_bytes([pair[0], 0])
+            };
+            sum += word as u32;
+        }
+        while sum >> 16 != 0 {
+            sum = (sum & 0xffff) + (sum >> 16);
+        }
+        sum as u16
+    }
+
     #[test]
-    fn global_header_format() {
+    fn global_header_golden_bytes() {
         let w = PcapWriter::new(Vec::new()).unwrap();
         let bytes = w.finish().unwrap();
-        assert_eq!(bytes.len(), 24);
-        assert_eq!(u32::from_le_bytes(bytes[0..4].try_into().unwrap()), PCAP_MAGIC);
-        assert_eq!(u32::from_le_bytes(bytes[20..24].try_into().unwrap()), LINKTYPE_ETHERNET);
+        // Little-endian classic pcap header, byte for byte: magic, v2.4,
+        // thiszone 0, sigfigs 0, snaplen 65535, linktype Ethernet.
+        let golden: [u8; 24] = [
+            0xd4, 0xc3, 0xb2, 0xa1, // magic 0xa1b2c3d4 LE
+            0x02, 0x00, // version major 2
+            0x04, 0x00, // version minor 4
+            0x00, 0x00, 0x00, 0x00, // thiszone
+            0x00, 0x00, 0x00, 0x00, // sigfigs
+            0xff, 0xff, 0x00, 0x00, // snaplen 65535
+            0x01, 0x00, 0x00, 0x00, // LINKTYPE_ETHERNET
+        ];
+        assert_eq!(bytes.as_slice(), &golden);
     }
 
     #[test]
@@ -183,16 +259,39 @@ mod tests {
         w.write_packet(&sample_packet(0)).unwrap();
         let bytes = w.finish().unwrap();
         let ip_header = &bytes[24 + 16 + 14..24 + 16 + 14 + 20];
-        // A correct header checksums to zero when the checksum field is
-        // included.
-        let mut sum = 0u32;
-        for pair in ip_header.chunks(2) {
-            sum += u16::from_be_bytes([pair[0], pair[1]]) as u32;
+        // A correct header checksums to 0xffff when the checksum field is
+        // included in the sum.
+        assert_eq!(verify_sum(ip_header), 0xffff);
+    }
+
+    #[test]
+    fn tcp_checksum_validates_over_pseudo_header() {
+        for payload in [0u32, 1, 100, 1460] {
+            let mut w = PcapWriter::new(Vec::new()).unwrap();
+            w.write_packet(&sample_packet(payload)).unwrap();
+            let bytes = w.finish().unwrap();
+            let frame = &bytes[24 + 16..];
+            let src = &frame[26..30];
+            let dst = &frame[30..34];
+            let tcp_and_payload = &frame[34..];
+            let mut pseudo = Vec::new();
+            pseudo.extend_from_slice(src);
+            pseudo.extend_from_slice(dst);
+            pseudo.push(0);
+            pseudo.push(6);
+            pseudo.extend_from_slice(&(tcp_and_payload.len() as u16).to_be_bytes());
+            pseudo.extend_from_slice(tcp_and_payload);
+            assert_eq!(verify_sum(&pseudo), 0xffff, "payload_len={payload}");
         }
-        while sum >> 16 != 0 {
-            sum = (sum & 0xffff) + (sum >> 16);
-        }
-        assert_eq!(sum as u16, 0xffff);
+    }
+
+    #[test]
+    fn rfc1071_known_vector() {
+        // Example from RFC 1071 Sec. 3: the words 0x0001 0xf203 0xf4f5
+        // 0xf6f7 sum to 0xddf2 (with carry folded); checksum is the
+        // complement.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(rfc1071_checksum(&data), !0xddf2);
     }
 
     #[test]

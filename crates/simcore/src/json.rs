@@ -1,0 +1,792 @@
+//! Minimal JSON support: a value tree, an emitter, and a strict parser —
+//! all std-only, so the workspace builds offline with zero external crates.
+//!
+//! The module replaces `serde`/`serde_json` for the workspace's only
+//! serialisation need, the JSON-lines flow-log export. The emitter is
+//! byte-compatible with what `serde_json` produced for the record types in
+//! `nettrace` (same field order, same escaping, integers as plain decimal
+//! literals), and floats use Rust's shortest round-tripping representation
+//! so that `f64` values survive export/import *exactly* — including
+//! subnormals and values at the edges of the `f64` range.
+//!
+//! Types opt in by implementing [`ToJson`]/[`FromJson`] by hand; there is
+//! deliberately no derive machinery. The impls live next to the types they
+//! serialise (`simcore::time`, `simcore::stats`, `nettrace::*`).
+//!
+//! ```
+//! use simcore::json::{self, Json};
+//! let v = Json::parse(r#"{"a": [1, 2.5, null], "b": "x"}"#).unwrap();
+//! assert_eq!(v.get("b").unwrap(), &Json::Str("x".into()));
+//! assert_eq!(json::to_string(&vec![1u64, 2, 3]), "[1,2,3]");
+//! ```
+
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A JSON value.
+///
+/// Numbers keep their lexical class: integer literals parse to [`Json::U64`]
+/// (or [`Json::I64`] when negative), anything with a fraction or exponent to
+/// [`Json::F64`]. This is what lets `u64` fields (chunk ids, byte counters,
+/// `host_int` device ids) round-trip without passing through `f64`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Non-negative integer literal.
+    U64(u64),
+    /// Negative integer literal.
+    I64(i64),
+    /// Fractional or exponent-form number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object; insertion order is preserved on emit.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Error raised by parsing or by [`FromJson`] conversions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    msg: String,
+}
+
+impl JsonError {
+    /// Construct an error from a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        JsonError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Serialise a value to a JSON string.
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().dump()
+}
+
+/// Parse a JSON string into a value implementing [`FromJson`].
+pub fn from_str<T: FromJson>(s: &str) -> Result<T, JsonError> {
+    T::from_json(&Json::parse(s)?)
+}
+
+/// Types that can serialise themselves to a [`Json`] tree.
+pub trait ToJson {
+    /// Build the JSON representation.
+    fn to_json(&self) -> Json;
+}
+
+/// Types that can reconstruct themselves from a [`Json`] tree.
+pub trait FromJson: Sized {
+    /// Parse from a JSON value.
+    fn from_json(v: &Json) -> Result<Self, JsonError>;
+}
+
+impl Json {
+    /// Build an object from `(key, value)` pairs, preserving order.
+    pub fn obj<'a>(fields: impl IntoIterator<Item = (&'a str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Member lookup on an object (`None` for non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Typed member lookup with context in the error message.
+    pub fn field<T: FromJson>(&self, key: &str) -> Result<T, JsonError> {
+        match self {
+            Json::Obj(_) => match self.get(key) {
+                Some(v) => T::from_json(v)
+                    .map_err(|e| JsonError::new(format!("field `{key}`: {e}"))),
+                None => Err(JsonError::new(format!("missing field `{key}`"))),
+            },
+            other => Err(JsonError::new(format!(
+                "expected object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Short type name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::U64(_) | Json::I64(_) => "integer",
+            Json::F64(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+
+    /// Emit compact JSON (no whitespace), matching `serde_json::to_string`.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out);
+        out
+    }
+
+    fn write_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::F64(x) => {
+                if x.is_finite() {
+                    // `{:?}` is Rust's shortest representation that parses
+                    // back to the same bits; it always carries a `.` or an
+                    // exponent, so the lexical class survives a round trip.
+                    let _ = write!(out, "{x:?}");
+                } else {
+                    // serde_json also emits null for NaN/±inf.
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a complete JSON document (trailing garbage is an error).
+    pub fn parse(s: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(v)
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl fmt::Display) -> JsonError {
+        JsonError::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character `{}`", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let c = self.unicode_escape()?;
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.err("unescaped control character in string"))
+                }
+                Some(_) => {
+                    // Advance by one UTF-8 character (input is a &str, so
+                    // the byte stream is valid UTF-8 by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let ch_len = match rest[0] {
+                        b if b < 0x80 => 1,
+                        b if b >= 0xf0 => 4,
+                        b if b >= 0xe0 => 3,
+                        _ => 2,
+                    };
+                    let chunk = std::str::from_utf8(&rest[..ch_len])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(chunk);
+                    self.pos += ch_len;
+                }
+            }
+        }
+    }
+
+    /// Parses the 4 hex digits after `\u` (and a following surrogate pair
+    /// when needed); `self.pos` is already past the `u`.
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let hi = self.hex4()?;
+        if (0xD800..=0xDBFF).contains(&hi) {
+            // High surrogate: require a low surrogate escape next.
+            if self.bytes[self.pos..].starts_with(b"\\u") {
+                self.pos += 2;
+                let lo = self.hex4()?;
+                if !(0xDC00..=0xDFFF).contains(&lo) {
+                    return Err(self.err("invalid low surrogate"));
+                }
+                let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                char::from_u32(c).ok_or_else(|| self.err("invalid surrogate pair"))
+            } else {
+                Err(self.err("lone surrogate"))
+            }
+        } else if (0xDC00..=0xDFFF).contains(&hi) {
+            Err(self.err("lone surrogate"))
+        } else {
+            char::from_u32(hi).ok_or_else(|| self.err("invalid \\u escape"))
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(c @ b'0'..=b'9') => (c - b'0') as u32,
+                Some(c @ b'a'..=b'f') => (c - b'a' + 10) as u32,
+                Some(c @ b'A'..=b'F') => (c - b'A' + 10) as u32,
+                _ => return Err(self.err("expected 4 hex digits")),
+            };
+            v = (v << 4) | d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut saw_digit = false;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            saw_digit = true;
+            self.pos += 1;
+        }
+        if !saw_digit {
+            return Err(self.err("expected digit"));
+        }
+        let mut fractional = false;
+        if self.peek() == Some(b'.') {
+            fractional = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digit after `.`"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            fractional = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digit in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number token is ASCII");
+        if !fractional {
+            if let Some(rest) = text.strip_prefix('-') {
+                if let Ok(v) = rest.parse::<u64>() {
+                    if v == 0 {
+                        return Ok(Json::U64(0));
+                    }
+                    if let Ok(v) = text.parse::<i64>() {
+                        return Ok(Json::I64(v));
+                    }
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::U64(v));
+            }
+        }
+        // Fractional form, or an integer too large for u64/i64: fall back
+        // to the correctly rounded f64 (what serde_json does as well).
+        text.parse::<f64>()
+            .map(Json::F64)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromJson for Json {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(v.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Bool(b) => Ok(*b),
+            other => Err(JsonError::new(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Json {
+        Json::U64(*self)
+    }
+}
+
+impl FromJson for u64 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::U64(x) => Ok(*x),
+            Json::I64(x) if *x >= 0 => Ok(*x as u64),
+            other => Err(JsonError::new(format!(
+                "expected unsigned integer, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl ToJson for i64 {
+    fn to_json(&self) -> Json {
+        if *self >= 0 {
+            Json::U64(*self as u64)
+        } else {
+            Json::I64(*self)
+        }
+    }
+}
+
+impl FromJson for i64 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::I64(x) => Ok(*x),
+            Json::U64(x) if *x <= i64::MAX as u64 => Ok(*x as i64),
+            other => Err(JsonError::new(format!(
+                "expected signed integer, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_small_uint {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::U64(*self as u64)
+            }
+        }
+        impl FromJson for $t {
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                let raw = u64::from_json(v)?;
+                <$t>::try_from(raw).map_err(|_| {
+                    JsonError::new(format!(
+                        "integer {raw} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_small_uint!(u8, u16, u32, usize);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::F64(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::F64(x) => Ok(*x),
+            Json::U64(x) => Ok(*x as f64),
+            Json::I64(x) => Ok(*x as f64),
+            other => Err(JsonError::new(format!("expected number, found {}", other.kind()))),
+        }
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Str(s) => Ok(s.clone()),
+            other => Err(JsonError::new(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            None => Json::Null,
+            Some(v) => v.to_json(),
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Arr(items) => items.iter().map(T::from_json).collect(),
+            other => Err(JsonError::new(format!("expected array, found {}", other.kind()))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_compact_serde_json_compatible_output() {
+        let v = Json::obj([
+            ("a", Json::U64(1)),
+            ("b", Json::Arr(vec![Json::Null, Json::Bool(true), Json::F64(2.5)])),
+            ("c", Json::Str("x\"y\n".into())),
+        ]);
+        assert_eq!(v.dump(), r#"{"a":1,"b":[null,true,2.5],"c":"x\"y\n"}"#);
+    }
+
+    #[test]
+    fn integer_literals_keep_full_u64_precision() {
+        // 2^53 + 1 is not representable as f64; it must survive as u64.
+        let big = (1u64 << 53) + 1;
+        let s = to_string(&big);
+        assert_eq!(s, "9007199254740993");
+        assert_eq!(from_str::<u64>(&s).unwrap(), big);
+        assert_eq!(from_str::<u64>("18446744073709551615").unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn f64_round_trips_exactly() {
+        for x in [
+            0.0,
+            -0.0,
+            0.1,
+            95.0,
+            1.0 / 3.0,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            5e-324, // smallest subnormal
+            1e300,
+            -123456789.123456789,
+        ] {
+            let s = Json::F64(x).dump();
+            let back = match Json::parse(&s).unwrap() {
+                Json::F64(v) => v,
+                other => panic!("expected F64 back for {x:?}, got {other:?}"),
+            };
+            assert_eq!(back.to_bits(), x.to_bits(), "{x:?} -> {s} -> {back:?}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_emit_null_like_serde_json() {
+        assert_eq!(Json::F64(f64::NAN).dump(), "null");
+        assert_eq!(Json::F64(f64::INFINITY).dump(), "null");
+    }
+
+    #[test]
+    fn parses_nested_structures_with_whitespace() {
+        let v = Json::parse(" { \"k\" : [ 1 , -2 , 3.5 , \"s\" ] , \"n\" : null } ").unwrap();
+        assert_eq!(
+            v.get("k").unwrap(),
+            &Json::Arr(vec![
+                Json::U64(1),
+                Json::I64(-2),
+                Json::F64(3.5),
+                Json::Str("s".into())
+            ])
+        );
+        assert_eq!(v.get("n"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "quote\" backslash\\ newline\n tab\t ctrl\u{01} unicode\u{2603} 😀";
+        let dumped = Json::Str(original.into()).dump();
+        assert_eq!(Json::parse(&dumped).unwrap(), Json::Str(original.into()));
+        // \u escapes with surrogate pairs parse too.
+        assert_eq!(
+            Json::parse(r#""\ud83d\ude00 \u2603""#).unwrap(),
+            Json::Str("😀 ☃".into())
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "nul",
+            "1 2",
+            "\"unterminated",
+            "01a",
+            "-",
+            "1.e5",
+            "\"\\ud800\"", // lone surrogate
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn field_lookup_reports_context() {
+        let v = Json::parse(r#"{"a": {"b": "str"}}"#).unwrap();
+        let nested: Json = v.field("a").unwrap();
+        let err = nested.field::<u64>("b").unwrap_err();
+        assert!(err.to_string().contains("field `b`"), "{err}");
+        let err = v.field::<u64>("missing").unwrap_err();
+        assert!(err.to_string().contains("missing field"), "{err}");
+    }
+
+    #[test]
+    fn option_and_vec_round_trip() {
+        let v: Option<Vec<u32>> = Some(vec![1, 2, 3]);
+        assert_eq!(to_string(&v), "[1,2,3]");
+        assert_eq!(from_str::<Option<Vec<u32>>>("[1,2,3]").unwrap(), v);
+        assert_eq!(from_str::<Option<Vec<u32>>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn number_class_is_preserved() {
+        assert_eq!(Json::parse("7").unwrap(), Json::U64(7));
+        assert_eq!(Json::parse("-7").unwrap(), Json::I64(-7));
+        assert_eq!(Json::parse("7.0").unwrap(), Json::F64(7.0));
+        assert_eq!(Json::parse("7e2").unwrap(), Json::F64(700.0));
+        // Integer beyond u64 falls back to f64 (serde_json behaviour).
+        assert!(matches!(
+            Json::parse("18446744073709551616").unwrap(),
+            Json::F64(_)
+        ));
+    }
+}

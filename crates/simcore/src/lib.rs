@@ -14,16 +14,24 @@
 //! * [`dist`] — distribution samplers (exponential, log-normal, Pareto,
 //!   Zipf, categorical, …) built on [`rng::Rng`] rather than external crates,
 //! * [`stats`] — small statistics helpers (quantiles, CDFs, means) used by
-//!   the analysis layer and by tests.
+//!   the analysis layer and by tests,
+//! * [`json`] — a minimal std-only JSON value/emitter/parser with exact
+//!   `f64` round-tripping (the workspace's replacement for `serde_json`),
+//! * [`proptest`] — a deterministic property-testing harness driven by
+//!   [`rng::Rng`] fork streams (the replacement for the `proptest` crate).
 //!
 //! No OS entropy, wall-clock time, or threads are used anywhere in this
 //! crate: simulations are bit-for-bit reproducible across runs and machines.
+//! The whole workspace builds offline: this crate (like every other crate in
+//! the tree) depends on nothing outside the standard library.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dist;
 pub mod events;
+pub mod json;
+pub mod proptest;
 pub mod rng;
 pub mod stats;
 pub mod time;

@@ -1,0 +1,339 @@
+//! A tiny deterministic property-testing harness (in-tree `proptest`
+//! replacement).
+//!
+//! The external `proptest` crate is unavailable in the offline build
+//! environment, and its OS-entropy-driven exploration is at odds with this
+//! workspace's everything-derives-from-one-seed policy anyway. This module
+//! provides the subset the test-suites need:
+//!
+//! * [`Strategy`] — a value generator driven by [`Rng`](crate::Rng);
+//!   implemented for integer/float ranges, tuples of strategies, and via
+//!   the [`vec_of`]/[`from_fn`]/`any_*` combinators,
+//! * the [`proptest!`](crate::proptest!) macro — declares `#[test]`
+//!   functions that sample inputs and run the property over many cases,
+//! * [`prop_assert!`](crate::prop_assert!),
+//!   [`prop_assert_eq!`](crate::prop_assert_eq!),
+//!   [`prop_assert_ne!`](crate::prop_assert_ne!),
+//!   [`prop_assume!`](crate::prop_assume!) — assertion/rejection forms.
+//!
+//! Each test derives its own root RNG from the fully-qualified test name
+//! (via [`fnv1a`](crate::rng::fnv1a)), and case *i* runs on fork *i* of that
+//! root: every case is reproducible in isolation, adding tests never
+//! perturbs existing ones, and there is no shrinking machinery — a failure
+//! report names the case index and prints the generated inputs.
+//!
+//! ```
+//! simcore::proptest! {
+//!     #![cases(64)]
+//!     // `#[test]` goes here in a test file; omitted so the doctest can
+//!     // call the generated function directly.
+//!     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+//!         simcore::prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! addition_commutes();
+//! ```
+
+use crate::Rng;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Outcome of one generated case, produced by the body closure the
+/// [`proptest!`](crate::proptest!) macro builds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CaseResult {
+    /// The property held (or at least did not fail).
+    Pass,
+    /// The inputs were rejected by [`prop_assume!`](crate::prop_assume!).
+    Reject,
+}
+
+/// A deterministic value generator.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Draw one value from `rng`.
+    fn sample(&self, rng: &mut Rng) -> Self::Value;
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                (self.start as u64
+                    + rng.below((self.end - self.start) as u64)) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut Rng) -> $t {
+                rng.range_u64(*self.start() as u64, *self.end() as u64) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        rng.range_f64(self.start, self.end)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut Rng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+
+/// Strategy built from a closure over the RNG (see [`from_fn`]).
+pub struct FromFn<T, F> {
+    f: F,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T: Debug, F: Fn(&mut Rng) -> T> Strategy for FromFn<T, F> {
+    type Value = T;
+    fn sample(&self, rng: &mut Rng) -> T {
+        (self.f)(rng)
+    }
+}
+
+/// Build a strategy from any sampling closure.
+pub fn from_fn<T: Debug, F: Fn(&mut Rng) -> T>(f: F) -> FromFn<T, F> {
+    FromFn {
+        f,
+        _marker: PhantomData,
+    }
+}
+
+/// Full-range `u8`.
+pub fn any_u8() -> impl Strategy<Value = u8> {
+    from_fn(|rng| rng.next_u64() as u8)
+}
+
+/// Full-range `u16`.
+pub fn any_u16() -> impl Strategy<Value = u16> {
+    from_fn(|rng| rng.next_u64() as u16)
+}
+
+/// Full-range `u32`.
+pub fn any_u32() -> impl Strategy<Value = u32> {
+    from_fn(|rng| rng.next_u64() as u32)
+}
+
+/// Full-range `u64`.
+pub fn any_u64() -> impl Strategy<Value = u64> {
+    from_fn(|rng| rng.next_u64())
+}
+
+/// Fair coin.
+pub fn any_bool() -> impl Strategy<Value = bool> {
+    from_fn(|rng| rng.next_u64() & 1 == 1)
+}
+
+/// Vectors of `elem` with a length drawn uniformly from `len`.
+pub fn vec_of<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { elem, len }
+}
+
+/// Strategy returned by [`vec_of`].
+pub struct VecStrategy<S> {
+    elem: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut Rng) -> Vec<S::Value> {
+        let n = if self.len.start < self.len.end {
+            self.len.start + rng.below_usize(self.len.end - self.len.start)
+        } else {
+            self.len.start
+        };
+        (0..n).map(|_| self.elem.sample(rng)).collect()
+    }
+}
+
+/// Declare deterministic property tests.
+///
+/// Syntax mirrors the external `proptest!` macro for the subset this
+/// workspace uses: an optional `#![cases(N)]` header (default 256) followed
+/// by `#[test] fn name(binding in strategy, ...) { body }` items. See the
+/// [module docs](crate::proptest) for the seeding scheme.
+#[macro_export]
+macro_rules! proptest {
+    (#![cases($n:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($n; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(256u32; $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cases:expr;) => {};
+    ($cases:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cases: u32 = $cases;
+            let __root = $crate::Rng::new($crate::rng::fnv1a(
+                concat!(module_path!(), "::", stringify!($name)).as_bytes(),
+            ));
+            let mut __rejected: u32 = 0;
+            for __case in 0..__cases {
+                let mut __rng = __root.fork(__case as u64);
+                $(let $arg = $crate::proptest::Strategy::sample(&($strategy), &mut __rng);)+
+                let __inputs = {
+                    let mut __s = ::std::string::String::new();
+                    $(
+                        __s.push_str("\n    ");
+                        __s.push_str(stringify!($arg));
+                        __s.push_str(" = ");
+                        __s.push_str(&::std::format!("{:?}", &$arg));
+                    )+
+                    __s
+                };
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || {
+                        (move || -> $crate::proptest::CaseResult {
+                            $body
+                            $crate::proptest::CaseResult::Pass
+                        })()
+                    }),
+                );
+                match __outcome {
+                    Ok($crate::proptest::CaseResult::Pass) => {}
+                    Ok($crate::proptest::CaseResult::Reject) => __rejected += 1,
+                    Err(__payload) => {
+                        ::std::eprintln!(
+                            "property `{}` failed at case {}/{} with inputs:{}",
+                            stringify!($name),
+                            __case,
+                            __cases,
+                            __inputs,
+                        );
+                        ::std::panic::resume_unwind(__payload);
+                    }
+                }
+            }
+            assert!(
+                __rejected < __cases,
+                "property `{}`: every case was rejected by prop_assume!",
+                stringify!($name),
+            );
+        }
+        $crate::__proptest_impl!($cases; $($rest)*);
+    };
+}
+
+/// Property-test assertion; panics (failing the current case) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { ::std::assert!($($args)*) };
+}
+
+/// Equality assertion for property tests.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { ::std::assert_eq!($($args)*) };
+}
+
+/// Inequality assertion for property tests.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { ::std::assert_ne!($($args)*) };
+}
+
+/// Reject the current case (skip it without failing) when `cond` is false.
+/// Only valid inside a [`proptest!`](crate::proptest!) body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return $crate::proptest::CaseResult::Reject;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = Rng::new(1);
+        for _ in 0..1000 {
+            let v = (10u64..20).sample(&mut rng);
+            assert!((10..20).contains(&v));
+            let f = (0.5f64..2.5).sample(&mut rng);
+            assert!((0.5..2.5).contains(&f));
+            let i = (3u8..=5).sample(&mut rng);
+            assert!((3..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn vec_of_respects_length_range() {
+        let mut rng = Rng::new(2);
+        let strat = vec_of(any_u8(), 2..7);
+        for _ in 0..200 {
+            let v = strat.sample(&mut rng);
+            assert!((2..7).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn tuples_compose() {
+        let mut rng = Rng::new(3);
+        let (a, b, c) = (0u64..10, any_bool(), 1.0f64..2.0).sample(&mut rng);
+        assert!(a < 10);
+        let _: bool = b;
+        assert!((1.0..2.0).contains(&c));
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let strat = (vec_of(any_u64(), 0..50), 0.0f64..1.0);
+        let a = strat.sample(&mut Rng::new(9));
+        let b = strat.sample(&mut Rng::new(9));
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    // The macro itself, exercised end to end (including rejection).
+    crate::proptest! {
+        #![cases(32)]
+        #[test]
+        fn macro_runs_and_assumes(a in 0u64..100, b in 0u64..100) {
+            crate::prop_assume!(a != b);
+            crate::prop_assert_ne!(a, b);
+            crate::prop_assert!(a < 100 && b < 100);
+        }
+    }
+}

@@ -4,10 +4,10 @@
 //! statistics the paper does — medians, averages, and CDFs evaluated at the
 //! paper's reference points. These helpers implement those primitives once.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{FromJson, Json, JsonError, ToJson};
 
 /// Running univariate summary (count, mean, min, max, variance via Welford).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Summary {
     n: u64,
     mean: f64,
@@ -148,9 +148,51 @@ pub fn median(sorted: &[f64]) -> Option<f64> {
 /// assert_eq!(e.fraction_le(2.0), 0.5);
 /// assert_eq!(e.quantile(1.0), Some(4.0));
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Ecdf {
     sorted: Vec<f64>,
+}
+
+impl ToJson for Summary {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("n", Json::U64(self.n)),
+            ("mean", Json::F64(self.mean)),
+            ("m2", Json::F64(self.m2)),
+            ("min", Json::F64(self.min)),
+            ("max", Json::F64(self.max)),
+            ("sum", Json::F64(self.sum)),
+        ])
+    }
+}
+
+impl FromJson for Summary {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Summary {
+            n: v.field("n")?,
+            mean: v.field("mean")?,
+            m2: v.field("m2")?,
+            min: v.field("min")?,
+            max: v.field("max")?,
+            sum: v.field("sum")?,
+        })
+    }
+}
+
+impl ToJson for Ecdf {
+    fn to_json(&self) -> Json {
+        Json::obj([("sorted", self.sorted.to_json())])
+    }
+}
+
+impl FromJson for Ecdf {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let sorted: Vec<f64> = v.field("sorted")?;
+        if sorted.windows(2).any(|w| !(w[0] <= w[1])) {
+            return Err(JsonError::new("Ecdf samples not sorted"));
+        }
+        Ok(Ecdf { sorted })
+    }
 }
 
 impl Ecdf {
@@ -333,6 +375,25 @@ mod tests {
             assert!(w[0].0 <= w[1].0);
             assert!(w[0].1 <= w[1].1);
         }
+    }
+
+    #[test]
+    fn summary_and_ecdf_json_round_trip() {
+        let mut s = Summary::new();
+        for x in [1.5, 2.5, 10.0] {
+            s.add(x);
+        }
+        let back: Summary =
+            crate::json::from_str(&crate::json::to_string(&s)).unwrap();
+        assert_eq!(back.count(), s.count());
+        assert_eq!(back.mean(), s.mean());
+        assert_eq!(back.min(), s.min());
+        assert_eq!(back.max(), s.max());
+
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0]);
+        let back: Ecdf = crate::json::from_str(&crate::json::to_string(&e)).unwrap();
+        assert_eq!(back.sorted(), e.sorted());
+        assert!(crate::json::from_str::<Ecdf>(r#"{"sorted":[2.0,1.0]}"#).is_err());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! rely on when classifying working days for the diurnal analyses
 //! (Figs. 14–15 of the paper).
 
-use serde::{Deserialize, Serialize};
+use crate::json::{FromJson, Json, JsonError, ToJson};
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
@@ -19,15 +19,15 @@ pub const MICROS_PER_DAY: u64 = 86_400 * MICROS_PER_SEC;
 const EPOCH_WEEKDAY: Weekday = Weekday::Sat;
 
 /// An instant in simulated time, in microseconds since the capture epoch.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in microseconds.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 /// Day of week, for seasonality modelling.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 #[allow(missing_docs)]
 pub enum Weekday {
     Mon,
@@ -215,6 +215,65 @@ impl SimDuration {
     pub fn mul_f64(self, k: f64) -> SimDuration {
         assert!(k.is_finite() && k >= 0.0, "invalid scale: {k}");
         SimDuration((self.0 as f64 * k).round() as u64)
+    }
+}
+
+// JSON wire format (unchanged from the serde derives these replace): both
+// newtypes serialise as their raw microsecond count, `Weekday` as its name.
+
+impl ToJson for SimTime {
+    fn to_json(&self) -> Json {
+        Json::U64(self.0)
+    }
+}
+
+impl FromJson for SimTime {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        u64::from_json(v).map(SimTime)
+    }
+}
+
+impl ToJson for SimDuration {
+    fn to_json(&self) -> Json {
+        Json::U64(self.0)
+    }
+}
+
+impl FromJson for SimDuration {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        u64::from_json(v).map(SimDuration)
+    }
+}
+
+impl Weekday {
+    /// Short English name (`"Mon"`, …), as used on the JSON wire.
+    pub fn name(self) -> &'static str {
+        match self {
+            Weekday::Mon => "Mon",
+            Weekday::Tue => "Tue",
+            Weekday::Wed => "Wed",
+            Weekday::Thu => "Thu",
+            Weekday::Fri => "Fri",
+            Weekday::Sat => "Sat",
+            Weekday::Sun => "Sun",
+        }
+    }
+}
+
+impl ToJson for Weekday {
+    fn to_json(&self) -> Json {
+        Json::Str(self.name().to_string())
+    }
+}
+
+impl FromJson for Weekday {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let s = String::from_json(v)?;
+        Weekday::ALL
+            .iter()
+            .copied()
+            .find(|d| d.name() == s)
+            .ok_or_else(|| JsonError::new(format!("unknown weekday `{s}`")))
     }
 }
 
@@ -415,6 +474,21 @@ mod tests {
         assert!(!CaptureCalendar::is_working_day(16));
         // May 1.
         assert!(!CaptureCalendar::is_working_day(38));
+    }
+
+    #[test]
+    fn json_round_trip_preserves_micros() {
+        let t = SimTime::from_micros(123_456_789);
+        assert_eq!(crate::json::to_string(&t), "123456789");
+        assert_eq!(crate::json::from_str::<SimTime>("123456789").unwrap(), t);
+        let d = SimDuration::from_millis(42);
+        assert_eq!(crate::json::to_string(&d), "42000");
+        assert_eq!(crate::json::from_str::<SimDuration>("42000").unwrap(), d);
+        assert_eq!(crate::json::to_string(&Weekday::Wed), "\"Wed\"");
+        assert_eq!(
+            crate::json::from_str::<Weekday>("\"Wed\"").unwrap(),
+            Weekday::Wed
+        );
     }
 
     #[test]

@@ -1,18 +1,20 @@
-//! Property-based tests of the simulation core.
+//! Property-based tests of the simulation core, on the in-tree
+//! deterministic harness (`simcore::proptest`).
 
-use proptest::prelude::*;
 use simcore::dist::{bounded_pareto, exponential, lognormal_median, Categorical, Zipf};
+use simcore::proptest::{any_u64, vec_of};
 use simcore::stats::{quantile, LogBins};
 use simcore::time::{SimDuration, SimTime};
+use simcore::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
 use simcore::{EventQueue, Rng};
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+    #![cases(128)]
 
     /// Samplers stay inside their mathematical domains for any seed and
     /// reasonable parameters.
     #[test]
-    fn samplers_stay_in_domain(seed in any::<u64>(), lambda in 0.001f64..100.0,
+    fn samplers_stay_in_domain(seed in any_u64(), lambda in 0.001f64..100.0,
                                median in 0.001f64..1e9, sigma in 0.0f64..4.0) {
         let mut rng = Rng::new(seed);
         let e = exponential(&mut rng, lambda);
@@ -25,7 +27,7 @@ proptest! {
 
     /// Zipf ranks are always valid indices.
     #[test]
-    fn zipf_in_range(seed in any::<u64>(), n in 1usize..500, s in 0.1f64..3.0) {
+    fn zipf_in_range(seed in any_u64(), n in 1usize..500, s in 0.1f64..3.0) {
         let z = Zipf::new(n, s);
         let mut rng = Rng::new(seed);
         for _ in 0..50 {
@@ -35,7 +37,7 @@ proptest! {
 
     /// Categorical with one positive weight always returns that item.
     #[test]
-    fn categorical_degenerate(seed in any::<u64>(), idx in 0usize..5) {
+    fn categorical_degenerate(seed in any_u64(), idx in 0usize..5) {
         let pairs: Vec<(usize, f64)> = (0..5).map(|i| (i, if i == idx { 1.0 } else { 0.0 })).collect();
         let c = Categorical::new(&pairs);
         let mut rng = Rng::new(seed);
@@ -46,7 +48,8 @@ proptest! {
 
     /// Quantiles are bounded by the sample extremes and monotone in q.
     #[test]
-    fn quantiles_bounded_and_monotone(mut xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+    fn quantiles_bounded_and_monotone(xs in vec_of(-1e6f64..1e6, 1..100)) {
+        let mut xs = xs;
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let lo = xs[0];
         let hi = *xs.last().unwrap();
@@ -71,7 +74,7 @@ proptest! {
 
     /// The event queue pops any schedule in sorted order with FIFO ties.
     #[test]
-    fn event_queue_total_order(times in proptest::collection::vec(0u64..1_000, 0..300)) {
+    fn event_queue_total_order(times in vec_of(0u64..1_000, 0..300)) {
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_secs(t), (t, i));
@@ -90,7 +93,7 @@ proptest! {
     /// Forked RNG streams never collide on their first outputs for
     /// distinct labels (sanity of the splitting construction).
     #[test]
-    fn fork_labels_distinct(seed in any::<u64>(), a in any::<u64>(), b in any::<u64>()) {
+    fn fork_labels_distinct(seed in any_u64(), a in any_u64(), b in any_u64()) {
         prop_assume!(a != b);
         let root = Rng::new(seed);
         let mut fa = root.fork(a);

@@ -1,7 +1,8 @@
 //! Property-based invariants of the TCP model.
 
 use nettrace::{Endpoint, FlowKey, Ipv4, Packet, TcpFlags};
-use proptest::prelude::*;
+use simcore::proptest::{any_bool, vec_of};
+use simcore::{prop_assert, prop_assert_eq, proptest};
 use simcore::{Rng, SimDuration, SimTime};
 use tcpmodel::{
     simulate, CloseMode, Dialogue, Direction, Message, PathParams, TcpParams, Write,
@@ -33,7 +34,7 @@ fn run(
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![cases(48)]
 
     /// Unique payload bytes crossing the probe in each direction equal the
     /// dialogue's byte totals, for any loss rate in either direction.
@@ -82,7 +83,7 @@ proptest! {
     /// monotone in message order.
     #[test]
     fn chronology_and_delivery_monotonicity(
-        sizes in proptest::collection::vec(1u32..60_000, 1..8),
+        sizes in vec_of(1u32..60_000, 1..8),
         seed in 0u64..200,
     ) {
         let messages: Vec<Message> = sizes
@@ -151,7 +152,7 @@ proptest! {
     /// message sizes and segmentation — the Appendix A.3 precondition.
     #[test]
     fn psh_equals_write_count(
-        writes in proptest::collection::vec((1u32..20_000, any::<bool>()), 1..10),
+        writes in vec_of((1u32..20_000, any_bool()), 1..10),
         seed in 0u64..100,
     ) {
         let up_writes: Vec<Write> = writes

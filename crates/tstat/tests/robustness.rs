@@ -2,7 +2,8 @@
 //! panicking, conserve counters, and tolerate reordering.
 
 use nettrace::{Endpoint, FlowKey, Ipv4, Packet, TcpFlags};
-use proptest::prelude::*;
+use simcore::proptest::{any_u16, any_u32, any_u64, any_u8, vec_of};
+use simcore::{prop_assert, prop_assert_eq, proptest};
 use simcore::{Rng, SimDuration, SimTime};
 use tcpmodel::{simulate, CloseMode, Dialogue, Direction, Message, PathParams, TcpParams};
 use tstat::Monitor;
@@ -22,13 +23,13 @@ fn arbitrary_packet(seed: (u64, u16, u16, u8, u32, u32, u32)) -> Packet {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![cases(64)]
 
     /// Garbage in, no panic out — and every record keeps its invariants.
     #[test]
     fn monitor_never_panics_on_garbage(
-        seeds in proptest::collection::vec(
-            (any::<u64>(), any::<u16>(), any::<u16>(), any::<u8>(), any::<u32>(), any::<u32>(), any::<u32>()),
+        seeds in vec_of(
+            (any_u64(), any_u16(), any_u16(), any_u8(), any_u32(), any_u32(), any_u32()),
             0..200
         )
     ) {
@@ -48,7 +49,7 @@ proptest! {
     /// unique byte totals or PSH counts.
     #[test]
     fn reordering_preserves_byte_and_psh_counters(
-        swap_at in proptest::collection::vec(0usize..400, 0..24),
+        swap_at in vec_of(0usize..400, 0..24),
         size in 10_000u32..200_000,
     ) {
         let d = Dialogue::new(vec![

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 verification, run fully offline: the workspace must build and
+# test from a clean checkout with an empty registry cache (all
+# dependencies are in-tree path dependencies; see tests/hermetic.rs).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline

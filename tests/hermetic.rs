@@ -1,0 +1,178 @@
+//! Hermeticity guard: the workspace must build with zero external
+//! crates. Every dependency declared in any manifest has to resolve
+//! in-tree — a `path` dependency or a `workspace = true` reference to a
+//! `[workspace.dependencies]` entry that is itself a path dependency.
+//! A registry dependency sneaking in breaks the offline build, so this
+//! test fails the moment one appears.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Section kinds whose entries are dependency declarations.
+const DEP_SECTIONS: &[&str] = &[
+    "dependencies",
+    "dev-dependencies",
+    "build-dependencies",
+    "workspace.dependencies",
+];
+
+fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR is the root package directory, which is the
+    // workspace root in this repository.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn manifests() -> Vec<PathBuf> {
+    let root = workspace_root();
+    let mut out = vec![root.join("Cargo.toml")];
+    let crates = root.join("crates");
+    let entries = fs::read_dir(&crates).expect("crates/ directory");
+    for entry in entries {
+        let path = entry.expect("read crates/ entry").path().join("Cargo.toml");
+        if path.is_file() {
+            out.push(path);
+        }
+    }
+    out
+}
+
+/// Strip a trailing line comment (ignoring `#` inside strings).
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Collect the offending dependency declarations in one manifest.
+fn non_path_deps(manifest: &Path) -> Vec<String> {
+    let text = fs::read_to_string(manifest)
+        .unwrap_or_else(|e| panic!("read {}: {e}", manifest.display()));
+    let mut bad = Vec::new();
+    let mut in_dep_section = false;
+    // Some(name) while inside a `[dependencies.name]`-style section that
+    // has not yet shown a `path` key.
+    let mut pending_named: Option<String> = None;
+    for raw in text.lines() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            if let Some(name) = pending_named.take() {
+                bad.push(name);
+            }
+            let section = line.trim_start_matches('[').trim_end_matches(']');
+            in_dep_section = DEP_SECTIONS.contains(&section);
+            if let Some(name) = DEP_SECTIONS
+                .iter()
+                .find_map(|s| section.strip_prefix(&format!("{s}.")))
+            {
+                pending_named = Some(name.to_string());
+            }
+            continue;
+        }
+        if let Some(name) = &pending_named {
+            if line.starts_with("path") {
+                pending_named = None;
+            } else if line.starts_with("version") || line.starts_with("git") {
+                bad.push(name.clone());
+                pending_named = None;
+            }
+            continue;
+        }
+        if !in_dep_section {
+            continue;
+        }
+        let Some((name, rhs)) = line.split_once('=') else {
+            continue;
+        };
+        let name = name.trim();
+        let rhs = rhs.trim();
+        // In-tree forms: `{ path = ... }`, `{ workspace = true }`, and the
+        // dotted shorthand `name.workspace = true`.
+        let in_tree = rhs.contains("path") && rhs.contains('=')
+            || rhs.contains("workspace") && rhs.contains("true")
+            || name.ends_with(".workspace") && rhs == "true";
+        if !in_tree {
+            bad.push(name.to_string());
+        }
+    }
+    if let Some(name) = pending_named {
+        bad.push(name);
+    }
+    bad
+}
+
+#[test]
+fn all_dependencies_are_in_tree() {
+    let manifests = manifests();
+    assert!(
+        manifests.len() > 5,
+        "expected the workspace manifests, found {}",
+        manifests.len()
+    );
+    let mut offenders = Vec::new();
+    for m in &manifests {
+        for dep in non_path_deps(m) {
+            offenders.push(format!("{}: {dep}", m.display()));
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "non-path dependencies break the offline build:\n  {}",
+        offenders.join("\n  ")
+    );
+}
+
+#[test]
+fn workspace_dependencies_resolve_to_paths() {
+    // Every `[workspace.dependencies]` entry must itself be a path
+    // dependency; `workspace = true` references inherit from here.
+    let root = workspace_root().join("Cargo.toml");
+    let text = fs::read_to_string(&root).expect("root manifest");
+    let mut in_ws_deps = false;
+    let mut checked = 0usize;
+    for raw in text.lines() {
+        let line = strip_comment(raw).trim();
+        if line.starts_with('[') {
+            in_ws_deps = line == "[workspace.dependencies]";
+            continue;
+        }
+        if !in_ws_deps || line.is_empty() {
+            continue;
+        }
+        let Some((name, rhs)) = line.split_once('=') else {
+            continue;
+        };
+        assert!(
+            rhs.contains("path"),
+            "workspace dependency `{}` is not a path dependency",
+            name.trim()
+        );
+        checked += 1;
+    }
+    assert!(checked > 0, "no [workspace.dependencies] entries found");
+}
+
+#[test]
+fn detector_flags_registry_style_declarations() {
+    // Self-check of the scanner on synthetic manifest text.
+    let dir = std::env::temp_dir().join("hermetic-selftest");
+    fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("Cargo.toml");
+    fs::write(
+        &bad,
+        "[package]\nname = \"x\"\n[dependencies]\nserde = \"1\"\n\
+         good = { path = \"../good\" }\ninherited = { workspace = true }\n\
+         [dev-dependencies.proptest]\nversion = \"1\"\n",
+    )
+    .unwrap();
+    let offenders = non_path_deps(&bad);
+    assert_eq!(offenders, vec!["serde".to_string(), "proptest".to_string()]);
+}

@@ -1,19 +1,21 @@
-//! Cross-crate property-based tests (proptest).
+//! Cross-crate property-based tests, on the in-tree deterministic
+//! harness (`simcore::proptest`).
 
 use inside_dropbox::codecs::{apply, compute_delta, lzss, sha256, signature};
 use inside_dropbox::monitor::Monitor;
 use inside_dropbox::prelude::*;
 use inside_dropbox::sim::stats::Ecdf;
 use inside_dropbox::trace::{Endpoint, FlowKey, Ipv4};
-use proptest::prelude::*;
+use simcore::proptest::{any_bool, any_u8, vec_of};
+use simcore::{prop_assert, prop_assert_eq, proptest};
 use tcpmodel::{CloseMode, Direction, Message, Write};
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![cases(64)]
 
     /// LZSS decompress ∘ compress = identity on arbitrary bytes.
     #[test]
-    fn lzss_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+    fn lzss_roundtrip(data in vec_of(any_u8(), 0..4096)) {
         let c = lzss::compress(&data);
         prop_assert_eq!(lzss::decompress(&c).expect("valid stream"), data);
     }
@@ -22,9 +24,9 @@ proptest! {
     /// new derived from old by splice edits.
     #[test]
     fn delta_roundtrip(
-        old in proptest::collection::vec(any::<u8>(), 0..8192),
+        old in vec_of(any_u8(), 0..8192),
         edit_at in 0usize..8192,
-        edit in proptest::collection::vec(any::<u8>(), 0..256),
+        edit in vec_of(any_u8(), 0..256),
     ) {
         let mut new = old.clone();
         let at = edit_at.min(new.len());
@@ -37,8 +39,8 @@ proptest! {
     /// SHA-256 incremental == one-shot under arbitrary chunking.
     #[test]
     fn sha256_chunking_invariance(
-        data in proptest::collection::vec(any::<u8>(), 0..2048),
-        cuts in proptest::collection::vec(1usize..64, 0..32),
+        data in vec_of(any_u8(), 0..2048),
+        cuts in vec_of(1usize..64, 0..32),
     ) {
         let oneshot = sha256(&data);
         let mut h = inside_dropbox::codecs::sha256::Sha256::new();
@@ -54,7 +56,7 @@ proptest! {
 
     /// ECDF invariants: F is monotone, F(max) = 1, quantile within range.
     #[test]
-    fn ecdf_invariants(xs in proptest::collection::vec(-1e9f64..1e9, 1..200)) {
+    fn ecdf_invariants(xs in vec_of(-1e9f64..1e9, 1..200)) {
         let e = Ecdf::new(xs.clone());
         let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
@@ -73,7 +75,7 @@ proptest! {
     /// PSH counts equal the write counts per direction.
     #[test]
     fn monitor_conserves_bytes_and_pushes(
-        sizes in proptest::collection::vec((1u32..40_000, any::<bool>()), 1..12),
+        sizes in vec_of((1u32..40_000, any_bool()), 1..12),
         inner_ms in 1u64..40,
         outer_ms in 20u64..200,
     ) {

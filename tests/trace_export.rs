@@ -1,6 +1,6 @@
 //! Trace export: the anonymised flow-log (JSON-lines) round-trips through
-//! serde, and the pcap writer produces structurally valid captures — the
-//! counterpart of the paper's published trace repository.
+//! `simcore::json`, and the pcap writer produces structurally valid
+//! captures — the counterpart of the paper's published trace repository.
 
 use inside_dropbox::prelude::*;
 use inside_dropbox::trace::pcap::PcapWriter;
@@ -16,12 +16,12 @@ fn flow_log_roundtrips_as_json_lines() {
     let out = capture();
     let mut jsonl = String::new();
     for f in &out.dataset.flows {
-        jsonl.push_str(&serde_json::to_string(f).expect("serialise"));
+        jsonl.push_str(&simcore::json::to_string(f));
         jsonl.push('\n');
     }
     let parsed: Vec<FlowRecord> = jsonl
         .lines()
-        .map(|l| serde_json::from_str(l).expect("parse"))
+        .map(|l| simcore::json::from_str(l).expect("parse"))
         .collect();
     assert_eq!(parsed.len(), out.dataset.flows.len());
     for (a, b) in out.dataset.flows.iter().zip(&parsed) {
@@ -37,12 +37,17 @@ fn flow_log_roundtrips_as_json_lines() {
 fn exported_log_contains_no_payload() {
     // The paper's privacy constraint: flows only, no payload bytes. The
     // serialised record must not contain any content-carrying field.
+    use simcore::json::{Json, ToJson};
     let out = capture();
-    let sample = serde_json::to_value(&out.dataset.flows[0]).expect("json");
-    let obj = sample.as_object().expect("object");
+    let sample = out.dataset.flows[0].to_json();
+    let Json::Obj(fields) = &sample else {
+        panic!("expected object, got {}", sample.kind());
+    };
     for forbidden in ["payload", "data", "content", "body"] {
         assert!(
-            !obj.keys().any(|k| k.to_lowercase().contains(forbidden)),
+            !fields
+                .iter()
+                .any(|(k, _)| k.to_lowercase().contains(forbidden)),
             "field leaking payload: {forbidden}"
         );
     }
