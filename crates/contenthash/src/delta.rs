@@ -258,7 +258,11 @@ mod tests {
         let delta = compute_delta(&sig, &new);
         assert_eq!(apply(&old, &delta).unwrap(), new);
         // Literal cost is bounded by the touched blocks, far below full size.
-        assert!(delta.literal_bytes() <= 3 * DEFAULT_BLOCK, "{}", delta.literal_bytes());
+        assert!(
+            delta.literal_bytes() <= 3 * DEFAULT_BLOCK,
+            "{}",
+            delta.literal_bytes()
+        );
     }
 
     #[test]
@@ -288,7 +292,10 @@ mod tests {
     #[test]
     fn apply_rejects_out_of_range_copy() {
         let delta = Delta {
-            ops: vec![DeltaOp::Copy { offset: 100, len: 50 }],
+            ops: vec![DeltaOp::Copy {
+                offset: 100,
+                len: 50,
+            }],
         };
         assert!(apply(b"short", &delta).is_none());
     }

@@ -34,7 +34,11 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
     out.push(0); // flag byte placeholder
     let mut flag_bit = 0u8;
 
-    let push_token = |out: &mut Vec<u8>, flag_pos: &mut usize, flag_bit: &mut u8, is_match: bool, bytes: &[u8]| {
+    let push_token = |out: &mut Vec<u8>,
+                      flag_pos: &mut usize,
+                      flag_bit: &mut u8,
+                      is_match: bool,
+                      bytes: &[u8]| {
         if *flag_bit == 8 {
             *flag_pos = out.len();
             out.push(0);
@@ -218,9 +222,7 @@ mod tests {
 
     #[test]
     fn roundtrip_structured_binary() {
-        let data: Vec<u8> = (0..60_000u32)
-            .flat_map(|i| (i / 7).to_le_bytes())
-            .collect();
+        let data: Vec<u8> = (0..60_000u32).flat_map(|i| (i / 7).to_le_bytes()).collect();
         roundtrip(&data);
         assert!(ratio(&data) < 0.7);
     }

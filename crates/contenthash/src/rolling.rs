@@ -40,16 +40,8 @@ impl RollingAdler {
     /// `inp` (the new byte).
     pub fn roll(&mut self, out: u8, inp: u8) {
         let l = self.window as u32;
-        self.a = self
-            .a
-            .wrapping_sub(out as u32)
-            .wrapping_add(inp as u32)
-            & 0xffff;
-        self.b = self
-            .b
-            .wrapping_sub(l * out as u32)
-            .wrapping_add(self.a)
-            & 0xffff;
+        self.a = self.a.wrapping_sub(out as u32).wrapping_add(inp as u32) & 0xffff;
+        self.b = self.b.wrapping_sub(l * out as u32).wrapping_add(self.a) & 0xffff;
     }
 
     /// Window size this roller was built for.

@@ -256,9 +256,15 @@ mod tests {
 
     #[test]
     fn provider_suffixes() {
-        assert_eq!(provider_of_name("dl-client3.dropbox.com"), Provider::Dropbox);
+        assert_eq!(
+            provider_of_name("dl-client3.dropbox.com"),
+            Provider::Dropbox
+        );
         assert_eq!(provider_of_name("p04-content.icloud.com"), Provider::ICloud);
-        assert_eq!(provider_of_name("duc281.livefilestore.com"), Provider::SkyDrive);
+        assert_eq!(
+            provider_of_name("duc281.livefilestore.com"),
+            Provider::SkyDrive
+        );
         assert_eq!(provider_of_name("drive.google.com"), Provider::GoogleDrive);
         assert_eq!(provider_of_name("api.sugarsync.com"), Provider::OtherCloud);
         assert_eq!(provider_of_name("r3.youtube.com"), Provider::YouTube);
@@ -299,10 +305,18 @@ mod tests {
     #[test]
     fn f_u_separates_store_and_retrieve() {
         // A store flow: 10 chunks of 20 kB up, only handshake + OKs down.
-        let store = flow("dl-client1.dropbox.com", 294 + 10 * (634 + 20_000), 4103 + 10 * 309 + 37);
+        let store = flow(
+            "dl-client1.dropbox.com",
+            294 + 10 * (634 + 20_000),
+            4103 + 10 * 309 + 37,
+        );
         assert_eq!(storage_tag(&store), StorageTag::Store);
         // A retrieve flow: requests up, chunks down.
-        let retr = flow("dl-client1.dropbox.com", 294 + 10 * 400, 4103 + 10 * (309 + 20_000));
+        let retr = flow(
+            "dl-client1.dropbox.com",
+            294 + 10 * 400,
+            4103 + 10 * (309 + 20_000),
+        );
         assert_eq!(storage_tag(&retr), StorageTag::Retrieve);
     }
 

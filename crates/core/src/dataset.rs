@@ -254,16 +254,33 @@ mod tests {
         let c2 = Ipv4::new(10, 0, 0, 2);
         let s1 = Ipv4::new(107, 22, 0, 1);
         let s2 = Ipv4::new(107, 22, 0, 2);
-        ds.flows.push(flow("dl-client1.dropbox.com", c1, s1, 0, 50_000, 5_000));
-        ds.flows.push(flow("dl-client2.dropbox.com", c1, s2, 0, 1_000, 90_000));
-        ds.flows.push(flow("dl-client1.dropbox.com", c2, s1, 1, 2_000, 3_000));
-        let mut notify = flow("notify1.dropbox.com", c1, Ipv4::new(199, 47, 216, 33), 0, 900, 500);
+        ds.flows
+            .push(flow("dl-client1.dropbox.com", c1, s1, 0, 50_000, 5_000));
+        ds.flows
+            .push(flow("dl-client2.dropbox.com", c1, s2, 0, 1_000, 90_000));
+        ds.flows
+            .push(flow("dl-client1.dropbox.com", c2, s1, 1, 2_000, 3_000));
+        let mut notify = flow(
+            "notify1.dropbox.com",
+            c1,
+            Ipv4::new(199, 47, 216, 33),
+            0,
+            900,
+            500,
+        );
         notify.notify = Some(NotifyMeta {
             host_int: 42,
             namespaces: vec![1, 2],
         });
         ds.flows.push(notify);
-        ds.flows.push(flow("r3.youtube.com", c2, Ipv4::new(74, 125, 0, 1), 0, 3_000, 900_000));
+        ds.flows.push(flow(
+            "r3.youtube.com",
+            c2,
+            Ipv4::new(74, 125, 0, 1),
+            0,
+            3_000,
+            900_000,
+        ));
         ds
     }
 

@@ -207,8 +207,14 @@ mod tests {
     fn group_heuristics_match_section_5_1() {
         assert_eq!(group_of(&usage(0, 0)), UserGroup::Occasional);
         assert_eq!(group_of(&usage(9_999, 9_999)), UserGroup::Occasional);
-        assert_eq!(group_of(&usage(1_000_000_000, 900_000)), UserGroup::UploadOnly);
-        assert_eq!(group_of(&usage(900_000, 1_000_000_000)), UserGroup::DownloadOnly);
+        assert_eq!(
+            group_of(&usage(1_000_000_000, 900_000)),
+            UserGroup::UploadOnly
+        );
+        assert_eq!(
+            group_of(&usage(900_000, 1_000_000_000)),
+            UserGroup::DownloadOnly
+        );
         assert_eq!(group_of(&usage(50_000_000, 20_000_000)), UserGroup::Heavy);
         // The paper's example: 1 GB vs 1 MB is exactly 3 orders.
         assert_eq!(

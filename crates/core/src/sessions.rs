@@ -119,7 +119,9 @@ pub fn devices_per_household(flows: &[FlowRecord]) -> BTreeMap<Ipv4, usize> {
     let mut map: BTreeMap<Ipv4, BTreeSet<u64>> = BTreeMap::new();
     for f in flows {
         if let Some(meta) = &f.notify {
-            map.entry(f.key.client.ip).or_default().insert(meta.host_int);
+            map.entry(f.key.client.ip)
+                .or_default()
+                .insert(meta.host_int);
         }
     }
     map.into_iter().map(|(ip, set)| (ip, set.len())).collect()
@@ -174,7 +176,9 @@ pub struct HourlyProfiles {
 pub fn hourly_profiles(flows: &[FlowRecord], days: u32) -> HourlyProfiles {
     let sessions = merged_sessions(flows);
     let total_devices = distinct_devices(flows).max(1) as f64;
-    let working_days: Vec<u32> = (0..days).filter(|&d| CaptureCalendar::is_working_day(d)).collect();
+    let working_days: Vec<u32> = (0..days)
+        .filter(|&d| CaptureCalendar::is_working_day(d))
+        .collect();
     let n_working = working_days.len().max(1) as f64;
     let is_working = |t: SimTime| CaptureCalendar::is_working_day(t.day());
 

@@ -109,12 +109,7 @@ mod tests {
     use nettrace::{Endpoint, FlowKey, Ipv4};
     use simcore::SimTime;
 
-    fn flow(
-        up_bytes: u64,
-        down_bytes: u64,
-        last_up_s: u64,
-        last_down_s: u64,
-    ) -> FlowRecord {
+    fn flow(up_bytes: u64, down_bytes: u64, last_up_s: u64, last_down_s: u64) -> FlowRecord {
         FlowRecord {
             key: FlowKey::new(
                 Endpoint::new(Ipv4::new(10, 0, 0, 1), 40_000),
@@ -214,10 +209,21 @@ mod tests {
         use tcpmodel::{simulate, Dialogue, Direction, Message, PathParams, TcpParams};
 
         let chunk = 120_000u32;
-        let mut messages =
-            tls::handshake("dl-client1.dropbox.com", "*.dropbox.com", SimDuration::from_millis(40));
-        messages.push(Message::simple(Direction::Up, SimDuration::from_millis(20), 634 + chunk));
-        messages.push(Message::simple(Direction::Down, SimDuration::from_millis(60), 309));
+        let mut messages = tls::handshake(
+            "dl-client1.dropbox.com",
+            "*.dropbox.com",
+            SimDuration::from_millis(40),
+        );
+        messages.push(Message::simple(
+            Direction::Up,
+            SimDuration::from_millis(20),
+            634 + chunk,
+        ));
+        messages.push(Message::simple(
+            Direction::Down,
+            SimDuration::from_millis(60),
+            309,
+        ));
         let d = Dialogue::new(messages);
         let path = PathParams {
             inner_rtt: SimDuration::from_millis(4),

@@ -107,8 +107,16 @@ pub fn score_users(inferred: &[Vec<u64>], truth: &[Vec<u64>]) -> (f64, f64) {
         return (1.0, 1.0);
     }
     let hit = inf.intersection(&tru).count() as f64;
-    let precision = if inf.is_empty() { 1.0 } else { hit / inf.len() as f64 };
-    let recall = if tru.is_empty() { 1.0 } else { hit / tru.len() as f64 };
+    let precision = if inf.is_empty() {
+        1.0
+    } else {
+        hit / inf.len() as f64
+    };
+    let recall = if tru.is_empty() {
+        1.0
+    } else {
+        hit / tru.len() as f64
+    };
     (precision, recall)
 }
 

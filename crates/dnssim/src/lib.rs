@@ -137,10 +137,7 @@ impl DnsDirectory {
         for i in 0..STORAGE_NAMES {
             // Deterministic spread reaching the whole pool.
             let ip_idx = ((i as u32) * 7919) % (STORAGE_POOL as u32 - 40);
-            add(
-                format!("dl-client{}.dropbox.com", i + 1),
-                amazon_ip(ip_idx),
-            );
+            add(format!("dl-client{}.dropbox.com", i + 1), amazon_ip(ip_idx));
         }
         add("dl.dropbox.com".into(), amazon_ip(STORAGE_POOL as u32 - 1));
         add(
@@ -177,7 +174,9 @@ impl DnsDirectory {
     /// (Table 1). Names outside `dropbox.com` return `None`.
     pub fn role_of_name(name: &str) -> Option<ServerRole> {
         let host = name.strip_suffix(".dropbox.com")?;
-        let role = if host == "client-lb" || (host.starts_with("client") && !host.starts_with("client-")) {
+        let role = if host == "client-lb"
+            || (host.starts_with("client") && !host.starts_with("client-"))
+        {
             ServerRole::MetaData
         } else if host.starts_with("notify") {
             ServerRole::Notification

@@ -113,13 +113,23 @@ mod tests {
         assert!(fresh1);
         // Within the TTL: cached, same answer, no wire lookup.
         let (ip2, fresh2) = stub
-            .resolve(&mut auth, &dir, "client-lb.dropbox.com", t0 + SimDuration::from_secs(60))
+            .resolve(
+                &mut auth,
+                &dir,
+                "client-lb.dropbox.com",
+                t0 + SimDuration::from_secs(60),
+            )
             .unwrap();
         assert!(!fresh2);
         assert_eq!(ip1, ip2);
         // After expiry: fresh lookup, rotated answer.
         let (ip3, fresh3) = stub
-            .resolve(&mut auth, &dir, "client-lb.dropbox.com", t0 + SimDuration::from_secs(400))
+            .resolve(
+                &mut auth,
+                &dir,
+                "client-lb.dropbox.com",
+                t0 + SimDuration::from_secs(400),
+            )
             .unwrap();
         assert!(fresh3);
         assert_ne!(ip1, ip3, "rotation moved to the next pool member");

@@ -218,8 +218,7 @@ impl<'a> SyncEngine<'a> {
         }
 
         // commit_batch on the meta side; response sized by the hash list.
-        let all_ids: Vec<(ChunkId, u64)> =
-            chunks.iter().map(|c| (c.id, c.raw_bytes)).collect();
+        let all_ids: Vec<(ChunkId, u64)> = chunks.iter().map(|c| (c.id, c.raw_bytes)).collect();
         let commit_req = 400 + 70 * chunks.len() as u32;
         if let Some(t) = trace.as_deref_mut() {
             t.record(
@@ -296,9 +295,7 @@ impl<'a> SyncEngine<'a> {
             messages.push(Message {
                 dir: Direction::Up,
                 delay: self.client_reaction(rng),
-                writes: vec![tls::record(
-                    overhead::STORE_CLIENT + group_bytes as u32,
-                )],
+                writes: vec![tls::record(overhead::STORE_CLIENT + group_bytes as u32)],
             });
             if !self.config.no_storage_acks {
                 if let Some(t) = trace.as_deref_mut() {
@@ -390,9 +387,10 @@ impl<'a> SyncEngine<'a> {
             // The HTTP request is written as two pushed segments
             // (Fig. 19(b): "HTTP_retrieve (2 x PSH)"), totalling the
             // 362–426 bytes of Appendix A.3.
-            let total =
-                rng.range_u64(overhead::RETRIEVE_CLIENT_MIN as u64, overhead::RETRIEVE_CLIENT_MAX as u64)
-                    as u32;
+            let total = rng.range_u64(
+                overhead::RETRIEVE_CLIENT_MIN as u64,
+                overhead::RETRIEVE_CLIENT_MAX as u64,
+            ) as u32;
             let first = 200u32;
             messages.push(Message {
                 dir: Direction::Up,
@@ -405,9 +403,7 @@ impl<'a> SyncEngine<'a> {
             messages.push(Message {
                 dir: Direction::Down,
                 delay: self.server_reaction(rng),
-                writes: vec![tls::record(
-                    overhead::SERVER_PER_OP + group_bytes as u32,
-                )],
+                writes: vec![tls::record(overhead::SERVER_PER_OP + group_bytes as u32)],
             });
         }
 
@@ -561,7 +557,9 @@ mod tests {
         let mut rng = Rng::new(2);
         let mut eng1 = engine_with(&dns, &store, ClientVersion::V1_2_52);
         let f1 = eng1.upload_transaction(&chunks, 0, &mut rng, None, SimTime::EPOCH);
-        assert!(f1.iter().any(|f| matches!(f.truth, FlowTruth::Store { .. })));
+        assert!(f1
+            .iter()
+            .any(|f| matches!(f.truth, FlowTruth::Store { .. })));
         // Second device uploads the same content: fully deduplicated, no
         // storage flows at all.
         let mut eng2 = SyncEngine::new(&dns, &store, SyncConfig::default(), 43);
@@ -629,7 +627,11 @@ mod tests {
         let dns = DnsDirectory::new();
         let store = ChunkStore::new();
         let eng = engine_with(&dns, &store, ClientVersion::V1_4_0);
-        let big = [chunkw(1, 3_000_000), chunkw(2, 3_500_000), chunkw(3, 50_000)];
+        let big = [
+            chunkw(1, 3_000_000),
+            chunkw(2, 3_500_000),
+            chunkw(3, 50_000),
+        ];
         let refs: Vec<&ChunkWork> = big.iter().collect();
         let groups = eng.bundle(&big);
         assert_eq!(groups.len(), 3, "two large singles + one small group");
@@ -660,8 +662,9 @@ mod tests {
         for req in up_requests {
             assert_eq!(req.writes.len(), 2, "HTTP_retrieve is 2 x PSH");
             let total = req.size();
-            assert!((overhead::RETRIEVE_CLIENT_MIN..=overhead::RETRIEVE_CLIENT_MAX)
-                .contains(&total));
+            assert!(
+                (overhead::RETRIEVE_CLIENT_MIN..=overhead::RETRIEVE_CLIENT_MAX).contains(&total)
+            );
         }
     }
 

@@ -111,7 +111,9 @@ impl LanSync {
         let server = self.peers.iter().find_map(|(&host, p)| {
             if host == requester
                 || !p.namespaces.contains(&ns)
-                || p.last_seen.map(|t| now.saturating_since(t) > PEER_TTL).unwrap_or(true)
+                || p.last_seen
+                    .map(|t| now.saturating_since(t) > PEER_TTL)
+                    .unwrap_or(true)
             {
                 return None;
             }
@@ -181,8 +183,13 @@ mod tests {
         let mut lan = LanSync::new();
         lan.announce(ann(1, &[10], 100));
         lan.chunk_available(HostInt(1), ChunkId(7));
-        lan.try_serve(HostInt(2), NamespaceId(10), &[(ChunkId(7), 500)], SimTime::from_secs(110))
-            .expect("served");
+        lan.try_serve(
+            HostInt(2),
+            NamespaceId(10),
+            &[(ChunkId(7), 500)],
+            SimTime::from_secs(110),
+        )
+        .expect("served");
         // Device 1 disappears; device 3 can now fetch from device 2 once
         // device 2 announces.
         lan.offline(HostInt(1));
@@ -202,7 +209,12 @@ mod tests {
         lan.announce(ann(1, &[10], 100));
         lan.chunk_available(HostInt(1), ChunkId(7));
         assert_eq!(
-            lan.try_serve(HostInt(2), NamespaceId(99), &[(ChunkId(7), 1)], SimTime::from_secs(110)),
+            lan.try_serve(
+                HostInt(2),
+                NamespaceId(99),
+                &[(ChunkId(7), 1)],
+                SimTime::from_secs(110)
+            ),
             None,
             "namespace membership is required"
         );
@@ -215,13 +227,23 @@ mod tests {
         lan.chunk_available(HostInt(1), ChunkId(7));
         // 5 minutes later, no new announcements: peer expired.
         assert_eq!(
-            lan.try_serve(HostInt(2), NamespaceId(10), &[(ChunkId(7), 1)], SimTime::from_secs(400)),
+            lan.try_serve(
+                HostInt(2),
+                NamespaceId(10),
+                &[(ChunkId(7), 1)],
+                SimTime::from_secs(400)
+            ),
             None
         );
         // A fresh announcement revives it (chunk cache persisted).
         lan.announce(ann(1, &[10], 500));
         assert!(lan
-            .try_serve(HostInt(2), NamespaceId(10), &[(ChunkId(7), 1)], SimTime::from_secs(510))
+            .try_serve(
+                HostInt(2),
+                NamespaceId(10),
+                &[(ChunkId(7), 1)],
+                SimTime::from_secs(510)
+            )
             .is_some());
     }
 
@@ -232,7 +254,12 @@ mod tests {
         lan.chunk_available(HostInt(1), ChunkId(7));
         lan.offline(HostInt(1));
         assert_eq!(
-            lan.try_serve(HostInt(2), NamespaceId(10), &[(ChunkId(7), 1)], SimTime::from_secs(110)),
+            lan.try_serve(
+                HostInt(2),
+                NamespaceId(10),
+                &[(ChunkId(7), 1)],
+                SimTime::from_secs(110)
+            ),
             None
         );
     }
@@ -261,7 +288,12 @@ mod tests {
         lan.announce(ann(1, &[10], 100));
         lan.chunk_available(HostInt(1), ChunkId(7));
         assert_eq!(
-            lan.try_serve(HostInt(1), NamespaceId(10), &[(ChunkId(7), 1)], SimTime::from_secs(110)),
+            lan.try_serve(
+                HostInt(1),
+                NamespaceId(10),
+                &[(ChunkId(7), 1)],
+                SimTime::from_secs(110)
+            ),
             None
         );
     }

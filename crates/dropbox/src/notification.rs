@@ -205,10 +205,12 @@ mod tests {
             .count();
         assert_eq!(ups, 50, "capped cycle count");
         // Total modelled span still ≈ 8 h: gaps between cycles stretch.
-        let span: SimDuration = f.dialogue.messages.iter().map(|m| m.delay).fold(
-            SimDuration::ZERO,
-            |acc, d| acc + d,
-        );
+        let span: SimDuration = f
+            .dialogue
+            .messages
+            .iter()
+            .map(|m| m.delay)
+            .fold(SimDuration::ZERO, |acc, d| acc + d);
         assert!(span.secs() > 7 * 3600, "span {span}");
     }
 

@@ -181,7 +181,12 @@ impl fmt::Display for ProtocolTrace {
                 Plane::Storage => "storage ",
                 Plane::Notify => "notify  ",
             };
-            writeln!(f, "{:>16}  {plane} {arrow} {}", format!("{}", e.at), e.command.name())?;
+            writeln!(
+                f,
+                "{:>16}  {plane} {arrow} {}",
+                format!("{}", e.at),
+                e.command.name()
+            )?;
         }
         Ok(())
     }

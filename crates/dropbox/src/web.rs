@@ -38,7 +38,9 @@ pub fn web_session_flows(rng: &mut Rng) -> Vec<FlowSpec> {
         messages.push(Message {
             dir: Direction::Down,
             delay: SimDuration::from_millis(rng.range_u64(50, 150)),
-            writes: vec![tls::record(dist::lognormal_median(rng, 30_000.0, 0.8) as u32)],
+            writes: vec![tls::record(
+                dist::lognormal_median(rng, 30_000.0, 0.8) as u32
+            )],
         });
     }
     flows.push(FlowSpec {
@@ -187,7 +189,11 @@ pub fn api_session_flows(rng: &mut Rng) -> Vec<FlowSpec> {
     });
 
     if rng.chance(0.5) {
-        let mut m = tls::handshake("api-content.dropbox.com", CERT_CN, SimDuration::from_millis(90));
+        let mut m = tls::handshake(
+            "api-content.dropbox.com",
+            CERT_CN,
+            SimDuration::from_millis(90),
+        );
         let upload = rng.chance(0.35);
         let size = (dist::lognormal_median(rng, 250_000.0, 1.4) as u64).min(50_000_000) as u32;
         if upload {
@@ -290,7 +296,10 @@ mod tests {
                 over_10mb += 1;
             }
         }
-        assert!(http as f64 / n as f64 > 0.5, "direct links mostly cleartext");
+        assert!(
+            http as f64 / n as f64 > 0.5,
+            "direct links mostly cleartext"
+        );
         assert!(
             (over_10mb as f64 / n as f64) < 0.1,
             "only a small share exceeds 10 MB: {over_10mb}/{n}"
@@ -321,7 +330,10 @@ mod tests {
         for _ in 0..50 {
             let flows = api_session_flows(&mut rng);
             assert!(matches!(flows[0].truth, FlowTruth::ApiControl));
-            if flows.iter().any(|f| matches!(f.truth, FlowTruth::ApiStorage)) {
+            if flows
+                .iter()
+                .any(|f| matches!(f.truth, FlowTruth::ApiStorage))
+            {
                 saw_content = true;
             }
         }

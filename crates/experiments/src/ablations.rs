@@ -166,8 +166,12 @@ pub fn loss_ablation() -> Report {
          wireless Campus 2 flows (88%/75% retransmission-free) show exactly this.\n",
         t.render()
     );
-    Report::new("ablation_loss", "Loss-rate ablation (bulk store flow)", body)
-        .with_csv("ablation_loss.csv", t.csv())
+    Report::new(
+        "ablation_loss",
+        "Loss-rate ablation (bulk store flow)",
+        body,
+    )
+    .with_csv("ablation_loss.csv", t.csv())
 }
 
 /// Sweep the chunks-per-transaction limit: how the protocol parameter
@@ -175,7 +179,10 @@ pub fn loss_ablation() -> Report {
 pub fn batch_limit_ablation() -> Report {
     let dns = dnssim::DnsDirectory::new();
     let mut t = TextTable::new(vec![
-        "limit", "storage flows", "max flow bytes", "max chunks/flow",
+        "limit",
+        "storage flows",
+        "max flow bytes",
+        "max chunks/flow",
     ]);
     for limit in [10usize, 50, 100, 200] {
         let store = ChunkStore::new();
@@ -245,10 +252,7 @@ mod tests {
             .filter_map(|w| w.trim().parse::<f64>().ok())
             .collect();
         assert!(nums.len() >= 2, "latencies parsed: {nums:?}");
-        assert!(
-            nums[0] - nums[1] > 60.0,
-            "≈1 RTT (100 ms) saved: {nums:?}"
-        );
+        assert!(nums[0] - nums[1] > 60.0, "≈1 RTT (100 ms) saved: {nums:?}");
     }
 
     #[test]
@@ -257,7 +261,8 @@ mod tests {
         // The 5% table row must be well below 1x.
         let last = rep
             .body
-            .lines().rfind(|l| l.trim_start().starts_with("5.0%"))
+            .lines()
+            .rfind(|l| l.trim_start().starts_with("5.0%"))
             .unwrap();
         let factor: f64 = last
             .split('x')
@@ -283,6 +288,9 @@ mod tests {
             .filter_map(|l| l.split_whitespace().nth(1)?.parse().ok())
             .collect();
         assert!(flows.len() >= 3);
-        assert!(flows[0] > flows[2], "10-limit makes more flows than 100-limit");
+        assert!(
+            flows[0] > flows[2],
+            "10-limit makes more flows than 100-limit"
+        );
     }
 }

@@ -100,7 +100,10 @@ pub fn fig2(cap: &Capture) -> Report {
     };
     let (ic_max, ic_vol) = sum(Provider::ICloud);
     let (db_max, db_vol) = sum(Provider::Dropbox);
-    let gd = series.get(&Provider::GoogleDrive).cloned().unwrap_or_default();
+    let gd = series
+        .get(&Provider::GoogleDrive)
+        .cloned()
+        .unwrap_or_default();
     let gd_first = gd.iter().position(|d| d.ip_addrs > 0);
     let mut body = t.render();
     body.push_str(&format!(
@@ -112,8 +115,7 @@ pub fn fig2(cap: &Capture) -> Report {
         db_vol / ic_vol.max(1),
         gd_first
     ));
-    Report::new("fig2", "Popularity of cloud storage in Home 1", body)
-        .with_csv("fig2.csv", t.csv())
+    Report::new("fig2", "Popularity of cloud storage in Home 1", body).with_csv("fig2.csv", t.csv())
 }
 
 /// Fig. 3: Dropbox and YouTube share of the total volume in Campus 2.
@@ -146,8 +148,10 @@ pub fn fig3(cap: &Capture) -> Report {
 
 /// Fig. 4: traffic share of Dropbox server roles.
 pub fn fig4(cap: &Capture) -> Report {
-    let mut t = TextTable::new(vec!["Role", "C1 bytes", "C2 bytes", "H1 bytes", "H2 bytes",
-        "C1 flows", "C2 flows", "H1 flows", "H2 flows"]);
+    let mut t = TextTable::new(vec![
+        "Role", "C1 bytes", "C2 bytes", "H1 bytes", "H2 bytes", "C1 flows", "C2 flows", "H1 flows",
+        "H2 flows",
+    ]);
     let breakdowns: Vec<_> = cap
         .vantages
         .iter()
@@ -202,11 +206,17 @@ pub fn fig5(cap: &Capture) -> Report {
         ]);
     }
     let mut body = t.render();
-    let maxes: Vec<usize> = series.iter().map(|s| s.iter().copied().max().unwrap_or(0)).collect();
+    let maxes: Vec<usize> = series
+        .iter()
+        .map(|s| s.iter().copied().max().unwrap_or(0))
+        .collect();
     body.push_str(&format!(
         "\ndaily maxima: C1={} C2={} H1={} H2={} (larger populations reach more of the \
          {}-address pool)\n",
-        maxes[0], maxes[1], maxes[2], maxes[3],
+        maxes[0],
+        maxes[1],
+        maxes[2],
+        maxes[3],
         DnsDirectory::new().storage_pool_size()
     ));
     Report::new("fig5", "Number of contacted storage servers", body).with_csv("fig5.csv", t.csv())
@@ -404,7 +414,9 @@ pub fn fig10(cap: &Capture) -> Report {
             if bytes == 0 {
                 continue;
             }
-            let Some(d) = transfer_duration(f) else { continue };
+            let Some(d) = transfer_duration(f) else {
+                continue;
+            };
             let g = ChunkGroup::ALL
                 .iter()
                 .position(|&g| g == ChunkGroup::of(estimate_chunks(f)))
@@ -627,10 +639,12 @@ pub fn fig15(cap: &Capture) -> Report {
                 out.dataset.name, p.startups[h], p.active[h], p.retrieve[h], p.store[h]
             ));
         }
-        body.push_str(&format!("\n{} — active devices by hour (working days):\n", out.dataset.name));
-        let points: Vec<(String, f64)> = (0..24)
-            .map(|h| (format!("{h:02}h"), p.active[h]))
-            .collect();
+        body.push_str(&format!(
+            "\n{} — active devices by hour (working days):\n",
+            out.dataset.name
+        ));
+        let points: Vec<(String, f64)> =
+            (0..24).map(|h| (format!("{h:02}h"), p.active[h])).collect();
         body.push_str(&bar_chart(&points, 48));
         let peak_hour = (0..24)
             .max_by(|&a, &b| p.startups[a].partial_cmp(&p.startups[b]).unwrap())
@@ -788,19 +802,39 @@ pub fn fig19() -> Report {
     let mut body = String::new();
     for (label, dialogue) in [
         ("store (1 chunk)", {
-            let mut m = tls::handshake("dl-client9.dropbox.com", "*.dropbox.com", SimDuration::from_millis(60));
-            m.push(Message::simple(Direction::Up, SimDuration::from_millis(30), 634 + 60_000));
-            m.push(Message::simple(Direction::Down, SimDuration::from_millis(90), 309));
+            let mut m = tls::handshake(
+                "dl-client9.dropbox.com",
+                "*.dropbox.com",
+                SimDuration::from_millis(60),
+            );
+            m.push(Message::simple(
+                Direction::Up,
+                SimDuration::from_millis(30),
+                634 + 60_000,
+            ));
+            m.push(Message::simple(
+                Direction::Down,
+                SimDuration::from_millis(90),
+                309,
+            ));
             Dialogue::new(m)
         }),
         ("retrieve (1 chunk)", {
-            let mut m = tls::handshake("dl-client9.dropbox.com", "*.dropbox.com", SimDuration::from_millis(60));
+            let mut m = tls::handshake(
+                "dl-client9.dropbox.com",
+                "*.dropbox.com",
+                SimDuration::from_millis(60),
+            );
             m.push(Message {
                 dir: Direction::Up,
                 delay: SimDuration::from_millis(30),
                 writes: vec![Write::plain(200), Write::plain(190)],
             });
-            m.push(Message::simple(Direction::Down, SimDuration::from_millis(90), 309 + 60_000));
+            m.push(Message::simple(
+                Direction::Down,
+                SimDuration::from_millis(90),
+                309 + 60_000,
+            ));
             Dialogue::new(m)
         }),
     ] {
@@ -818,7 +852,11 @@ pub fn fig19() -> Report {
         // Print the handshake/close ladder and collapse the bulk transfer.
         let mut bulk = 0u32;
         for p in &pkts {
-            let dir = if p.src == key.client { "client->" } else { "<-server" };
+            let dir = if p.src == key.client {
+                "client->"
+            } else {
+                "<-server"
+            };
             let interesting = p.flags.syn()
                 || p.flags.fin()
                 || p.flags.rst()
@@ -844,7 +882,11 @@ pub fn fig19() -> Report {
         body.push('\n');
     }
     body.push_str("60 s after the last payload the server sends the close alert (PSH+FIN);\nthe client answers RST — exactly Fig. 19's ladder.\n");
-    Report::new("fig19", "Typical flows in storage operations (testbed)", body)
+    Report::new(
+        "fig19",
+        "Typical flows in storage operations (testbed)",
+        body,
+    )
 }
 
 /// Fig. 20: bytes exchanged in storage flows (Campus 1) and the f(u) split.

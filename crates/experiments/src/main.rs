@@ -80,9 +80,12 @@ fn main() {
     }
 
     let needs_capture = ids[0] == "all"
-        || ids
-            .iter()
-            .any(|i| !matches!(i.as_str(), "fig1" | "fig19" | "table1" | "recommendations" | "ablations"));
+        || ids.iter().any(|i| {
+            !matches!(
+                i.as_str(),
+                "fig1" | "fig19" | "table1" | "recommendations" | "ablations"
+            )
+        });
     if needs_capture {
         eprintln!(
             "simulating 4 vantage points + the Jun/Jul re-capture (scale {scale}, seed {seed})…"

@@ -20,9 +20,7 @@ use dropbox_analysis::throughput::throughput_bps;
 use nettrace::{Endpoint, FlowKey, Ipv4};
 use simcore::{Rng, SimDuration, SimTime};
 use tcpmodel::tls;
-use tcpmodel::{
-    simulate, CloseMode, Dialogue, Direction, Message, PathParams, TcpParams, Write,
-};
+use tcpmodel::{simulate, CloseMode, Dialogue, Direction, Message, PathParams, TcpParams, Write};
 use tstat::Monitor;
 
 /// Protocol variant under test.
@@ -60,7 +58,11 @@ fn dialogue(variant: Variant, n: u32, chunk_bytes: u32, rng: &mut Rng) -> Dialog
     fn client_reaction(rng: &mut Rng) -> SimDuration {
         SimDuration::from_millis(rng.range_u64(40, 80))
     }
-    let mut m = tls::handshake("dl-client1.dropbox.com", "*.dropbox.com", SimDuration::from_millis(120));
+    let mut m = tls::handshake(
+        "dl-client1.dropbox.com",
+        "*.dropbox.com",
+        SimDuration::from_millis(120),
+    );
     match variant {
         Variant::PerChunkAck => {
             for _ in 0..n {
@@ -138,7 +140,15 @@ fn measure(variant: Variant, n: u32, chunk_bytes: u32, rtt_ms: u64, seed: u64) -
         _ => TcpParams::era_2012_v14(),
     };
     let mut packets = Vec::new();
-    simulate(SimTime::from_secs(1), key, &d, &path, &tcp, &mut rng, &mut packets);
+    simulate(
+        SimTime::from_secs(1),
+        key,
+        &d,
+        &path,
+        &tcp,
+        &mut rng,
+        &mut packets,
+    );
     let mut monitor = Monitor::new(true);
     let rec = monitor.process_flow(&packets).expect("record");
     let thr = throughput_bps(&rec).unwrap_or(0.0);
@@ -213,7 +223,10 @@ mod tests {
         let (_, base) = measure(Variant::PerChunkAck, 50, 40_000, 100, 1);
         let (_, bundle) = measure(Variant::Bundling, 50, 40_000, 100, 1);
         let (_, pipe) = measure(Variant::DelayedAck, 50, 40_000, 100, 1);
-        assert!(bundle > 2.0 * base, "bundling {bundle:.0} vs base {base:.0}");
+        assert!(
+            bundle > 2.0 * base,
+            "bundling {bundle:.0} vs base {base:.0}"
+        );
         assert!(pipe > 2.0 * base, "pipelining {pipe:.0} vs base {base:.0}");
     }
 

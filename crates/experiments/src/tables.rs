@@ -47,12 +47,7 @@ pub fn table1() -> Report {
 /// Table 2: datasets overview.
 pub fn table2(cap: &Capture) -> Report {
     let mut t = TextTable::new(vec!["Name", "Type", "IP Addrs.", "Vol."]);
-    let types = [
-        "Wired",
-        "Wired/Wireless",
-        "FTTH/ADSL",
-        "ADSL",
-    ];
+    let types = ["Wired", "Wired/Wireless", "FTTH/ADSL", "ADSL"];
     for (out, ty) in cap.vantages.iter().zip(types) {
         let o = out.dataset.overview();
         t.row(vec![
@@ -94,8 +89,12 @@ pub fn table3(cap: &Capture) -> Report {
         fmt_bytes(total_vol),
         total_dev.to_string(),
     ]);
-    Report::new("table3", "Total Dropbox traffic in the datasets", t.render())
-        .with_csv("table3.csv", t.csv())
+    Report::new(
+        "table3",
+        "Total Dropbox traffic in the datasets",
+        t.render(),
+    )
+    .with_csv("table3.csv", t.csv())
 }
 
 /// Table 4: Campus 1 before and after the bundling deployment.
@@ -104,9 +103,7 @@ pub fn table4(cap: &Capture) -> Report {
         ("Mar/Apr (v1.2.52)", cap.vantage(VantageKind::Campus1)),
         ("Jun/Jul (v1.4.0)", &cap.campus1_v14),
     ];
-    let mut t = TextTable::new(vec![
-        "Metric", "Era", "Median", "Average",
-    ]);
+    let mut t = TextTable::new(vec!["Metric", "Era", "Median", "Average"]);
     let mut improvements: Vec<(String, f64, f64)> = Vec::new();
     for tag in [StorageTag::Store, StorageTag::Retrieve] {
         let mut era_stats: Vec<(f64, f64, f64, f64)> = Vec::new();

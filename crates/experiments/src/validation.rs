@@ -90,7 +90,12 @@ pub fn validate(cap: &Capture) -> Report {
         let truth: Vec<Vec<u64>> = out
             .truth_users
             .iter()
-            .map(|g| g.iter().copied().filter(|d| seen.contains(d)).collect::<Vec<u64>>())
+            .map(|g| {
+                g.iter()
+                    .copied()
+                    .filter(|d| seen.contains(d))
+                    .collect::<Vec<u64>>()
+            })
             .filter(|g: &Vec<u64>| !g.is_empty())
             .collect();
         let (precision, recall) = score_users(&inferred, &truth);
@@ -130,6 +135,10 @@ mod tests {
             .split_whitespace()
             .find_map(|w| w.parse::<f64>().ok())
             .expect("a number");
-        assert!(value > 0.97, "tagging accuracy too low: {value} \n{}", rep.body);
+        assert!(
+            value > 0.97,
+            "tagging accuracy too low: {value} \n{}",
+            rep.body
+        );
     }
 }

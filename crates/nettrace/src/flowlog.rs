@@ -29,10 +29,7 @@ pub fn read_jsonl<R: BufRead>(source: R) -> io::Result<Vec<FlowRecord>> {
             continue;
         }
         let rec: FlowRecord = simcore::json::from_str(&line).map_err(|e| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("line {}: {e}", idx + 1),
-            )
+            io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", idx + 1))
         })?;
         out.push(rec);
     }
@@ -94,7 +91,10 @@ mod tests {
 
     #[test]
     fn jsonl_roundtrip() {
-        let flows = vec![record(Ipv4::new(87, 1, 2, 3)), record(Ipv4::new(87, 1, 2, 4))];
+        let flows = vec![
+            record(Ipv4::new(87, 1, 2, 3)),
+            record(Ipv4::new(87, 1, 2, 4)),
+        ];
         let mut buf = Vec::new();
         write_jsonl(&mut buf, &flows).unwrap();
         let parsed = read_jsonl(io::Cursor::new(buf)).unwrap();

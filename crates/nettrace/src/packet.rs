@@ -202,7 +202,9 @@ impl FromJson for AppMarker {
                 host_int: body.field("host_int")?,
                 namespaces: body.field("namespaces")?,
             }),
-            other => Err(JsonError::new(format!("unknown AppMarker variant `{other}`"))),
+            other => Err(JsonError::new(format!(
+                "unknown AppMarker variant `{other}`"
+            ))),
         }
     }
 }

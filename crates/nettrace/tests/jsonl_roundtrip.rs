@@ -37,12 +37,12 @@ fn arb_rtt(rng: &mut Rng) -> Option<f64> {
     const EXTREMES: &[f64] = &[
         0.0,
         -0.0,
-        5e-324,          // smallest subnormal
+        5e-324, // smallest subnormal
         f64::MIN_POSITIVE,
         f64::MAX,
         f64::EPSILON,
         95.0,
-        0.1,             // not exactly representable
+        0.1, // not exactly representable
         1e300,
         123_456_789.123_456_78,
     ];

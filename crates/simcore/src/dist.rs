@@ -49,7 +49,10 @@ pub fn pareto(rng: &mut Rng, x_min: f64, alpha: f64) -> f64 {
 
 /// Bounded Pareto on `[lo, hi]` with shape `alpha` (inverse-CDF sampling).
 pub fn bounded_pareto(rng: &mut Rng, lo: f64, hi: f64, alpha: f64) -> f64 {
-    assert!(lo > 0.0 && hi > lo && alpha > 0.0, "bounded_pareto: invalid parameters");
+    assert!(
+        lo > 0.0 && hi > lo && alpha > 0.0,
+        "bounded_pareto: invalid parameters"
+    );
     let u = rng.f64();
     let la = lo.powf(alpha);
     let ha = hi.powf(alpha);

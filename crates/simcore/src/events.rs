@@ -85,11 +85,19 @@ impl<E> EventQueue<E> {
     /// builds and is clamped to `now()` in release builds so a long
     /// simulation degrades rather than aborts.
     pub fn schedule(&mut self, at: SimTime, event: E) {
-        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time: at, seq, event });
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            event,
+        });
     }
 
     /// Timestamp of the next pending event, if any.

@@ -115,8 +115,9 @@ impl Json {
     pub fn field<T: FromJson>(&self, key: &str) -> Result<T, JsonError> {
         match self {
             Json::Obj(_) => match self.get(key) {
-                Some(v) => T::from_json(v)
-                    .map_err(|e| JsonError::new(format!("field `{key}`: {e}"))),
+                Some(v) => {
+                    T::from_json(v).map_err(|e| JsonError::new(format!("field `{key}`: {e}")))
+                }
                 None => Err(JsonError::new(format!("missing field `{key}`"))),
             },
             other => Err(JsonError::new(format!(
@@ -462,8 +463,8 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number token is ASCII");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number token is ASCII");
         if !fractional {
             if let Some(rest) = text.strip_prefix('-') {
                 if let Ok(v) = rest.parse::<u64>() {
@@ -512,7 +513,10 @@ impl FromJson for bool {
     fn from_json(v: &Json) -> Result<Self, JsonError> {
         match v {
             Json::Bool(b) => Ok(*b),
-            other => Err(JsonError::new(format!("expected bool, found {}", other.kind()))),
+            other => Err(JsonError::new(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -594,7 +598,10 @@ impl FromJson for f64 {
             Json::F64(x) => Ok(*x),
             Json::U64(x) => Ok(*x as f64),
             Json::I64(x) => Ok(*x as f64),
-            other => Err(JsonError::new(format!("expected number, found {}", other.kind()))),
+            other => Err(JsonError::new(format!(
+                "expected number, found {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -615,7 +622,10 @@ impl FromJson for String {
     fn from_json(v: &Json) -> Result<Self, JsonError> {
         match v {
             Json::Str(s) => Ok(s.clone()),
-            other => Err(JsonError::new(format!("expected string, found {}", other.kind()))),
+            other => Err(JsonError::new(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -654,7 +664,10 @@ impl<T: FromJson> FromJson for Vec<T> {
     fn from_json(v: &Json) -> Result<Self, JsonError> {
         match v {
             Json::Arr(items) => items.iter().map(T::from_json).collect(),
-            other => Err(JsonError::new(format!("expected array, found {}", other.kind()))),
+            other => Err(JsonError::new(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -667,7 +680,10 @@ mod tests {
     fn emits_compact_serde_json_compatible_output() {
         let v = Json::obj([
             ("a", Json::U64(1)),
-            ("b", Json::Arr(vec![Json::Null, Json::Bool(true), Json::F64(2.5)])),
+            (
+                "b",
+                Json::Arr(vec![Json::Null, Json::Bool(true), Json::F64(2.5)]),
+            ),
             ("c", Json::Str("x\"y\n".into())),
         ]);
         assert_eq!(v.dump(), r#"{"a":1,"b":[null,true,2.5],"c":"x\"y\n"}"#);

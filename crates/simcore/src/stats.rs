@@ -96,9 +96,7 @@ impl Summary {
         let n = self.n + other.n;
         let d = other.mean - self.mean;
         let mean = self.mean + d * other.n as f64 / n as f64;
-        let m2 = self.m2
-            + other.m2
-            + d * d * self.n as f64 * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + d * d * self.n as f64 * other.n as f64 / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
@@ -198,10 +196,7 @@ impl FromJson for Ecdf {
 impl Ecdf {
     /// Build from samples (NaNs are rejected).
     pub fn new(mut samples: Vec<f64>) -> Self {
-        assert!(
-            samples.iter().all(|x| !x.is_nan()),
-            "Ecdf: NaN in samples"
-        );
+        assert!(samples.iter().all(|x| !x.is_nan()), "Ecdf: NaN in samples");
         samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
         Ecdf { sorted: samples }
     }
@@ -383,8 +378,7 @@ mod tests {
         for x in [1.5, 2.5, 10.0] {
             s.add(x);
         }
-        let back: Summary =
-            crate::json::from_str(&crate::json::to_string(&s)).unwrap();
+        let back: Summary = crate::json::from_str(&crate::json::to_string(&s)).unwrap();
         assert_eq!(back.count(), s.count());
         assert_eq!(back.mean(), s.mean());
         assert_eq!(back.min(), s.min());

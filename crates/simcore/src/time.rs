@@ -433,8 +433,8 @@ mod tests {
 
     #[test]
     fn day_and_hour_arithmetic() {
-        let t = SimTime::from_day_offset(3, SimDuration::from_hours(14))
-            + SimDuration::from_mins(30);
+        let t =
+            SimTime::from_day_offset(3, SimDuration::from_hours(14)) + SimDuration::from_mins(30);
         assert_eq!(t.day(), 3);
         assert_eq!(t.hour(), 14);
         assert_eq!(t.weekday(), Weekday::Tue);

@@ -218,8 +218,7 @@ pub fn simulate(
         let mut rtx_queue: Vec<(u32, u32, bool)> = Vec::new(); // (seq, len, psh)
         let mut last_arrival = clock;
         while idx < segments.len() || !rtx_queue.is_empty() {
-            let rtt_round =
-                total_rtt.mul_f64(1.0 + path.jitter * rng.f64());
+            let rtt_round = total_rtt.mul_f64(1.0 + path.jitter * rng.f64());
             let window = (sender.cwnd as u32).clamp(1, tcp.rwnd_segments) as usize;
 
             // Compose this round's burst: retransmissions first.
@@ -482,15 +481,17 @@ mod tests {
 
     #[test]
     fn handshake_rtt_visible_at_probe() {
-        let d = Dialogue::new(vec![Message::simple(
-            Direction::Up,
-            SimDuration::ZERO,
-            100,
-        )])
-        .with_close(CloseMode::LeftOpen);
+        let d = Dialogue::new(vec![Message::simple(Direction::Up, SimDuration::ZERO, 100)])
+            .with_close(CloseMode::LeftOpen);
         let (pkts, _) = run(d, path_100ms());
-        let syn = pkts.iter().find(|p| p.flags.syn() && !p.flags.ack()).unwrap();
-        let synack = pkts.iter().find(|p| p.flags.syn() && p.flags.ack()).unwrap();
+        let syn = pkts
+            .iter()
+            .find(|p| p.flags.syn() && !p.flags.ack())
+            .unwrap();
+        let synack = pkts
+            .iter()
+            .find(|p| p.flags.syn() && p.flags.ack())
+            .unwrap();
         // Probe-to-server RTT = outer_rtt = 90 ms.
         assert_eq!((synack.ts - syn.ts).millis(), 90);
     }
@@ -532,8 +533,12 @@ mod tests {
         // 100 kB with initcwnd 3, mss 1430: segments = 70.
         // Rounds: 3+6+12+24+48 -> 5 rounds in slow start.
         let size = 100_000u32;
-        let d = Dialogue::new(vec![Message::simple(Direction::Up, SimDuration::ZERO, size)])
-            .with_close(CloseMode::LeftOpen);
+        let d = Dialogue::new(vec![Message::simple(
+            Direction::Up,
+            SimDuration::ZERO,
+            size,
+        )])
+        .with_close(CloseMode::LeftOpen);
         let (_, s) = run(d, path_100ms());
         let established = s.established;
         let transfer = s.deliveries[0] - established;
@@ -601,8 +606,12 @@ mod tests {
         let mut path = path_100ms();
         path.up_rate = Some(64_000); // 512 kbit/s ADSL-ish uplink
         let size = 512_000u32;
-        let d = Dialogue::new(vec![Message::simple(Direction::Up, SimDuration::ZERO, size)])
-            .with_close(CloseMode::LeftOpen);
+        let d = Dialogue::new(vec![Message::simple(
+            Direction::Up,
+            SimDuration::ZERO,
+            size,
+        )])
+        .with_close(CloseMode::LeftOpen);
         let (_, s) = run(d, path);
         let secs = (s.deliveries[0] - s.established).as_secs_f64();
         let rate = size as f64 / secs;

@@ -112,7 +112,9 @@ mod tests {
 
     #[test]
     fn era_presets_differ_in_server_window() {
-        assert!(TcpParams::era_2012_v14().server_initcwnd > TcpParams::era_2012_v1().server_initcwnd);
+        assert!(
+            TcpParams::era_2012_v14().server_initcwnd > TcpParams::era_2012_v1().server_initcwnd
+        );
         assert_eq!(TcpParams::era_2012_v1().client_initcwnd, 3);
     }
 }

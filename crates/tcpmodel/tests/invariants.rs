@@ -4,9 +4,7 @@ use nettrace::{Endpoint, FlowKey, Ipv4, Packet, TcpFlags};
 use simcore::proptest::{any_bool, vec_of};
 use simcore::{prop_assert, prop_assert_eq, proptest};
 use simcore::{Rng, SimDuration, SimTime};
-use tcpmodel::{
-    simulate, CloseMode, Dialogue, Direction, Message, PathParams, TcpParams, Write,
-};
+use tcpmodel::{simulate, CloseMode, Dialogue, Direction, Message, PathParams, TcpParams, Write};
 
 fn key() -> FlowKey {
     FlowKey::new(
@@ -15,11 +13,7 @@ fn key() -> FlowKey {
     )
 }
 
-fn run(
-    dialogue: &Dialogue,
-    path: &PathParams,
-    seed: u64,
-) -> (Vec<Packet>, tcpmodel::ConnSummary) {
+fn run(dialogue: &Dialogue, path: &PathParams, seed: u64) -> (Vec<Packet>, tcpmodel::ConnSummary) {
     let mut out = Vec::new();
     let s = simulate(
         SimTime::from_secs(2),

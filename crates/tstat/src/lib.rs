@@ -376,9 +376,7 @@ mod tests {
     use nettrace::{Endpoint, TcpFlags};
     use simcore::{Rng, SimDuration};
     use tcpmodel::tls;
-    use tcpmodel::{
-        simulate, CloseMode, Dialogue, Direction, Message, PathParams, TcpParams,
-    };
+    use tcpmodel::{simulate, CloseMode, Dialogue, Direction, Message, PathParams, TcpParams};
 
     fn key() -> FlowKey {
         FlowKey::new(
@@ -594,10 +592,7 @@ mod tests {
         let mut out1 = Vec::new();
         let mut out2 = Vec::new();
         let mut rng = Rng::new(11);
-        let k2 = FlowKey::new(
-            Endpoint::new(Ipv4::new(10, 0, 0, 5), 42_001),
-            key().server,
-        );
+        let k2 = FlowKey::new(Endpoint::new(Ipv4::new(10, 0, 0, 5), 42_001), key().server);
         simulate(
             SimTime::from_secs(5),
             key(),

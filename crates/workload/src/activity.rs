@@ -98,8 +98,7 @@ pub fn device_sessions(
 ) -> Vec<Session> {
     if device.always_on {
         // Connected from early in the capture to its end.
-        let start =
-            SimTime::from_day_offset(0, SimDuration::from_secs(rng.range_u64(0, 86_399)));
+        let start = SimTime::from_day_offset(0, SimDuration::from_secs(rng.range_u64(0, 86_399)));
         let end = SimTime::from_day_offset(days - 1, SimDuration::from_hours(24));
         return vec![Session { start, end }];
     }
@@ -195,7 +194,7 @@ pub fn file_events(behavior: Behavior, session: &Session, rng: &mut Rng) -> Vec<
     let mut out = Vec::new();
     let mut t = 0.0;
     loop {
-        t += dist::exponential(rng, rate.max(1e-9)) ;
+        t += dist::exponential(rng, rate.max(1e-9));
         if t >= hours {
             break;
         }

@@ -100,11 +100,7 @@ impl Dev {
 /// Simulate one vantage point. `version` selects the client generation
 /// (v1.2.52 for the Mar–May capture, v1.4.0 for the Jun/Jul re-capture of
 /// Table 4).
-pub fn simulate_vantage(
-    config: &VantageConfig,
-    version: ClientVersion,
-    seed: u64,
-) -> SimOutput {
+pub fn simulate_vantage(config: &VantageConfig, version: ClientVersion, seed: u64) -> SimOutput {
     let root_rng = Rng::new(seed).fork_named(config.kind.name());
     let dns = DnsDirectory::new();
     let store = ChunkStore::new();
@@ -121,11 +117,18 @@ pub fn simulate_vantage(
     let mut sched_rng = root_rng.fork_named("schedules");
 
     for (hh_idx, hh) in population.households.iter().enumerate() {
-        let Some(behavior) = hh.behavior else { continue };
+        let Some(behavior) = hh.behavior else {
+            continue;
+        };
         let user = UserId(1_000 + hh_idx as u64);
         // Shared-folder pool of the household: enough folders so that the
         // most connected device reaches its namespace count.
-        let max_ns = hh.devices.iter().map(|d| d.namespace_count).max().unwrap_or(1);
+        let max_ns = hh
+            .devices
+            .iter()
+            .map(|d| d.namespace_count)
+            .max()
+            .unwrap_or(1);
         // Shared-folder pool of the household, created unlinked; devices
         // join exactly the folders their namespace count calls for.
         let mut pool: Vec<NamespaceId> = Vec::new();
@@ -174,12 +177,8 @@ pub fn simulate_vantage(
             for &ns in &nss {
                 ns_members.entry(ns).or_default().push(global_idx);
             }
-            let sessions = device_sessions(
-                config.kind,
-                d,
-                config.days,
-                &mut sched_rng.fork(d.host_int),
-            );
+            let sessions =
+                device_sessions(config.kind, d, config.days, &mut sched_rng.fork(d.host_int));
             devs.push(Dev {
                 hh: hh_idx,
                 host_int: host,
@@ -217,10 +216,7 @@ pub fn simulate_vantage(
             if t_days >= config.days as f64 {
                 break;
             }
-            external.push((
-                SimTime::from_micros((t_days * 86_400.0 * 1e6) as u64),
-                ns,
-            ));
+            external.push((SimTime::from_micros((t_days * 86_400.0 * 1e6) as u64), ns));
         }
     }
 
@@ -242,7 +238,11 @@ pub fn simulate_vantage(
     let mut ordered: Vec<(SimTime, RawCommit)> = raw_events
         .into_iter()
         .map(|(t, di, e)| (t, RawCommit::Local(di, e)))
-        .chain(external.into_iter().map(|(t, ns)| (t, RawCommit::External(ns))))
+        .chain(
+            external
+                .into_iter()
+                .map(|(t, ns)| (t, RawCommit::External(ns))),
+        )
         .collect();
     ordered.sort_by_key(|(t, _)| *t);
 
@@ -315,7 +315,11 @@ pub fn simulate_vantage(
                 });
                 // Journal bookkeeping on the meta-data plane.
                 if let Some(nsm) = md.namespace_mut(ns) {
-                    nsm.commit(FileId(next_file), content, files.last().unwrap().chunk_ids.clone());
+                    nsm.commit(
+                        FileId(next_file),
+                        content,
+                        files.last().unwrap().chunk_ids.clone(),
+                    );
                 }
             }
         }
@@ -373,7 +377,9 @@ pub fn simulate_vantage(
                     continue;
                 }
                 let delay = SimDuration::from_secs(prop_rng.range_u64(2, 25));
-                queues[m].online_downloads.push((c.at + delay, c.chunks.clone()));
+                queues[m]
+                    .online_downloads
+                    .push((c.at + delay, c.chunks.clone()));
                 // Once the cloud retrieve lands, this device can serve the
                 // chunks to later peers on its LAN.
                 for w in &c.chunks {
@@ -484,7 +490,9 @@ pub fn simulate_vantage(
             if let Some(si) = dev.session_containing(*t) {
                 let list = session_uploads.entry(si).or_default();
                 match list.last_mut() {
-                    Some((t0, acc)) if !coalesce.is_zero() && t.saturating_since(*t0) <= coalesce => {
+                    Some((t0, acc))
+                        if !coalesce.is_zero() && t.saturating_since(*t0) <= coalesce =>
+                    {
                         acc.extend(chunks.iter().copied());
                     }
                     _ => list.push((*t, chunks.clone())),
@@ -498,7 +506,10 @@ pub fn simulate_vantage(
                 .or_else(|| dev.next_session_after(*t));
             if let Some(si) = si {
                 let t = (*t).max(dev.sessions[si].start);
-                session_downloads.entry(si).or_default().push((t, chunks.clone()));
+                session_downloads
+                    .entry(si)
+                    .or_default()
+                    .push((t, chunks.clone()));
             }
         }
 
@@ -556,8 +567,16 @@ pub fn simulate_vantage(
                         &mut dev_rng,
                     );
                     play(
-                        &spec, t, hh.ip, hh.access, day, &mut monitor, &mut flows, &mut truths,
-                        &mut dev_rng, &mut scratch,
+                        &spec,
+                        t,
+                        hh.ip,
+                        hh.access,
+                        day,
+                        &mut monitor,
+                        &mut flows,
+                        &mut truths,
+                        &mut dev_rng,
+                        &mut scratch,
                     );
                     t += frag + SimDuration::from_millis(200);
                     frags += 1;
@@ -573,8 +592,16 @@ pub fn simulate_vantage(
                         &mut dev_rng,
                     );
                     play(
-                        &spec, t, hh.ip, hh.access, day, &mut monitor, &mut flows, &mut truths,
-                        &mut dev_rng, &mut scratch,
+                        &spec,
+                        t,
+                        hh.ip,
+                        hh.access,
+                        day,
+                        &mut monitor,
+                        &mut flows,
+                        &mut truths,
+                        &mut dev_rng,
+                        &mut scratch,
                     );
                 }
             } else {
@@ -607,8 +634,16 @@ pub fn simulate_vantage(
             for batch in &pending {
                 for spec in engine.download_transaction(batch, day, &mut dev_rng, None, t_login) {
                     play(
-                        &spec, t_login, hh.ip, hh.access, day, &mut monitor, &mut flows,
-                        &mut truths, &mut dev_rng, &mut scratch,
+                        &spec,
+                        t_login,
+                        hh.ip,
+                        hh.access,
+                        day,
+                        &mut monitor,
+                        &mut flows,
+                        &mut truths,
+                        &mut dev_rng,
+                        &mut scratch,
                     );
                 }
                 t_login += SimDuration::from_secs(dev_rng.range_u64(3, 25));
@@ -619,8 +654,16 @@ pub fn simulate_vantage(
             while t < session.end {
                 let spec = engine.control_flow(false, &[(340, 420)], &mut dev_rng);
                 play(
-                    &spec, t, hh.ip, hh.access, day, &mut monitor, &mut flows, &mut truths,
-                    &mut dev_rng, &mut scratch,
+                    &spec,
+                    t,
+                    hh.ip,
+                    hh.access,
+                    day,
+                    &mut monitor,
+                    &mut flows,
+                    &mut truths,
+                    &mut dev_rng,
+                    &mut scratch,
                 );
                 t += SimDuration::from_mins(dev_rng.range_u64(25, 50));
             }
@@ -630,8 +673,16 @@ pub fn simulate_vantage(
                 for (t, chunks) in ups {
                     for spec in engine.upload_transaction(chunks, day, &mut dev_rng, None, *t) {
                         play(
-                            &spec, *t, hh.ip, hh.access, day, &mut monitor, &mut flows,
-                            &mut truths, &mut dev_rng, &mut scratch,
+                            &spec,
+                            *t,
+                            hh.ip,
+                            hh.access,
+                            day,
+                            &mut monitor,
+                            &mut flows,
+                            &mut truths,
+                            &mut dev_rng,
+                            &mut scratch,
                         );
                     }
                 }
@@ -642,8 +693,16 @@ pub fn simulate_vantage(
                 for (t, chunks) in downs {
                     for spec in engine.download_transaction(chunks, day, &mut dev_rng, None, *t) {
                         play(
-                            &spec, *t, hh.ip, hh.access, day, &mut monitor, &mut flows,
-                            &mut truths, &mut dev_rng, &mut scratch,
+                            &spec,
+                            *t,
+                            hh.ip,
+                            hh.access,
+                            day,
+                            &mut monitor,
+                            &mut flows,
+                            &mut truths,
+                            &mut dev_rng,
+                            &mut scratch,
                         );
                     }
                 }
@@ -688,8 +747,7 @@ pub fn simulate_vantage(
             // clipped to the part of the session overlapping that window.
             if dev.abnormal {
                 let win_lo = SimTime::from_day_offset(8.min(config.days - 1), SimDuration::ZERO);
-                let win_hi =
-                    SimTime::from_day_offset(23.min(config.days), SimDuration::ZERO);
+                let win_hi = SimTime::from_day_offset(23.min(config.days), SimDuration::ZERO);
                 let lo = session.start.max(win_lo);
                 let hi = session.end.min(win_hi);
                 let mut t = lo + SimDuration::from_secs(30);
@@ -703,8 +761,16 @@ pub fn simulate_vantage(
                     };
                     let spec = engine.store_flow(&[chunk], day, &mut dev_rng, None, t);
                     play(
-                        &spec, t, hh.ip, hh.access, day, &mut monitor, &mut flows, &mut truths,
-                        &mut dev_rng, &mut scratch,
+                        &spec,
+                        t,
+                        hh.ip,
+                        hh.access,
+                        day,
+                        &mut monitor,
+                        &mut flows,
+                        &mut truths,
+                        &mut dev_rng,
+                        &mut scratch,
                     );
                     t += SimDuration::from_secs(dev_rng.range_u64(1_100, 1_900));
                 }
@@ -722,17 +788,22 @@ pub fn simulate_vantage(
         }
         for day in 0..config.days {
             let at = |r: &mut Rng| {
-                SimTime::from_day_offset(
-                    day,
-                    SimDuration::from_secs(r.range_u64(8 * 3600, 85_000)),
-                )
+                SimTime::from_day_offset(day, SimDuration::from_secs(r.range_u64(8 * 3600, 85_000)))
             };
             if web_rng.chance(0.06) {
                 let t = at(&mut web_rng);
                 for spec in web_session_flows(&mut web_rng) {
                     play(
-                        &spec, t, hh.ip, hh.access, day, &mut monitor, &mut flows, &mut truths,
-                        &mut web_rng.clone(), &mut scratch,
+                        &spec,
+                        t,
+                        hh.ip,
+                        hh.access,
+                        day,
+                        &mut monitor,
+                        &mut flows,
+                        &mut truths,
+                        &mut web_rng.clone(),
+                        &mut scratch,
                     );
                 }
             }
@@ -740,16 +811,32 @@ pub fn simulate_vantage(
                 let t = at(&mut web_rng);
                 let spec = direct_link_flow(&mut web_rng);
                 play(
-                    &spec, t, hh.ip, hh.access, day, &mut monitor, &mut flows, &mut truths,
-                    &mut web_rng.clone(), &mut scratch,
+                    &spec,
+                    t,
+                    hh.ip,
+                    hh.access,
+                    day,
+                    &mut monitor,
+                    &mut flows,
+                    &mut truths,
+                    &mut web_rng.clone(),
+                    &mut scratch,
                 );
             }
             if hh.behavior.is_some() && web_rng.chance(0.08) {
                 let t = at(&mut web_rng);
                 for spec in api_session_flows(&mut web_rng) {
                     play(
-                        &spec, t, hh.ip, hh.access, day, &mut monitor, &mut flows, &mut truths,
-                        &mut web_rng.clone(), &mut scratch,
+                        &spec,
+                        t,
+                        hh.ip,
+                        hh.access,
+                        day,
+                        &mut monitor,
+                        &mut flows,
+                        &mut truths,
+                        &mut web_rng.clone(),
+                        &mut scratch,
                     );
                 }
             }

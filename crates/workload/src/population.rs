@@ -265,10 +265,7 @@ mod tests {
         for h in p.with_client() {
             assert!(h.devices.len() <= 2);
         }
-        let workstations = p
-            .with_client()
-            .filter(|h| h.devices[0].workstation)
-            .count();
+        let workstations = p.with_client().filter(|h| h.devices[0].workstation).count();
         assert!(workstations as f64 / p.with_client().count() as f64 > 0.7);
     }
 
@@ -291,7 +288,10 @@ mod tests {
         let frac_single = single as f64 / (single + multi) as f64;
         assert!((0.5..0.75).contains(&frac_single), "single {frac_single}");
         let heavy_avg = heavy_devs.iter().sum::<usize>() as f64 / heavy_devs.len() as f64;
-        assert!(heavy_avg > 2.0, "heavy households average {heavy_avg} devices");
+        assert!(
+            heavy_avg > 2.0,
+            "heavy households average {heavy_avg} devices"
+        );
     }
 
     #[test]
@@ -320,7 +320,11 @@ mod tests {
             }
         }
         let f = |x: i32| x as f64 / n as f64;
-        assert!((f(campus_single) - 0.13).abs() < 0.04, "{}", f(campus_single));
+        assert!(
+            (f(campus_single) - 0.13).abs() < 0.04,
+            "{}",
+            f(campus_single)
+        );
         assert!((f(home_single) - 0.28).abs() < 0.05, "{}", f(home_single));
         assert!(f(campus_ge5) > 0.40, "campus ≥5: {}", f(campus_ge5));
         assert!(f(home_ge5) < f(campus_ge5), "home fewer namespaces");

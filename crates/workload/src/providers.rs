@@ -164,8 +164,7 @@ pub fn background_flows(
             if skydrive && hrng.chance(0.5 * w) {
                 let boost = if day >= SKYDRIVE_JUMP_DAY { 4.0 } else { 1.0 };
                 let t = at(&mut hrng);
-                let down =
-                    (dist::lognormal_median(&mut hrng, 900_000.0, 1.4) * boost) as u64;
+                let down = (dist::lognormal_median(&mut hrng, 900_000.0, 1.4) * boost) as u64;
                 out.push(record(
                     hh.ip,
                     Ipv4::new(134, 170, 20, hrng.range_u64(1, 250) as u8),
@@ -194,7 +193,8 @@ pub fn background_flows(
             if other && hrng.chance(0.4 * w) {
                 let t = at(&mut hrng);
                 let down = dist::lognormal_median(&mut hrng, 600_000.0, 1.3) as u64;
-                let name = *hrng.pick(&["api.sugarsync.com", "upload.box.com", "fs-1.one.ubuntu.com"]);
+                let name =
+                    *hrng.pick(&["api.sugarsync.com", "upload.box.com", "fs-1.one.ubuntu.com"]);
                 out.push(record(
                     hh.ip,
                     Ipv4::new(64, 30, 128, hrng.range_u64(1, 250) as u8),

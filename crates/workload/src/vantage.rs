@@ -265,7 +265,10 @@ mod tests {
         let mut rng = Rng::new(2);
         let h2 = VantageConfig::paper(VantageKind::Home2, 0.1);
         let p = h2.path(Access::Adsl, h2.storage_rtt, &mut rng);
-        assert!(p.up_rate.unwrap() < 150_000, "ADSL uplink under ~1.2 Mbit/s");
+        assert!(
+            p.up_rate.unwrap() < 150_000,
+            "ADSL uplink under ~1.2 Mbit/s"
+        );
         assert!(p.down_rate.unwrap() > p.up_rate.unwrap(), "asymmetric");
         let c1 = VantageConfig::paper(VantageKind::Campus1, 0.1);
         let p = c1.path(Access::Wired, c1.storage_rtt, &mut rng);

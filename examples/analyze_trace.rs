@@ -22,8 +22,7 @@ use inside_dropbox::trace::flowlog;
 fn load_or_generate() -> Vec<FlowRecord> {
     if let Some(path) = std::env::args().nth(1) {
         let file = std::fs::File::open(&path).unwrap_or_else(|e| panic!("open {path}: {e}"));
-        let flows =
-            flowlog::read_jsonl(std::io::BufReader::new(file)).expect("parse flow log");
+        let flows = flowlog::read_jsonl(std::io::BufReader::new(file)).expect("parse flow log");
         println!("loaded {} flows from {path}", flows.len());
         flows
     } else {
@@ -86,7 +85,11 @@ fn main() {
         chunk_hist[0], chunk_hist[1], chunk_hist[2], chunk_hist[3]
     );
     let avg = thr.iter().sum::<f64>() / thr.len().max(1) as f64;
-    println!("avg throughput: {:.0} kbit/s over {} flows", avg / 1e3, thr.len());
+    println!(
+        "avg throughput: {:.0} kbit/s over {} flows",
+        avg / 1e3,
+        thr.len()
+    );
 
     // User groups on the anonymised addresses.
     let households = aggregate_households(&flows);

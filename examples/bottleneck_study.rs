@@ -88,7 +88,11 @@ fn main() {
         "{:<22} {:>14} {:>12} {:>14} {:>12}",
         "chunking", "v1.2.52 thr", "duration", "v1.4.0 thr", "duration"
     );
-    for (n, label) in [(1u64, "1 x 2 MB"), (20, "20 x 100 kB"), (100, "100 x 20 kB")] {
+    for (n, label) in [
+        (1u64, "1 x 2 MB"),
+        (20, "20 x 100 kB"),
+        (100, "100 x 20 kB"),
+    ] {
         let per = total / n;
         let (t1, d1) = run_store(ClientVersion::V1_2_52, n, per, rtt_ms);
         let (t2, d2) = run_store(ClientVersion::V1_4_0, n, per, rtt_ms);

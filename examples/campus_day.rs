@@ -26,15 +26,14 @@ fn main() {
 
     // Hourly activity (Fig. 15 in miniature).
     let p = hourly_profiles(&ds.flows, ds.days);
-    let max = p
-        .active
-        .iter()
-        .cloned()
-        .fold(0.0f64, f64::max)
-        .max(1e-9);
+    let max = p.active.iter().cloned().fold(0.0f64, f64::max).max(1e-9);
     println!("\nactive devices by hour (working days):");
     for h in 0..24 {
-        println!("  {h:02}:00 {:<40} {:.3}", bar(p.active[h] / max, 40), p.active[h]);
+        println!(
+            "  {h:02}:00 {:<40} {:.3}",
+            bar(p.active[h] / max, 40),
+            p.active[h]
+        );
     }
 
     // RTT split (Fig. 6).
@@ -76,7 +75,10 @@ fn main() {
     }
     rows.sort_by_key(|r| r.0);
     println!("\nstore throughput vs size (sampled) — θ is the slow-start bound:");
-    println!("{:>12} {:>14} {:>8} {:>14}", "bytes", "throughput", "chunks", "θ(bytes)");
+    println!(
+        "{:>12} {:>14} {:>8} {:>14}",
+        "bytes", "throughput", "chunks", "θ(bytes)"
+    );
     let step = (rows.len() / 12).max(1);
     for row in rows.iter().step_by(step) {
         println!(

@@ -53,8 +53,14 @@ fn main() {
     println!(
         "[laptop] sync transaction: {} flows ({} control, {} storage)",
         flows.len(),
-        flows.iter().filter(|f| matches!(f.truth, FlowTruth::Control)).count(),
-        flows.iter().filter(|f| matches!(f.truth, FlowTruth::Store { .. })).count(),
+        flows
+            .iter()
+            .filter(|f| matches!(f.truth, FlowTruth::Control))
+            .count(),
+        flows
+            .iter()
+            .filter(|f| matches!(f.truth, FlowTruth::Store { .. }))
+            .count(),
     );
     md.namespace_mut(root)
         .expect("root exists")

@@ -23,7 +23,11 @@ fn main() {
         "dl-client42.dropbox.com",
         "dl.dropbox.com",
     ];
-    println!("resolving {} names from {} countries…", names.len(), nodes().len());
+    println!(
+        "resolving {} names from {} countries…",
+        names.len(),
+        nodes().len()
+    );
     for name in names {
         let res = resolve_worldwide(&dir, name);
         let first = res[0].ip;

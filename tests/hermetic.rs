@@ -51,8 +51,8 @@ fn strip_comment(line: &str) -> &str {
 
 /// Collect the offending dependency declarations in one manifest.
 fn non_path_deps(manifest: &Path) -> Vec<String> {
-    let text = fs::read_to_string(manifest)
-        .unwrap_or_else(|e| panic!("read {}: {e}", manifest.display()));
+    let text =
+        fs::read_to_string(manifest).unwrap_or_else(|e| panic!("read {}: {e}", manifest.display()));
     let mut bad = Vec::new();
     let mut in_dep_section = false;
     // Some(name) while inside a `[dependencies.name]`-style section that

@@ -67,7 +67,11 @@ fn chunk_estimates_track_ground_truth() {
         }
     }
     assert!(n > 20);
-    assert!(total_err / n as f64 <= 0.25, "mean |err| = {}", total_err / n as f64);
+    assert!(
+        total_err / n as f64 <= 0.25,
+        "mean |err| = {}",
+        total_err / n as f64
+    );
 }
 
 #[test]
@@ -95,8 +99,10 @@ fn user_groups_are_populated_with_roughly_paper_shares() {
     // Heavy households dominate the volume (Table 5's core finding).
     let heavy = &t[&UserGroup::Heavy];
     let occasional = &t[&UserGroup::Occasional];
-    assert!(heavy.store_bytes + heavy.retrieve_bytes
-        > 10 * (occasional.store_bytes + occasional.retrieve_bytes));
+    assert!(
+        heavy.store_bytes + heavy.retrieve_bytes
+            > 10 * (occasional.store_bytes + occasional.retrieve_bytes)
+    );
     // All four groups appear.
     for g in UserGroup::ALL {
         assert!(t[&g].addr_frac > 0.0, "{g:?} empty");
@@ -133,11 +139,7 @@ fn campus2_works_without_dns_but_home_has_fqdn() {
         .count();
     assert!(dropbox > 50, "Campus 2 classification via TLS: {dropbox}");
     let h1 = small(VantageKind::Home1, 7);
-    assert!(h1
-        .dataset
-        .flows
-        .iter()
-        .any(|f| f.server_fqdn.is_some()));
+    assert!(h1.dataset.flows.iter().any(|f| f.server_fqdn.is_some()));
 }
 
 #[test]
