@@ -1,0 +1,133 @@
+//! Benchmarks of the fault-injection substrate: the overhead of the
+//! fault-aware TCP path (clean profile vs lossy/reset profiles) and of a
+//! small faulty vantage simulation end to end.
+
+use bench::{BatchSize, Harness, Throughput};
+use nettrace::{Endpoint, FlowKey, Ipv4};
+use simcore::faults::{FaultPlan, FlowFaults};
+use simcore::{Rng, SimDuration, SimTime};
+use tcpmodel::{simulate_faulty, tls, Dialogue, Direction, Message, PathParams, TcpParams};
+
+fn store_dialogue(chunks: u64, bytes: u32) -> Dialogue {
+    let mut m = tls::handshake(
+        "dl-client1.dropbox.com",
+        "*.dropbox.com",
+        SimDuration::from_millis(60),
+    );
+    for _ in 0..chunks {
+        m.push(Message::simple(
+            Direction::Up,
+            SimDuration::from_millis(30),
+            634 + bytes,
+        ));
+        m.push(Message::simple(
+            Direction::Down,
+            SimDuration::from_millis(90),
+            309,
+        ));
+    }
+    Dialogue::new(m)
+}
+
+fn key() -> FlowKey {
+    FlowKey::new(
+        Endpoint::new(Ipv4::new(10, 0, 0, 1), 40_000),
+        Endpoint::new(Ipv4::new(107, 22, 0, 1), 443),
+    )
+}
+
+fn path() -> PathParams {
+    PathParams {
+        inner_rtt: SimDuration::from_millis(10),
+        outer_rtt: SimDuration::from_millis(90),
+        jitter: 0.05,
+        loss_up: 0.001,
+        loss_down: 0.001,
+        up_rate: None,
+        down_rate: None,
+    }
+}
+
+fn bench_faulty_simulate(c: &mut Harness) {
+    let d = store_dialogue(10, 100_000);
+    let cases: [(&str, Option<FlowFaults>); 3] = [
+        ("clean_profile", None),
+        (
+            "extra_loss_3pct",
+            Some(FlowFaults {
+                extra_loss: 0.03,
+                latency_spike: Some(SimDuration::from_millis(80)),
+                reset_after_bytes: None,
+            }),
+        ),
+        (
+            "reset_mid_flow",
+            Some(FlowFaults {
+                extra_loss: 0.0,
+                latency_spike: None,
+                reset_after_bytes: Some(400_000),
+            }),
+        ),
+    ];
+    let mut g = c.group("tcpmodel_faulty");
+    g.throughput(Throughput::Bytes(d.bytes_up() + d.bytes_down()));
+    for (label, faults) in cases {
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || (Rng::new(7), Vec::with_capacity(2_000)),
+                |(mut rng, mut out)| {
+                    simulate_faulty(
+                        SimTime::from_secs(1),
+                        key(),
+                        &d,
+                        &path(),
+                        &TcpParams::era_2012_v1(),
+                        faults.as_ref(),
+                        &mut rng,
+                        &mut out,
+                    );
+                    out
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_faulty_vantage(c: &mut Harness) {
+    let mut config = workload::VantageConfig::paper(workload::VantageKind::Campus1, 0.008);
+    config.days = 3;
+    let clean = FaultPlan::none();
+    let lossy = FaultPlan::lossy(7, config.days);
+    let mut g = c.group("vantage");
+    g.sample_size(10);
+    g.bench_function("campus1_3d_clean", |b| {
+        b.iter(|| {
+            workload::simulate_vantage(
+                std::hint::black_box(&config),
+                dropbox::client::ClientVersion::V1_2_52,
+                1,
+                &clean,
+            )
+        })
+    });
+    g.bench_function("campus1_3d_lossy", |b| {
+        b.iter(|| {
+            workload::simulate_vantage(
+                std::hint::black_box(&config),
+                dropbox::client::ClientVersion::V1_2_52,
+                1,
+                &lossy,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = Harness::new("faults");
+    bench_faulty_simulate(&mut c);
+    bench_faulty_vantage(&mut c);
+    c.finish().expect("write benchmark results");
+}

@@ -170,7 +170,12 @@ fn bench_classification(c: &mut Harness) {
     // Classify a realistic record set.
     let mut config = workload::VantageConfig::paper(workload::VantageKind::Home1, 0.01);
     config.days = 3;
-    let out = workload::simulate_vantage(&config, dropbox::client::ClientVersion::V1_2_52, 1);
+    let out = workload::simulate_vantage(
+        &config,
+        dropbox::client::ClientVersion::V1_2_52,
+        1,
+        &workload::FaultPlan::none(),
+    );
     let flows = out.dataset.flows;
     let mut g = c.group("analysis");
     g.throughput(Throughput::Elements(flows.len() as u64));

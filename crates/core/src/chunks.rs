@@ -148,6 +148,7 @@ mod tests {
             server_fqdn: None,
             notify: None,
             close: FlowClose::Rst,
+            aborted: false,
         }
     }
 

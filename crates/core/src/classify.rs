@@ -251,6 +251,7 @@ mod tests {
             server_fqdn: None,
             notify: None,
             close: FlowClose::Fin,
+            aborted: false,
         }
     }
 

@@ -302,6 +302,7 @@ mod tests {
                 namespaces,
             }),
             close: FlowClose::Fin,
+            aborted: false,
         }
     }
 

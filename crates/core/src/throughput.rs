@@ -137,6 +137,7 @@ mod tests {
             server_fqdn: None,
             notify: None,
             close: FlowClose::Rst,
+            aborted: false,
         }
     }
 

@@ -148,6 +148,7 @@ mod tests {
                 namespaces,
             }),
             close: FlowClose::Fin,
+            aborted: false,
         }
     }
 

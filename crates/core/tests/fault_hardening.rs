@@ -1,0 +1,198 @@
+//! The analysis methods must survive what fault injection does to the
+//! wire: flows truncated by a mid-transfer RST, flows inflated by
+//! retransmissions, and degenerate records with no payload at all. None
+//! of these may panic, and the byte-based methods must keep reporting
+//! *goodput* (unique payload), not wire volume.
+
+use dropbox_analysis::chunks::{estimate_chunks, reverse_payload_per_chunk};
+use dropbox_analysis::classify::{
+    dropbox_role, provider_of, storage_tag, transfer_size, DropboxRole, Provider, StorageTag,
+};
+use dropbox_analysis::sessions::{
+    devices_per_household, distinct_devices, hourly_profiles, merged_sessions,
+    namespaces_per_device, raw_session_durations, startups_per_day,
+};
+use dropbox_analysis::throughput::{throughput_bps, transfer_duration};
+use nettrace::flow::{DirStats, FlowClose, NotifyMeta};
+use nettrace::{Endpoint, FlowKey, FlowRecord, Ipv4};
+use simcore::faults::FlowFaults;
+use simcore::{Rng, SimDuration, SimTime};
+use tcpmodel::{simulate_faulty, tls, Dialogue, Direction, Message, PathParams, TcpParams};
+
+fn key() -> FlowKey {
+    FlowKey::new(
+        Endpoint::new(Ipv4::new(10, 0, 0, 1), 40_000),
+        Endpoint::new(Ipv4::new(107, 22, 0, 1), 443),
+    )
+}
+
+/// Render a single-chunk store through the fault-aware TCP model and the
+/// monitor, with the given fault profile.
+fn faulty_store_record(chunk: u32, faults: FlowFaults) -> Option<FlowRecord> {
+    let mut messages = tls::handshake(
+        "dl-client1.dropbox.com",
+        "*.dropbox.com",
+        SimDuration::from_millis(40),
+    );
+    messages.push(Message::simple(
+        Direction::Up,
+        SimDuration::from_millis(20),
+        634 + chunk,
+    ));
+    messages.push(Message::simple(
+        Direction::Down,
+        SimDuration::from_millis(60),
+        309,
+    ));
+    let d = Dialogue::new(messages);
+    let path = PathParams {
+        inner_rtt: SimDuration::from_millis(4),
+        outer_rtt: SimDuration::from_millis(96),
+        jitter: 0.0,
+        loss_up: 0.005,
+        loss_down: 0.005,
+        up_rate: None,
+        down_rate: None,
+    };
+    let mut pkts = Vec::new();
+    simulate_faulty(
+        SimTime::from_secs(5),
+        key(),
+        &d,
+        &path,
+        &TcpParams::era_2012_v1(),
+        Some(&faults),
+        &mut Rng::new(9),
+        &mut pkts,
+    );
+    let mut mon = tstat::Monitor::new(true);
+    mon.process_flow(&pkts)
+}
+
+#[test]
+fn retried_store_reports_goodput_not_wire_volume() {
+    let rec = faulty_store_record(
+        300_000,
+        FlowFaults {
+            extra_loss: 0.10,
+            latency_spike: Some(SimDuration::from_millis(60)),
+            reset_after_bytes: None,
+        },
+    )
+    .expect("flow observed");
+    assert!(rec.up.rtx_bytes > 0, "10% extra loss must retransmit");
+    assert!(!rec.aborted);
+    assert_eq!(provider_of(&rec), Provider::Dropbox);
+    assert_eq!(dropbox_role(&rec), Some(DropboxRole::ClientStorage));
+    assert_eq!(storage_tag(&rec), StorageTag::Store);
+    // `bytes` counts unique payload, so the transfer size the analysis
+    // reports is independent of how many retransmissions the path forced.
+    let clean = faulty_store_record(300_000, FlowFaults::default()).expect("flow observed");
+    assert_eq!(rec.up.bytes, clean.up.bytes);
+    assert_eq!(transfer_size(&rec), transfer_size(&clean));
+    assert_eq!(estimate_chunks(&rec), estimate_chunks(&clean));
+    let bps = throughput_bps(&rec).expect("finite throughput");
+    assert!(bps.is_finite() && bps > 0.0);
+}
+
+#[test]
+fn truncated_store_stays_analyzable() {
+    let rec = faulty_store_record(
+        300_000,
+        FlowFaults {
+            extra_loss: 0.0,
+            latency_spike: None,
+            reset_after_bytes: Some(40_000),
+        },
+    )
+    .expect("flow observed");
+    assert!(rec.aborted, "mid-write RST must be flagged");
+    assert_eq!(rec.close, FlowClose::Rst);
+    // Every method tolerates the truncation without panicking; the partial
+    // upload still tags as a store and its duration is measurable.
+    assert_eq!(dropbox_role(&rec), Some(DropboxRole::ClientStorage));
+    assert_eq!(storage_tag(&rec), StorageTag::Store);
+    assert!(transfer_size(&rec) < 300_000);
+    let _ = estimate_chunks(&rec);
+    let _ = reverse_payload_per_chunk(&rec);
+    if let Some(d) = transfer_duration(&rec) {
+        assert!(!d.is_zero());
+    }
+    let _ = throughput_bps(&rec);
+}
+
+fn degenerate_record(aborted: bool, notify: Option<NotifyMeta>) -> FlowRecord {
+    FlowRecord {
+        key: key(),
+        first_syn: SimTime::from_secs(100),
+        last_packet: SimTime::from_secs(100),
+        up: DirStats {
+            bytes: 0,
+            rtx_bytes: 50_000,
+            ..DirStats::default()
+        },
+        down: DirStats::default(),
+        min_rtt_ms: None,
+        rtt_samples: 0,
+        tls_sni: Some("dl-client1.dropbox.com".into()),
+        tls_certificate_cn: None,
+        http_host: None,
+        server_fqdn: if notify.is_some() {
+            Some("notify1.dropbox.com".into())
+        } else {
+            None
+        },
+        notify,
+        close: FlowClose::Rst,
+        aborted,
+    }
+}
+
+#[test]
+fn payload_free_aborted_records_never_panic_the_methods() {
+    // A connection reset before any payload survived: zero unique bytes in
+    // both directions, yet retransmitted junk on the wire.
+    let rec = degenerate_record(true, None);
+    assert_eq!(provider_of(&rec), Provider::Dropbox);
+    let _ = dropbox_role(&rec);
+    let _ = storage_tag(&rec);
+    assert_eq!(transfer_duration(&rec), None, "no payload, no duration");
+    assert_eq!(throughput_bps(&rec), None);
+    assert_eq!(estimate_chunks(&rec), 0);
+    assert_eq!(reverse_payload_per_chunk(&rec), None);
+}
+
+#[test]
+fn session_methods_tolerate_aborted_notification_fragments() {
+    // Churned notification connections: several aborted fragments and one
+    // clean tail, plus a payload-free runt. The session statistics must
+    // digest all of them.
+    let meta = NotifyMeta {
+        host_int: 77,
+        namespaces: vec![1, 2],
+    };
+    let mut flows = Vec::new();
+    for (i, aborted) in [(0u64, true), (1, true), (2, false)] {
+        let mut f = degenerate_record(aborted, Some(meta.clone()));
+        f.first_syn = SimTime::from_secs(1_000 + 400 * i);
+        f.last_packet = f.first_syn + SimDuration::from_secs(300);
+        f.up.bytes = 350;
+        f.down.bytes = if aborted { 0 } else { 160 };
+        flows.push(f);
+    }
+    flows.push(degenerate_record(true, Some(meta)));
+
+    let durations = raw_session_durations(&flows);
+    assert!(durations.iter().all(|d| d.is_finite() && *d >= 0.0));
+    let sessions = merged_sessions(&flows);
+    assert!(!sessions.is_empty());
+    for s in &sessions {
+        assert!(s.end >= s.start);
+    }
+    assert_eq!(distinct_devices(&flows), 1);
+    assert_eq!(devices_per_household(&flows).len(), 1);
+    assert_eq!(namespaces_per_device(&flows).get(&77), Some(&2));
+    let per_day = startups_per_day(&flows, 1);
+    assert!(per_day.iter().all(|v| v.is_finite()));
+    let _ = hourly_profiles(&flows, 1);
+}

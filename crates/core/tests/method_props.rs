@@ -48,6 +48,7 @@ fn storage_record(
         server_fqdn: None,
         notify: None,
         close: FlowClose::Rst,
+        aborted: false,
     }
 }
 

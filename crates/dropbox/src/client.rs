@@ -25,6 +25,7 @@ use crate::protocol::{Command, ProtocolTrace, Sender};
 use crate::storage::ChunkStore;
 use crate::{FlowSpec, FlowTruth};
 use dnssim::{DnsDirectory, ServerRole};
+use simcore::faults::{FaultPlan, FlowFaults};
 use simcore::{dist, Rng, SimDuration, SimTime};
 use tcpmodel::tls;
 use tcpmodel::{CloseMode, Dialogue, Direction, Message, Write};
@@ -96,6 +97,60 @@ pub struct ChunkWork {
     pub wire_bytes: u64,
     /// Raw size (for the dedup store accounting).
     pub raw_bytes: u64,
+}
+
+/// Exponential-backoff retry policy of the sync client.
+///
+/// Backoff for attempt `n` (0-based) is `base · factor^n`, capped at
+/// `max_backoff`, with deterministic jitter drawn from the caller's RNG
+/// (uniform in `[0.5, 1.0)` of the nominal delay) so synchronized clients
+/// do not retry in lockstep. After `max_attempts` consecutive failures the
+/// client stops giving up: the next attempt is forced to succeed, which
+/// bounds recovery time and guarantees every transaction eventually
+/// completes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Backoff before the second attempt.
+    pub base: SimDuration,
+    /// Multiplicative growth per failed attempt.
+    pub factor: f64,
+    /// Upper bound on a single backoff.
+    pub max_backoff: SimDuration,
+    /// Failures tolerated before a retry is forced to succeed.
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base: SimDuration::from_secs(2),
+            factor: 2.0,
+            max_backoff: SimDuration::from_secs(300),
+            max_attempts: 6,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry `attempt` (0-based), with jitter from `rng`.
+    pub fn backoff(&self, attempt: u32, rng: &mut Rng) -> SimDuration {
+        let nominal = self.base.as_secs_f64() * self.factor.powi(attempt.min(30) as i32);
+        let capped = nominal.min(self.max_backoff.as_secs_f64());
+        SimDuration::from_secs_f64(capped * (0.5 + 0.5 * rng.f64()))
+    }
+}
+
+/// Flows produced by a fault-aware transaction, each with the offset from
+/// the transaction start at which it should be played, plus recovery
+/// counters for the run's fault statistics.
+#[derive(Debug, Default)]
+pub struct RecoveryOutcome {
+    /// `(offset, flow)` pairs in play order; offsets accumulate backoffs.
+    pub flows: Vec<(SimDuration, FlowSpec)>,
+    /// Retry attempts performed (outage waits and transfer retries).
+    pub retries: u32,
+    /// Storage flows cut mid-transfer by an injected reset.
+    pub aborted_flows: u32,
 }
 
 /// The sync engine of one device.
@@ -182,6 +237,7 @@ impl<'a> SyncEngine<'a> {
             port: ServerRole::MetaData.port(),
             dialogue,
             truth: FlowTruth::Control,
+            faults: None,
         }
     }
 
@@ -327,7 +383,203 @@ impl<'a> SyncEngine<'a> {
                 data_bytes,
                 acked: !self.config.no_storage_acks,
             },
+            faults: None,
         }
+    }
+
+    /// Fault-aware counterpart of [`SyncEngine::upload_transaction`]: the
+    /// client backs off while the servers are inside an outage window,
+    /// storage connections may be cut mid-transfer by the plan's reset
+    /// probability, and after every cut the client *resumes*: chunks whose
+    /// store operation was fully acknowledged before the reset are
+    /// committed and only the uncommitted remainder is re-offered on a
+    /// fresh connection. Flow offsets accumulate the backoff delays.
+    pub fn upload_transaction_faulty(
+        &mut self,
+        chunks: &[ChunkWork],
+        day: u32,
+        at: SimTime,
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+        rng: &mut Rng,
+    ) -> RecoveryOutcome {
+        let mut out = RecoveryOutcome::default();
+        if chunks.is_empty() {
+            return out;
+        }
+        let mut offset = SimDuration::ZERO;
+        let commit_req = 400 + 70 * chunks.len() as u32;
+
+        // Outage windows: each refused commit is a short error exchange
+        // (the 5xx answer), then the client backs off and retries.
+        let mut attempt = 0u32;
+        while attempt < policy.max_attempts && !plan.server_available(at + offset) {
+            out.flows
+                .push((offset, self.control_flow(true, &[(commit_req, 120)], rng)));
+            out.retries += 1;
+            offset += policy.backoff(attempt, rng);
+            attempt += 1;
+        }
+
+        // commit_batch → need_blocks, deduplicated against the store.
+        let all_ids: Vec<(ChunkId, u64)> = chunks.iter().map(|c| (c.id, c.raw_bytes)).collect();
+        let needed_ids = self.store.need_blocks(&all_ids);
+        let need_resp = 200 + 70 * needed_ids.len() as u32;
+        out.flows.push((
+            offset,
+            self.control_flow(true, &[(commit_req, need_resp)], rng),
+        ));
+
+        let mut remaining: Vec<ChunkWork> = chunks
+            .iter()
+            .filter(|c| needed_ids.contains(&c.id))
+            .copied()
+            .collect();
+
+        let mut attempt = 0u32;
+        while !remaining.is_empty() {
+            let batch_len = remaining.len().min(Command::MAX_CHUNKS_PER_BATCH);
+            let batch: Vec<ChunkWork> = remaining[..batch_len].to_vec();
+            let abort =
+                attempt < policy.max_attempts && plan.reset_p > 0.0 && rng.chance(plan.reset_p);
+            if abort {
+                let (spec, committed) = self.store_flow_aborted(&batch, day, rng);
+                for c in &committed {
+                    self.store.put(c.id, c.raw_bytes);
+                }
+                remaining.retain(|c| !committed.iter().any(|k| k.id == c.id));
+                out.flows.push((offset, spec));
+                out.aborted_flows += 1;
+                out.retries += 1;
+                offset += policy.backoff(attempt, rng);
+                attempt += 1;
+                // Resume: re-offer only the uncommitted chunks. The server
+                // answer sizes like a need_blocks over the remainder.
+                let reoffer_resp = 200 + 70 * remaining.len() as u32;
+                out.flows
+                    .push((offset, self.control_flow(true, &[(260, reoffer_resp)], rng)));
+            } else {
+                let spec = self.store_flow(&batch, day, rng, None, SimTime::EPOCH);
+                for c in &batch {
+                    self.store.put(c.id, c.raw_bytes);
+                }
+                remaining.drain(..batch_len);
+                out.flows.push((offset, spec));
+            }
+        }
+
+        // close_changeset back on the meta side.
+        out.flows
+            .push((offset, self.control_flow(true, &[(260, 180)], rng)));
+        out
+    }
+
+    /// A store connection that an injected fault cuts mid-transfer.
+    ///
+    /// The reset lands inside a uniformly-chosen transfer group: every
+    /// group before it is fully written *and acknowledged* (those chunks
+    /// are committed — returned for the caller to `put`), the chosen
+    /// group's upload is truncated partway through its write, and nothing
+    /// after it reaches the wire.
+    fn store_flow_aborted(
+        &mut self,
+        batch: &[ChunkWork],
+        day: u32,
+        rng: &mut Rng,
+    ) -> (FlowSpec, Vec<ChunkWork>) {
+        let mut spec = self.store_flow(batch, day, rng, None, SimTime::EPOCH);
+
+        // Reconstruct the grouping to find per-group write sizes. The
+        // dialogue is: 4 handshake messages, then per group one Up write
+        // (+ one Down OK unless acks are disabled).
+        let groups = self.bundle(batch);
+        let cut_group = rng.below(groups.len() as u64) as usize;
+        let committed: Vec<ChunkWork> = groups[..cut_group]
+            .iter()
+            .flat_map(|g| g.iter().map(|&&c| c))
+            .collect();
+
+        let msgs_per_group = if self.config.no_storage_acks { 1 } else { 2 };
+        let preamble: u64 = spec
+            .dialogue
+            .messages
+            .iter()
+            .take(4 + cut_group * msgs_per_group)
+            .map(|m| m.size() as u64)
+            .sum();
+        let cut_write = spec.dialogue.messages[4 + cut_group * msgs_per_group].size() as u64;
+        let frac = 0.15 + 0.7 * rng.f64();
+        let threshold = (preamble + (cut_write as f64 * frac) as u64).max(1);
+
+        spec.faults = Some(FlowFaults {
+            reset_after_bytes: Some(threshold),
+            ..FlowFaults::default()
+        });
+        // The fault injects the RST; no orderly close ever happens.
+        spec.dialogue.close = CloseMode::LeftOpen;
+        let data_bytes: u64 = committed.iter().map(|c| c.wire_bytes).sum();
+        spec.truth = FlowTruth::Store {
+            chunks: committed.len() as u32,
+            data_bytes,
+            acked: !self.config.no_storage_acks,
+        };
+        (spec, committed)
+    }
+
+    /// Fault-aware counterpart of [`SyncEngine::download_transaction`]:
+    /// retrieve connections may be cut mid-transfer, in which case the
+    /// whole batch is re-fetched after a backoff (retrieves are
+    /// idempotent — nothing is committed by a truncated download).
+    pub fn download_transaction_faulty(
+        &mut self,
+        chunks: &[ChunkWork],
+        day: u32,
+        at: SimTime,
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+        rng: &mut Rng,
+    ) -> RecoveryOutcome {
+        let mut out = RecoveryOutcome::default();
+        if chunks.is_empty() {
+            return out;
+        }
+        let mut offset = SimDuration::ZERO;
+        let list_resp = 400 + 90 * chunks.len() as u32;
+
+        let mut attempt = 0u32;
+        while attempt < policy.max_attempts && !plan.server_available(at + offset) {
+            out.flows
+                .push((offset, self.control_flow(false, &[(340, 120)], rng)));
+            out.retries += 1;
+            offset += policy.backoff(attempt, rng);
+            attempt += 1;
+        }
+        out.flows
+            .push((offset, self.control_flow(false, &[(340, list_resp)], rng)));
+
+        for batch in chunks.chunks(Command::MAX_CHUNKS_PER_BATCH) {
+            let mut attempt = 0u32;
+            while attempt < policy.max_attempts && plan.reset_p > 0.0 && rng.chance(plan.reset_p) {
+                let mut spec = self.retrieve_flow(batch, day, rng, None, SimTime::EPOCH);
+                let total: u64 = spec.dialogue.messages.iter().map(|m| m.size() as u64).sum();
+                let frac = 0.2 + 0.6 * rng.f64();
+                spec.faults = Some(FlowFaults {
+                    reset_after_bytes: Some(((total as f64 * frac) as u64).max(1)),
+                    ..FlowFaults::default()
+                });
+                spec.dialogue.close = CloseMode::LeftOpen;
+                out.flows.push((offset, spec));
+                out.aborted_flows += 1;
+                out.retries += 1;
+                offset += policy.backoff(attempt, rng);
+                attempt += 1;
+            }
+            out.flows.push((
+                offset,
+                self.retrieve_flow(batch, day, rng, None, SimTime::EPOCH),
+            ));
+        }
+        out
     }
 
     /// Build the flows of one *download* synchronisation transaction
@@ -415,6 +667,7 @@ impl<'a> SyncEngine<'a> {
                 chunks: batch.len() as u32,
                 data_bytes,
             },
+            faults: None,
         }
     }
 
@@ -471,6 +724,7 @@ impl<'a> SyncEngine<'a> {
                 delay: SimDuration::from_millis(100),
             }),
             truth: FlowTruth::SystemLog,
+            faults: None,
         }
     }
 
@@ -496,6 +750,7 @@ impl<'a> SyncEngine<'a> {
                 delay: SimDuration::from_millis(100),
             }),
             truth: FlowTruth::SystemLog,
+            faults: None,
         }
     }
 }
@@ -718,6 +973,176 @@ mod tests {
             FlowTruth::Store { acked, .. } => assert!(!acked),
             _ => unreachable!(),
         }
+    }
+
+    #[test]
+    fn backoff_golden_values() {
+        // Pinned sequence: exponential growth under deterministic jitter.
+        // Any change to the RNG stream, the policy defaults, or the jitter
+        // formula shows up here as a reproducibility break.
+        let p = RetryPolicy::default();
+        let mut rng = Rng::new(42);
+        let micros: Vec<u64> = (0..8).map(|a| p.backoff(a, &mut rng).micros()).collect();
+        assert_eq!(
+            micros,
+            vec![
+                1_083_863,
+                2_757_961,
+                6_720_174,
+                15_397_544,
+                31_868_863,
+                56_631_663,
+                110_032_549,
+                236_801_081,
+            ]
+        );
+    }
+
+    #[test]
+    fn backoff_is_capped_and_jittered() {
+        let p = RetryPolicy::default();
+        let mut rng = Rng::new(9);
+        for attempt in 0..40 {
+            let b = p.backoff(attempt, &mut rng).as_secs_f64();
+            let nominal = (2.0f64 * 2.0f64.powi(attempt.min(30) as i32)).min(300.0);
+            assert!(
+                b >= nominal * 0.5 - 1e-9 && b < nominal + 1e-9,
+                "attempt {attempt}: {b}"
+            );
+        }
+        // Deep attempts sit at the cap.
+        let deep = p.backoff(20, &mut rng).as_secs_f64();
+        assert!((150.0..300.0).contains(&deep), "capped backoff {deep}");
+    }
+
+    #[test]
+    fn faulty_upload_resumes_only_uncommitted_chunks() {
+        let dns = DnsDirectory::new();
+        let store = ChunkStore::new();
+        let mut eng = engine_with(&dns, &store, ClientVersion::V1_2_52);
+        let chunks: Vec<ChunkWork> = (0..30).map(|i| chunkw(i, 50_000)).collect();
+        let plan = FaultPlan {
+            reset_p: 0.7, // force several aborts
+            ..FaultPlan::none()
+        };
+        let policy = RetryPolicy::default();
+        let mut rng = Rng::new(11);
+        let out = eng.upload_transaction_faulty(
+            &chunks,
+            0,
+            SimTime::from_secs(100),
+            &plan,
+            &policy,
+            &mut rng,
+        );
+        assert!(out.aborted_flows > 0, "reset_p 0.7 must cut something");
+        assert_eq!(out.retries, out.aborted_flows, "no outage in this plan");
+        // Every chunk committed exactly once despite the cuts.
+        let stats = store.stats();
+        assert_eq!(stats.chunks, 30);
+        assert_eq!(stats.bytes, 30 * 50_000);
+        // Aborted store flows carry an intrinsic reset fault; clean ones
+        // do not.
+        for (_, f) in &out.flows {
+            if let FlowTruth::Store { .. } = f.truth {
+                if let Some(fault) = f.faults {
+                    assert!(fault.reset_after_bytes.is_some());
+                }
+            } else {
+                assert!(f.faults.is_none());
+            }
+        }
+        // Offsets are non-decreasing (backoffs accumulate).
+        let offsets: Vec<_> = out.flows.iter().map(|(o, _)| *o).collect();
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        assert!(
+            offsets.last().unwrap() > &SimDuration::ZERO,
+            "retries must push later flows out in time"
+        );
+    }
+
+    #[test]
+    fn faulty_upload_with_no_faults_commits_everything_without_retries() {
+        let dns = DnsDirectory::new();
+        let store = ChunkStore::new();
+        let mut eng = engine_with(&dns, &store, ClientVersion::V1_2_52);
+        let chunks: Vec<ChunkWork> = (0..10).map(|i| chunkw(i, 8_000)).collect();
+        let mut rng = Rng::new(12);
+        let out = eng.upload_transaction_faulty(
+            &chunks,
+            0,
+            SimTime::from_secs(100),
+            &FaultPlan::none(),
+            &RetryPolicy::default(),
+            &mut rng,
+        );
+        assert_eq!(out.retries, 0);
+        assert_eq!(out.aborted_flows, 0);
+        assert!(out.flows.iter().all(|(o, _)| *o == SimDuration::ZERO));
+        assert_eq!(store.stats().chunks, 10);
+    }
+
+    #[test]
+    fn outage_window_defers_commit_with_error_exchanges() {
+        let dns = DnsDirectory::new();
+        let store = ChunkStore::new();
+        let mut eng = engine_with(&dns, &store, ClientVersion::V1_2_52);
+        let chunks = [chunkw(1, 5_000)];
+        let start = SimTime::from_secs(1_000);
+        let plan = FaultPlan {
+            // Outage covering the transaction start; the client must back
+            // off past its end.
+            outages: vec![(SimTime::from_secs(900), SimTime::from_secs(1_010))],
+            ..FaultPlan::none()
+        };
+        let mut rng = Rng::new(13);
+        let out = eng.upload_transaction_faulty(
+            &chunks,
+            0,
+            start,
+            &plan,
+            &RetryPolicy::default(),
+            &mut rng,
+        );
+        assert!(out.retries > 0, "commit must be refused at least once");
+        assert_eq!(out.aborted_flows, 0);
+        // The successful part of the transaction plays after the outage
+        // (or after max_attempts force-succeeds — not with this window).
+        let last_offset = out.flows.last().unwrap().0;
+        assert!(plan.server_available(start + last_offset));
+        assert_eq!(store.stats().chunks, 1);
+    }
+
+    #[test]
+    fn faulty_download_refetches_whole_batch() {
+        let dns = DnsDirectory::new();
+        let store = ChunkStore::new();
+        let mut eng = engine_with(&dns, &store, ClientVersion::V1_2_52);
+        let chunks: Vec<ChunkWork> = (0..5).map(|i| chunkw(i, 30_000)).collect();
+        let plan = FaultPlan {
+            reset_p: 0.8,
+            ..FaultPlan::none()
+        };
+        let mut rng = Rng::new(14);
+        let out = eng.download_transaction_faulty(
+            &chunks,
+            0,
+            SimTime::from_secs(50),
+            &plan,
+            &RetryPolicy::default(),
+            &mut rng,
+        );
+        assert!(out.aborted_flows > 0);
+        // The final retrieve of each batch is clean and carries the full
+        // chunk count (downloads are idempotent, nothing is partial).
+        let (_, last_retrieve) = out
+            .flows
+            .iter()
+            .rev()
+            .find(|(_, f)| matches!(f.truth, FlowTruth::Retrieve { .. }))
+            .unwrap();
+        assert!(last_retrieve.faults.is_none());
+        assert_eq!(last_retrieve.truth.chunks(), Some(5));
     }
 
     #[test]

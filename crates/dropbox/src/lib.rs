@@ -45,6 +45,7 @@ pub use client::{ClientVersion, SyncEngine};
 pub use content::{ChunkId, Content, ContentKind, CHUNK_SIZE};
 pub use protocol::{Command, ProtocolTrace};
 
+use simcore::faults::FlowFaults;
 use tcpmodel::Dialogue;
 
 /// Ground-truth annotation of a generated flow (never visible to the
@@ -110,4 +111,8 @@ pub struct FlowSpec {
     pub dialogue: Dialogue,
     /// Ground truth for validation.
     pub truth: FlowTruth,
+    /// Faults intrinsic to this flow (e.g. the mid-transfer reset of a
+    /// recovering upload). The driver merges these with any link-level
+    /// faults drawn from the run's fault plan.
+    pub faults: Option<FlowFaults>,
 }

@@ -31,6 +31,12 @@ pub enum SessionEnd {
     /// source of the <1 min notification flows in the home datasets
     /// (Sec. 5.5). The client immediately re-establishes a new connection.
     NatReset,
+    /// Cut by a network fault mid-poll: the connection dies with an RST
+    /// *before* the outstanding long-poll completes, and the client
+    /// reconnects after a backoff. Unlike [`SessionEnd::NatReset`], the
+    /// reset here lands right after a request write, so reconnect churn
+    /// produces the retry-storm pattern of a flaky access link.
+    Aborted,
 }
 
 /// Build the notification connection for a session (or session fragment)
@@ -90,6 +96,21 @@ pub fn notification_flow(
         });
     }
 
+    if end == SessionEnd::Aborted {
+        // The fragment dies with a long-poll outstanding: one final
+        // request that never gets its response.
+        let marker = AppMarker::NotifyRequest {
+            host: name.clone(),
+            host_int: host.0,
+            namespaces: ns_list.clone(),
+        };
+        messages.push(Message {
+            dir: Direction::Up,
+            delay: SimDuration::from_millis(rng.range_u64(5, 30)),
+            writes: vec![Write::marked(req_size, marker)],
+        });
+    }
+
     let close = match end {
         SessionEnd::ClientShutdown => CloseMode::ClientFin {
             delay: SimDuration::from_millis(150),
@@ -97,12 +118,16 @@ pub fn notification_flow(
         SessionEnd::NatReset => CloseMode::ClientRst {
             delay: SimDuration::from_millis(20),
         },
+        SessionEnd::Aborted => CloseMode::ClientRst {
+            delay: SimDuration::from_millis(5),
+        },
     };
     FlowSpec {
         server_name: name,
         port: ServerRole::Notification.port(),
         dialogue: Dialogue::new(messages).with_close(close),
         truth: FlowTruth::Notification,
+        faults: None,
     }
 }
 
@@ -212,6 +237,36 @@ mod tests {
             .map(|m| m.delay)
             .fold(SimDuration::ZERO, |acc, d| acc + d);
         assert!(span.secs() > 7 * 3600, "span {span}");
+    }
+
+    #[test]
+    fn aborted_fragment_ends_with_unanswered_poll_and_rst() {
+        let mut rng = Rng::new(6);
+        let f = notification_flow(
+            &dns(),
+            HostInt(1),
+            &[NamespaceId(1)],
+            SimDuration::from_mins(3),
+            0,
+            SessionEnd::Aborted,
+            &mut rng,
+        );
+        assert!(matches!(f.dialogue.close, CloseMode::ClientRst { .. }));
+        // One more request than responses: the last poll goes unanswered.
+        let ups = f
+            .dialogue
+            .messages
+            .iter()
+            .filter(|m| m.dir == Direction::Up)
+            .count();
+        let downs = f
+            .dialogue
+            .messages
+            .iter()
+            .filter(|m| m.dir == Direction::Down)
+            .count();
+        assert_eq!(ups, downs + 1);
+        assert_eq!(f.dialogue.messages.last().unwrap().dir, Direction::Up);
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub fn web_session_flows(rng: &mut Rng) -> Vec<FlowSpec> {
             delay: SimDuration::from_millis(500),
         }),
         truth: FlowTruth::WebControl,
+        faults: None,
     });
 
     // Parallel dl-web connections: mostly thumbnails (a few kB), the CDF
@@ -87,6 +88,7 @@ pub fn web_session_flows(rng: &mut Rng) -> Vec<FlowSpec> {
                 delay: SimDuration::from_millis(rng.range_u64(200, 2_000)),
             }),
             truth: FlowTruth::WebStorage { upload: false },
+            faults: None,
         });
     }
 
@@ -112,6 +114,7 @@ pub fn web_session_flows(rng: &mut Rng) -> Vec<FlowSpec> {
                 delay: SimDuration::from_millis(300),
             }),
             truth: FlowTruth::WebStorage { upload: true },
+            faults: None,
         });
     }
 
@@ -158,6 +161,7 @@ pub fn direct_link_flow(rng: &mut Rng) -> FlowSpec {
             delay: SimDuration::from_millis(rng.range_u64(50, 500)),
         }),
         truth: FlowTruth::DirectLink,
+        faults: None,
     }
 }
 
@@ -186,6 +190,7 @@ pub fn api_session_flows(rng: &mut Rng) -> Vec<FlowSpec> {
             delay: SimDuration::from_millis(200),
         }),
         truth: FlowTruth::ApiControl,
+        faults: None,
     });
 
     if rng.chance(0.5) {
@@ -226,6 +231,7 @@ pub fn api_session_flows(rng: &mut Rng) -> Vec<FlowSpec> {
                 delay: SimDuration::from_millis(300),
             }),
             truth: FlowTruth::ApiStorage,
+            faults: None,
         });
     }
     flows

@@ -3,7 +3,7 @@
 //! endpoints, LAN sync and the notification payloads together.
 
 use dnssim::DnsDirectory;
-use dropbox::client::{ChunkWork, ClientVersion, SyncConfig, SyncEngine};
+use dropbox::client::{ChunkWork, SyncConfig, SyncEngine};
 use dropbox::content::{Content, ContentKind};
 use dropbox::lan_sync::{Announcement, LanSync};
 use dropbox::metadata::{FileId, HostInt, MetadataServer, UserId};

@@ -1,13 +1,16 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [IDS...] [--scale S] [--seed N] [--out DIR] [--export-traces]
+//! repro [IDS...] [--scale S] [--seed N] [--out DIR] [--faults N]
+//!       [--export-traces]
 //!
 //!   IDS     table1..table5, fig1..fig21, validation, recommendations,
 //!           or `all` (default)
 //!   --scale population scale factor (default 0.1)
 //!   --seed  simulation seed (default 2012)
 //!   --out   output directory (default results/)
+//!   --faults N        inject network/server faults from the lossy plan
+//!                     seeded with N (default: fault-free)
 //!   --export-traces   also write the anonymised flow logs (JSON-lines,
 //!                     one file per vantage point — the counterpart of the
 //!                     paper's published trace repository)
@@ -23,6 +26,7 @@ use experiments::validation;
 use std::fs;
 use std::path::PathBuf;
 use std::time::Instant;
+use workload::FaultPlan;
 
 fn main() {
     let mut ids: Vec<String> = Vec::new();
@@ -30,6 +34,7 @@ fn main() {
     let mut seed = 2012u64;
     let mut out_dir = PathBuf::from("results");
     let mut export_traces = false;
+    let mut fault_seed: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -38,9 +43,17 @@ fn main() {
             "--seed" => seed = args.next().expect("--seed value").parse().expect("seed"),
             "--out" => out_dir = PathBuf::from(args.next().expect("--out value")),
             "--export-traces" => export_traces = true,
+            "--faults" => {
+                fault_seed = Some(
+                    args.next()
+                        .expect("--faults value")
+                        .parse()
+                        .expect("fault seed"),
+                )
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [IDS...] [--scale S] [--seed N] [--out DIR] [--export-traces]"
+                    "usage: repro [IDS...] [--scale S] [--seed N] [--out DIR] [--faults N] [--export-traces]"
                 );
                 return;
             }
@@ -87,14 +100,36 @@ fn main() {
             )
         });
     if needs_capture {
+        let plan = match fault_seed {
+            // The longest capture is the 42-day Mar–May window; the plan's
+            // outage schedule covers it entirely.
+            Some(fs) => FaultPlan::lossy(fs, 42),
+            None => FaultPlan::none(),
+        };
         eprintln!(
-            "simulating 4 vantage points + the Jun/Jul re-capture (scale {scale}, seed {seed})…"
+            "simulating 4 vantage points + the Jun/Jul re-capture (scale {scale}, seed {seed}{})…",
+            match fault_seed {
+                Some(fs) => format!(", fault seed {fs}"),
+                None => String::new(),
+            }
         );
         let t0 = Instant::now();
-        let cap = run_capture(scale, seed);
+        let cap = run_capture(scale, seed, &plan);
         eprintln!("simulation finished in {:.1}s", t0.elapsed().as_secs_f64());
         let total_flows: usize = cap.vantages.iter().map(|v| v.dataset.flows.len()).sum();
         eprintln!("flow records: {total_flows}");
+        if plan.is_active() {
+            let mut stats = workload::FaultStats::default();
+            for out in cap.vantages.iter().chain(std::iter::once(&cap.campus1_v14)) {
+                stats.sync_retries += out.fault_stats.sync_retries;
+                stats.aborted_flows += out.fault_stats.aborted_flows;
+                stats.notify_aborts += out.fault_stats.notify_aborts;
+            }
+            eprintln!(
+                "injected faults: {} sync retries, {} aborted transfers, {} notification aborts",
+                stats.sync_retries, stats.aborted_flows, stats.notify_aborts
+            );
+        }
 
         type Gen = Box<dyn Fn(&experiments::Capture) -> Report>;
         let gens: Vec<(&str, Gen)> = vec![

@@ -3,7 +3,7 @@
 
 use dropbox::client::ClientVersion;
 use std::thread;
-use workload::{simulate_vantage, SimOutput, VantageConfig, VantageKind};
+use workload::{simulate_vantage, FaultPlan, SimOutput, VantageConfig, VantageKind};
 
 /// A full reproduction run: the four Mar–May captures plus the Campus 1
 /// Jun/Jul re-capture with Dropbox 1.4.0 (Table 4).
@@ -31,7 +31,9 @@ impl Capture {
 
 /// Simulate everything. The four main captures run on worker threads (they
 /// are independent deployments); the Jun/Jul re-capture runs 14 days.
-pub fn run_capture(scale: f64, seed: u64) -> Capture {
+/// `faults` applies to every vantage point; pass [`FaultPlan::none`] for
+/// the clean reproduction.
+pub fn run_capture(scale: f64, seed: u64, faults: &FaultPlan) -> Capture {
     let configs: Vec<VantageConfig> = VantageKind::ALL
         .iter()
         .map(|&k| VantageConfig::paper(k, scale))
@@ -44,7 +46,9 @@ pub fn run_capture(scale: f64, seed: u64) -> Capture {
     thread::scope(|s| {
         let mut handles = Vec::new();
         for config in &configs {
-            handles.push(s.spawn(move || simulate_vantage(config, ClientVersion::V1_2_52, seed)));
+            handles.push(
+                s.spawn(move || simulate_vantage(config, ClientVersion::V1_2_52, seed, faults)),
+            );
         }
         for (slot, h) in vantages.iter_mut().zip(handles) {
             *slot = Some(h.join().expect("vantage simulation panicked"));
@@ -53,7 +57,7 @@ pub fn run_capture(scale: f64, seed: u64) -> Capture {
 
     let mut c1_config = VantageConfig::paper(VantageKind::Campus1, scale);
     c1_config.days = 14; // Jun/Jul re-capture window
-    let campus1_v14 = simulate_vantage(&c1_config, ClientVersion::V1_4_0, seed ^ 0x14);
+    let campus1_v14 = simulate_vantage(&c1_config, ClientVersion::V1_4_0, seed ^ 0x14, faults);
 
     Capture {
         scale,
@@ -69,7 +73,7 @@ mod tests {
 
     #[test]
     fn capture_produces_all_vantages() {
-        let cap = run_capture(0.012, 3);
+        let cap = run_capture(0.012, 3, &FaultPlan::none());
         assert_eq!(cap.vantages.len(), 4);
         for (kind, out) in VantageKind::ALL.iter().zip(&cap.vantages) {
             assert_eq!(out.dataset.name, kind.name());

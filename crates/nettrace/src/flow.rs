@@ -23,6 +23,10 @@ pub struct DirStats {
     pub psh_segments: u64,
     /// Retransmitted data segments.
     pub retransmissions: u64,
+    /// Payload bytes carried by retransmitted segments. `bytes` counts
+    /// unique payload only, so goodput math uses `bytes` directly and
+    /// `bytes + rtx_bytes` gives the wire volume.
+    pub rtx_bytes: u64,
     /// Timestamp of the first payload-carrying segment.
     pub first_payload: Option<SimTime>,
     /// Timestamp of the last payload-carrying segment.
@@ -36,6 +40,7 @@ impl ToJson for DirStats {
             ("bytes", self.bytes.to_json()),
             ("psh_segments", self.psh_segments.to_json()),
             ("retransmissions", self.retransmissions.to_json()),
+            ("rtx_bytes", self.rtx_bytes.to_json()),
             ("first_payload", self.first_payload.to_json()),
             ("last_payload", self.last_payload.to_json()),
         ])
@@ -49,6 +54,8 @@ impl FromJson for DirStats {
             bytes: v.field("bytes")?,
             psh_segments: v.field("psh_segments")?,
             retransmissions: v.field("retransmissions")?,
+            // Absent in logs written before fault support: default to zero.
+            rtx_bytes: v.field_or("rtx_bytes", 0)?,
             first_payload: v.field("first_payload")?,
             last_payload: v.field("last_payload")?,
         })
@@ -154,6 +161,11 @@ pub struct FlowRecord {
     pub notify: Option<NotifyMeta>,
     /// How the flow terminated.
     pub close: FlowClose,
+    /// Whether the flow looks cut mid-transfer: it ended in an RST while
+    /// the last payload segment lacked a PSH flag (application writes end
+    /// with PSH, so a missing one means the write never finished). Idle
+    /// NAT resets after complete writes are not flagged.
+    pub aborted: bool,
 }
 
 impl ToJson for FlowRecord {
@@ -172,6 +184,7 @@ impl ToJson for FlowRecord {
             ("server_fqdn", self.server_fqdn.to_json()),
             ("notify", self.notify.to_json()),
             ("close", self.close.to_json()),
+            ("aborted", self.aborted.to_json()),
         ])
     }
 }
@@ -192,6 +205,8 @@ impl FromJson for FlowRecord {
             server_fqdn: v.field("server_fqdn")?,
             notify: v.field("notify")?,
             close: v.field("close")?,
+            // Absent in logs written before fault support: default to false.
+            aborted: v.field_or("aborted", false)?,
         })
     }
 }
@@ -242,6 +257,7 @@ mod tests {
             server_fqdn: None,
             notify: None,
             close: FlowClose::Fin,
+            aborted: false,
         }
     }
 

@@ -86,6 +86,7 @@ mod tests {
             server_fqdn: None,
             notify: None,
             close: FlowClose::Fin,
+            aborted: false,
         }
     }
 
@@ -123,6 +124,26 @@ mod tests {
         let err = read_jsonl(io::Cursor::new(input)).unwrap_err();
         assert!(err.to_string().contains("line 3"), "{err}");
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn reader_accepts_pre_fault_schema_lines() {
+        // Logs written before the fault-injection fields existed carry
+        // neither per-direction `rtx_bytes` nor the flow-level `aborted`
+        // marker; they must parse with both defaulted to zero/false.
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &[record(Ipv4::new(87, 1, 2, 3))]).unwrap();
+        let line = String::from_utf8(buf).unwrap();
+        let old = line
+            .replace("\"rtx_bytes\":0,", "")
+            .replace(",\"aborted\":false", "");
+        assert!(!old.contains("rtx_bytes") && !old.contains("aborted"));
+        let parsed = read_jsonl(io::Cursor::new(old)).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].up.rtx_bytes, 0);
+        assert_eq!(parsed[0].down.rtx_bytes, 0);
+        assert!(!parsed[0].aborted);
+        assert_eq!(parsed[0].down.bytes, 4_200);
     }
 
     #[test]

@@ -210,7 +210,7 @@ impl FromJson for AppMarker {
 }
 
 /// One TCP segment crossing the monitored link.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Packet {
     /// Capture timestamp at the probe.
     pub ts: SimTime,

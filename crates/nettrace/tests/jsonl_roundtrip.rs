@@ -19,6 +19,7 @@ fn arb_dirstats(rng: &mut Rng) -> DirStats {
         bytes: rng.next_u64(),
         psh_segments: rng.next_u64(),
         retransmissions: rng.next_u64(),
+        rtx_bytes: rng.next_u64(),
         first_payload: if rng.next_u64() % 2 == 0 {
             None
         } else {
@@ -113,6 +114,7 @@ fn arb_record(rng: &mut Rng) -> FlowRecord {
             1 => FlowClose::Rst,
             _ => FlowClose::Timeout,
         },
+        aborted: rng.next_u64() % 2 == 0,
     }
 }
 
@@ -131,6 +133,7 @@ fn records_equal(a: &FlowRecord, b: &FlowRecord) -> bool {
         && a.server_fqdn == b.server_fqdn
         && a.notify == b.notify
         && a.close == b.close
+        && a.aborted == b.aborted
 }
 
 proptest! {

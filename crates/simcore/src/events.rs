@@ -4,6 +4,13 @@
 //! FIFO tiebreak: events scheduled for the same instant pop in scheduling
 //! order. This removes a whole class of nondeterminism bugs in which two
 //! simultaneous events race depending on heap internals.
+//!
+//! The tiebreak is load-bearing for fault injection: retries, reconnects
+//! and backoff expiries routinely collapse onto identical timestamps
+//! (an "event storm" after an outage window closes), and reproducible
+//! faulty runs require those events to drain in exactly the order they
+//! were scheduled — including events scheduled *between* pops at the same
+//! instant, which queue behind their same-time predecessors.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -151,6 +158,26 @@ mod tests {
         }
         let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fault_storm_interleaved_scheduling_stays_fifo() {
+        // Pops interleaved with same-instant scheduling (a retry storm at
+        // the end of an outage window): later arrivals queue behind every
+        // same-time event scheduled before them, even across pops.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(60);
+        q.schedule(t, 0);
+        q.schedule(t, 1);
+        assert_eq!(q.pop(), Some((t, 0)));
+        q.schedule(t, 2); // scheduled after 1, same instant
+        q.schedule(t, 3);
+        assert_eq!(q.pop(), Some((t, 1)));
+        assert_eq!(q.pop(), Some((t, 2)));
+        q.schedule(t, 4);
+        assert_eq!(q.pop(), Some((t, 3)));
+        assert_eq!(q.pop(), Some((t, 4)));
+        assert!(q.pop().is_none());
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! Deterministic fault injection: the seeded plan describing how a run's
+//! network and servers misbehave.
+//!
+//! Real vantage-point traces are full of imperfect transfers — last-mile
+//! loss, latency spikes, connections cut mid-flow by gateways, and storage
+//! front-ends that briefly refuse service. A [`FaultPlan`] captures those
+//! knobs as a *pure value* derived from a single seed via [`crate::dist`]
+//! samplers, so a faulty simulation stays a deterministic function of
+//! `(config, seed, plan)`: the same plan produces bit-identical faults on
+//! every run, and [`FaultPlan::none`] disables every code path that would
+//! consume randomness, leaving fault-free runs byte-for-byte unchanged.
+//!
+//! The plan is consumed at two levels:
+//!
+//! * per-flow link faults ([`FaultPlan::link_faults`]) — extra segment
+//!   loss and latency spikes that `tcpmodel` applies on top of the path's
+//!   base loss, plus mid-flow resets that truncate the transfer,
+//! * server availability windows ([`FaultPlan::server_available`]) — the
+//!   5xx/outage periods the sync client must back off from and retry.
+
+use crate::dist;
+use crate::rng::Rng;
+use crate::time::{SimDuration, SimTime};
+
+/// Faults affecting one TCP connection, derived from a [`FaultPlan`].
+///
+/// `None`-valued members leave the corresponding behaviour untouched; a
+/// fully default `FlowFaults` is equivalent to no fault profile at all.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FlowFaults {
+    /// Segment loss added to the path's base loss rate, both directions.
+    pub extra_loss: f64,
+    /// Latency spike added to the round-trip time for the whole flow
+    /// (modelling a congested or re-routed period).
+    pub latency_spike: Option<SimDuration>,
+    /// Cut the connection (client RST) once this many application payload
+    /// bytes, summed over both directions, have been put on the wire.
+    pub reset_after_bytes: Option<u64>,
+}
+
+impl FlowFaults {
+    /// Combine two optional fault profiles: losses add, the larger spike
+    /// wins, and the earlier reset point wins.
+    pub fn merged(a: Option<FlowFaults>, b: Option<FlowFaults>) -> Option<FlowFaults> {
+        match (a, b) {
+            (None, x) | (x, None) => x,
+            (Some(a), Some(b)) => Some(FlowFaults {
+                extra_loss: a.extra_loss + b.extra_loss,
+                latency_spike: match (a.latency_spike, b.latency_spike) {
+                    (None, s) | (s, None) => s,
+                    (Some(x), Some(y)) => Some(x.max(y)),
+                },
+                reset_after_bytes: match (a.reset_after_bytes, b.reset_after_bytes) {
+                    (None, r) | (r, None) => r,
+                    (Some(x), Some(y)) => Some(x.min(y)),
+                },
+            }),
+        }
+    }
+}
+
+/// A seeded description of everything that goes wrong during a run.
+///
+/// All knobs are probabilities or magnitudes; the *decisions* (which flow
+/// is degraded, when an outage starts) are drawn from forks of the plan
+/// seed or from the caller's deterministic RNG streams, never from OS
+/// entropy.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Probability that a flow rides a degraded link window.
+    pub link_degraded_p: f64,
+    /// Extra segment loss applied to degraded flows (both directions).
+    pub link_extra_loss: f64,
+    /// Probability that a flow experiences a latency spike.
+    pub latency_spike_p: f64,
+    /// Median latency-spike magnitude in milliseconds (log-normal,
+    /// σ = 0.5).
+    pub latency_spike_ms: f64,
+    /// Probability that a storage transfer is reset mid-flow.
+    pub reset_p: f64,
+    /// Probability that a device's notification connection churns through
+    /// aborted fragments during a session.
+    pub notify_churn_p: f64,
+    /// Server unavailability windows (storage/meta front-ends answer 5xx
+    /// or refuse connections), as `[start, end)` intervals in time order.
+    pub outages: Vec<(SimTime, SimTime)>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, no randomness consumed anywhere. With
+    /// this plan every consumer takes its pre-fault code path, keeping the
+    /// pipeline byte-for-byte identical to a build without fault support.
+    pub fn none() -> Self {
+        FaultPlan {
+            link_degraded_p: 0.0,
+            link_extra_loss: 0.0,
+            latency_spike_p: 0.0,
+            latency_spike_ms: 0.0,
+            reset_p: 0.0,
+            notify_churn_p: 0.0,
+            outages: Vec::new(),
+        }
+    }
+
+    /// A realistically lossy plan for a capture of `horizon_days` days:
+    /// ~30 % of flows see 3 % extra loss, ~15 % a latency spike (median
+    /// 80 ms), ~12 % of storage transfers are cut mid-flow, a quarter of
+    /// sessions churn their notification connection, and server outages
+    /// (median ≈ 3 min, roughly one every two days) are drawn from
+    /// [`dist`] samplers seeded by `seed`.
+    pub fn lossy(seed: u64, horizon_days: u32) -> Self {
+        let mut rng = Rng::new(seed).fork_named("faultplan");
+        let mut outages = Vec::new();
+        let horizon = f64::from(horizon_days);
+        let mut t_days = 0.0;
+        loop {
+            // Exponential gaps, mean 2 days between outage starts.
+            t_days += dist::exponential(&mut rng, 0.5);
+            if t_days >= horizon {
+                break;
+            }
+            let start = SimTime::from_micros((t_days * 86_400.0 * 1e6) as u64);
+            let secs = dist::lognormal_median(&mut rng, 180.0, 0.7).min(3_600.0);
+            outages.push((start, start + SimDuration::from_secs_f64(secs)));
+        }
+        FaultPlan {
+            link_degraded_p: 0.30,
+            link_extra_loss: 0.03,
+            latency_spike_p: 0.15,
+            latency_spike_ms: 80.0,
+            reset_p: 0.12,
+            notify_churn_p: 0.25,
+            outages,
+        }
+    }
+
+    /// Whether the plan injects anything at all. Consumers gate every
+    /// fault branch (and every extra RNG draw) on this.
+    pub fn is_active(&self) -> bool {
+        self.link_degraded_p > 0.0
+            || self.link_extra_loss > 0.0
+            || self.latency_spike_p > 0.0
+            || self.reset_p > 0.0
+            || self.notify_churn_p > 0.0
+            || !self.outages.is_empty()
+    }
+
+    /// Whether the servers accept transactions at `at` (outside every
+    /// outage window).
+    pub fn server_available(&self, at: SimTime) -> bool {
+        !self.outages.iter().any(|&(lo, hi)| lo <= at && at < hi)
+    }
+
+    /// Draw the link-level faults of one flow from `rng` (a stream
+    /// dedicated to fault decisions). Returns `None` both when the plan is
+    /// inactive — in which case **no randomness is consumed** — and when
+    /// the dice leave this particular flow clean.
+    pub fn link_faults(&self, rng: &mut Rng) -> Option<FlowFaults> {
+        if !self.is_active() {
+            return None;
+        }
+        let extra_loss = if self.link_degraded_p > 0.0 && rng.chance(self.link_degraded_p) {
+            self.link_extra_loss
+        } else {
+            0.0
+        };
+        let latency_spike = if self.latency_spike_p > 0.0 && rng.chance(self.latency_spike_p) {
+            let ms = dist::lognormal_median(rng, self.latency_spike_ms.max(1.0), 0.5);
+            Some(SimDuration::from_secs_f64(ms / 1_000.0))
+        } else {
+            None
+        };
+        if extra_loss == 0.0 && latency_spike.is_none() {
+            None
+        } else {
+            Some(FlowFaults {
+                extra_loss,
+                latency_spike,
+                reset_after_bytes: None,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inactive_and_consumes_no_randomness() {
+        let plan = FaultPlan::none();
+        assert!(!plan.is_active());
+        assert!(plan.server_available(SimTime::from_secs(1)));
+        let mut rng = Rng::new(7);
+        let before = rng.clone().next_u64();
+        assert_eq!(plan.link_faults(&mut rng), None);
+        assert_eq!(rng.next_u64(), before, "inactive plan must not draw");
+    }
+
+    #[test]
+    fn lossy_is_deterministic_per_seed() {
+        let a = FaultPlan::lossy(42, 42);
+        let b = FaultPlan::lossy(42, 42);
+        assert_eq!(a, b);
+        let c = FaultPlan::lossy(43, 42);
+        assert_ne!(a.outages, c.outages);
+        assert!(a.is_active());
+    }
+
+    #[test]
+    fn outages_cover_server_availability() {
+        let plan = FaultPlan::lossy(1, 42);
+        assert!(!plan.outages.is_empty());
+        let (lo, hi) = plan.outages[0];
+        assert!(lo < hi);
+        let mid = lo + SimDuration::from_micros(hi.saturating_since(lo).micros() / 2);
+        assert!(!plan.server_available(mid));
+        assert!(plan.server_available(hi));
+    }
+
+    #[test]
+    fn outage_windows_are_bounded_by_horizon() {
+        let plan = FaultPlan::lossy(5, 10);
+        for &(lo, _) in &plan.outages {
+            assert!(lo.micros() < 10 * 86_400 * 1_000_000);
+        }
+    }
+
+    #[test]
+    fn link_faults_sometimes_fire_for_lossy_plan() {
+        let plan = FaultPlan::lossy(3, 42);
+        let mut rng = Rng::new(9);
+        let mut degraded = 0;
+        let mut spiked = 0;
+        for _ in 0..500 {
+            if let Some(f) = plan.link_faults(&mut rng) {
+                if f.extra_loss > 0.0 {
+                    degraded += 1;
+                }
+                if f.latency_spike.is_some() {
+                    spiked += 1;
+                }
+                assert_eq!(f.reset_after_bytes, None);
+            }
+        }
+        assert!(degraded > 50, "degraded {degraded}");
+        assert!(spiked > 20, "spiked {spiked}");
+    }
+
+    #[test]
+    fn merged_combines_conservatively() {
+        let a = FlowFaults {
+            extra_loss: 0.01,
+            latency_spike: Some(SimDuration::from_millis(50)),
+            reset_after_bytes: Some(10_000),
+        };
+        let b = FlowFaults {
+            extra_loss: 0.02,
+            latency_spike: Some(SimDuration::from_millis(20)),
+            reset_after_bytes: Some(5_000),
+        };
+        let m = FlowFaults::merged(Some(a), Some(b)).unwrap();
+        assert!((m.extra_loss - 0.03).abs() < 1e-12);
+        assert_eq!(m.latency_spike, Some(SimDuration::from_millis(50)));
+        assert_eq!(m.reset_after_bytes, Some(5_000));
+        assert_eq!(FlowFaults::merged(None, Some(a)), Some(a));
+        assert_eq!(FlowFaults::merged(None, None), None);
+    }
+}

@@ -127,6 +127,25 @@ impl Json {
         }
     }
 
+    /// Typed member lookup that falls back to `default` when the key is
+    /// absent (backward-compatible schema evolution: readers accept old
+    /// records that predate a field). A *present* field must still parse —
+    /// `null` or a wrong type remains an error.
+    pub fn field_or<T: FromJson>(&self, key: &str, default: T) -> Result<T, JsonError> {
+        match self {
+            Json::Obj(_) => match self.get(key) {
+                Some(v) => {
+                    T::from_json(v).map_err(|e| JsonError::new(format!("field `{key}`: {e}")))
+                }
+                None => Ok(default),
+            },
+            other => Err(JsonError::new(format!(
+                "expected object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
     /// Short type name for error messages.
     pub fn kind(&self) -> &'static str {
         match self {
@@ -783,6 +802,22 @@ mod tests {
         assert!(err.to_string().contains("field `b`"), "{err}");
         let err = v.field::<u64>("missing").unwrap_err();
         assert!(err.to_string().contains("missing field"), "{err}");
+    }
+
+    #[test]
+    fn field_or_defaults_only_when_absent() {
+        let v = Json::parse(r#"{"a": 3}"#).unwrap();
+        assert_eq!(v.field_or::<u64>("a", 9).unwrap(), 3);
+        assert_eq!(v.field_or::<u64>("b", 9).unwrap(), 9);
+        assert_eq!(v.field_or::<bool>("c", false).unwrap(), false);
+        // A present-but-wrong field still errors — only absence defaults.
+        let err = Json::parse(r#"{"a": null}"#)
+            .unwrap()
+            .field_or::<u64>("a", 9)
+            .unwrap_err();
+        assert!(err.to_string().contains("field `a`"), "{err}");
+        let err = Json::Null.field_or::<u64>("a", 9).unwrap_err();
+        assert!(err.to_string().contains("expected object"), "{err}");
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //!   `u64` seed,
 //! * [`events`] — a monotonic event queue ([`events::EventQueue`]) with
 //!   stable FIFO ordering among simultaneous events,
+//! * [`faults`] — seeded fault plans ([`faults::FaultPlan`]): per-link loss,
+//!   latency spikes, mid-flow resets, and server outage windows, all drawn
+//!   deterministically so faulty runs stay reproducible,
 //! * [`dist`] — distribution samplers (exponential, log-normal, Pareto,
 //!   Zipf, categorical, …) built on [`rng::Rng`] rather than external crates,
 //! * [`stats`] — small statistics helpers (quantiles, CDFs, means) used by
@@ -30,6 +33,7 @@
 
 pub mod dist;
 pub mod events;
+pub mod faults;
 pub mod json;
 pub mod proptest;
 pub mod rng;

@@ -13,6 +13,7 @@
 use crate::dialogue::{CloseMode, Dialogue, Direction};
 use crate::params::{PathParams, TcpParams};
 use nettrace::{AppMarker, FlowKey, Packet, TcpFlags};
+use simcore::faults::FlowFaults;
 use simcore::{Rng, SimDuration, SimTime};
 
 /// Result of simulating one connection.
@@ -23,7 +24,9 @@ pub struct ConnSummary {
     /// Probe timestamp of the last packet of the connection.
     pub last_packet: SimTime,
     /// Delivery time (arrival of the last byte at the receiver) of each
-    /// message, in dialogue order.
+    /// message, in dialogue order. When a fault profile cuts the flow
+    /// mid-transfer ([`ConnSummary::aborted`]) only the messages that
+    /// completed before the reset have entries.
     pub deliveries: Vec<SimTime>,
     /// Application payload bytes sent by the client (including TLS framing).
     pub bytes_up: u64,
@@ -33,6 +36,13 @@ pub struct ConnSummary {
     pub rtx_up: u64,
     /// Retransmitted segments, server direction.
     pub rtx_down: u64,
+    /// Retransmitted payload bytes, client direction.
+    pub rtx_bytes_up: u64,
+    /// Retransmitted payload bytes, server direction.
+    pub rtx_bytes_down: u64,
+    /// Whether a fault profile cut the connection before the dialogue
+    /// finished (the client emitted an RST instead of the normal close).
+    pub aborted: bool,
 }
 
 /// Per-direction sender state.
@@ -44,6 +54,7 @@ struct Sender {
     last_activity: SimTime,
     bytes_sent: u64,
     rtx_segments: u64,
+    rtx_bytes: u64,
 }
 
 impl Sender {
@@ -56,6 +67,7 @@ impl Sender {
             last_activity: now,
             bytes_sent: 0,
             rtx_segments: 0,
+            rtx_bytes: 0,
         }
     }
 
@@ -142,6 +154,35 @@ pub fn simulate(
     rng: &mut Rng,
     out: &mut Vec<Packet>,
 ) -> ConnSummary {
+    simulate_faulty(start, key, dialogue, path, tcp, None, rng, out)
+}
+
+/// [`simulate`] with an optional fault profile layered on top of the
+/// path: extra segment loss raises retransmissions and shrinks the
+/// congestion window, a latency spike stretches every round trip, and
+/// `reset_after_bytes` cuts the connection (client RST) once that much
+/// payload — both directions combined — has been put on the wire.
+///
+/// `faults: None` (and an all-default profile) takes exactly the code
+/// paths of the plain simulator: same packets, same RNG draws,
+/// byte-for-byte identical output.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_faulty(
+    start: SimTime,
+    key: FlowKey,
+    dialogue: &Dialogue,
+    path: &PathParams,
+    tcp: &TcpParams,
+    faults: Option<&FlowFaults>,
+    rng: &mut Rng,
+    out: &mut Vec<Packet>,
+) -> ConnSummary {
+    let spike = faults
+        .and_then(|f| f.latency_spike)
+        .unwrap_or(SimDuration::ZERO);
+    let extra_loss = faults.map(|f| f.extra_loss).unwrap_or(0.0);
+    let reset_after = faults.and_then(|f| f.reset_after_bytes);
+
     let first_new = out.len();
     let mut wire = Wire {
         key,
@@ -149,7 +190,7 @@ pub fn simulate(
         out,
         last_ts: start,
     };
-    let total_rtt = path.total_rtt();
+    let total_rtt = path.total_rtt() + spike;
 
     // --- Three-way handshake -------------------------------------------
     // SYN / SYN-ACK / ACK. Handshake loss is not modelled (negligible for
@@ -177,8 +218,12 @@ pub fn simulate(
     let mut deliveries = Vec::with_capacity(dialogue.messages.len());
     // Time at which the next message may be triggered.
     let mut ready = established;
+    // Payload bytes on the wire in both directions, for the reset trigger.
+    let mut total_payload_sent: u64 = 0;
+    let mut aborted = false;
+    let mut abort_at = established;
 
-    for msg in &dialogue.messages {
+    'msgs: for msg in &dialogue.messages {
         let trigger = ready + msg.delay;
         let mut clock = trigger;
         // The peer only sends ACKs during this message, so its sequence
@@ -241,9 +286,14 @@ pub fn simulate(
                 .map(|r| SimDuration::from_secs_f64(burst_bytes as f64 / r as f64))
                 .unwrap_or(SimDuration::ZERO);
 
-            let loss_p = match msg.dir {
+            let base_loss = match msg.dir {
                 Direction::Up => path.loss_up,
                 Direction::Down => path.loss_down,
+            };
+            let loss_p = if extra_loss > 0.0 {
+                (base_loss + extra_loss).min(0.9)
+            } else {
+                base_loss
             };
 
             let peer_ack_base = match msg.dir {
@@ -269,8 +319,10 @@ pub fn simulate(
                 }
                 wire.emit(msg.dir, send_t, seq, peer_ack_base, flags, len, marker);
                 sender.bytes_sent += len as u64;
+                total_payload_sent += len as u64;
                 if is_rtx {
                     sender.rtx_segments += 1;
+                    sender.rtx_bytes += len as u64;
                 }
                 let dropped = loss_p > 0.0 && rng.chance(loss_p);
                 if dropped && !is_rtx {
@@ -346,6 +398,17 @@ pub fn simulate(
                 };
                 clock = clock + serialize + recovery;
             }
+
+            // Mid-flow reset: once enough payload is on the wire the
+            // connection dies at the end of this round; the rest of the
+            // dialogue (including its close) never happens.
+            if let Some(threshold) = reset_after {
+                if total_payload_sent >= threshold {
+                    aborted = true;
+                    abort_at = clock;
+                    break 'msgs;
+                }
+            }
         }
         sender.last_activity = clock;
         // Delivery: when the last byte reached the receiver.
@@ -354,6 +417,33 @@ pub fn simulate(
     }
 
     // --- Close ----------------------------------------------------------
+    if aborted {
+        // The fault profile cut the flow: the client tears down with a
+        // bare RST and nothing else is exchanged.
+        wire.emit(
+            Direction::Up,
+            abort_at,
+            up.next_seq,
+            recvd_down,
+            TcpFlags::RST,
+            0,
+            None,
+        );
+        let last_packet = wire.last_ts;
+        out[first_new..].sort_by_key(|p| p.ts);
+        return ConnSummary {
+            established,
+            last_packet,
+            deliveries,
+            bytes_up: up.bytes_sent,
+            bytes_down: down.bytes_sent,
+            rtx_up: up.rtx_segments,
+            rtx_down: down.rtx_segments,
+            rtx_bytes_up: up.rtx_bytes,
+            rtx_bytes_down: down.rtx_bytes,
+            aborted: true,
+        };
+    }
     match dialogue.close {
         CloseMode::ServerIdleTimeout { idle, alert_size } => {
             let t = ready + idle;
@@ -436,6 +526,9 @@ pub fn simulate(
         bytes_down: down.bytes_sent,
         rtx_up: up.rtx_segments,
         rtx_down: down.rtx_segments,
+        rtx_bytes_up: up.rtx_bytes,
+        rtx_bytes_down: down.rtx_bytes,
+        aborted: false,
     }
 }
 
@@ -679,6 +772,155 @@ mod tests {
             (t1 - t2).abs() / t1 < 0.35,
             "t1 = {t1}, t2 = {t2}: second transfer should restart slow start"
         );
+    }
+
+    fn run_faulty(
+        dialogue: Dialogue,
+        path: PathParams,
+        faults: Option<&FlowFaults>,
+    ) -> (Vec<Packet>, ConnSummary) {
+        let mut out = Vec::new();
+        let mut rng = Rng::new(1);
+        let s = simulate_faulty(
+            SimTime::from_secs(10),
+            key(),
+            &dialogue,
+            &path,
+            &TcpParams::era_2012_v1(),
+            faults,
+            &mut rng,
+            &mut out,
+        );
+        (out, s)
+    }
+
+    #[test]
+    fn faults_none_is_byte_identical_to_plain_simulate() {
+        let dialogue = || {
+            Dialogue::new(vec![
+                Message::simple(Direction::Up, SimDuration::ZERO, 300_000),
+                Message::simple(Direction::Down, SimDuration::from_millis(8), 40_000),
+            ])
+        };
+        let mut path = path_100ms();
+        path.loss_up = 0.02;
+        path.jitter = 0.1;
+        let (plain, sp) = run(dialogue(), path.clone());
+        let (faulty, sf) = run_faulty(dialogue(), path, None);
+        assert_eq!(plain, faulty);
+        assert_eq!(sp.deliveries, sf.deliveries);
+        assert_eq!(sp.bytes_up, sf.bytes_up);
+        assert_eq!(sp.rtx_up, sf.rtx_up);
+        assert!(!sf.aborted);
+
+        // An all-default profile is equally inert.
+        let (defaulted, _) = run_faulty(dialogue_for_default(), path_100ms(), None);
+        let (defaulted2, _) = run_faulty(
+            dialogue_for_default(),
+            path_100ms(),
+            Some(&FlowFaults::default()),
+        );
+        assert_eq!(defaulted, defaulted2);
+    }
+
+    fn dialogue_for_default() -> Dialogue {
+        Dialogue::new(vec![Message::simple(
+            Direction::Up,
+            SimDuration::ZERO,
+            9_999,
+        )])
+        .with_close(CloseMode::LeftOpen)
+    }
+
+    #[test]
+    fn extra_loss_raises_retransmissions_and_counts_bytes() {
+        let d = || {
+            Dialogue::new(vec![Message::simple(
+                Direction::Up,
+                SimDuration::ZERO,
+                500_000,
+            )])
+            .with_close(CloseMode::LeftOpen)
+        };
+        let (_, clean) = run_faulty(d(), path_100ms(), None);
+        let faults = FlowFaults {
+            extra_loss: 0.05,
+            ..FlowFaults::default()
+        };
+        let (_, lossy) = run_faulty(d(), path_100ms(), Some(&faults));
+        assert_eq!(clean.rtx_up, 0);
+        assert!(lossy.rtx_up > 0, "extra loss must force retransmissions");
+        assert_eq!(lossy.rtx_bytes_up, lossy.rtx_up * 1430);
+        assert_eq!(lossy.bytes_up, 500_000 + lossy.rtx_bytes_up);
+        // Goodput suffers: the lossy transfer takes longer.
+        assert!(lossy.deliveries[0] > clean.deliveries[0]);
+    }
+
+    #[test]
+    fn latency_spike_stretches_round_trips() {
+        let d = || {
+            Dialogue::new(vec![Message::simple(Direction::Up, SimDuration::ZERO, 100)])
+                .with_close(CloseMode::LeftOpen)
+        };
+        let faults = FlowFaults {
+            latency_spike: Some(SimDuration::from_millis(100)),
+            ..FlowFaults::default()
+        };
+        let (pkts, _) = run_faulty(d(), path_100ms(), Some(&faults));
+        let syn = pkts
+            .iter()
+            .find(|p| p.flags.syn() && !p.flags.ack())
+            .unwrap();
+        let synack = pkts
+            .iter()
+            .find(|p| p.flags.syn() && p.flags.ack())
+            .unwrap();
+        // Base probe-to-server gap is outer_rtt (90 ms); the spike adds
+        // half of itself on each one-way leg past the probe.
+        assert_eq!((synack.ts - syn.ts).millis(), 90 + 50);
+    }
+
+    #[test]
+    fn reset_truncates_flow_with_client_rst() {
+        let d = Dialogue::new(vec![Message::simple(
+            Direction::Up,
+            SimDuration::ZERO,
+            500_000,
+        )]);
+        let faults = FlowFaults {
+            reset_after_bytes: Some(50_000),
+            ..FlowFaults::default()
+        };
+        let (pkts, s) = run_faulty(d, path_100ms(), Some(&faults));
+        assert!(s.aborted);
+        assert!(s.deliveries.is_empty(), "truncated message never delivers");
+        assert!(s.bytes_up >= 50_000, "reset fires only past the threshold");
+        assert!(s.bytes_up < 300_000, "most of the transfer must be cut");
+        let last = pkts.last().unwrap();
+        assert!(last.flags.rst() && last.src == key().client);
+        // No FIN, no server idle-timeout alert: the dialogue close never runs.
+        assert!(!pkts.iter().any(|p| p.flags.fin()));
+    }
+
+    #[test]
+    fn reset_between_messages_keeps_completed_deliveries() {
+        let d = Dialogue::new(vec![
+            Message::simple(Direction::Up, SimDuration::ZERO, 10_000),
+            Message::simple(Direction::Down, SimDuration::from_millis(5), 400_000),
+        ])
+        .with_close(CloseMode::ClientFin {
+            delay: SimDuration::from_millis(10),
+        });
+        let faults = FlowFaults {
+            reset_after_bytes: Some(60_000),
+            ..FlowFaults::default()
+        };
+        let (pkts, s) = run_faulty(d, path_100ms(), Some(&faults));
+        assert!(s.aborted);
+        assert_eq!(s.deliveries.len(), 1, "first message completed");
+        assert_eq!(s.bytes_up, 10_000);
+        assert!(s.bytes_down < 400_000);
+        assert!(pkts.iter().any(|p| p.flags.rst()));
     }
 
     #[test]

@@ -55,6 +55,10 @@ struct FlowState {
     fin_up: bool,
     fin_down: bool,
     rst: bool,
+    // PSH state of the most recent payload segment in either direction.
+    // Application writes always end with PSH, so an RST arriving while
+    // this is false means a write was cut mid-transfer.
+    last_data_psh: bool,
 }
 
 impl FlowState {
@@ -80,6 +84,7 @@ impl FlowState {
             fin_up: false,
             fin_down: false,
             rst: false,
+            last_data_psh: true,
         }
     }
 
@@ -91,6 +96,10 @@ impl FlowState {
         } else {
             FlowClose::Timeout
         };
+        // Cut mid-transfer: reset while the last data segment lacked PSH.
+        // Idle NAT resets after complete (PSH-terminated) writes, and
+        // resets on data-free flows, are not aborts.
+        let aborted = self.rst && (self.seen_up_data || self.seen_down_data) && !self.last_data_psh;
         FlowRecord {
             key: self.key,
             first_syn: self.first_syn,
@@ -105,6 +114,7 @@ impl FlowState {
             server_fqdn,
             notify: self.notify,
             close,
+            aborted,
         }
     }
 }
@@ -239,6 +249,7 @@ impl Monitor {
             let seq_end = pkt.seq.wrapping_add(pkt.payload_len);
             if *seen_data && seq_le(seq_end, *max_seq_end) {
                 dir.retransmissions += 1;
+                dir.rtx_bytes += pkt.payload_len as u64;
             } else {
                 dir.bytes += pkt.payload_len as u64;
                 *max_seq_end = seq_end;
@@ -251,6 +262,9 @@ impl Monitor {
                 dir.first_payload = Some(pkt.ts);
             }
             dir.last_payload = Some(pkt.ts);
+        }
+        if pkt.payload_len > 0 {
+            state.last_data_psh = pkt.flags.psh();
         }
 
         // --- DPI-visible content ----------------------------------------
@@ -523,6 +537,48 @@ mod tests {
         assert!(sum.rtx_up > 0);
         assert_eq!(rec.up.retransmissions, sum.rtx_up);
         assert_eq!(rec.up.bytes, 400_000, "unique bytes only");
+        assert_eq!(rec.up.rtx_bytes, sum.rtx_bytes_up);
+        assert!(!rec.aborted);
+    }
+
+    #[test]
+    fn mid_flow_reset_flagged_as_aborted() {
+        let d = Dialogue::new(vec![Message::simple(
+            Direction::Up,
+            SimDuration::ZERO,
+            400_000,
+        )]);
+        let faults = simcore::faults::FlowFaults {
+            reset_after_bytes: Some(60_000),
+            ..Default::default()
+        };
+        let mut out = Vec::new();
+        let mut rng = Rng::new(12);
+        let sum = tcpmodel::simulate_faulty(
+            SimTime::from_secs(5),
+            key(),
+            &d,
+            &path(90),
+            &TcpParams::era_2012_v1(),
+            Some(&faults),
+            &mut rng,
+            &mut out,
+        );
+        assert!(sum.aborted);
+        let mut mon = Monitor::new(true);
+        let rec = mon.process_flow(&out).unwrap();
+        assert_eq!(rec.close, FlowClose::Rst);
+        assert!(rec.aborted, "truncated write must be wire-detectable");
+        assert!(rec.up.bytes < 400_000);
+    }
+
+    #[test]
+    fn idle_timeout_rst_is_not_flagged_as_aborted() {
+        // The normal server-idle-timeout close ends with a client RST, but
+        // every application write completed (PSH-terminated): not an abort.
+        let rec = play(store_like_dialogue(2, 1_000), path(90), 13);
+        assert_eq!(rec.close, FlowClose::Rst);
+        assert!(!rec.aborted);
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::population::{Behavior, Population};
 use crate::providers::background_flows;
 use crate::vantage::{Access, VantageConfig};
 use dnssim::DnsDirectory;
-use dropbox::client::{ChunkWork, ClientVersion, SyncConfig, SyncEngine};
+use dropbox::client::{ChunkWork, ClientVersion, RetryPolicy, SyncConfig, SyncEngine};
 use dropbox::content::{sample_file_size, ChunkId, Content};
 use dropbox::lan_sync::{Announcement, LanSync};
 use dropbox::metadata::{FileId, HostInt, MetadataServer, NamespaceId, UserId};
@@ -34,10 +34,25 @@ use dropbox::web::{api_session_flows, direct_link_flow, web_session_flows};
 use dropbox::{FlowSpec, FlowTruth};
 use dropbox_analysis::Dataset;
 use nettrace::{Endpoint, FlowKey, FlowRecord, Ipv4};
+use simcore::faults::{FaultPlan, FlowFaults};
 use simcore::{dist, Rng, SimDuration, SimTime};
 use std::collections::HashMap;
-use tcpmodel::{simulate, TcpParams};
+use tcpmodel::{simulate_faulty, TcpParams};
 use tstat::Monitor;
+
+/// Ground-truth fault/recovery counters accumulated over a simulated
+/// capture. All zero when the run's [`FaultPlan`] is inactive.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Retry attempts by sync clients (outage waits plus transfer
+    /// re-offers after a mid-flow reset).
+    pub sync_retries: u64,
+    /// Storage flows cut mid-transfer by an injected reset.
+    pub aborted_flows: u64,
+    /// Notification connection fragments that ended in an injected abort
+    /// (reconnect churn on flaky links).
+    pub notify_aborts: u64,
+}
 
 /// Result of one vantage-point simulation.
 pub struct SimOutput {
@@ -51,6 +66,8 @@ pub struct SimOutput {
     /// Ground-truth user accounts: groups of device ids (`host_int`s)
     /// belonging to one user, for scoring the Sec. 2.3.1 inference.
     pub truth_users: Vec<Vec<u64>>,
+    /// Fault-injection ground truth (retries, aborts, notification churn).
+    pub fault_stats: FaultStats,
 }
 
 /// A commit of chunks into a namespace, in global time order.
@@ -99,9 +116,22 @@ impl Dev {
 
 /// Simulate one vantage point. `version` selects the client generation
 /// (v1.2.52 for the Mar–May capture, v1.4.0 for the Jun/Jul re-capture of
-/// Table 4).
-pub fn simulate_vantage(config: &VantageConfig, version: ClientVersion, seed: u64) -> SimOutput {
+/// Table 4). `faults` injects network and server failures: with
+/// [`FaultPlan::none`] no fault branch runs and no extra randomness is
+/// drawn, so the output is byte-identical to a fault-free build; with an
+/// active plan, flows pick up link degradations, storage transfers can be
+/// cut and resumed, and notification connections churn — all still a
+/// deterministic function of `(config, version, seed, plan)`.
+pub fn simulate_vantage(
+    config: &VantageConfig,
+    version: ClientVersion,
+    seed: u64,
+    faults: &FaultPlan,
+) -> SimOutput {
     let root_rng = Rng::new(seed).fork_named(config.kind.name());
+    let plan_active = faults.is_active();
+    let policy = RetryPolicy::default();
+    let mut fault_stats = FaultStats::default();
     let dns = DnsDirectory::new();
     let store = ChunkStore::new();
     let mut md = MetadataServer::new();
@@ -418,6 +448,9 @@ pub fn simulate_vantage(config: &VantageConfig, version: ClientVersion, seed: u6
     let mut scratch: Vec<nettrace::Packet> = Vec::new();
     let render_rng = root_rng.fork_named("render");
     let mut port_counter: u32 = 0;
+    // Dedicated stream for per-flow link-fault decisions, so fault draws
+    // never perturb the schedule/content/render streams above.
+    let mut link_fault_rng = root_rng.fork_named("faults");
 
     let mut play = |spec: &FlowSpec,
                     at: SimTime,
@@ -452,13 +485,24 @@ pub fn simulate_vantage(config: &VantageConfig, version: ClientVersion, seed: u6
                 ClientVersion::V1_4_0 => TcpParams::era_2012_v14(),
             },
         };
+        // Merge the flow's intrinsic faults (e.g. a recovering upload's
+        // scripted reset) with link-level faults drawn from the plan. With
+        // an inactive plan nothing is drawn and `merged` is the spec's own
+        // profile (normally `None`), keeping the fault-free output
+        // byte-identical.
+        let merged = if plan_active {
+            FlowFaults::merged(spec.faults, faults.link_faults(&mut link_fault_rng))
+        } else {
+            spec.faults
+        };
         scratch.clear();
-        simulate(
+        simulate_faulty(
             at,
             FlowKey::new(client, server),
             &spec.dialogue,
             &path,
             &tcp,
+            merged.as_ref(),
             rng,
             scratch,
         );
@@ -604,6 +648,68 @@ pub fn simulate_vantage(config: &VantageConfig, version: ClientVersion, seed: u6
                         &mut scratch,
                     );
                 }
+            } else if plan_active
+                && faults.notify_churn_p > 0.0
+                && dev_rng.chance(faults.notify_churn_p)
+            {
+                // A flaky link churns the notification connection: a few
+                // fragments die mid-poll (RST with a request outstanding)
+                // and the client reconnects after an exponential backoff
+                // before the connection finally stabilises.
+                let n_aborts = 1 + dev_rng.below(3) as u32;
+                let mut t = session.start;
+                let mut attempt = 0u32;
+                while attempt < n_aborts && t < session.end {
+                    let frag = SimDuration::from_secs(dev_rng.range_u64(90, 900))
+                        .min(session.end.saturating_since(t));
+                    let spec = notification_flow(
+                        &dns,
+                        dev.host_int,
+                        md.namespaces_of(dev.host_int),
+                        frag,
+                        0,
+                        SessionEnd::Aborted,
+                        &mut dev_rng,
+                    );
+                    play(
+                        &spec,
+                        t,
+                        hh.ip,
+                        hh.access,
+                        day,
+                        &mut monitor,
+                        &mut flows,
+                        &mut truths,
+                        &mut dev_rng,
+                        &mut scratch,
+                    );
+                    fault_stats.notify_aborts += 1;
+                    t += frag + policy.backoff(attempt, &mut dev_rng);
+                    attempt += 1;
+                }
+                if t < session.end {
+                    let spec = notification_flow(
+                        &dns,
+                        dev.host_int,
+                        md.namespaces_of(dev.host_int),
+                        session.end.saturating_since(t),
+                        changes,
+                        SessionEnd::ClientShutdown,
+                        &mut dev_rng,
+                    );
+                    play(
+                        &spec,
+                        t,
+                        hh.ip,
+                        hh.access,
+                        day,
+                        &mut monitor,
+                        &mut flows,
+                        &mut truths,
+                        &mut dev_rng,
+                        &mut scratch,
+                    );
+                }
             } else {
                 let spec = notification_flow(
                     &dns,
@@ -632,19 +738,47 @@ pub fn simulate_vantage(config: &VantageConfig, version: ClientVersion, seed: u6
             // changeset, staggered over the first minutes of the session.
             let mut t_login = session.start + SimDuration::from_secs(dev_rng.range_u64(10, 40));
             for batch in &pending {
-                for spec in engine.download_transaction(batch, day, &mut dev_rng, None, t_login) {
-                    play(
-                        &spec,
-                        t_login,
-                        hh.ip,
-                        hh.access,
+                if plan_active {
+                    let outcome = engine.download_transaction_faulty(
+                        batch,
                         day,
-                        &mut monitor,
-                        &mut flows,
-                        &mut truths,
+                        t_login,
+                        faults,
+                        &policy,
                         &mut dev_rng,
-                        &mut scratch,
                     );
+                    fault_stats.sync_retries += u64::from(outcome.retries);
+                    fault_stats.aborted_flows += u64::from(outcome.aborted_flows);
+                    for (off, spec) in &outcome.flows {
+                        play(
+                            spec,
+                            t_login + *off,
+                            hh.ip,
+                            hh.access,
+                            day,
+                            &mut monitor,
+                            &mut flows,
+                            &mut truths,
+                            &mut dev_rng,
+                            &mut scratch,
+                        );
+                    }
+                } else {
+                    for spec in engine.download_transaction(batch, day, &mut dev_rng, None, t_login)
+                    {
+                        play(
+                            &spec,
+                            t_login,
+                            hh.ip,
+                            hh.access,
+                            day,
+                            &mut monitor,
+                            &mut flows,
+                            &mut truths,
+                            &mut dev_rng,
+                            &mut scratch,
+                        );
+                    }
                 }
                 t_login += SimDuration::from_secs(dev_rng.range_u64(3, 25));
             }
@@ -671,19 +805,46 @@ pub fn simulate_vantage(config: &VantageConfig, version: ClientVersion, seed: u6
             // Uploads.
             if let Some(ups) = session_uploads.get(&si) {
                 for (t, chunks) in ups {
-                    for spec in engine.upload_transaction(chunks, day, &mut dev_rng, None, *t) {
-                        play(
-                            &spec,
-                            *t,
-                            hh.ip,
-                            hh.access,
+                    if plan_active {
+                        let outcome = engine.upload_transaction_faulty(
+                            chunks,
                             day,
-                            &mut monitor,
-                            &mut flows,
-                            &mut truths,
+                            *t,
+                            faults,
+                            &policy,
                             &mut dev_rng,
-                            &mut scratch,
                         );
+                        fault_stats.sync_retries += u64::from(outcome.retries);
+                        fault_stats.aborted_flows += u64::from(outcome.aborted_flows);
+                        for (off, spec) in &outcome.flows {
+                            play(
+                                spec,
+                                *t + *off,
+                                hh.ip,
+                                hh.access,
+                                day,
+                                &mut monitor,
+                                &mut flows,
+                                &mut truths,
+                                &mut dev_rng,
+                                &mut scratch,
+                            );
+                        }
+                    } else {
+                        for spec in engine.upload_transaction(chunks, day, &mut dev_rng, None, *t) {
+                            play(
+                                &spec,
+                                *t,
+                                hh.ip,
+                                hh.access,
+                                day,
+                                &mut monitor,
+                                &mut flows,
+                                &mut truths,
+                                &mut dev_rng,
+                                &mut scratch,
+                            );
+                        }
                     }
                 }
             }
@@ -691,19 +852,47 @@ pub fn simulate_vantage(config: &VantageConfig, version: ClientVersion, seed: u6
             // Downloads while on-line.
             if let Some(downs) = session_downloads.get(&si) {
                 for (t, chunks) in downs {
-                    for spec in engine.download_transaction(chunks, day, &mut dev_rng, None, *t) {
-                        play(
-                            &spec,
-                            *t,
-                            hh.ip,
-                            hh.access,
+                    if plan_active {
+                        let outcome = engine.download_transaction_faulty(
+                            chunks,
                             day,
-                            &mut monitor,
-                            &mut flows,
-                            &mut truths,
+                            *t,
+                            faults,
+                            &policy,
                             &mut dev_rng,
-                            &mut scratch,
                         );
+                        fault_stats.sync_retries += u64::from(outcome.retries);
+                        fault_stats.aborted_flows += u64::from(outcome.aborted_flows);
+                        for (off, spec) in &outcome.flows {
+                            play(
+                                spec,
+                                *t + *off,
+                                hh.ip,
+                                hh.access,
+                                day,
+                                &mut monitor,
+                                &mut flows,
+                                &mut truths,
+                                &mut dev_rng,
+                                &mut scratch,
+                            );
+                        }
+                    } else {
+                        for spec in engine.download_transaction(chunks, day, &mut dev_rng, None, *t)
+                        {
+                            play(
+                                &spec,
+                                *t,
+                                hh.ip,
+                                hh.access,
+                                day,
+                                &mut monitor,
+                                &mut flows,
+                                &mut truths,
+                                &mut dev_rng,
+                                &mut scratch,
+                            );
+                        }
                     }
                 }
             }
@@ -857,6 +1046,7 @@ pub fn simulate_vantage(config: &VantageConfig, version: ClientVersion, seed: u6
         truths,
         lan_synced,
         truth_users,
+        fault_stats,
     }
 }
 
@@ -869,7 +1059,7 @@ mod tests {
     fn small_sim(kind: VantageKind) -> SimOutput {
         let mut config = VantageConfig::paper(kind, 0.02);
         config.days = 7;
-        simulate_vantage(&config, ClientVersion::V1_2_52, 42)
+        simulate_vantage(&config, ClientVersion::V1_2_52, 42, &FaultPlan::none())
     }
 
     #[test]
@@ -899,6 +1089,37 @@ mod tests {
                 _ => assert!(t.is_none(), "background flow with truth"),
             }
         }
+    }
+
+    #[test]
+    fn none_plan_reports_zero_fault_stats() {
+        let out = small_sim(VantageKind::Home1);
+        assert_eq!(out.fault_stats, FaultStats::default());
+        assert!(out.dataset.flows.iter().all(|f| !f.aborted));
+    }
+
+    #[test]
+    fn lossy_plan_yields_retries_and_aborted_records() {
+        let mut config = VantageConfig::paper(VantageKind::Home1, 0.02);
+        config.days = 7;
+        let plan = FaultPlan::lossy(42, config.days);
+        let out = simulate_vantage(&config, ClientVersion::V1_2_52, 42, &plan);
+        let s = out.fault_stats;
+        assert!(s.sync_retries > 0, "no retries recorded: {s:?}");
+        assert!(s.aborted_flows > 0, "no aborted flows recorded: {s:?}");
+        assert!(s.notify_aborts > 0, "no notification churn recorded: {s:?}");
+        // The injected resets are visible at the probe as aborted records.
+        assert!(
+            out.dataset.flows.iter().any(|f| f.aborted),
+            "no monitored record flagged aborted"
+        );
+        // Recovery is lossless: retried transfers add wire bytes, but the
+        // analysis-facing unique byte counters stay panic-free and sane.
+        assert!(out
+            .dataset
+            .flows
+            .iter()
+            .any(|f| f.up.rtx_bytes > 0 || f.down.rtx_bytes > 0));
     }
 
     #[test]
@@ -948,7 +1169,7 @@ mod tests {
         // locally; the saving counter must be positive on home vantages.
         let mut config = VantageConfig::paper(VantageKind::Home1, 0.04);
         config.days = 10;
-        let out = simulate_vantage(&config, ClientVersion::V1_2_52, 11);
+        let out = simulate_vantage(&config, ClientVersion::V1_2_52, 11, &FaultPlan::none());
         assert!(out.lan_synced > 0, "no LAN-sync savings recorded");
     }
 
@@ -956,8 +1177,8 @@ mod tests {
     fn v14_coalescing_reduces_storage_flow_count() {
         let mut config = VantageConfig::paper(VantageKind::Campus1, 0.2);
         config.days = 10;
-        let v1 = simulate_vantage(&config, ClientVersion::V1_2_52, 5);
-        let v14 = simulate_vantage(&config, ClientVersion::V1_4_0, 5);
+        let v1 = simulate_vantage(&config, ClientVersion::V1_2_52, 5, &FaultPlan::none());
+        let v14 = simulate_vantage(&config, ClientVersion::V1_4_0, 5, &FaultPlan::none());
         let stores = |o: &SimOutput| {
             o.truths
                 .iter()
@@ -978,7 +1199,7 @@ mod tests {
     fn truth_users_cover_all_observed_devices() {
         let mut config = VantageConfig::paper(VantageKind::Home2, 0.03);
         config.days = 7;
-        let out = simulate_vantage(&config, ClientVersion::V1_2_52, 9);
+        let out = simulate_vantage(&config, ClientVersion::V1_2_52, 9, &FaultPlan::none());
         let truth_devices: std::collections::BTreeSet<u64> =
             out.truth_users.iter().flatten().copied().collect();
         for f in &out.dataset.flows {

@@ -26,5 +26,6 @@ pub mod population;
 pub mod providers;
 pub mod vantage;
 
-pub use driver::{simulate_vantage, SimOutput};
+pub use driver::{simulate_vantage, FaultStats, SimOutput};
+pub use simcore::faults::{FaultPlan, FlowFaults};
 pub use vantage::{VantageConfig, VantageKind};

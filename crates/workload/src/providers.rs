@@ -64,6 +64,7 @@ fn record(
         server_fqdn: expose_dns.then(|| server_name.to_owned()),
         notify: None,
         close: FlowClose::Fin,
+        aborted: false,
     }
 }
 

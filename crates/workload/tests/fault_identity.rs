@@ -1,0 +1,74 @@
+//! Zero-fault identity and faulty-run determinism.
+//!
+//! The fault-injection substrate must be invisible when disabled: a run
+//! with [`FaultPlan::none`] has to reproduce, byte for byte, the output
+//! the pipeline produced before fault support existed. The digests pinned
+//! below were captured from the pre-fault baseline; if they move, a fault
+//! branch leaked into the clean path (an extra RNG draw is enough).
+//!
+//! An *active* plan, in turn, must stay a pure function of its inputs:
+//! the same `(config, seed, plan)` triple serialises to identical JSONL
+//! on every run.
+
+use dropbox::client::ClientVersion;
+use nettrace::FlowRecord;
+use workload::{simulate_vantage, FaultPlan, SimOutput, VantageConfig, VantageKind};
+
+fn run(kind: VantageKind, plan: &FaultPlan) -> SimOutput {
+    let mut config = VantageConfig::paper(kind, 0.02);
+    config.days = 7;
+    simulate_vantage(&config, ClientVersion::V1_2_52, 42, plan)
+}
+
+/// FNV-1a over the shape-defining fields of every record, in order.
+fn digest(flows: &[FlowRecord]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for f in flows {
+        for v in [
+            f.first_syn.micros(),
+            f.last_packet.micros(),
+            f.up.bytes,
+            f.down.bytes,
+            f.up.packets,
+            f.down.packets,
+        ] {
+            h ^= v;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+#[test]
+fn none_plan_reproduces_the_pre_fault_baseline() {
+    let home = run(VantageKind::Home1, &FaultPlan::none());
+    assert_eq!(home.dataset.flows.len(), 13708);
+    let bytes: u64 = home.dataset.flows.iter().map(|f| f.total_bytes()).sum();
+    assert_eq!(bytes, 1_015_546_747_799);
+    assert_eq!(digest(&home.dataset.flows), 0x4f2c6610ee7954e4);
+
+    let campus = run(VantageKind::Campus1, &FaultPlan::none());
+    assert_eq!(campus.dataset.flows.len(), 1244);
+    let bytes: u64 = campus.dataset.flows.iter().map(|f| f.total_bytes()).sum();
+    assert_eq!(bytes, 25_970_743_545);
+    assert_eq!(digest(&campus.dataset.flows), 0xd99199dd657b4a9f);
+}
+
+#[test]
+fn lossy_plan_is_deterministic_down_to_the_serialised_bytes() {
+    let plan = FaultPlan::lossy(7, 7);
+    let jsonl = |out: &SimOutput| {
+        let mut buf = Vec::new();
+        nettrace::flowlog::write_jsonl(&mut buf, &out.dataset.flows).unwrap();
+        buf
+    };
+    let a = run(VantageKind::Campus1, &plan);
+    let b = run(VantageKind::Campus1, &plan);
+    assert_eq!(a.fault_stats, b.fault_stats);
+    assert_eq!(
+        jsonl(&a),
+        jsonl(&b),
+        "faulty runs must serialise identically"
+    );
+    assert!(a.fault_stats.sync_retries > 0 || a.fault_stats.aborted_flows > 0);
+}

@@ -29,7 +29,7 @@ fn load_or_generate() -> Vec<FlowRecord> {
         println!("no trace given — generating a small capture and round-tripping it");
         let mut config = VantageConfig::paper(VantageKind::Home1, 0.015);
         config.days = 7;
-        let out = simulate_vantage(&config, ClientVersion::V1_2_52, 77);
+        let out = simulate_vantage(&config, ClientVersion::V1_2_52, 77, &FaultPlan::none());
         let mut flows = out.dataset.flows;
         flowlog::anonymise_clients(&mut flows);
         let mut buf = Vec::new();

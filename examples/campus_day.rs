@@ -20,7 +20,7 @@ fn main() {
     // Five capture days (Mon–Fri live on days 2–6 of the calendar).
     let mut config = VantageConfig::paper(VantageKind::Campus2, 0.015);
     config.days = 7;
-    let out = simulate_vantage(&config, ClientVersion::V1_2_52, 1234);
+    let out = simulate_vantage(&config, ClientVersion::V1_2_52, 1234, &FaultPlan::none());
     let ds = &out.dataset;
     println!("{}: {} flow records", ds.name, ds.flows.len());
 

@@ -12,7 +12,7 @@ fn main() {
     // A 1%-scale Home 1 population, 7 capture days.
     let mut config = VantageConfig::paper(VantageKind::Home1, 0.01);
     config.days = 7;
-    let out = simulate_vantage(&config, ClientVersion::V1_2_52, 42);
+    let out = simulate_vantage(&config, ClientVersion::V1_2_52, 42, &FaultPlan::none());
 
     let ds = &out.dataset;
     println!("vantage point : {}", ds.name);

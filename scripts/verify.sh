@@ -6,5 +6,18 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+cargo fmt --check
 cargo build --release --offline
 cargo test -q --offline
+
+# Fault-injected smoke run: the whole reproduction pipeline must survive a
+# lossy plan (resets, retries, outages) end to end.
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+cargo run --release --offline -p experiments --bin repro -- \
+    table2 --scale 0.01 --faults 7 --out "$smoke_dir"
+test -s "$smoke_dir/table2.txt"
+
+# Fault-substrate benchmark (writes crates/bench/BENCH_faults.json).
+cargo bench --offline -p bench --bench faults
+test -s crates/bench/BENCH_faults.json

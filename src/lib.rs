@@ -15,7 +15,7 @@
 //! // Simulate one small vantage point and run the paper's classifier.
 //! let mut config = VantageConfig::paper(VantageKind::Home1, 0.01);
 //! config.days = 3;
-//! let out = simulate_vantage(&config, ClientVersion::V1_2_52, 7);
+//! let out = simulate_vantage(&config, ClientVersion::V1_2_52, 7, &FaultPlan::none());
 //! let dropbox_flows = out
 //!     .dataset
 //!     .flows
@@ -64,5 +64,7 @@ pub mod prelude {
     pub use simcore::{Rng, SimDuration, SimTime};
     pub use tcpmodel::{simulate as simulate_connection, Dialogue, PathParams, TcpParams};
     pub use tstat::Monitor;
-    pub use workload::{simulate_vantage, SimOutput, VantageConfig, VantageKind};
+    pub use workload::{
+        simulate_vantage, FaultPlan, FaultStats, FlowFaults, SimOutput, VantageConfig, VantageKind,
+    };
 }

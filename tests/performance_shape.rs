@@ -11,7 +11,7 @@ use inside_dropbox::prelude::*;
 fn capture(kind: VantageKind, version: ClientVersion, seed: u64) -> SimOutput {
     let mut config = VantageConfig::paper(kind, 0.03);
     config.days = 10;
-    simulate_vantage(&config, version, seed)
+    simulate_vantage(&config, version, seed, &FaultPlan::none())
 }
 
 #[test]

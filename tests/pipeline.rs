@@ -11,7 +11,7 @@ use inside_dropbox::prelude::*;
 fn small(kind: VantageKind, seed: u64) -> SimOutput {
     let mut config = VantageConfig::paper(kind, 0.02);
     config.days = 10;
-    simulate_vantage(&config, ClientVersion::V1_2_52, seed)
+    simulate_vantage(&config, ClientVersion::V1_2_52, seed, &FaultPlan::none())
 }
 
 #[test]
@@ -91,7 +91,7 @@ fn devices_and_sessions_recovered_from_notifications() {
 fn user_groups_are_populated_with_roughly_paper_shares() {
     let mut config = VantageConfig::paper(VantageKind::Home1, 0.05);
     config.days = 14;
-    let out = simulate_vantage(&config, ClientVersion::V1_2_52, 5);
+    let out = simulate_vantage(&config, ClientVersion::V1_2_52, 5, &FaultPlan::none());
     let households = aggregate_households(&out.dataset.flows);
     let t = table5(&households);
     let sum: f64 = t.values().map(|r| r.addr_frac).sum();

@@ -8,7 +8,7 @@ use inside_dropbox::trace::pcap::PcapWriter;
 fn capture() -> SimOutput {
     let mut config = VantageConfig::paper(VantageKind::Home2, 0.01);
     config.days = 5;
-    simulate_vantage(&config, ClientVersion::V1_2_52, 99)
+    simulate_vantage(&config, ClientVersion::V1_2_52, 99, &FaultPlan::none())
 }
 
 #[test]
