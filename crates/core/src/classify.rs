@@ -97,7 +97,7 @@ pub fn provider_of(flow: &FlowRecord) -> Provider {
 }
 
 /// Dropbox server-role groups as presented in Fig. 4.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub enum DropboxRole {
     /// `dl-clientX` — client storage.
     ClientStorage,

@@ -9,7 +9,7 @@
 
 use crate::classify::{dropbox_role, provider_of, DropboxRole, Provider};
 use nettrace::{FlowRecord, Ipv4};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One vantage point's capture.
 #[derive(Clone, Debug, Default)]
@@ -117,8 +117,8 @@ impl Dataset {
 
     /// Fig. 4: traffic share of each Dropbox server role.
     pub fn role_breakdown(&self) -> BTreeMap<&'static str, RoleShare> {
-        let mut bytes: HashMap<DropboxRole, u64> = HashMap::new();
-        let mut flows: HashMap<DropboxRole, u64> = HashMap::new();
+        let mut bytes: BTreeMap<DropboxRole, u64> = BTreeMap::new();
+        let mut flows: BTreeMap<DropboxRole, u64> = BTreeMap::new();
         let mut total_bytes = 0u64;
         let mut total_flows = 0u64;
         for f in self.dropbox_flows() {

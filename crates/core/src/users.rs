@@ -10,17 +10,17 @@
 
 use crate::classify::{dropbox_role, DropboxRole};
 use nettrace::{FlowRecord, Ipv4};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Union-find over device ids.
 struct Dsu {
-    parent: HashMap<u64, u64>,
+    parent: BTreeMap<u64, u64>,
 }
 
 impl Dsu {
     fn new() -> Self {
         Dsu {
-            parent: HashMap::new(),
+            parent: BTreeMap::new(),
         }
     }
 

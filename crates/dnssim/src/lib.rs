@@ -27,7 +27,7 @@ pub mod resolver;
 
 use nettrace::Ipv4;
 use simcore::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Functional role of a Dropbox server, mirroring Table 1.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -92,8 +92,8 @@ pub const DEVICE_ALIAS_LIST: usize = 16;
 /// The authoritative name ↔ address directory of the simulated deployment.
 #[derive(Clone, Debug)]
 pub struct DnsDirectory {
-    forward: HashMap<String, Ipv4>,
-    reverse: HashMap<Ipv4, String>,
+    forward: BTreeMap<String, Ipv4>,
+    reverse: BTreeMap<Ipv4, String>,
 }
 
 /// Dropbox-controlled address block (control plane).
@@ -110,7 +110,7 @@ fn amazon_ip(idx: u32) -> Ipv4 {
 impl DnsDirectory {
     /// Build the full deployment directory.
     pub fn new() -> Self {
-        let mut forward = HashMap::new();
+        let mut forward = BTreeMap::new();
         let mut add = |name: String, ip: Ipv4| {
             forward.insert(name, ip);
         };

@@ -12,7 +12,7 @@
 use crate::{DnsDirectory, META_POOL};
 use nettrace::Ipv4;
 use simcore::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// TTL of Dropbox A records (the deployment used short TTLs to keep
 /// rotation effective).
@@ -21,7 +21,7 @@ pub const RECORD_TTL: SimDuration = SimDuration::from_secs(300);
 /// Authoritative-side rotation state: which pool member answers next.
 #[derive(Clone, Debug, Default)]
 pub struct RotatingAuthority {
-    counters: HashMap<String, usize>,
+    counters: BTreeMap<String, usize>,
 }
 
 impl RotatingAuthority {
@@ -47,7 +47,7 @@ impl RotatingAuthority {
 /// A client's stub resolver with TTL caching.
 #[derive(Clone, Debug, Default)]
 pub struct StubResolver {
-    cache: HashMap<String, (Ipv4, SimTime)>,
+    cache: BTreeMap<String, (Ipv4, SimTime)>,
 }
 
 impl StubResolver {

@@ -18,7 +18,7 @@
 use crate::content::ChunkId;
 use crate::metadata::{HostInt, NamespaceId};
 use simcore::{SimDuration, SimTime};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Discovery announcements are broadcast at this period (the real client
 /// uses 30 s).
@@ -40,10 +40,10 @@ pub struct Announcement {
 /// State of one device's LAN-sync engine within a household subnet.
 #[derive(Clone, Debug, Default)]
 struct PeerState {
-    namespaces: HashSet<NamespaceId>,
+    namespaces: BTreeSet<NamespaceId>,
     last_seen: Option<SimTime>,
     /// Chunks this peer is known to hold (it announced/synced them).
-    chunks: HashSet<ChunkId>,
+    chunks: BTreeSet<ChunkId>,
 }
 
 /// The LAN-sync coordinator of one household subnet.
@@ -52,7 +52,7 @@ struct PeerState {
 /// and decides whether a retrieval can be served locally.
 #[derive(Clone, Debug, Default)]
 pub struct LanSync {
-    peers: HashMap<HostInt, PeerState>,
+    peers: BTreeMap<HostInt, PeerState>,
     /// Chunks served locally (the saving the paper cannot observe).
     served_chunks: u64,
     /// Bytes served locally.

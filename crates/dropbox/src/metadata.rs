@@ -9,7 +9,7 @@
 //! mechanism of Sec. 2.2).
 
 use crate::content::{ChunkId, Content};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Unique device identifier.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -46,7 +46,7 @@ pub struct FileEntry {
 /// A namespace: the unit of sharing and of journal ordering.
 #[derive(Clone, Debug, Default)]
 pub struct Namespace {
-    files: HashMap<FileId, FileEntry>,
+    files: BTreeMap<FileId, FileEntry>,
     journal_seq: u64,
 }
 
@@ -106,11 +106,11 @@ impl Namespace {
 /// The whole meta-data plane.
 #[derive(Clone, Debug, Default)]
 pub struct MetadataServer {
-    namespaces: HashMap<NamespaceId, Namespace>,
+    namespaces: BTreeMap<NamespaceId, Namespace>,
     /// Device registry: which namespaces each device is linked to.
-    devices: HashMap<HostInt, Vec<NamespaceId>>,
+    devices: BTreeMap<HostInt, Vec<NamespaceId>>,
     /// Account registry: which devices belong to each user.
-    users: HashMap<UserId, Vec<HostInt>>,
+    users: BTreeMap<UserId, Vec<HostInt>>,
     next_ns: u64,
 }
 

@@ -9,7 +9,7 @@
 //! simulations can run in parallel threads against one deployment.
 
 use crate::content::ChunkId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::RwLock;
 
 /// Statistics of the store.
@@ -33,7 +33,7 @@ pub struct ChunkStore {
 
 #[derive(Debug, Default)]
 struct Inner {
-    chunks: HashMap<ChunkId, u64>, // id -> raw size
+    chunks: BTreeMap<ChunkId, u64>, // id -> raw size
     stats: StoreStats,
 }
 
@@ -47,6 +47,7 @@ impl ChunkStore {
     /// Dedup hits are accounted immediately, as the server's answer is the
     /// moment the upload is avoided.
     pub fn need_blocks(&self, ids: &[(ChunkId, u64)]) -> Vec<ChunkId> {
+        // simlint: allow(panic-path) — lock poisoning means another thread already panicked; propagating would mask the original failure
         let mut inner = self.inner.write().expect("chunk store lock poisoned");
         let mut need = Vec::new();
         for &(id, size) in ids {
@@ -63,6 +64,7 @@ impl ChunkStore {
     /// Store a chunk (after a `store`/`store_batch` command). Returns true
     /// when the chunk was new.
     pub fn put(&self, id: ChunkId, size: u64) -> bool {
+        // simlint: allow(panic-path) — lock poisoning means another thread already panicked; propagating would mask the original failure
         let mut inner = self.inner.write().expect("chunk store lock poisoned");
         if inner.chunks.insert(id, size).is_none() {
             inner.stats.chunks += 1;
@@ -89,6 +91,7 @@ impl ChunkStore {
     }
 
     fn read(&self) -> std::sync::RwLockReadGuard<'_, Inner> {
+        // simlint: allow(panic-path) — lock poisoning means another thread already panicked; propagating would mask the original failure
         self.inner.read().expect("chunk store lock poisoned")
     }
 }

@@ -42,8 +42,8 @@ pub fn read_jsonl<R: BufRead>(source: R) -> io::Result<Vec<FlowRecord>> {
 /// exported anonymised addresses for the same reason).
 pub fn anonymise_clients(flows: &mut [FlowRecord]) {
     use crate::endpoint::Ipv4;
-    use std::collections::HashMap;
-    let mut map: HashMap<Ipv4, Ipv4> = HashMap::new();
+    use std::collections::BTreeMap;
+    let mut map: BTreeMap<Ipv4, Ipv4> = BTreeMap::new();
     let mut next: u32 = 1;
     for f in flows {
         let anon = *map.entry(f.key.client.ip).or_insert_with(|| {

@@ -1,0 +1,169 @@
+//! Name-based call-graph approximation used by the map-iteration rule.
+//!
+//! The determinism contract cares about one reachability question: can a
+//! function's effects end up in serialized output? We answer it with a
+//! conservative name-level graph: a function is *emitting* when its body
+//! calls `to_json` / `write_jsonl` (or invokes `json::to_string`
+//! directly), or when it calls a workspace function that is itself
+//! emitting. Resolution is by bare name across the whole workspace — an
+//! over-approximation that errs toward flagging, which is the right
+//! direction for a reproducibility gate.
+//!
+//! Ultra-generic names (`to_string`, `new`, `clone`, …) are excluded from
+//! propagation: treating every `x.to_string()` call site as "reaches
+//! emission" would poison the entire workspace and make the rule useless.
+
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Calls to these names mark a function as directly emitting.
+const EMIT_CALLS: &[&str] = &["to_json", "write_jsonl"];
+
+/// Names too generic to propagate emission status through.
+const STOPLIST: &[&str] = &[
+    "to_string",
+    "new",
+    "default",
+    "clone",
+    "from",
+    "into",
+    "fmt",
+    "next",
+    "len",
+    "get",
+    "push",
+    "insert",
+    "remove",
+    "write",
+    "flush",
+    "finish",
+    "extend",
+    "sum",
+    "min",
+    "max",
+    "cmp",
+    "eq",
+    "hash",
+    "collect",
+    "map",
+    "iter",
+    "contains",
+];
+
+/// Keywords that can directly precede `(` without being calls.
+const KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "fn", "in", "let", "else", "move", "as",
+    "impl", "where", "pub",
+];
+
+/// For every file, a bool per [`SourceFile::fns`] entry: true when that
+/// function (transitively) reaches JSON/JSONL emission.
+pub fn emitting_fns(files: &[SourceFile]) -> Vec<Vec<bool>> {
+    // Called names per function, and definitions by name.
+    let mut calls: Vec<Vec<BTreeSet<String>>> = Vec::with_capacity(files.len());
+    let mut defs: BTreeMap<String, Vec<(usize, usize)>> = BTreeMap::new();
+    let mut emitting: Vec<Vec<bool>> = Vec::with_capacity(files.len());
+
+    for (fi, file) in files.iter().enumerate() {
+        let mut per_fn = Vec::with_capacity(file.fns.len());
+        let mut seeds = Vec::with_capacity(file.fns.len());
+        for (fj, f) in file.fns.iter().enumerate() {
+            defs.entry(f.name.clone()).or_default().push((fi, fj));
+            let body = &file.toks[f.body_open..f.body_end];
+            let mut named = BTreeSet::new();
+            let mut seed = false;
+            for k in 0..body.len() {
+                let t = &body[k];
+                if t.kind != TokKind::Ident {
+                    continue;
+                }
+                // `json::to_string(..)` is direct serialisation.
+                if t.text == "json"
+                    && body.get(k + 1).is_some_and(|n| n.is_sym("::"))
+                    && body.get(k + 2).is_some_and(|n| n.is_ident("to_string"))
+                {
+                    seed = true;
+                }
+                if body.get(k + 1).is_some_and(|n| n.is_sym("("))
+                    && !KEYWORDS.contains(&t.text.as_str())
+                {
+                    if EMIT_CALLS.contains(&t.text.as_str()) {
+                        seed = true;
+                    }
+                    named.insert(t.text.clone());
+                }
+            }
+            per_fn.push(named);
+            seeds.push(seed);
+        }
+        calls.push(per_fn);
+        emitting.push(seeds);
+    }
+
+    // Fixpoint: emission status flows backwards along call edges.
+    loop {
+        let mut changed = false;
+        for fi in 0..files.len() {
+            for fj in 0..files[fi].fns.len() {
+                if emitting[fi][fj] {
+                    continue;
+                }
+                let reaches = calls[fi][fj].iter().any(|name| {
+                    !STOPLIST.contains(&name.as_str())
+                        && defs
+                            .get(name)
+                            .is_some_and(|ds| ds.iter().any(|&(di, dj)| emitting[di][dj]))
+                });
+                if reaches {
+                    emitting[fi][fj] = true;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return emitting;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::analyse("crates/x/src/lib.rs", src)
+    }
+
+    #[test]
+    fn direct_and_transitive_emission() {
+        let f = file(
+            "fn leaf(v: &V) { let _ = v.to_json(); }\n\
+             fn mid() { leaf(&V); }\n\
+             fn top() { mid(); }\n\
+             fn unrelated() { let _ = 1 + 1; }",
+        );
+        let e = emitting_fns(std::slice::from_ref(&f));
+        let by_name: BTreeMap<&str, bool> = f
+            .fns
+            .iter()
+            .zip(&e[0])
+            .map(|(f, &b)| (f.name.as_str(), b))
+            .collect();
+        assert!(by_name["leaf"] && by_name["mid"] && by_name["top"]);
+        assert!(!by_name["unrelated"]);
+    }
+
+    #[test]
+    fn to_string_does_not_propagate() {
+        // The local `to_string` is emitting, but calling a `to_string`
+        // elsewhere must not mark callers (the name is on the stoplist).
+        let f = file(
+            "fn to_string(x: &X) -> String { json::to_string(&x.to_json()) }\n\
+             fn caller() -> String { y.to_string() }",
+        );
+        let e = emitting_fns(std::slice::from_ref(&f));
+        let caller = f.fns.iter().position(|f| f.name == "caller").unwrap();
+        assert!(!e[0][caller]);
+    }
+}

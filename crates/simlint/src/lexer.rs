@@ -1,0 +1,453 @@
+//! A lightweight Rust lexer: just enough to answer the questions the lint
+//! rules ask, with correct handling of the constructs that break naive
+//! line-based scanners (nested block comments, raw strings, char literals
+//! versus lifetimes, strings containing braces).
+//!
+//! The lexer deliberately does not build an AST. Every rule in this crate
+//! works on token patterns plus brace-matched spans, which keeps the whole
+//! pass hermetic (std-only, no syn/proc-macro2) and fast enough to run on
+//! every verify invocation.
+
+/// Kind of a lexed token.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Punctuation; `::` is fused into a single token, everything else is
+    /// one character.
+    Sym,
+    /// String literal (plain, raw, byte, raw-byte); `text` is the content
+    /// without quotes or prefixes.
+    Str,
+    /// Character or byte literal; `text` is the raw content.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`, `'_`, `'static`); `text` excludes the quote.
+    Lifetime,
+}
+
+/// One token with its source line (1-based).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for what is included).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when the token is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when the token is punctuation with exactly this text.
+    pub fn is_sym(&self, s: &str) -> bool {
+        self.kind == TokKind::Sym && self.text == s
+    }
+}
+
+/// A comment stripped from the token stream, kept for annotation parsing.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment text without the `//` / `/* */` markers.
+    pub text: String,
+}
+
+/// Result of lexing one source file.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// Significant tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lex Rust source. Unterminated literals are tolerated (the token simply
+/// runs to end of file): lint input may be arbitrary text and the lexer
+/// must never panic on it.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < b.len() {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < b.len() && b[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                text: b[start..j].iter().collect(),
+            });
+            i = j;
+            continue;
+        }
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+            let start_line = line;
+            let mut depth = 1u32;
+            let mut j = i + 2;
+            let mut text = String::new();
+            while j < b.len() && depth > 0 {
+                if b[j] == '/' && j + 1 < b.len() && b[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                    continue;
+                }
+                if b[j] == '*' && j + 1 < b.len() && b[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                    continue;
+                }
+                if b[j] == '\n' {
+                    line += 1;
+                }
+                text.push(b[j]);
+                j += 1;
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                text,
+            });
+            i = j;
+            continue;
+        }
+
+        // String-ish literals, including raw/byte prefixes.
+        if c == '"' {
+            let (text, ni, nl) = scan_string(&b, i + 1, line);
+            out.toks.push(Tok {
+                kind: TokKind::Str,
+                text,
+                line,
+            });
+            i = ni;
+            line = nl;
+            continue;
+        }
+        if (c == 'r' || c == 'b') && is_raw_or_byte_string(&b, i) {
+            let start_line = line;
+            let mut j = i + 1;
+            if c == 'b' && j < b.len() && b[j] == 'r' {
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while j < b.len() && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < b.len() && b[j] == '"' {
+                if hashes == 0 {
+                    // b"..." with escapes, r"..." without; treating both as
+                    // escape-free is safe because `\"` cannot appear in r"".
+                    let (text, ni, nl) = if b[i] == 'b' && b[i + 1] == '"' {
+                        scan_string(&b, j + 1, line)
+                    } else {
+                        scan_raw(&b, j + 1, 0, line)
+                    };
+                    out.toks.push(Tok {
+                        kind: TokKind::Str,
+                        text,
+                        line: start_line,
+                    });
+                    i = ni;
+                    line = nl;
+                } else {
+                    let (text, ni, nl) = scan_raw(&b, j + 1, hashes, line);
+                    out.toks.push(Tok {
+                        kind: TokKind::Str,
+                        text,
+                        line: start_line,
+                    });
+                    i = ni;
+                    line = nl;
+                }
+                continue;
+            }
+            // `r#ident` raw identifier or lone `r`/`b`: fall through to the
+            // identifier branch below.
+        }
+
+        // Char literal or lifetime.
+        if c == '\'' {
+            if i + 1 < b.len() && b[i + 1] == '\\' {
+                // Escaped char literal: consume to the closing quote.
+                let mut j = i + 2;
+                let mut text = String::from("\\");
+                while j < b.len() && b[j] != '\'' {
+                    if b[j] == '\\' && j + 1 < b.len() {
+                        text.push(b[j]);
+                        text.push(b[j + 1]);
+                        j += 2;
+                        continue;
+                    }
+                    text.push(b[j]);
+                    j += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Char,
+                    text,
+                    line,
+                });
+                i = (j + 1).min(b.len());
+                continue;
+            }
+            if i + 2 < b.len() && b[i + 2] == '\'' {
+                out.toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: b[i + 1].to_string(),
+                    line,
+                });
+                i += 3;
+                continue;
+            }
+            // Lifetime: `'` followed by identifier characters.
+            let mut j = i + 1;
+            while j < b.len() && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Lifetime,
+                text: b[i + 1..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+
+        // Identifiers and keywords (including raw identifiers `r#x`).
+        if is_ident_start(c) {
+            let mut j = i + 1;
+            if (c == 'r') && j + 1 < b.len() && b[j] == '#' && is_ident_start(b[j + 1]) {
+                j += 1; // skip the `#` of a raw identifier
+            }
+            while j < b.len() && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            let text: String = b[i..j].iter().collect();
+            let text = text.strip_prefix("r#").unwrap_or(&text).to_string();
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+            });
+            i = j;
+            continue;
+        }
+
+        // Numbers.
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < b.len() && (is_ident_continue(b[j])) {
+                j += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Num,
+                text: b[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+
+        // `::` is fused; everything else is a single-character symbol.
+        if c == ':' && i + 1 < b.len() && b[i + 1] == ':' {
+            out.toks.push(Tok {
+                kind: TokKind::Sym,
+                text: "::".to_string(),
+                line,
+            });
+            i += 2;
+            continue;
+        }
+        out.toks.push(Tok {
+            kind: TokKind::Sym,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+
+    out
+}
+
+/// Scan a plain string body starting just after the opening quote.
+/// Returns (content, index-after-closing-quote, line-after).
+fn scan_string(b: &[char], mut j: usize, mut line: u32) -> (String, usize, u32) {
+    let mut text = String::new();
+    while j < b.len() && b[j] != '"' {
+        if b[j] == '\\' && j + 1 < b.len() {
+            text.push(b[j]);
+            text.push(b[j + 1]);
+            if b[j + 1] == '\n' {
+                line += 1;
+            }
+            j += 2;
+            continue;
+        }
+        if b[j] == '\n' {
+            line += 1;
+        }
+        text.push(b[j]);
+        j += 1;
+    }
+    (text, (j + 1).min(b.len()), line)
+}
+
+/// Scan a raw string body (no escapes) closed by `"` plus `hashes` `#`s.
+fn scan_raw(b: &[char], mut j: usize, hashes: usize, mut line: u32) -> (String, usize, u32) {
+    let mut text = String::new();
+    while j < b.len() {
+        if b[j] == '"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while k < b.len() && b[k] == '#' && seen < hashes {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return (text, k, line);
+            }
+        }
+        if b[j] == '\n' {
+            line += 1;
+        }
+        text.push(b[j]);
+        j += 1;
+    }
+    (text, b.len(), line)
+}
+
+/// True when position `i` (an `r` or `b`) starts a raw/byte string literal.
+fn is_raw_or_byte_string(b: &[char], i: usize) -> bool {
+    let mut j = i + 1;
+    if b[i] == 'b' && j < b.len() && b[j] == 'r' {
+        j += 1;
+    }
+    let mut saw_hash = false;
+    while j < b.len() && b[j] == '#' {
+        saw_hash = true;
+        j += 1;
+    }
+    if j < b.len() && b[j] == '"' {
+        return true;
+    }
+    // `r#ident` is a raw identifier, not a raw string.
+    let _ = saw_hash;
+    false
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn fuses_path_separators() {
+        let l = lex("std::time::Instant::now()");
+        let texts: Vec<&str> = l.toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            ["std", "::", "time", "::", "Instant", "::", "now", "(", ")"]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let l = lex(r#"let x = "SystemTime::now() { }"; y"#);
+        assert!(!idents(r#"let x = "SystemTime::now()"; y"#).contains(&"SystemTime".to_string()));
+        let braces = l.toks.iter().filter(|t| t.is_sym("{")).count();
+        assert_eq!(braces, 0);
+    }
+
+    #[test]
+    fn nested_block_comments_and_line_tracking() {
+        let l = lex("a /* x /* y */ z */\nb // tail\nc");
+        assert_eq!(idents("a /* x /* y */ z */\nb // tail\nc"), ["a", "b", "c"]);
+        assert_eq!(l.toks[0].line, 1);
+        assert_eq!(l.toks[1].line, 2);
+        assert_eq!(l.toks[2].line, 3);
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[1].text, " tail");
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let l = lex(r###"let s = r#"quote " inside"#; t"###);
+        let strs: Vec<&str> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, [r#"quote " inside"#]);
+        assert!(idents(r###"let s = r#"quote " inside"#; t"###).contains(&"t".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<&str> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["a", "a"]);
+        let chars: Vec<&str> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(chars, ["x"]);
+    }
+
+    #[test]
+    fn escaped_char_literal() {
+        let l = lex(r"let c = '\n'; d");
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Char).count(), 1);
+        assert!(idents(r"let c = '\n'; d").contains(&"d".to_string()));
+    }
+
+    #[test]
+    fn raw_identifiers_lose_their_prefix() {
+        assert_eq!(idents("r#fn r#match plain"), ["fn", "match", "plain"]);
+    }
+}

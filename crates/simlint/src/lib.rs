@@ -1,0 +1,385 @@
+//! `simlint` — the workspace's in-tree static-analysis pass.
+//!
+//! The reproduction's core claim is that every table and figure of
+//! *Inside Dropbox* (IMC 2012) regenerates byte-identically from a seed,
+//! even under fault plans. That claim rests on invariants the compiler
+//! does not check:
+//!
+//! * **determinism** — no wall-clock reads or thread spawns in simulation
+//!   crates, and no `HashMap`/`HashSet` iteration whose order can reach
+//!   serialized output ([`rules`], [`callgraph`]);
+//! * **hermeticity** — every dependency is an in-tree path dependency and
+//!   no code shells out ([`manifest`], [`rules`]);
+//! * **panic policy** — fault-recovery paths propagate errors instead of
+//!   unwrapping ([`rules`]);
+//! * **JSONL schema stability** — new serialized fields are read back
+//!   with `field_or` defaults ([`schema`]).
+//!
+//! Violations can be suppressed, never silently: a
+//! `// simlint: allow(<rule>) — <reason>` annotation on the offending
+//! line (or the line above) records the justification, and a malformed
+//! annotation is itself a violation (`allow-syntax`).
+//!
+//! The pass is std-only and builds on its own lightweight lexer
+//! ([`lexer`]) — consistent with the hermetic-workspace rule it enforces.
+
+pub mod callgraph;
+pub mod lexer;
+pub mod manifest;
+pub mod rules;
+pub mod schema;
+pub mod source;
+
+use simcore::json::{Json, ToJson};
+use source::SourceFile;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Every rule identifier the pass can emit.
+pub const RULES: &[&str] = &[
+    "wall-clock",
+    "map-iter",
+    "non-workspace-dep",
+    "extern-crate",
+    "process-spawn",
+    "panic-path",
+    "schema-drift",
+    "allow-syntax",
+];
+
+/// One diagnostic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule identifier (one of [`RULES`]).
+    pub rule: String,
+    /// Root-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human explanation.
+    pub message: String,
+}
+
+/// A violation suppressed by a justified allow annotation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Suppressed {
+    /// Rule identifier.
+    pub rule: String,
+    /// Root-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The annotation's justification.
+    pub reason: String,
+}
+
+/// Result of linting a tree.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Number of `.rs` and `Cargo.toml` files scanned.
+    pub files_scanned: usize,
+    /// Violations, sorted by (file, line, rule).
+    pub violations: Vec<Violation>,
+    /// Justified suppressions, same order.
+    pub allowed: Vec<Suppressed>,
+}
+
+impl Report {
+    /// True when the tree is clean.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Per-rule violation counts (deterministically ordered).
+    pub fn counts(&self) -> BTreeMap<&str, usize> {
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+        for v in &self.violations {
+            *counts.entry(v.rule.as_str()).or_default() += 1;
+        }
+        counts
+    }
+
+    /// Machine-readable report (the `results/simlint_report.json` payload).
+    pub fn to_json(&self) -> Json {
+        let viol = Json::Arr(
+            self.violations
+                .iter()
+                .map(|v| {
+                    Json::obj([
+                        ("rule", v.rule.to_json()),
+                        ("file", v.file.to_json()),
+                        ("line", Json::U64(v.line as u64)),
+                        ("message", v.message.to_json()),
+                    ])
+                })
+                .collect(),
+        );
+        let allowed = Json::Arr(
+            self.allowed
+                .iter()
+                .map(|a| {
+                    Json::obj([
+                        ("rule", a.rule.to_json()),
+                        ("file", a.file.to_json()),
+                        ("line", Json::U64(a.line as u64)),
+                        ("reason", a.reason.to_json()),
+                    ])
+                })
+                .collect(),
+        );
+        let counts = Json::Obj(
+            self.counts()
+                .into_iter()
+                .map(|(rule, n)| (rule.to_string(), Json::U64(n as u64)))
+                .collect(),
+        );
+        Json::obj([
+            ("files_scanned", Json::U64(self.files_scanned as u64)),
+            ("ok", Json::Bool(self.ok())),
+            ("counts", counts),
+            ("violations", viol),
+            ("allowed", allowed),
+        ])
+    }
+
+    /// Human diagnostics, one line per finding.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                v.file, v.line, v.rule, v.message
+            ));
+        }
+        for a in &self.allowed {
+            out.push_str(&format!(
+                "{}:{}: [{}] allowed — {}\n",
+                a.file, a.line, a.rule, a.reason
+            ));
+        }
+        out.push_str(&format!(
+            "simlint: {} file(s), {} violation(s), {} allowed\n",
+            self.files_scanned,
+            self.violations.len(),
+            self.allowed.len()
+        ));
+        out
+    }
+}
+
+/// Lint configuration. [`Options::workspace`] is what the binary and the
+/// verify gate use; tests construct variants to lint fixtures.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Crates (directory names under `crates/`) holding simulation code:
+    /// strict determinism tier.
+    pub sim_crates: Vec<String>,
+    /// Root-relative path suffixes of fault-recovery files where
+    /// `unwrap`/`expect` are banned.
+    pub panic_path_files: Vec<String>,
+    /// Path suffixes exempt from the schema rule (the generic JSON
+    /// substrate itself).
+    pub schema_skip: Vec<String>,
+    /// Grandfathered strict-read `(type, field)` pairs: the schema as it
+    /// existed when the back-compat contract was introduced. New fields
+    /// must use `field_or` and never enter this list.
+    pub schema_baseline: Vec<(String, String)>,
+}
+
+impl Options {
+    /// The workspace's own configuration.
+    pub fn workspace() -> Options {
+        let baseline: &[(&str, &str)] = &[
+            ("Endpoint", "ip"),
+            ("Endpoint", "port"),
+            ("FlowKey", "client"),
+            ("FlowKey", "server"),
+            ("AppMarker", "sni"),
+            ("AppMarker", "common_name"),
+            ("AppMarker", "host"),
+            ("AppMarker", "path"),
+            ("AppMarker", "status"),
+            ("AppMarker", "host_int"),
+            ("AppMarker", "namespaces"),
+            ("DirStats", "packets"),
+            ("DirStats", "bytes"),
+            ("DirStats", "psh_segments"),
+            ("DirStats", "retransmissions"),
+            ("DirStats", "first_payload"),
+            ("DirStats", "last_payload"),
+            ("NotifyMeta", "host_int"),
+            ("NotifyMeta", "namespaces"),
+            ("FlowRecord", "key"),
+            ("FlowRecord", "first_syn"),
+            ("FlowRecord", "last_packet"),
+            ("FlowRecord", "up"),
+            ("FlowRecord", "down"),
+            ("FlowRecord", "min_rtt_ms"),
+            ("FlowRecord", "rtt_samples"),
+            ("FlowRecord", "tls_sni"),
+            ("FlowRecord", "tls_certificate_cn"),
+            ("FlowRecord", "http_host"),
+            ("FlowRecord", "server_fqdn"),
+            ("FlowRecord", "notify"),
+            ("FlowRecord", "close"),
+            ("Summary", "n"),
+            ("Summary", "mean"),
+            ("Summary", "m2"),
+            ("Summary", "min"),
+            ("Summary", "max"),
+            ("Summary", "sum"),
+            ("Ecdf", "sorted"),
+        ];
+        Options {
+            sim_crates: [
+                "simcore", "tcpmodel", "workload", "dropbox", "nettrace", "tstat", "dnssim", "core",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+            panic_path_files: [
+                "crates/dropbox/src/client.rs",
+                "crates/dropbox/src/storage.rs",
+                "crates/workload/src/driver.rs",
+                "crates/simcore/src/faults.rs",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+            schema_skip: vec!["crates/simcore/src/json.rs".to_string()],
+            schema_baseline: baseline
+                .iter()
+                .map(|(t, f)| (t.to_string(), f.to_string()))
+                .collect(),
+        }
+    }
+
+    /// True when `crate_name` is held to the strict determinism tier.
+    pub fn is_sim_crate(&self, crate_name: &str) -> bool {
+        self.sim_crates.iter().any(|c| c == crate_name)
+    }
+}
+
+/// Route a finding to the violation list or, when a justified allow
+/// annotation covers it, to the suppression list.
+pub(crate) fn emit(
+    file: &SourceFile,
+    rule: &str,
+    line: u32,
+    message: String,
+    violations: &mut Vec<Violation>,
+    allowed: &mut Vec<Suppressed>,
+) {
+    if let Some(a) = file.allow_for(rule, line) {
+        allowed.push(Suppressed {
+            rule: rule.to_string(),
+            file: file.rel.clone(),
+            line,
+            reason: a.reason.clone(),
+        });
+    } else {
+        violations.push(Violation {
+            rule: rule.to_string(),
+            file: file.rel.clone(),
+            line,
+            message,
+        });
+    }
+}
+
+/// Directories never descended into: build outputs, VCS metadata, and the
+/// lint's own known-bad test fixtures.
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures", "results", "node_modules"];
+
+/// Lint the tree rooted at `root` with the given options.
+pub fn run(root: &Path, opts: &Options) -> io::Result<Report> {
+    let mut rs = Vec::new();
+    let mut manifests = Vec::new();
+    walk(root, root, &mut rs, &mut manifests)?;
+    rs.sort();
+    manifests.sort();
+
+    let mut violations = Vec::new();
+    let mut allowed = Vec::new();
+
+    for path in &manifests {
+        let rel = rel_of(root, path);
+        let text = fs::read_to_string(path)?;
+        manifest::check(&rel, &text, &mut violations);
+    }
+
+    let mut sources = Vec::with_capacity(rs.len());
+    for path in &rs {
+        let rel = rel_of(root, path);
+        let text = fs::read_to_string(path)?;
+        sources.push(SourceFile::analyse(&rel, &text));
+    }
+
+    let emitting = callgraph::emitting_fns(&sources);
+    for (file, emitting) in sources.iter().zip(&emitting) {
+        for bad in &file.bad_allows {
+            violations.push(Violation {
+                rule: "allow-syntax".to_string(),
+                file: file.rel.clone(),
+                line: bad.line,
+                message: format!("malformed simlint annotation: {}", bad.what),
+            });
+        }
+        rules::wall_clock(file, opts, &mut violations, &mut allowed);
+        rules::hermetic_source(file, &mut violations, &mut allowed);
+        rules::panic_path(file, opts, &mut violations, &mut allowed);
+        rules::map_iter(file, opts, emitting, &mut violations, &mut allowed);
+    }
+    schema::check(&sources, opts, &mut violations, &mut allowed);
+
+    violations.sort_by(|a, b| {
+        (&a.file, a.line, &a.rule, &a.message).cmp(&(&b.file, b.line, &b.rule, &b.message))
+    });
+    violations.dedup();
+    allowed.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    allowed.dedup();
+
+    Ok(Report {
+        files_scanned: rs.len() + manifests.len(),
+        violations,
+        allowed,
+    })
+}
+
+/// Recursive walk collecting `.rs` files and `Cargo.toml` manifests.
+fn walk(
+    root: &Path,
+    dir: &Path,
+    rs: &mut Vec<PathBuf>,
+    manifests: &mut Vec<PathBuf>,
+) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, rs, manifests)?;
+        } else if name.ends_with(".rs") {
+            rs.push(path);
+        } else if name == "Cargo.toml" {
+            manifests.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Root-relative, `/`-separated path for diagnostics and reports.
+fn rel_of(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -1,0 +1,74 @@
+//! `simlint` binary: lint the workspace, print diagnostics, write the
+//! machine-readable report, and exit non-zero on any violation.
+//!
+//! ```text
+//! cargo run -p simlint --release [-- --root <dir>] [--report <path>]
+//! ```
+//!
+//! `--root` defaults to the current directory (verify.sh runs from the
+//! repository root); `--report` defaults to `<root>/results/simlint_report.json`.
+
+use simcore::json;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut report_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--report" => report_path = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                eprintln!("usage: simlint [--root <dir>] [--report <path>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("simlint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => match std::env::current_dir() {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("simlint: cannot determine working directory: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let report_path = report_path.unwrap_or_else(|| root.join("results/simlint_report.json"));
+
+    let opts = simlint::Options::workspace();
+    let report = match simlint::run(&root, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simlint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    print!("{}", report.render());
+
+    if let Some(parent) = report_path.parent() {
+        if let Err(e) = std::fs::create_dir_all(parent) {
+            eprintln!("simlint: cannot create {}: {e}", parent.display());
+            return ExitCode::from(2);
+        }
+    }
+    let mut payload = json::to_string(&report.to_json());
+    payload.push('\n');
+    if let Err(e) = std::fs::write(&report_path, payload) {
+        eprintln!("simlint: cannot write {}: {e}", report_path.display());
+        return ExitCode::from(2);
+    }
+
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

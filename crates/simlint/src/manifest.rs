@@ -1,0 +1,195 @@
+//! Hermeticity rule, manifest side: every dependency in every
+//! `Cargo.toml` must resolve in-tree — either `path = "..."` or
+//! `workspace = true` (with the workspace table itself pointing at path
+//! dependencies). A bare version requirement means cargo would hit the
+//! network, which the offline build forbids.
+//!
+//! The parser is a deliberately small line-based TOML subset: sections,
+//! `key = value` pairs, dotted keys, inline tables and `#` comments —
+//! exactly the shapes dependency declarations use.
+
+use crate::Violation;
+
+/// Check one manifest. `rel` is the root-relative path for diagnostics.
+pub fn check(rel: &str, text: &str, violations: &mut Vec<Violation>) {
+    let mut section = String::new();
+    // For `[dependencies.foo]`-style tables: pending (dep, line) until we
+    // know whether the table contains `path`/`workspace`.
+    let mut pending: Option<(String, u32, bool)> = None;
+
+    let flush = |pending: &mut Option<(String, u32, bool)>, violations: &mut Vec<Violation>| {
+        if let Some((dep, line, ok)) = pending.take() {
+            if !ok {
+                violations.push(non_workspace(rel, line, &dep));
+            }
+        }
+    };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            flush(&mut pending, violations);
+            section = line
+                .trim_matches(|c| c == '[' || c == ']')
+                .trim()
+                .to_string();
+            if let Some(dep) = dotted_dep_table(&section) {
+                pending = Some((dep, line_no, false));
+            }
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let key = key.trim();
+        let value = value.trim();
+
+        if let Some(p) = pending.as_mut() {
+            if key == "path" || (key == "workspace" && value == "true") {
+                p.2 = true;
+            }
+            continue;
+        }
+        if !is_dep_section(&section) {
+            continue;
+        }
+        // `foo.workspace = true` / `foo.path = "..."` dotted keys.
+        if let Some((dep, sub)) = key.split_once('.') {
+            if sub == "workspace" && value == "true" || sub == "path" {
+                continue;
+            }
+            violations.push(non_workspace(rel, line_no, dep.trim()));
+            continue;
+        }
+        if value_is_hermetic(value) {
+            continue;
+        }
+        violations.push(non_workspace(rel, line_no, key));
+    }
+    flush(&mut pending, violations);
+}
+
+fn non_workspace(rel: &str, line: u32, dep: &str) -> Violation {
+    Violation {
+        rule: "non-workspace-dep".to_string(),
+        file: rel.to_string(),
+        line,
+        message: format!(
+            "dependency `{dep}` is not an in-tree path/workspace dependency; \
+             the hermetic build forbids registry crates"
+        ),
+    }
+}
+
+/// True for sections whose keys declare dependencies.
+fn is_dep_section(section: &str) -> bool {
+    section == "workspace.dependencies"
+        || section.rsplit('.').next().is_some_and(|last| {
+            matches!(
+                last,
+                "dependencies" | "dev-dependencies" | "build-dependencies"
+            )
+        }) && !section.contains("metadata")
+}
+
+/// For `[dependencies.foo]`-style headers, the dependency name.
+fn dotted_dep_table(section: &str) -> Option<String> {
+    for prefix in ["dependencies.", "dev-dependencies.", "build-dependencies."] {
+        if let Some(rest) = section.strip_prefix(prefix) {
+            return Some(rest.to_string());
+        }
+        if let Some(pos) = section.find(&format!(".{prefix}")) {
+            return Some(section[pos + 1 + prefix.len()..].to_string());
+        }
+    }
+    None
+}
+
+/// True when a dependency value keeps the build hermetic.
+fn value_is_hermetic(value: &str) -> bool {
+    if value.starts_with('{') {
+        // Inline table: require a `path` key or `workspace = true`.
+        return has_key(value, "path") || has_true(value, "workspace");
+    }
+    // Bare string (`"1.0"`) or anything else: a registry requirement.
+    false
+}
+
+fn has_key(table: &str, key: &str) -> bool {
+    table
+        .split(|c| c == '{' || c == ',' || c == '}')
+        .any(|kv| kv.split_once('=').is_some_and(|(k, _)| k.trim() == key))
+}
+
+fn has_true(table: &str, key: &str) -> bool {
+    table.split(|c| c == '{' || c == ',' || c == '}').any(|kv| {
+        kv.split_once('=')
+            .is_some_and(|(k, v)| k.trim() == key && v.trim() == "true")
+    })
+}
+
+/// Remove a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(text: &str) -> Vec<Violation> {
+        let mut v = Vec::new();
+        check("Cargo.toml", text, &mut v);
+        v
+    }
+
+    #[test]
+    fn path_and_workspace_deps_pass() {
+        let v = run("[dependencies]\n\
+             simcore = { path = \"../simcore\" }\n\
+             nettrace.workspace = true\n\
+             tstat = { workspace = true }\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn registry_deps_fail() {
+        let v = run("[dependencies]\nserde = \"1.0\" # classic\n");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("serde"));
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn dotted_tables() {
+        let good = run("[dependencies.simcore]\npath = \"../simcore\"\n");
+        assert!(good.is_empty(), "{good:?}");
+        let bad = run("[dependencies.rand]\nversion = \"0.8\"\nfeatures = [\"std\"]\n");
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("rand"));
+    }
+
+    #[test]
+    fn non_dep_sections_are_ignored() {
+        let v = run("[package]\nname = \"x\"\nversion = \"0.1.0\"\n[features]\ndefault = []\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn workspace_dependency_table_is_checked() {
+        let v = run("[workspace.dependencies]\nlibc = \"0.2\"\n");
+        assert_eq!(v.len(), 1);
+    }
+}

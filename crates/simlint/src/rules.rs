@@ -1,0 +1,434 @@
+//! The determinism, hermeticity and panic-policy rules that operate on a
+//! single source file. (Cargo manifests are handled in [`crate::manifest`],
+//! the cross-file JSONL schema rule in [`crate::schema`].)
+
+use crate::source::{SourceFile, Span};
+use crate::{emit, Options, Suppressed, Violation};
+
+/// Determinism: wall-clock reads and thread spawns are banned in
+/// simulation crates. Simulated time comes from the event loop; real time
+/// or scheduler interleaving would make runs irreproducible.
+pub fn wall_clock(
+    file: &SourceFile,
+    opts: &Options,
+    violations: &mut Vec<Violation>,
+    allowed: &mut Vec<Suppressed>,
+) {
+    if !opts.is_sim_crate(&file.crate_name) {
+        return;
+    }
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        if file.in_test(i) {
+            continue;
+        }
+        let trailing2 = |a: &str, b: &str| {
+            toks.get(i + 1).is_some_and(|t| t.is_sym("::")) && {
+                toks.get(i + 2).is_some_and(|t| t.is_ident(b)) && toks[i].is_ident(a)
+            }
+        };
+        let hit = if trailing2("SystemTime", "now") {
+            Some("SystemTime::now")
+        } else if trailing2("Instant", "now") {
+            Some("Instant::now")
+        } else if trailing2("thread", "spawn") {
+            Some("thread::spawn")
+        } else {
+            None
+        };
+        if let Some(what) = hit {
+            emit(
+                file,
+                "wall-clock",
+                toks[i].line,
+                format!(
+                    "`{what}` in simulation crate `{}`: use simulated time / the event loop",
+                    file.crate_name
+                ),
+                violations,
+                allowed,
+            );
+        }
+    }
+}
+
+/// Hermeticity (source side): no `extern crate`, no `std::process::Command`
+/// outside tests. The workspace must build and run offline from vendored
+/// sources only, and experiments must not shell out to tools that differ
+/// between machines.
+pub fn hermetic_source(
+    file: &SourceFile,
+    violations: &mut Vec<Violation>,
+    allowed: &mut Vec<Suppressed>,
+) {
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        if file.in_test(i) {
+            continue;
+        }
+        if toks[i].is_ident("extern") && toks.get(i + 1).is_some_and(|t| t.is_ident("crate")) {
+            emit(
+                file,
+                "extern-crate",
+                toks[i].line,
+                "`extern crate`: the workspace is hermetic, only in-tree path dependencies are allowed".to_string(),
+                violations,
+                allowed,
+            );
+        }
+        if toks[i].is_ident("process")
+            && toks.get(i + 1).is_some_and(|t| t.is_sym("::"))
+            && toks.get(i + 2).is_some_and(|t| t.is_ident("Command"))
+        {
+            emit(
+                file,
+                "process-spawn",
+                toks[i].line,
+                "`process::Command`: spawning external processes breaks hermetic, reproducible runs".to_string(),
+                violations,
+                allowed,
+            );
+        }
+    }
+}
+
+/// Panic policy: `unwrap()` / `expect()` are banned in fault-recovery
+/// paths. A fault plan exercises exactly the error branches a panic would
+/// short-circuit, so these files must propagate errors (or carry an
+/// explicit justification).
+pub fn panic_path(
+    file: &SourceFile,
+    opts: &Options,
+    violations: &mut Vec<Violation>,
+    allowed: &mut Vec<Suppressed>,
+) {
+    if !opts
+        .panic_path_files
+        .iter()
+        .any(|suffix| file.rel.ends_with(suffix.as_str()))
+    {
+        return;
+    }
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        if file.in_test(i) {
+            continue;
+        }
+        if !toks[i].is_sym(".") {
+            continue;
+        }
+        let method = match toks.get(i + 1) {
+            Some(t) if t.is_ident("unwrap") || t.is_ident("expect") => t.text.clone(),
+            _ => continue,
+        };
+        if toks.get(i + 2).is_some_and(|t| t.is_sym("(")) {
+            emit(
+                file,
+                "panic-path",
+                toks[i + 1].line,
+                format!(
+                    "`.{method}(...)` in fault-recovery path `{}`: propagate the error instead",
+                    file.rel
+                ),
+                violations,
+                allowed,
+            );
+        }
+    }
+}
+
+/// Methods whose call on a hash container exposes iteration order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// A `HashMap`/`HashSet` binding declared in this file.
+#[derive(Debug)]
+struct MapDecl {
+    name: String,
+    /// `Some(span)`: local/parameter visible inside that function span.
+    /// `None`: struct field — use sites must be field accesses (`x.name`).
+    scope: Option<Span>,
+    kind: &'static str,
+}
+
+/// Determinism: iterating a `HashMap`/`HashSet` is flagged when the
+/// containing code either lives in a simulation crate (strict tier — any
+/// iteration is banned; hash order varies per process and per run) or
+/// reaches JSON/JSONL emission per the call-graph approximation.
+pub fn map_iter(
+    file: &SourceFile,
+    opts: &Options,
+    emitting: &[bool],
+    violations: &mut Vec<Violation>,
+    allowed: &mut Vec<Suppressed>,
+) {
+    let decls = map_decls(file);
+    if decls.is_empty() {
+        return;
+    }
+    let strict = opts.is_sim_crate(&file.crate_name);
+    let toks = &file.toks;
+
+    let mut flag = |idx: usize, name: &str, kind: &str, how: &str| {
+        if file.in_test(idx) {
+            return;
+        }
+        let reaches = file
+            .enclosing_fn(idx)
+            .and_then(|f| {
+                file.fns
+                    .iter()
+                    .position(|g| g.sig_start == f.sig_start)
+                    .map(|j| emitting.get(j).copied().unwrap_or(false))
+            })
+            .unwrap_or(false);
+        if !strict && !reaches {
+            return;
+        }
+        let why = if strict {
+            format!(
+                "iteration order is nondeterministic in simulation crate `{}`",
+                file.crate_name
+            )
+        } else {
+            "iteration order is nondeterministic and reaches JSON/JSONL emission".to_string()
+        };
+        emit(
+            file,
+            "map-iter",
+            toks[idx].line,
+            format!("{how} over `{name}` ({kind}): {why}; use BTreeMap/BTreeSet or sort first"),
+            violations,
+            allowed,
+        );
+    };
+
+    // Method-style iteration: `<recv>.iter()`, `.keys()`, …
+    for i in 0..toks.len() {
+        if !toks[i].is_sym(".") {
+            continue;
+        }
+        let is_iter_call = toks
+            .get(i + 1)
+            .is_some_and(|t| ITER_METHODS.contains(&t.text.as_str()))
+            && toks.get(i + 2).is_some_and(|t| t.is_sym("("));
+        if !is_iter_call || i == 0 {
+            continue;
+        }
+        if let Some((name, kind)) = receiver_match(file, &decls, i - 1, i) {
+            let method = toks[i + 1].text.clone();
+            flag(i, &name, kind, &format!("`.{method}()`"));
+        }
+    }
+
+    // `for x in map { … }` / `for x in &self.map { … }`.
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("for") {
+            continue;
+        }
+        // Find `in` at bracket depth 0 within the loop header.
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        let mut in_idx = None;
+        while j < toks.len() && j < i + 64 {
+            let t = &toks[j];
+            if t.is_sym("(") || t.is_sym("[") {
+                depth += 1;
+            } else if t.is_sym(")") || t.is_sym("]") {
+                depth -= 1;
+            } else if depth == 0 && t.is_ident("in") {
+                in_idx = Some(j);
+                break;
+            } else if t.is_sym("{") || t.is_sym(";") {
+                break;
+            }
+            j += 1;
+        }
+        let Some(in_idx) = in_idx else { continue };
+        let mut k = in_idx + 1;
+        while k < toks.len() && (toks[k].is_sym("&") || toks[k].is_ident("mut")) {
+            k += 1;
+        }
+        // Walk a dotted path; the iterated expression must end right at `{`.
+        let mut last_ident = None;
+        while k < toks.len() && toks[k].kind == crate::lexer::TokKind::Ident {
+            last_ident = Some(k);
+            if toks.get(k + 1).is_some_and(|t| t.is_sym("."))
+                && toks
+                    .get(k + 2)
+                    .is_some_and(|t| t.kind == crate::lexer::TokKind::Ident)
+            {
+                k += 2;
+            } else {
+                k += 1;
+                break;
+            }
+        }
+        let Some(last) = last_ident else { continue };
+        if !toks.get(k).is_some_and(|t| t.is_sym("{")) {
+            continue;
+        }
+        if let Some((name, kind)) = receiver_match(file, &decls, last, last) {
+            flag(last, &name, kind, "`for` loop");
+        }
+    }
+}
+
+/// Match the identifier at `recv` against the declared maps. `use_idx` is
+/// where scope containment is evaluated.
+fn receiver_match(
+    file: &SourceFile,
+    decls: &[MapDecl],
+    recv: usize,
+    use_idx: usize,
+) -> Option<(String, &'static str)> {
+    let toks = &file.toks;
+    if toks[recv].kind != crate::lexer::TokKind::Ident {
+        return None;
+    }
+    let name = &toks[recv].text;
+    let preceded_by_dot = recv >= 1 && toks[recv - 1].is_sym(".");
+    for d in decls {
+        if &d.name != name {
+            continue;
+        }
+        match d.scope {
+            Some((s, e)) => {
+                // Locals are referenced bare, inside their function.
+                if !preceded_by_dot && use_idx >= s && use_idx < e {
+                    return Some((d.name.clone(), d.kind));
+                }
+            }
+            None => {
+                // Fields are referenced as `expr.field`.
+                if preceded_by_dot {
+                    return Some((d.name.clone(), d.kind));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Collect names bound to `HashMap`/`HashSet` in this file: struct fields,
+/// locals with type ascription, parameters, and `= HashMap::new()`-style
+/// initialisations.
+fn map_decls(file: &SourceFile) -> Vec<MapDecl> {
+    let toks = &file.toks;
+    let mut decls = Vec::new();
+    for k in 0..toks.len() {
+        let kind = if toks[k].is_ident("HashMap") {
+            "HashMap"
+        } else if toks[k].is_ident("HashSet") {
+            "HashSet"
+        } else {
+            continue;
+        };
+        // Step back over a `std::collections::` path prefix.
+        let mut p = k;
+        while p >= 2 && toks[p - 1].is_sym("::") && toks[p - 2].kind == crate::lexer::TokKind::Ident
+        {
+            p -= 2;
+        }
+        if p == 0 {
+            continue;
+        }
+        // Skip reference/lifetime noise between the binder and the type.
+        let mut q = p - 1;
+        while q > 0
+            && (toks[q].is_sym("&")
+                || toks[q].is_ident("mut")
+                || toks[q].kind == crate::lexer::TokKind::Lifetime)
+        {
+            q -= 1;
+        }
+        let binder = if (toks[q].is_sym(":") || toks[q].is_sym("=")) && q >= 1 {
+            &toks[q - 1]
+        } else {
+            continue;
+        };
+        if binder.kind != crate::lexer::TokKind::Ident {
+            continue;
+        }
+        let scope = file.enclosing_fn(k).map(|f| (f.sig_start, f.body_end));
+        decls.push(MapDecl {
+            name: binder.text.clone(),
+            scope,
+            kind,
+        });
+    }
+    decls
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::emitting_fns;
+
+    fn check(src: &str, sim: bool) -> Vec<Violation> {
+        let file = SourceFile::analyse("crates/x/src/lib.rs", src);
+        let mut opts = Options::workspace();
+        if sim {
+            opts.sim_crates.push("x".to_string());
+        }
+        let emitting = emitting_fns(std::slice::from_ref(&file));
+        let mut v = Vec::new();
+        let mut a = Vec::new();
+        wall_clock(&file, &opts, &mut v, &mut a);
+        hermetic_source(&file, &mut v, &mut a);
+        panic_path(&file, &opts, &mut v, &mut a);
+        map_iter(&file, &opts, &emitting[0], &mut v, &mut a);
+        v
+    }
+
+    #[test]
+    fn wall_clock_only_in_sim_crates() {
+        let src = "fn f() { let t = Instant::now(); }";
+        assert!(check(src, false).is_empty());
+        let v = check(src, true);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "wall-clock");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests { fn f() { let t = SystemTime::now(); } }";
+        assert!(check(src, true).is_empty());
+    }
+
+    #[test]
+    fn local_map_iteration_in_sim_crate() {
+        let src =
+            "fn f() { let m: HashMap<u32, u32> = HashMap::new(); for x in &m { let _ = x; } }";
+        let v = check(src, true);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "map-iter");
+    }
+
+    #[test]
+    fn field_map_iteration_reaching_emission_in_non_sim_crate() {
+        let src = "struct S { m: HashMap<u32, u32> }\n\
+                   impl S { fn dump(&self) { for k in self.m.keys() { k.to_json(); } } }";
+        let v = check(src, false);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "map-iter");
+        let quiet = "struct S { m: HashMap<u32, u32> }\n\
+                     impl S { fn count(&self) -> usize { self.m.keys().count() } }";
+        assert!(check(quiet, false).is_empty());
+    }
+
+    #[test]
+    fn lookups_are_fine() {
+        let src = "fn f(m: &HashMap<u32, u32>) -> Option<&u32> { m.get(&1) }";
+        assert!(check(src, true).is_empty());
+    }
+}

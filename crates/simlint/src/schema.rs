@@ -1,0 +1,276 @@
+//! JSONL schema-drift rule.
+//!
+//! PR 2 established the back-compat contract for serialized records: a
+//! field added to a type's `ToJson` output must be read back with
+//! `field_or(name, default)` so that logs written by older builds still
+//! parse. This rule cross-checks, for every type with hand-written
+//! `impl ToJson` / `impl FromJson` blocks, the set of field names written
+//! against the set read, and fails when a written field is read *strictly*
+//! (`field(name)`) unless the `(type, field)` pair is grandfathered in the
+//! baseline compiled into [`crate::Options`].
+
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::{emit, Options, Suppressed, Violation};
+use std::collections::BTreeMap;
+
+/// Field usage collected for one type across its serialisation impls.
+#[derive(Default, Debug)]
+struct TypeSchema {
+    /// Fields written by `ToJson` (name → first write line, file).
+    writes: BTreeMap<String, (usize, u32)>,
+    /// Fields read strictly by `FromJson` via `field(...)`.
+    strict: BTreeMap<String, (usize, u32)>,
+    /// Fields read with a default via `field_or(...)`.
+    defaulted: BTreeMap<String, (usize, u32)>,
+}
+
+/// Run the schema rule over the whole workspace.
+pub fn check(
+    files: &[SourceFile],
+    opts: &Options,
+    violations: &mut Vec<Violation>,
+    allowed: &mut Vec<Suppressed>,
+) {
+    let mut types: BTreeMap<String, TypeSchema> = BTreeMap::new();
+
+    for (fi, file) in files.iter().enumerate() {
+        if file.is_test_file
+            || opts
+                .schema_skip
+                .iter()
+                .any(|s| file.rel.ends_with(s.as_str()))
+        {
+            continue;
+        }
+        collect_impls(fi, file, &mut types);
+    }
+
+    for (ty, schema) in &types {
+        for (field, _) in schema.writes.iter() {
+            if schema.defaulted.contains_key(field) {
+                continue;
+            }
+            let Some(&(fi, line)) = schema.strict.get(field) else {
+                // Written but never read back: forward-compatible, old
+                // readers simply ignore it.
+                continue;
+            };
+            let grandfathered = opts
+                .schema_baseline
+                .iter()
+                .any(|(t, f)| t == ty && f == field);
+            if grandfathered {
+                continue;
+            }
+            emit(
+                &files[fi],
+                "schema-drift",
+                line,
+                format!(
+                    "`{ty}::from_json` reads new field `{field}` strictly; \
+                     use `field_or(\"{field}\", default)` so logs written before the field existed still parse"
+                ),
+                violations,
+                allowed,
+            );
+        }
+    }
+}
+
+/// Scan one file for `impl ToJson for T` / `impl FromJson for T` blocks
+/// and record their field writes/reads.
+fn collect_impls(fi: usize, file: &SourceFile, types: &mut BTreeMap<String, TypeSchema>) {
+    let toks = &file.toks;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("impl") || file.in_test(i) {
+            i += 1;
+            continue;
+        }
+        // Skip `impl<...>` generics (angle-bracket depth matching).
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.is_sym("<")) {
+            let mut depth = 0i32;
+            while j < toks.len() {
+                if toks[j].is_sym("<") {
+                    depth += 1;
+                } else if toks[j].is_sym(">") {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        let trait_name = match toks.get(j) {
+            Some(t) if t.is_ident("ToJson") || t.is_ident("FromJson") => t.text.clone(),
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        if !toks.get(j + 1).is_some_and(|t| t.is_ident("for")) {
+            i += 1;
+            continue;
+        }
+        // Type name: first identifier after `for` (generic parameters,
+        // e.g. `Vec<T>`, are fine — the base name identifies the schema).
+        let mut k = j + 2;
+        while k < toks.len() && !matches!(toks[k].kind, TokKind::Ident) {
+            k += 1;
+        }
+        let Some(ty) = toks.get(k).map(|t| t.text.clone()) else {
+            break;
+        };
+        // Body: brace-match from the next `{`.
+        let mut open = k + 1;
+        while open < toks.len() && !toks[open].is_sym("{") {
+            open += 1;
+        }
+        let mut depth = 0i32;
+        let mut end = open;
+        while end < toks.len() {
+            if toks[end].is_sym("{") {
+                depth += 1;
+            } else if toks[end].is_sym("}") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            end += 1;
+        }
+        let entry = types.entry(ty).or_default();
+        if trait_name == "ToJson" {
+            collect_writes(fi, toks, open, end, &mut entry.writes);
+        } else {
+            collect_reads(fi, toks, open, end, entry);
+        }
+        i = end + 1;
+    }
+}
+
+/// Field writes inside a `ToJson` body: `("name", <expr>,` tuple heads
+/// with identifier-like names (error-message strings are filtered out).
+fn collect_writes(
+    fi: usize,
+    toks: &[crate::lexer::Tok],
+    open: usize,
+    end: usize,
+    out: &mut BTreeMap<String, (usize, u32)>,
+) {
+    for k in open..end {
+        if toks[k].is_sym("(")
+            && toks.get(k + 1).is_some_and(|t| t.kind == TokKind::Str)
+            && toks.get(k + 2).is_some_and(|t| t.is_sym(","))
+            && ident_like(&toks[k + 1].text)
+        {
+            out.entry(toks[k + 1].text.clone())
+                .or_insert((fi, toks[k + 1].line));
+        }
+    }
+}
+
+/// Field reads inside a `FromJson` body: `field("name")` (strict) and
+/// `field_or("name", default)` (back-compatible).
+fn collect_reads(
+    fi: usize,
+    toks: &[crate::lexer::Tok],
+    open: usize,
+    end: usize,
+    entry: &mut TypeSchema,
+) {
+    for k in open..end {
+        let strict = toks[k].is_ident("field");
+        let defaulted = toks[k].is_ident("field_or");
+        if !strict && !defaulted {
+            continue;
+        }
+        if !toks.get(k + 1).is_some_and(|t| t.is_sym("(")) {
+            continue;
+        }
+        let Some(name) = toks.get(k + 2).filter(|t| t.kind == TokKind::Str) else {
+            continue;
+        };
+        let target = if strict {
+            &mut entry.strict
+        } else {
+            &mut entry.defaulted
+        };
+        target.entry(name.text.clone()).or_insert((fi, name.line));
+    }
+}
+
+/// True when a string literal looks like a JSON field name rather than a
+/// message (identifier characters only).
+fn ident_like(s: &str) -> bool {
+    !s.is_empty() && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_schema(src: &str, baseline: &[(&str, &str)]) -> Vec<Violation> {
+        let file = SourceFile::analyse("crates/x/src/lib.rs", src);
+        let mut opts = Options::workspace();
+        opts.schema_baseline = baseline
+            .iter()
+            .map(|(t, f)| (t.to_string(), f.to_string()))
+            .collect();
+        let mut v = Vec::new();
+        let mut a = Vec::new();
+        check(std::slice::from_ref(&file), &opts, &mut v, &mut a);
+        v
+    }
+
+    const SRC: &str = r#"
+impl ToJson for Rec {
+    fn to_json(&self) -> Json {
+        Json::obj([("old", self.old.to_json()), ("fresh", self.fresh.to_json())])
+    }
+}
+impl FromJson for Rec {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Rec { old: v.field("old")?, fresh: v.field("fresh")? })
+    }
+}
+"#;
+
+    #[test]
+    fn strict_read_of_new_field_is_drift() {
+        let v = run_schema(SRC, &[("Rec", "old")]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "schema-drift");
+        assert!(v[0].message.contains("fresh"));
+    }
+
+    #[test]
+    fn field_or_and_baseline_are_clean() {
+        let v = run_schema(SRC, &[("Rec", "old"), ("Rec", "fresh")]);
+        assert!(v.is_empty());
+        let ok = SRC.replace("v.field(\"fresh\")?", "v.field_or(\"fresh\", 0)?");
+        assert!(run_schema(&ok, &[("Rec", "old")]).is_empty());
+    }
+
+    #[test]
+    fn error_strings_are_not_fields() {
+        let src = r#"
+impl ToJson for E {
+    fn to_json(&self) -> Json {
+        let _ = format!("not a field {}", 1);
+        Json::obj([("x", self.x.to_json())])
+    }
+}
+impl FromJson for E {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(E { x: v.field_or("x", 0)? })
+    }
+}
+"#;
+        assert!(run_schema(src, &[]).is_empty());
+    }
+}

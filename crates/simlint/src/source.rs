@@ -1,0 +1,383 @@
+//! Per-file source model: the token stream plus the derived structure the
+//! rules need — `#[cfg(test)]` spans, function spans, and parsed
+//! `// simlint: allow(...)` annotations.
+
+use crate::lexer::{lex, Comment, Tok, TokKind};
+
+/// A half-open token-index span `[start, end)`.
+pub type Span = (usize, usize);
+
+/// One `fn` item: its name and the token span of its body.
+#[derive(Clone, Debug)]
+pub struct FnSpan {
+    /// Function name.
+    pub name: String,
+    /// Token index of the `fn` keyword.
+    pub sig_start: usize,
+    /// Token index of the body's opening `{`.
+    pub body_open: usize,
+    /// Token index one past the body's closing `}`.
+    pub body_end: usize,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+}
+
+/// A parsed suppression annotation.
+///
+/// Grammar: `simlint: allow(<rule>[, <rule>]*) — <reason>` inside a
+/// comment. The em-dash may also be written `--` or `-`. The reason is
+/// mandatory; an annotation without one is itself a violation
+/// (`allow-syntax`), so suppressions are never silent. The annotation
+/// covers its own line and the line directly below it, so both trailing
+/// and preceding-line comments work.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    /// 1-based line of the annotation comment.
+    pub line: u32,
+    /// Rule identifiers the annotation suppresses.
+    pub rules: Vec<String>,
+    /// Human justification (mandatory).
+    pub reason: String,
+}
+
+/// A malformed `simlint:` comment, reported as an `allow-syntax` violation.
+#[derive(Clone, Debug)]
+pub struct BadAllow {
+    /// 1-based line of the malformed comment.
+    pub line: u32,
+    /// What was wrong with it.
+    pub what: String,
+}
+
+/// A fully analysed source file.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Path relative to the lint root, `/`-separated.
+    pub rel: String,
+    /// Crate the file belongs to (directory name under `crates/`, or
+    /// `workspace-root` for files outside it).
+    pub crate_name: String,
+    /// True when the whole file is test/tooling code (under `tests/`,
+    /// `benches/` or `examples/`).
+    pub is_test_file: bool,
+    /// Token stream.
+    pub toks: Vec<Tok>,
+    /// Token spans of `#[cfg(test)]` / `#[test]` items.
+    pub test_spans: Vec<Span>,
+    /// Function spans in source order.
+    pub fns: Vec<FnSpan>,
+    /// Parsed allow annotations.
+    pub allows: Vec<Allow>,
+    /// Malformed `simlint:` comments.
+    pub bad_allows: Vec<BadAllow>,
+}
+
+impl SourceFile {
+    /// Lex and analyse one file.
+    pub fn analyse(rel: &str, src: &str) -> SourceFile {
+        let lexed = lex(src);
+        let test_spans = find_test_spans(&lexed.toks);
+        let fns = find_fn_spans(&lexed.toks);
+        let (allows, bad_allows) = parse_allows(&lexed.comments);
+        SourceFile {
+            rel: rel.to_string(),
+            crate_name: crate_of(rel),
+            is_test_file: is_test_path(rel),
+            toks: lexed.toks,
+            test_spans,
+            fns,
+            allows,
+            bad_allows,
+        }
+    }
+
+    /// True when the token at `idx` sits inside test-only code (a
+    /// `#[cfg(test)]` / `#[test]` item) or the whole file is test/tooling.
+    pub fn in_test(&self, idx: usize) -> bool {
+        self.is_test_file || self.test_spans.iter().any(|&(s, e)| idx >= s && idx < e)
+    }
+
+    /// The innermost function span containing token `idx`, if any.
+    pub fn enclosing_fn(&self, idx: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| idx >= f.sig_start && idx < f.body_end)
+            .min_by_key(|f| f.body_end - f.sig_start)
+    }
+
+    /// The allow annotation covering `line` for `rule`, if any.
+    pub fn allow_for(&self, rule: &str, line: u32) -> Option<&Allow> {
+        self.allows
+            .iter()
+            .find(|a| (a.line == line || a.line + 1 == line) && a.rules.iter().any(|r| r == rule))
+    }
+}
+
+/// Crate classification from a root-relative path.
+fn crate_of(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    if parts.next() == Some("crates") {
+        if let Some(name) = parts.next() {
+            return name.to_string();
+        }
+    }
+    "workspace-root".to_string()
+}
+
+/// True for paths whose every rule should treat them as test/tooling code.
+fn is_test_path(rel: &str) -> bool {
+    rel.split('/')
+        .any(|c| c == "tests" || c == "benches" || c == "examples")
+}
+
+/// Find `#[cfg(test)]` / `#[test]` item spans by brace matching.
+fn find_test_spans(toks: &[Tok]) -> Vec<Span> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < toks.len() {
+        if !(toks[i].is_sym("#") && toks[i + 1].is_sym("[")) {
+            i += 1;
+            continue;
+        }
+        let attr_end = match match_delim(toks, i + 1, "[", "]") {
+            Some(e) => e,
+            None => break,
+        };
+        if is_test_attr(&toks[i + 2..attr_end]) {
+            // Skip any further attributes between this one and the item.
+            let mut k = attr_end + 1;
+            while k + 1 < toks.len() && toks[k].is_sym("#") && toks[k + 1].is_sym("[") {
+                match match_delim(toks, k + 1, "[", "]") {
+                    Some(e) => k = e + 1,
+                    None => break,
+                }
+            }
+            if let Some(end) = item_end(toks, k) {
+                spans.push((i, end));
+                i = end;
+                continue;
+            }
+        }
+        i = attr_end + 1;
+    }
+    spans
+}
+
+/// True when the attribute tokens mark test-only code: `test`,
+/// `cfg(test)`, or any `cfg(...)` mentioning `test`.
+fn is_test_attr(inner: &[Tok]) -> bool {
+    match inner.first() {
+        Some(t) if t.is_ident("test") => true,
+        Some(t) if t.is_ident("cfg") => inner.iter().any(|t| t.is_ident("test")),
+        _ => false,
+    }
+}
+
+/// Token index one past the end of the item starting at `start`: either a
+/// brace-matched block or a `;`-terminated item.
+fn item_end(toks: &[Tok], start: usize) -> Option<usize> {
+    let mut depth_round = 0i32;
+    let mut depth_square = 0i32;
+    let mut j = start;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.kind == TokKind::Sym {
+            match t.text.as_str() {
+                "(" => depth_round += 1,
+                ")" => depth_round -= 1,
+                "[" => depth_square += 1,
+                "]" => depth_square -= 1,
+                "{" => return match_delim(toks, j, "{", "}").map(|e| e + 1),
+                ";" if depth_round == 0 && depth_square == 0 => return Some(j + 1),
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Index of the delimiter closing the one at `open` (which must hold the
+/// opening token).
+fn match_delim(toks: &[Tok], open: usize, od: &str, cd: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_sym(od) {
+            depth += 1;
+        } else if t.is_sym(cd) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Find all `fn` items that have a body.
+fn find_fn_spans(toks: &[Tok]) -> Vec<FnSpan> {
+    let mut fns = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("fn") {
+            continue;
+        }
+        let name = match toks.get(i + 1) {
+            Some(t) if t.kind == TokKind::Ident => t.text.clone(),
+            _ => continue,
+        };
+        // Body opens at the first `{` at bracket depth 0 after the name; a
+        // `;` first means a bodyless trait/extern declaration.
+        let mut depth_round = 0i32;
+        let mut depth_square = 0i32;
+        let mut j = i + 2;
+        let mut open = None;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.kind == TokKind::Sym {
+                match t.text.as_str() {
+                    "(" => depth_round += 1,
+                    ")" => depth_round -= 1,
+                    "[" => depth_square += 1,
+                    "]" => depth_square -= 1,
+                    "{" if depth_round == 0 && depth_square == 0 => {
+                        open = Some(j);
+                        break;
+                    }
+                    ";" if depth_round == 0 && depth_square == 0 => break,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        let open = match open {
+            Some(o) => o,
+            None => continue,
+        };
+        if let Some(close) = match_delim(toks, open, "{", "}") {
+            fns.push(FnSpan {
+                name,
+                sig_start: i,
+                body_open: open,
+                body_end: close + 1,
+                line: toks[i].line,
+            });
+        }
+    }
+    fns
+}
+
+/// Parse `simlint:` annotations out of the comment stream.
+fn parse_allows(comments: &[Comment]) -> (Vec<Allow>, Vec<BadAllow>) {
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        // Only comments that *are* a directive count: after stripping doc
+        // markers (`///`, `//!` leave `/`/`!` in the text), the comment
+        // must start with `simlint:`. Prose that merely mentions the
+        // grammar is ignored.
+        let text = c.text.trim_start_matches(['/', '!']).trim();
+        let rest = match text.strip_prefix("simlint:") {
+            Some(r) => r.trim_start(),
+            None => continue,
+        };
+        let rest = match rest.strip_prefix("allow") {
+            Some(r) => r.trim_start(),
+            None => {
+                bad.push(BadAllow {
+                    line: c.line,
+                    what: "only `simlint: allow(<rule>) — <reason>` is recognised".to_string(),
+                });
+                continue;
+            }
+        };
+        let (inner, after) = match rest.strip_prefix('(').and_then(|r| {
+            r.find(')')
+                .map(|close| (r[..close].trim(), r[close + 1..].trim_start()))
+        }) {
+            Some(pair) => pair,
+            None => {
+                bad.push(BadAllow {
+                    line: c.line,
+                    what: "missing `(<rule>)` after `allow`".to_string(),
+                });
+                continue;
+            }
+        };
+        let rules: Vec<String> = inner
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rules.is_empty() {
+            bad.push(BadAllow {
+                line: c.line,
+                what: "empty rule list".to_string(),
+            });
+            continue;
+        }
+        let reason = ["—", "--", "-"]
+            .iter()
+            .find_map(|d| after.strip_prefix(d))
+            .map(str::trim)
+            .unwrap_or("");
+        if reason.is_empty() {
+            bad.push(BadAllow {
+                line: c.line,
+                what: "missing justification: write `allow(<rule>) — <reason>`".to_string(),
+            });
+            continue;
+        }
+        allows.push(Allow {
+            line: c.line,
+            rules,
+            reason: reason.to_string(),
+        });
+    }
+    (allows, bad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_spans_cover_cfg_test_modules() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests { fn t() { bad(); } }\nfn after() {}";
+        let f = SourceFile::analyse("crates/x/src/lib.rs", src);
+        let bad_idx = f.toks.iter().position(|t| t.is_ident("bad")).unwrap();
+        let live_idx = f.toks.iter().position(|t| t.is_ident("live")).unwrap();
+        let after_idx = f.toks.iter().position(|t| t.is_ident("after")).unwrap();
+        assert!(f.in_test(bad_idx));
+        assert!(!f.in_test(live_idx));
+        assert!(!f.in_test(after_idx));
+    }
+
+    #[test]
+    fn fn_spans_and_enclosing() {
+        let src = "fn outer() { let x = 1; }\nfn sig_only(a: [u8; 4]) -> u8 { a[0] }";
+        let f = SourceFile::analyse("crates/x/src/lib.rs", src);
+        assert_eq!(f.fns.len(), 2);
+        let x_idx = f.toks.iter().position(|t| t.is_ident("x")).unwrap();
+        assert_eq!(f.enclosing_fn(x_idx).unwrap().name, "outer");
+    }
+
+    #[test]
+    fn allow_grammar() {
+        let src = "// simlint: allow(wall-clock) — profiling helper\nfn f() {}\n// simlint: allow(map-iter)\nfn g() {}\n";
+        let f = SourceFile::analyse("crates/x/src/lib.rs", src);
+        assert_eq!(f.allows.len(), 1);
+        assert_eq!(f.allows[0].rules, ["wall-clock"]);
+        assert!(f.allow_for("wall-clock", 2).is_some());
+        assert!(f.allow_for("wall-clock", 3).is_none());
+        assert_eq!(f.bad_allows.len(), 1, "reason-less allow is malformed");
+    }
+
+    #[test]
+    fn crate_classification() {
+        assert_eq!(crate_of("crates/tstat/src/lib.rs"), "tstat");
+        assert_eq!(crate_of("src/lib.rs"), "workspace-root");
+        assert!(is_test_path("crates/workload/tests/x.rs"));
+        assert!(is_test_path("examples/demo.rs"));
+        assert!(!is_test_path("crates/workload/src/driver.rs"));
+    }
+}

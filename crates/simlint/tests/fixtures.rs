@@ -1,0 +1,125 @@
+//! Fixture-based self-tests: each known-bad tree must produce exactly the
+//! expected findings under the workspace configuration, and the known-good
+//! tree must pass clean. The fixtures mirror the real layout
+//! (`crates/<name>/src/...`), so [`simlint::Options::workspace`] applies
+//! unchanged — the same configuration the verify gate runs.
+
+use simlint::{Options, Report};
+use std::path::PathBuf;
+
+fn lint(fixture: &str) -> Report {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(fixture);
+    simlint::run(&root, &Options::workspace()).expect("fixture tree readable")
+}
+
+fn rules(report: &Report) -> Vec<&str> {
+    report.violations.iter().map(|v| v.rule.as_str()).collect()
+}
+
+#[test]
+fn clean_fixture_passes() {
+    let r = lint("clean");
+    assert!(r.ok(), "expected clean, got: {:?}", r.violations);
+    assert!(r.allowed.is_empty());
+    assert!(r.files_scanned >= 2);
+}
+
+#[test]
+fn wallclock_fixture_fails() {
+    let r = lint("wallclock");
+    assert_eq!(rules(&r), ["wall-clock", "wall-clock", "wall-clock"]);
+    let msgs: Vec<&str> = r.violations.iter().map(|v| v.message.as_str()).collect();
+    assert!(msgs.iter().any(|m| m.contains("SystemTime::now")));
+    assert!(msgs.iter().any(|m| m.contains("Instant::now")));
+    assert!(msgs.iter().any(|m| m.contains("thread::spawn")));
+}
+
+#[test]
+fn mapiter_sim_fixture_fails_strict() {
+    let r = lint("mapiter_sim");
+    assert_eq!(rules(&r), ["map-iter", "map-iter"], "{:?}", r.violations);
+    assert!(r.violations[0].message.contains("flows"));
+    assert!(r.violations[1].message.contains("tags"));
+}
+
+#[test]
+fn mapiter_emit_fixture_flags_only_emission_reaching() {
+    let r = lint("mapiter_emit");
+    assert_eq!(rules(&r), ["map-iter"], "{:?}", r.violations);
+    assert!(r.violations[0].message.contains("samples"));
+    assert!(r.violations[0].message.contains("emission"));
+}
+
+#[test]
+fn allowed_fixture_suppresses_with_justification() {
+    let r = lint("allowed");
+    assert!(r.ok(), "justified allow must suppress: {:?}", r.violations);
+    assert_eq!(r.allowed.len(), 1);
+    assert_eq!(r.allowed[0].rule, "wall-clock");
+    assert!(r.allowed[0].reason.contains("self-profiling"));
+}
+
+#[test]
+fn badallow_fixture_reports_both_problems() {
+    let r = lint("badallow");
+    assert_eq!(
+        rules(&r),
+        ["allow-syntax", "wall-clock"],
+        "{:?}",
+        r.violations
+    );
+    assert!(r.allowed.is_empty(), "malformed allow must not suppress");
+}
+
+#[test]
+fn hermetic_fixture_fails() {
+    let r = lint("hermetic");
+    let mut got = rules(&r);
+    got.sort();
+    assert_eq!(
+        got,
+        [
+            "extern-crate",
+            "non-workspace-dep",
+            "non-workspace-dep",
+            "non-workspace-dep",
+            "process-spawn"
+        ],
+        "{:?}",
+        r.violations
+    );
+}
+
+#[test]
+fn panic_fixture_fails() {
+    let r = lint("panic");
+    assert_eq!(
+        rules(&r),
+        ["panic-path", "panic-path"],
+        "{:?}",
+        r.violations
+    );
+    assert!(r.violations[0].message.contains("unwrap"));
+    assert!(r.violations[1].message.contains("expect"));
+}
+
+#[test]
+fn schema_fixture_flags_only_strict_new_field() {
+    let r = lint("schema");
+    assert_eq!(rules(&r), ["schema-drift"], "{:?}", r.violations);
+    assert!(r.violations[0].message.contains("FixRec"));
+    assert!(r.violations[0].message.contains("fresh"));
+}
+
+#[test]
+fn reports_are_deterministic_and_machine_readable() {
+    let a = lint("hermetic");
+    let b = lint("hermetic");
+    let ja = simcore::json::to_string(&a.to_json());
+    let jb = simcore::json::to_string(&b.to_json());
+    assert_eq!(ja, jb, "report serialisation must be run-independent");
+    assert!(ja.contains("\"counts\""));
+    assert!(ja.contains("\"files_scanned\""));
+}

@@ -1,0 +1,9 @@
+//! Fixture: a violation suppressed by a well-formed, justified
+//! annotation. The report must list it under `allowed`, not `violations`.
+
+use std::time::Instant;
+
+pub fn profiled_section() -> Instant {
+    // simlint: allow(wall-clock) — coarse self-profiling only; the value never reaches simulation state or serialized output
+    Instant::now()
+}

@@ -1,0 +1,10 @@
+//! Fixture: a reason-less annotation is malformed (`allow-syntax`) and
+//! does NOT suppress the underlying violation — suppressions are never
+//! silent.
+
+use std::time::Instant;
+
+pub fn profiled_section() -> Instant {
+    // simlint: allow(wall-clock)
+    Instant::now()
+}

@@ -1,0 +1,56 @@
+//! Known-good fixture: everything here satisfies every rule family.
+
+use std::collections::BTreeMap;
+
+pub struct Monitor {
+    flows: BTreeMap<u64, u64>,
+}
+
+impl Monitor {
+    pub fn tick(&mut self, now: u64) {
+        // Ordered iteration is fine, and so are pure lookups.
+        for (_k, v) in self.flows.iter() {
+            let _ = v + now;
+        }
+        let _ = self.flows.get(&now);
+    }
+}
+
+pub struct Rec {
+    old: u64,
+    fresh: u64,
+}
+
+impl ToJson for Rec {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("old", self.old.to_json()),
+            ("fresh", self.fresh.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Rec {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Rec {
+            old: v.field_or("old", 0)?,
+            // New field, read with a default: the back-compat contract.
+            fresh: v.field_or("fresh", 0)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may use wall clocks, threads and hash maps freely.
+    use std::collections::HashMap;
+
+    #[test]
+    fn exempt() {
+        let t = std::time::Instant::now();
+        let m: HashMap<u32, u32> = HashMap::new();
+        for _ in m.iter() {}
+        let _ = t;
+        let _ = std::thread::spawn(|| ()).join().unwrap();
+    }
+}

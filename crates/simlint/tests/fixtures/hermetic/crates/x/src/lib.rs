@@ -1,0 +1,15 @@
+//! Fixture: hermeticity violations on the source side.
+
+extern crate serde;
+
+pub fn shell_out() -> bool {
+    std::process::Command::new("uname").status().is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn command_in_tests_is_fine() {
+        let _ = std::process::Command::new("true").status();
+    }
+}

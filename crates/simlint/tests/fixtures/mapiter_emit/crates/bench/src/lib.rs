@@ -1,0 +1,33 @@
+//! Known-bad fixture for the emission-reachability tier: `bench` is not a
+//! simulation crate, so hash-map iteration is flagged only in functions
+//! that (transitively) reach JSON/JSONL emission.
+
+use std::collections::HashMap;
+
+pub struct Results {
+    samples: HashMap<String, u64>,
+}
+
+impl Results {
+    // Flagged: iterates and feeds `write_report`, which serialises.
+    pub fn export(&self) -> Vec<Json> {
+        let mut out = Vec::new();
+        for (k, v) in self.samples.iter() {
+            out.push(write_report(k, *v));
+        }
+        out
+    }
+
+    // Not flagged: iteration that never reaches emission.
+    pub fn total(&self) -> u64 {
+        let mut acc = 0;
+        for v in self.samples.values() {
+            acc += v;
+        }
+        acc
+    }
+}
+
+fn write_report(k: &str, v: u64) -> Json {
+    Json::obj([(k, v.to_json())])
+}

@@ -1,0 +1,29 @@
+//! Known-bad fixture: hash-map iteration inside a simulation crate
+//! (strict tier — flagged whether or not it reaches emission).
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Monitor {
+    flows: HashMap<u64, u64>,
+}
+
+impl Monitor {
+    pub fn evict(&mut self) -> Vec<u64> {
+        // Field iteration: nondeterministic order.
+        self.flows.keys().copied().collect()
+    }
+
+    pub fn lookup(&self, k: u64) -> Option<u64> {
+        // Lookups alone are not flagged.
+        self.flows.get(&k).copied()
+    }
+}
+
+pub fn local_iteration() -> u64 {
+    let tags: HashSet<u64> = HashSet::new();
+    let mut acc = 0;
+    for t in &tags {
+        acc += t;
+    }
+    acc
+}

@@ -1,0 +1,12 @@
+//! Fixture: panics in a fault-recovery path.
+
+pub fn resume_transfer(state: Option<u64>, bytes: Result<u64, String>) -> u64 {
+    let s = state.unwrap();
+    let b = bytes.expect("transfer bytes");
+    s + b
+}
+
+pub fn resume_checked(state: Option<u64>) -> Option<u64> {
+    // Proper propagation is fine.
+    state.map(|s| s + 1)
+}

@@ -1,0 +1,49 @@
+//! Fixture: JSONL schema drift. `FixRec` writes a new field `fresh` that
+//! `from_json` reads strictly — logs written before the field existed
+//! would fail to parse. `GoodRec` shows the contract followed.
+
+pub struct FixRec {
+    old: u64,
+    fresh: u64,
+}
+
+impl ToJson for FixRec {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("old", self.old.to_json()),
+            ("fresh", self.fresh.to_json()),
+        ])
+    }
+}
+
+impl FromJson for FixRec {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(FixRec {
+            old: v.field_or("old", 0)?,
+            fresh: v.field("fresh")?,
+        })
+    }
+}
+
+pub struct GoodRec {
+    old: u64,
+    fresh: u64,
+}
+
+impl ToJson for GoodRec {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("old", self.old.to_json()),
+            ("fresh", self.fresh.to_json()),
+        ])
+    }
+}
+
+impl FromJson for GoodRec {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(GoodRec {
+            old: v.field_or("old", 0)?,
+            fresh: v.field_or("fresh", 0)?,
+        })
+    }
+}

@@ -1,0 +1,28 @@
+//! Known-bad fixture: wall-clock reads and a thread spawn in a
+//! simulation crate.
+
+use std::time::{Instant, SystemTime};
+
+pub fn bad_timestamp() -> u128 {
+    SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0)
+}
+
+pub fn bad_stopwatch() -> Instant {
+    Instant::now()
+}
+
+pub fn bad_parallelism() {
+    let h = std::thread::spawn(|| 1 + 1);
+    let _ = h.join();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,30 @@
+//! The real workspace must pass its own lint: every pre-existing
+//! violation is either fixed or carries a justified allow annotation.
+//! This is the same check `scripts/verify.sh` gates on.
+
+use simlint::Options;
+use std::path::PathBuf;
+
+#[test]
+fn workspace_passes_simlint_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let report = simlint::run(&root, &Options::workspace()).expect("workspace readable");
+    assert!(
+        report.ok(),
+        "workspace has simlint violations:\n{}",
+        report.render()
+    );
+    // The three RwLock-poisoning expects in the chunk store are the only
+    // sanctioned suppressions today; growth here needs justification.
+    assert!(
+        report.allowed.len() <= 8,
+        "suppression creep: {} allowed sites\n{}",
+        report.allowed.len(),
+        report.render()
+    );
+    // Sanity: the scan actually covered the tree.
+    assert!(report.files_scanned > 50, "{} files", report.files_scanned);
+}

@@ -27,7 +27,7 @@
 use nettrace::flow::{DirStats, FlowClose, NotifyMeta};
 use nettrace::{AppMarker, FlowKey, FlowRecord, Ipv4, Packet};
 use simcore::SimTime;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Maximum outstanding (unacknowledged) client segments tracked for RTT
 /// sampling per flow.
@@ -127,8 +127,8 @@ fn seq_le(a: u32, b: u32) -> bool {
 
 /// The passive monitor of one vantage point.
 pub struct Monitor {
-    flows: HashMap<FlowKey, FlowState>,
-    dns_view: HashMap<Ipv4, String>,
+    flows: BTreeMap<FlowKey, FlowState>,
+    dns_view: BTreeMap<Ipv4, String>,
     expose_dns: bool,
     done: Vec<FlowRecord>,
 }
@@ -138,8 +138,8 @@ impl Monitor {
     /// DNS traffic passes the probe (false in Campus 2, Sec. 3.2).
     pub fn new(expose_dns: bool) -> Self {
         Monitor {
-            flows: HashMap::new(),
-            dns_view: HashMap::new(),
+            flows: BTreeMap::new(),
+            dns_view: BTreeMap::new(),
             expose_dns,
             done: Vec::new(),
         }

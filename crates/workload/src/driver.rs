@@ -36,7 +36,7 @@ use dropbox_analysis::Dataset;
 use nettrace::{Endpoint, FlowKey, FlowRecord, Ipv4};
 use simcore::faults::{FaultPlan, FlowFaults};
 use simcore::{dist, Rng, SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tcpmodel::{simulate_faulty, TcpParams};
 use tstat::Monitor;
 
@@ -86,7 +86,7 @@ struct DeviceQueue {
     /// Per-commit chunk batches waiting for the next session start.
     pending: Vec<(SimTime, Vec<ChunkWork>)>,
     /// Pending commit batches per session index (resolved before render).
-    pending_at_start: HashMap<usize, Vec<Vec<ChunkWork>>>,
+    pending_at_start: BTreeMap<usize, Vec<Vec<ChunkWork>>>,
 }
 
 /// Flattened device handle.
@@ -142,7 +142,7 @@ pub fn simulate_vantage(
     // ---- Register devices and namespaces ------------------------------
     let mut devs: Vec<Dev> = Vec::new();
     let mut truth_users: Vec<Vec<u64>> = Vec::new();
-    let mut ns_members: HashMap<NamespaceId, Vec<usize>> = HashMap::new();
+    let mut ns_members: BTreeMap<NamespaceId, Vec<usize>> = BTreeMap::new();
     let mut fed_namespaces: Vec<NamespaceId> = Vec::new();
     let mut sched_rng = root_rng.fork_named("schedules");
 
@@ -257,7 +257,7 @@ pub fn simulate_vantage(
         content: Content,
         chunk_ids: Vec<ChunkId>,
     }
-    let mut ns_files: HashMap<NamespaceId, Vec<FileState>> = HashMap::new();
+    let mut ns_files: BTreeMap<NamespaceId, Vec<FileState>> = BTreeMap::new();
     let mut next_seed: u64 = root_rng.fork_named("contentseed").next_u64() | 1;
     let mut next_file: u64 = 1;
 
@@ -339,18 +339,14 @@ pub fn simulate_vantage(
                     });
                 }
                 next_file += 1;
+                // Journal bookkeeping on the meta-data plane.
+                if let Some(nsm) = md.namespace_mut(ns) {
+                    nsm.commit(FileId(next_file), content, ids.clone());
+                }
                 files.push(FileState {
                     content,
                     chunk_ids: ids,
                 });
-                // Journal bookkeeping on the meta-data plane.
-                if let Some(nsm) = md.namespace_mut(ns) {
-                    nsm.commit(
-                        FileId(next_file),
-                        content,
-                        files.last().unwrap().chunk_ids.clone(),
-                    );
-                }
             }
         }
         if chunks.is_empty() {
@@ -370,7 +366,7 @@ pub fn simulate_vantage(
     // to peers sharing the namespace, keeping that traffic off the WAN.
     let mut queues: Vec<DeviceQueue> = (0..devs.len()).map(|_| DeviceQueue::default()).collect();
     let mut uploads: Vec<Vec<(SimTime, Vec<ChunkWork>)>> = vec![Vec::new(); devs.len()];
-    let mut lans: HashMap<usize, LanSync> = HashMap::new();
+    let mut lans: BTreeMap<usize, LanSync> = BTreeMap::new();
     let mut prop_rng = root_rng.fork_named("propagation");
 
     for c in &commits {
@@ -529,7 +525,7 @@ pub fn simulate_vantage(
             ClientVersion::V1_2_52 => SimDuration::ZERO,
             ClientVersion::V1_4_0 => SimDuration::from_secs(60),
         };
-        let mut session_uploads: HashMap<usize, Vec<(SimTime, Vec<ChunkWork>)>> = HashMap::new();
+        let mut session_uploads: BTreeMap<usize, Vec<(SimTime, Vec<ChunkWork>)>> = BTreeMap::new();
         for (t, chunks) in &uploads[di] {
             if let Some(si) = dev.session_containing(*t) {
                 let list = session_uploads.entry(si).or_default();
@@ -543,7 +539,8 @@ pub fn simulate_vantage(
                 }
             }
         }
-        let mut session_downloads: HashMap<usize, Vec<(SimTime, Vec<ChunkWork>)>> = HashMap::new();
+        let mut session_downloads: BTreeMap<usize, Vec<(SimTime, Vec<ChunkWork>)>> =
+            BTreeMap::new();
         for (t, chunks) in &queues[di].online_downloads {
             let si = dev
                 .session_containing(*t)

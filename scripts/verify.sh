@@ -6,7 +6,16 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+# Warnings are errors throughout tier-1 (exported once so every cargo
+# invocation below shares one build fingerprint and artifact cache).
+export RUSTFLAGS="-D warnings"
+
 cargo fmt --check
+
+# Determinism & hermeticity lint: hard gate, exits non-zero on any
+# violation and writes results/simlint_report.json.
+cargo run --release --offline -p simlint
+
 cargo build --release --offline
 cargo test -q --offline
 
@@ -21,3 +30,7 @@ test -s "$smoke_dir/table2.txt"
 # Fault-substrate benchmark (writes crates/bench/BENCH_faults.json).
 cargo bench --offline -p bench --bench faults
 test -s crates/bench/BENCH_faults.json
+
+# Lint-pass benchmark (writes crates/bench/BENCH_simlint.json).
+cargo bench --offline -p bench --bench simlint
+test -s crates/bench/BENCH_simlint.json
