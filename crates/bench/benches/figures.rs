@@ -9,7 +9,7 @@ use std::sync::OnceLock;
 
 fn capture() -> &'static Capture {
     static CAPTURE: OnceLock<Capture> = OnceLock::new();
-    CAPTURE.get_or_init(|| run_capture(0.01, 2012, &workload::FaultPlan::none()))
+    CAPTURE.get_or_init(|| run_capture(0.01, 2012, &workload::FaultPlan::none(), 1))
 }
 
 fn bench_standalone(c: &mut Harness) {

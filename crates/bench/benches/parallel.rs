@@ -1,0 +1,123 @@
+//! Serial-vs-parallel capture benchmark: measures each shard of the paper
+//! plan serially, then the whole plan at `--jobs 2` and `--jobs 4`, and
+//! writes `BENCH_parallel.json`.
+//!
+//! Wall-clock speedup is hardware-bound (a 1-core container runs the
+//! parallel schedule no faster than serial), so next to the measured wall
+//! times the report records the **schedule speedup**: the makespan of the
+//! executor's greedy LPT schedule computed from the measured per-shard
+//! serial seconds. That figure is what the same run achieves on a machine
+//! with at least `jobs` free cores, and it is hardware-independent.
+//!
+//! Knobs: `BENCH_PARALLEL_SCALE` (population scale, default 0.1).
+
+use simcore::json::Json;
+use std::time::Instant;
+use workload::{simulate_shards, FaultPlan, ShardPlan};
+
+/// Makespan of greedy list scheduling (claim-when-free, plan order) —
+/// exactly `simcore::par::fork_join`'s worker behaviour — over measured
+/// per-shard seconds.
+fn schedule_makespan(shard_secs: &[f64], jobs: usize) -> f64 {
+    let mut free = vec![0.0f64; jobs.max(1)];
+    for &secs in shard_secs {
+        let next = free
+            .iter_mut()
+            .min_by(|a, b| a.partial_cmp(b).expect("finite times"))
+            .expect("at least one worker");
+        *next += secs;
+    }
+    free.iter().fold(0.0f64, |acc, &t| acc.max(t))
+}
+
+fn main() {
+    let scale: f64 = std::env::var("BENCH_PARALLEL_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1);
+    let seed = 2012u64;
+    let plan = ShardPlan::paper();
+    let faults = FaultPlan::none();
+
+    // Per-shard serial seconds. This is also the --jobs 1 wall time: the
+    // executor runs single-job plans inline on the calling thread.
+    let mut shard_secs: Vec<f64> = Vec::new();
+    let mut shard_rows: Vec<Json> = Vec::new();
+    let t_serial = Instant::now();
+    for shard in &plan.shards {
+        let t = Instant::now();
+        let out = shard.simulate(scale, seed, &faults);
+        let secs = t.elapsed().as_secs_f64();
+        eprintln!(
+            "  shard {:<40} {:>8.2}s  ({} flows)",
+            shard.label,
+            secs,
+            out.dataset.flows.len()
+        );
+        std::hint::black_box(&out);
+        shard_secs.push(secs);
+        shard_rows.push(Json::obj([
+            ("label", Json::Str(shard.label.clone())),
+            ("weight", Json::U64(shard.weight)),
+            ("serial_seconds", Json::F64(secs)),
+        ]));
+    }
+    let serial_secs = t_serial.elapsed().as_secs_f64();
+
+    let cores = simcore::par::available_jobs();
+    let mut job_rows: Vec<Json> = vec![Json::obj([
+        ("jobs", Json::U64(1)),
+        ("wall_seconds", Json::F64(serial_secs)),
+        (
+            "schedule_seconds",
+            Json::F64(schedule_makespan(&shard_secs, 1)),
+        ),
+        ("schedule_speedup", Json::F64(1.0)),
+    ])];
+    println!(
+        "\n{:<8}  {:>12}  {:>16}  {:>16}",
+        "jobs", "wall", "schedule", "schedule speedup"
+    );
+    println!(
+        "{:<8}  {:>11.2}s  {:>15.2}s  {:>16.2}",
+        1, serial_secs, serial_secs, 1.0
+    );
+    for jobs in [2usize, 4] {
+        let t = Instant::now();
+        let outs = simulate_shards(&plan, scale, seed, &faults, jobs);
+        let wall = t.elapsed().as_secs_f64();
+        std::hint::black_box(&outs);
+        let makespan = schedule_makespan(&shard_secs, jobs);
+        let speedup = serial_secs / makespan;
+        println!("{jobs:<8}  {wall:>11.2}s  {makespan:>15.2}s  {speedup:>16.2}");
+        job_rows.push(Json::obj([
+            ("jobs", Json::U64(jobs as u64)),
+            ("wall_seconds", Json::F64(wall)),
+            ("schedule_seconds", Json::F64(makespan)),
+            ("schedule_speedup", Json::F64(speedup)),
+        ]));
+    }
+
+    let json = Json::obj([
+        ("label", Json::Str("parallel".into())),
+        ("scale", Json::F64(scale)),
+        ("seed", Json::U64(seed)),
+        ("cores_available", Json::U64(cores as u64)),
+        (
+            "note",
+            Json::Str(
+                "one measured run per configuration; outputs are byte-identical at every \
+                 jobs value (tests/parallel_identity.rs). schedule_seconds is the greedy-LPT \
+                 makespan over the measured per-shard serial seconds — the wall time the same \
+                 run achieves with >= jobs free cores; wall_seconds reflects this machine \
+                 (cores_available may be 1)"
+                    .into(),
+            ),
+        ),
+        ("serial_seconds_total", Json::F64(serial_secs)),
+        ("shards", Json::Arr(shard_rows)),
+        ("jobs", Json::Arr(job_rows)),
+    ]);
+    std::fs::write("BENCH_parallel.json", json.dump() + "\n").expect("write benchmark results");
+    println!("\nwrote BENCH_parallel.json");
+}

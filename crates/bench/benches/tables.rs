@@ -11,14 +11,14 @@ use std::sync::OnceLock;
 /// benchmarks (building it once keeps `cargo bench` affordable).
 pub fn capture() -> &'static Capture {
     static CAPTURE: OnceLock<Capture> = OnceLock::new();
-    CAPTURE.get_or_init(|| run_capture(0.01, 2012, &workload::FaultPlan::none()))
+    CAPTURE.get_or_init(|| run_capture(0.01, 2012, &workload::FaultPlan::none(), 1))
 }
 
 fn bench_capture(c: &mut Harness) {
     let mut g = c.group("capture");
     g.sample_size(10);
     g.bench_function("run_capture_scale_0.004", |b| {
-        b.iter(|| run_capture(0.004, 7, &workload::FaultPlan::none()))
+        b.iter(|| run_capture(0.004, 7, &workload::FaultPlan::none(), 1))
     });
     g.finish();
 }

@@ -6,7 +6,7 @@
 //! upload (paper, Sec. 2.1). This crate implements those three primitives
 //! from scratch:
 //!
-//! * [`sha256`] — FIPS 180-4 SHA-256 (validated against the standard test
+//! * [`sha256`](mod@sha256) — FIPS 180-4 SHA-256 (validated against the standard test
 //!   vectors),
 //! * [`rolling`] — the Adler-32-style rolling checksum used by
 //!   rsync/librsync for weak block matching,

@@ -9,7 +9,7 @@
 //! SSL-adjusted transferred bytes by that duration.
 //!
 //! θ is the maximum throughput achievable by a flow that stays in TCP slow
-//! start, computed as in Dukkipati et al. [4] with an initial congestion
+//! start, computed as in Dukkipati et al. \[4\] with an initial congestion
 //! window of 3 segments, adjusted for the 3 RTTs of TCP+SSL handshakes.
 
 use crate::classify::{storage_tag, transfer_size, StorageTag};
@@ -62,7 +62,7 @@ pub struct ThetaModel {
     pub rtt: SimDuration,
     /// Maximum segment size in bytes.
     pub mss: u32,
-    /// Initial congestion window in segments ([4] argues for larger; the
+    /// Initial congestion window in segments (\[4\] argues for larger; the
     /// paper computes θ with 3).
     pub initcwnd: u32,
     /// Handshake overhead in RTTs before data flows (TCP + the "3 RTTs of

@@ -1,7 +1,10 @@
 //! Experiment harness: regenerates every table and figure of the paper.
 //!
 //! * [`run`] — simulates the four vantage points (and the Campus 1
-//!   Jun/Jul re-capture with Dropbox 1.4.0) and caches the outputs,
+//!   Jun/Jul re-capture with Dropbox 1.4.0) as shards of
+//!   `workload::ShardPlan::paper` on `simcore::par`'s deterministic
+//!   fork-join executor; `--jobs N` changes wall-clock time only, never
+//!   a single output byte,
 //! * [`report`] — plain-text/CSV report plumbing,
 //! * [`tables`] — Tables 1–5,
 //! * [`figures`] — Figures 1–21,
@@ -17,7 +20,7 @@
 //! The `repro` binary drives everything:
 //!
 //! ```text
-//! repro all --scale 0.1 --seed 7 --out results/
+//! repro all --scale 0.1 --seed 7 --jobs 4 --out results/
 //! repro fig9 table5
 //! ```
 

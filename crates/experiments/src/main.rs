@@ -1,13 +1,17 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [IDS...] [--scale S] [--seed N] [--out DIR] [--faults N]
-//!       [--export-traces]
+//! repro [IDS...] [--scale S] [--seed N] [--jobs N] [--out DIR]
+//!       [--faults N] [--export-traces]
 //!
 //!   IDS     table1..table5, fig1..fig21, validation, recommendations,
 //!           or `all` (default)
 //!   --scale population scale factor (default 0.1)
 //!   --seed  simulation seed (default 2012)
+//!   --jobs N          simulate the five captures on up to N worker
+//!                     threads (0 = auto-detect, the default; 1 = strictly
+//!                     serial). Changes wall-clock time only: artifacts
+//!                     are byte-identical at every N
 //!   --out   output directory (default results/)
 //!   --faults N        inject network/server faults from the lossy plan
 //!                     seeded with N (default: fault-free)
@@ -32,6 +36,7 @@ fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut scale = 0.1f64;
     let mut seed = 2012u64;
+    let mut jobs = 0usize; // 0 = auto-detect
     let mut out_dir = PathBuf::from("results");
     let mut export_traces = false;
     let mut fault_seed: Option<u64> = None;
@@ -41,6 +46,7 @@ fn main() {
         match a.as_str() {
             "--scale" => scale = args.next().expect("--scale value").parse().expect("scale"),
             "--seed" => seed = args.next().expect("--seed value").parse().expect("seed"),
+            "--jobs" => jobs = args.next().expect("--jobs value").parse().expect("jobs"),
             "--out" => out_dir = PathBuf::from(args.next().expect("--out value")),
             "--export-traces" => export_traces = true,
             "--faults" => {
@@ -53,7 +59,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [IDS...] [--scale S] [--seed N] [--out DIR] [--faults N] [--export-traces]"
+                    "usage: repro [IDS...] [--scale S] [--seed N] [--jobs N] [--out DIR] [--faults N] [--export-traces]"
                 );
                 return;
             }
@@ -106,15 +112,20 @@ fn main() {
             Some(fs) => FaultPlan::lossy(fs, 42),
             None => FaultPlan::none(),
         };
+        let resolved_jobs = if jobs == 0 {
+            simcore::par::available_jobs()
+        } else {
+            jobs
+        };
         eprintln!(
-            "simulating 4 vantage points + the Jun/Jul re-capture (scale {scale}, seed {seed}{})…",
+            "simulating 4 vantage points + the Jun/Jul re-capture (scale {scale}, seed {seed}, jobs {resolved_jobs}{})…",
             match fault_seed {
                 Some(fs) => format!(", fault seed {fs}"),
                 None => String::new(),
             }
         );
         let t0 = Instant::now();
-        let cap = run_capture(scale, seed, &plan);
+        let cap = run_capture(scale, seed, &plan, resolved_jobs);
         eprintln!("simulation finished in {:.1}s", t0.elapsed().as_secs_f64());
         let total_flows: usize = cap.vantages.iter().map(|v| v.dataset.flows.len()).sum();
         eprintln!("flow records: {total_flows}");
@@ -182,7 +193,8 @@ fn main() {
         "# results index\n\ngenerated by `repro`; see EXPERIMENTS.md for paper-vs-measured.\n\n",
     );
     index.push_str(&format!(
-        "run parameters: scale {scale}, seed {seed}\n\n| report | title | artifacts |\n|---|---|---|\n"
+        "run parameters: scale {scale}, seed {seed} (five capture shards; \
+         byte-identical at every `--jobs` value)\n\n| report | title | artifacts |\n|---|---|---|\n"
     ));
     for rep in &reports {
         println!("{}", rep.render());
@@ -199,6 +211,12 @@ fn main() {
             arts = artifacts.join(", ")
         ));
     }
+    index.push_str(
+        "\nBenchmark artifacts (written by `cargo bench -p bench`, not by `repro`):\n\
+         `BENCH_parallel.json` (serial-vs-parallel capture speedup; see EXPERIMENTS.md),\n\
+         `BENCH_faults.json`, `BENCH_simlint.json`, and the substrate/figures/tables\n\
+         benches, all under `crates/bench/`.\n",
+    );
     fs::write(out_dir.join("INDEX.md"), index).expect("write index");
     eprintln!("wrote {} reports to {}", reports.len(), out_dir.display());
 }

@@ -1,9 +1,14 @@
 //! Capture orchestration: simulate all vantage points once, reuse
 //! everywhere.
+//!
+//! The five captures (four Mar–May vantage points + the Campus 1 Jun/Jul
+//! re-capture) run as shards of [`workload::ShardPlan::paper`] on
+//! `simcore::par`'s deterministic fork-join executor. `jobs` controls
+//! wall-clock time only: the assembled [`Capture`] is byte-identical for
+//! every worker count (`crates/workload/tests/parallel_identity.rs` pins
+//! this, per shard, down to the serialised flow logs).
 
-use dropbox::client::ClientVersion;
-use std::thread;
-use workload::{simulate_vantage, FaultPlan, SimOutput, VantageConfig, VantageKind};
+use workload::{simulate_shards, FaultPlan, ShardPlan, SimOutput, VantageKind};
 
 /// A full reproduction run: the four Mar–May captures plus the Campus 1
 /// Jun/Jul re-capture with Dropbox 1.4.0 (Table 4).
@@ -29,40 +34,19 @@ impl Capture {
     }
 }
 
-/// Simulate everything. The four main captures run on worker threads (they
-/// are independent deployments); the Jun/Jul re-capture runs 14 days.
-/// `faults` applies to every vantage point; pass [`FaultPlan::none`] for
-/// the clean reproduction.
-pub fn run_capture(scale: f64, seed: u64, faults: &FaultPlan) -> Capture {
-    let configs: Vec<VantageConfig> = VantageKind::ALL
-        .iter()
-        .map(|&k| VantageConfig::paper(k, scale))
-        .collect();
-
-    let mut vantages: Vec<Option<SimOutput>> = Vec::new();
-    for _ in 0..configs.len() {
-        vantages.push(None);
-    }
-    thread::scope(|s| {
-        let mut handles = Vec::new();
-        for config in &configs {
-            handles.push(
-                s.spawn(move || simulate_vantage(config, ClientVersion::V1_2_52, seed, faults)),
-            );
-        }
-        for (slot, h) in vantages.iter_mut().zip(handles) {
-            *slot = Some(h.join().expect("vantage simulation panicked"));
-        }
-    });
-
-    let mut c1_config = VantageConfig::paper(VantageKind::Campus1, scale);
-    c1_config.days = 14; // Jun/Jul re-capture window
-    let campus1_v14 = simulate_vantage(&c1_config, ClientVersion::V1_4_0, seed ^ 0x14, faults);
-
+/// Simulate everything on up to `jobs` worker threads (`1` = strictly
+/// serial on the calling thread; see `simcore::par::available_jobs` for
+/// an "auto" value). `faults` applies to every capture; pass
+/// [`FaultPlan::none`] for the clean reproduction. Output bytes are
+/// independent of `jobs`.
+pub fn run_capture(scale: f64, seed: u64, faults: &FaultPlan, jobs: usize) -> Capture {
+    let plan = ShardPlan::paper();
+    let mut outputs = simulate_shards(&plan, scale, seed, faults, jobs);
+    let campus1_v14 = outputs.pop().expect("plan ends with the re-capture");
     Capture {
         scale,
         seed,
-        vantages: vantages.into_iter().map(|v| v.expect("filled")).collect(),
+        vantages: outputs,
         campus1_v14,
     }
 }
@@ -73,7 +57,7 @@ mod tests {
 
     #[test]
     fn capture_produces_all_vantages() {
-        let cap = run_capture(0.012, 3, &FaultPlan::none());
+        let cap = run_capture(0.012, 3, &FaultPlan::none(), 2);
         assert_eq!(cap.vantages.len(), 4);
         for (kind, out) in VantageKind::ALL.iter().zip(&cap.vantages) {
             assert_eq!(out.dataset.name, kind.name());
@@ -82,5 +66,22 @@ mod tests {
         assert_eq!(cap.campus1_v14.dataset.days, 14);
         // Accessor returns the right dataset.
         assert_eq!(cap.vantage(VantageKind::Home2).dataset.name, "Home 2");
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_capture() {
+        let a = run_capture(0.012, 3, &FaultPlan::none(), 1);
+        let b = run_capture(0.012, 3, &FaultPlan::none(), 3);
+        for (x, y) in a
+            .vantages
+            .iter()
+            .chain([&a.campus1_v14])
+            .zip(b.vantages.iter().chain([&b.campus1_v14]))
+        {
+            assert_eq!(x.dataset.flows.len(), y.dataset.flows.len());
+            let bytes =
+                |o: &SimOutput| -> u64 { o.dataset.flows.iter().map(|f| f.total_bytes()).sum() };
+            assert_eq!(bytes(x), bytes(y), "{} differs across jobs", x.dataset.name);
+        }
     }
 }

@@ -123,7 +123,7 @@ mod tests {
 
     #[test]
     fn validation_scores_are_high_on_a_small_run() {
-        let cap = run_capture(0.012, 11, &workload::FaultPlan::none());
+        let cap = run_capture(0.012, 11, &workload::FaultPlan::none(), 2);
         let rep = validate(&cap);
         // Extract the worst tag accuracy from the body sentinel line.
         let line = rep

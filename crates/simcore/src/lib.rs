@@ -20,13 +20,18 @@
 //!   the analysis layer and by tests,
 //! * [`json`] — a minimal std-only JSON value/emitter/parser with exact
 //!   `f64` round-tripping (the workspace's replacement for `serde_json`),
-//! * [`proptest`] — a deterministic property-testing harness driven by
-//!   [`rng::Rng`] fork streams (the replacement for the `proptest` crate).
+//! * [`proptest`](mod@proptest) — a deterministic property-testing harness driven by
+//!   [`rng::Rng`] fork streams (the replacement for the `proptest` crate),
+//! * [`par`] — the deterministic fork-join executor: pure shards with
+//!   per-shard SplitMix64 seed streams, merged in shard order, so
+//!   parallel runs are byte-identical to serial runs at any `--jobs`.
 //!
-//! No OS entropy, wall-clock time, or threads are used anywhere in this
-//! crate: simulations are bit-for-bit reproducible across runs and machines.
-//! The whole workspace builds offline: this crate (like every other crate in
-//! the tree) depends on nothing outside the standard library.
+//! No OS entropy or wall-clock time is used anywhere in this crate, and
+//! threads exist only inside [`par`] under its byte-identity contract
+//! (simlint's `par-exec` rule pins this): simulations are bit-for-bit
+//! reproducible across runs, machines, and worker counts. The whole
+//! workspace builds offline: this crate (like every other crate in the
+//! tree) depends on nothing outside the standard library.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,11 +40,13 @@ pub mod dist;
 pub mod events;
 pub mod faults;
 pub mod json;
+pub mod par;
 pub mod proptest;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use events::EventQueue;
+pub use par::ShardId;
 pub use rng::Rng;
 pub use time::{SimDuration, SimTime};

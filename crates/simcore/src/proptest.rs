@@ -6,7 +6,7 @@
 //! workspace's everything-derives-from-one-seed policy anyway. This module
 //! provides the subset the test-suites need:
 //!
-//! * [`Strategy`] — a value generator driven by [`Rng`](crate::Rng);
+//! * [`Strategy`] — a value generator driven by [`Rng`];
 //!   implemented for integer/float ranges, tuples of strategies, and via
 //!   the [`vec_of`]/[`from_fn`]/`any_*` combinators,
 //! * the [`proptest!`](crate::proptest!) macro — declares `#[test]`
@@ -179,7 +179,7 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
 /// Syntax mirrors the external `proptest!` macro for the subset this
 /// workspace uses: an optional `#![cases(N)]` header (default 256) followed
 /// by `#[test] fn name(binding in strategy, ...) { body }` items. See the
-/// [module docs](crate::proptest) for the seeding scheme.
+/// [module docs](mod@crate::proptest) for the seeding scheme.
 #[macro_export]
 macro_rules! proptest {
     (#![cases($n:expr)] $($rest:tt)*) => {

@@ -5,9 +5,11 @@
 //! even under fault plans. That claim rests on invariants the compiler
 //! does not check:
 //!
-//! * **determinism** — no wall-clock reads or thread spawns in simulation
-//!   crates, and no `HashMap`/`HashSet` iteration whose order can reach
-//!   serialized output ([`rules`], [`callgraph`]);
+//! * **determinism** — no wall-clock reads in simulation crates, OS
+//!   threads confined to the deterministic fork-join executor
+//!   (`simcore::par`, whose own shared-state uses must each be justified —
+//!   the `par-exec` rule), and no `HashMap`/`HashSet` iteration whose
+//!   order can reach serialized output ([`rules`], [`callgraph`]);
 //! * **hermeticity** — every dependency is an in-tree path dependency and
 //!   no code shells out ([`manifest`], [`rules`]);
 //! * **panic policy** — fault-recovery paths propagate errors instead of
@@ -40,6 +42,7 @@ use std::path::{Path, PathBuf};
 /// Every rule identifier the pass can emit.
 pub const RULES: &[&str] = &[
     "wall-clock",
+    "par-exec",
     "map-iter",
     "non-workspace-dep",
     "extern-crate",
@@ -179,6 +182,12 @@ pub struct Options {
     /// Root-relative path suffixes of fault-recovery files where
     /// `unwrap`/`expect` are banned.
     pub panic_path_files: Vec<String>,
+    /// Root-relative path suffixes of the deterministic parallel
+    /// executor(s): the only files where thread primitives are legal.
+    /// Inside them the `par-exec` rule inverts — shared-mutable-state
+    /// primitives are flagged instead, so every exception to "shards are
+    /// pure" carries a justified allow annotation.
+    pub par_exec_files: Vec<String>,
     /// Path suffixes exempt from the schema rule (the generic JSON
     /// substrate itself).
     pub schema_skip: Vec<String>,
@@ -248,6 +257,7 @@ impl Options {
             .iter()
             .map(|s| s.to_string())
             .collect(),
+            par_exec_files: vec!["crates/simcore/src/par.rs".to_string()],
             schema_skip: vec!["crates/simcore/src/json.rs".to_string()],
             schema_baseline: baseline
                 .iter()
@@ -328,6 +338,7 @@ pub fn run(root: &Path, opts: &Options) -> io::Result<Report> {
             });
         }
         rules::wall_clock(file, opts, &mut violations, &mut allowed);
+        rules::par_exec(file, opts, &mut violations, &mut allowed);
         rules::hermetic_source(file, &mut violations, &mut allowed);
         rules::panic_path(file, opts, &mut violations, &mut allowed);
         rules::map_iter(file, opts, emitting, &mut violations, &mut allowed);

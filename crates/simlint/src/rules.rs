@@ -5,9 +5,9 @@
 use crate::source::{SourceFile, Span};
 use crate::{emit, Options, Suppressed, Violation};
 
-/// Determinism: wall-clock reads and thread spawns are banned in
-/// simulation crates. Simulated time comes from the event loop; real time
-/// or scheduler interleaving would make runs irreproducible.
+/// Determinism: wall-clock reads are banned in simulation crates.
+/// Simulated time comes from the event loop; real time would make runs
+/// irreproducible. (Thread primitives are the [`par_exec`] rule.)
 pub fn wall_clock(
     file: &SourceFile,
     opts: &Options,
@@ -31,8 +31,6 @@ pub fn wall_clock(
             Some("SystemTime::now")
         } else if trailing2("Instant", "now") {
             Some("Instant::now")
-        } else if trailing2("thread", "spawn") {
-            Some("thread::spawn")
         } else {
             None
         };
@@ -48,6 +46,122 @@ pub fn wall_clock(
                 violations,
                 allowed,
             );
+        }
+    }
+}
+
+/// Types that introduce shared mutable state between threads. Banned even
+/// inside the parallel executor: its byte-identity argument rests on
+/// shards being pure, so every cross-thread cell needs an individual,
+/// justified allow annotation.
+const SHARED_STATE_TYPES: &[&str] = &[
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    "RefCell",
+    "Cell",
+    "UnsafeCell",
+    "OnceLock",
+    "LazyLock",
+];
+
+/// Read-modify-write methods on atomics, flagged alongside the types so
+/// each *use* of a scheduling cell carries its own justification.
+const SHARED_STATE_METHODS: &[&str] = &[
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// Determinism: OS threads are confined to the deterministic fork-join
+/// executor (`Options::par_exec_files`, normally `simcore::par`). Outside
+/// it, any `thread::spawn` / `thread::scope` / `thread::Builder` in a
+/// simulation crate is a violation; *inside* it, thread primitives are the
+/// point, but shared-mutable-state primitives (mutexes, cells, atomics and
+/// their read-modify-write calls, `static mut`) are flagged so that every
+/// hole in the "shards are pure" argument is individually justified.
+pub fn par_exec(
+    file: &SourceFile,
+    opts: &Options,
+    violations: &mut Vec<Violation>,
+    allowed: &mut Vec<Suppressed>,
+) {
+    let is_executor = opts
+        .par_exec_files
+        .iter()
+        .any(|suffix| file.rel.ends_with(suffix.as_str()));
+    if !is_executor && !opts.is_sim_crate(&file.crate_name) {
+        return;
+    }
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        if file.in_test(i) {
+            continue;
+        }
+        if is_executor {
+            let t = &toks[i];
+            let (what, line) = if t.kind == crate::lexer::TokKind::Ident
+                && (SHARED_STATE_TYPES.contains(&t.text.as_str()) || t.text.starts_with("Atomic"))
+            {
+                (format!("`{}`", t.text), t.line)
+            } else if t.is_sym(".")
+                && toks
+                    .get(i + 1)
+                    .is_some_and(|m| SHARED_STATE_METHODS.contains(&m.text.as_str()))
+                && toks.get(i + 2).is_some_and(|m| m.is_sym("("))
+            {
+                (format!("`.{}(...)`", toks[i + 1].text), toks[i + 1].line)
+            } else if t.is_ident("static") && toks.get(i + 1).is_some_and(|m| m.is_ident("mut")) {
+                ("`static mut`".to_string(), t.line)
+            } else {
+                continue;
+            };
+            emit(
+                file,
+                "par-exec",
+                line,
+                format!(
+                    "{what} in parallel executor `{}`: shards must stay pure — \
+                     justify scheduling-only state with an allow annotation",
+                    file.rel
+                ),
+                violations,
+                allowed,
+            );
+        } else {
+            let trailing2 = |b: &str| {
+                toks[i].is_ident("thread")
+                    && toks.get(i + 1).is_some_and(|t| t.is_sym("::"))
+                    && toks.get(i + 2).is_some_and(|t| t.is_ident(b))
+            };
+            let hit = if trailing2("spawn") {
+                Some("thread::spawn")
+            } else if trailing2("scope") {
+                Some("thread::scope")
+            } else if trailing2("Builder") {
+                Some("thread::Builder")
+            } else {
+                None
+            };
+            if let Some(what) = hit {
+                emit(
+                    file,
+                    "par-exec",
+                    toks[i].line,
+                    format!(
+                        "`{what}` in simulation crate `{}`: OS threads are confined to \
+                         the deterministic fork-join executor (`simcore::par`)",
+                        file.crate_name
+                    ),
+                    violations,
+                    allowed,
+                );
+            }
         }
     }
 }
@@ -384,6 +498,7 @@ mod tests {
         let mut v = Vec::new();
         let mut a = Vec::new();
         wall_clock(&file, &opts, &mut v, &mut a);
+        par_exec(&file, &opts, &mut v, &mut a);
         hermetic_source(&file, &mut v, &mut a);
         panic_path(&file, &opts, &mut v, &mut a);
         map_iter(&file, &opts, &emitting[0], &mut v, &mut a);
@@ -397,6 +512,40 @@ mod tests {
         let v = check(src, true);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, "wall-clock");
+    }
+
+    #[test]
+    fn thread_primitives_outside_the_executor_are_par_exec() {
+        for src in [
+            "fn f() { let h = std::thread::spawn(|| 1); let _ = h.join(); }",
+            "fn f() { std::thread::scope(|s| { let _ = s; }); }",
+            "fn f() { let b = thread::Builder::new(); let _ = b; }",
+        ] {
+            assert!(check(src, false).is_empty(), "non-sim crate: {src}");
+            let v = check(src, true);
+            assert_eq!(v.len(), 1, "{src}: {v:?}");
+            assert_eq!(v[0].rule, "par-exec");
+            assert!(v[0].message.contains("simcore::par"), "{}", v[0].message);
+        }
+    }
+
+    #[test]
+    fn executor_file_allows_threads_but_flags_shared_state() {
+        let src = "fn f() { std::thread::scope(|s| { let _ = s; });\n\
+                   let m = std::sync::Mutex::new(0);\n\
+                   let c = std::sync::atomic::AtomicUsize::new(0);\n\
+                   let _ = c.fetch_add(1, std::sync::atomic::Ordering::Relaxed);\n\
+                   let _ = m; }";
+        let file = SourceFile::analyse("crates/simcore/src/par.rs", src);
+        let opts = Options::workspace();
+        let mut v = Vec::new();
+        let mut a = Vec::new();
+        par_exec(&file, &opts, &mut v, &mut a);
+        let what: Vec<&str> = v.iter().map(|x| x.rule.as_str()).collect();
+        assert_eq!(what, ["par-exec", "par-exec", "par-exec"], "{v:?}");
+        assert!(v[0].message.contains("`Mutex`"));
+        assert!(v[1].message.contains("`AtomicUsize`"));
+        assert!(v[2].message.contains("`.fetch_add(...)`"));
     }
 
     #[test]

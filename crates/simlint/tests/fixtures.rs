@@ -29,11 +29,35 @@ fn clean_fixture_passes() {
 #[test]
 fn wallclock_fixture_fails() {
     let r = lint("wallclock");
-    assert_eq!(rules(&r), ["wall-clock", "wall-clock", "wall-clock"]);
+    // The thread spawn in the same fixture is the par-exec rule's beat.
+    assert_eq!(rules(&r), ["wall-clock", "wall-clock", "par-exec"]);
     let msgs: Vec<&str> = r.violations.iter().map(|v| v.message.as_str()).collect();
     assert!(msgs.iter().any(|m| m.contains("SystemTime::now")));
     assert!(msgs.iter().any(|m| m.contains("Instant::now")));
     assert!(msgs.iter().any(|m| m.contains("thread::spawn")));
+}
+
+#[test]
+fn parexec_fixture_fails_outside_the_executor_only() {
+    let r = lint("parexec");
+    // Sorted by file: the executor file's unjustified Mutex first, then
+    // the sim crate's thread::spawn / thread::scope.
+    assert_eq!(
+        rules(&r),
+        ["par-exec", "par-exec", "par-exec"],
+        "{:?}",
+        r.violations
+    );
+    assert!(r.violations[0].file.ends_with("crates/simcore/src/par.rs"));
+    assert!(r.violations[0].message.contains("`Mutex`"));
+    assert!(r.violations[1].file.ends_with("crates/workload/src/lib.rs"));
+    assert!(r.violations[1].message.contains("thread::spawn"));
+    assert!(r.violations[1].message.contains("simcore::par"));
+    assert!(r.violations[2].message.contains("thread::scope"));
+    // The annotated scheduling cursor is suppressed, not silently passed.
+    assert_eq!(r.allowed.len(), 1, "{:?}", r.allowed);
+    assert_eq!(r.allowed[0].rule, "par-exec");
+    assert!(r.allowed[0].reason.contains("scheduling"));
 }
 
 #[test]

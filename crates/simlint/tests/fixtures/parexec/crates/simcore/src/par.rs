@@ -1,0 +1,18 @@
+//! Fixture standing in for the real executor file: thread primitives are
+//! legal here, but shared mutable state must carry a justified allow
+//! annotation — the unannotated `Mutex` below is the violation.
+
+pub fn executor(n: usize) -> usize {
+    // simlint: allow(par-exec) — scheduling cursor only; never carries shard data
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let shared = std::sync::Mutex::new(0usize);
+    std::thread::scope(|s| {
+        for _ in 0..n {
+            s.spawn(|| {
+                let _ = &cursor;
+                let _ = &shared;
+            });
+        }
+    });
+    n
+}

@@ -1,0 +1,25 @@
+//! Known-bad fixture: thread primitives in a simulation crate, outside
+//! the deterministic fork-join executor (`simcore::par`).
+
+pub fn rogue_spawn() -> i32 {
+    let h = std::thread::spawn(|| 1 + 1);
+    h.join().unwrap_or(0)
+}
+
+pub fn rogue_scope() -> i32 {
+    let mut total = 0;
+    std::thread::scope(|s| {
+        let h = s.spawn(|| 21);
+        total = h.join().unwrap_or(0) * 2;
+    });
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn threads_in_tests_are_fine() {
+        let h = std::thread::spawn(|| ());
+        let _ = h.join();
+    }
+}

@@ -12,7 +12,7 @@
 //!   outstanding,
 //! * TLS server-name extraction from ClientHello/Certificate records,
 //! * FQDN labelling of server addresses from observed DNS answers
-//!   ("DNS to the Rescue", [2]) — available only at vantage points whose
+//!   ("DNS to the Rescue", \[2\]) — available only at vantage points whose
 //!   DNS traffic passes the probe (not Campus 2),
 //! * notification-payload inspection: device `host_int` and namespace
 //!   lists are cleartext (Sec. 2.3.1).

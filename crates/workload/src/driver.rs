@@ -128,7 +128,12 @@ pub fn simulate_vantage(
     seed: u64,
     faults: &FaultPlan,
 ) -> SimOutput {
-    let root_rng = Rng::new(seed).fork_named(config.kind.name());
+    // The capture's root stream IS its shard stream: derived from
+    // (capture seed, vantage label) through SplitMix64, so running this
+    // capture as a `shard::CaptureShard` on N workers or calling it
+    // directly here consumes identical randomness byte for byte.
+    let root_rng =
+        simcore::par::shard_stream(seed, simcore::ShardId::from_label(config.kind.name()));
     let plan_active = faults.is_active();
     let policy = RetryPolicy::default();
     let mut fault_stats = FaultStats::default();

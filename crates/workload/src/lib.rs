@@ -14,8 +14,17 @@
 //!   providers, YouTube, and residual traffic (Figs. 2–3),
 //! * [`driver`] — the end-to-end simulation: plays every device's sessions
 //!   through the `dropbox` protocol engine and the `tcpmodel` network onto
-//!   a `tstat` monitor, producing one [`dropbox_analysis`-ready] dataset
-//!   of flow records per vantage point.
+//!   a `tstat` monitor, producing one `dropbox_analysis`-ready dataset
+//!   of flow records per vantage point,
+//! * [`shard`] — the parallel decomposition: the five captures as
+//!   *(vantage point × simulated day window)* shards with independent
+//!   seed streams, executed on `simcore::par` so `--jobs N` runs are
+//!   byte-identical to serial runs.
+//!
+//! [`simulate_vantage`] itself is a deliberately *serial* kernel — one
+//! capture, one thread, one root seed stream. Parallelism happens only
+//! between captures, via [`shard::simulate_shards`]; `DESIGN.md` §7
+//! explains why the boundary sits there.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,8 +33,10 @@ pub mod activity;
 pub mod driver;
 pub mod population;
 pub mod providers;
+pub mod shard;
 pub mod vantage;
 
 pub use driver::{simulate_vantage, FaultStats, SimOutput};
+pub use shard::{simulate_shards, CaptureShard, ShardPlan};
 pub use simcore::faults::{FaultPlan, FlowFaults};
 pub use vantage::{VantageConfig, VantageKind};

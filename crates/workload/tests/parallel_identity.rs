@@ -1,0 +1,74 @@
+//! Serial-vs-parallel byte-identity: the determinism contract of
+//! `simcore::par` (DESIGN.md §7), pinned end-to-end.
+//!
+//! A `--jobs N` run must produce the same bytes as the serial run for
+//! every artifact. This test compares the serialised JSONL flow logs of
+//! every shard of a truncated paper plan — byte for byte — across worker
+//! counts 1, 2 and 4, both fault-free and under an active fault plan
+//! (fault injection draws from per-shard streams too, so it must be just
+//! as schedule-independent).
+
+use workload::driver::SimOutput;
+use workload::{simulate_shards, FaultPlan, ShardPlan};
+
+/// The canonical on-disk form of one shard's output: exactly what
+/// `repro --export-traces` writes (minus client anonymisation, which is
+/// itself deterministic).
+fn jsonl(out: &SimOutput) -> Vec<u8> {
+    let mut buf = Vec::new();
+    nettrace::flowlog::write_jsonl(&mut buf, &out.dataset.flows).expect("serialise flows");
+    buf
+}
+
+fn assert_byte_identical(faults: &FaultPlan, what: &str) {
+    let plan = ShardPlan::paper().truncated(4);
+    let scale = 0.015;
+    let seed = 2012;
+    let serial = simulate_shards(&plan, scale, seed, faults, 1);
+    assert_eq!(serial.len(), 5);
+    let serial_bytes: Vec<Vec<u8>> = serial.iter().map(jsonl).collect();
+    assert!(
+        serial_bytes.iter().any(|b| !b.is_empty()),
+        "{what}: degenerate run, nothing to compare"
+    );
+    for jobs in [2, 4] {
+        let par = simulate_shards(&plan, scale, seed, faults, jobs);
+        assert_eq!(par.len(), serial.len());
+        for ((a, b), bytes_a) in serial.iter().zip(&par).zip(&serial_bytes) {
+            assert_eq!(a.dataset.name, b.dataset.name, "{what}: merge order moved");
+            assert_eq!(
+                *bytes_a,
+                jsonl(b),
+                "{what}: {} flow log differs between --jobs 1 and --jobs {jobs}",
+                a.dataset.name
+            );
+            // Side channels must match too, not just the flow log.
+            assert_eq!(a.lan_synced, b.lan_synced, "{what}: lan_synced");
+            assert_eq!(
+                a.fault_stats.sync_retries, b.fault_stats.sync_retries,
+                "{what}: sync_retries"
+            );
+            assert_eq!(
+                a.fault_stats.aborted_flows, b.fault_stats.aborted_flows,
+                "{what}: aborted_flows"
+            );
+            assert_eq!(
+                a.fault_stats.notify_aborts, b.fault_stats.notify_aborts,
+                "{what}: notify_aborts"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_runs_are_byte_identical_fault_free() {
+    assert_byte_identical(&FaultPlan::none(), "fault-free");
+}
+
+#[test]
+fn parallel_runs_are_byte_identical_under_faults() {
+    // Horizon covers the truncated window; the plan stays active.
+    let faults = FaultPlan::lossy(9, 4);
+    assert!(faults.is_active());
+    assert_byte_identical(&faults, "faulty");
+}

@@ -19,13 +19,21 @@ cargo run --release --offline -p simlint
 cargo build --release --offline
 cargo test -q --offline
 
+# Rustdoc is part of tier-1: crate docs must build warning-clean.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
+
 # Fault-injected smoke run: the whole reproduction pipeline must survive a
-# lossy plan (resets, retries, outages) end to end.
+# lossy plan (resets, retries, outages) end to end — and a parallel run of
+# the same pipeline must be byte-identical to the serial one.
 smoke_dir="$(mktemp -d)"
-trap 'rm -rf "$smoke_dir"' EXIT
+par_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir" "$par_dir"' EXIT
 cargo run --release --offline -p experiments --bin repro -- \
-    table2 --scale 0.01 --faults 7 --out "$smoke_dir"
+    table2 --scale 0.01 --faults 7 --jobs 1 --out "$smoke_dir"
 test -s "$smoke_dir/table2.txt"
+cargo run --release --offline -p experiments --bin repro -- \
+    table2 --scale 0.01 --faults 7 --jobs 2 --out "$par_dir"
+diff -r "$smoke_dir" "$par_dir"
 
 # Fault-substrate benchmark (writes crates/bench/BENCH_faults.json).
 cargo bench --offline -p bench --bench faults
@@ -34,3 +42,9 @@ test -s crates/bench/BENCH_faults.json
 # Lint-pass benchmark (writes crates/bench/BENCH_simlint.json).
 cargo bench --offline -p bench --bench simlint
 test -s crates/bench/BENCH_simlint.json
+
+# Serial-vs-parallel capture benchmark (writes
+# crates/bench/BENCH_parallel.json; schedule_speedup is the
+# hardware-independent figure — see the file's "note").
+cargo bench --offline -p bench --bench parallel
+test -s crates/bench/BENCH_parallel.json

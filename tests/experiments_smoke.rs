@@ -6,7 +6,7 @@ use experiments::{ablations, figures, recommendations, tables, validation};
 
 #[test]
 fn every_report_generates() {
-    let cap = run_capture(0.012, 21, &workload::FaultPlan::none());
+    let cap = run_capture(0.012, 21, &workload::FaultPlan::none(), 2);
     let mut reports = vec![
         tables::table1(),
         tables::table2(&cap),
