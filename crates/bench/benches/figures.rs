@@ -5,11 +5,17 @@ use bench::Harness;
 use experiments::figures;
 use experiments::run::{run_capture, Capture};
 use experiments::validation;
+use experiments::CaptureSummary;
 use std::sync::OnceLock;
 
 fn capture() -> &'static Capture {
     static CAPTURE: OnceLock<Capture> = OnceLock::new();
     CAPTURE.get_or_init(|| run_capture(0.01, 2012, &workload::FaultPlan::none(), 1))
+}
+
+fn summary() -> &'static CaptureSummary {
+    static SUMMARY: OnceLock<CaptureSummary> = OnceLock::new();
+    SUMMARY.get_or_init(|| CaptureSummary::compute(capture()))
 }
 
 fn bench_standalone(c: &mut Harness) {
@@ -25,10 +31,11 @@ fn bench_standalone(c: &mut Harness) {
 
 fn bench_figures(c: &mut Harness) {
     let cap = capture();
+    let sum = summary();
     let mut g = c.group("figures");
     macro_rules! fig {
         ($name:ident) => {
-            g.bench_function(stringify!($name), |b| b.iter(|| figures::$name(cap)));
+            g.bench_function(stringify!($name), |b| b.iter(|| figures::$name(sum)));
         };
     }
     fig!(fig2);

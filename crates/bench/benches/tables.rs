@@ -5,6 +5,7 @@
 use bench::Harness;
 use experiments::run::{run_capture, Capture};
 use experiments::tables;
+use experiments::CaptureSummary;
 use std::sync::OnceLock;
 
 /// Shared scaled-down capture used by all table/figure regeneration
@@ -12,6 +13,11 @@ use std::sync::OnceLock;
 pub fn capture() -> &'static Capture {
     static CAPTURE: OnceLock<Capture> = OnceLock::new();
     CAPTURE.get_or_init(|| run_capture(0.01, 2012, &workload::FaultPlan::none(), 1))
+}
+
+fn summary() -> &'static CaptureSummary {
+    static SUMMARY: OnceLock<CaptureSummary> = OnceLock::new();
+    SUMMARY.get_or_init(|| CaptureSummary::compute(capture()))
 }
 
 fn bench_capture(c: &mut Harness) {
@@ -24,13 +30,13 @@ fn bench_capture(c: &mut Harness) {
 }
 
 fn bench_tables(c: &mut Harness) {
-    let cap = capture();
+    let sum = summary();
     let mut g = c.group("tables");
     g.bench_function("table1", |b| b.iter(tables::table1));
-    g.bench_function("table2", |b| b.iter(|| tables::table2(cap)));
-    g.bench_function("table3", |b| b.iter(|| tables::table3(cap)));
-    g.bench_function("table4", |b| b.iter(|| tables::table4(cap)));
-    g.bench_function("table5", |b| b.iter(|| tables::table5_report(cap)));
+    g.bench_function("table2", |b| b.iter(|| tables::table2(sum)));
+    g.bench_function("table3", |b| b.iter(|| tables::table3(sum)));
+    g.bench_function("table4", |b| b.iter(|| tables::table4(sum)));
+    g.bench_function("table5", |b| b.iter(|| tables::table5_report(sum)));
     g.finish();
 }
 

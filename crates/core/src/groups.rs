@@ -14,12 +14,14 @@
 //! * **heavy** — everything else.
 
 use crate::classify::{dropbox_role, ssl_adjusted, storage_tag, DropboxRole, StorageTag};
-use crate::sessions::merged_sessions;
+use crate::sessions::MergedSessionsAcc;
+use crate::stream::{run_one, Accumulate};
 use nettrace::{FlowRecord, Ipv4};
 use std::collections::{BTreeMap, BTreeSet};
+use std::mem::size_of;
 
 /// Activity of one household (one client address).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct HouseholdUsage {
     /// Whether the Dropbox *client application* was observed (storage,
     /// meta-data, or notification traffic). Households that only touch the
@@ -94,14 +96,25 @@ pub fn group_of(h: &HouseholdUsage) -> UserGroup {
     }
 }
 
-/// Aggregate a dataset's flows into per-household usage.
-pub fn aggregate_households(flows: &[FlowRecord]) -> BTreeMap<Ipv4, HouseholdUsage> {
-    let mut map: BTreeMap<Ipv4, HouseholdUsage> = BTreeMap::new();
-    for f in flows {
+/// Streaming household aggregation: per-flow usage folds in stream
+/// order; session counts come from the embedded merged-session
+/// accumulator at `finish`, after which web-only households are dropped
+/// (Sec. 5 accounts only for client transfers).
+#[derive(Default)]
+pub struct HouseholdsAcc {
+    map: BTreeMap<Ipv4, HouseholdUsage>,
+    sessions: MergedSessionsAcc,
+}
+
+impl Accumulate for HouseholdsAcc {
+    type Output = BTreeMap<Ipv4, HouseholdUsage>;
+
+    fn observe(&mut self, f: &FlowRecord) {
+        self.sessions.observe(f);
         let Some(role) = dropbox_role(f) else {
-            continue;
+            return;
         };
-        let h = map.entry(f.key.client.ip).or_default();
+        let h = self.map.entry(f.key.client.ip).or_default();
         h.days_online.insert(f.first_syn.day());
         match role {
             DropboxRole::ClientStorage => {
@@ -124,15 +137,38 @@ pub fn aggregate_households(flows: &[FlowRecord]) -> BTreeMap<Ipv4, HouseholdUsa
             _ => {}
         }
     }
-    // Session counts come from the merged notification sessions.
-    for s in merged_sessions(flows) {
-        if let Some(h) = map.get_mut(&s.household) {
-            h.sessions += 1;
+
+    fn finish(self) -> BTreeMap<Ipv4, HouseholdUsage> {
+        let mut map = self.map;
+        // Session counts come from the merged notification sessions.
+        for s in self.sessions.finish() {
+            if let Some(h) = map.get_mut(&s.household) {
+                h.sessions += 1;
+            }
         }
+        // Only households running the client participate (Sec. 5).
+        map.retain(|_, h| h.client_seen);
+        map
     }
-    // Only households running the client participate (Sec. 5).
-    map.retain(|_, h| h.client_seen);
-    map
+
+    fn state_bytes(&self) -> usize {
+        size_of::<Self>() - size_of::<MergedSessionsAcc>()
+            + self.sessions.state_bytes()
+            + self
+                .map
+                .values()
+                .map(|h| {
+                    size_of::<(Ipv4, HouseholdUsage)>()
+                        + h.devices.len() * size_of::<u64>()
+                        + h.days_online.len() * size_of::<u32>()
+                })
+                .sum::<usize>()
+    }
+}
+
+/// Aggregate a dataset's flows into per-household usage.
+pub fn aggregate_households(flows: &[FlowRecord]) -> BTreeMap<Ipv4, HouseholdUsage> {
+    run_one(flows, HouseholdsAcc::default())
 }
 
 /// One row of Table 5.

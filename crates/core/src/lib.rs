@@ -18,7 +18,11 @@
 //!   active devices, durations, namespaces (Secs. 5.2–5.5),
 //! * [`users`] — account inference by namespace-list comparison
 //!   (Sec. 2.3.1), scored against ground truth by the harness,
-//! * [`dataset`] — the vantage-point dataset wrapper and summary tables.
+//! * [`dataset`] — the vantage-point dataset wrapper and summary tables,
+//! * [`stream`] — the single-pass analysis substrate: the
+//!   [`stream::Accumulate`] trait every analysis implements and the
+//!   [`stream::Pipeline`] that fans one record stream out to all of them
+//!   (mirroring the paper's on-line Tstat processing).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,8 +32,10 @@ pub mod classify;
 pub mod dataset;
 pub mod groups;
 pub mod sessions;
+pub mod stream;
 pub mod throughput;
 pub mod users;
 
 pub use classify::{DropboxRole, Provider, StorageTag};
 pub use dataset::Dataset;
+pub use stream::{Accumulate, Pipeline};

@@ -7,12 +7,22 @@
 //! after a real gap (flows re-established within seconds after an abrupt
 //! reset belong to the same logical session — Figs. 14/15 and Table 5
 //! count those merged sessions).
+//!
+//! Every analysis here is a streaming accumulator ([`MergedSessionsAcc`]
+//! …) observing one record at a time; the historical slice functions are
+//! thin wrappers. Session merging needs flows time-ordered per device, so
+//! [`MergedSessionsAcc`] keeps one compact observation per notification
+//! flow (times, address, namespace list) and merges at `finish` — state
+//! O(notification flows), a small fraction of the capture, never the
+//! records themselves.
 
 use crate::classify::{dropbox_role, storage_tag, DropboxRole, StorageTag};
+use crate::stream::{run_one, Accumulate};
 use nettrace::{FlowRecord, Ipv4};
 use simcore::time::CaptureCalendar;
 use simcore::{SimDuration, SimTime};
 use std::collections::{BTreeMap, BTreeSet};
+use std::mem::size_of;
 
 /// Re-connections within this gap are the same logical session.
 pub const MERGE_GAP: SimDuration = SimDuration::from_secs(30);
@@ -39,124 +49,277 @@ impl DeviceSession {
     }
 }
 
-/// Notification flows of a record set, in time order per device.
-fn notify_flows(flows: &[FlowRecord]) -> BTreeMap<u64, Vec<&FlowRecord>> {
-    let mut per_dev: BTreeMap<u64, Vec<&FlowRecord>> = BTreeMap::new();
-    for f in flows {
+/// One notification-flow observation: the only state session merging
+/// needs per flow.
+#[derive(Clone, Debug)]
+struct NotifyObs {
+    first_syn: SimTime,
+    last_packet: SimTime,
+    household: Ipv4,
+    namespaces: Vec<u64>,
+}
+
+/// Streaming session merger: collects one compact observation per
+/// notification flow and merges them into logical [`DeviceSession`]s at
+/// `finish` (per-device time order, [`MERGE_GAP`] rule).
+#[derive(Default)]
+pub struct MergedSessionsAcc {
+    per_dev: BTreeMap<u64, Vec<NotifyObs>>,
+    obs_bytes: usize,
+}
+
+impl Accumulate for MergedSessionsAcc {
+    type Output = Vec<DeviceSession>;
+
+    fn observe(&mut self, f: &FlowRecord) {
         if dropbox_role(f) == Some(DropboxRole::NotifyControl) {
             if let Some(meta) = &f.notify {
-                per_dev.entry(meta.host_int).or_default().push(f);
-            }
-        }
-    }
-    for list in per_dev.values_mut() {
-        list.sort_by_key(|f| f.first_syn);
-    }
-    per_dev
-}
-
-/// Raw notification-flow durations in seconds (the Fig. 16 sample).
-pub fn raw_session_durations(flows: &[FlowRecord]) -> Vec<f64> {
-    flows
-        .iter()
-        .filter(|f| dropbox_role(f) == Some(DropboxRole::NotifyControl))
-        .map(|f| f.duration().as_secs_f64())
-        .collect()
-}
-
-/// Merge notification flows into logical device sessions.
-pub fn merged_sessions(flows: &[FlowRecord]) -> Vec<DeviceSession> {
-    let mut out = Vec::new();
-    for (host_int, list) in notify_flows(flows) {
-        let mut current: Option<DeviceSession> = None;
-        for f in list {
-            let ns = f
-                .notify
-                .as_ref()
-                .map(|m| m.namespaces.clone())
-                .unwrap_or_default();
-            match current.as_mut() {
-                Some(s)
-                    if f.first_syn.saturating_since(s.end) <= MERGE_GAP
-                        && f.key.client.ip == s.household =>
-                {
-                    s.end = s.end.max(f.last_packet);
-                    s.namespaces = ns;
-                }
-                _ => {
-                    if let Some(done) = current.take() {
-                        out.push(done);
-                    }
-                    current = Some(DeviceSession {
-                        host_int,
+                self.obs_bytes += size_of::<NotifyObs>() + meta.namespaces.len() * size_of::<u64>();
+                self.per_dev
+                    .entry(meta.host_int)
+                    .or_default()
+                    .push(NotifyObs {
+                        first_syn: f.first_syn,
+                        last_packet: f.last_packet,
                         household: f.key.client.ip,
-                        start: f.first_syn,
-                        end: f.last_packet,
-                        namespaces: ns,
+                        namespaces: meta.namespaces.clone(),
                     });
-                }
             }
         }
-        if let Some(done) = current.take() {
-            out.push(done);
+    }
+
+    fn finish(self) -> Vec<DeviceSession> {
+        let mut out = Vec::new();
+        for (host_int, mut list) in self.per_dev {
+            // Stable sort over arrival order == the historical sort over
+            // the flow slice.
+            list.sort_by_key(|o| o.first_syn);
+            let mut current: Option<DeviceSession> = None;
+            for o in list {
+                match current.as_mut() {
+                    Some(s)
+                        if o.first_syn.saturating_since(s.end) <= MERGE_GAP
+                            && o.household == s.household =>
+                    {
+                        s.end = s.end.max(o.last_packet);
+                        s.namespaces = o.namespaces;
+                    }
+                    _ => {
+                        if let Some(done) = current.take() {
+                            out.push(done);
+                        }
+                        current = Some(DeviceSession {
+                            host_int,
+                            household: o.household,
+                            start: o.first_syn,
+                            end: o.last_packet,
+                            namespaces: o.namespaces,
+                        });
+                    }
+                }
+            }
+            if let Some(done) = current.take() {
+                out.push(done);
+            }
+        }
+        out.sort_by_key(|s| s.start);
+        out
+    }
+
+    fn state_bytes(&self) -> usize {
+        size_of::<Self>() + self.per_dev.len() * size_of::<u64>() + self.obs_bytes
+    }
+}
+
+/// Streaming Fig. 16 sample: raw notification-flow durations in seconds.
+#[derive(Default)]
+pub struct RawDurationsAcc {
+    durations: Vec<f64>,
+}
+
+impl Accumulate for RawDurationsAcc {
+    type Output = Vec<f64>;
+
+    fn observe(&mut self, f: &FlowRecord) {
+        if dropbox_role(f) == Some(DropboxRole::NotifyControl) {
+            self.durations.push(f.duration().as_secs_f64());
         }
     }
-    out.sort_by_key(|s| s.start);
-    out
+
+    fn finish(self) -> Vec<f64> {
+        self.durations
+    }
+
+    fn state_bytes(&self) -> usize {
+        size_of::<Self>() + self.durations.len() * size_of::<f64>()
+    }
 }
 
-/// Distinct devices observed (by `host_int`) — Table 3's device counts.
-pub fn distinct_devices(flows: &[FlowRecord]) -> usize {
-    flows
-        .iter()
-        .filter_map(|f| f.notify.as_ref().map(|m| m.host_int))
-        .collect::<BTreeSet<u64>>()
-        .len()
+/// Streaming distinct-device counter (any flow carrying notify metadata).
+#[derive(Default)]
+pub struct DistinctDevicesAcc {
+    devices: BTreeSet<u64>,
 }
 
-/// Devices per household (Fig. 12): household address → device count.
-pub fn devices_per_household(flows: &[FlowRecord]) -> BTreeMap<Ipv4, usize> {
-    let mut map: BTreeMap<Ipv4, BTreeSet<u64>> = BTreeMap::new();
-    for f in flows {
+impl Accumulate for DistinctDevicesAcc {
+    type Output = usize;
+
+    fn observe(&mut self, f: &FlowRecord) {
         if let Some(meta) = &f.notify {
-            map.entry(f.key.client.ip)
+            self.devices.insert(meta.host_int);
+        }
+    }
+
+    fn finish(self) -> usize {
+        self.devices.len()
+    }
+
+    fn state_bytes(&self) -> usize {
+        size_of::<Self>() + self.devices.len() * size_of::<u64>()
+    }
+}
+
+/// Streaming Fig. 12: devices per household address.
+#[derive(Default)]
+pub struct DevicesPerHouseholdAcc {
+    map: BTreeMap<Ipv4, BTreeSet<u64>>,
+}
+
+impl Accumulate for DevicesPerHouseholdAcc {
+    type Output = BTreeMap<Ipv4, usize>;
+
+    fn observe(&mut self, f: &FlowRecord) {
+        if let Some(meta) = &f.notify {
+            self.map
+                .entry(f.key.client.ip)
                 .or_default()
                 .insert(meta.host_int);
         }
     }
-    map.into_iter().map(|(ip, set)| (ip, set.len())).collect()
+
+    fn finish(self) -> BTreeMap<Ipv4, usize> {
+        self.map
+            .into_iter()
+            .map(|(ip, set)| (ip, set.len()))
+            .collect()
+    }
+
+    fn state_bytes(&self) -> usize {
+        size_of::<Self>()
+            + self
+                .map
+                .values()
+                .map(|set| size_of::<(Ipv4, BTreeSet<u64>)>() + set.len() * size_of::<u64>())
+                .sum::<usize>()
+    }
 }
 
-/// Last observed namespace count per device (Fig. 13).
-pub fn namespaces_per_device(flows: &[FlowRecord]) -> BTreeMap<u64, usize> {
-    let mut latest: BTreeMap<u64, (SimTime, usize)> = BTreeMap::new();
-    for f in flows {
+/// Streaming Fig. 13: last observed namespace count per device.
+#[derive(Default)]
+pub struct NamespacesPerDeviceAcc {
+    latest: BTreeMap<u64, (SimTime, usize)>,
+}
+
+impl Accumulate for NamespacesPerDeviceAcc {
+    type Output = BTreeMap<u64, usize>;
+
+    fn observe(&mut self, f: &FlowRecord) {
         if let Some(meta) = &f.notify {
-            let entry = latest.entry(meta.host_int).or_insert((f.last_packet, 0));
+            let entry = self
+                .latest
+                .entry(meta.host_int)
+                .or_insert((f.last_packet, 0));
             if f.last_packet >= entry.0 {
                 *entry = (f.last_packet, meta.namespaces.len());
             }
         }
     }
-    latest.into_iter().map(|(h, (_, n))| (h, n)).collect()
+
+    fn finish(self) -> BTreeMap<u64, usize> {
+        self.latest.into_iter().map(|(h, (_, n))| (h, n)).collect()
+    }
+
+    fn state_bytes(&self) -> usize {
+        size_of::<Self>() + self.latest.len() * size_of::<(u64, (SimTime, usize))>()
+    }
+}
+
+/// Streaming Fig. 14: fraction of devices starting a session per day.
+#[derive(Default)]
+pub struct StartupsAcc {
+    days: u32,
+    sessions: MergedSessionsAcc,
+    devices: DistinctDevicesAcc,
+}
+
+impl StartupsAcc {
+    /// Track `days` capture days.
+    pub fn new(days: u32) -> Self {
+        StartupsAcc {
+            days,
+            ..StartupsAcc::default()
+        }
+    }
+}
+
+impl Accumulate for StartupsAcc {
+    type Output = Vec<f64>;
+
+    fn observe(&mut self, f: &FlowRecord) {
+        self.sessions.observe(f);
+        self.devices.observe(f);
+    }
+
+    fn finish(self) -> Vec<f64> {
+        let sessions = self.sessions.finish();
+        let total_devices = self.devices.finish().max(1) as f64;
+        let mut per_day: Vec<BTreeSet<u64>> = vec![BTreeSet::new(); self.days as usize];
+        for s in &sessions {
+            let d = s.start.day() as usize;
+            if d < per_day.len() {
+                per_day[d].insert(s.host_int);
+            }
+        }
+        per_day
+            .into_iter()
+            .map(|set| set.len() as f64 / total_devices)
+            .collect()
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.sessions.state_bytes() + self.devices.state_bytes()
+    }
+}
+
+/// Raw notification-flow durations in seconds (the Fig. 16 sample).
+pub fn raw_session_durations(flows: &[FlowRecord]) -> Vec<f64> {
+    run_one(flows, RawDurationsAcc::default())
+}
+
+/// Merge notification flows into logical device sessions.
+pub fn merged_sessions(flows: &[FlowRecord]) -> Vec<DeviceSession> {
+    run_one(flows, MergedSessionsAcc::default())
+}
+
+/// Distinct devices observed (by `host_int`) — Table 3's device counts.
+pub fn distinct_devices(flows: &[FlowRecord]) -> usize {
+    run_one(flows, DistinctDevicesAcc::default())
+}
+
+/// Devices per household (Fig. 12): household address → device count.
+pub fn devices_per_household(flows: &[FlowRecord]) -> BTreeMap<Ipv4, usize> {
+    run_one(flows, DevicesPerHouseholdAcc::default())
+}
+
+/// Last observed namespace count per device (Fig. 13).
+pub fn namespaces_per_device(flows: &[FlowRecord]) -> BTreeMap<u64, usize> {
+    run_one(flows, NamespacesPerDeviceAcc::default())
 }
 
 /// Fraction of all devices starting at least one session on each capture
 /// day (Fig. 14).
 pub fn startups_per_day(flows: &[FlowRecord], days: u32) -> Vec<f64> {
-    let sessions = merged_sessions(flows);
-    let total_devices = distinct_devices(flows).max(1) as f64;
-    let mut per_day: Vec<BTreeSet<u64>> = vec![BTreeSet::new(); days as usize];
-    for s in &sessions {
-        let d = s.start.day() as usize;
-        if d < per_day.len() {
-            per_day[d].insert(s.host_int);
-        }
-    }
-    per_day
-        .into_iter()
-        .map(|set| set.len() as f64 / total_devices)
-        .collect()
+    run_one(flows, StartupsAcc::new(days))
 }
 
 /// The hourly profiles of Fig. 15, averaged over working days.
@@ -172,77 +335,170 @@ pub struct HourlyProfiles {
     pub store: [f64; 24],
 }
 
-/// Compute Fig. 15's four hourly profiles over working days.
-pub fn hourly_profiles(flows: &[FlowRecord], days: u32) -> HourlyProfiles {
-    let sessions = merged_sessions(flows);
-    let total_devices = distinct_devices(flows).max(1) as f64;
-    let working_days: Vec<u32> = (0..days)
-        .filter(|&d| CaptureCalendar::is_working_day(d))
-        .collect();
-    let n_working = working_days.len().max(1) as f64;
-    let is_working = |t: SimTime| CaptureCalendar::is_working_day(t.day());
+/// Streaming Fig. 15: the four hourly profiles over working days. The
+/// storage-volume histograms fold per record in stream order (so float
+/// summation order matches the historical flow loop); the session parts
+/// fold from the merged sessions at `finish`.
+pub struct HourlyProfilesAcc {
+    days: u32,
+    sessions: MergedSessionsAcc,
+    devices: DistinctDevicesAcc,
+    retrieve: [f64; 24],
+    store: [f64; 24],
+    retr_total: f64,
+    store_total: f64,
+}
 
-    let mut startups = [0.0f64; 24];
-    let mut active = [0.0f64; 24];
-    for s in &sessions {
-        if is_working(s.start) {
-            startups[s.start.hour() as usize] += 1.0;
-        }
-        // Active during every hour bin the session overlaps, on working days.
-        let mut t = s.start;
-        let end = s.end.min(s.start + SimDuration::from_days(7));
-        while t <= end {
-            if is_working(t) {
-                active[t.hour() as usize] += 1.0;
-            }
-            t += SimDuration::from_hours(1);
+impl HourlyProfilesAcc {
+    /// Track `days` capture days.
+    pub fn new(days: u32) -> Self {
+        HourlyProfilesAcc {
+            days,
+            sessions: MergedSessionsAcc::default(),
+            devices: DistinctDevicesAcc::default(),
+            retrieve: [0.0; 24],
+            store: [0.0; 24],
+            retr_total: 0.0,
+            store_total: 0.0,
         }
     }
-    for v in &mut startups {
-        *v /= total_devices * n_working;
-    }
-    for v in &mut active {
-        *v /= total_devices * n_working;
-    }
+}
 
-    let mut retrieve = [0.0f64; 24];
-    let mut store = [0.0f64; 24];
-    let mut retr_total = 0.0;
-    let mut store_total = 0.0;
-    for f in flows {
-        if dropbox_role(f) != Some(DropboxRole::ClientStorage) || !is_working(f.first_syn) {
-            continue;
+impl Accumulate for HourlyProfilesAcc {
+    type Output = HourlyProfiles;
+
+    fn observe(&mut self, f: &FlowRecord) {
+        self.sessions.observe(f);
+        self.devices.observe(f);
+        if dropbox_role(f) != Some(DropboxRole::ClientStorage)
+            || !CaptureCalendar::is_working_day(f.first_syn.day())
+        {
+            return;
         }
         let (up, down) = crate::classify::ssl_adjusted(f);
         let h = f.first_syn.hour() as usize;
         match storage_tag(f) {
             StorageTag::Store => {
-                store[h] += up as f64;
-                store_total += up as f64;
+                self.store[h] += up as f64;
+                self.store_total += up as f64;
             }
             StorageTag::Retrieve => {
-                retrieve[h] += down as f64;
-                retr_total += down as f64;
+                self.retrieve[h] += down as f64;
+                self.retr_total += down as f64;
             }
-        }
-    }
-    if retr_total > 0.0 {
-        for v in &mut retrieve {
-            *v /= retr_total;
-        }
-    }
-    if store_total > 0.0 {
-        for v in &mut store {
-            *v /= store_total;
         }
     }
 
-    HourlyProfiles {
-        startups,
-        active,
-        retrieve,
-        store,
+    fn finish(self) -> HourlyProfiles {
+        let sessions = self.sessions.finish();
+        let total_devices = self.devices.finish().max(1) as f64;
+        let working_days: Vec<u32> = (0..self.days)
+            .filter(|&d| CaptureCalendar::is_working_day(d))
+            .collect();
+        let n_working = working_days.len().max(1) as f64;
+        let is_working = |t: SimTime| CaptureCalendar::is_working_day(t.day());
+
+        let mut startups = [0.0f64; 24];
+        let mut active = [0.0f64; 24];
+        for s in &sessions {
+            if is_working(s.start) {
+                startups[s.start.hour() as usize] += 1.0;
+            }
+            // Active during every hour bin the session overlaps, on working days.
+            let mut t = s.start;
+            let end = s.end.min(s.start + SimDuration::from_days(7));
+            while t <= end {
+                if is_working(t) {
+                    active[t.hour() as usize] += 1.0;
+                }
+                t += SimDuration::from_hours(1);
+            }
+        }
+        for v in &mut startups {
+            *v /= total_devices * n_working;
+        }
+        for v in &mut active {
+            *v /= total_devices * n_working;
+        }
+
+        let mut retrieve = self.retrieve;
+        let mut store = self.store;
+        if self.retr_total > 0.0 {
+            for v in &mut retrieve {
+                *v /= self.retr_total;
+            }
+        }
+        if self.store_total > 0.0 {
+            for v in &mut store {
+                *v /= self.store_total;
+            }
+        }
+
+        HourlyProfiles {
+            startups,
+            active,
+            retrieve,
+            store,
+        }
     }
+
+    fn state_bytes(&self) -> usize {
+        size_of::<Self>() - size_of::<MergedSessionsAcc>() - size_of::<DistinctDevicesAcc>()
+            + self.sessions.state_bytes()
+            + self.devices.state_bytes()
+    }
+}
+
+/// Streaming holiday-dip ratio (see [`holiday_dip`]).
+#[derive(Default)]
+pub struct HolidayDipAcc {
+    startups: StartupsAcc,
+}
+
+impl HolidayDipAcc {
+    /// Track `days` capture days.
+    pub fn new(days: u32) -> Self {
+        HolidayDipAcc {
+            startups: StartupsAcc::new(days),
+        }
+    }
+}
+
+impl Accumulate for HolidayDipAcc {
+    type Output = Option<f64>;
+
+    fn observe(&mut self, f: &FlowRecord) {
+        self.startups.observe(f);
+    }
+
+    fn finish(self) -> Option<f64> {
+        let series = self.startups.finish();
+        let mut holiday = Vec::new();
+        let mut working = Vec::new();
+        for (d, &v) in series.iter().enumerate() {
+            let d = d as u32;
+            if CaptureCalendar::is_holiday(d) {
+                holiday.push(v);
+            } else if CaptureCalendar::is_working_day(d) {
+                working.push(v);
+            }
+        }
+        if holiday.is_empty() || working.is_empty() {
+            return None;
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let w = mean(&working);
+        (w > 0.0).then(|| mean(&holiday) / w)
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.startups.state_bytes()
+    }
+}
+
+/// Compute Fig. 15's four hourly profiles over working days.
+pub fn hourly_profiles(flows: &[FlowRecord], days: u32) -> HourlyProfiles {
+    run_one(flows, HourlyProfilesAcc::new(days))
 }
 
 /// Holiday effect on device start-ups (the paper notes "exceptions around
@@ -250,23 +506,7 @@ pub fn hourly_profiles(flows: &[FlowRecord], days: u32) -> HourlyProfiles {
 /// holidays divided by the mean on ordinary working days. `None` when the
 /// capture has no holiday or no working day with data.
 pub fn holiday_dip(flows: &[FlowRecord], days: u32) -> Option<f64> {
-    let series = startups_per_day(flows, days);
-    let mut holiday = Vec::new();
-    let mut working = Vec::new();
-    for (d, &v) in series.iter().enumerate() {
-        let d = d as u32;
-        if CaptureCalendar::is_holiday(d) {
-            holiday.push(v);
-        } else if CaptureCalendar::is_working_day(d) {
-            working.push(v);
-        }
-    }
-    if holiday.is_empty() || working.is_empty() {
-        return None;
-    }
-    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-    let w = mean(&working);
-    (w > 0.0).then(|| mean(&holiday) / w)
+    run_one(flows, HolidayDipAcc::new(days))
 }
 
 #[cfg(test)]

@@ -1,0 +1,248 @@
+//! Single-pass streaming analysis: the accumulator trait and the fan-out
+//! pipeline.
+//!
+//! The paper's probes ran Tstat on-line — per-flow records were folded
+//! into the analyses as flows closed, never holding a capture in RAM.
+//! This module is that architecture for the reproduction: every analysis
+//! in this crate is an [`Accumulate`] implementation (`observe` one
+//! record at a time, `finish` into the legacy result type), and a
+//! [`Pipeline`] fans one record stream out to all registered accumulators
+//! so the whole analysis happens in **one pass** over the capture.
+//!
+//! Determinism: accumulators observe records in capture order (the
+//! monitor's finalisation order — see `nettrace::sink`), and every
+//! `finish` folds its state in a deterministic (keyed or arrival) order,
+//! so a pipeline pass is byte-identical to the legacy whole-`Vec`
+//! computation it replaced. `crates/core/tests/stream_props.rs` pins this
+//! equivalence on randomized flow sets.
+//!
+//! Memory: aggregate accumulators (totals, per-day/per-role maps) hold
+//! state bounded by the analysis dimensions (days, roles, addresses),
+//! independent of flow count. Distribution accumulators keep one sample
+//! per matching flow because the byte-identity contract demands exact
+//! ECDF point sets; [`Observe::state_bytes`] reports the live state so
+//! the streaming bench (`BENCH_stream.json`) can track both kinds.
+
+use nettrace::{FlowRecord, FlowSink};
+
+/// An incremental analysis: folds a record stream into a result.
+///
+/// Implementations must be insensitive to anything but the sequence of
+/// observed records — two passes over the same stream yield identical
+/// outputs.
+pub trait Accumulate {
+    /// The finished analysis result (the legacy return type).
+    type Output;
+
+    /// Fold one record into the state.
+    fn observe(&mut self, flow: &FlowRecord);
+
+    /// Consume the state into the result.
+    fn finish(self) -> Self::Output;
+
+    /// Estimated live state size in bytes (for the streaming bench).
+    /// The default covers fixed-size accumulators; container-holding
+    /// implementations should override with a capacity-based estimate.
+    fn state_bytes(&self) -> usize
+    where
+        Self: Sized,
+    {
+        std::mem::size_of::<Self>()
+    }
+}
+
+/// Object-safe view of an accumulator, so a [`Pipeline`] can hold
+/// heterogeneous registrations. Blanket-implemented for every
+/// [`Accumulate`]; never implement it directly.
+pub trait Observe {
+    /// Fold one record into the state.
+    fn observe_record(&mut self, flow: &FlowRecord);
+
+    /// Estimated live state size in bytes.
+    fn state_bytes(&self) -> usize;
+}
+
+impl<A: Accumulate> Observe for A {
+    fn observe_record(&mut self, flow: &FlowRecord) {
+        self.observe(flow);
+    }
+
+    fn state_bytes(&self) -> usize {
+        Accumulate::state_bytes(self)
+    }
+}
+
+/// Fan one record stream out to every registered accumulator, in
+/// registration order, in a single pass.
+///
+/// The pipeline borrows its accumulators, so after the pass the caller
+/// still owns them and calls [`Accumulate::finish`] on each. It is a
+/// [`FlowSink`], so a monitor or driver can emit completed flows straight
+/// into the analyses without materialising a record vector.
+#[derive(Default)]
+pub struct Pipeline<'a> {
+    stages: Vec<&'a mut dyn Observe>,
+    records: u64,
+}
+
+impl<'a> Pipeline<'a> {
+    /// An empty pipeline.
+    pub fn new() -> Self {
+        Pipeline {
+            stages: Vec::new(),
+            records: 0,
+        }
+    }
+
+    /// Register an accumulator; records observed from now on are fanned
+    /// out to it (after all earlier registrations).
+    pub fn register(&mut self, acc: &'a mut dyn Observe) -> &mut Self {
+        self.stages.push(acc);
+        self
+    }
+
+    /// Fan one record out to every registered accumulator.
+    pub fn observe(&mut self, flow: &FlowRecord) {
+        for stage in &mut self.stages {
+            stage.observe_record(flow);
+        }
+        self.records += 1;
+    }
+
+    /// Records observed so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Number of registered accumulators.
+    pub fn stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Total estimated live state across all registered accumulators.
+    pub fn state_bytes(&self) -> usize {
+        self.stages.iter().map(|s| s.state_bytes()).sum()
+    }
+
+    /// Drive the pipeline over an in-memory record sequence (the
+    /// compatibility path for already-materialised captures).
+    pub fn run<'f>(&mut self, flows: impl IntoIterator<Item = &'f FlowRecord>) {
+        for f in flows {
+            self.observe(f);
+        }
+    }
+}
+
+impl FlowSink for Pipeline<'_> {
+    fn accept(&mut self, flow: FlowRecord) {
+        self.observe(&flow);
+    }
+}
+
+/// Run a single accumulator over an in-memory record sequence — the
+/// shim every legacy whole-`Vec` entry point reduces to.
+pub fn run_one<'f, A: Accumulate>(
+    flows: impl IntoIterator<Item = &'f FlowRecord>,
+    mut acc: A,
+) -> A::Output {
+    for f in flows {
+        acc.observe(f);
+    }
+    acc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nettrace::flow::{DirStats, FlowClose};
+    use nettrace::{Endpoint, FlowKey, Ipv4};
+    use simcore::SimTime;
+
+    /// A toy accumulator: counts records and sums total bytes.
+    #[derive(Default)]
+    struct Totals {
+        records: u64,
+        bytes: u64,
+    }
+
+    impl Accumulate for Totals {
+        type Output = (u64, u64);
+
+        fn observe(&mut self, flow: &FlowRecord) {
+            self.records += 1;
+            self.bytes += flow.total_bytes();
+        }
+
+        fn finish(self) -> (u64, u64) {
+            (self.records, self.bytes)
+        }
+    }
+
+    fn record(up: u64, down: u64) -> FlowRecord {
+        FlowRecord {
+            key: FlowKey::new(
+                Endpoint::new(Ipv4::new(10, 0, 0, 1), 40_000),
+                Endpoint::new(Ipv4::new(107, 22, 0, 1), 443),
+            ),
+            first_syn: SimTime::from_secs(1),
+            last_packet: SimTime::from_secs(2),
+            up: DirStats {
+                bytes: up,
+                ..DirStats::default()
+            },
+            down: DirStats {
+                bytes: down,
+                ..DirStats::default()
+            },
+            min_rtt_ms: None,
+            rtt_samples: 0,
+            tls_sni: None,
+            tls_certificate_cn: None,
+            http_host: None,
+            server_fqdn: None,
+            notify: None,
+            close: FlowClose::Fin,
+            aborted: false,
+        }
+    }
+
+    #[test]
+    fn pipeline_fans_out_to_all_stages() {
+        let mut a = Totals::default();
+        let mut b = Totals::default();
+        let flows = vec![record(10, 20), record(1, 2)];
+        {
+            let mut p = Pipeline::new();
+            p.register(&mut a).register(&mut b);
+            assert_eq!(p.stages(), 2);
+            p.run(&flows);
+            assert_eq!(p.records(), 2);
+            assert!(p.state_bytes() >= 2 * std::mem::size_of::<Totals>());
+        }
+        assert_eq!(a.finish(), (2, 33));
+        assert_eq!(b.finish(), (2, 33));
+    }
+
+    #[test]
+    fn pipeline_is_a_flow_sink() {
+        let mut a = Totals::default();
+        {
+            let mut p = Pipeline::new();
+            p.register(&mut a);
+            p.accept(record(5, 5));
+            p.accept(record(5, 5));
+        }
+        assert_eq!(a.finish(), (2, 20));
+    }
+
+    #[test]
+    fn run_one_matches_manual_fold() {
+        let flows = vec![record(10, 20), record(1, 2), record(0, 7)];
+        let streamed = run_one(&flows, Totals::default());
+        let mut manual = Totals::default();
+        for f in &flows {
+            manual.observe(f);
+        }
+        assert_eq!(streamed, manual.finish());
+    }
+}

@@ -9,8 +9,10 @@
 //! scores it against generator ground truth.
 
 use crate::classify::{dropbox_role, DropboxRole};
+use crate::stream::{run_one, Accumulate};
 use nettrace::{FlowRecord, Ipv4};
 use std::collections::{BTreeMap, BTreeSet};
+use std::mem::size_of;
 
 /// Union-find over device ids.
 struct Dsu {
@@ -42,49 +44,80 @@ impl Dsu {
     }
 }
 
-/// Infer user accounts: groups of device ids believed to belong to the
-/// same user. Devices are joined when they appear behind the same client
-/// address and their namespace lists share at least one namespace.
-pub fn infer_users(flows: &[FlowRecord]) -> Vec<Vec<u64>> {
-    // Last observed namespace set per (address, device).
-    let mut per_addr: BTreeMap<Ipv4, BTreeMap<u64, BTreeSet<u64>>> = BTreeMap::new();
-    for f in flows {
+/// Streaming account inference: keeps the last observed namespace set
+/// per (address, device) — state bounded by the device population — and
+/// runs the union-find at `finish`.
+#[derive(Default)]
+pub struct InferUsersAcc {
+    per_addr: BTreeMap<Ipv4, BTreeMap<u64, BTreeSet<u64>>>,
+}
+
+impl Accumulate for InferUsersAcc {
+    type Output = Vec<Vec<u64>>;
+
+    fn observe(&mut self, f: &FlowRecord) {
         if dropbox_role(f) != Some(DropboxRole::NotifyControl) {
-            continue;
+            return;
         }
         if let Some(meta) = &f.notify {
-            per_addr
+            self.per_addr
                 .entry(f.key.client.ip)
                 .or_default()
                 .insert(meta.host_int, meta.namespaces.iter().copied().collect());
         }
     }
 
-    let mut dsu = Dsu::new();
-    for devices in per_addr.values() {
-        let list: Vec<(&u64, &BTreeSet<u64>)> = devices.iter().collect();
-        for (i, (&a, nss_a)) in list.iter().enumerate() {
-            dsu.find(a); // make sure singletons appear
-            for (&b, nss_b) in list.iter().skip(i + 1) {
-                if nss_a.intersection(nss_b).next().is_some() {
-                    dsu.union(a, b);
+    fn finish(self) -> Vec<Vec<u64>> {
+        let mut dsu = Dsu::new();
+        for devices in self.per_addr.values() {
+            let list: Vec<(&u64, &BTreeSet<u64>)> = devices.iter().collect();
+            for (i, (&a, nss_a)) in list.iter().enumerate() {
+                dsu.find(a); // make sure singletons appear
+                for (&b, nss_b) in list.iter().skip(i + 1) {
+                    if nss_a.intersection(nss_b).next().is_some() {
+                        dsu.union(a, b);
+                    }
                 }
             }
         }
+
+        let mut groups: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        let devices: Vec<u64> = dsu.parent.keys().copied().collect();
+        for d in devices {
+            let root = dsu.find(d);
+            groups.entry(root).or_default().push(d);
+        }
+        let mut out: Vec<Vec<u64>> = groups.into_values().collect();
+        for g in &mut out {
+            g.sort_unstable();
+        }
+        out.sort();
+        out
     }
 
-    let mut groups: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
-    let devices: Vec<u64> = dsu.parent.keys().copied().collect();
-    for d in devices {
-        let root = dsu.find(d);
-        groups.entry(root).or_default().push(d);
+    fn state_bytes(&self) -> usize {
+        size_of::<Self>()
+            + self
+                .per_addr
+                .values()
+                .map(|devices| {
+                    size_of::<(Ipv4, BTreeMap<u64, BTreeSet<u64>>)>()
+                        + devices
+                            .values()
+                            .map(|nss| {
+                                size_of::<(u64, BTreeSet<u64>)>() + nss.len() * size_of::<u64>()
+                            })
+                            .sum::<usize>()
+                })
+                .sum::<usize>()
     }
-    let mut out: Vec<Vec<u64>> = groups.into_values().collect();
-    for g in &mut out {
-        g.sort_unstable();
-    }
-    out.sort();
-    out
+}
+
+/// Infer user accounts: groups of device ids believed to belong to the
+/// same user. Devices are joined when they appear behind the same client
+/// address and their namespace lists share at least one namespace.
+pub fn infer_users(flows: &[FlowRecord]) -> Vec<Vec<u64>> {
+    run_one(flows, InferUsersAcc::default())
 }
 
 /// Score inferred user groups against ground truth: returns

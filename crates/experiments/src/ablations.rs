@@ -244,23 +244,34 @@ pub fn fault_ablation() -> Report {
     let clean = run(&FaultPlan::none());
     let faulty = run(&FaultPlan::lossy(7, config.days));
 
+    /// Wire-level fault counters, folded in one pass over the records.
+    #[derive(Default)]
+    struct FaultMetricsAcc {
+        flows: u64,
+        bytes: u64,
+        rtx: u64,
+        rst: u64,
+        aborted: u64,
+    }
+    impl dropbox_analysis::Accumulate for FaultMetricsAcc {
+        type Output = (u64, u64, u64, u64, u64);
+        fn observe(&mut self, f: &nettrace::FlowRecord) {
+            self.flows += 1;
+            self.bytes += f.total_bytes();
+            self.rtx += f.up.rtx_bytes + f.down.rtx_bytes;
+            if f.close == nettrace::flow::FlowClose::Rst {
+                self.rst += 1;
+            }
+            if f.aborted {
+                self.aborted += 1;
+            }
+        }
+        fn finish(self) -> Self::Output {
+            (self.flows, self.bytes, self.rtx, self.rst, self.aborted)
+        }
+    }
     let metrics = |out: &SimOutput| {
-        let flows = out.dataset.flows.len() as u64;
-        let bytes: u64 = out.dataset.flows.iter().map(|f| f.total_bytes()).sum();
-        let rtx: u64 = out
-            .dataset
-            .flows
-            .iter()
-            .map(|f| f.up.rtx_bytes + f.down.rtx_bytes)
-            .sum();
-        let rst = out
-            .dataset
-            .flows
-            .iter()
-            .filter(|f| f.close == nettrace::flow::FlowClose::Rst)
-            .count() as u64;
-        let aborted = out.dataset.flows.iter().filter(|f| f.aborted).count() as u64;
-        (flows, bytes, rtx, rst, aborted)
+        dropbox_analysis::stream::run_one(&out.dataset.flows, FaultMetricsAcc::default())
     };
     let (cf, cb, crx, crst, cab) = metrics(&clean);
     let (ff, fb, frx, frst, fab) = metrics(&faulty);

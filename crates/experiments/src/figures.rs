@@ -1,23 +1,21 @@
 //! Figures 1–21.
+//!
+//! Capture-driven figures render from a [`CaptureSummary`] — the
+//! single-pass accumulator outputs of `summary` — instead of re-scanning
+//! the flow vectors once per figure. Figs. 1 and 19 are testbed
+//! reconstructions and need no capture.
 
 use crate::chart::{bar_chart, cdf_chart};
 use crate::report::{cdf_summary, cdfs_csv, fmt_bps, fmt_bytes, Report, TextTable};
-use crate::run::Capture;
+use crate::summary::{fig10_bins, fig9_theta, CaptureSummary};
 use dnssim::DnsDirectory;
 use dropbox::client::{ChunkWork, SyncConfig, SyncEngine};
 use dropbox::content::ChunkId;
 use dropbox::protocol::ProtocolTrace;
 use dropbox::storage::ChunkStore;
-use dropbox_analysis::chunks::{estimate_chunks, reverse_payload_per_chunk, ChunkGroup};
-use dropbox_analysis::classify::{
-    dropbox_role, ssl_adjusted, storage_tag, DropboxRole, Provider, StorageTag,
-};
-use dropbox_analysis::groups::aggregate_households;
-use dropbox_analysis::sessions::{
-    devices_per_household, holiday_dip, hourly_profiles, namespaces_per_device,
-    raw_session_durations, startups_per_day,
-};
-use dropbox_analysis::throughput::{throughput_bps, transfer_duration, ThetaModel};
+use dropbox_analysis::chunks::ChunkGroup;
+use dropbox_analysis::classify::{DropboxRole, Provider, StorageTag};
+use simcore::rng::fnv1a;
 use simcore::stats::{Ecdf, LogBins};
 use simcore::time::CaptureCalendar;
 use simcore::{Rng, SimDuration, SimTime};
@@ -58,9 +56,12 @@ pub fn fig1() -> Report {
 
 /// Fig. 2: popularity of cloud storage in Home 1 (IP addresses and volume
 /// per day).
-pub fn fig2(cap: &Capture) -> Report {
-    let out = cap.vantage(VantageKind::Home1);
-    let series = out.dataset.provider_series();
+pub fn fig2(sum: &CaptureSummary) -> Report {
+    let v = sum.vantage(VantageKind::Home1);
+    let series = v
+        .provider_series
+        .as_ref()
+        .expect("Home 1 summary tracks the provider series");
     let mut t = TextTable::new(vec![
         "day", "date", "DB ips", "iC ips", "SD ips", "GD ips", "DB vol", "iC vol", "SD vol",
         "GD vol",
@@ -72,7 +73,7 @@ pub fn fig2(cap: &Capture) -> Report {
             .map(|pd| (pd.ip_addrs, pd.bytes))
             .unwrap_or((0, 0))
     };
-    for d in 0..out.dataset.days as usize {
+    for d in 0..v.days as usize {
         let (db_i, db_v) = get(Provider::Dropbox, d);
         let (ic_i, ic_v) = get(Provider::ICloud, d);
         let (sd_i, sd_v) = get(Provider::SkyDrive, d);
@@ -91,15 +92,15 @@ pub fn fig2(cap: &Capture) -> Report {
         ]);
     }
     // Headline checks the paper makes.
-    let sum = |p: Provider| -> (usize, u64) {
+    let sum_p = |p: Provider| -> (usize, u64) {
         let v = series.get(&p).cloned().unwrap_or_default();
         (
             v.iter().map(|d| d.ip_addrs).max().unwrap_or(0),
             v.iter().map(|d| d.bytes).sum(),
         )
     };
-    let (ic_max, ic_vol) = sum(Provider::ICloud);
-    let (db_max, db_vol) = sum(Provider::Dropbox);
+    let (ic_max, ic_vol) = sum_p(Provider::ICloud);
+    let (db_max, db_vol) = sum_p(Provider::Dropbox);
     let gd = series
         .get(&Provider::GoogleDrive)
         .cloned()
@@ -119,13 +120,13 @@ pub fn fig2(cap: &Capture) -> Report {
 }
 
 /// Fig. 3: Dropbox and YouTube share of the total volume in Campus 2.
-pub fn fig3(cap: &Capture) -> Report {
-    let out = cap.vantage(VantageKind::Campus2);
-    let total = out.dataset.daily_total_bytes();
-    let db = out.dataset.daily_bytes(Provider::Dropbox);
-    let yt = out.dataset.daily_bytes(Provider::YouTube);
+pub fn fig3(sum: &CaptureSummary) -> Report {
+    let v = sum.vantage(VantageKind::Campus2);
+    let total = v.daily_total.as_ref().expect("Campus 2 daily totals");
+    let db = v.daily_dropbox.as_ref().expect("Campus 2 daily Dropbox");
+    let yt = v.daily_youtube.as_ref().expect("Campus 2 daily YouTube");
     let mut t = TextTable::new(vec!["day", "date", "Dropbox share", "YouTube share"]);
-    for d in 0..out.dataset.days as usize {
+    for d in 0..v.days as usize {
         let tot = total[d].max(1) as f64;
         t.row(vec![
             d.to_string(),
@@ -147,16 +148,12 @@ pub fn fig3(cap: &Capture) -> Report {
 }
 
 /// Fig. 4: traffic share of Dropbox server roles.
-pub fn fig4(cap: &Capture) -> Report {
+pub fn fig4(sum: &CaptureSummary) -> Report {
     let mut t = TextTable::new(vec![
         "Role", "C1 bytes", "C2 bytes", "H1 bytes", "H2 bytes", "C1 flows", "C2 flows", "H1 flows",
         "H2 flows",
     ]);
-    let breakdowns: Vec<_> = cap
-        .vantages
-        .iter()
-        .map(|o| o.dataset.role_breakdown())
-        .collect();
+    let breakdowns: Vec<_> = sum.vantages.iter().map(|v| &v.role_breakdown).collect();
     for role in DropboxRole::ALL {
         let mut cells = vec![role.label().to_string()];
         for b in &breakdowns {
@@ -188,14 +185,10 @@ pub fn fig4(cap: &Capture) -> Report {
 }
 
 /// Fig. 5: number of contacted storage servers per day.
-pub fn fig5(cap: &Capture) -> Report {
+pub fn fig5(sum: &CaptureSummary) -> Report {
     let mut t = TextTable::new(vec!["day", "Campus 1", "Campus 2", "Home 1", "Home 2"]);
-    let series: Vec<Vec<usize>> = cap
-        .vantages
-        .iter()
-        .map(|o| o.dataset.storage_servers_per_day())
-        .collect();
-    let days = series.iter().map(Vec::len).max().unwrap_or(0);
+    let series: Vec<&Vec<usize>> = sum.vantages.iter().map(|v| &v.storage_servers).collect();
+    let days = series.iter().map(|s| s.len()).max().unwrap_or(0);
     for d in 0..days {
         t.row(vec![
             d.to_string(),
@@ -224,34 +217,18 @@ pub fn fig5(cap: &Capture) -> Report {
 
 /// Fig. 6: distribution of minimum RTT of storage and control flows
 /// (flows with ≥ 10 RTT samples).
-pub fn fig6(cap: &Capture) -> Report {
+pub fn fig6(sum: &CaptureSummary) -> Report {
     let mut body = String::new();
     let mut all_cdfs: Vec<(String, Ecdf)> = Vec::new();
-    for out in &cap.vantages {
-        for (plane, roles) in [
-            ("storage", vec![DropboxRole::ClientStorage]),
-            (
-                "control",
-                vec![DropboxRole::ClientControl, DropboxRole::NotifyControl],
-            ),
-        ] {
-            let rtts: Vec<f64> = out
-                .dataset
-                .flows
-                .iter()
-                .filter(|f| {
-                    dropbox_role(f).map(|r| roles.contains(&r)).unwrap_or(false)
-                        && f.rtt_samples >= 10
-                })
-                .filter_map(|f| f.min_rtt_ms)
-                .collect();
-            let e = Ecdf::new(rtts);
+    for v in &sum.vantages {
+        for (plane, rtts) in [("storage", &v.rtt.storage), ("control", &v.rtt.control)] {
+            let e = Ecdf::new(rtts.clone());
             body.push_str(&cdf_summary(
-                &format!("{} {plane} RTT (ms)", out.dataset.name),
+                &format!("{} {plane} RTT (ms)", v.name),
                 &e,
                 &[],
             ));
-            all_cdfs.push((format!("{}-{plane}", out.dataset.name), e));
+            all_cdfs.push((format!("{}-{plane}", v.name), e));
         }
     }
     body.push_str(
@@ -278,27 +255,21 @@ pub fn fig6(cap: &Capture) -> Report {
 }
 
 /// Fig. 7: TCP flow sizes of client storage, store vs retrieve.
-pub fn fig7(cap: &Capture) -> Report {
+pub fn fig7(sum: &CaptureSummary) -> Report {
     let mut body = String::new();
     let mut all_cdfs: Vec<(String, Ecdf)> = Vec::new();
-    for out in &cap.vantages {
+    for v in &sum.vantages {
         for tag in [StorageTag::Store, StorageTag::Retrieve] {
-            let sizes: Vec<f64> = out
-                .dataset
-                .client_storage_flows()
-                .filter(|f| storage_tag(f) == tag)
-                .map(|f| f.total_bytes() as f64)
-                .collect();
-            let e = Ecdf::new(sizes);
+            let e = Ecdf::new(v.storage.tag(tag).sizes.clone());
             body.push_str(&cdf_summary(
-                &format!("{} {tag:?} flow size (B)", out.dataset.name),
+                &format!("{} {tag:?} flow size (B)", v.name),
                 &e,
                 &[
                     (10_000.0, "≤10 kB (paper: up to 40%)"),
                     (100_000.0, "≤100 kB (paper: 40–80%)"),
                 ],
             ));
-            all_cdfs.push((format!("{}-{tag:?}", out.dataset.name), e));
+            all_cdfs.push((format!("{}-{tag:?}", v.name), e));
         }
     }
     body.push_str(
@@ -317,24 +288,18 @@ pub fn fig7(cap: &Capture) -> Report {
 }
 
 /// Fig. 8: estimated number of chunks per storage flow.
-pub fn fig8(cap: &Capture) -> Report {
+pub fn fig8(sum: &CaptureSummary) -> Report {
     let mut body = String::new();
     let mut all_cdfs: Vec<(String, Ecdf)> = Vec::new();
-    for out in &cap.vantages {
+    for v in &sum.vantages {
         for tag in [StorageTag::Store, StorageTag::Retrieve] {
-            let chunks: Vec<f64> = out
-                .dataset
-                .client_storage_flows()
-                .filter(|f| storage_tag(f) == tag)
-                .map(|f| estimate_chunks(f) as f64)
-                .collect();
-            let e = Ecdf::new(chunks);
+            let e = Ecdf::new(v.storage.tag(tag).chunks.clone());
             body.push_str(&cdf_summary(
-                &format!("{} {tag:?} chunks/flow", out.dataset.name),
+                &format!("{} {tag:?} chunks/flow", v.name),
                 &e,
                 &[(10.0, "≤10 chunks (paper: >80%)")],
             ));
-            all_cdfs.push((format!("{}-{tag:?}", out.dataset.name), e));
+            all_cdfs.push((format!("{}-{tag:?}", v.name), e));
         }
     }
     let refs: Vec<(&str, &Ecdf)> = all_cdfs.iter().map(|(l, e)| (l.as_str(), e)).collect();
@@ -342,45 +307,55 @@ pub fn fig8(cap: &Capture) -> Report {
         .with_csv("fig8.csv", cdfs_csv(&refs, 120))
 }
 
+/// How aggressively the Fig. 9 scatter artifact is thinned: one row in
+/// `FIG9_DECIMATION` survives.
+pub const FIG9_DECIMATION: usize = 16;
+
 /// Figs. 9(a)/(b): throughput of storage flows in Campus 2, with the θ
 /// slow-start bound.
-pub fn fig9(cap: &Capture) -> Report {
-    let out = cap.vantage(VantageKind::Campus2);
-    let rtt = SimDuration::from_millis(100); // outer 88 ms + access
-    let theta = ThetaModel::paper(rtt);
-    let mut csv = String::from("tag,bytes,throughput_bps,chunks,group\n");
+///
+/// The full scatter grows linearly with the capture (88k rows at scale
+/// 1.0), so the committed artifact keeps every [`FIG9_DECIMATION`]-th row
+/// plus a header comment carrying the row count and the FNV-1a digest of
+/// the full CSV — enough to verify a regeneration bit-exactly.
+pub fn fig9(sum: &CaptureSummary) -> Report {
+    let v = sum.vantage(VantageKind::Campus2);
+    let d = v.fig9.as_ref().expect("Campus 2 summary tracks Fig. 9");
+    let theta = fig9_theta();
     let mut body = String::new();
-    for tag in [StorageTag::Store, StorageTag::Retrieve] {
-        let mut thr: Vec<f64> = Vec::new();
-        let mut above_theta = 0usize;
-        let mut counted = 0usize;
-        for f in out.dataset.client_storage_flows() {
-            if storage_tag(f) != tag {
-                continue;
-            }
-            let bytes = dropbox_analysis::classify::transfer_size(f);
-            let Some(x) = throughput_bps(f) else { continue };
-            let c = estimate_chunks(f);
-            thr.push(x);
-            counted += 1;
-            if x > theta.theta_bps(bytes) {
-                above_theta += 1;
-            }
-            csv.push_str(&format!(
-                "{tag:?},{bytes},{x:.0},{c},{}\n",
-                ChunkGroup::of(c).label()
-            ));
-        }
-        let avg = thr.iter().sum::<f64>() / thr.len().max(1) as f64;
-        let max = thr.iter().copied().fold(0.0f64, f64::max);
+    for (tag, t) in [
+        (StorageTag::Store, &d.store),
+        (StorageTag::Retrieve, &d.retrieve),
+    ] {
+        let avg = t.thr_sum / t.n.max(1) as f64;
         body.push_str(&format!(
-            "{tag:?}: n={counted} average throughput {} (paper: store 462 kbit/s, \
+            "{tag:?}: n={} average throughput {} (paper: store 462 kbit/s, \
              retrieve 797 kbit/s), max {}, flows above θ: {:.1}%\n",
+            t.n,
             fmt_bps(avg),
-            fmt_bps(max),
-            100.0 * above_theta as f64 / counted.max(1) as f64
+            fmt_bps(t.thr_max),
+            100.0 * t.above_theta as f64 / t.n.max(1) as f64
         ));
     }
+    // The committed scatter: decimated rows + full-CSV fingerprint.
+    let header = "tag,bytes,throughput_bps,chunks,group\n";
+    let full = format!("{header}{}{}", d.store.rows, d.retrieve.rows);
+    let digest = fnv1a(full.as_bytes());
+    let n_rows = full.lines().count() - 1;
+    let mut scatter = format!(
+        "# full scatter: {n_rows} rows, fnv1a64 {digest:#018x}, keeping every \
+         {FIG9_DECIMATION}th row\n{header}"
+    );
+    for (i, line) in full.lines().skip(1).enumerate() {
+        if i % FIG9_DECIMATION == 0 {
+            scatter.push_str(line);
+            scatter.push('\n');
+        }
+    }
+    body.push_str(&format!(
+        "\nscatter: {n_rows} rows, full-CSV fnv1a64 {digest:#018x} \
+         (fig9_scatter.csv keeps every {FIG9_DECIMATION}th row)\n"
+    ));
     // The θ reference curve.
     let mut theta_csv = String::from("bytes,theta_bps\n");
     let bins = LogBins::new(256.0, 400e6, 60);
@@ -393,38 +368,21 @@ pub fn fig9(cap: &Capture) -> Report {
          flows with many chunks concentrate at the bottom for any size\n",
     );
     Report::new("fig9", "Throughput of storage flows in Campus 2", body)
-        .with_csv("fig9_scatter.csv", csv)
+        .with_csv("fig9_scatter.csv", scatter)
         .with_csv("fig9_theta.csv", theta_csv)
 }
 
 /// Fig. 10: minimum flow duration vs size by chunk group (Campus 2).
-pub fn fig10(cap: &Capture) -> Report {
-    let out = cap.vantage(VantageKind::Campus2);
-    let bins = LogBins::new(1_000.0, 400e6, 36);
+pub fn fig10(sum: &CaptureSummary) -> Report {
+    let v = sum.vantage(VantageKind::Campus2);
+    let data = v.fig10.as_ref().expect("Campus 2 summary tracks Fig. 10");
+    let bins = fig10_bins();
     let mut body = String::new();
     let mut csv = String::from("tag,group,bytes,min_duration_s\n");
-    for tag in [StorageTag::Store, StorageTag::Retrieve] {
-        // min duration per (group, size-bin)
-        let mut mins: Vec<Vec<Option<f64>>> = vec![vec![None; bins.len()]; ChunkGroup::ALL.len()];
-        for f in out.dataset.client_storage_flows() {
-            if storage_tag(f) != tag {
-                continue;
-            }
-            let bytes = dropbox_analysis::classify::transfer_size(f);
-            if bytes == 0 {
-                continue;
-            }
-            let Some(d) = transfer_duration(f) else {
-                continue;
-            };
-            let g = ChunkGroup::ALL
-                .iter()
-                .position(|&g| g == ChunkGroup::of(estimate_chunks(f)))
-                .expect("group");
-            let b = bins.index(bytes as f64);
-            let secs = d.as_secs_f64();
-            mins[g][b] = Some(mins[g][b].map_or(secs, |m: f64| m.min(secs)));
-        }
+    for (tag, mins) in [
+        (StorageTag::Store, &data.store),
+        (StorageTag::Retrieve, &data.retrieve),
+    ] {
         let mut group_floor: Vec<(String, f64)> = Vec::new();
         for (gi, group) in ChunkGroup::ALL.iter().enumerate() {
             let mut floor = f64::INFINITY;
@@ -461,12 +419,12 @@ pub fn fig10(cap: &Capture) -> Report {
 }
 
 /// Fig. 11: per-household stored vs retrieved volume (Home 1 / Home 2).
-pub fn fig11(cap: &Capture) -> Report {
+pub fn fig11(sum: &CaptureSummary) -> Report {
     let mut body = String::new();
     let mut csv = String::from("vantage,store_bytes,retrieve_bytes,devices\n");
     for kind in [VantageKind::Home1, VantageKind::Home2] {
-        let out = cap.vantage(kind);
-        let households = aggregate_households(&out.dataset.flows);
+        let v = sum.vantage(kind);
+        let households = v.households.as_ref().expect("home summary has households");
         let mut store_total = 0u64;
         let mut retr_total = 0u64;
         for h in households.values() {
@@ -474,7 +432,7 @@ pub fn fig11(cap: &Capture) -> Report {
             retr_total += h.retrieve_bytes;
             csv.push_str(&format!(
                 "{},{},{},{}\n",
-                out.dataset.name,
+                v.name,
                 h.store_bytes,
                 h.retrieve_bytes,
                 h.devices.len().max(1)
@@ -483,7 +441,7 @@ pub fn fig11(cap: &Capture) -> Report {
         body.push_str(&format!(
             "{}: households={} total retrieved {} / stored {} -> ratio {:.2} \
              (paper: Home1 1.4, Home2 0.9)\n",
-            out.dataset.name,
+            v.name,
             households.len(),
             fmt_bytes(retr_total),
             fmt_bytes(store_total),
@@ -492,20 +450,11 @@ pub fn fig11(cap: &Capture) -> Report {
     }
     // Campus ratios quoted in the same paragraph of the paper.
     for kind in [VantageKind::Campus1, VantageKind::Campus2] {
-        let out = cap.vantage(kind);
-        let mut store_total = 0u64;
-        let mut retr_total = 0u64;
-        for f in out.dataset.client_storage_flows() {
-            let (up, down) = ssl_adjusted(f);
-            match storage_tag(f) {
-                StorageTag::Store => store_total += up,
-                StorageTag::Retrieve => retr_total += down,
-            }
-        }
+        let v = sum.vantage(kind);
         body.push_str(&format!(
             "{}: download/upload ratio {:.2} (paper: Campus1 1.6, Campus2 2.4)\n",
-            out.dataset.name,
-            retr_total as f64 / store_total.max(1) as f64
+            v.name,
+            v.storage.retrieve_down_adj as f64 / v.storage.store_up_adj.max(1) as f64
         ));
     }
     Report::new(
@@ -517,12 +466,15 @@ pub fn fig11(cap: &Capture) -> Report {
 }
 
 /// Fig. 12: devices per household (home networks).
-pub fn fig12(cap: &Capture) -> Report {
+pub fn fig12(sum: &CaptureSummary) -> Report {
     let mut t = TextTable::new(vec!["Devices", "Home 1", "Home 2"]);
     let mut dists: Vec<Vec<f64>> = Vec::new();
     for kind in [VantageKind::Home1, VantageKind::Home2] {
-        let out = cap.vantage(kind);
-        let per_hh = devices_per_household(&out.dataset.flows);
+        let per_hh = sum
+            .vantage(kind)
+            .devices_per_household
+            .as_ref()
+            .expect("home summary has devices per household");
         let n = per_hh.len().max(1) as f64;
         let mut frac = vec![0.0f64; 5]; // 1,2,3,4,>4
         for &count in per_hh.values() {
@@ -549,23 +501,26 @@ pub fn fig12(cap: &Capture) -> Report {
 }
 
 /// Fig. 13: namespaces per device (Campus 1 vs Home 1).
-pub fn fig13(cap: &Capture) -> Report {
+pub fn fig13(sum: &CaptureSummary) -> Report {
     let mut body = String::new();
     let mut cdfs: Vec<(String, Ecdf)> = Vec::new();
     for kind in [VantageKind::Campus1, VantageKind::Home1] {
-        let out = cap.vantage(kind);
-        let ns = namespaces_per_device(&out.dataset.flows);
+        let v = sum.vantage(kind);
+        let ns = v
+            .namespaces_per_device
+            .as_ref()
+            .expect("summary tracks namespaces here");
         let counts: Vec<f64> = ns.values().map(|&n| n as f64).collect();
         let e = Ecdf::new(counts);
         body.push_str(&cdf_summary(
-            &format!("{} namespaces/device", out.dataset.name),
+            &format!("{} namespaces/device", v.name),
             &e,
             &[
                 (1.0, "single namespace (paper: C1 13%, H1 28%)"),
                 (4.0, "≤4 => 1-F is share with ≥5 (paper: C1 50%, H1 23%)"),
             ],
         ));
-        cdfs.push((out.dataset.name.clone(), e));
+        cdfs.push((v.name.clone(), e));
     }
     let refs: Vec<(&str, &Ecdf)> = cdfs.iter().map(|(l, e)| (l.as_str(), e)).collect();
     Report::new("fig13", "Number of namespaces per device", body)
@@ -573,14 +528,10 @@ pub fn fig13(cap: &Capture) -> Report {
 }
 
 /// Fig. 14: distinct device start-ups per day.
-pub fn fig14(cap: &Capture) -> Report {
+pub fn fig14(sum: &CaptureSummary) -> Report {
     let mut t = TextTable::new(vec!["day", "date", "C1", "C2", "H1", "H2"]);
-    let series: Vec<Vec<f64>> = cap
-        .vantages
-        .iter()
-        .map(|o| startups_per_day(&o.dataset.flows, o.dataset.days))
-        .collect();
-    for d in 0..cap.vantages[0].dataset.days as usize {
+    let series: Vec<&Vec<f64>> = sum.vantages.iter().map(|v| &v.startups).collect();
+    for d in 0..sum.vantages[0].days as usize {
         t.row(vec![
             d.to_string(),
             CaptureCalendar::date_label(d as u32),
@@ -592,29 +543,29 @@ pub fn fig14(cap: &Capture) -> Report {
     }
     // Home weekday/weekend flatness vs campus seasonality.
     let mut body = t.render();
-    for (i, out) in cap.vantages.iter().enumerate() {
+    for (i, v) in sum.vantages.iter().enumerate() {
         let mut wd = Vec::new();
         let mut we = Vec::new();
-        for (d, &v) in series[i].iter().enumerate() {
+        for (d, &x) in series[i].iter().enumerate() {
             if SimTime::from_day_offset(d as u32, SimDuration::ZERO).is_weekend() {
-                we.push(v);
+                we.push(x);
             } else {
-                wd.push(v);
+                wd.push(x);
             }
         }
         let m = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
         body.push_str(&format!(
             "{}: weekday mean {:.3}, weekend mean {:.3}\n",
-            out.dataset.name,
+            v.name,
             m(&wd),
             m(&we)
         ));
     }
-    for out in &cap.vantages {
-        if let Some(dip) = holiday_dip(&out.dataset.flows, out.dataset.days) {
+    for v in &sum.vantages {
+        if let Some(dip) = v.holiday_dip {
             body.push_str(&format!(
                 "{}: holiday start-ups at {:.0}% of ordinary working days\n",
-                out.dataset.name,
+                v.name,
                 dip * 100.0
             ));
         }
@@ -628,20 +579,20 @@ pub fn fig14(cap: &Capture) -> Report {
 
 /// Fig. 15: daily usage on weekdays (start-ups, active devices, retrieve
 /// and store volume per hour).
-pub fn fig15(cap: &Capture) -> Report {
+pub fn fig15(sum: &CaptureSummary) -> Report {
     let mut csv = String::from("vantage,hour,startups,active,retrieve,store\n");
     let mut body = String::new();
-    for out in &cap.vantages {
-        let p = hourly_profiles(&out.dataset.flows, out.dataset.days);
+    for v in &sum.vantages {
+        let p = &v.hourly;
         for h in 0..24 {
             csv.push_str(&format!(
                 "{},{h},{:.4},{:.4},{:.4},{:.4}\n",
-                out.dataset.name, p.startups[h], p.active[h], p.retrieve[h], p.store[h]
+                v.name, p.startups[h], p.active[h], p.retrieve[h], p.store[h]
             ));
         }
         body.push_str(&format!(
             "\n{} — active devices by hour (working days):\n",
-            out.dataset.name
+            v.name
         ));
         let points: Vec<(String, f64)> =
             (0..24).map(|h| (format!("{h:02}h"), p.active[h])).collect();
@@ -653,7 +604,7 @@ pub fn fig15(cap: &Capture) -> Report {
         let corr = correlation(&p.startups, &p.retrieve);
         body.push_str(&format!(
             "{}: start-up peak at {peak_hour:02}:00, corr(start-ups, retrieve) = {corr:.2}\n",
-            out.dataset.name
+            v.name
         ));
     }
     body.push_str(
@@ -673,13 +624,13 @@ fn correlation(a: &[f64; 24], b: &[f64; 24]) -> f64 {
 }
 
 /// Fig. 16: session durations (raw notification-flow durations).
-pub fn fig16(cap: &Capture) -> Report {
+pub fn fig16(sum: &CaptureSummary) -> Report {
     let mut body = String::new();
     let mut cdfs: Vec<(String, Ecdf)> = Vec::new();
-    for out in &cap.vantages {
-        let e = Ecdf::new(raw_session_durations(&out.dataset.flows));
+    for v in &sum.vantages {
+        let e = Ecdf::new(v.raw_durations.clone());
         body.push_str(&cdf_summary(
-            &format!("{} session duration (s)", out.dataset.name),
+            &format!("{} session duration (s)", v.name),
             &e,
             &[
                 (60.0, "<1 min (NAT-killed; homes only)"),
@@ -687,7 +638,7 @@ pub fn fig16(cap: &Capture) -> Report {
                 (8.0 * 3600.0, "≤8 h (Campus 1 work day)"),
             ],
         ));
-        cdfs.push((out.dataset.name.clone(), e));
+        cdfs.push((v.name.clone(), e));
     }
     body.push_str(
         "\nexpected: sub-minute spike in the home curves (gateway resets), Campus 1\n\
@@ -700,40 +651,27 @@ pub fn fig16(cap: &Capture) -> Report {
 }
 
 /// Fig. 17: storage via the main web interface (uploads and downloads).
-pub fn fig17(cap: &Capture) -> Report {
+pub fn fig17(sum: &CaptureSummary) -> Report {
     let mut body = String::new();
     let mut cdfs: Vec<(String, Ecdf)> = Vec::new();
-    for out in &cap.vantages {
-        let mut up_sizes = Vec::new();
-        let mut down_sizes = Vec::new();
-        for f in out.dataset.flows.iter() {
-            if dropbox_role(f) != Some(DropboxRole::WebStorage) {
-                continue;
-            }
-            // dl-web flows only (the main interface); direct links are Fig. 18.
-            if f.server_name() != Some("dl-web.dropbox.com") {
-                continue;
-            }
-            up_sizes.push(f.up.bytes as f64);
-            down_sizes.push(f.down.bytes as f64);
-        }
-        let up = Ecdf::new(up_sizes);
-        let down = Ecdf::new(down_sizes);
+    for v in &sum.vantages {
+        let up = Ecdf::new(v.web.web_up.clone());
+        let down = Ecdf::new(v.web.web_down.clone());
         body.push_str(&cdf_summary(
-            &format!("{} web upload bytes", out.dataset.name),
+            &format!("{} web upload bytes", v.name),
             &up,
             &[(10_000.0, "≤10 kB (paper: >95%)")],
         ));
         body.push_str(&cdf_summary(
-            &format!("{} web download bytes", out.dataset.name),
+            &format!("{} web download bytes", v.name),
             &down,
             &[
                 (10_000.0, "≤10 kB (paper: up to 80%)"),
                 (10_000_000.0, "≤10 MB (paper: >95%)"),
             ],
         ));
-        cdfs.push((format!("{}-up", out.dataset.name), up));
-        cdfs.push((format!("{}-down", out.dataset.name), down));
+        cdfs.push((format!("{}-up", v.name), up));
+        cdfs.push((format!("{}-down", v.name), down));
     }
     let refs: Vec<(&str, &Ecdf)> = cdfs.iter().map(|(l, e)| (l.as_str(), e)).collect();
     Report::new("fig17", "Storage via the main Web interface", body)
@@ -741,37 +679,25 @@ pub fn fig17(cap: &Capture) -> Report {
 }
 
 /// Fig. 18: size of direct-link downloads (no Campus 2: FQDN missing).
-pub fn fig18(cap: &Capture) -> Report {
+pub fn fig18(sum: &CaptureSummary) -> Report {
     let mut body = String::new();
     let mut cdfs: Vec<(String, Ecdf)> = Vec::new();
     let mut web_flow_share = String::new();
     for kind in [VantageKind::Campus1, VantageKind::Home1, VantageKind::Home2] {
-        let out = cap.vantage(kind);
-        let mut sizes = Vec::new();
-        let mut dl_flows = 0usize;
-        let mut web_storage_flows = 0usize;
-        for f in out.dataset.flows.iter() {
-            if dropbox_role(f) != Some(DropboxRole::WebStorage) {
-                continue;
-            }
-            web_storage_flows += 1;
-            if f.server_name() == Some("dl.dropbox.com") {
-                dl_flows += 1;
-                sizes.push(f.down.bytes as f64);
-            }
-        }
-        let e = Ecdf::new(sizes);
+        let v = sum.vantage(kind);
+        let dl_flows = v.web.direct_down.len();
+        let e = Ecdf::new(v.web.direct_down.clone());
         body.push_str(&cdf_summary(
-            &format!("{} direct-link download bytes", out.dataset.name),
+            &format!("{} direct-link download bytes", v.name),
             &e,
             &[(10_000_000.0, "≤10 MB (paper: large majority)")],
         ));
         web_flow_share.push_str(&format!(
             "{}: direct links are {:.0}% of web-storage flows (paper Home 1: 92%)\n",
-            out.dataset.name,
-            100.0 * dl_flows as f64 / web_storage_flows.max(1) as f64
+            v.name,
+            100.0 * dl_flows as f64 / v.web.web_storage_flows.max(1) as f64
         ));
-        cdfs.push((out.dataset.name.clone(), e));
+        cdfs.push((v.name.clone(), e));
     }
     body.push('\n');
     body.push_str(&web_flow_share);
@@ -890,20 +816,10 @@ pub fn fig19() -> Report {
 }
 
 /// Fig. 20: bytes exchanged in storage flows (Campus 1) and the f(u) split.
-pub fn fig20(cap: &Capture) -> Report {
-    let out = cap.vantage(VantageKind::Campus1);
-    let mut csv = String::from("up_adj,down_adj,tag\n");
-    let mut store = 0usize;
-    let mut retrieve = 0usize;
-    for f in out.dataset.client_storage_flows() {
-        let (u, d) = ssl_adjusted(f);
-        let tag = storage_tag(f);
-        match tag {
-            StorageTag::Store => store += 1,
-            StorageTag::Retrieve => retrieve += 1,
-        }
-        csv.push_str(&format!("{u},{d},{tag:?}\n"));
-    }
+pub fn fig20(sum: &CaptureSummary) -> Report {
+    let v = sum.vantage(VantageKind::Campus1);
+    let d = v.fig20.as_ref().expect("Campus 1 summary tracks Fig. 20");
+    let csv = format!("up_adj,down_adj,tag\n{}", d.rows);
     let mut fu = String::from("u,f_u\n");
     let bins = LogBins::new(100.0, 1e9, 50);
     for i in 0..bins.len() {
@@ -915,9 +831,10 @@ pub fn fig20(cap: &Capture) -> Report {
         ));
     }
     let body = format!(
-        "Campus 1 storage flows: {store} tagged store, {retrieve} tagged retrieve.\n\
+        "Campus 1 storage flows: {} tagged store, {} tagged retrieve.\n\
          Flows concentrate near the axes (a flow either stores or retrieves);\n\
-         f(u) = 0.67(u-294)+4103 separates the two groups.\n"
+         f(u) = 0.67(u-294)+4103 separates the two groups.\n",
+        d.store, d.retrieve
     );
     Report::new("fig20", "Bytes exchanged in storage flows (Campus 1)", body)
         .with_csv("fig20_scatter.csv", csv)
@@ -925,18 +842,12 @@ pub fn fig20(cap: &Capture) -> Report {
 }
 
 /// Fig. 21: payload in the reverse direction per estimated chunk.
-pub fn fig21(cap: &Capture) -> Report {
+pub fn fig21(sum: &CaptureSummary) -> Report {
     let mut body = String::new();
     let mut cdfs: Vec<(String, Ecdf)> = Vec::new();
-    for out in &cap.vantages {
+    for v in &sum.vantages {
         for tag in [StorageTag::Store, StorageTag::Retrieve] {
-            let props: Vec<f64> = out
-                .dataset
-                .client_storage_flows()
-                .filter(|f| storage_tag(f) == tag)
-                .filter_map(reverse_payload_per_chunk)
-                .collect();
-            let e = Ecdf::new(props);
+            let e = Ecdf::new(v.storage.tag(tag).rev_payload.clone());
             let probes: &[(f64, &str)] = match tag {
                 StorageTag::Store => &[(320.0, "≈309 B/chunk expected")],
                 StorageTag::Retrieve => &[
@@ -945,11 +856,11 @@ pub fn fig21(cap: &Capture) -> Report {
                 ],
             };
             body.push_str(&cdf_summary(
-                &format!("{} {tag:?} reverse payload/chunk (B)", out.dataset.name),
+                &format!("{} {tag:?} reverse payload/chunk (B)", v.name),
                 &e,
                 probes,
             ));
-            cdfs.push((format!("{}-{tag:?}", out.dataset.name), e));
+            cdfs.push((format!("{}-{tag:?}", v.name), e));
         }
     }
     body.push_str(
@@ -966,28 +877,28 @@ pub fn fig21(cap: &Capture) -> Report {
     .with_csv("fig21.csv", cdfs_csv(&refs, 150))
 }
 
-/// All figure generators that need the capture, in order.
-pub fn all_with_capture(cap: &Capture) -> Vec<Report> {
+/// All figure generators that need the capture summary, in order.
+pub fn all_with_capture(sum: &CaptureSummary) -> Vec<Report> {
     vec![
-        fig2(cap),
-        fig3(cap),
-        fig4(cap),
-        fig5(cap),
-        fig6(cap),
-        fig7(cap),
-        fig8(cap),
-        fig9(cap),
-        fig10(cap),
-        fig11(cap),
-        fig12(cap),
-        fig13(cap),
-        fig14(cap),
-        fig15(cap),
-        fig16(cap),
-        fig17(cap),
-        fig18(cap),
-        fig20(cap),
-        fig21(cap),
+        fig2(sum),
+        fig3(sum),
+        fig4(sum),
+        fig5(sum),
+        fig6(sum),
+        fig7(sum),
+        fig8(sum),
+        fig9(sum),
+        fig10(sum),
+        fig11(sum),
+        fig12(sum),
+        fig13(sum),
+        fig14(sum),
+        fig15(sum),
+        fig16(sum),
+        fig17(sum),
+        fig18(sum),
+        fig20(sum),
+        fig21(sum),
     ]
 }
 

@@ -5,6 +5,10 @@
 //!   `workload::ShardPlan::paper` on `simcore::par`'s deterministic
 //!   fork-join executor; `--jobs N` changes wall-clock time only, never
 //!   a single output byte,
+//! * [`summary`] — the single-pass streaming summary: one
+//!   [`dropbox_analysis::Pipeline`] walk per vantage feeds every
+//!   accumulator, and tables/figures render from the resulting
+//!   [`summary::CaptureSummary`] without re-scanning flows,
 //! * [`report`] — plain-text/CSV report plumbing,
 //! * [`tables`] — Tables 1–5,
 //! * [`figures`] — Figures 1–21,
@@ -30,8 +34,10 @@ pub mod figures;
 pub mod recommendations;
 pub mod report;
 pub mod run;
+pub mod summary;
 pub mod tables;
 pub mod validation;
 
 pub use report::Report;
 pub use run::{run_capture, Capture};
+pub use summary::CaptureSummary;

@@ -129,6 +129,17 @@ fn main() {
         eprintln!("simulation finished in {:.1}s", t0.elapsed().as_secs_f64());
         let total_flows: usize = cap.vantages.iter().map(|v| v.dataset.flows.len()).sum();
         eprintln!("flow records: {total_flows}");
+        // One pass over every record feeds all analyses (tables + figures).
+        let t1 = Instant::now();
+        let summary = experiments::CaptureSummary::compute(&cap);
+        eprintln!(
+            "summary pass: {} records through {} accumulator stages in {:.1}s \
+             (peak accumulator state {} kB)",
+            summary.records(),
+            summary.stages(),
+            t1.elapsed().as_secs_f64(),
+            summary.state_bytes() / 1024
+        );
         if plan.is_active() {
             let mut stats = workload::FaultStats::default();
             for out in cap.vantages.iter().chain(std::iter::once(&cap.campus1_v14)) {
@@ -142,36 +153,38 @@ fn main() {
             );
         }
 
-        type Gen = Box<dyn Fn(&experiments::Capture) -> Report>;
+        // Figures/tables are pure renderers over the summary; only the
+        // truth-scoring validation still needs the capture itself.
+        type Gen = Box<dyn Fn(&experiments::Capture, &experiments::CaptureSummary) -> Report>;
         let gens: Vec<(&str, Gen)> = vec![
-            ("table2", Box::new(tables::table2)),
-            ("table3", Box::new(tables::table3)),
-            ("table4", Box::new(tables::table4)),
-            ("table5", Box::new(tables::table5_report)),
-            ("fig2", Box::new(figures::fig2)),
-            ("fig3", Box::new(figures::fig3)),
-            ("fig4", Box::new(figures::fig4)),
-            ("fig5", Box::new(figures::fig5)),
-            ("fig6", Box::new(figures::fig6)),
-            ("fig7", Box::new(figures::fig7)),
-            ("fig8", Box::new(figures::fig8)),
-            ("fig9", Box::new(figures::fig9)),
-            ("fig10", Box::new(figures::fig10)),
-            ("fig11", Box::new(figures::fig11)),
-            ("fig12", Box::new(figures::fig12)),
-            ("fig13", Box::new(figures::fig13)),
-            ("fig14", Box::new(figures::fig14)),
-            ("fig15", Box::new(figures::fig15)),
-            ("fig16", Box::new(figures::fig16)),
-            ("fig17", Box::new(figures::fig17)),
-            ("fig18", Box::new(figures::fig18)),
-            ("fig20", Box::new(figures::fig20)),
-            ("fig21", Box::new(figures::fig21)),
-            ("validation", Box::new(validation::validate)),
+            ("table2", Box::new(|_, s| tables::table2(s))),
+            ("table3", Box::new(|_, s| tables::table3(s))),
+            ("table4", Box::new(|_, s| tables::table4(s))),
+            ("table5", Box::new(|_, s| tables::table5_report(s))),
+            ("fig2", Box::new(|_, s| figures::fig2(s))),
+            ("fig3", Box::new(|_, s| figures::fig3(s))),
+            ("fig4", Box::new(|_, s| figures::fig4(s))),
+            ("fig5", Box::new(|_, s| figures::fig5(s))),
+            ("fig6", Box::new(|_, s| figures::fig6(s))),
+            ("fig7", Box::new(|_, s| figures::fig7(s))),
+            ("fig8", Box::new(|_, s| figures::fig8(s))),
+            ("fig9", Box::new(|_, s| figures::fig9(s))),
+            ("fig10", Box::new(|_, s| figures::fig10(s))),
+            ("fig11", Box::new(|_, s| figures::fig11(s))),
+            ("fig12", Box::new(|_, s| figures::fig12(s))),
+            ("fig13", Box::new(|_, s| figures::fig13(s))),
+            ("fig14", Box::new(|_, s| figures::fig14(s))),
+            ("fig15", Box::new(|_, s| figures::fig15(s))),
+            ("fig16", Box::new(|_, s| figures::fig16(s))),
+            ("fig17", Box::new(|_, s| figures::fig17(s))),
+            ("fig18", Box::new(|_, s| figures::fig18(s))),
+            ("fig20", Box::new(|_, s| figures::fig20(s))),
+            ("fig21", Box::new(|_, s| figures::fig21(s))),
+            ("validation", Box::new(|c, _| validation::validate(c))),
         ];
         for (id, gen) in gens {
             if want(id) {
-                reports.push(gen(&cap));
+                reports.push(gen(&cap, &summary));
             }
         }
 
@@ -179,6 +192,7 @@ fn main() {
             for out in &cap.vantages {
                 let name = out.dataset.name.to_lowercase().replace(' ', "");
                 let path = out_dir.join(format!("traces_{name}.jsonl"));
+                // simlint: allow(full-materialize) — export needs an owned copy to anonymise
                 let mut flows = out.dataset.flows.clone();
                 nettrace::flowlog::anonymise_clients(&mut flows);
                 let file = fs::File::create(&path).expect("create trace export");
@@ -214,6 +228,7 @@ fn main() {
     index.push_str(
         "\nBenchmark artifacts (written by `cargo bench -p bench`, not by `repro`):\n\
          `BENCH_parallel.json` (serial-vs-parallel capture speedup; see EXPERIMENTS.md),\n\
+         `BENCH_stream.json` (single-pass summary throughput and accumulator state),\n\
          `BENCH_faults.json`, `BENCH_simlint.json`, and the substrate/figures/tables\n\
          benches, all under `crates/bench/`.\n",
     );

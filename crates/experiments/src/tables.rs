@@ -1,10 +1,9 @@
-//! Tables 1–5.
+//! Tables 1–5, rendered from the single-pass [`CaptureSummary`].
 
 use crate::report::{fmt_bps, fmt_bytes, Report, TextTable};
-use crate::run::Capture;
-use dropbox_analysis::classify::{storage_tag, transfer_size, StorageTag};
-use dropbox_analysis::groups::{aggregate_households, table5, UserGroup};
-use dropbox_analysis::throughput::throughput_bps;
+use crate::summary::{CaptureSummary, VantageSummary};
+use dropbox_analysis::classify::StorageTag;
+use dropbox_analysis::groups::{table5, UserGroup};
 use simcore::stats::{median, Ecdf};
 use workload::VantageKind;
 
@@ -45,16 +44,15 @@ pub fn table1() -> Report {
 }
 
 /// Table 2: datasets overview.
-pub fn table2(cap: &Capture) -> Report {
+pub fn table2(sum: &CaptureSummary) -> Report {
     let mut t = TextTable::new(vec!["Name", "Type", "IP Addrs.", "Vol."]);
     let types = ["Wired", "Wired/Wireless", "FTTH/ADSL", "ADSL"];
-    for (out, ty) in cap.vantages.iter().zip(types) {
-        let o = out.dataset.overview();
+    for (v, ty) in sum.vantages.iter().zip(types) {
         t.row(vec![
-            out.dataset.name.clone(),
+            v.name.clone(),
             ty.to_string(),
-            o.ip_addrs.to_string(),
-            fmt_bytes(o.volume_bytes),
+            v.overview.ip_addrs.to_string(),
+            fmt_bytes(v.overview.volume_bytes),
         ]);
     }
     Report::new(
@@ -66,18 +64,18 @@ pub fn table2(cap: &Capture) -> Report {
 }
 
 /// Table 3: total Dropbox traffic in the datasets.
-pub fn table3(cap: &Capture) -> Report {
+pub fn table3(sum: &CaptureSummary) -> Report {
     let mut t = TextTable::new(vec!["Name", "Flows", "Vol.", "Devices"]);
     let mut total_flows = 0usize;
     let mut total_vol = 0u64;
     let mut total_dev = 0usize;
-    for out in &cap.vantages {
-        let d = out.dataset.dropbox_totals();
+    for v in &sum.vantages {
+        let d = &v.dropbox_totals;
         total_flows += d.flows;
         total_vol += d.volume_bytes;
         total_dev += d.devices;
         t.row(vec![
-            out.dataset.name.clone(),
+            v.name.clone(),
             d.flows.to_string(),
             fmt_bytes(d.volume_bytes),
             d.devices.to_string(),
@@ -98,27 +96,19 @@ pub fn table3(cap: &Capture) -> Report {
 }
 
 /// Table 4: Campus 1 before and after the bundling deployment.
-pub fn table4(cap: &Capture) -> Report {
+pub fn table4(sum: &CaptureSummary) -> Report {
     let eras = [
-        ("Mar/Apr (v1.2.52)", cap.vantage(VantageKind::Campus1)),
-        ("Jun/Jul (v1.4.0)", &cap.campus1_v14),
+        ("Mar/Apr (v1.2.52)", sum.vantage(VantageKind::Campus1)),
+        ("Jun/Jul (v1.4.0)", &sum.campus1_v14),
     ];
     let mut t = TextTable::new(vec!["Metric", "Era", "Median", "Average"]);
     let mut improvements: Vec<(String, f64, f64)> = Vec::new();
     for tag in [StorageTag::Store, StorageTag::Retrieve] {
         let mut era_stats: Vec<(f64, f64, f64, f64)> = Vec::new();
-        for (label, out) in &eras {
-            let mut sizes: Vec<f64> = Vec::new();
-            let mut thr: Vec<f64> = Vec::new();
-            for f in out.dataset.client_storage_flows() {
-                if storage_tag(f) != tag {
-                    continue;
-                }
-                sizes.push(transfer_size(f) as f64);
-                if let Some(x) = throughput_bps(f) {
-                    thr.push(x);
-                }
-            }
+        for (label, v) in &eras {
+            let samples = v.storage.tag(tag);
+            let mut sizes = samples.transfer_sizes.clone();
+            let mut thr = samples.throughputs.clone();
             sizes.sort_by(|a, b| a.partial_cmp(b).unwrap());
             thr.sort_by(|a, b| a.partial_cmp(b).unwrap());
             let size_med = median(&sizes).unwrap_or(0.0);
@@ -163,18 +153,18 @@ pub fn table4(cap: &Capture) -> Report {
 }
 
 /// Table 5: user groups in Home 1 and Home 2.
-pub fn table5_report(cap: &Capture) -> Report {
+pub fn table5_report(sum: &CaptureSummary) -> Report {
     let mut t = TextTable::new(vec![
         "Vantage", "Group", "Addr.", "Sess.", "Retr.", "Store", "Days", "Dev.",
     ]);
     for kind in [VantageKind::Home1, VantageKind::Home2] {
-        let out = cap.vantage(kind);
-        let households = aggregate_households(&out.dataset.flows);
-        let rows = table5(&households);
+        let v = sum.vantage(kind);
+        let households = v.households.as_ref().expect("home summary has households");
+        let rows = table5(households);
         for g in UserGroup::ALL {
             let r = &rows[&g];
             t.row(vec![
-                out.dataset.name.clone(),
+                v.name.clone(),
                 g.label().to_string(),
                 format!("{:.2}", r.addr_frac),
                 format!("{:.2}", r.session_frac),
@@ -193,13 +183,7 @@ pub fn table5_report(cap: &Capture) -> Report {
     .with_csv("table5.csv", t.csv())
 }
 
-/// Helper: flow-size ECDF of tagged storage flows of a dataset.
-pub fn storage_size_ecdf(out: &workload::SimOutput, tag: StorageTag) -> Ecdf {
-    let sizes: Vec<f64> = out
-        .dataset
-        .client_storage_flows()
-        .filter(|f| storage_tag(f) == tag)
-        .map(|f| f.up.bytes as f64 + f.down.bytes as f64)
-        .collect();
-    Ecdf::new(sizes)
+/// Helper: flow-size ECDF of tagged storage flows of a vantage summary.
+pub fn storage_size_ecdf(v: &VantageSummary, tag: StorageTag) -> Ecdf {
+    Ecdf::new(v.storage.tag(tag).sizes.clone())
 }

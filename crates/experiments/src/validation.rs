@@ -8,13 +8,75 @@
 //! * chunk-count estimation error of the PSH method,
 //! * provider/role classification consistency,
 //! * deduplication and LAN-sync savings that never reach the wire.
+//!
+//! Scoring needs the per-flow ground truth (`FlowTruth`), which lives
+//! outside the `FlowRecord` stream, so this module walks
+//! [`workload::SimOutput::flows_with_truth`] — but only **once** per
+//! vantage: tag scoring, chunk scoring, and user-inference observation all
+//! fold in the same pass.
 
 use crate::report::{Report, TextTable};
 use crate::run::Capture;
 use dropbox::FlowTruth;
 use dropbox_analysis::chunks::estimate_chunks;
 use dropbox_analysis::classify::{dropbox_role, storage_tag, DropboxRole, StorageTag};
-use dropbox_analysis::users::{infer_users, score_users};
+use dropbox_analysis::stream::Accumulate;
+use dropbox_analysis::users::{score_users, InferUsersAcc};
+
+/// Everything `validate` needs from one vantage, gathered in one pass.
+struct VantageScore {
+    name: String,
+    total: u64,
+    tag_ok: u64,
+    chunk_exact: u64,
+    chunk_close: u64,
+    err_sum: f64,
+    inferred: Vec<Vec<u64>>,
+}
+
+fn score_vantage(out: &workload::SimOutput) -> VantageScore {
+    let mut s = VantageScore {
+        name: out.dataset.name.clone(),
+        total: 0,
+        tag_ok: 0,
+        chunk_exact: 0,
+        chunk_close: 0,
+        err_sum: 0.0,
+        inferred: Vec::new(),
+    };
+    let mut users = InferUsersAcc::default();
+    for (f, truth) in out.flows_with_truth() {
+        users.observe(f);
+        if dropbox_role(f) != Some(DropboxRole::ClientStorage) {
+            continue;
+        }
+        let Some(truth) = truth else { continue };
+        let (true_tag, true_chunks, acked) = match truth {
+            FlowTruth::Store { chunks, acked, .. } => (StorageTag::Store, *chunks, *acked),
+            FlowTruth::Retrieve { chunks, .. } => (StorageTag::Retrieve, *chunks, true),
+            _ => continue,
+        };
+        s.total += 1;
+        if storage_tag(f) == true_tag {
+            s.tag_ok += 1;
+        }
+        // The chunk estimator is only defined for acknowledged flows
+        // (the paper notes the misbehaving client breaks it).
+        if acked {
+            let est = estimate_chunks(f);
+            let err = (est as f64 - true_chunks as f64).abs();
+            s.err_sum += err;
+            if est == true_chunks {
+                s.chunk_exact += 1;
+            }
+            if err <= 1.0 {
+                s.chunk_close += 1;
+            }
+        }
+    }
+    s.inferred = users.finish();
+    s
+}
 
 /// Score the analysis layer against generator ground truth.
 pub fn validate(cap: &Capture) -> Report {
@@ -26,50 +88,18 @@ pub fn validate(cap: &Capture) -> Report {
         "chunk |err|<=1",
         "mean |err|",
     ]);
+    let scores: Vec<VantageScore> = cap.vantages.iter().map(score_vantage).collect();
     let mut worst_tag = 1.0f64;
-    for out in &cap.vantages {
-        let mut total = 0u64;
-        let mut tag_ok = 0u64;
-        let mut chunk_exact = 0u64;
-        let mut chunk_close = 0u64;
-        let mut err_sum = 0.0f64;
-        for (f, truth) in out.dataset.flows.iter().zip(&out.truths) {
-            if dropbox_role(f) != Some(DropboxRole::ClientStorage) {
-                continue;
-            }
-            let Some(truth) = truth else { continue };
-            let (true_tag, true_chunks, acked) = match truth {
-                FlowTruth::Store { chunks, acked, .. } => (StorageTag::Store, *chunks, *acked),
-                FlowTruth::Retrieve { chunks, .. } => (StorageTag::Retrieve, *chunks, true),
-                _ => continue,
-            };
-            total += 1;
-            if storage_tag(f) == true_tag {
-                tag_ok += 1;
-            }
-            // The chunk estimator is only defined for acknowledged flows
-            // (the paper notes the misbehaving client breaks it).
-            if acked {
-                let est = estimate_chunks(f);
-                let err = (est as f64 - true_chunks as f64).abs();
-                err_sum += err;
-                if est == true_chunks {
-                    chunk_exact += 1;
-                }
-                if err <= 1.0 {
-                    chunk_close += 1;
-                }
-            }
-        }
-        let tagged = tag_ok as f64 / total.max(1) as f64;
+    for s in &scores {
+        let tagged = s.tag_ok as f64 / s.total.max(1) as f64;
         worst_tag = worst_tag.min(tagged);
         t.row(vec![
-            out.dataset.name.clone(),
-            total.to_string(),
+            s.name.clone(),
+            s.total.to_string(),
             format!("{:.4}", tagged),
-            format!("{:.4}", chunk_exact as f64 / total.max(1) as f64),
-            format!("{:.4}", chunk_close as f64 / total.max(1) as f64),
-            format!("{:.3}", err_sum / total.max(1) as f64),
+            format!("{:.4}", s.chunk_exact as f64 / s.total.max(1) as f64),
+            format!("{:.4}", s.chunk_close as f64 / s.total.max(1) as f64),
+            format!("{:.3}", s.err_sum / s.total.max(1) as f64),
         ]);
     }
     let mut body = t.render();
@@ -83,8 +113,8 @@ pub fn validate(cap: &Capture) -> Report {
         ));
     }
     body.push_str("\nuser-account inference from namespace lists (Sec. 2.3.1):\n");
-    for out in &cap.vantages {
-        let inferred = infer_users(&out.dataset.flows);
+    for (out, s) in cap.vantages.iter().zip(&scores) {
+        let inferred = &s.inferred;
         // Ground truth restricted to devices the monitor actually saw.
         let seen: std::collections::BTreeSet<u64> = inferred.iter().flatten().copied().collect();
         let truth: Vec<Vec<u64>> = out
@@ -98,7 +128,7 @@ pub fn validate(cap: &Capture) -> Report {
             })
             .filter(|g: &Vec<u64>| !g.is_empty())
             .collect();
-        let (precision, recall) = score_users(&inferred, &truth);
+        let (precision, recall) = score_users(inferred, &truth);
         body.push_str(&format!(
             "  {}: {} devices, {} inferred accounts, pairwise precision {:.3} recall {:.3}\n",
             out.dataset.name,

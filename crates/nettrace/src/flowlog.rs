@@ -3,18 +3,115 @@
 //! The paper's authors published their flow measurements as anonymised
 //! logs (`http://traces.simpleweb.org/dropbox/`); this module is the
 //! equivalent for the simulated captures — JSON-lines, one
-//! [`FlowRecord`] per line — with reader/writer helpers so downstream
-//! tools can consume exported traces without touching the simulator.
+//! [`FlowRecord`] per line.
+//!
+//! The streaming forms are primary: [`JsonlWriter`] is a [`FlowSink`]
+//! that serialises each record as it arrives, and [`JsonlReader`] is an
+//! iterator that parses one record per line, so an on-disk capture can
+//! be re-analysed without ever materialising the full record vector.
+//! [`write_jsonl`]/[`read_jsonl`] are the whole-slice wrappers over
+//! them, byte- and error-compatible with the historical helpers.
 
 use crate::flow::FlowRecord;
+use crate::sink::FlowSink;
 use std::io::{self, BufRead, Write};
 
+/// Streaming JSON-lines writer: a [`FlowSink`] that serialises each
+/// accepted record immediately. I/O errors are latched (a sink cannot
+/// return them) — check [`JsonlWriter::into_result`] after the stream
+/// ends; records accepted after an error are dropped.
+pub struct JsonlWriter<W: Write> {
+    out: W,
+    error: Option<io::Error>,
+    records: u64,
+}
+
+impl<W: Write> JsonlWriter<W> {
+    /// Wrap a byte sink (use a `BufWriter` for files).
+    pub fn new(out: W) -> Self {
+        JsonlWriter {
+            out,
+            error: None,
+            records: 0,
+        }
+    }
+
+    /// Number of records serialised so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Finish the stream: the first latched I/O error, or the inner
+    /// writer on success.
+    pub fn into_result(self) -> io::Result<W> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(self.out),
+        }
+    }
+
+    fn write_record(&mut self, flow: &FlowRecord) -> io::Result<()> {
+        let line = simcore::json::to_string(flow);
+        self.out.write_all(line.as_bytes())?;
+        self.out.write_all(b"\n")
+    }
+}
+
+impl<W: Write> FlowSink for JsonlWriter<W> {
+    fn accept(&mut self, flow: FlowRecord) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.write_record(&flow) {
+            self.error = Some(e);
+        } else {
+            self.records += 1;
+        }
+    }
+}
+
+/// Streaming JSON-lines reader: yields one [`FlowRecord`] per non-blank
+/// line. Malformed records surface as `InvalidData` errors naming the
+/// physical (1-based) line, counting blanks — identical to
+/// [`read_jsonl`]'s reporting.
+pub struct JsonlReader<R: BufRead> {
+    lines: std::iter::Enumerate<io::Lines<R>>,
+}
+
+impl<R: BufRead> JsonlReader<R> {
+    /// Wrap a buffered byte source.
+    pub fn new(source: R) -> Self {
+        JsonlReader {
+            lines: source.lines().enumerate(),
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for JsonlReader<R> {
+    type Item = io::Result<FlowRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let (idx, line) = self.lines.next()?;
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => return Some(Err(e)),
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            return Some(simcore::json::from_str(&line).map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", idx + 1))
+            }));
+        }
+    }
+}
+
 /// Write records as JSON-lines.
-pub fn write_jsonl<W: Write>(mut sink: W, flows: &[FlowRecord]) -> io::Result<()> {
+pub fn write_jsonl<W: Write>(sink: W, flows: &[FlowRecord]) -> io::Result<()> {
+    let mut writer = JsonlWriter::new(sink);
     for f in flows {
-        let line = simcore::json::to_string(f);
-        sink.write_all(line.as_bytes())?;
-        sink.write_all(b"\n")?;
+        writer.write_record(f)?;
     }
     Ok(())
 }
@@ -22,18 +119,7 @@ pub fn write_jsonl<W: Write>(mut sink: W, flows: &[FlowRecord]) -> io::Result<()
 /// Read records from JSON-lines, skipping blank lines. Fails on the first
 /// malformed record, reporting its line number.
 pub fn read_jsonl<R: BufRead>(source: R) -> io::Result<Vec<FlowRecord>> {
-    let mut out = Vec::new();
-    for (idx, line) in source.lines().enumerate() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let rec: FlowRecord = simcore::json::from_str(&line).map_err(|e| {
-            io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", idx + 1))
-        })?;
-        out.push(rec);
-    }
-    Ok(out)
+    JsonlReader::new(source).collect()
 }
 
 /// Anonymise client addresses in place: replaces each distinct client
@@ -144,6 +230,39 @@ mod tests {
         assert_eq!(parsed[0].down.rtx_bytes, 0);
         assert!(!parsed[0].aborted);
         assert_eq!(parsed[0].down.bytes, 4_200);
+    }
+
+    #[test]
+    fn streaming_writer_matches_whole_slice_writer_byte_for_byte() {
+        let flows = vec![
+            record(Ipv4::new(87, 1, 2, 3)),
+            record(Ipv4::new(87, 1, 2, 4)),
+        ];
+        let mut whole = Vec::new();
+        write_jsonl(&mut whole, &flows).unwrap();
+        let mut writer = JsonlWriter::new(Vec::new());
+        for f in &flows {
+            writer.accept(f.clone());
+        }
+        assert_eq!(writer.records(), 2);
+        let streamed = writer.into_result().unwrap();
+        assert_eq!(streamed, whole);
+    }
+
+    #[test]
+    fn streaming_reader_yields_records_lazily_with_line_errors() {
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &[record(Ipv4::new(87, 1, 2, 3))]).unwrap();
+        let mut input = String::from_utf8(buf).unwrap();
+        input.push('\n');
+        input.push_str("{not json}\n");
+        let mut reader = JsonlReader::new(io::Cursor::new(input));
+        let first = reader.next().unwrap().unwrap();
+        assert_eq!(first.down.bytes, 4_200);
+        // The blank line is skipped; the malformed third line errors.
+        let err = reader.next().unwrap().unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+        assert!(reader.next().is_none());
     }
 
     #[test]

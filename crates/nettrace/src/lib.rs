@@ -16,9 +16,14 @@
 //! * [`pcap`] — a libpcap file writer that serialises packet streams into
 //!   standard `.pcap` files (synthesising Ethernet/IP/TCP headers), and
 //! * [`flow`] — the Tstat-style per-flow record ([`flow::FlowRecord`]) that
-//!   the monitor exports and the analysis layer consumes, and
+//!   the monitor exports and the analysis layer consumes,
+//! * [`sink`] — the [`sink::FlowSink`] trait: the streaming boundary
+//!   completed records flow through (monitor → analysis/serialisation)
+//!   without whole-capture materialisation, and
 //! * [`flowlog`] — its JSON-lines serialisation with anonymisation,
-//!   mirroring the anonymised flow logs the paper published.
+//!   mirroring the anonymised flow logs the paper published; the
+//!   streaming [`flowlog::JsonlWriter`]/[`flowlog::JsonlReader`] forms
+//!   plug directly into sinks.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,7 +33,9 @@ pub mod flow;
 pub mod flowlog;
 pub mod packet;
 pub mod pcap;
+pub mod sink;
 
 pub use endpoint::{Endpoint, FlowKey, Ipv4};
 pub use flow::FlowRecord;
 pub use packet::{AppMarker, Packet, TcpFlags};
+pub use sink::FlowSink;

@@ -1,0 +1,109 @@
+//! The streaming record boundary between capture and analysis.
+//!
+//! A [`FlowSink`] consumes completed [`FlowRecord`]s one at a time, in
+//! the order the monitor finalises them. It is the seam the whole
+//! pipeline hangs on: `tstat::Monitor` drains finished flows into a
+//! sink, the workload driver emits a capture into a sink as it renders,
+//! and the analysis layer's fan-out pipeline *is* a sink — so a capture
+//! can be simulated, serialised, re-read and analysed without ever
+//! materialising the full record vector.
+//!
+//! Determinism contract: a sink observes records in a single canonical
+//! order (the monitor's finalisation order). Producers never reorder,
+//! batch or drop records on the way into a sink, so feeding the same
+//! capture through any sink chain is byte-reproducible.
+
+use crate::flow::FlowRecord;
+
+/// A consumer of completed flow records.
+pub trait FlowSink {
+    /// Accept one completed record. Called exactly once per record, in
+    /// capture order.
+    fn accept(&mut self, flow: FlowRecord);
+}
+
+/// The materialising sink: collect records into a vector (the legacy
+/// behaviour every pre-streaming call path reduces to).
+impl FlowSink for Vec<FlowRecord> {
+    fn accept(&mut self, flow: FlowRecord) {
+        self.push(flow);
+    }
+}
+
+/// A sink that counts records and forwards nothing — useful to measure a
+/// producer without paying for storage.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    /// Number of records accepted so far.
+    pub records: u64,
+}
+
+impl FlowSink for CountingSink {
+    fn accept(&mut self, _flow: FlowRecord) {
+        self.records += 1;
+    }
+}
+
+/// Fan one record out to two sinks (records are cloned into the first,
+/// moved into the second). Chains compose: `Tee(a, Tee(b, c))`.
+pub struct Tee<'a, A: FlowSink, B: FlowSink>(pub &'a mut A, pub &'a mut B);
+
+impl<A: FlowSink, B: FlowSink> FlowSink for Tee<'_, A, B> {
+    fn accept(&mut self, flow: FlowRecord) {
+        self.0.accept(flow.clone());
+        self.1.accept(flow);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::{Endpoint, FlowKey, Ipv4};
+    use crate::flow::{DirStats, FlowClose};
+    use simcore::SimTime;
+
+    fn record(port: u16) -> FlowRecord {
+        FlowRecord {
+            key: FlowKey::new(
+                Endpoint::new(Ipv4::new(10, 0, 0, 1), port),
+                Endpoint::new(Ipv4::new(107, 22, 0, 1), 443),
+            ),
+            first_syn: SimTime::from_secs(1),
+            last_packet: SimTime::from_secs(2),
+            up: DirStats::default(),
+            down: DirStats::default(),
+            min_rtt_ms: None,
+            rtt_samples: 0,
+            tls_sni: None,
+            tls_certificate_cn: None,
+            http_host: None,
+            server_fqdn: None,
+            notify: None,
+            close: FlowClose::Fin,
+            aborted: false,
+        }
+    }
+
+    #[test]
+    fn vec_sink_preserves_order() {
+        let mut v: Vec<FlowRecord> = Vec::new();
+        for p in [1u16, 2, 3] {
+            v.accept(record(p));
+        }
+        let ports: Vec<u16> = v.iter().map(|f| f.key.client.port).collect();
+        assert_eq!(ports, [1, 2, 3]);
+    }
+
+    #[test]
+    fn tee_feeds_both_sinks() {
+        let mut a: Vec<FlowRecord> = Vec::new();
+        let mut b = CountingSink::default();
+        {
+            let mut tee = Tee(&mut a, &mut b);
+            tee.accept(record(7));
+            tee.accept(record(8));
+        }
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.records, 2);
+    }
+}

@@ -12,6 +12,9 @@
 //!   order can reach serialized output ([`rules`], [`callgraph`]);
 //! * **hermeticity** — every dependency is an in-tree path dependency and
 //!   no code shells out ([`manifest`], [`rules`]);
+//! * **streaming** — analysis crates consume flow records through the
+//!   single-pass pipeline instead of re-scanning materialised `.flows`
+//!   vectors, outside the declared compatibility view ([`rules`]);
 //! * **panic policy** — fault-recovery paths propagate errors instead of
 //!   unwrapping ([`rules`]);
 //! * **JSONL schema stability** — new serialized fields are read back
@@ -44,6 +47,7 @@ pub const RULES: &[&str] = &[
     "wall-clock",
     "par-exec",
     "map-iter",
+    "full-materialize",
     "non-workspace-dep",
     "extern-crate",
     "process-spawn",
@@ -188,6 +192,13 @@ pub struct Options {
     /// primitives are flagged instead, so every exception to "shards are
     /// pure" carries a justified allow annotation.
     pub par_exec_files: Vec<String>,
+    /// Crates (directory names under `crates/`) holding analysis code
+    /// held to the streaming single-pass contract: re-scanning a
+    /// materialised `.flows` vector is flagged (`full-materialize`).
+    pub analysis_crates: Vec<String>,
+    /// Root-relative path suffixes exempt from `full-materialize`: the
+    /// declared materialised compatibility view.
+    pub materialize_exempt_files: Vec<String>,
     /// Path suffixes exempt from the schema rule (the generic JSON
     /// substrate itself).
     pub schema_skip: Vec<String>,
@@ -258,6 +269,11 @@ impl Options {
             .map(|s| s.to_string())
             .collect(),
             par_exec_files: vec!["crates/simcore/src/par.rs".to_string()],
+            analysis_crates: ["core", "experiments"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            materialize_exempt_files: vec!["crates/core/src/dataset.rs".to_string()],
             schema_skip: vec!["crates/simcore/src/json.rs".to_string()],
             schema_baseline: baseline
                 .iter()
@@ -342,6 +358,7 @@ pub fn run(root: &Path, opts: &Options) -> io::Result<Report> {
         rules::hermetic_source(file, &mut violations, &mut allowed);
         rules::panic_path(file, opts, &mut violations, &mut allowed);
         rules::map_iter(file, opts, emitting, &mut violations, &mut allowed);
+        rules::full_materialize(file, opts, &mut violations, &mut allowed);
     }
     schema::check(&sources, opts, &mut violations, &mut allowed);
 

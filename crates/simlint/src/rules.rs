@@ -251,6 +251,121 @@ pub fn panic_path(
     }
 }
 
+/// Methods that walk or copy a whole materialised flow vector.
+const MATERIALIZE_METHODS: &[&str] = &["iter", "iter_mut", "into_iter", "clone", "to_vec"];
+
+/// Streaming: analysis code consumes flow records through the single-pass
+/// pipeline (`dropbox_analysis::stream`), not by re-scanning a
+/// materialised `.flows` vector once per report. Whole-vector iteration
+/// (`.flows.iter()`, `for f in &out.dataset.flows { … }`, `.flows.clone()`)
+/// is flagged in analysis crates outside the declared compatibility view
+/// (`Options::materialize_exempt_files`); `.flows.len()`, indexing, and
+/// passing the slice onward are fine.
+pub fn full_materialize(
+    file: &SourceFile,
+    opts: &Options,
+    violations: &mut Vec<Violation>,
+    allowed: &mut Vec<Suppressed>,
+) {
+    if !opts.analysis_crates.iter().any(|c| c == &file.crate_name) {
+        return;
+    }
+    if opts
+        .materialize_exempt_files
+        .iter()
+        .any(|suffix| file.rel.ends_with(suffix.as_str()))
+    {
+        return;
+    }
+    let toks = &file.toks;
+    let mut flag = |idx: usize, line: u32, how: &str| {
+        if file.in_test(idx) {
+            return;
+        }
+        emit(
+            file,
+            "full-materialize",
+            line,
+            format!(
+                "{how} over a materialised `.flows` vector in analysis crate `{}`: \
+                 feed the records through the streaming pipeline \
+                 (`dropbox_analysis::stream`) instead of re-scanning",
+                file.crate_name
+            ),
+            violations,
+            allowed,
+        );
+    };
+
+    // `<expr>.flows.iter()` / `.clone()` / ….
+    for i in 0..toks.len() {
+        if toks[i].is_sym(".")
+            && toks.get(i + 1).is_some_and(|t| t.is_ident("flows"))
+            && toks.get(i + 2).is_some_and(|t| t.is_sym("."))
+            && toks
+                .get(i + 3)
+                .is_some_and(|t| MATERIALIZE_METHODS.contains(&t.text.as_str()))
+            && toks.get(i + 4).is_some_and(|t| t.is_sym("("))
+        {
+            let how = format!("`.flows.{}()`", toks[i + 3].text);
+            flag(i + 3, toks[i + 3].line, &how);
+        }
+    }
+
+    // `for x in [&][mut] <path>.flows { … }` — the path must be a field
+    // access (at least one dot), so one-pass helpers that take a bare
+    // `flows: &[FlowRecord]` slice stay legal.
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("for") {
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        let mut in_idx = None;
+        while j < toks.len() && j < i + 64 {
+            let t = &toks[j];
+            if t.is_sym("(") || t.is_sym("[") {
+                depth += 1;
+            } else if t.is_sym(")") || t.is_sym("]") {
+                depth -= 1;
+            } else if depth == 0 && t.is_ident("in") {
+                in_idx = Some(j);
+                break;
+            } else if t.is_sym("{") || t.is_sym(";") {
+                break;
+            }
+            j += 1;
+        }
+        let Some(in_idx) = in_idx else { continue };
+        let mut k = in_idx + 1;
+        while k < toks.len() && (toks[k].is_sym("&") || toks[k].is_ident("mut")) {
+            k += 1;
+        }
+        let mut last_ident = None;
+        let mut dots = 0usize;
+        while k < toks.len() && toks[k].kind == crate::lexer::TokKind::Ident {
+            last_ident = Some(k);
+            if toks.get(k + 1).is_some_and(|t| t.is_sym("."))
+                && toks
+                    .get(k + 2)
+                    .is_some_and(|t| t.kind == crate::lexer::TokKind::Ident)
+            {
+                dots += 1;
+                k += 2;
+            } else {
+                k += 1;
+                break;
+            }
+        }
+        let Some(last) = last_ident else { continue };
+        if dots == 0 || !toks[last].is_ident("flows") || !toks.get(k).is_some_and(|t| t.is_sym("{"))
+        {
+            continue;
+        }
+        flag(last, toks[last].line, "`for` loop");
+    }
+}
+
 /// Methods whose call on a hash container exposes iteration order.
 const ITER_METHODS: &[&str] = &[
     "iter",
@@ -579,5 +694,39 @@ mod tests {
     fn lookups_are_fine() {
         let src = "fn f(m: &HashMap<u32, u32>) -> Option<&u32> { m.get(&1) }";
         assert!(check(src, true).is_empty());
+    }
+
+    fn check_materialize(rel: &str, src: &str) -> Vec<Violation> {
+        let file = SourceFile::analyse(rel, src);
+        let mut v = Vec::new();
+        let mut a = Vec::new();
+        full_materialize(&file, &Options::workspace(), &mut v, &mut a);
+        v
+    }
+
+    #[test]
+    fn full_materialize_flags_analysis_rescans() {
+        let src = "fn f(ds: &Dataset) -> u64 {\n\
+                   let mut n = 0;\n\
+                   for f in &ds.flows { n += f; }\n\
+                   n + ds.flows.iter().count() as u64 }";
+        let v = check_materialize("crates/core/src/other.rs", src);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == "full-materialize"));
+        // The declared compatibility view and non-analysis crates are out
+        // of scope.
+        assert!(check_materialize("crates/core/src/dataset.rs", src).is_empty());
+        assert!(check_materialize("crates/workload/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn full_materialize_permits_single_pass_access() {
+        // `.len()`, indexing, passing the slice on, and one-pass helpers
+        // over a bare slice are all legal.
+        let src = "fn g(flows: &[u32], ds: &Dataset) -> u64 {\n\
+                   let mut n = ds.flows.len() as u64 + ds.flows[0];\n\
+                   for f in flows { n += f; }\n\
+                   run_one(&ds.flows, n) }";
+        assert!(check_materialize("crates/experiments/src/lib.rs", src).is_empty());
     }
 }

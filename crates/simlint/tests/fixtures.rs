@@ -77,6 +77,26 @@ fn mapiter_emit_fixture_flags_only_emission_reaching() {
 }
 
 #[test]
+fn materialize_fixture_flags_rescans_outside_the_view() {
+    let r = lint("materialize");
+    assert_eq!(
+        rules(&r),
+        ["full-materialize", "full-materialize"],
+        "{:?}",
+        r.violations
+    );
+    // Sorted by line: the `for` loop first, then `.flows.iter()`.
+    assert!(r.violations[0].file.ends_with("crates/core/src/lib.rs"));
+    assert!(r.violations[0].message.contains("`for` loop"));
+    assert!(r.violations[1].message.contains("`.flows.iter()`"));
+    // The compatibility view is exempt; the annotated export is
+    // suppressed with its justification, not silently passed.
+    assert_eq!(r.allowed.len(), 1, "{:?}", r.allowed);
+    assert_eq!(r.allowed[0].rule, "full-materialize");
+    assert!(r.allowed[0].reason.contains("anonymise"));
+}
+
+#[test]
 fn allowed_fixture_suppresses_with_justification() {
     let r = lint("allowed");
     assert!(r.ok(), "justified allow must suppress: {:?}", r.violations);

@@ -1,0 +1,18 @@
+//! Known-bad fixture: analysis code re-scanning the materialised flow
+//! vector instead of streaming through the pipeline.
+
+pub struct Dataset {
+    pub flows: Vec<u64>,
+}
+
+pub fn rescans(ds: &Dataset) -> u64 {
+    let mut n = 0;
+    for f in &ds.flows {
+        n += f;
+    }
+    n + ds.flows.iter().count() as u64
+}
+
+pub fn single_pass_access_is_fine(ds: &Dataset) -> u64 {
+    ds.flows.len() as u64
+}

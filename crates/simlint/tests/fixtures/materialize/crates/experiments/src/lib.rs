@@ -1,0 +1,6 @@
+//! A justified exception: the trace export needs an owned copy.
+
+pub fn export(ds: &crate::Dataset) -> Vec<u64> {
+    // simlint: allow(full-materialize) — export needs an owned copy to anonymise
+    ds.flows.clone()
+}

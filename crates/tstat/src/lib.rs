@@ -333,6 +333,27 @@ impl Monitor {
         std::mem::take(&mut self.done)
     }
 
+    /// Stream the flows completed so far into a sink, in finalisation
+    /// order, without materialising a vector.
+    pub fn drain_into(&mut self, sink: &mut dyn nettrace::FlowSink) {
+        for rec in self.done.drain(..) {
+            sink.accept(rec);
+        }
+    }
+
+    /// End of capture, streaming form: finalize all remaining flows and
+    /// emit everything not yet drained into `sink` (same order as
+    /// [`Monitor::flush`]).
+    pub fn flush_into(&mut self, sink: &mut dyn nettrace::FlowSink) {
+        let keys: Vec<FlowKey> = self.flows.keys().copied().collect();
+        for key in keys {
+            let state = self.flows.remove(&key).expect("key listed");
+            let fqdn = self.dns_view.get(&key.server.ip).cloned();
+            self.done.push(state.finalize(fqdn));
+        }
+        self.drain_into(sink);
+    }
+
     /// Evict flows idle since before `now - idle`: real Tstat flushes
     /// long-silent connections so state does not grow over a 42-day
     /// capture. Evicted flows are finalized as their observed close state.
@@ -701,5 +722,53 @@ mod tests {
         assert_eq!(completed.len(), 1);
         assert_eq!(completed[0].up.bytes, 100);
         assert_eq!(mon.active_flows(), 1);
+    }
+
+    #[test]
+    fn flush_into_sink_matches_flush_order() {
+        // The streaming emission path must yield the same records in the
+        // same order as the materialising flush.
+        let build = |seed: u64| -> (Monitor, Vec<Packet>) {
+            let mut out1 = Vec::new();
+            let mut out2 = Vec::new();
+            let mut rng = Rng::new(seed);
+            let k2 = FlowKey::new(Endpoint::new(Ipv4::new(10, 0, 0, 5), 42_001), key().server);
+            simulate(
+                SimTime::from_secs(5),
+                key(),
+                &store_like_dialogue(2, 1_000),
+                &path(90),
+                &TcpParams::era_2012_v1(),
+                &mut rng,
+                &mut out1,
+            );
+            simulate(
+                SimTime::from_secs(6),
+                k2,
+                &store_like_dialogue(1, 500),
+                &path(90),
+                &TcpParams::era_2012_v1(),
+                &mut rng,
+                &mut out2,
+            );
+            let mut all: Vec<Packet> = out1.into_iter().chain(out2).collect();
+            all.sort_by_key(|p| p.ts);
+            (Monitor::new(true), all)
+        };
+        let (mut a, pkts) = build(11);
+        let (mut b, _) = build(11);
+        for p in &pkts {
+            a.observe(p);
+            b.observe(p);
+        }
+        let legacy = a.flush();
+        let mut streamed: Vec<FlowRecord> = Vec::new();
+        b.flush_into(&mut streamed);
+        assert_eq!(legacy.len(), streamed.len());
+        for (l, s) in legacy.iter().zip(&streamed) {
+            assert_eq!(l.key, s.key);
+            assert_eq!(l.up.bytes, s.up.bytes);
+            assert_eq!(l.down.bytes, s.down.bytes);
+        }
     }
 }

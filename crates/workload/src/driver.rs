@@ -70,6 +70,14 @@ pub struct SimOutput {
     pub fault_stats: FaultStats,
 }
 
+impl SimOutput {
+    /// The record stream with its aligned ground truth — what the
+    /// validation harness folds over in a single pass.
+    pub fn flows_with_truth(&self) -> impl Iterator<Item = (&FlowRecord, &Option<FlowTruth>)> {
+        self.dataset.flows.iter().zip(&self.truths)
+    }
+}
+
 /// A commit of chunks into a namespace, in global time order.
 struct Commit {
     at: SimTime,
@@ -103,15 +111,36 @@ struct Dev {
 }
 
 impl Dev {
+    /// Index of the session whose `[start, end]` interval contains `t`.
+    ///
+    /// `sessions` is disjoint and ordered (`activity::device_sessions`
+    /// merges overlaps), so the first session with `end >= t` is the only
+    /// candidate — binary search instead of a linear scan.
     fn session_containing(&self, t: SimTime) -> Option<usize> {
-        self.sessions
-            .iter()
-            .position(|s| s.start <= t && t <= s.end)
+        let i = self.sessions.partition_point(|s| s.end < t);
+        match self.sessions.get(i) {
+            Some(s) if s.start <= t && t <= s.end => Some(i),
+            _ => None,
+        }
     }
 
+    /// Index of the first session starting strictly after `t`.
     fn next_session_after(&self, t: SimTime) -> Option<usize> {
-        self.sessions.iter().position(|s| s.start > t)
+        let i = self.sessions.partition_point(|s| s.start <= t);
+        (i < self.sessions.len()).then_some(i)
     }
+}
+
+/// Capture-level outputs that are not the record stream itself: what the
+/// streaming driver returns alongside the records it emits.
+pub struct VantageStats {
+    /// Number of chunk transfers served by the LAN Sync Protocol (never
+    /// seen at the probe).
+    pub lan_synced: u64,
+    /// Ground-truth user accounts (groups of `host_int`s).
+    pub truth_users: Vec<Vec<u64>>,
+    /// Fault-injection ground truth.
+    pub fault_stats: FaultStats,
 }
 
 /// Simulate one vantage point. `version` selects the client generation
@@ -122,12 +151,61 @@ impl Dev {
 /// active plan, flows pick up link degradations, storage transfers can be
 /// cut and resumed, and notification connections churn — all still a
 /// deterministic function of `(config, version, seed, plan)`.
+///
+/// This is the materialising wrapper over the streaming core
+/// ([`simulate_vantage_into`]): records are collected into the
+/// [`Dataset`] compatibility view with their aligned ground truth.
 pub fn simulate_vantage(
     config: &VantageConfig,
     version: ClientVersion,
     seed: u64,
     faults: &FaultPlan,
 ) -> SimOutput {
+    let mut flows: Vec<FlowRecord> = Vec::new();
+    let mut truths: Vec<Option<FlowTruth>> = Vec::new();
+    let stats = simulate_vantage_impl(config, version, seed, faults, &mut |rec, truth| {
+        flows.push(rec);
+        truths.push(truth);
+    });
+    let mut dataset = Dataset::new(config.kind.name(), config.expose_dns, config.days);
+    dataset.flows = flows;
+    SimOutput {
+        dataset,
+        truths,
+        lan_synced: stats.lan_synced,
+        truth_users: stats.truth_users,
+        fault_stats: stats.fault_stats,
+    }
+}
+
+/// Streaming form of [`simulate_vantage`]: completed records are emitted
+/// into `sink` as the monitor finalises them, in the same canonical order
+/// the materialising wrapper stores them — the capture is never held in
+/// memory. Ground truth is not emitted (use [`simulate_vantage`] when the
+/// validation harness needs it).
+pub fn simulate_vantage_into(
+    config: &VantageConfig,
+    version: ClientVersion,
+    seed: u64,
+    faults: &FaultPlan,
+    sink: &mut dyn nettrace::FlowSink,
+) -> VantageStats {
+    simulate_vantage_impl(config, version, seed, faults, &mut |rec, _truth| {
+        sink.accept(rec)
+    })
+}
+
+/// The single driver core both entry points share: renders the capture
+/// and hands each completed record (with its ground truth) to `emit`.
+/// The closure indirection draws no randomness, so the record stream is
+/// byte-identical however it is consumed.
+fn simulate_vantage_impl(
+    config: &VantageConfig,
+    version: ClientVersion,
+    seed: u64,
+    faults: &FaultPlan,
+    emit: &mut dyn FnMut(FlowRecord, Option<FlowTruth>),
+) -> VantageStats {
     // The capture's root stream IS its shard stream: derived from
     // (capture seed, vantage label) through SplitMix64, so running this
     // capture as a `shard::CaptureShard` on N workers or calling it
@@ -444,8 +522,6 @@ pub fn simulate_vantage(
     }
 
     // ---- Phase C: render all device flows ------------------------------
-    let mut flows: Vec<FlowRecord> = Vec::new();
-    let mut truths: Vec<Option<FlowTruth>> = Vec::new();
     let mut scratch: Vec<nettrace::Packet> = Vec::new();
     let render_rng = root_rng.fork_named("render");
     let mut port_counter: u32 = 0;
@@ -459,8 +535,6 @@ pub fn simulate_vantage(
                     access: Access,
                     day: u32,
                     monitor: &mut Monitor,
-                    flows: &mut Vec<FlowRecord>,
-                    truths: &mut Vec<Option<FlowTruth>>,
                     rng: &mut Rng,
                     scratch: &mut Vec<nettrace::Packet>| {
         let Some(server_ip) = dns.resolve(&spec.server_name) else {
@@ -508,8 +582,7 @@ pub fn simulate_vantage(
             scratch,
         );
         if let Some(rec) = monitor.process_flow(scratch) {
-            flows.push(rec);
-            truths.push(Some(spec.truth.clone()));
+            emit(rec, Some(spec.truth.clone()));
         }
     };
 
@@ -584,8 +657,6 @@ pub fn simulate_vantage(
                     hh.access,
                     day,
                     &mut monitor,
-                    &mut flows,
-                    &mut truths,
                     &mut dev_rng,
                     &mut scratch,
                 );
@@ -619,8 +690,6 @@ pub fn simulate_vantage(
                         hh.access,
                         day,
                         &mut monitor,
-                        &mut flows,
-                        &mut truths,
                         &mut dev_rng,
                         &mut scratch,
                     );
@@ -644,8 +713,6 @@ pub fn simulate_vantage(
                         hh.access,
                         day,
                         &mut monitor,
-                        &mut flows,
-                        &mut truths,
                         &mut dev_rng,
                         &mut scratch,
                     );
@@ -680,8 +747,6 @@ pub fn simulate_vantage(
                         hh.access,
                         day,
                         &mut monitor,
-                        &mut flows,
-                        &mut truths,
                         &mut dev_rng,
                         &mut scratch,
                     );
@@ -706,8 +771,6 @@ pub fn simulate_vantage(
                         hh.access,
                         day,
                         &mut monitor,
-                        &mut flows,
-                        &mut truths,
                         &mut dev_rng,
                         &mut scratch,
                     );
@@ -729,8 +792,6 @@ pub fn simulate_vantage(
                     hh.access,
                     day,
                     &mut monitor,
-                    &mut flows,
-                    &mut truths,
                     &mut dev_rng,
                     &mut scratch,
                 );
@@ -759,8 +820,6 @@ pub fn simulate_vantage(
                             hh.access,
                             day,
                             &mut monitor,
-                            &mut flows,
-                            &mut truths,
                             &mut dev_rng,
                             &mut scratch,
                         );
@@ -775,8 +834,6 @@ pub fn simulate_vantage(
                             hh.access,
                             day,
                             &mut monitor,
-                            &mut flows,
-                            &mut truths,
                             &mut dev_rng,
                             &mut scratch,
                         );
@@ -796,8 +853,6 @@ pub fn simulate_vantage(
                     hh.access,
                     day,
                     &mut monitor,
-                    &mut flows,
-                    &mut truths,
                     &mut dev_rng,
                     &mut scratch,
                 );
@@ -826,8 +881,6 @@ pub fn simulate_vantage(
                                 hh.access,
                                 day,
                                 &mut monitor,
-                                &mut flows,
-                                &mut truths,
                                 &mut dev_rng,
                                 &mut scratch,
                             );
@@ -841,8 +894,6 @@ pub fn simulate_vantage(
                                 hh.access,
                                 day,
                                 &mut monitor,
-                                &mut flows,
-                                &mut truths,
                                 &mut dev_rng,
                                 &mut scratch,
                             );
@@ -873,8 +924,6 @@ pub fn simulate_vantage(
                                 hh.access,
                                 day,
                                 &mut monitor,
-                                &mut flows,
-                                &mut truths,
                                 &mut dev_rng,
                                 &mut scratch,
                             );
@@ -889,8 +938,6 @@ pub fn simulate_vantage(
                                 hh.access,
                                 day,
                                 &mut monitor,
-                                &mut flows,
-                                &mut truths,
                                 &mut dev_rng,
                                 &mut scratch,
                             );
@@ -909,8 +956,6 @@ pub fn simulate_vantage(
                     hh.access,
                     day,
                     &mut monitor,
-                    &mut flows,
-                    &mut truths,
                     &mut dev_rng,
                     &mut scratch,
                 );
@@ -926,8 +971,6 @@ pub fn simulate_vantage(
                     hh.access,
                     day,
                     &mut monitor,
-                    &mut flows,
-                    &mut truths,
                     &mut dev_rng,
                     &mut scratch,
                 );
@@ -958,8 +1001,6 @@ pub fn simulate_vantage(
                         hh.access,
                         day,
                         &mut monitor,
-                        &mut flows,
-                        &mut truths,
                         &mut dev_rng,
                         &mut scratch,
                     );
@@ -991,8 +1032,6 @@ pub fn simulate_vantage(
                         hh.access,
                         day,
                         &mut monitor,
-                        &mut flows,
-                        &mut truths,
                         &mut web_rng.clone(),
                         &mut scratch,
                     );
@@ -1008,8 +1047,6 @@ pub fn simulate_vantage(
                     hh.access,
                     day,
                     &mut monitor,
-                    &mut flows,
-                    &mut truths,
                     &mut web_rng.clone(),
                     &mut scratch,
                 );
@@ -1024,8 +1061,6 @@ pub fn simulate_vantage(
                         hh.access,
                         day,
                         &mut monitor,
-                        &mut flows,
-                        &mut truths,
                         &mut web_rng.clone(),
                         &mut scratch,
                     );
@@ -1037,15 +1072,10 @@ pub fn simulate_vantage(
     // ---- Phase E: background providers ----------------------------------
     let background = background_flows(config, &population, &mut root_rng.fork_named("providers"));
     for rec in background {
-        flows.push(rec);
-        truths.push(None);
+        emit(rec, None);
     }
 
-    let mut dataset = Dataset::new(config.kind.name(), config.expose_dns, config.days);
-    dataset.flows = flows;
-    SimOutput {
-        dataset,
-        truths,
+    VantageStats {
         lan_synced,
         truth_users,
         fault_stats,
@@ -1225,5 +1255,64 @@ mod tests {
             .flows
             .iter()
             .any(|f| provider_of(f) == Provider::Dropbox));
+    }
+
+    #[test]
+    fn session_lookup_matches_linear_scan_on_boundaries() {
+        use crate::activity::Session;
+        use crate::population::Behavior;
+
+        let s = |a: u64, b: u64| Session {
+            start: SimTime::from_secs(a),
+            end: SimTime::from_secs(b),
+        };
+        let cases: Vec<Vec<Session>> = vec![
+            vec![],
+            vec![s(10, 20)],
+            vec![s(10, 20), s(30, 45), s(100, 100), s(200, 250)],
+        ];
+        for sessions in cases {
+            let dev = Dev {
+                hh: 0,
+                host_int: dropbox::metadata::HostInt(1),
+                namespaces: Vec::new(),
+                sessions: sessions.clone(),
+                behavior: Behavior::Heavy,
+                version: ClientVersion::V1_2_52,
+                abnormal: false,
+                nat_afflicted: false,
+                workstation: false,
+            };
+            // Probe every boundary instant plus its neighbours and the
+            // gaps, so `t == start`, `t == end`, and zero-length sessions
+            // are all exercised.
+            let second = simcore::SimDuration::from_secs(1);
+            let mut probes = vec![SimTime::from_secs(0), SimTime::from_secs(1_000)];
+            for sess in &sessions {
+                for t in [sess.start, sess.end] {
+                    probes.push(t);
+                    probes.push(t + second);
+                    if t >= SimTime::from_secs(1) {
+                        probes.push(t - second);
+                    }
+                }
+            }
+            for t in probes {
+                let linear_containing = sessions
+                    .iter()
+                    .position(|sess| sess.start <= t && t <= sess.end);
+                let linear_next = sessions.iter().position(|sess| sess.start > t);
+                assert_eq!(
+                    dev.session_containing(t),
+                    linear_containing,
+                    "session_containing({t:?}) in {sessions:?}"
+                );
+                assert_eq!(
+                    dev.next_session_after(t),
+                    linear_next,
+                    "next_session_after({t:?}) in {sessions:?}"
+                );
+            }
+        }
     }
 }

@@ -12,6 +12,21 @@ export RUSTFLAGS="-D warnings"
 
 cargo fmt --check
 
+# Committed CSV artifacts must stay small — the full Fig. 9 scatter grows
+# linearly with the capture and is committed decimated + digested (see
+# figures::fig9). Fails on any tracked or staged results/*.csv above the
+# cap.
+max_csv_bytes=262144
+while IFS= read -r f; do
+    [ -f "$f" ] || continue
+    size=$(wc -c < "$f")
+    if [ "$size" -gt "$max_csv_bytes" ]; then
+        echo "error: $f is $size bytes (cap $max_csv_bytes): decimate or digest bulk CSV dumps" >&2
+        exit 1
+    fi
+done < <({ git ls-files 'results/*.csv'; \
+           git diff --cached --name-only --diff-filter=AM -- 'results/*.csv'; } | sort -u)
+
 # Determinism & hermeticity lint: hard gate, exits non-zero on any
 # violation and writes results/simlint_report.json.
 cargo run --release --offline -p simlint
@@ -48,3 +63,8 @@ test -s crates/bench/BENCH_simlint.json
 # hardware-independent figure — see the file's "note").
 cargo bench --offline -p bench --bench parallel
 test -s crates/bench/BENCH_parallel.json
+
+# Streaming-summary benchmark (writes crates/bench/BENCH_stream.json):
+# the single shared pass must digest the full-scale (1.0) capture.
+cargo bench --offline -p bench --bench stream
+test -s crates/bench/BENCH_stream.json
