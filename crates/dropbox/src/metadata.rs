@@ -120,6 +120,20 @@ impl MetadataServer {
         Self::default()
     }
 
+    /// Fresh empty server whose shared-folder namespace ids start above
+    /// `base`. Namespace ids are serialised into notification metadata, so
+    /// when each household runs its own metadata plane (the sub-capture
+    /// sharding of `workload::shard`), every household must allocate from
+    /// a disjoint id range for the merged capture to look like one server.
+    /// Root namespaces are unaffected: they derive from the user id and
+    /// carry the high bit, so they can never collide with a folder id.
+    pub fn with_ns_base(base: u64) -> Self {
+        MetadataServer {
+            next_ns: base,
+            ..Self::default()
+        }
+    }
+
     /// Register a device (`register_host`), linking it to a user. The
     /// device starts linked to the user's root namespace, which is created
     /// on first registration.
@@ -214,6 +228,19 @@ mod tests {
         assert_eq!(ns1, ns2, "same user, same root namespace");
         assert_eq!(md.devices_of(u), &[HostInt(10), HostInt(11)]);
         assert_eq!(md.namespaces_of(HostInt(10)), &[ns1]);
+    }
+
+    #[test]
+    fn ns_base_offsets_folder_ids_but_not_roots() {
+        let mut a = MetadataServer::with_ns_base(1 << 32);
+        let mut b = MetadataServer::with_ns_base(2 << 32);
+        assert_eq!(a.create_namespace_unlinked(), NamespaceId((1 << 32) + 1));
+        assert_eq!(b.create_namespace_unlinked(), NamespaceId((2 << 32) + 1));
+        // Root namespaces derive from the user id, not the counter.
+        let root_a = a.register_host(UserId(7), HostInt(1));
+        let root_b = b.register_host(UserId(7), HostInt(2));
+        assert_eq!(root_a, root_b);
+        assert_eq!(root_a, NamespaceId(7 | 0x8000_0000_0000_0000));
     }
 
     #[test]

@@ -22,7 +22,9 @@ pub fn cdf_chart(series: &[(&str, &Ecdf)], width: usize, height: usize) -> Strin
         .fold(f64::INFINITY, f64::min)
         .max(1e-9);
     // Clip the axis at the worst p99 so a handful of tail outliers cannot
-    // flatten every curve against the left edge of the log axis.
+    // flatten every curve against the left edge of the log axis. An
+    // interpolated (type-7) p99 is the right semantics for an axis bound;
+    // it need not be an observed sample.
     let hi = series
         .iter()
         .filter_map(|(_, e)| e.quantile(0.99))

@@ -1,8 +1,8 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [IDS...] [--scale S] [--seed N] [--jobs N] [--out DIR]
-//!       [--faults N] [--export-traces]
+//! repro [IDS...] [--scale S] [--seed N] [--jobs N] [--hh-shards K]
+//!       [--out DIR] [--faults N] [--export-traces]
 //!
 //!   IDS     table1..table5, fig1..fig21, validation, recommendations,
 //!           or `all` (default)
@@ -12,6 +12,11 @@
 //!                     threads (0 = auto-detect, the default; 1 = strictly
 //!                     serial). Changes wall-clock time only: artifacts
 //!                     are byte-identical at every N
+//!   --hh-shards K     cut each capture into up to K household-range
+//!                     sub-shards (default 16); more shards = finer
+//!                     load-balancing for high --jobs values. Changes
+//!                     wall-clock time only: artifacts are byte-identical
+//!                     at every K
 //!   --out   output directory (default results/)
 //!   --faults N        inject network/server faults from the lossy plan
 //!                     seeded with N (default: fault-free)
@@ -24,19 +29,20 @@ use experiments::ablations;
 use experiments::figures;
 use experiments::recommendations;
 use experiments::report::Report;
-use experiments::run::run_capture;
+use experiments::run::run_capture_with_plan;
 use experiments::tables;
 use experiments::validation;
 use std::fs;
 use std::path::PathBuf;
 use std::time::Instant;
-use workload::FaultPlan;
+use workload::{FaultPlan, ShardPlan};
 
 fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut scale = 0.1f64;
     let mut seed = 2012u64;
     let mut jobs = 0usize; // 0 = auto-detect
+    let mut hh_shards = workload::shard::DEFAULT_SUB_SHARDS;
     let mut out_dir = PathBuf::from("results");
     let mut export_traces = false;
     let mut fault_seed: Option<u64> = None;
@@ -47,6 +53,14 @@ fn main() {
             "--scale" => scale = args.next().expect("--scale value").parse().expect("scale"),
             "--seed" => seed = args.next().expect("--seed value").parse().expect("seed"),
             "--jobs" => jobs = args.next().expect("--jobs value").parse().expect("jobs"),
+            "--hh-shards" => {
+                hh_shards = args
+                    .next()
+                    .expect("--hh-shards value")
+                    .parse::<usize>()
+                    .expect("hh-shards")
+                    .max(1)
+            }
             "--out" => out_dir = PathBuf::from(args.next().expect("--out value")),
             "--export-traces" => export_traces = true,
             "--faults" => {
@@ -59,7 +73,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [IDS...] [--scale S] [--seed N] [--jobs N] [--out DIR] [--faults N] [--export-traces]"
+                    "usage: repro [IDS...] [--scale S] [--seed N] [--jobs N] [--hh-shards K] [--out DIR] [--faults N] [--export-traces]"
                 );
                 return;
             }
@@ -125,7 +139,8 @@ fn main() {
             }
         );
         let t0 = Instant::now();
-        let cap = run_capture(scale, seed, &plan, resolved_jobs);
+        let shard_plan = ShardPlan::paper().with_sub_shards(hh_shards);
+        let cap = run_capture_with_plan(&shard_plan, scale, seed, &plan, resolved_jobs);
         eprintln!("simulation finished in {:.1}s", t0.elapsed().as_secs_f64());
         let total_flows: usize = cap.vantages.iter().map(|v| v.dataset.flows.len()).sum();
         eprintln!("flow records: {total_flows}");
@@ -207,8 +222,9 @@ fn main() {
         "# results index\n\ngenerated by `repro`; see EXPERIMENTS.md for paper-vs-measured.\n\n",
     );
     index.push_str(&format!(
-        "run parameters: scale {scale}, seed {seed} (five capture shards; \
-         byte-identical at every `--jobs` value)\n\n| report | title | artifacts |\n|---|---|---|\n"
+        "run parameters: scale {scale}, seed {seed} (five captures in per-household \
+         sub-shards; byte-identical at every `--jobs` and `--hh-shards` value)\n\n\
+         | report | title | artifacts |\n|---|---|---|\n"
     ));
     for rep in &reports {
         println!("{}", rep.render());

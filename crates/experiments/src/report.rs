@@ -151,6 +151,9 @@ pub fn cdf_summary(label: &str, ecdf: &Ecdf, probes: &[(f64, &str)]) -> String {
     if ecdf.is_empty() {
         return format!("{label}: (no samples)\n");
     }
+    // Type-7 quantiles on purpose: these lines mirror what the paper's
+    // plotting stack reports, which interpolates between order statistics
+    // (`Ecdf::inverse_cdf` is the sample-valued alternative).
     let mut out = format!(
         "{label}: n={} median={:.3} p10={:.3} p90={:.3} mean={:.3}\n",
         ecdf.len(),

@@ -2,11 +2,13 @@
 //! everywhere.
 //!
 //! The five captures (four Mar–May vantage points + the Campus 1 Jun/Jul
-//! re-capture) run as shards of [`workload::ShardPlan::paper`] on
-//! `simcore::par`'s deterministic fork-join executor. `jobs` controls
-//! wall-clock time only: the assembled [`Capture`] is byte-identical for
-//! every worker count (`crates/workload/tests/parallel_identity.rs` pins
-//! this, per shard, down to the serialised flow logs).
+//! re-capture) are cut into per-household sub-capture shards by
+//! [`workload::ShardPlan::paper`] and executed on `simcore::par`'s
+//! deterministic fork-join executor. `jobs` and the sub-shard count `K`
+//! control wall-clock time only: the assembled [`Capture`] is
+//! byte-identical for every worker and sub-shard count
+//! (`crates/workload/tests/parallel_identity.rs` pins this, per capture,
+//! down to the serialised flow logs).
 
 use workload::{simulate_shards, FaultPlan, ShardPlan, SimOutput, VantageKind};
 
@@ -40,8 +42,22 @@ impl Capture {
 /// [`FaultPlan::none`] for the clean reproduction. Output bytes are
 /// independent of `jobs`.
 pub fn run_capture(scale: f64, seed: u64, faults: &FaultPlan, jobs: usize) -> Capture {
-    let plan = ShardPlan::paper();
-    let mut outputs = simulate_shards(&plan, scale, seed, faults, jobs);
+    run_capture_with_plan(&ShardPlan::paper(), scale, seed, faults, jobs)
+}
+
+/// [`run_capture`] with an explicit shard plan — use
+/// [`ShardPlan::with_sub_shards`] to tune the household sub-shard count
+/// (the `--hh-shards` flag of `repro`). The plan must end with the
+/// Campus 1 re-capture, as [`ShardPlan::paper`] does. Output bytes are
+/// independent of both `jobs` and the plan's sub-shard count.
+pub fn run_capture_with_plan(
+    plan: &ShardPlan,
+    scale: f64,
+    seed: u64,
+    faults: &FaultPlan,
+    jobs: usize,
+) -> Capture {
+    let mut outputs = simulate_shards(plan, scale, seed, faults, jobs);
     let campus1_v14 = outputs.pop().expect("plan ends with the re-capture");
     Capture {
         scale,
@@ -82,6 +98,31 @@ mod tests {
             let bytes =
                 |o: &SimOutput| -> u64 { o.dataset.flows.iter().map(|f| f.total_bytes()).sum() };
             assert_eq!(bytes(x), bytes(y), "{} differs across jobs", x.dataset.name);
+        }
+    }
+
+    #[test]
+    fn sub_shard_count_does_not_change_the_capture() {
+        let coarse = run_capture_with_plan(
+            &ShardPlan::paper().with_sub_shards(1),
+            0.012,
+            3,
+            &FaultPlan::none(),
+            2,
+        );
+        let fine = run_capture(0.012, 3, &FaultPlan::none(), 2);
+        for (x, y) in coarse
+            .vantages
+            .iter()
+            .chain([&coarse.campus1_v14])
+            .zip(fine.vantages.iter().chain([&fine.campus1_v14]))
+        {
+            let jsonl = |o: &SimOutput| -> Vec<u8> {
+                let mut buf = Vec::new();
+                nettrace::flowlog::write_jsonl(&mut buf, &o.dataset.flows).expect("serialise");
+                buf
+            };
+            assert_eq!(jsonl(x), jsonl(y), "{} differs across K", x.dataset.name);
         }
     }
 }

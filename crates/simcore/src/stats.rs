@@ -220,9 +220,29 @@ impl Ecdf {
         idx as f64 / self.sorted.len() as f64
     }
 
-    /// Inverse CDF: the smallest sample `v` with `F(v) >= q`.
+    /// Type-7 quantile (linear interpolation between order statistics),
+    /// delegating to the free [`quantile`] function. The result is *not*
+    /// necessarily an observed sample — between order statistics it
+    /// interpolates, matching what the paper's plotting stack computes.
+    /// Use [`Ecdf::inverse_cdf`] when an actual sample value is required.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         quantile(&self.sorted, q)
+    }
+
+    /// True inverse CDF: the smallest *sample* `v` with `F(v) >= q`,
+    /// where `F` counts duplicates (`F(sorted[i]) = (i+1)/n`). Unlike
+    /// [`Ecdf::quantile`] this never interpolates, so the result is always
+    /// a value that was actually observed.
+    pub fn inverse_cdf(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "inverse_cdf out of range: {q}");
+        let n = self.sorted.len();
+        if n == 0 {
+            return None;
+        }
+        let i = ((q * n as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(n - 1);
+        Some(self.sorted[i])
     }
 
     /// Arithmetic mean of the sample.
@@ -240,7 +260,10 @@ impl Ecdf {
         if n == 0 {
             return Vec::new();
         }
-        let step = (n / max_points.max(1)).max(1);
+        // Ceiling division: a floor stride (`n / max_points`) collapses to
+        // 1 whenever `max_points < n < 2*max_points` and emits all `n`
+        // points, violating the "at most `max_points`" contract.
+        let step = n.div_ceil(max_points.max(1));
         let mut out = Vec::with_capacity(n / step + 1);
         let mut i = step - 1;
         while i < n {
@@ -363,13 +386,70 @@ mod tests {
     fn ecdf_points_end_at_one() {
         let e = Ecdf::new((0..1000).map(|i| i as f64).collect());
         let pts = e.points(50);
-        assert!(pts.len() <= 52);
+        assert!(pts.len() <= 50);
         assert_eq!(pts.last().unwrap().1, 1.0);
         // Monotone in both coordinates.
         for w in pts.windows(2) {
             assert!(w[0].0 <= w[1].0);
             assert!(w[0].1 <= w[1].1);
         }
+    }
+
+    #[test]
+    fn ecdf_points_never_exceed_max_points() {
+        // Regression: the floor stride emitted all n points whenever
+        // max_points < n < 2*max_points (n=150, max=100 gave 150 points).
+        for max_points in [1usize, 2, 3, 7, 100] {
+            for n in [
+                1usize,
+                max_points.saturating_sub(1).max(1),
+                max_points,
+                max_points + 1,
+                max_points + max_points / 2 + 1,
+                2 * max_points - 1,
+                2 * max_points,
+                2 * max_points + 1,
+                3 * max_points + 1,
+            ] {
+                let e = Ecdf::new((0..n).map(|i| i as f64).collect());
+                let pts = e.points(max_points);
+                assert!(
+                    pts.len() <= max_points,
+                    "n={n} max_points={max_points}: {} points",
+                    pts.len()
+                );
+                assert_eq!(pts.last().unwrap().1, 1.0, "n={n} max={max_points}");
+                for w in pts.windows(2) {
+                    assert!(w[0].0 <= w[1].0);
+                    assert!(w[0].1 < w[1].1);
+                }
+            }
+        }
+        // max_points == 0 is clamped to 1 rather than panicking.
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(e.points(0).len(), 1);
+    }
+
+    #[test]
+    fn inverse_cdf_returns_smallest_sample_reaching_q() {
+        let e = Ecdf::new(vec![1.0, 2.0, 2.0, 4.0]);
+        // F(1)=0.25, F(2)=0.75, F(4)=1.0.
+        assert_eq!(e.inverse_cdf(0.0), Some(1.0));
+        assert_eq!(e.inverse_cdf(0.25), Some(1.0));
+        assert_eq!(e.inverse_cdf(0.26), Some(2.0));
+        assert_eq!(e.inverse_cdf(0.75), Some(2.0));
+        assert_eq!(e.inverse_cdf(0.76), Some(4.0));
+        assert_eq!(e.inverse_cdf(1.0), Some(4.0));
+        assert_eq!(Ecdf::new(Vec::new()).inverse_cdf(0.5), None);
+        // Unlike type-7 interpolation, the result is always a sample.
+        let samples = [1.0, 2.0, 4.0];
+        for q in [0.1, 0.33, 0.5, 0.9] {
+            let v = e.inverse_cdf(q).unwrap();
+            assert!(samples.contains(&v), "q={q}: {v} is not a sample");
+        }
+        // The interpolating quantile is not: its median here is 2.0 but
+        // e.g. q=0.9 lands between samples.
+        assert!(!samples.contains(&e.quantile(0.9).unwrap()));
     }
 
     #[test]

@@ -8,8 +8,10 @@
 //! * **determinism** — no wall-clock reads in simulation crates, OS
 //!   threads confined to the deterministic fork-join executor
 //!   (`simcore::par`, whose own shared-state uses must each be justified —
-//!   the `par-exec` rule), and no `HashMap`/`HashSet` iteration whose
-//!   order can reach serialized output ([`rules`], [`callgraph`]);
+//!   the `par-exec` rule), seed streams derived only from stable shard
+//!   identity, never scheduling state (the `shard-seed` rule), and no
+//!   `HashMap`/`HashSet` iteration whose order can reach serialized
+//!   output ([`rules`], [`callgraph`]);
 //! * **hermeticity** — every dependency is an in-tree path dependency and
 //!   no code shells out ([`manifest`], [`rules`]);
 //! * **streaming** — analysis crates consume flow records through the
@@ -46,6 +48,7 @@ use std::path::{Path, PathBuf};
 pub const RULES: &[&str] = &[
     "wall-clock",
     "par-exec",
+    "shard-seed",
     "map-iter",
     "full-materialize",
     "non-workspace-dep",
@@ -192,6 +195,11 @@ pub struct Options {
     /// primitives are flagged instead, so every exception to "shards are
     /// pure" carries a justified allow annotation.
     pub par_exec_files: Vec<String>,
+    /// Root-relative path suffixes of the seed-derivation files: where
+    /// `fork`/`fork_named`/`shard_stream`/`household_stream` calls are
+    /// checked against scheduling-state arguments (`shard-seed` rule) —
+    /// seed streams must be pure functions of stable shard identity.
+    pub shard_seed_files: Vec<String>,
     /// Crates (directory names under `crates/`) holding analysis code
     /// held to the streaming single-pass contract: re-scanning a
     /// materialised `.flows` vector is flagged (`full-materialize`).
@@ -269,6 +277,16 @@ impl Options {
             .map(|s| s.to_string())
             .collect(),
             par_exec_files: vec!["crates/simcore/src/par.rs".to_string()],
+            shard_seed_files: [
+                "crates/simcore/src/par.rs",
+                "crates/workload/src/driver.rs",
+                "crates/workload/src/shard.rs",
+                "crates/workload/src/population.rs",
+                "crates/workload/src/providers.rs",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
             analysis_crates: ["core", "experiments"]
                 .iter()
                 .map(|s| s.to_string())
@@ -355,6 +373,7 @@ pub fn run(root: &Path, opts: &Options) -> io::Result<Report> {
         }
         rules::wall_clock(file, opts, &mut violations, &mut allowed);
         rules::par_exec(file, opts, &mut violations, &mut allowed);
+        rules::shard_seed(file, opts, &mut violations, &mut allowed);
         rules::hermetic_source(file, &mut violations, &mut allowed);
         rules::panic_path(file, opts, &mut violations, &mut allowed);
         rules::map_iter(file, opts, emitting, &mut violations, &mut allowed);

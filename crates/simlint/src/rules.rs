@@ -166,6 +166,87 @@ pub fn par_exec(
     }
 }
 
+/// RNG stream-derivation entry points whose arguments must be stable
+/// shard identity (capture label, household index, purpose string) —
+/// never scheduling state.
+const SEED_DERIVE_FNS: &[&str] = &["fork", "fork_named", "shard_stream", "household_stream"];
+
+/// Identifier fragments that smell of scheduling state. Any identifier
+/// containing one of these inside a seed-derivation argument list is
+/// flagged.
+const SCHEDULING_FRAGMENTS: &[&str] = &["job", "worker", "thread", "cpu_", "core_id"];
+
+/// Determinism: seed streams derive from stable shard identity only.
+///
+/// The byte-identity contract (DESIGN.md §7) hangs on every household's
+/// RNG stream being a pure function of `(capture seed, capture label,
+/// household index, purpose)`. If a worker index, job count, or any other
+/// scheduling value ever reaches a `fork` / `fork_named` /
+/// `shard_stream` / `household_stream` argument, outputs silently start
+/// depending on `--jobs` and the contract is gone. In the seed-derivation
+/// files (`Options::shard_seed_files`) this rule flags any scheduling-
+/// flavoured identifier inside such an argument list.
+pub fn shard_seed(
+    file: &SourceFile,
+    opts: &Options,
+    violations: &mut Vec<Violation>,
+    allowed: &mut Vec<Suppressed>,
+) {
+    if !opts
+        .shard_seed_files
+        .iter()
+        .any(|suffix| file.rel.ends_with(suffix.as_str()))
+    {
+        return;
+    }
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        if file.in_test(i) {
+            continue;
+        }
+        if toks[i].kind != crate::lexer::TokKind::Ident
+            || !SEED_DERIVE_FNS.contains(&toks[i].text.as_str())
+            || !toks.get(i + 1).is_some_and(|t| t.is_sym("("))
+        {
+            continue;
+        }
+        let derive_fn = toks[i].text.clone();
+        // Scan the argument list to the matching close paren.
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        while j < toks.len() && j < i + 96 {
+            let t = &toks[j];
+            if t.is_sym("(") || t.is_sym("[") || t.is_sym("{") {
+                depth += 1;
+            } else if t.is_sym(")") || t.is_sym("]") || t.is_sym("}") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.kind == crate::lexer::TokKind::Ident {
+                let lower = t.text.to_lowercase();
+                if SCHEDULING_FRAGMENTS.iter().any(|f| lower.contains(f)) {
+                    emit(
+                        file,
+                        "shard-seed",
+                        t.line,
+                        format!(
+                            "scheduling-state identifier `{}` in a `{derive_fn}(...)` seed \
+                             derivation in `{}`: shard seed streams must depend only on \
+                             stable shard identity (capture, household index), never on \
+                             worker index or job count",
+                            t.text, file.rel
+                        ),
+                        violations,
+                        allowed,
+                    );
+                }
+            }
+            j += 1;
+        }
+    }
+}
+
 /// Hermeticity (source side): no `extern crate`, no `std::process::Command`
 /// outside tests. The workspace must build and run offline from vendored
 /// sources only, and experiments must not shell out to tools that differ
@@ -614,6 +695,7 @@ mod tests {
         let mut a = Vec::new();
         wall_clock(&file, &opts, &mut v, &mut a);
         par_exec(&file, &opts, &mut v, &mut a);
+        shard_seed(&file, &opts, &mut v, &mut a);
         hermetic_source(&file, &mut v, &mut a);
         panic_path(&file, &opts, &mut v, &mut a);
         map_iter(&file, &opts, &emitting[0], &mut v, &mut a);
@@ -661,6 +743,44 @@ mod tests {
         assert!(v[0].message.contains("`Mutex`"));
         assert!(v[1].message.contains("`AtomicUsize`"));
         assert!(v[2].message.contains("`.fetch_add(...)`"));
+    }
+
+    fn check_shard_seed(rel: &str, src: &str) -> Vec<Violation> {
+        let file = SourceFile::analyse(rel, src);
+        let mut v = Vec::new();
+        let mut a = Vec::new();
+        shard_seed(&file, &Options::workspace(), &mut v, &mut a);
+        v
+    }
+
+    #[test]
+    fn shard_seed_flags_scheduling_state_in_derivations() {
+        let src = "fn f(rng: &Rng, worker_idx: u64, jobs: u64, hh: u64) {\n\
+                   let _ = rng.fork(worker_idx);\n\
+                   let _ = rng.fork(hh * jobs);\n\
+                   let _ = household_stream(1, cap, thread_id);\n\
+                   let _ = rng.fork_named(\"x\").fork(hh); }";
+        let v = check_shard_seed("crates/workload/src/driver.rs", src);
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == "shard-seed"));
+        assert!(v[0].message.contains("`worker_idx`"));
+        assert!(v[1].message.contains("`jobs`"));
+        assert!(v[2].message.contains("`thread_id`"));
+    }
+
+    #[test]
+    fn shard_seed_permits_identity_derivations_and_other_files() {
+        // Stable-identity arguments are fine, nested call included.
+        let clean = "fn f(rng: &Rng, idx: u64, host_int: u64) {\n\
+                     let _ = rng.fork(idx).fork_named(\"schedules\").fork(host_int);\n\
+                     let _ = shard_stream(seed, capture); }";
+        assert!(check_shard_seed("crates/workload/src/shard.rs", clean).is_empty());
+        // Outside the seed-derivation files the rule does not apply, and
+        // scheduling identifiers outside a derivation call are fine.
+        let bad = "fn f(rng: &Rng, jobs: u64) { let _ = rng.fork(jobs); }";
+        assert!(check_shard_seed("crates/experiments/src/run.rs", bad).is_empty());
+        let outside = "fn f(jobs: u64) -> u64 { let w = jobs.min(4); w }";
+        assert!(check_shard_seed("crates/simcore/src/par.rs", outside).is_empty());
     }
 
     #[test]

@@ -61,6 +61,22 @@ fn parexec_fixture_fails_outside_the_executor_only() {
 }
 
 #[test]
+fn shardseed_fixture_flags_scheduling_state_derivation() {
+    let r = lint("shardseed");
+    assert_eq!(rules(&r), ["shard-seed"], "{:?}", r.violations);
+    assert!(r.violations[0]
+        .file
+        .ends_with("crates/workload/src/driver.rs"));
+    assert!(r.violations[0].message.contains("`worker_idx`"));
+    assert!(r.violations[0].message.contains("stable shard identity"));
+    // The annotated derivation is suppressed with its justification, not
+    // silently passed; the identity-derived stream is simply clean.
+    assert_eq!(r.allowed.len(), 1, "{:?}", r.allowed);
+    assert_eq!(r.allowed[0].rule, "shard-seed");
+    assert!(r.allowed[0].reason.contains("identity"));
+}
+
+#[test]
 fn mapiter_sim_fixture_fails_strict() {
     let r = lint("mapiter_sim");
     assert_eq!(rules(&r), ["map-iter", "map-iter"], "{:?}", r.violations);

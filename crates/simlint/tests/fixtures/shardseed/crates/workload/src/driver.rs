@@ -1,0 +1,17 @@
+//! Known-bad fixture: a household seed stream derived from scheduling
+//! state. The worker index leaks into the fork label, so the output
+//! depends on `--jobs` — exactly what the shard-seed rule exists to stop.
+
+pub fn bad_stream(rng: &Rng, worker_idx: u64) -> Rng {
+    rng.fork(worker_idx)
+}
+
+pub fn good_stream(rng: &Rng, household: u64) -> Rng {
+    // Stable shard identity: fine.
+    rng.fork_named("households").fork(household)
+}
+
+pub fn annotated(rng: &Rng, job_salt: u64) -> Rng {
+    // simlint: allow(shard-seed) — fixture: pretend this is identity-derived
+    rng.fork(job_salt)
+}

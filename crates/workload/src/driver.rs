@@ -20,8 +20,8 @@
 //! truth so the analysis layer's inferences can be scored.
 
 use crate::activity::{device_sessions, file_events, FileEvent, Session};
-use crate::population::{Behavior, Population};
-use crate::providers::background_flows;
+use crate::population::{self, Behavior, Household};
+use crate::providers;
 use crate::vantage::{Access, VantageConfig};
 use dnssim::DnsDirectory;
 use dropbox::client::{ChunkWork, ClientVersion, RetryPolicy, SyncConfig, SyncEngine};
@@ -35,8 +35,9 @@ use dropbox::{FlowSpec, FlowTruth};
 use dropbox_analysis::Dataset;
 use nettrace::{Endpoint, FlowKey, FlowRecord, Ipv4};
 use simcore::faults::{FaultPlan, FlowFaults};
-use simcore::{dist, Rng, SimDuration, SimTime};
+use simcore::{dist, par, Rng, ShardId, SimDuration, SimTime};
 use std::collections::BTreeMap;
+use std::ops::Range;
 use tcpmodel::{simulate_faulty, TcpParams};
 use tstat::Monitor;
 
@@ -52,6 +53,15 @@ pub struct FaultStats {
     /// Notification connection fragments that ended in an injected abort
     /// (reconnect churn on flaky links).
     pub notify_aborts: u64,
+}
+
+impl FaultStats {
+    /// Accumulate another household's (or span's) counters.
+    pub fn absorb(&mut self, other: FaultStats) {
+        self.sync_retries += other.sync_retries;
+        self.aborted_flows += other.aborted_flows;
+        self.notify_aborts += other.notify_aborts;
+    }
 }
 
 /// Result of one vantage-point simulation.
@@ -97,9 +107,8 @@ struct DeviceQueue {
     pending_at_start: BTreeMap<usize, Vec<Vec<ChunkWork>>>,
 }
 
-/// Flattened device handle.
+/// Flattened device handle (local to one household).
 struct Dev {
-    hh: usize,
     host_int: HostInt,
     namespaces: Vec<NamespaceId>,
     sessions: Vec<Session>,
@@ -152,30 +161,16 @@ pub struct VantageStats {
 /// cut and resumed, and notification connections churn — all still a
 /// deterministic function of `(config, version, seed, plan)`.
 ///
-/// This is the materialising wrapper over the streaming core
-/// ([`simulate_vantage_into`]): records are collected into the
-/// [`Dataset`] compatibility view with their aligned ground truth.
+/// This is the materialising wrapper over the full-range household sweep
+/// ([`simulate_vantage_span`] over `0..config.addresses`).
 pub fn simulate_vantage(
     config: &VantageConfig,
     version: ClientVersion,
     seed: u64,
     faults: &FaultPlan,
 ) -> SimOutput {
-    let mut flows: Vec<FlowRecord> = Vec::new();
-    let mut truths: Vec<Option<FlowTruth>> = Vec::new();
-    let stats = simulate_vantage_impl(config, version, seed, faults, &mut |rec, truth| {
-        flows.push(rec);
-        truths.push(truth);
-    });
-    let mut dataset = Dataset::new(config.kind.name(), config.expose_dns, config.days);
-    dataset.flows = flows;
-    SimOutput {
-        dataset,
-        truths,
-        lan_synced: stats.lan_synced,
-        truth_users: stats.truth_users,
-        fault_stats: stats.fault_stats,
-    }
+    simulate_vantage_span(config, version, seed, faults, 0..config.addresses)
+        .into_sim_output(config)
 }
 
 /// Streaming form of [`simulate_vantage`]: completed records are emitted
@@ -190,344 +185,187 @@ pub fn simulate_vantage_into(
     faults: &FaultPlan,
     sink: &mut dyn nettrace::FlowSink,
 ) -> VantageStats {
-    simulate_vantage_impl(config, version, seed, faults, &mut |rec, _truth| {
-        sink.accept(rec)
-    })
+    simulate_span_impl(
+        config,
+        version,
+        seed,
+        faults,
+        0..config.addresses,
+        &mut |rec, _truth| sink.accept(rec),
+    )
 }
 
-/// The single driver core both entry points share: renders the capture
-/// and hands each completed record (with its ground truth) to `emit`.
-/// The closure indirection draws no randomness, so the record stream is
-/// byte-identical however it is consumed.
-fn simulate_vantage_impl(
+/// Materialised output of one household-range span of a capture: the
+/// flows and aligned ground truth of households `lo..hi`, plus the span's
+/// share of the capture-level counters.
+///
+/// Spans are the unit the household-range shards of `workload::shard`
+/// execute in parallel. Concatenating the spans of any contiguous
+/// partition of `0..config.addresses` — flows, truths, `truth_users`, and
+/// summed counters alike — reproduces the full-capture output byte for
+/// byte, because every household draws from its own seed stream
+/// ([`par::household_stream`]) and touches only household-local state.
+pub struct SpanOutput {
+    /// Flow records in canonical order (households by index; within one
+    /// household: device flows, then web/API flows, then background
+    /// provider flows).
+    pub flows: Vec<FlowRecord>,
+    /// Ground truth aligned with `flows` (`None` for background records).
+    pub truths: Vec<Option<FlowTruth>>,
+    /// The span's share of the capture-level counters.
+    pub stats: VantageStats,
+}
+
+impl SpanOutput {
+    /// Repackage a full-range span as the capture-level [`SimOutput`].
+    fn into_sim_output(self, config: &VantageConfig) -> SimOutput {
+        let mut dataset = Dataset::new(config.kind.name(), config.expose_dns, config.days);
+        dataset.flows = self.flows;
+        SimOutput {
+            dataset,
+            truths: self.truths,
+            lan_synced: self.stats.lan_synced,
+            truth_users: self.stats.truth_users,
+            fault_stats: self.stats.fault_stats,
+        }
+    }
+}
+
+/// Simulate the contiguous household range `households` of one
+/// vantage-point capture and materialise its output.
+pub fn simulate_vantage_span(
     config: &VantageConfig,
     version: ClientVersion,
     seed: u64,
     faults: &FaultPlan,
+    households: Range<usize>,
+) -> SpanOutput {
+    let mut flows: Vec<FlowRecord> = Vec::new();
+    let mut truths: Vec<Option<FlowTruth>> = Vec::new();
+    let stats = simulate_span_impl(
+        config,
+        version,
+        seed,
+        faults,
+        households,
+        &mut |rec, truth| {
+            flows.push(rec);
+            truths.push(truth);
+        },
+    );
+    SpanOutput {
+        flows,
+        truths,
+        stats,
+    }
+}
+
+/// The single driver core every entry point shares: sweeps the requested
+/// household range in index order and hands each completed record (with
+/// its ground truth) to `emit`. The closure indirection draws no
+/// randomness, so the record stream is byte-identical however it is
+/// consumed.
+fn simulate_span_impl(
+    config: &VantageConfig,
+    version: ClientVersion,
+    seed: u64,
+    faults: &FaultPlan,
+    households: Range<usize>,
     emit: &mut dyn FnMut(FlowRecord, Option<FlowTruth>),
 ) -> VantageStats {
+    assert!(
+        households.end <= config.addresses,
+        "household range {households:?} exceeds population {}",
+        config.addresses
+    );
     // The capture's root stream IS its shard stream: derived from
     // (capture seed, vantage label) through SplitMix64, so running this
-    // capture as a `shard::CaptureShard` on N workers or calling it
-    // directly here consumes identical randomness byte for byte.
-    let root_rng =
-        simcore::par::shard_stream(seed, simcore::ShardId::from_label(config.kind.name()));
-    let plan_active = faults.is_active();
-    let policy = RetryPolicy::default();
-    let mut fault_stats = FaultStats::default();
+    // capture as `shard::CaptureShard` household ranges on N workers or
+    // calling it directly here consumes identical randomness byte for
+    // byte.
+    let capture = ShardId::from_label(config.kind.name());
+    let root_rng = par::shard_stream(seed, capture);
+    // Capture-wide constants of the population plane. Deriving them is
+    // pure (non-advancing forks of the population stream), so every span
+    // computes identical values without communicating.
+    let pop_root = root_rng.fork_named("population");
+    let host_base = population::host_int_base(&pop_root);
+    let abnormal = population::abnormal_household(config, &pop_root);
+    let providers_root = root_rng.fork_named("providers");
+
     let dns = DnsDirectory::new();
-    let store = ChunkStore::new();
-    let mut md = MetadataServer::new();
+    let policy = RetryPolicy::default();
+    let mut stats = VantageStats {
+        lan_synced: 0,
+        truth_users: Vec::new(),
+        fault_stats: FaultStats::default(),
+    };
+    for idx in households {
+        let hh = population::generate_household(
+            config,
+            version,
+            &pop_root,
+            idx,
+            host_base,
+            abnormal == Some(idx),
+        );
+        simulate_household(
+            config,
+            version,
+            seed,
+            capture,
+            faults,
+            &dns,
+            &policy,
+            idx,
+            &hh,
+            &providers_root,
+            &mut stats,
+            emit,
+        );
+    }
+    stats
+}
+
+/// Play one household's whole capture — registration, commit ordering,
+/// propagation, rendered device flows, web/API usage, and background
+/// providers. Every random draw descends from the household's own stream
+/// ([`par::household_stream`]) and every piece of mutable state (metadata
+/// plane, chunk store, monitor, ephemeral-port counter, LAN subnet) is
+/// household-local, so households can be grouped into ranges arbitrarily
+/// without any of them observing the cut.
+#[allow(clippy::too_many_arguments)]
+fn simulate_household(
+    config: &VantageConfig,
+    version: ClientVersion,
+    seed: u64,
+    capture: ShardId,
+    faults: &FaultPlan,
+    dns: &DnsDirectory,
+    policy: &RetryPolicy,
+    idx: usize,
+    hh: &Household,
+    providers_root: &Rng,
+    stats: &mut VantageStats,
+    emit: &mut dyn FnMut(FlowRecord, Option<FlowTruth>),
+) {
+    // Every stream below descends from this one: a pure function of
+    // (capture seed, capture id, household index) — never of the range
+    // cut, the worker, or `--jobs` (simlint's `shard-seed` rule).
+    let hh_rng = par::household_stream(seed, capture, idx as u64);
+    let plan_active = faults.is_active();
+    let mut fault_stats = FaultStats::default();
+    // Per-household monitor: `play` below observes each flow's DNS name
+    // just before processing the flow, so name→address labelling never
+    // depends on what other households resolved.
     let mut monitor = Monitor::new(config.expose_dns);
-
-    let population = Population::generate(config, version, &mut root_rng.fork_named("population"));
-
-    // ---- Register devices and namespaces ------------------------------
-    let mut devs: Vec<Dev> = Vec::new();
-    let mut truth_users: Vec<Vec<u64>> = Vec::new();
-    let mut ns_members: BTreeMap<NamespaceId, Vec<usize>> = BTreeMap::new();
-    let mut fed_namespaces: Vec<NamespaceId> = Vec::new();
-    let mut sched_rng = root_rng.fork_named("schedules");
-
-    for (hh_idx, hh) in population.households.iter().enumerate() {
-        let Some(behavior) = hh.behavior else {
-            continue;
-        };
-        let user = UserId(1_000 + hh_idx as u64);
-        // Shared-folder pool of the household: enough folders so that the
-        // most connected device reaches its namespace count.
-        let max_ns = hh
-            .devices
-            .iter()
-            .map(|d| d.namespace_count)
-            .max()
-            .unwrap_or(1);
-        // Shared-folder pool of the household, created unlinked; devices
-        // join exactly the folders their namespace count calls for.
-        let mut pool: Vec<NamespaceId> = Vec::new();
-        while pool.len() < max_ns.saturating_sub(1) {
-            let ns = md.create_namespace_unlinked();
-            // External feed probability by behaviour: download-only
-            // households subscribe to folders produced elsewhere.
-            let fed_p = match behavior {
-                Behavior::DownloadOnly => 0.85,
-                Behavior::Heavy => 0.50,
-                Behavior::UploadOnly => 0.10,
-                Behavior::Occasional => 0.03,
-            };
-            if sched_rng.chance(fed_p) {
-                fed_namespaces.push(ns);
-            }
-            pool.push(ns);
-        }
-        truth_users.push(hh.devices.iter().map(|d| d.host_int).collect());
-        let mut root_marked = false;
-        for d in hh.devices.iter() {
-            let host = HostInt(d.host_int);
-            let root = md.register_host(user, host);
-            // Download-only (and some heavy) accounts receive content into
-            // their *root* from their own unmonitored devices elsewhere —
-            // the mirror image of the paper's upload-only users submitting
-            // "to geographically dispersed devices".
-            if !root_marked {
-                root_marked = true;
-                let root_fed_p = match behavior {
-                    Behavior::DownloadOnly => 0.85,
-                    Behavior::Heavy => 0.35,
-                    _ => 0.0,
-                };
-                if root_fed_p > 0.0 && sched_rng.chance(root_fed_p) {
-                    fed_namespaces.push(root);
-                }
-            }
-            // Link this device to the first (namespace_count - 1) folders.
-            let mut nss = vec![root];
-            for &ns in pool.iter().take(d.namespace_count.saturating_sub(1)) {
-                md.link_namespace(host, ns);
-                nss.push(ns);
-            }
-            let global_idx = devs.len();
-            for &ns in &nss {
-                ns_members.entry(ns).or_default().push(global_idx);
-            }
-            let sessions =
-                device_sessions(config.kind, d, config.days, &mut sched_rng.fork(d.host_int));
-            devs.push(Dev {
-                hh: hh_idx,
-                host_int: host,
-                namespaces: nss,
-                sessions,
-                behavior,
-                version: d.version,
-                abnormal: d.abnormal_uploader,
-                nat_afflicted: d.nat_afflicted,
-                workstation: d.workstation,
-            });
-        }
-    }
-
-    // ---- Phase A: all commits in time order ----------------------------
-    let mut commit_rng = root_rng.fork_named("commits");
-    let mut raw_events: Vec<(SimTime, usize, FileEvent)> = Vec::new();
-    for (di, dev) in devs.iter().enumerate() {
-        if dev.abnormal {
-            continue; // handled separately
-        }
-        for s in &dev.sessions {
-            for e in file_events(dev.behavior, s, &mut commit_rng) {
-                raw_events.push((e.at, di, e));
-            }
-        }
-    }
-    // External producer commits on fed namespaces.
-    let mut external: Vec<(SimTime, NamespaceId)> = Vec::new();
-    for &ns in &fed_namespaces {
-        let rate_per_day = 1.5;
-        let mut t_days = 0.0;
-        loop {
-            t_days += dist::exponential(&mut commit_rng, rate_per_day);
-            if t_days >= config.days as f64 {
-                break;
-            }
-            external.push((SimTime::from_micros((t_days * 86_400.0 * 1e6) as u64), ns));
-        }
-    }
-
-    // Materialise commits chronologically so edits see a consistent file
-    // registry per namespace.
-    #[derive(Clone)]
-    struct FileState {
-        content: Content,
-        chunk_ids: Vec<ChunkId>,
-    }
-    let mut ns_files: BTreeMap<NamespaceId, Vec<FileState>> = BTreeMap::new();
-    let mut next_seed: u64 = root_rng.fork_named("contentseed").next_u64() | 1;
-    let mut next_file: u64 = 1;
-
-    enum RawCommit {
-        Local(usize, FileEvent),
-        External(NamespaceId),
-    }
-    let mut ordered: Vec<(SimTime, RawCommit)> = raw_events
-        .into_iter()
-        .map(|(t, di, e)| (t, RawCommit::Local(di, e)))
-        .chain(
-            external
-                .into_iter()
-                .map(|(t, ns)| (t, RawCommit::External(ns))),
-        )
-        .collect();
-    ordered.sort_by_key(|(t, _)| *t);
-
-    let mut commits: Vec<Commit> = Vec::new();
-    for (t, raw) in ordered {
-        let (ns, committer, kind, is_edit) = match &raw {
-            RawCommit::Local(di, e) => {
-                let dev = &devs[*di];
-                // Root namespace favoured for personal files.
-                let ns = if dev.namespaces.len() == 1 || commit_rng.chance(0.5) {
-                    dev.namespaces[0]
-                } else {
-                    dev.namespaces[1 + commit_rng.below_usize(dev.namespaces.len() - 1)]
-                };
-                (ns, Some(*di), e.kind, e.is_edit)
-            }
-            RawCommit::External(ns) => {
-                // Collaborators elsewhere both add and edit; the kind mix
-                // matches ordinary users.
-                let kind = {
-                    let u = commit_rng.f64();
-                    if u < 0.42 {
-                        dropbox::content::ContentKind::Text
-                    } else if u < 0.75 {
-                        dropbox::content::ContentKind::Document
-                    } else {
-                        dropbox::content::ContentKind::Media
-                    }
-                };
-                (*ns, None, kind, commit_rng.chance(0.5))
-            }
-        };
-        let files = ns_files.entry(ns).or_default();
-        // A change event usually touches several files at once (saving a
-        // project, dropping a folder): 1 + geometric burst.
-        let burst = 1 + simcore::dist::geometric(&mut commit_rng, 0.38) as usize;
-        let mut chunks: Vec<ChunkWork> = Vec::new();
-        for b in 0..burst {
-            let edit_this = (is_edit || b > 0 && commit_rng.chance(0.5)) && !files.is_empty();
-            if edit_this {
-                let fi = commit_rng.below_usize(files.len());
-                let frac = (0.03 + commit_rng.f64() * 0.30).min(1.0);
-                let (next, changed) = files[fi].content.edit(frac, &mut commit_rng);
-                for &ci in &changed {
-                    let id = next.chunk_id(ci);
-                    files[fi].chunk_ids[ci as usize] = id;
-                    chunks.push(ChunkWork {
-                        id,
-                        wire_bytes: next.delta_wire_size(ci, frac),
-                        raw_bytes: next.chunk_size(ci),
-                    });
-                }
-                files[fi].content = next;
-            } else {
-                next_seed = next_seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
-                let size = sample_file_size(kind, &mut commit_rng);
-                let content = Content::new(next_seed, size, kind);
-                let ids = content.chunk_ids();
-                for (i, &id) in ids.iter().enumerate() {
-                    chunks.push(ChunkWork {
-                        id,
-                        wire_bytes: content.wire_chunk_size(i as u32),
-                        raw_bytes: content.chunk_size(i as u32),
-                    });
-                }
-                next_file += 1;
-                // Journal bookkeeping on the meta-data plane.
-                if let Some(nsm) = md.namespace_mut(ns) {
-                    nsm.commit(FileId(next_file), content, ids.clone());
-                }
-                files.push(FileState {
-                    content,
-                    chunk_ids: ids,
-                });
-            }
-        }
-        if chunks.is_empty() {
-            continue;
-        }
-        commits.push(Commit {
-            at: t,
-            ns,
-            committer,
-            chunks,
-        });
-    }
-
-    // ---- Phase B: propagate commits to members -------------------------
-    // Each household runs the LAN Sync Protocol on its subnet: on-line
-    // devices broadcast discovery announcements and serve chunks they hold
-    // to peers sharing the namespace, keeping that traffic off the WAN.
-    let mut queues: Vec<DeviceQueue> = (0..devs.len()).map(|_| DeviceQueue::default()).collect();
-    let mut uploads: Vec<Vec<(SimTime, Vec<ChunkWork>)>> = vec![Vec::new(); devs.len()];
-    let mut lans: BTreeMap<usize, LanSync> = BTreeMap::new();
-    let mut prop_rng = root_rng.fork_named("propagation");
-
-    for c in &commits {
-        if let Some(di) = c.committer {
-            uploads[di].push((c.at, c.chunks.clone()));
-            // The committer holds the chunks and, while on-line, announces
-            // itself on the household subnet.
-            let dev = &devs[di];
-            let lan = lans.entry(dev.hh).or_default();
-            if dev.session_containing(c.at).is_some() {
-                lan.announce(Announcement {
-                    host: dev.host_int,
-                    namespaces: dev.namespaces.clone(),
-                    at: c.at,
-                });
-            }
-            for w in &c.chunks {
-                lan.chunk_available(dev.host_int, w.id);
-            }
-        }
-        let members = ns_members.get(&c.ns).cloned().unwrap_or_default();
-        for m in members {
-            if Some(m) == c.committer {
-                continue;
-            }
-            let dev = &devs[m];
-            if dev.session_containing(c.at).is_some() {
-                // On-line member: ask the LAN first (Sec. 5.2), then fall
-                // back to a cloud retrieve.
-                let lan = lans.entry(dev.hh).or_default();
-                let pairs: Vec<(ChunkId, u64)> =
-                    c.chunks.iter().map(|w| (w.id, w.raw_bytes)).collect();
-                if lan.try_serve(dev.host_int, c.ns, &pairs, c.at).is_some() {
-                    continue;
-                }
-                let delay = SimDuration::from_secs(prop_rng.range_u64(2, 25));
-                queues[m]
-                    .online_downloads
-                    .push((c.at + delay, c.chunks.clone()));
-                // Once the cloud retrieve lands, this device can serve the
-                // chunks to later peers on its LAN.
-                for w in &c.chunks {
-                    lan.chunk_available(dev.host_int, w.id);
-                }
-                lan.announce(Announcement {
-                    host: dev.host_int,
-                    namespaces: dev.namespaces.clone(),
-                    at: c.at,
-                });
-            } else {
-                queues[m].pending.push((c.at, c.chunks.clone()));
-            }
-        }
-    }
-    let lan_synced: u64 = lans.values().map(|l| l.served_chunks()).sum();
-    // Resolve pending commit batches to the first session after their
-    // commit time. Commits after a device's last session never sync
-    // (the capture ends first), as in reality.
-    for (di, dev) in devs.iter().enumerate() {
-        let pending = std::mem::take(&mut queues[di].pending);
-        for (t, batch) in pending {
-            if let Some(si) = dev.next_session_after(t) {
-                queues[di]
-                    .pending_at_start
-                    .entry(si)
-                    .or_default()
-                    .push(batch);
-            }
-        }
-    }
-
-    // ---- Phase C: render all device flows ------------------------------
-    let mut scratch: Vec<nettrace::Packet> = Vec::new();
-    let render_rng = root_rng.fork_named("render");
+    // Ephemeral client ports count per household (each client churns its
+    // own source ports), so flow keys are independent of range grouping.
     let mut port_counter: u32 = 0;
     // Dedicated stream for per-flow link-fault decisions, so fault draws
-    // never perturb the schedule/content/render streams above.
-    let mut link_fault_rng = root_rng.fork_named("faults");
+    // never perturb the schedule/content/render streams.
+    let mut link_fault_rng = hh_rng.fork_named("faults");
+    let mut scratch: Vec<nettrace::Packet> = Vec::new();
 
     let mut play = |spec: &FlowSpec,
                     at: SimTime,
@@ -586,236 +424,492 @@ fn simulate_vantage_impl(
         }
     };
 
-    for (di, dev) in devs.iter().enumerate() {
-        let hh = &population.households[dev.hh];
-        let sync_config = SyncConfig {
-            version: dev.version,
-            no_storage_acks: dev.abnormal,
-            ..SyncConfig::default()
-        };
-        let mut engine = SyncEngine::new(&dns, &store, sync_config, dev.host_int.0);
-        let mut dev_rng = render_rng.fork(dev.host_int.0);
+    // ---- Dropbox sync planes (client households only) -------------------
+    if let Some(behavior) = hh.behavior {
+        // Household-local server state. Namespace ids allocate from a
+        // per-household base so the merged capture still looks like one
+        // metadata plane; chunk contents are household-unique, so a local
+        // chunk store dedups exactly as a capture-wide one would.
+        let store = ChunkStore::new();
+        let mut md = MetadataServer::with_ns_base(((idx as u64) + 1) << 32);
+        let user = UserId(1_000 + idx as u64);
+        let mut sched_rng = hh_rng.fork_named("schedules");
 
-        // Index per-session transactions. Dropbox 1.4.0's bundling lets
-        // changes detected close together ride one connection: coalesce
-        // commits within 60 s into a single transaction for that version.
-        let coalesce = match dev.version {
-            ClientVersion::V1_2_52 => SimDuration::ZERO,
-            ClientVersion::V1_4_0 => SimDuration::from_secs(60),
-        };
-        let mut session_uploads: BTreeMap<usize, Vec<(SimTime, Vec<ChunkWork>)>> = BTreeMap::new();
-        for (t, chunks) in &uploads[di] {
-            if let Some(si) = dev.session_containing(*t) {
-                let list = session_uploads.entry(si).or_default();
-                match list.last_mut() {
-                    Some((t0, acc))
-                        if !coalesce.is_zero() && t.saturating_since(*t0) <= coalesce =>
-                    {
-                        acc.extend(chunks.iter().copied());
+        // ---- Register devices and namespaces ----------------------------
+        let mut devs: Vec<Dev> = Vec::new();
+        let mut ns_members: BTreeMap<NamespaceId, Vec<usize>> = BTreeMap::new();
+        let mut fed_namespaces: Vec<NamespaceId> = Vec::new();
+
+        // Shared-folder pool of the household: enough folders so that the
+        // most connected device reaches its namespace count.
+        let max_ns = hh
+            .devices
+            .iter()
+            .map(|d| d.namespace_count)
+            .max()
+            .unwrap_or(1);
+        // Shared-folder pool of the household, created unlinked; devices
+        // join exactly the folders their namespace count calls for.
+        let mut pool: Vec<NamespaceId> = Vec::new();
+        while pool.len() < max_ns.saturating_sub(1) {
+            let ns = md.create_namespace_unlinked();
+            // External feed probability by behaviour: download-only
+            // households subscribe to folders produced elsewhere.
+            let fed_p = match behavior {
+                Behavior::DownloadOnly => 0.85,
+                Behavior::Heavy => 0.50,
+                Behavior::UploadOnly => 0.10,
+                Behavior::Occasional => 0.03,
+            };
+            if sched_rng.chance(fed_p) {
+                fed_namespaces.push(ns);
+            }
+            pool.push(ns);
+        }
+        stats
+            .truth_users
+            .push(hh.devices.iter().map(|d| d.host_int).collect());
+        let mut root_marked = false;
+        for d in hh.devices.iter() {
+            let host = HostInt(d.host_int);
+            let root = md.register_host(user, host);
+            // Download-only (and some heavy) accounts receive content into
+            // their *root* from their own unmonitored devices elsewhere —
+            // the mirror image of the paper's upload-only users submitting
+            // "to geographically dispersed devices".
+            if !root_marked {
+                root_marked = true;
+                let root_fed_p = match behavior {
+                    Behavior::DownloadOnly => 0.85,
+                    Behavior::Heavy => 0.35,
+                    _ => 0.0,
+                };
+                if root_fed_p > 0.0 && sched_rng.chance(root_fed_p) {
+                    fed_namespaces.push(root);
+                }
+            }
+            // Link this device to the first (namespace_count - 1) folders.
+            let mut nss = vec![root];
+            for &ns in pool.iter().take(d.namespace_count.saturating_sub(1)) {
+                md.link_namespace(host, ns);
+                nss.push(ns);
+            }
+            let local_idx = devs.len();
+            for &ns in &nss {
+                ns_members.entry(ns).or_default().push(local_idx);
+            }
+            let sessions =
+                device_sessions(config.kind, d, config.days, &mut sched_rng.fork(d.host_int));
+            devs.push(Dev {
+                host_int: host,
+                namespaces: nss,
+                sessions,
+                behavior,
+                version: d.version,
+                abnormal: d.abnormal_uploader,
+                nat_afflicted: d.nat_afflicted,
+                workstation: d.workstation,
+            });
+        }
+
+        // ---- Phase A: the household's commits in time order -----------------
+        let mut commit_rng = hh_rng.fork_named("commits");
+        let mut raw_events: Vec<(SimTime, usize, FileEvent)> = Vec::new();
+        for (di, dev) in devs.iter().enumerate() {
+            if dev.abnormal {
+                continue; // handled separately
+            }
+            for s in &dev.sessions {
+                for e in file_events(dev.behavior, s, &mut commit_rng) {
+                    raw_events.push((e.at, di, e));
+                }
+            }
+        }
+        // External producer commits on fed namespaces.
+        let mut external: Vec<(SimTime, NamespaceId)> = Vec::new();
+        for &ns in &fed_namespaces {
+            let rate_per_day = 1.5;
+            let mut t_days = 0.0;
+            loop {
+                t_days += dist::exponential(&mut commit_rng, rate_per_day);
+                if t_days >= config.days as f64 {
+                    break;
+                }
+                external.push((SimTime::from_micros((t_days * 86_400.0 * 1e6) as u64), ns));
+            }
+        }
+
+        // Materialise commits chronologically so edits see a consistent file
+        // registry per namespace.
+        #[derive(Clone)]
+        struct FileState {
+            content: Content,
+            chunk_ids: Vec<ChunkId>,
+        }
+        let mut ns_files: BTreeMap<NamespaceId, Vec<FileState>> = BTreeMap::new();
+        let mut next_seed: u64 = hh_rng.fork_named("contentseed").next_u64() | 1;
+        let mut next_file: u64 = 1;
+
+        enum RawCommit {
+            Local(usize, FileEvent),
+            External(NamespaceId),
+        }
+        let mut ordered: Vec<(SimTime, RawCommit)> = raw_events
+            .into_iter()
+            .map(|(t, di, e)| (t, RawCommit::Local(di, e)))
+            .chain(
+                external
+                    .into_iter()
+                    .map(|(t, ns)| (t, RawCommit::External(ns))),
+            )
+            .collect();
+        ordered.sort_by_key(|(t, _)| *t);
+
+        let mut commits: Vec<Commit> = Vec::new();
+        for (t, raw) in ordered {
+            let (ns, committer, kind, is_edit) = match &raw {
+                RawCommit::Local(di, e) => {
+                    let dev = &devs[*di];
+                    // Root namespace favoured for personal files.
+                    let ns = if dev.namespaces.len() == 1 || commit_rng.chance(0.5) {
+                        dev.namespaces[0]
+                    } else {
+                        dev.namespaces[1 + commit_rng.below_usize(dev.namespaces.len() - 1)]
+                    };
+                    (ns, Some(*di), e.kind, e.is_edit)
+                }
+                RawCommit::External(ns) => {
+                    // Collaborators elsewhere both add and edit; the kind mix
+                    // matches ordinary users.
+                    let kind = {
+                        let u = commit_rng.f64();
+                        if u < 0.42 {
+                            dropbox::content::ContentKind::Text
+                        } else if u < 0.75 {
+                            dropbox::content::ContentKind::Document
+                        } else {
+                            dropbox::content::ContentKind::Media
+                        }
+                    };
+                    (*ns, None, kind, commit_rng.chance(0.5))
+                }
+            };
+            let files = ns_files.entry(ns).or_default();
+            // A change event usually touches several files at once (saving a
+            // project, dropping a folder): 1 + geometric burst.
+            let burst = 1 + simcore::dist::geometric(&mut commit_rng, 0.38) as usize;
+            let mut chunks: Vec<ChunkWork> = Vec::new();
+            for b in 0..burst {
+                let edit_this = (is_edit || b > 0 && commit_rng.chance(0.5)) && !files.is_empty();
+                if edit_this {
+                    let fi = commit_rng.below_usize(files.len());
+                    let frac = (0.03 + commit_rng.f64() * 0.30).min(1.0);
+                    let (next, changed) = files[fi].content.edit(frac, &mut commit_rng);
+                    for &ci in &changed {
+                        let id = next.chunk_id(ci);
+                        files[fi].chunk_ids[ci as usize] = id;
+                        chunks.push(ChunkWork {
+                            id,
+                            wire_bytes: next.delta_wire_size(ci, frac),
+                            raw_bytes: next.chunk_size(ci),
+                        });
                     }
-                    _ => list.push((*t, chunks.clone())),
+                    files[fi].content = next;
+                } else {
+                    next_seed = next_seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                    let size = sample_file_size(kind, &mut commit_rng);
+                    let content = Content::new(next_seed, size, kind);
+                    let ids = content.chunk_ids();
+                    for (i, &id) in ids.iter().enumerate() {
+                        chunks.push(ChunkWork {
+                            id,
+                            wire_bytes: content.wire_chunk_size(i as u32),
+                            raw_bytes: content.chunk_size(i as u32),
+                        });
+                    }
+                    next_file += 1;
+                    // Journal bookkeeping on the meta-data plane.
+                    if let Some(nsm) = md.namespace_mut(ns) {
+                        nsm.commit(FileId(next_file), content, ids.clone());
+                    }
+                    files.push(FileState {
+                        content,
+                        chunk_ids: ids,
+                    });
+                }
+            }
+            if chunks.is_empty() {
+                continue;
+            }
+            commits.push(Commit {
+                at: t,
+                ns,
+                committer,
+                chunks,
+            });
+        }
+
+        // ---- Phase B: propagate commits to members -------------------------
+        // The household runs the LAN Sync Protocol on its subnet: on-line
+        // devices broadcast discovery announcements and serve chunks they hold
+        // to peers sharing the namespace, keeping that traffic off the WAN.
+        let mut queues: Vec<DeviceQueue> =
+            (0..devs.len()).map(|_| DeviceQueue::default()).collect();
+        let mut uploads: Vec<Vec<(SimTime, Vec<ChunkWork>)>> = vec![Vec::new(); devs.len()];
+        let mut lan = LanSync::default();
+        let mut prop_rng = hh_rng.fork_named("propagation");
+
+        for c in &commits {
+            if let Some(di) = c.committer {
+                uploads[di].push((c.at, c.chunks.clone()));
+                // The committer holds the chunks and, while on-line, announces
+                // itself on the household subnet.
+                let dev = &devs[di];
+                if dev.session_containing(c.at).is_some() {
+                    lan.announce(Announcement {
+                        host: dev.host_int,
+                        namespaces: dev.namespaces.clone(),
+                        at: c.at,
+                    });
+                }
+                for w in &c.chunks {
+                    lan.chunk_available(dev.host_int, w.id);
+                }
+            }
+            let members = ns_members.get(&c.ns).cloned().unwrap_or_default();
+            for m in members {
+                if Some(m) == c.committer {
+                    continue;
+                }
+                let dev = &devs[m];
+                if dev.session_containing(c.at).is_some() {
+                    // On-line member: ask the LAN first (Sec. 5.2), then fall
+                    // back to a cloud retrieve.
+                    let pairs: Vec<(ChunkId, u64)> =
+                        c.chunks.iter().map(|w| (w.id, w.raw_bytes)).collect();
+                    if lan.try_serve(dev.host_int, c.ns, &pairs, c.at).is_some() {
+                        continue;
+                    }
+                    let delay = SimDuration::from_secs(prop_rng.range_u64(2, 25));
+                    queues[m]
+                        .online_downloads
+                        .push((c.at + delay, c.chunks.clone()));
+                    // Once the cloud retrieve lands, this device can serve the
+                    // chunks to later peers on its LAN.
+                    for w in &c.chunks {
+                        lan.chunk_available(dev.host_int, w.id);
+                    }
+                    lan.announce(Announcement {
+                        host: dev.host_int,
+                        namespaces: dev.namespaces.clone(),
+                        at: c.at,
+                    });
+                } else {
+                    queues[m].pending.push((c.at, c.chunks.clone()));
                 }
             }
         }
-        let mut session_downloads: BTreeMap<usize, Vec<(SimTime, Vec<ChunkWork>)>> =
-            BTreeMap::new();
-        for (t, chunks) in &queues[di].online_downloads {
-            let si = dev
-                .session_containing(*t)
-                .or_else(|| dev.next_session_after(*t));
-            if let Some(si) = si {
-                let t = (*t).max(dev.sessions[si].start);
-                session_downloads
-                    .entry(si)
-                    .or_default()
-                    .push((t, chunks.clone()));
+        stats.lan_synced += lan.served_chunks();
+        // Resolve pending commit batches to the first session after their
+        // commit time. Commits after a device's last session never sync
+        // (the capture ends first), as in reality.
+        for (di, dev) in devs.iter().enumerate() {
+            let pending = std::mem::take(&mut queues[di].pending);
+            for (t, batch) in pending {
+                if let Some(si) = dev.next_session_after(t) {
+                    queues[di]
+                        .pending_at_start
+                        .entry(si)
+                        .or_default()
+                        .push(batch);
+                }
             }
         }
 
-        for (si, session) in dev.sessions.iter().enumerate() {
-            let day = session.start.day();
-            let changes = session_downloads.get(&si).map(|v| v.len()).unwrap_or(0) as u32;
+        // ---- Phase C: render the household's device flows -------------------
+        let render_rng = hh_rng.fork_named("render");
 
-            // Session-start control traffic.
-            let mut pending = queues[di].pending_at_start.remove(&si).unwrap_or_default();
-            // The login burst replays each missed changeset; very long
-            // offline periods collapse the tail into one bulk transaction.
-            const MAX_LOGIN_TRANSACTIONS: usize = 12;
-            if pending.len() > MAX_LOGIN_TRANSACTIONS {
-                let tail: Vec<ChunkWork> = pending
-                    .drain(MAX_LOGIN_TRANSACTIONS - 1..)
-                    .flatten()
-                    .collect();
-                pending.push(tail);
-            }
-            let pending_chunks: usize = pending.iter().map(Vec::len).sum();
-            for spec in engine.session_start_flows(pending_chunks, &mut dev_rng) {
-                play(
-                    &spec,
-                    session.start + SimDuration::from_millis(dev_rng.range_u64(50, 900)),
-                    hh.ip,
-                    hh.access,
-                    day,
-                    &mut monitor,
-                    &mut dev_rng,
-                    &mut scratch,
-                );
-            }
+        for (di, dev) in devs.iter().enumerate() {
+            let sync_config = SyncConfig {
+                version: dev.version,
+                no_storage_acks: dev.abnormal,
+                ..SyncConfig::default()
+            };
+            let mut engine = SyncEngine::new(&dns, &store, sync_config, dev.host_int.0);
+            let mut dev_rng = render_rng.fork(dev.host_int.0);
 
-            // Notification connection(s) covering the session.
-            let span = session.duration();
-            if dev.nat_afflicted {
-                // The gateway kills the connection within a minute; the
-                // client reconnects immediately. The effect is bursty in
-                // real gateways ([10]): model ~35 kills per session, after
-                // which the connection survives.
-                let mut t = session.start;
-                let mut frags = 0;
-                while t < session.end && frags < 28 {
-                    let frag = SimDuration::from_secs(dev_rng.range_u64(20, 55))
-                        .min(session.end.saturating_since(t));
-                    let spec = notification_flow(
-                        &dns,
-                        dev.host_int,
-                        md.namespaces_of(dev.host_int),
-                        frag,
-                        0,
-                        SessionEnd::NatReset,
-                        &mut dev_rng,
-                    );
-                    play(
-                        &spec,
-                        t,
-                        hh.ip,
-                        hh.access,
-                        day,
-                        &mut monitor,
-                        &mut dev_rng,
-                        &mut scratch,
-                    );
-                    t += frag + SimDuration::from_millis(200);
-                    frags += 1;
+            // Index per-session transactions. Dropbox 1.4.0's bundling lets
+            // changes detected close together ride one connection: coalesce
+            // commits within 60 s into a single transaction for that version.
+            let coalesce = match dev.version {
+                ClientVersion::V1_2_52 => SimDuration::ZERO,
+                ClientVersion::V1_4_0 => SimDuration::from_secs(60),
+            };
+            let mut session_uploads: BTreeMap<usize, Vec<(SimTime, Vec<ChunkWork>)>> =
+                BTreeMap::new();
+            for (t, chunks) in &uploads[di] {
+                if let Some(si) = dev.session_containing(*t) {
+                    let list = session_uploads.entry(si).or_default();
+                    match list.last_mut() {
+                        Some((t0, acc))
+                            if !coalesce.is_zero() && t.saturating_since(*t0) <= coalesce =>
+                        {
+                            acc.extend(chunks.iter().copied());
+                        }
+                        _ => list.push((*t, chunks.clone())),
+                    }
                 }
-                if t < session.end {
-                    let spec = notification_flow(
-                        &dns,
-                        dev.host_int,
-                        md.namespaces_of(dev.host_int),
-                        session.end.saturating_since(t),
-                        0,
-                        SessionEnd::ClientShutdown,
-                        &mut dev_rng,
-                    );
-                    play(
-                        &spec,
-                        t,
-                        hh.ip,
-                        hh.access,
-                        day,
-                        &mut monitor,
-                        &mut dev_rng,
-                        &mut scratch,
-                    );
+            }
+            let mut session_downloads: BTreeMap<usize, Vec<(SimTime, Vec<ChunkWork>)>> =
+                BTreeMap::new();
+            for (t, chunks) in &queues[di].online_downloads {
+                let si = dev
+                    .session_containing(*t)
+                    .or_else(|| dev.next_session_after(*t));
+                if let Some(si) = si {
+                    let t = (*t).max(dev.sessions[si].start);
+                    session_downloads
+                        .entry(si)
+                        .or_default()
+                        .push((t, chunks.clone()));
                 }
-            } else if plan_active
-                && faults.notify_churn_p > 0.0
-                && dev_rng.chance(faults.notify_churn_p)
-            {
-                // A flaky link churns the notification connection: a few
-                // fragments die mid-poll (RST with a request outstanding)
-                // and the client reconnects after an exponential backoff
-                // before the connection finally stabilises.
-                let n_aborts = 1 + dev_rng.below(3) as u32;
-                let mut t = session.start;
-                let mut attempt = 0u32;
-                while attempt < n_aborts && t < session.end {
-                    let frag = SimDuration::from_secs(dev_rng.range_u64(90, 900))
-                        .min(session.end.saturating_since(t));
-                    let spec = notification_flow(
-                        &dns,
-                        dev.host_int,
-                        md.namespaces_of(dev.host_int),
-                        frag,
-                        0,
-                        SessionEnd::Aborted,
-                        &mut dev_rng,
-                    );
-                    play(
-                        &spec,
-                        t,
-                        hh.ip,
-                        hh.access,
-                        day,
-                        &mut monitor,
-                        &mut dev_rng,
-                        &mut scratch,
-                    );
-                    fault_stats.notify_aborts += 1;
-                    t += frag + policy.backoff(attempt, &mut dev_rng);
-                    attempt += 1;
-                }
-                if t < session.end {
-                    let spec = notification_flow(
-                        &dns,
-                        dev.host_int,
-                        md.namespaces_of(dev.host_int),
-                        session.end.saturating_since(t),
-                        changes,
-                        SessionEnd::ClientShutdown,
-                        &mut dev_rng,
-                    );
-                    play(
-                        &spec,
-                        t,
-                        hh.ip,
-                        hh.access,
-                        day,
-                        &mut monitor,
-                        &mut dev_rng,
-                        &mut scratch,
-                    );
-                }
-            } else {
-                let spec = notification_flow(
-                    &dns,
-                    dev.host_int,
-                    md.namespaces_of(dev.host_int),
-                    span,
-                    changes,
-                    SessionEnd::ClientShutdown,
-                    &mut dev_rng,
-                );
-                play(
-                    &spec,
-                    session.start,
-                    hh.ip,
-                    hh.access,
-                    day,
-                    &mut monitor,
-                    &mut dev_rng,
-                    &mut scratch,
-                );
             }
 
-            // Login synchronisation burst: one transaction per missed
-            // changeset, staggered over the first minutes of the session.
-            let mut t_login = session.start + SimDuration::from_secs(dev_rng.range_u64(10, 40));
-            for batch in &pending {
-                if plan_active {
-                    let outcome = engine.download_transaction_faulty(
-                        batch,
+            for (si, session) in dev.sessions.iter().enumerate() {
+                let day = session.start.day();
+                let changes = session_downloads.get(&si).map(|v| v.len()).unwrap_or(0) as u32;
+
+                // Session-start control traffic.
+                let mut pending = queues[di].pending_at_start.remove(&si).unwrap_or_default();
+                // The login burst replays each missed changeset; very long
+                // offline periods collapse the tail into one bulk transaction.
+                const MAX_LOGIN_TRANSACTIONS: usize = 12;
+                if pending.len() > MAX_LOGIN_TRANSACTIONS {
+                    let tail: Vec<ChunkWork> = pending
+                        .drain(MAX_LOGIN_TRANSACTIONS - 1..)
+                        .flatten()
+                        .collect();
+                    pending.push(tail);
+                }
+                let pending_chunks: usize = pending.iter().map(Vec::len).sum();
+                for spec in engine.session_start_flows(pending_chunks, &mut dev_rng) {
+                    play(
+                        &spec,
+                        session.start + SimDuration::from_millis(dev_rng.range_u64(50, 900)),
+                        hh.ip,
+                        hh.access,
                         day,
-                        t_login,
-                        faults,
-                        &policy,
+                        &mut monitor,
                         &mut dev_rng,
+                        &mut scratch,
                     );
-                    fault_stats.sync_retries += u64::from(outcome.retries);
-                    fault_stats.aborted_flows += u64::from(outcome.aborted_flows);
-                    for (off, spec) in &outcome.flows {
+                }
+
+                // Notification connection(s) covering the session.
+                let span = session.duration();
+                if dev.nat_afflicted {
+                    // The gateway kills the connection within a minute; the
+                    // client reconnects immediately. The effect is bursty in
+                    // real gateways ([10]): model ~35 kills per session, after
+                    // which the connection survives.
+                    let mut t = session.start;
+                    let mut frags = 0;
+                    while t < session.end && frags < 28 {
+                        let frag = SimDuration::from_secs(dev_rng.range_u64(20, 55))
+                            .min(session.end.saturating_since(t));
+                        let spec = notification_flow(
+                            &dns,
+                            dev.host_int,
+                            md.namespaces_of(dev.host_int),
+                            frag,
+                            0,
+                            SessionEnd::NatReset,
+                            &mut dev_rng,
+                        );
                         play(
-                            spec,
-                            t_login + *off,
+                            &spec,
+                            t,
+                            hh.ip,
+                            hh.access,
+                            day,
+                            &mut monitor,
+                            &mut dev_rng,
+                            &mut scratch,
+                        );
+                        t += frag + SimDuration::from_millis(200);
+                        frags += 1;
+                    }
+                    if t < session.end {
+                        let spec = notification_flow(
+                            &dns,
+                            dev.host_int,
+                            md.namespaces_of(dev.host_int),
+                            session.end.saturating_since(t),
+                            0,
+                            SessionEnd::ClientShutdown,
+                            &mut dev_rng,
+                        );
+                        play(
+                            &spec,
+                            t,
+                            hh.ip,
+                            hh.access,
+                            day,
+                            &mut monitor,
+                            &mut dev_rng,
+                            &mut scratch,
+                        );
+                    }
+                } else if plan_active
+                    && faults.notify_churn_p > 0.0
+                    && dev_rng.chance(faults.notify_churn_p)
+                {
+                    // A flaky link churns the notification connection: a few
+                    // fragments die mid-poll (RST with a request outstanding)
+                    // and the client reconnects after an exponential backoff
+                    // before the connection finally stabilises.
+                    let n_aborts = 1 + dev_rng.below(3) as u32;
+                    let mut t = session.start;
+                    let mut attempt = 0u32;
+                    while attempt < n_aborts && t < session.end {
+                        let frag = SimDuration::from_secs(dev_rng.range_u64(90, 900))
+                            .min(session.end.saturating_since(t));
+                        let spec = notification_flow(
+                            &dns,
+                            dev.host_int,
+                            md.namespaces_of(dev.host_int),
+                            frag,
+                            0,
+                            SessionEnd::Aborted,
+                            &mut dev_rng,
+                        );
+                        play(
+                            &spec,
+                            t,
+                            hh.ip,
+                            hh.access,
+                            day,
+                            &mut monitor,
+                            &mut dev_rng,
+                            &mut scratch,
+                        );
+                        fault_stats.notify_aborts += 1;
+                        t += frag + policy.backoff(attempt, &mut dev_rng);
+                        attempt += 1;
+                    }
+                    if t < session.end {
+                        let spec = notification_flow(
+                            &dns,
+                            dev.host_int,
+                            md.namespaces_of(dev.host_int),
+                            session.end.saturating_since(t),
+                            changes,
+                            SessionEnd::ClientShutdown,
+                            &mut dev_rng,
+                        );
+                        play(
+                            &spec,
+                            t,
                             hh.ip,
                             hh.access,
                             day,
@@ -825,91 +919,36 @@ fn simulate_vantage_impl(
                         );
                     }
                 } else {
-                    for spec in engine.download_transaction(batch, day, &mut dev_rng, None, t_login)
-                    {
-                        play(
-                            &spec,
-                            t_login,
-                            hh.ip,
-                            hh.access,
-                            day,
-                            &mut monitor,
-                            &mut dev_rng,
-                            &mut scratch,
-                        );
-                    }
+                    let spec = notification_flow(
+                        &dns,
+                        dev.host_int,
+                        md.namespaces_of(dev.host_int),
+                        span,
+                        changes,
+                        SessionEnd::ClientShutdown,
+                        &mut dev_rng,
+                    );
+                    play(
+                        &spec,
+                        session.start,
+                        hh.ip,
+                        hh.access,
+                        day,
+                        &mut monitor,
+                        &mut dev_rng,
+                        &mut scratch,
+                    );
                 }
-                t_login += SimDuration::from_secs(dev_rng.range_u64(3, 25));
-            }
 
-            // Periodic list refreshes (the short meta-data connections).
-            let mut t = session.start + SimDuration::from_mins(dev_rng.range_u64(20, 45));
-            while t < session.end {
-                let spec = engine.control_flow(false, &[(340, 420)], &mut dev_rng);
-                play(
-                    &spec,
-                    t,
-                    hh.ip,
-                    hh.access,
-                    day,
-                    &mut monitor,
-                    &mut dev_rng,
-                    &mut scratch,
-                );
-                t += SimDuration::from_mins(dev_rng.range_u64(25, 50));
-            }
-
-            // Uploads.
-            if let Some(ups) = session_uploads.get(&si) {
-                for (t, chunks) in ups {
-                    if plan_active {
-                        let outcome = engine.upload_transaction_faulty(
-                            chunks,
-                            day,
-                            *t,
-                            faults,
-                            &policy,
-                            &mut dev_rng,
-                        );
-                        fault_stats.sync_retries += u64::from(outcome.retries);
-                        fault_stats.aborted_flows += u64::from(outcome.aborted_flows);
-                        for (off, spec) in &outcome.flows {
-                            play(
-                                spec,
-                                *t + *off,
-                                hh.ip,
-                                hh.access,
-                                day,
-                                &mut monitor,
-                                &mut dev_rng,
-                                &mut scratch,
-                            );
-                        }
-                    } else {
-                        for spec in engine.upload_transaction(chunks, day, &mut dev_rng, None, *t) {
-                            play(
-                                &spec,
-                                *t,
-                                hh.ip,
-                                hh.access,
-                                day,
-                                &mut monitor,
-                                &mut dev_rng,
-                                &mut scratch,
-                            );
-                        }
-                    }
-                }
-            }
-
-            // Downloads while on-line.
-            if let Some(downs) = session_downloads.get(&si) {
-                for (t, chunks) in downs {
+                // Login synchronisation burst: one transaction per missed
+                // changeset, staggered over the first minutes of the session.
+                let mut t_login = session.start + SimDuration::from_secs(dev_rng.range_u64(10, 40));
+                for batch in &pending {
                     if plan_active {
                         let outcome = engine.download_transaction_faulty(
-                            chunks,
+                            batch,
                             day,
-                            *t,
+                            t_login,
                             faults,
                             &policy,
                             &mut dev_rng,
@@ -919,7 +958,7 @@ fn simulate_vantage_impl(
                         for (off, spec) in &outcome.flows {
                             play(
                                 spec,
-                                *t + *off,
+                                t_login + *off,
                                 hh.ip,
                                 hh.access,
                                 day,
@@ -929,11 +968,12 @@ fn simulate_vantage_impl(
                             );
                         }
                     } else {
-                        for spec in engine.download_transaction(chunks, day, &mut dev_rng, None, *t)
+                        for spec in
+                            engine.download_transaction(batch, day, &mut dev_rng, None, t_login)
                         {
                             play(
                                 &spec,
-                                *t,
+                                t_login,
                                 hh.ip,
                                 hh.access,
                                 day,
@@ -943,57 +983,13 @@ fn simulate_vantage_impl(
                             );
                         }
                     }
+                    t_login += SimDuration::from_secs(dev_rng.range_u64(3, 25));
                 }
-            }
 
-            // Rare crash report (exception back-trace to dl-debugX).
-            if dev_rng.chance(0.008) {
-                let spec = engine.backtrace_flow(&mut dev_rng);
-                play(
-                    &spec,
-                    session.start + SimDuration::from_secs(dev_rng.range_u64(30, 300)),
-                    hh.ip,
-                    hh.access,
-                    day,
-                    &mut monitor,
-                    &mut dev_rng,
-                    &mut scratch,
-                );
-            }
-
-            // Occasional event-log report.
-            if dev_rng.chance(0.15) {
-                let spec = engine.event_log_flow(&mut dev_rng);
-                play(
-                    &spec,
-                    session.start + SimDuration::from_secs(dev_rng.range_u64(60, 600)),
-                    hh.ip,
-                    hh.access,
-                    day,
-                    &mut monitor,
-                    &mut dev_rng,
-                    &mut scratch,
-                );
-            }
-
-            // The misbehaving uploader: consecutive single-4MB-chunk
-            // connections during its active window (Home 2, days 8–22),
-            // clipped to the part of the session overlapping that window.
-            if dev.abnormal {
-                let win_lo = SimTime::from_day_offset(8.min(config.days - 1), SimDuration::ZERO);
-                let win_hi = SimTime::from_day_offset(23.min(config.days), SimDuration::ZERO);
-                let lo = session.start.max(win_lo);
-                let hi = session.end.min(win_hi);
-                let mut t = lo + SimDuration::from_secs(30);
-                let mut n: u64 = dev.host_int.0 << 16;
-                while t < hi {
-                    n += 1;
-                    let chunk = ChunkWork {
-                        id: ChunkId(n),
-                        wire_bytes: 4 * 1024 * 1024,
-                        raw_bytes: 4 * 1024 * 1024,
-                    };
-                    let spec = engine.store_flow(&[chunk], day, &mut dev_rng, None, t);
+                // Periodic list refreshes (the short meta-data connections).
+                let mut t = session.start + SimDuration::from_mins(dev_rng.range_u64(20, 45));
+                while t < session.end {
+                    let spec = engine.control_flow(false, &[(340, 420)], &mut dev_rng);
                     play(
                         &spec,
                         t,
@@ -1004,20 +1000,170 @@ fn simulate_vantage_impl(
                         &mut dev_rng,
                         &mut scratch,
                     );
-                    t += SimDuration::from_secs(dev_rng.range_u64(1_100, 1_900));
+                    t += SimDuration::from_mins(dev_rng.range_u64(25, 50));
                 }
-            }
 
-            let _ = dev.workstation;
+                // Uploads.
+                if let Some(ups) = session_uploads.get(&si) {
+                    for (t, chunks) in ups {
+                        if plan_active {
+                            let outcome = engine.upload_transaction_faulty(
+                                chunks,
+                                day,
+                                *t,
+                                faults,
+                                &policy,
+                                &mut dev_rng,
+                            );
+                            fault_stats.sync_retries += u64::from(outcome.retries);
+                            fault_stats.aborted_flows += u64::from(outcome.aborted_flows);
+                            for (off, spec) in &outcome.flows {
+                                play(
+                                    spec,
+                                    *t + *off,
+                                    hh.ip,
+                                    hh.access,
+                                    day,
+                                    &mut monitor,
+                                    &mut dev_rng,
+                                    &mut scratch,
+                                );
+                            }
+                        } else {
+                            for spec in
+                                engine.upload_transaction(chunks, day, &mut dev_rng, None, *t)
+                            {
+                                play(
+                                    &spec,
+                                    *t,
+                                    hh.ip,
+                                    hh.access,
+                                    day,
+                                    &mut monitor,
+                                    &mut dev_rng,
+                                    &mut scratch,
+                                );
+                            }
+                        }
+                    }
+                }
+
+                // Downloads while on-line.
+                if let Some(downs) = session_downloads.get(&si) {
+                    for (t, chunks) in downs {
+                        if plan_active {
+                            let outcome = engine.download_transaction_faulty(
+                                chunks,
+                                day,
+                                *t,
+                                faults,
+                                &policy,
+                                &mut dev_rng,
+                            );
+                            fault_stats.sync_retries += u64::from(outcome.retries);
+                            fault_stats.aborted_flows += u64::from(outcome.aborted_flows);
+                            for (off, spec) in &outcome.flows {
+                                play(
+                                    spec,
+                                    *t + *off,
+                                    hh.ip,
+                                    hh.access,
+                                    day,
+                                    &mut monitor,
+                                    &mut dev_rng,
+                                    &mut scratch,
+                                );
+                            }
+                        } else {
+                            for spec in
+                                engine.download_transaction(chunks, day, &mut dev_rng, None, *t)
+                            {
+                                play(
+                                    &spec,
+                                    *t,
+                                    hh.ip,
+                                    hh.access,
+                                    day,
+                                    &mut monitor,
+                                    &mut dev_rng,
+                                    &mut scratch,
+                                );
+                            }
+                        }
+                    }
+                }
+
+                // Rare crash report (exception back-trace to dl-debugX).
+                if dev_rng.chance(0.008) {
+                    let spec = engine.backtrace_flow(&mut dev_rng);
+                    play(
+                        &spec,
+                        session.start + SimDuration::from_secs(dev_rng.range_u64(30, 300)),
+                        hh.ip,
+                        hh.access,
+                        day,
+                        &mut monitor,
+                        &mut dev_rng,
+                        &mut scratch,
+                    );
+                }
+
+                // Occasional event-log report.
+                if dev_rng.chance(0.15) {
+                    let spec = engine.event_log_flow(&mut dev_rng);
+                    play(
+                        &spec,
+                        session.start + SimDuration::from_secs(dev_rng.range_u64(60, 600)),
+                        hh.ip,
+                        hh.access,
+                        day,
+                        &mut monitor,
+                        &mut dev_rng,
+                        &mut scratch,
+                    );
+                }
+
+                // The misbehaving uploader: consecutive single-4MB-chunk
+                // connections during its active window (Home 2, days 8–22),
+                // clipped to the part of the session overlapping that window.
+                if dev.abnormal {
+                    let win_lo =
+                        SimTime::from_day_offset(8.min(config.days - 1), SimDuration::ZERO);
+                    let win_hi = SimTime::from_day_offset(23.min(config.days), SimDuration::ZERO);
+                    let lo = session.start.max(win_lo);
+                    let hi = session.end.min(win_hi);
+                    let mut t = lo + SimDuration::from_secs(30);
+                    let mut n: u64 = dev.host_int.0 << 16;
+                    while t < hi {
+                        n += 1;
+                        let chunk = ChunkWork {
+                            id: ChunkId(n),
+                            wire_bytes: 4 * 1024 * 1024,
+                            raw_bytes: 4 * 1024 * 1024,
+                        };
+                        let spec = engine.store_flow(&[chunk], day, &mut dev_rng, None, t);
+                        play(
+                            &spec,
+                            t,
+                            hh.ip,
+                            hh.access,
+                            day,
+                            &mut monitor,
+                            &mut dev_rng,
+                            &mut scratch,
+                        );
+                        t += SimDuration::from_secs(dev_rng.range_u64(1_100, 1_900));
+                    }
+                }
+
+                let _ = dev.workstation;
+            }
         }
     }
 
     // ---- Phase D: web interface, direct links, API ----------------------
-    let mut web_rng = root_rng.fork_named("web");
-    for hh in &population.households {
-        if !hh.uses_web {
-            continue;
-        }
+    if hh.uses_web {
+        let mut web_rng = hh_rng.fork_named("web");
         for day in 0..config.days {
             let at = |r: &mut Rng| {
                 SimTime::from_day_offset(day, SimDuration::from_secs(r.range_u64(8 * 3600, 85_000)))
@@ -1069,17 +1215,11 @@ fn simulate_vantage_impl(
         }
     }
 
-    // ---- Phase E: background providers ----------------------------------
-    let background = background_flows(config, &population, &mut root_rng.fork_named("providers"));
-    for rec in background {
-        emit(rec, None);
-    }
+    // ---- Phase E: background provider traffic ---------------------------
+    let mut prng = providers_root.fork(idx as u64);
+    providers::household_flows(config, hh, &mut prng, &mut |rec| emit(rec, None));
 
-    VantageStats {
-        lan_synced,
-        truth_users,
-        fault_stats,
-    }
+    stats.fault_stats.absorb(fault_stats);
 }
 
 #[cfg(test)]
@@ -1273,7 +1413,6 @@ mod tests {
         ];
         for sessions in cases {
             let dev = Dev {
-                hh: 0,
                 host_int: dropbox::metadata::HostInt(1),
                 namespaces: Vec::new(),
                 sessions: sessions.clone(),

@@ -16,15 +16,18 @@
 //!   through the `dropbox` protocol engine and the `tcpmodel` network onto
 //!   a `tstat` monitor, producing one `dropbox_analysis`-ready dataset
 //!   of flow records per vantage point,
-//! * [`shard`] — the parallel decomposition: the five captures as
-//!   *(vantage point × simulated day window)* shards with independent
+//! * [`shard`] — the parallel decomposition: each of the five captures
+//!   cut into contiguous *household ranges* with independent per-household
 //!   seed streams, executed on `simcore::par` so `--jobs N` runs are
-//!   byte-identical to serial runs.
+//!   byte-identical to serial runs at every job and sub-shard count.
 //!
-//! [`simulate_vantage`] itself is a deliberately *serial* kernel — one
-//! capture, one thread, one root seed stream. Parallelism happens only
-//! between captures, via [`shard::simulate_shards`]; `DESIGN.md` §7
-//! explains why the boundary sits there.
+//! [`simulate_vantage`] is a household sweep: every household is played
+//! from its own seed stream (`simcore::par::household_stream`) against
+//! household-local state, so any contiguous range of the sweep
+//! ([`driver::simulate_vantage_span`]) can run on its own worker and the
+//! ranges merge back byte-identically in household order. Parallelism
+//! happens between household ranges, via [`shard::simulate_shards`];
+//! `DESIGN.md` §7 pins the contract.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,7 +39,7 @@ pub mod providers;
 pub mod shard;
 pub mod vantage;
 
-pub use driver::{simulate_vantage, FaultStats, SimOutput};
-pub use shard::{simulate_shards, CaptureShard, ShardPlan};
+pub use driver::{simulate_vantage, simulate_vantage_span, FaultStats, SimOutput, SpanOutput};
+pub use shard::{simulate_shards, CaptureShard, HouseholdShard, ShardPlan};
 pub use simcore::faults::{FaultPlan, FlowFaults};
 pub use vantage::{VantageConfig, VantageKind};

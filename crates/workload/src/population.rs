@@ -6,6 +6,13 @@
 //! device count matching Fig. 12's distribution (group-dependent, heavy
 //! users own more devices), and per-device namespace counts matching
 //! Fig. 13 (campus users hold more shared folders than home users).
+//!
+//! Generation is **per household**: [`generate_household`] is a pure
+//! function of the population plane (one non-advancing [`Rng`] fork per
+//! household index) plus two capture-wide constants ([`host_int_base`] and
+//! the [`abnormal_household`] index), so any contiguous household range
+//! can be built independently and concatenated — the invariant the
+//! sub-capture shards of `workload::shard` rest on.
 
 use crate::vantage::{Access, VantageConfig, VantageKind};
 use dropbox::client::ClientVersion;
@@ -147,9 +154,34 @@ fn daily_presence(behavior: Behavior, rng: &mut Rng) -> f64 {
     (base + (rng.f64() - 0.5) * 0.2).clamp(0.05, 0.98)
 }
 
-impl Population {
-    /// Build the population of one vantage point.
-    pub fn generate(config: &VantageConfig, version: ClientVersion, rng: &mut Rng) -> Population {
+/// Upper bound on devices per household across every vantage point (the
+/// Campus 2 access-point model caps its Poisson draw at 8). `host_int`
+/// allocation strides by this, so household `idx` owns the id block
+/// `[base + 8*idx + 1, base + 8*idx + 8]` regardless of how many devices
+/// its neighbours materialise.
+pub const MAX_HOUSEHOLD_DEVICES: u64 = 8;
+
+/// Capture-wide base for `host_int` allocation: a single draw from a
+/// dedicated fork of the population plane. Non-advancing on `pop_root`,
+/// so it can be computed by every household-range shard identically.
+pub fn host_int_base(pop_root: &Rng) -> u64 {
+    pop_root.fork_named("hostbase").next_u64() >> 32 // vantage-unique base
+}
+
+/// The cheap household-local prefix of generation: what the
+/// [`abnormal_household`] scan needs without materialising devices.
+struct Profile {
+    access: Access,
+    uses_web: bool,
+    behavior: Option<Behavior>,
+}
+
+fn household_profile(config: &VantageConfig, pop_root: &Rng, idx: usize) -> Profile {
+    let mut rng = pop_root.fork(idx as u64).fork_named("profile");
+    let access = config.sample_access(&mut rng);
+    let has_client = rng.chance(config.dropbox_penetration);
+    let uses_web = rng.chance(if has_client { 0.25 } else { 0.04 });
+    let behavior = if has_client {
         let shares = Behavior::shares(config.kind);
         let behavior_dist = dist::Categorical::new(
             &shares
@@ -157,66 +189,104 @@ impl Population {
                 .map(|&(b, w)| (b, w))
                 .collect::<Vec<(Behavior, f64)>>(),
         );
-        let mut households = Vec::with_capacity(config.addresses);
-        let mut next_host_int: u64 = rng.next_u64() >> 32; // vantage-unique base
-        let mut abnormal_assigned = !config.has_abnormal_uploader;
+        Some(*behavior_dist.sample(&mut rng))
+    } else {
+        None
+    };
+    Profile {
+        access,
+        uses_web,
+        behavior,
+    }
+}
 
-        for idx in 0..config.addresses {
-            let ip = address_of(config.kind, idx);
-            let access = config.sample_access(rng);
-            let has_client = rng.chance(config.dropbox_penetration);
-            let uses_web = rng.chance(if has_client { 0.25 } else { 0.04 });
-            if !has_client {
-                households.push(Household {
-                    ip,
-                    access,
-                    behavior: None,
-                    devices: Vec::new(),
-                    uses_web,
-                });
-                continue;
-            }
-            let behavior = *behavior_dist.sample(rng);
-            let n_devices = sample_device_count(config.kind, behavior, rng);
-            let presence = daily_presence(behavior, rng);
-            let mut devices = Vec::with_capacity(n_devices);
-            for _ in 0..n_devices {
-                next_host_int += 1;
-                // One heavy device in Home 2 becomes the misbehaving
-                // uploader.
-                let abnormal = if !abnormal_assigned && behavior == Behavior::Heavy {
-                    abnormal_assigned = true;
-                    true
-                } else {
-                    false
-                };
-                devices.push(Device {
-                    host_int: next_host_int,
-                    namespace_count: sample_namespace_count(config.kind, rng),
-                    workstation: config.kind == VantageKind::Campus1 && rng.chance(0.85),
-                    // The misbehaving uploader ran for days on end.
-                    always_on: abnormal
-                        || rng.chance(match config.kind {
-                            VantageKind::Campus1 => 0.15,
-                            _ => 0.06,
-                        }),
-                    // Deterministic per-household assignment so that even
-                    // small scaled populations contain the few devices with
-                    // broken home gateways (Sec. 5.5).
-                    nat_afflicted: config.kind.is_home() && idx % 40 == 5 && devices.is_empty(),
-                    abnormal_uploader: abnormal,
-                    daily_presence: presence,
-                    version,
-                });
-            }
-            households.push(Household {
-                ip,
-                access,
-                behavior: Some(behavior),
-                devices,
-                uses_web,
-            });
-        }
+/// Index of the household hosting the Home 2 misbehaving uploader
+/// (Sec. 4.3.1): the first client household of the Heavy group. `None`
+/// for vantage points without one, or when the scaled population happens
+/// to contain no heavy household. The scan re-derives each household's
+/// profile fork, so every household-range shard agrees on the answer
+/// without seeing the other ranges.
+pub fn abnormal_household(config: &VantageConfig, pop_root: &Rng) -> Option<usize> {
+    if !config.has_abnormal_uploader {
+        return None;
+    }
+    (0..config.addresses)
+        .find(|&idx| household_profile(config, pop_root, idx).behavior == Some(Behavior::Heavy))
+}
+
+/// Build household `idx` — a pure function of the population plane
+/// (`pop_root` is only forked, never advanced) and the two capture-wide
+/// constants `host_base` ([`host_int_base`]) and `abnormal` (whether this
+/// index is the [`abnormal_household`]).
+pub fn generate_household(
+    config: &VantageConfig,
+    version: ClientVersion,
+    pop_root: &Rng,
+    idx: usize,
+    host_base: u64,
+    abnormal: bool,
+) -> Household {
+    let profile = household_profile(config, pop_root, idx);
+    let ip = address_of(config.kind, idx);
+    let Some(behavior) = profile.behavior else {
+        return Household {
+            ip,
+            access: profile.access,
+            behavior: None,
+            devices: Vec::new(),
+            uses_web: profile.uses_web,
+        };
+    };
+    let mut rng = pop_root.fork(idx as u64).fork_named("devices");
+    let n_devices = sample_device_count(config.kind, behavior, &mut rng);
+    debug_assert!(n_devices as u64 <= MAX_HOUSEHOLD_DEVICES);
+    let presence = daily_presence(behavior, &mut rng);
+    let mut devices = Vec::with_capacity(n_devices);
+    for k in 0..n_devices {
+        // The first device of the designated heavy household becomes the
+        // Home 2 misbehaving uploader; it ran for days on end.
+        let is_abnormal = abnormal && k == 0;
+        devices.push(Device {
+            host_int: host_base + idx as u64 * MAX_HOUSEHOLD_DEVICES + k as u64 + 1,
+            namespace_count: sample_namespace_count(config.kind, &mut rng),
+            workstation: config.kind == VantageKind::Campus1 && rng.chance(0.85),
+            always_on: is_abnormal
+                || rng.chance(match config.kind {
+                    VantageKind::Campus1 => 0.15,
+                    _ => 0.06,
+                }),
+            // Deterministic per-household assignment so that even small
+            // scaled populations contain the few devices with broken home
+            // gateways (Sec. 5.5).
+            nat_afflicted: config.kind.is_home() && idx % 40 == 5 && k == 0,
+            abnormal_uploader: is_abnormal,
+            daily_presence: presence,
+            version,
+        });
+    }
+    Household {
+        ip,
+        access: profile.access,
+        behavior: Some(behavior),
+        devices,
+        uses_web: profile.uses_web,
+    }
+}
+
+impl Population {
+    /// Build the population of one vantage point: the serial sweep over
+    /// [`generate_household`]. `rng` is the population plane (the driver's
+    /// `root.fork_named("population")`); it is only forked per household,
+    /// never advanced, so partial sweeps over household ranges concatenate
+    /// to exactly this result.
+    pub fn generate(config: &VantageConfig, version: ClientVersion, rng: &Rng) -> Population {
+        let host_base = host_int_base(rng);
+        let abnormal = abnormal_household(config, rng);
+        let households = (0..config.addresses)
+            .map(|idx| {
+                generate_household(config, version, rng, idx, host_base, abnormal == Some(idx))
+            })
+            .collect();
         Population { households }
     }
 
@@ -357,6 +427,36 @@ mod tests {
                 .count(),
             0
         );
+    }
+
+    #[test]
+    fn household_generation_is_range_independent() {
+        // Rebuilding the population from arbitrary contiguous household
+        // ranges must reproduce the serial sweep exactly — the invariant
+        // the sub-capture shards rest on.
+        let config = VantageConfig::paper(VantageKind::Home2, 0.05);
+        let rng = Rng::new(11);
+        let full = Population::generate(&config, ClientVersion::V1_2_52, &rng);
+        let base = host_int_base(&rng);
+        let ab = abnormal_household(&config, &rng);
+        let cuts = [0, 3, config.addresses / 2, config.addresses];
+        let mut rebuilt = Vec::new();
+        for w in cuts.windows(2) {
+            for idx in w[0]..w[1] {
+                rebuilt.push(generate_household(
+                    &config,
+                    ClientVersion::V1_2_52,
+                    &rng,
+                    idx,
+                    base,
+                    ab == Some(idx),
+                ));
+            }
+        }
+        assert_eq!(full.households.len(), rebuilt.len());
+        for (a, b) in full.households.iter().zip(&rebuilt) {
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
     }
 
     #[test]

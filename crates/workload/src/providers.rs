@@ -113,14 +113,34 @@ fn knobs(kind: VantageKind) -> Knobs {
     }
 }
 
-/// Generate the background flow records of a vantage point.
+/// Generate the background flow records of a vantage point: the serial
+/// sweep over [`household_flows`]. `rng` is the providers plane (the
+/// driver's `root.fork_named("providers")`); it is only forked per
+/// household, so per-household emission concatenates to this result.
 pub fn background_flows(
     config: &VantageConfig,
     population: &Population,
     rng: &mut Rng,
 ) -> Vec<FlowRecord> {
-    let k = knobs(config.kind);
     let mut out = Vec::new();
+    for (idx, hh) in population.households.iter().enumerate() {
+        let mut hrng = rng.fork(idx as u64);
+        household_flows(config, hh, &mut hrng, &mut |rec| out.push(rec));
+    }
+    out
+}
+
+/// Background flows of one household, emitted in canonical (day, service)
+/// order. Pure in `(config, hh, hrng)`: the stream handed in must be the
+/// household's own fork of the providers plane, so household-range shards
+/// replay exactly the records of the capture-wide sweep.
+pub fn household_flows(
+    config: &VantageConfig,
+    hh: &crate::population::Household,
+    hrng: &mut Rng,
+    emit: &mut dyn FnMut(FlowRecord),
+) {
+    let k = knobs(config.kind);
     let weekday = |day: u32| {
         if config.kind.is_home() || CaptureCalendar::is_working_day(day) {
             1.0
@@ -129,120 +149,115 @@ pub fn background_flows(
         }
     };
 
-    for (idx, hh) in population.households.iter().enumerate() {
-        let mut hrng = rng.fork(idx as u64);
-        let icloud = hrng.chance(k.icloud_frac);
-        let skydrive = hrng.chance(k.skydrive_frac);
-        let gdrive_adopter = hrng.chance(k.gdrive_final_frac);
-        // Adoption day: launch day or shortly after.
-        let gdrive_day = GDRIVE_LAUNCH_DAY + dist::geometric(&mut hrng, 0.35) as u32;
-        let other = hrng.chance(k.other_frac);
-        let youtube = hrng.chance(k.youtube_frac);
+    let icloud = hrng.chance(k.icloud_frac);
+    let skydrive = hrng.chance(k.skydrive_frac);
+    let gdrive_adopter = hrng.chance(k.gdrive_final_frac);
+    // Adoption day: launch day or shortly after.
+    let gdrive_day = GDRIVE_LAUNCH_DAY + dist::geometric(hrng, 0.35) as u32;
+    let other = hrng.chance(k.other_frac);
+    let youtube = hrng.chance(k.youtube_frac);
 
-        for day in 0..config.days {
-            let w = weekday(day);
-            let at = |h: &mut Rng| {
-                SimTime::from_day_offset(day, SimDuration::from_secs(h.range_u64(6 * 3600, 86_000)))
-            };
-            if icloud && hrng.chance(0.80 * w) {
-                // Several small flows: push notifications, photo-stream
-                // trickle. High device popularity, low volume.
-                for _ in 0..hrng.range_u64(2, 6) {
-                    let t = at(&mut hrng);
-                    let down = dist::lognormal_median(&mut hrng, 110_000.0, 1.2) as u64;
-                    out.push(record(
-                        hh.ip,
-                        Ipv4::new(17, 172, 100, hrng.range_u64(1, 250) as u8),
-                        "p05-content.icloud.com",
-                        true,
-                        t,
-                        down / 8,
-                        down,
-                        config.expose_dns,
-                    ));
-                }
-            }
-            if skydrive && hrng.chance(0.5 * w) {
-                let boost = if day >= SKYDRIVE_JUMP_DAY { 4.0 } else { 1.0 };
-                let t = at(&mut hrng);
-                let down = (dist::lognormal_median(&mut hrng, 900_000.0, 1.4) * boost) as u64;
-                out.push(record(
+    for day in 0..config.days {
+        let w = weekday(day);
+        let at = |h: &mut Rng| {
+            SimTime::from_day_offset(day, SimDuration::from_secs(h.range_u64(6 * 3600, 86_000)))
+        };
+        if icloud && hrng.chance(0.80 * w) {
+            // Several small flows: push notifications, photo-stream
+            // trickle. High device popularity, low volume.
+            for _ in 0..hrng.range_u64(2, 6) {
+                let t = at(hrng);
+                let down = dist::lognormal_median(hrng, 110_000.0, 1.2) as u64;
+                emit(record(
                     hh.ip,
-                    Ipv4::new(134, 170, 20, hrng.range_u64(1, 250) as u8),
-                    "duc281.livefilestore.com",
+                    Ipv4::new(17, 172, 100, hrng.range_u64(1, 250) as u8),
+                    "p05-content.icloud.com",
                     true,
                     t,
-                    down / 6,
-                    down,
-                    config.expose_dns,
-                ));
-            }
-            if gdrive_adopter && day >= gdrive_day && hrng.chance(0.6 * w) {
-                let t = at(&mut hrng);
-                let down = dist::lognormal_median(&mut hrng, 1_500_000.0, 1.4) as u64;
-                out.push(record(
-                    hh.ip,
-                    Ipv4::new(74, 125, 30, hrng.range_u64(1, 250) as u8),
-                    "drive.google.com",
-                    true,
-                    t,
-                    down / 5,
-                    down,
-                    config.expose_dns,
-                ));
-            }
-            if other && hrng.chance(0.4 * w) {
-                let t = at(&mut hrng);
-                let down = dist::lognormal_median(&mut hrng, 600_000.0, 1.3) as u64;
-                let name =
-                    *hrng.pick(&["api.sugarsync.com", "upload.box.com", "fs-1.one.ubuntu.com"]);
-                out.push(record(
-                    hh.ip,
-                    Ipv4::new(64, 30, 128, hrng.range_u64(1, 250) as u8),
-                    name,
-                    true,
-                    t,
-                    down / 6,
-                    down,
-                    config.expose_dns,
-                ));
-            }
-            if youtube && hrng.chance(0.75 * w) {
-                let total = dist::lognormal_median(&mut hrng, k.youtube_median, 1.1) as u64;
-                // Split the day's watching into a few progressive flows.
-                let n = hrng.range_u64(1, 4);
-                for _ in 0..n {
-                    let t = at(&mut hrng);
-                    out.push(record(
-                        hh.ip,
-                        Ipv4::new(208, 65, 153, hrng.range_u64(1, 250) as u8),
-                        "r4---sn-hpa7zn7s.googlevideo.com",
-                        true,
-                        t,
-                        total / n / 60,
-                        total / n,
-                        config.expose_dns,
-                    ));
-                }
-            }
-            // Residual traffic: one aggregate record per household-day.
-            if hrng.chance(0.85) {
-                let t = at(&mut hrng);
-                let down = (dist::lognormal_median(&mut hrng, k.residual_median, 0.9) * w) as u64;
-                out.push(record(
-                    hh.ip,
-                    Ipv4::new(203, 0, 113, hrng.range_u64(1, 250) as u8),
-                    "cdn.example.net",
-                    true,
-                    t,
-                    down / 10,
+                    down / 8,
                     down,
                     config.expose_dns,
                 ));
             }
         }
+        if skydrive && hrng.chance(0.5 * w) {
+            let boost = if day >= SKYDRIVE_JUMP_DAY { 4.0 } else { 1.0 };
+            let t = at(hrng);
+            let down = (dist::lognormal_median(hrng, 900_000.0, 1.4) * boost) as u64;
+            emit(record(
+                hh.ip,
+                Ipv4::new(134, 170, 20, hrng.range_u64(1, 250) as u8),
+                "duc281.livefilestore.com",
+                true,
+                t,
+                down / 6,
+                down,
+                config.expose_dns,
+            ));
+        }
+        if gdrive_adopter && day >= gdrive_day && hrng.chance(0.6 * w) {
+            let t = at(hrng);
+            let down = dist::lognormal_median(hrng, 1_500_000.0, 1.4) as u64;
+            emit(record(
+                hh.ip,
+                Ipv4::new(74, 125, 30, hrng.range_u64(1, 250) as u8),
+                "drive.google.com",
+                true,
+                t,
+                down / 5,
+                down,
+                config.expose_dns,
+            ));
+        }
+        if other && hrng.chance(0.4 * w) {
+            let t = at(hrng);
+            let down = dist::lognormal_median(hrng, 600_000.0, 1.3) as u64;
+            let name = *hrng.pick(&["api.sugarsync.com", "upload.box.com", "fs-1.one.ubuntu.com"]);
+            emit(record(
+                hh.ip,
+                Ipv4::new(64, 30, 128, hrng.range_u64(1, 250) as u8),
+                name,
+                true,
+                t,
+                down / 6,
+                down,
+                config.expose_dns,
+            ));
+        }
+        if youtube && hrng.chance(0.75 * w) {
+            let total = dist::lognormal_median(hrng, k.youtube_median, 1.1) as u64;
+            // Split the day's watching into a few progressive flows.
+            let n = hrng.range_u64(1, 4);
+            for _ in 0..n {
+                let t = at(hrng);
+                emit(record(
+                    hh.ip,
+                    Ipv4::new(208, 65, 153, hrng.range_u64(1, 250) as u8),
+                    "r4---sn-hpa7zn7s.googlevideo.com",
+                    true,
+                    t,
+                    total / n / 60,
+                    total / n,
+                    config.expose_dns,
+                ));
+            }
+        }
+        // Residual traffic: one aggregate record per household-day.
+        if hrng.chance(0.85) {
+            let t = at(hrng);
+            let down = (dist::lognormal_median(hrng, k.residual_median, 0.9) * w) as u64;
+            emit(record(
+                hh.ip,
+                Ipv4::new(203, 0, 113, hrng.range_u64(1, 250) as u8),
+                "cdn.example.net",
+                true,
+                t,
+                down / 10,
+                down,
+                config.expose_dns,
+            ));
+        }
     }
-    out
 }
 
 #[cfg(test)]

@@ -9,8 +9,8 @@
 //! `HashMap` instance draws its own `RandomState`.
 //!
 //! (`fault_identity.rs` separately pins the absolute digests against the
-//! pre-fault baseline; together the two tests say "unchanged, and for the
-//! reproducible reason".)
+//! per-household-stream baseline; together the two tests say "unchanged,
+//! and for the reproducible reason".)
 
 use dropbox::client::ClientVersion;
 use workload::{simulate_vantage, FaultPlan, SimOutput, VantageConfig, VantageKind};

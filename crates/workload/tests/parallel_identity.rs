@@ -1,17 +1,21 @@
 //! Serial-vs-parallel byte-identity: the determinism contract of
-//! `simcore::par` (DESIGN.md §7), pinned end-to-end.
+//! `simcore::par` and the household sub-shard decomposition
+//! (DESIGN.md §7), pinned end-to-end.
 //!
-//! A `--jobs N` run must produce the same bytes as the serial run for
-//! every artifact. This test compares the serialised JSONL flow logs of
-//! every shard of a truncated paper plan — byte for byte — across worker
-//! counts 1, 2 and 4, both fault-free and under an active fault plan
-//! (fault injection draws from per-shard streams too, so it must be just
-//! as schedule-independent).
+//! A `--jobs N --hh-shards K` run must produce the same bytes as the
+//! strictly serial, unsharded run for every artifact. These tests compare
+//! the serialised JSONL flow logs of every capture of a truncated paper
+//! plan — byte for byte — across worker counts up to 16 and household
+//! sub-shard counts up to 16, both fault-free and under an active fault
+//! plan (fault injection draws from per-household streams too, so it must
+//! be just as schedule-independent). A deterministic property test then
+//! re-checks the whole (jobs × K) grid under randomised seeds and fault
+//! plans.
 
 use workload::driver::SimOutput;
 use workload::{simulate_shards, FaultPlan, ShardPlan};
 
-/// The canonical on-disk form of one shard's output: exactly what
+/// The canonical on-disk form of one capture's output: exactly what
 /// `repro --export-traces` writes (minus client anonymisation, which is
 /// itself deterministic).
 fn jsonl(out: &SimOutput) -> Vec<u8> {
@@ -20,18 +24,35 @@ fn jsonl(out: &SimOutput) -> Vec<u8> {
     buf
 }
 
+/// FNV-1a over a byte string (for compact digest comparison in the
+/// property test's failure messages).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
 fn assert_byte_identical(faults: &FaultPlan, what: &str) {
-    let plan = ShardPlan::paper().truncated(4);
     let scale = 0.015;
     let seed = 2012;
-    let serial = simulate_shards(&plan, scale, seed, faults, 1);
+    // The unsharded serial run is the canonical baseline: one household
+    // range per capture, one worker.
+    let base_plan = ShardPlan::paper().truncated(4);
+    let serial = simulate_shards(&base_plan.with_sub_shards(1), scale, seed, faults, 1);
     assert_eq!(serial.len(), 5);
     let serial_bytes: Vec<Vec<u8>> = serial.iter().map(jsonl).collect();
     assert!(
         serial_bytes.iter().any(|b| !b.is_empty()),
         "{what}: degenerate run, nothing to compare"
     );
-    for jobs in [2, 4] {
+    // Sweep jobs at the default sub-shard count, and the sub-shard count
+    // at a fixed parallel jobs value; every cell must match the baseline.
+    let grid: &[(usize, usize)] = &[(16, 1), (16, 2), (16, 4), (16, 8), (16, 16), (1, 8), (4, 8)];
+    for &(sub_shards, jobs) in grid {
+        let plan = base_plan.with_sub_shards(sub_shards);
         let par = simulate_shards(&plan, scale, seed, faults, jobs);
         assert_eq!(par.len(), serial.len());
         for ((a, b), bytes_a) in serial.iter().zip(&par).zip(&serial_bytes) {
@@ -39,7 +60,8 @@ fn assert_byte_identical(faults: &FaultPlan, what: &str) {
             assert_eq!(
                 *bytes_a,
                 jsonl(b),
-                "{what}: {} flow log differs between --jobs 1 and --jobs {jobs}",
+                "{what}: {} flow log differs between the serial baseline and \
+                 --jobs {jobs} --hh-shards {sub_shards}",
                 a.dataset.name
             );
             // Side channels must match too, not just the flow log.
@@ -71,4 +93,41 @@ fn parallel_runs_are_byte_identical_under_faults() {
     let faults = FaultPlan::lossy(9, 4);
     assert!(faults.is_active());
     assert_byte_identical(&faults, "faulty");
+}
+
+// The full (jobs × sub-shards) grid under randomised seeds and fault
+// plans: whatever the capture seed and whatever faults are active, every
+// schedule must serialise to the same bytes as the serial unsharded run.
+simcore::proptest! {
+    #![cases(2)]
+    #[test]
+    fn any_schedule_matches_the_serial_run(
+        seed in simcore::proptest::any_u64(),
+        fault_seed in simcore::proptest::any_u64(),
+        inject_faults in simcore::proptest::any_bool(),
+    ) {
+        let scale = 0.005;
+        let faults = if inject_faults {
+            FaultPlan::lossy(fault_seed, 2)
+        } else {
+            FaultPlan::none()
+        };
+        let base_plan = ShardPlan::paper().truncated(2);
+        let serial = simulate_shards(&base_plan.with_sub_shards(1), scale, seed, &faults, 1);
+        let baseline: Vec<u64> = serial.iter().map(|o| fnv1a(&jsonl(o))).collect();
+        for sub_shards in [1usize, 4, 16] {
+            let plan = base_plan.with_sub_shards(sub_shards);
+            for jobs in [1usize, 2, 3, 4, 8, 16] {
+                let par = simulate_shards(&plan, scale, seed, &faults, jobs);
+                let digests: Vec<u64> = par.iter().map(|o| fnv1a(&jsonl(o))).collect();
+                simcore::prop_assert_eq!(
+                    &baseline,
+                    &digests,
+                    "jobs {} / hh-shards {} diverges from serial",
+                    jobs,
+                    sub_shards
+                );
+            }
+        }
+    }
 }

@@ -39,16 +39,21 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 
 # Fault-injected smoke run: the whole reproduction pipeline must survive a
 # lossy plan (resets, retries, outages) end to end — and a parallel run of
-# the same pipeline must be byte-identical to the serial one.
+# the same pipeline (8 workers over the household sub-shards, plus an
+# unsharded run) must be byte-identical to the serial one.
 smoke_dir="$(mktemp -d)"
 par_dir="$(mktemp -d)"
-trap 'rm -rf "$smoke_dir" "$par_dir"' EXIT
+coarse_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir" "$par_dir" "$coarse_dir"' EXIT
 cargo run --release --offline -p experiments --bin repro -- \
     table2 --scale 0.01 --faults 7 --jobs 1 --out "$smoke_dir"
 test -s "$smoke_dir/table2.txt"
 cargo run --release --offline -p experiments --bin repro -- \
-    table2 --scale 0.01 --faults 7 --jobs 2 --out "$par_dir"
+    table2 --scale 0.01 --faults 7 --jobs 8 --out "$par_dir"
 diff -r "$smoke_dir" "$par_dir"
+cargo run --release --offline -p experiments --bin repro -- \
+    table2 --scale 0.01 --faults 7 --jobs 8 --hh-shards 1 --out "$coarse_dir"
+diff -r "$smoke_dir" "$coarse_dir"
 
 # Fault-substrate benchmark (writes crates/bench/BENCH_faults.json).
 cargo bench --offline -p bench --bench faults
