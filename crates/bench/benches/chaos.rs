@@ -1,0 +1,68 @@
+//! Chaos-soak throughput: scenarios per second through the audited
+//! driver + convergence oracle (the `repro --chaos` inner loop), and the
+//! oracle pass alone over a prebuilt ledger.
+
+use bench::{Harness, Throughput};
+use workload::{simulate_vantage_audited, FaultPlan, OutageKnobs, VantageConfig, VantageKind};
+
+fn soak_config() -> VantageConfig {
+    let mut config = VantageConfig::paper(VantageKind::Home1, 0.006);
+    config.days = 5;
+    config
+}
+
+/// One full scenario: audited capture under a chaos plan, then the
+/// oracle sweep — what the soak harness does per seed.
+fn run_scenario(config: &VantageConfig, seed: u64) -> usize {
+    let faults = FaultPlan::chaos(seed, config.days, &OutageKnobs::default());
+    let (_, audit) = simulate_vantage_audited(
+        config,
+        dropbox::client::ClientVersion::V1_2_52,
+        2012,
+        &faults,
+    );
+    workload::oracle::check(&audit).len()
+}
+
+fn bench_soak(c: &mut Harness) {
+    const SEEDS: u64 = 4;
+    let config = soak_config();
+    let mut g = c.group("chaos_soak");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(SEEDS));
+    g.bench_function("scenarios", |b| {
+        b.iter(|| {
+            let mut violations = 0usize;
+            for seed in 1..=SEEDS {
+                violations += run_scenario(std::hint::black_box(&config), seed);
+            }
+            assert_eq!(violations, 0, "soak bench must converge");
+            violations
+        })
+    });
+    g.finish();
+}
+
+fn bench_oracle(c: &mut Harness) {
+    let config = soak_config();
+    let faults = FaultPlan::chaos(1, config.days, &OutageKnobs::default());
+    let (_, audit) = simulate_vantage_audited(
+        &config,
+        dropbox::client::ClientVersion::V1_2_52,
+        2012,
+        &faults,
+    );
+    let mut g = c.group("oracle");
+    g.throughput(Throughput::Elements(audit.commit_count()));
+    g.bench_function("check_commits", |b| {
+        b.iter(|| workload::oracle::check(std::hint::black_box(&audit)).len())
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = Harness::new("chaos");
+    bench_soak(&mut c);
+    bench_oracle(&mut c);
+    c.finish().expect("write benchmark results");
+}

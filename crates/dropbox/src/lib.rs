@@ -38,6 +38,7 @@ pub mod metadata;
 pub mod notification;
 pub mod protocol;
 pub mod server;
+pub mod session;
 pub mod storage;
 pub mod web;
 

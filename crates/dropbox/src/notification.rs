@@ -131,12 +131,59 @@ pub fn notification_flow(
     }
 }
 
+/// A failed notification reconnect probe during a server-side outage: the
+/// client opens a connection, writes one long-poll request, and the dead
+/// plane never answers — the probe dies by client RST after a short
+/// patience window. Fleet-wide, the probes (and the successful reconnects
+/// that follow the outage end) are the reconnect-storm signature the
+/// chaos experiments measure.
+pub fn reconnect_probe_flow(
+    dns: &DnsDirectory,
+    host: HostInt,
+    namespaces: &[NamespaceId],
+    rng: &mut Rng,
+) -> FlowSpec {
+    let name = dns.notify_name(rng);
+    let ns_list: Vec<u64> = namespaces.iter().map(|n| n.0).collect();
+    let req_size = 310 + 18 * ns_list.len() as u32;
+    let marker = AppMarker::NotifyRequest {
+        host: name.clone(),
+        host_int: host.0,
+        namespaces: ns_list,
+    };
+    let messages = vec![Message {
+        dir: Direction::Up,
+        delay: SimDuration::from_millis(rng.range_u64(5, 50)),
+        writes: vec![Write::marked(req_size, marker)],
+    }];
+    FlowSpec {
+        server_name: name,
+        port: ServerRole::Notification.port(),
+        dialogue: Dialogue::new(messages).with_close(CloseMode::ClientRst {
+            delay: SimDuration::from_millis(rng.range_u64(800, 3_000)),
+        }),
+        truth: FlowTruth::Notification,
+        faults: None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn dns() -> DnsDirectory {
         DnsDirectory::new()
+    }
+
+    #[test]
+    fn reconnect_probe_is_a_short_unanswered_rst_flow() {
+        let mut rng = Rng::new(8);
+        let f = reconnect_probe_flow(&dns(), HostInt(3), &[NamespaceId(9)], &mut rng);
+        assert!(f.server_name.starts_with("notify"));
+        assert_eq!(f.port, 80);
+        assert_eq!(f.dialogue.messages.len(), 1, "one request, no response");
+        assert_eq!(f.dialogue.messages[0].dir, Direction::Up);
+        assert!(matches!(f.dialogue.close, CloseMode::ClientRst { .. }));
     }
 
     #[test]

@@ -1,0 +1,507 @@
+//! The client's degraded-mode session state machine (DESIGN.md §9).
+//!
+//! A healthy client keeps one long-poll notification connection open for
+//! its whole session. Under control-plane faults it degrades gracefully
+//! instead of going silent:
+//!
+//! * **Connected → Polling** — when the notification plane goes down the
+//!   long-poll fragment dies ([`crate::notification::SessionEnd::Aborted`])
+//!   and the client falls back to *jittered periodic polling* of the
+//!   metadata plane, so changes still propagate (late) while pushes are
+//!   unavailable.
+//! * **Polling → Reconnecting → Connected** — in parallel with the polls
+//!   the client probes the notification plane with capped exponential
+//!   backoff and deterministic jitter ([`crate::client::RetryPolicy`]).
+//!   The first probe landing after the outage end succeeds, so a
+//!   fleet-wide outage end produces a measurable *reconnect storm*: every
+//!   affected device reconnects within one backoff cap of the recovery.
+//! * **Offline queueing** — while the metadata plane refuses commits,
+//!   local changes accumulate in a bounded [`OfflineQueue`]; edits that
+//!   supersede an already-queued version of the same chunk coalesce (only
+//!   the final version is ever uploaded), and at capacity the oldest
+//!   batches merge so the queue length stays bounded.
+//!
+//! [`plan_session`] is a *pure planner*: given the session bounds, the
+//! fault plan, and the device's RNG stream it returns the full phase
+//! timeline. It consumes **no randomness** when no notification outage
+//! overlaps the session, which keeps fault-free runs byte-identical.
+
+use crate::client::{ChunkWork, RetryPolicy};
+use crate::content::ChunkId;
+use crate::notification::SessionEnd;
+use simcore::faults::FaultPlan;
+use simcore::{Rng, SimDuration, SimTime};
+
+/// Tunables of the degraded-mode state machine.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SessionPolicy {
+    /// Nominal gap between fallback metadata polls while the notification
+    /// plane is down.
+    pub poll_period: SimDuration,
+    /// Relative jitter on the poll gap (`±poll_jitter`), de-synchronising
+    /// the fleet's fallback polls.
+    pub poll_jitter: f64,
+    /// Backoff schedule for notification reconnect probes.
+    pub retry: RetryPolicy,
+}
+
+impl Default for SessionPolicy {
+    fn default() -> Self {
+        SessionPolicy {
+            poll_period: SimDuration::from_secs(90),
+            poll_jitter: 0.35,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// What the client is doing during one [`Phase`] of a session.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PhaseKind {
+    /// Healthy long-poll notification connection; `end` says how the
+    /// fragment closes (`Aborted` when cut by a notification outage).
+    Notify {
+        /// Close mode of this notification fragment.
+        end: SessionEnd,
+    },
+    /// Notification plane down: jittered periodic metadata polls at the
+    /// given instants, while reconnect probes back off in parallel.
+    PollFallback {
+        /// Instants of the fallback polls, strictly inside the phase.
+        polls: Vec<SimTime>,
+    },
+}
+
+/// One contiguous `[start, end)` slice of a session in a single state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Phase {
+    /// Phase start (inclusive).
+    pub start: SimTime,
+    /// Phase end (exclusive).
+    pub end: SimTime,
+    /// What the client does during the phase.
+    pub kind: PhaseKind,
+}
+
+/// The planned timeline of one device session under a fault plan.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SessionPlan {
+    /// Contiguous phases covering `[session start, session end)` exactly.
+    pub phases: Vec<Phase>,
+    /// Failed notification reconnect probes (during outages).
+    pub reconnect_attempts: Vec<SimTime>,
+    /// Successful re-establishments of the notification connection — the
+    /// reconnect-storm signal when aggregated across the fleet.
+    pub reconnects: Vec<SimTime>,
+}
+
+impl SessionPlan {
+    /// Whether the session never left the healthy connected state.
+    pub fn clean(&self) -> bool {
+        self.phases.len() <= 1 && self.reconnects.is_empty() && self.reconnect_attempts.is_empty()
+    }
+}
+
+/// Plan the `[start, end)` session of one device against `faults`.
+///
+/// Pure and deterministic: the same inputs (including the RNG state)
+/// always produce the same plan. Draws randomness **only** when a
+/// notification outage overlaps the session; a clean session returns a
+/// single `Notify` phase without touching `rng`.
+pub fn plan_session(
+    start: SimTime,
+    end: SimTime,
+    faults: &FaultPlan,
+    policy: &SessionPolicy,
+    rng: &mut Rng,
+) -> SessionPlan {
+    let mut plan = SessionPlan::default();
+    let mut t = start;
+    while t < end {
+        if faults.notify_available(t) {
+            match faults.next_notify_outage_after(t) {
+                Some((lo, _)) if lo < end => {
+                    // Healthy until the outage cuts the long poll.
+                    plan.phases.push(Phase {
+                        start: t,
+                        end: lo,
+                        kind: PhaseKind::Notify {
+                            end: SessionEnd::Aborted,
+                        },
+                    });
+                    t = lo;
+                }
+                _ => {
+                    plan.phases.push(Phase {
+                        start: t,
+                        end,
+                        kind: PhaseKind::Notify {
+                            end: SessionEnd::ClientShutdown,
+                        },
+                    });
+                    t = end;
+                }
+            }
+        } else {
+            // Disconnected: probe with capped exponential backoff until a
+            // probe lands outside the outage (or the session ends first).
+            let mut attempt = 0u32;
+            let mut probe = t;
+            let mut reconnected = None;
+            loop {
+                probe = probe + policy.retry.backoff(attempt, rng);
+                attempt += 1;
+                if probe >= end {
+                    break;
+                }
+                if faults.notify_available(probe) {
+                    reconnected = Some(probe);
+                    break;
+                }
+                plan.reconnect_attempts.push(probe);
+            }
+            let until = reconnected.unwrap_or(end);
+            // Jittered periodic polling keeps metadata flowing meanwhile.
+            let mut polls = Vec::new();
+            let mut p = t;
+            loop {
+                let jitter = 1.0 + policy.poll_jitter * (2.0 * rng.f64() - 1.0);
+                p = p + policy.poll_period.mul_f64(jitter.max(0.1));
+                if p >= until {
+                    break;
+                }
+                polls.push(p);
+            }
+            plan.phases.push(Phase {
+                start: t,
+                end: until,
+                kind: PhaseKind::PollFallback { polls },
+            });
+            if let Some(r) = reconnected {
+                plan.reconnects.push(r);
+            }
+            t = until;
+        }
+    }
+    plan
+}
+
+/// One batch of local changes waiting out a metadata outage.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueuedChange {
+    /// When the change was made locally.
+    pub queued_at: SimTime,
+    /// Caller-chosen identifiers of the commits this batch carries (merged
+    /// batches accumulate the tags of everything they absorbed).
+    pub tags: Vec<u64>,
+    /// Chunks still needing upload once the metadata plane returns.
+    pub chunks: Vec<ChunkWork>,
+}
+
+/// Bounded queue of local changes made while the metadata plane is down.
+///
+/// Two mechanisms keep it bounded:
+///
+/// * **Coalescing of superseded edits** — pushing a change that replaces
+///   chunks already queued (the same file edited again offline) removes
+///   the stale versions; only the final version is uploaded at flush.
+/// * **Capacity merging** — beyond `cap` batches, the two oldest batches
+///   merge into one, so the queue holds at most `cap` entries no matter
+///   how long the outage lasts (total chunk count still reflects every
+///   distinct live change).
+#[derive(Clone, Debug)]
+pub struct OfflineQueue {
+    cap: usize,
+    entries: Vec<QueuedChange>,
+    superseded_ids: Vec<ChunkId>,
+    coalesced_tags: Vec<u64>,
+    merges: u64,
+}
+
+impl OfflineQueue {
+    /// An empty queue holding at most `cap` batches (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        OfflineQueue {
+            cap: cap.max(1),
+            entries: Vec::new(),
+            superseded_ids: Vec::new(),
+            coalesced_tags: Vec::new(),
+            merges: 0,
+        }
+    }
+
+    /// Queue the chunks of one local change made at `at`, identified by
+    /// `tag` (e.g. a commit index for audit bookkeeping). `superseded`
+    /// names chunk versions this change replaces: any of them still
+    /// queued are dropped (their upload would be wasted bytes).
+    pub fn push(&mut self, at: SimTime, tag: u64, chunks: Vec<ChunkWork>, superseded: &[ChunkId]) {
+        if !superseded.is_empty() {
+            for entry in &mut self.entries {
+                let before = entry.chunks.len();
+                entry.chunks.retain(|c| {
+                    let keep = !superseded.contains(&c.id);
+                    if !keep {
+                        self.superseded_ids.push(c.id);
+                    }
+                    keep
+                });
+                debug_assert!(before >= entry.chunks.len());
+            }
+            // Batches emptied by coalescing vanish, but their tags are
+            // remembered: those commits are now fully represented by the
+            // superseding change and need no flush of their own.
+            let coalesced = &mut self.coalesced_tags;
+            self.entries.retain(|e| {
+                if e.chunks.is_empty() {
+                    coalesced.extend(e.tags.iter().copied());
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        self.entries.push(QueuedChange {
+            queued_at: at,
+            tags: vec![tag],
+            chunks,
+        });
+        while self.entries.len() > self.cap {
+            // Merge the two oldest batches; the earlier timestamp wins so
+            // flush order (and sync-lag accounting) stays faithful.
+            let absorbed = self.entries.remove(1);
+            self.entries[0].tags.extend(absorbed.tags);
+            self.entries[0].chunks.extend(absorbed.chunks);
+            self.merges += 1;
+        }
+    }
+
+    /// Drain every queued batch in arrival order, emptying the queue.
+    pub fn drain(&mut self) -> Vec<QueuedChange> {
+        std::mem::take(&mut self.entries)
+    }
+
+    /// Queued batches (≤ the capacity bound).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total chunks across all queued batches.
+    pub fn queued_chunks(&self) -> usize {
+        self.entries.iter().map(|e| e.chunks.len()).sum()
+    }
+
+    /// Chunk versions dropped because a later edit superseded them.
+    pub fn superseded(&self) -> u64 {
+        self.superseded_ids.len() as u64
+    }
+
+    /// The dropped chunk ids themselves (for durability excusal: a
+    /// superseded chunk is *expected* never to reach the store).
+    pub fn superseded_ids(&self) -> &[ChunkId] {
+        &self.superseded_ids
+    }
+
+    /// Tags of batches that vanished entirely because every chunk they
+    /// carried was superseded by a later queued change.
+    pub fn coalesced_tags(&self) -> &[u64] {
+        &self.coalesced_tags
+    }
+
+    /// Forced oldest-batch merges performed to respect the capacity.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::faults::OutageKnobs;
+
+    fn chunk(id: u64, bytes: u64) -> ChunkWork {
+        ChunkWork {
+            id: ChunkId(id),
+            wire_bytes: bytes,
+            raw_bytes: bytes,
+        }
+    }
+
+    fn chaos() -> FaultPlan {
+        FaultPlan::chaos(5, 42, &OutageKnobs::default())
+    }
+
+    #[test]
+    fn clean_session_is_one_phase_and_draws_nothing() {
+        let faults = FaultPlan::none();
+        let mut rng = Rng::new(7);
+        let before = rng.clone().next_u64();
+        let start = SimTime::from_secs(100);
+        let end = SimTime::from_secs(4_000);
+        let plan = plan_session(start, end, &faults, &SessionPolicy::default(), &mut rng);
+        assert_eq!(rng.next_u64(), before, "clean planning must not draw");
+        assert!(plan.clean());
+        assert_eq!(plan.phases.len(), 1);
+        assert_eq!(plan.phases[0].start, start);
+        assert_eq!(plan.phases[0].end, end);
+        assert_eq!(
+            plan.phases[0].kind,
+            PhaseKind::Notify {
+                end: SessionEnd::ClientShutdown
+            }
+        );
+    }
+
+    #[test]
+    fn outage_mid_session_degrades_and_reconnects() {
+        let faults = chaos();
+        let (lo, hi) = faults.notify_outages[0];
+        // A session straddling the first notification outage.
+        let start = SimTime::from_micros(lo.micros().saturating_sub(3_600_000_000));
+        let end = hi + SimDuration::from_hours(2);
+        let policy = SessionPolicy::default();
+        let mut rng = Rng::new(9);
+        let plan = plan_session(start, end, &faults, &policy, &mut rng);
+        assert!(!plan.clean());
+        assert!(plan.phases.len() >= 3, "{:?}", plan.phases);
+        // Phases tile the session exactly.
+        assert_eq!(plan.phases[0].start, start);
+        assert_eq!(plan.phases.last().unwrap().end, end);
+        for w in plan.phases.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "phases must be contiguous");
+        }
+        // The first phase is a healthy fragment aborted at the outage.
+        assert_eq!(plan.phases[0].end, lo);
+        assert_eq!(
+            plan.phases[0].kind,
+            PhaseKind::Notify {
+                end: SessionEnd::Aborted
+            }
+        );
+        // The fallback phase polls strictly inside its bounds.
+        let fallback = &plan.phases[1];
+        match &fallback.kind {
+            PhaseKind::PollFallback { polls } => {
+                for &p in polls {
+                    assert!(fallback.start < p && p < fallback.end);
+                }
+                assert!(!polls.is_empty(), "long outage must poll");
+            }
+            other => panic!("expected fallback, got {other:?}"),
+        }
+        // Reconnect lands after the outage end, within one backoff cap.
+        assert_eq!(plan.reconnects.len(), 1);
+        let r = plan.reconnects[0];
+        assert!(faults.notify_available(r));
+        assert!(r >= hi || faults.notify_available(r));
+        assert!(
+            r <= hi + policy.retry.max_backoff,
+            "reconnect {r:?} too far past outage end {hi:?}"
+        );
+        // Every failed probe fell inside the outage.
+        for &a in &plan.reconnect_attempts {
+            assert!(!faults.notify_available(a));
+        }
+    }
+
+    #[test]
+    fn planning_is_deterministic() {
+        let faults = chaos();
+        let (lo, hi) = faults.notify_outages[0];
+        let start = SimTime::from_micros(lo.micros().saturating_sub(600_000_000));
+        let end = hi + SimDuration::from_hours(1);
+        let a = plan_session(
+            start,
+            end,
+            &faults,
+            &SessionPolicy::default(),
+            &mut Rng::new(4),
+        );
+        let b = plan_session(
+            start,
+            end,
+            &faults,
+            &SessionPolicy::default(),
+            &mut Rng::new(4),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fleet_reconnects_cluster_after_outage_end() {
+        // Many devices with distinct RNG streams, all covering the same
+        // outage: their reconnects must all land in (hi, hi + cap], the
+        // storm signature.
+        let faults = chaos();
+        let (lo, hi) = faults.notify_outages[0];
+        let start = SimTime::from_micros(lo.micros().saturating_sub(1_000_000));
+        let end = hi + SimDuration::from_hours(3);
+        let policy = SessionPolicy::default();
+        let mut storm = Vec::new();
+        for dev in 0..40u64 {
+            let mut rng = Rng::new(777).fork(dev);
+            let plan = plan_session(start, end, &faults, &policy, &mut rng);
+            storm.extend(plan.reconnects.iter().copied());
+        }
+        assert!(storm.len() >= 35, "most devices reconnect: {}", storm.len());
+        for &r in &storm {
+            assert!(r > lo && r <= hi + policy.retry.max_backoff);
+        }
+        // Jitter spreads them: not all in the same instant.
+        let distinct: std::collections::BTreeSet<_> = storm.iter().collect();
+        assert!(distinct.len() > 10);
+    }
+
+    #[test]
+    fn offline_queue_coalesces_superseded_edits() {
+        let mut q = OfflineQueue::new(8);
+        q.push(
+            SimTime::from_secs(1),
+            0,
+            vec![chunk(1, 100), chunk(2, 100)],
+            &[],
+        );
+        // Editing chunk 1 again supersedes the queued version.
+        q.push(SimTime::from_secs(2), 1, vec![chunk(3, 120)], &[ChunkId(1)]);
+        assert_eq!(q.superseded_ids(), &[ChunkId(1)]);
+        assert_eq!(q.superseded(), 1);
+        assert_eq!(q.queued_chunks(), 2, "chunk 1 dropped, 2 and 3 remain");
+        let drained = q.drain();
+        assert!(q.is_empty());
+        let ids: Vec<u64> = drained
+            .iter()
+            .flat_map(|e| e.chunks.iter().map(|c| c.id.0))
+            .collect();
+        assert_eq!(ids, vec![2, 3]);
+    }
+
+    #[test]
+    fn offline_queue_merges_at_capacity() {
+        let mut q = OfflineQueue::new(3);
+        for i in 0..10u64 {
+            q.push(SimTime::from_secs(i), i, vec![chunk(i, 50)], &[]);
+        }
+        assert_eq!(q.len(), 3, "bounded by capacity");
+        assert_eq!(q.queued_chunks(), 10, "no live chunk is lost by merging");
+        assert_eq!(q.merges(), 7);
+        let drained = q.drain();
+        // The merged head keeps the earliest timestamp.
+        assert_eq!(drained[0].queued_at, SimTime::from_secs(0));
+        assert!(drained[0].chunks.len() >= 8);
+        assert!(drained[0].tags.len() >= 8, "merged batch keeps every tag");
+    }
+
+    #[test]
+    fn fully_superseded_batches_disappear() {
+        let mut q = OfflineQueue::new(4);
+        q.push(SimTime::from_secs(1), 7, vec![chunk(1, 10)], &[]);
+        q.push(SimTime::from_secs(2), 8, vec![chunk(2, 10)], &[ChunkId(1)]);
+        assert_eq!(q.len(), 1, "first batch emptied and removed");
+        assert_eq!(q.queued_chunks(), 1);
+        assert_eq!(q.coalesced_tags(), &[7], "the vanished commit is named");
+    }
+}

@@ -90,6 +90,12 @@ impl ChunkStore {
         self.read().stats
     }
 
+    /// Snapshot of every chunk id currently held — the durability ledger
+    /// the chaos-soak convergence oracle checks committed chunks against.
+    pub fn ids(&self) -> Vec<ChunkId> {
+        self.read().chunks.keys().copied().collect()
+    }
+
     fn read(&self) -> std::sync::RwLockReadGuard<'_, Inner> {
         // simlint: allow(panic-path) — lock poisoning means another thread already panicked; propagating would mask the original failure
         self.inner.read().expect("chunk store lock poisoned")

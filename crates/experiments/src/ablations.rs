@@ -325,6 +325,98 @@ pub fn fault_ablation() -> Report {
     .with_csv("ablation_faults.csv", t.csv())
 }
 
+/// Sweep the control-plane outage knobs (`--outage-gap-days` /
+/// `--outage-secs`): how outage frequency and duration move the degraded-
+/// mode counters and the sync-lag tail, with the convergence oracle
+/// checked at every setting.
+pub fn outage_ablation() -> Report {
+    use simcore::stats::Ecdf;
+    use workload::{simulate_vantage_audited, FaultPlan, OutageKnobs, VantageConfig, VantageKind};
+
+    let mut config = VantageConfig::paper(VantageKind::Home1, 0.01);
+    config.days = 7;
+    let run = |plan: &FaultPlan| {
+        simulate_vantage_audited(&config, dropbox::client::ClientVersion::V1_2_52, 42, plan)
+    };
+
+    let mut t = TextTable::new(vec![
+        "outage knobs",
+        "deferred commits",
+        "failed probes",
+        "reconnects",
+        "fallback polls",
+        "lag p50",
+        "lag p90",
+        "oracle",
+    ]);
+    let sweeps: &[(&str, Option<OutageKnobs>)] = &[
+        ("clean", None),
+        ("1 per ~2d / med 180s", Some(OutageKnobs::default())),
+        (
+            "1 per ~1d / med 600s",
+            Some(OutageKnobs {
+                gap_days: 1.0,
+                median_secs: 600.0,
+                max_secs: 12_000.0,
+            }),
+        ),
+        (
+            "2 per day / med 1800s",
+            Some(OutageKnobs {
+                gap_days: 0.5,
+                median_secs: 1_800.0,
+                max_secs: 36_000.0,
+            }),
+        ),
+    ];
+    for (label, knobs) in sweeps {
+        let plan = match knobs {
+            Some(k) => FaultPlan::chaos(7, config.days, k),
+            None => FaultPlan::none(),
+        };
+        let (_, audit) = run(&plan);
+        let violations = workload::oracle::check(&audit).len();
+        let lags = Ecdf::new(audit.sync_lags_secs());
+        let q = |p: f64| {
+            lags.quantile(p)
+                .map(|v| format!("{v:.0}s"))
+                .unwrap_or_else(|| "-".into())
+        };
+        t.row(vec![
+            (*label).to_string(),
+            audit
+                .commits()
+                .iter()
+                .filter(|c| c.deferred)
+                .count()
+                .to_string(),
+            audit.reconnect_attempt_events().len().to_string(),
+            audit.reconnect_events().len().to_string(),
+            audit.fallback_poll_count().to_string(),
+            q(0.5),
+            q(0.9),
+            if violations == 0 {
+                "pass".into()
+            } else {
+                format!("{violations} VIOLATIONS")
+            },
+        ]);
+    }
+    let body = format!(
+        "{}\nlonger and more frequent outages push more commits through the\n\
+         offline queue and fatten the sync-lag tail (the p90 climbs with the\n\
+         outage duration), while the reconnect/poll machinery keeps every\n\
+         setting convergent — graceful degradation, not failure.\n",
+        t.render()
+    );
+    Report::new(
+        "ablation_outage",
+        "Outage-knob ablation (control-plane fault plans, oracle-checked)",
+        body,
+    )
+    .with_csv("ablation_outage.csv", t.csv())
+}
+
 /// All ablation reports.
 pub fn all() -> Vec<Report> {
     vec![
@@ -332,6 +424,7 @@ pub fn all() -> Vec<Report> {
         loss_ablation(),
         batch_limit_ablation(),
         fault_ablation(),
+        outage_ablation(),
     ]
 }
 
@@ -398,6 +491,22 @@ mod tests {
         let aborts = grab("aborted transfers");
         assert_eq!(aborts[0], 0);
         assert!(aborts[1] > 0, "lossy run must abort transfers: {aborts:?}");
+    }
+
+    #[test]
+    fn outage_ablation_is_oracle_clean_and_degrades_gracefully() {
+        let rep = outage_ablation();
+        assert!(!rep.body.contains("VIOLATIONS"), "{}", rep.body);
+        // The clean row has no degraded-mode activity; the heaviest outage
+        // setting must show offline queueing.
+        let csv = &rep.artifacts[0].1;
+        let deferred: Vec<u64> = csv
+            .lines()
+            .skip(1)
+            .filter_map(|l| l.split(',').nth(1)?.parse().ok())
+            .collect();
+        assert_eq!(deferred[0], 0, "clean row defers: {csv}");
+        assert!(deferred[3] > 0, "heavy outages must defer commits: {csv}");
     }
 
     #[test]

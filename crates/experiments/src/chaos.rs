@@ -1,0 +1,297 @@
+//! The chaos-soak harness: many seeded control-plane fault scenarios,
+//! each checked against the sync-convergence oracle after quiescence.
+//!
+//! One scenario = one audited Home 1 capture under
+//! [`FaultPlan::chaos`]: notification outages force poll fallback and
+//! reconnect storms, metadata outages force offline queueing with
+//! coalescing, degraded windows inject 5xx retries — and the driver
+//! journals ground truth into a [`workload::SyncAudit`] as it renders.
+//! After the run the read-only oracle ([`workload::oracle::check`])
+//! verifies the DESIGN.md §9 invariants: reachability, no double-apply,
+//! durability, queue drain, causality. A violation report carries the
+//! scenario seed and the per-commit event trace needed to replay it
+//! (`repro --chaos N` with the same knobs is a full reproduction).
+//!
+//! The soak also surfaces the emergent behaviour the paper could only
+//! observe from the outside (§4.2's long-lived notification
+//! connections): the fleet-wide reconnect storm after an outage ends,
+//! and how far sync lag degrades versus a clean run.
+
+use crate::report::{cdf_summary, cdfs_csv, Report, TextTable};
+use simcore::stats::Ecdf;
+use simcore::{par, SimTime};
+use workload::{
+    oracle, simulate_vantage_audited, FaultPlan, OutageKnobs, VantageConfig, VantageKind,
+};
+
+/// Scope and knobs of one soak run. The scenario shape is fixed (a
+/// 7-day Home 1 capture at a small population scale) so soak results are
+/// comparable across knob settings; only the fault plans vary.
+pub struct SoakConfig {
+    /// Number of scenarios; scenario `i` uses fault seed `base_seed + i`.
+    pub seeds: u64,
+    /// First fault seed.
+    pub base_seed: u64,
+    /// Population scale of each scenario's capture.
+    pub scale: f64,
+    /// Capture length in days (also the fault-plan horizon).
+    pub days: u32,
+    /// Storage-outage statistics (the `--outage-gap-days` /
+    /// `--outage-secs` flags).
+    pub knobs: OutageKnobs,
+}
+
+impl Default for SoakConfig {
+    fn default() -> Self {
+        SoakConfig {
+            seeds: 32,
+            base_seed: 1,
+            scale: 0.01,
+            days: 7,
+            knobs: OutageKnobs::default(),
+        }
+    }
+}
+
+/// What one scenario contributed to the soak.
+struct ScenarioOutcome {
+    seed: u64,
+    flows: usize,
+    commits: u64,
+    deferred: u64,
+    reconnect_attempts: usize,
+    reconnects: usize,
+    fallback_polls: u64,
+    sync_lags: Vec<f64>,
+    /// Rendered violations, already prefixed with the seed.
+    violations: Vec<String>,
+    /// `(time, attempts, reconnects)` events for the storm series.
+    storm: Vec<(SimTime, bool)>,
+}
+
+fn run_scenario(cfg: &SoakConfig, seed: u64) -> ScenarioOutcome {
+    let mut config = VantageConfig::paper(VantageKind::Home1, cfg.scale);
+    config.days = cfg.days;
+    let faults = FaultPlan::chaos(seed, cfg.days, &cfg.knobs);
+    let (out, audit) = simulate_vantage_audited(
+        &config,
+        dropbox::client::ClientVersion::V1_2_52,
+        2012,
+        &faults,
+    );
+    let violations = oracle::check(&audit)
+        .iter()
+        .map(|v| format!("seed {seed}: {}", v.render()))
+        .collect();
+    let mut storm: Vec<(SimTime, bool)> = Vec::new();
+    storm.extend(
+        audit
+            .reconnect_attempt_events()
+            .iter()
+            .map(|&(t, _)| (t, false)),
+    );
+    storm.extend(audit.reconnect_events().iter().map(|&(t, _)| (t, true)));
+    ScenarioOutcome {
+        seed,
+        flows: out.dataset.flows.len(),
+        commits: audit.commit_count(),
+        deferred: audit.commits().iter().filter(|c| c.deferred).count() as u64,
+        reconnect_attempts: audit.reconnect_attempt_events().len(),
+        reconnects: audit.reconnect_events().len(),
+        fallback_polls: audit.fallback_poll_count(),
+        sync_lags: audit.sync_lags_secs(),
+        violations,
+        storm,
+    }
+}
+
+/// Sync-lag samples of the clean (zero-fault) twin of the soak's
+/// scenario shape — the baseline the chaos CDF is compared against.
+fn clean_lags(cfg: &SoakConfig) -> Vec<f64> {
+    let mut config = VantageConfig::paper(VantageKind::Home1, cfg.scale);
+    config.days = cfg.days;
+    let (_, audit) = simulate_vantage_audited(
+        &config,
+        dropbox::client::ClientVersion::V1_2_52,
+        2012,
+        &FaultPlan::none(),
+    );
+    audit.sync_lags_secs()
+}
+
+/// Bucket the first scenario's reconnect events into 10-minute bins:
+/// the reconnect-storm time series (`chaos_reconnect_storm.csv`).
+fn storm_csv(storm: &[(SimTime, bool)]) -> String {
+    const BIN: f64 = 600.0;
+    let mut bins: std::collections::BTreeMap<u64, (u64, u64)> = std::collections::BTreeMap::new();
+    for &(t, ok) in storm {
+        let bin = (t.saturating_since(SimTime::EPOCH).as_secs_f64() / BIN) as u64;
+        let e = bins.entry(bin).or_default();
+        if ok {
+            e.1 += 1;
+        } else {
+            e.0 += 1;
+        }
+    }
+    let mut out = String::from("t_hours,failed_probes,reconnects\n");
+    for (bin, (fail, ok)) in bins {
+        out.push_str(&format!("{:.3},{fail},{ok}\n", bin as f64 * BIN / 3_600.0));
+    }
+    out
+}
+
+/// Run the soak: `cfg.seeds` scenarios on up to `jobs` workers (scenario
+/// order and output are independent of `jobs`), oracle-check each, and
+/// render the report. The second return is the total violation count —
+/// the harness's exit status.
+pub fn chaos_soak(cfg: &SoakConfig, jobs: usize) -> (Report, usize) {
+    let seeds: Vec<u64> = (0..cfg.seeds).map(|i| cfg.base_seed + i).collect();
+    let outcomes = par::fork_join(jobs, &seeds, |_, &seed| run_scenario(cfg, seed));
+    let baseline = clean_lags(cfg);
+
+    let mut t = TextTable::new(vec![
+        "seed",
+        "flows",
+        "commits",
+        "deferred",
+        "failed probes",
+        "reconnects",
+        "fallback polls",
+        "violations",
+    ]);
+    let mut chaos_lags = Vec::new();
+    let mut violations: Vec<String> = Vec::new();
+    for o in &outcomes {
+        t.row(vec![
+            o.seed.to_string(),
+            o.flows.to_string(),
+            o.commits.to_string(),
+            o.deferred.to_string(),
+            o.reconnect_attempts.to_string(),
+            o.reconnects.to_string(),
+            o.fallback_polls.to_string(),
+            o.violations.len().to_string(),
+        ]);
+        chaos_lags.extend_from_slice(&o.sync_lags);
+        violations.extend(o.violations.iter().cloned());
+    }
+
+    let clean_ecdf = Ecdf::new(baseline);
+    let chaos_ecdf = Ecdf::new(chaos_lags);
+    let mut body = t.render();
+    body.push('\n');
+    body.push_str(&cdf_summary(
+        "sync lag, clean (s)",
+        &clean_ecdf,
+        &[(60.0, "within a minute")],
+    ));
+    body.push_str(&cdf_summary(
+        "sync lag, chaos (s)",
+        &chaos_ecdf,
+        &[(60.0, "within a minute"), (3_600.0, "within an hour")],
+    ));
+    body.push_str(&format!(
+        "\n{} scenarios (fault seeds {}..={}), outage knobs: one per ~{} days, \
+         median {}s (cap {}s)\n",
+        cfg.seeds,
+        cfg.base_seed,
+        cfg.base_seed + cfg.seeds.saturating_sub(1),
+        cfg.knobs.gap_days,
+        cfg.knobs.median_secs,
+        cfg.knobs.max_secs,
+    ));
+    if violations.is_empty() {
+        body.push_str("convergence oracle: PASS — every scenario converged\n");
+    } else {
+        body.push_str(&format!(
+            "convergence oracle: FAIL — {} violation(s); replay with \
+             `repro --chaos` and the listed seed\n",
+            violations.len()
+        ));
+        for v in &violations {
+            body.push_str(v);
+            body.push('\n');
+        }
+    }
+
+    let storm = outcomes
+        .first()
+        .map(|o| storm_csv(&o.storm))
+        .unwrap_or_default();
+    let n = violations.len();
+    let report = Report::new(
+        "chaos_soak",
+        "Chaos soak: control-plane fault scenarios vs the convergence oracle",
+        body,
+    )
+    .with_csv("chaos_soak.csv", t.csv())
+    .with_csv("chaos_reconnect_storm.csv", storm)
+    .with_csv(
+        "chaos_sync_lag_cdf.csv",
+        cdfs_csv(&[("clean", &clean_ecdf), ("chaos", &chaos_ecdf)], 400),
+    );
+    (report, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SoakConfig {
+        SoakConfig {
+            seeds: 2,
+            scale: 0.006,
+            days: 5,
+            ..SoakConfig::default()
+        }
+    }
+
+    #[test]
+    fn tiny_soak_converges_and_sees_degraded_modes() {
+        let (rep, violations) = chaos_soak(&tiny(), 2);
+        assert_eq!(violations, 0, "{}", rep.body);
+        assert!(
+            rep.body.contains("convergence oracle: PASS"),
+            "{}",
+            rep.body
+        );
+        // The chaos plans must actually exercise the degraded modes: at
+        // least one scenario reconnects and falls back to polling.
+        let csv = &rep.artifacts[0].1;
+        let any_nonzero = |col: usize| {
+            csv.lines()
+                .skip(1)
+                .filter_map(|l| l.split(',').nth(col)?.parse::<u64>().ok())
+                .any(|v| v > 0)
+        };
+        assert!(any_nonzero(4), "no failed probes:\n{csv}");
+        assert!(any_nonzero(5), "no reconnects:\n{csv}");
+        assert!(any_nonzero(6), "no fallback polls:\n{csv}");
+        // Chaos lags the clean baseline at the tail.
+        assert!(rep.body.contains("sync lag, chaos"));
+    }
+
+    #[test]
+    fn soak_is_independent_of_worker_count() {
+        let cfg = tiny();
+        let (a, va) = chaos_soak(&cfg, 1);
+        let (b, vb) = chaos_soak(&cfg, 2);
+        assert_eq!(a.body, b.body);
+        assert_eq!(a.artifacts, b.artifacts);
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn storm_series_buckets_events() {
+        let csv = storm_csv(&[
+            (SimTime::from_secs(10), false),
+            (SimTime::from_secs(20), false),
+            (SimTime::from_secs(30), true),
+            (SimTime::from_secs(700), true),
+        ]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "t_hours,failed_probes,reconnects");
+        assert_eq!(lines[1], "0.000,2,1");
+        assert_eq!(lines[2], "0.167,0,1");
+    }
+}

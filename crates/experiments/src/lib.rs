@@ -19,7 +19,10 @@
 //!   (bundling / delayed acks / closer data-centers), all three
 //!   implemented and measured,
 //! * [`ablations`] — parameter sweeps for the design choices DESIGN.md
-//!   calls out (server initcwnd, loss rate, batch limit).
+//!   calls out (server initcwnd, loss rate, batch limit, outage knobs),
+//! * [`chaos`] — the chaos-soak harness (`repro --chaos N`): many seeded
+//!   control-plane fault scenarios, each audited by the driver and
+//!   checked against the sync-convergence oracle (DESIGN.md §9).
 //!
 //! The `repro` binary drives everything:
 //!
@@ -29,6 +32,7 @@
 //! ```
 
 pub mod ablations;
+pub mod chaos;
 pub mod chart;
 pub mod figures;
 pub mod recommendations;

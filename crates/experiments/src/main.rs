@@ -3,6 +3,7 @@
 //! ```text
 //! repro [IDS...] [--scale S] [--seed N] [--jobs N] [--hh-shards K]
 //!       [--out DIR] [--faults N] [--export-traces]
+//!       [--chaos N] [--outage-gap-days G] [--outage-secs S]
 //!
 //!   IDS     table1..table5, fig1..fig21, validation, recommendations,
 //!           or `all` (default)
@@ -20,6 +21,16 @@
 //!   --out   output directory (default results/)
 //!   --faults N        inject network/server faults from the lossy plan
 //!                     seeded with N (default: fault-free)
+//!   --chaos N         chaos-soak mode: run N seeded control-plane fault
+//!                     scenarios (a compact 7-day Home 1 capture each)
+//!                     and check the sync-convergence oracle on every one.
+//!                     Writes `chaos_soak.txt` + CSVs to --out and exits
+//!                     non-zero if any scenario violates an invariant.
+//!                     No tables/figures are generated in this mode
+//!   --outage-gap-days G  mean days between server-outage starts
+//!                     (default 2; applies to --faults and --chaos plans)
+//!   --outage-secs S   median outage duration in seconds (default 180;
+//!                     the per-outage cap scales to at least 20×S)
 //!   --export-traces   also write the anonymised flow logs (JSON-lines,
 //!                     one file per vantage point — the counterpart of the
 //!                     paper's published trace repository)
@@ -35,7 +46,7 @@ use experiments::validation;
 use std::fs;
 use std::path::PathBuf;
 use std::time::Instant;
-use workload::{FaultPlan, ShardPlan};
+use workload::{FaultPlan, OutageKnobs, ShardPlan};
 
 fn main() {
     let mut ids: Vec<String> = Vec::new();
@@ -46,6 +57,8 @@ fn main() {
     let mut out_dir = PathBuf::from("results");
     let mut export_traces = false;
     let mut fault_seed: Option<u64> = None;
+    let mut chaos_seeds: Option<u64> = None;
+    let mut knobs = OutageKnobs::default();
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -71,9 +84,33 @@ fn main() {
                         .expect("fault seed"),
                 )
             }
+            "--chaos" => {
+                chaos_seeds = Some(
+                    args.next()
+                        .expect("--chaos value")
+                        .parse()
+                        .expect("chaos seed count"),
+                )
+            }
+            "--outage-gap-days" => {
+                knobs.gap_days = args
+                    .next()
+                    .expect("--outage-gap-days value")
+                    .parse()
+                    .expect("gap days")
+            }
+            "--outage-secs" => {
+                let secs: f64 = args
+                    .next()
+                    .expect("--outage-secs value")
+                    .parse()
+                    .expect("outage secs");
+                knobs.median_secs = secs;
+                knobs.max_secs = knobs.max_secs.max(20.0 * secs);
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [IDS...] [--scale S] [--seed N] [--jobs N] [--hh-shards K] [--out DIR] [--faults N] [--export-traces]"
+                    "usage: repro [IDS...] [--scale S] [--seed N] [--jobs N] [--hh-shards K] [--out DIR] [--faults N] [--export-traces] [--chaos N] [--outage-gap-days G] [--outage-secs S]"
                 );
                 return;
             }
@@ -92,6 +129,39 @@ fn main() {
     let want = |id: &str| ids[0] == "all" || ids.iter().any(|i| i == id);
 
     fs::create_dir_all(&out_dir).expect("create output directory");
+
+    // Chaos-soak mode is its own pipeline: scenarios + oracle, no
+    // tables/figures, non-zero exit on any convergence violation.
+    if let Some(seeds) = chaos_seeds {
+        let cfg = experiments::chaos::SoakConfig {
+            seeds,
+            knobs,
+            ..experiments::chaos::SoakConfig::default()
+        };
+        let resolved_jobs = if jobs == 0 {
+            simcore::par::available_jobs()
+        } else {
+            jobs
+        };
+        eprintln!(
+            "chaos soak: {seeds} scenario(s) (scale {}, {} days each, jobs {resolved_jobs})…",
+            cfg.scale, cfg.days
+        );
+        let t0 = Instant::now();
+        let (rep, violations) = experiments::chaos::chaos_soak(&cfg, resolved_jobs);
+        eprintln!("soak finished in {:.1}s", t0.elapsed().as_secs_f64());
+        println!("{}", rep.render());
+        fs::write(out_dir.join(format!("{}.txt", rep.id)), rep.render()).expect("write report");
+        for (name, contents) in &rep.artifacts {
+            fs::write(out_dir.join(name), contents).expect("write artifact");
+        }
+        if violations > 0 {
+            eprintln!("chaos soak FAILED: {violations} convergence violation(s)");
+            std::process::exit(1);
+        }
+        eprintln!("chaos soak passed: {seeds} scenario(s), zero violations");
+        return;
+    }
 
     let mut reports: Vec<Report> = Vec::new();
 
@@ -122,8 +192,9 @@ fn main() {
     if needs_capture {
         let plan = match fault_seed {
             // The longest capture is the 42-day Mar–May window; the plan's
-            // outage schedule covers it entirely.
-            Some(fs) => FaultPlan::lossy(fs, 42),
+            // outage schedule covers it entirely. With default knobs this
+            // is draw-for-draw the historical lossy plan.
+            Some(fs) => FaultPlan::lossy_tuned(fs, 42, &knobs),
             None => FaultPlan::none(),
         };
         let resolved_jobs = if jobs == 0 {
@@ -245,8 +316,9 @@ fn main() {
         "\nBenchmark artifacts (written by `cargo bench -p bench`, not by `repro`):\n\
          `BENCH_parallel.json` (serial-vs-parallel capture speedup; see EXPERIMENTS.md),\n\
          `BENCH_stream.json` (single-pass summary throughput and accumulator state),\n\
-         `BENCH_faults.json`, `BENCH_simlint.json`, and the substrate/figures/tables\n\
-         benches, all under `crates/bench/`.\n",
+         `BENCH_faults.json`, `BENCH_simlint.json`, `BENCH_chaos.json` (chaos-soak\n\
+         scenarios/sec), and the substrate/figures/tables benches, all under\n\
+         `crates/bench/`.\n",
     );
     fs::write(out_dir.join("INDEX.md"), index).expect("write index");
     eprintln!("wrote {} reports to {}", reports.len(), out_dir.display());

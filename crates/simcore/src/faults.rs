@@ -10,13 +10,25 @@
 //! every run, and [`FaultPlan::none`] disables every code path that would
 //! consume randomness, leaving fault-free runs byte-for-byte unchanged.
 //!
-//! The plan is consumed at two levels:
+//! The plan is consumed at three levels:
 //!
 //! * per-flow link faults ([`FaultPlan::link_faults`]) — extra segment
 //!   loss and latency spikes that `tcpmodel` applies on top of the path's
 //!   base loss, plus mid-flow resets that truncate the transfer,
 //! * server availability windows ([`FaultPlan::server_available`]) — the
-//!   5xx/outage periods the sync client must back off from and retry.
+//!   5xx/outage periods the sync client must back off from and retry,
+//! * control-plane events ([`FaultPlan::notify_available`],
+//!   [`FaultPlan::meta_available`], [`FaultPlan::degraded_at`]) — the
+//!   notification-server outages, metadata unavailability windows, and
+//!   partial-degradation (elevated 5xx) periods that drive the client's
+//!   degraded-mode state machine: poll fallback, offline queueing, and
+//!   the reconnect storm at outage end.
+//!
+//! Control-plane windows are drawn from their own *non-advancing* named
+//! forks of the plan seed (`faultplan-notify`, `faultplan-meta`,
+//! `faultplan-degraded`), so adding them leaves the storage-outage draw
+//! sequence of [`FaultPlan::lossy`] untouched and household sharding
+//! byte-identical.
 
 use crate::dist;
 use crate::rng::Rng;
@@ -59,6 +71,69 @@ impl FlowFaults {
     }
 }
 
+/// Tunable outage statistics: how often outages start and how long they
+/// last. The defaults reproduce the historical hard-coded values of
+/// [`FaultPlan::lossy`] (mean 2 days between starts, median 3 minutes,
+/// capped at an hour), so `lossy(seed, h)` remains byte-identical to all
+/// earlier releases. `repro --outage-gap-days` / `--outage-secs` plumb
+/// these from the CLI.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OutageKnobs {
+    /// Mean days between outage starts (exponential gaps).
+    pub gap_days: f64,
+    /// Median outage duration in seconds (log-normal, σ = 0.7).
+    pub median_secs: f64,
+    /// Hard cap on a single outage's duration in seconds.
+    pub max_secs: f64,
+}
+
+impl Default for OutageKnobs {
+    fn default() -> Self {
+        OutageKnobs {
+            gap_days: 2.0,
+            median_secs: 180.0,
+            max_secs: 3_600.0,
+        }
+    }
+}
+
+/// Draw `[start, end)` outage windows over `horizon_days` from `rng`:
+/// exponential gaps between starts, log-normal durations, both shaped by
+/// `knobs`. Windows are returned in start order and may overlap only if
+/// a duration outruns the next gap (consumers treat the union).
+fn draw_windows(rng: &mut Rng, horizon_days: u32, knobs: &OutageKnobs) -> Vec<(SimTime, SimTime)> {
+    let mut windows = Vec::new();
+    let horizon = f64::from(horizon_days);
+    let rate = 1.0 / knobs.gap_days.max(1e-6);
+    let mut t_days = 0.0;
+    loop {
+        t_days += dist::exponential(rng, rate);
+        if t_days >= horizon {
+            break;
+        }
+        let start = SimTime::from_micros((t_days * 86_400.0 * 1e6) as u64);
+        let secs = dist::lognormal_median(rng, knobs.median_secs.max(1.0), 0.7).min(knobs.max_secs);
+        windows.push((start, start + SimDuration::from_secs_f64(secs)));
+    }
+    windows
+}
+
+/// Whether `at` falls inside any `[start, end)` window of `windows`.
+fn in_windows(windows: &[(SimTime, SimTime)], at: SimTime) -> bool {
+    windows.iter().any(|&(lo, hi)| lo <= at && at < hi)
+}
+
+/// End of the window covering `at`, if any. When overlapping windows
+/// chain together the latest covering end wins, so callers stepping to
+/// the returned time always land outside the covering window set.
+fn window_end(windows: &[(SimTime, SimTime)], at: SimTime) -> Option<SimTime> {
+    windows
+        .iter()
+        .filter(|&&(lo, hi)| lo <= at && at < hi)
+        .map(|&(_, hi)| hi)
+        .max()
+}
+
 /// A seeded description of everything that goes wrong during a run.
 ///
 /// All knobs are probabilities or magnitudes; the *decisions* (which flow
@@ -84,6 +159,25 @@ pub struct FaultPlan {
     /// Server unavailability windows (storage/meta front-ends answer 5xx
     /// or refuse connections), as `[start, end)` intervals in time order.
     pub outages: Vec<(SimTime, SimTime)>,
+    /// Notification-server outage windows: long-poll connections drop and
+    /// reconnects are refused, so clients fall back to periodic polling
+    /// until the window closes (then reconnect with capped backoff).
+    pub notify_outages: Vec<(SimTime, SimTime)>,
+    /// Extra delay, in milliseconds, on notification pushes during
+    /// [`FaultPlan::degraded_at`] windows (degraded notification plane:
+    /// pushes arrive late instead of not at all).
+    pub notify_delay_ms: f64,
+    /// Metadata-server unavailability windows: commits are refused, so
+    /// clients queue local changes offline (bounded queue, superseded
+    /// edits coalesced) and flush after the window closes.
+    pub meta_outages: Vec<(SimTime, SimTime)>,
+    /// Partial-degradation windows: the control plane answers, but with
+    /// elevated 5xx rates ([`FaultPlan::degraded_5xx_p`]) and delayed
+    /// pushes ([`FaultPlan::notify_delay_ms`]).
+    pub degraded: Vec<(SimTime, SimTime)>,
+    /// Probability that a control-plane exchange inside a degraded window
+    /// draws a 5xx and must be retried once.
+    pub degraded_5xx_p: f64,
 }
 
 impl FaultPlan {
@@ -99,6 +193,11 @@ impl FaultPlan {
             reset_p: 0.0,
             notify_churn_p: 0.0,
             outages: Vec::new(),
+            notify_outages: Vec::new(),
+            notify_delay_ms: 0.0,
+            meta_outages: Vec::new(),
+            degraded: Vec::new(),
+            degraded_5xx_p: 0.0,
         }
     }
 
@@ -109,20 +208,16 @@ impl FaultPlan {
     /// (median ≈ 3 min, roughly one every two days) are drawn from
     /// [`dist`] samplers seeded by `seed`.
     pub fn lossy(seed: u64, horizon_days: u32) -> Self {
+        FaultPlan::lossy_tuned(seed, horizon_days, &OutageKnobs::default())
+    }
+
+    /// [`FaultPlan::lossy`] with the storage-outage statistics under the
+    /// caller's control. With `OutageKnobs::default()` this is draw-for-
+    /// draw identical to the historical `lossy`, so existing seeds keep
+    /// producing the same plans.
+    pub fn lossy_tuned(seed: u64, horizon_days: u32, knobs: &OutageKnobs) -> Self {
         let mut rng = Rng::new(seed).fork_named("faultplan");
-        let mut outages = Vec::new();
-        let horizon = f64::from(horizon_days);
-        let mut t_days = 0.0;
-        loop {
-            // Exponential gaps, mean 2 days between outage starts.
-            t_days += dist::exponential(&mut rng, 0.5);
-            if t_days >= horizon {
-                break;
-            }
-            let start = SimTime::from_micros((t_days * 86_400.0 * 1e6) as u64);
-            let secs = dist::lognormal_median(&mut rng, 180.0, 0.7).min(3_600.0);
-            outages.push((start, start + SimDuration::from_secs_f64(secs)));
-        }
+        let outages = draw_windows(&mut rng, horizon_days, knobs);
         FaultPlan {
             link_degraded_p: 0.30,
             link_extra_loss: 0.03,
@@ -131,7 +226,52 @@ impl FaultPlan {
             reset_p: 0.12,
             notify_churn_p: 0.25,
             outages,
+            ..FaultPlan::none()
         }
+    }
+
+    /// A full chaos plan: everything [`FaultPlan::lossy_tuned`] injects,
+    /// plus control-plane events — notification-server outages (somewhat
+    /// more frequent than storage outages), metadata unavailability
+    /// windows (rarer, longer), and partial-degradation windows with
+    /// elevated 5xx rates and delayed pushes. Each control-plane window
+    /// set is drawn from its own non-advancing fork of `seed`, so the
+    /// storage-outage sequence matches `lossy_tuned(seed, ..)` exactly.
+    pub fn chaos(seed: u64, horizon_days: u32, knobs: &OutageKnobs) -> Self {
+        let mut plan = FaultPlan::lossy_tuned(seed, horizon_days, knobs);
+        let mut notify_rng = Rng::new(seed).fork_named("faultplan-notify");
+        plan.notify_outages = draw_windows(
+            &mut notify_rng,
+            horizon_days,
+            &OutageKnobs {
+                gap_days: knobs.gap_days * 0.5,
+                median_secs: knobs.median_secs * 1.5,
+                max_secs: knobs.max_secs,
+            },
+        );
+        let mut meta_rng = Rng::new(seed).fork_named("faultplan-meta");
+        plan.meta_outages = draw_windows(
+            &mut meta_rng,
+            horizon_days,
+            &OutageKnobs {
+                gap_days: knobs.gap_days * 1.5,
+                median_secs: knobs.median_secs * 2.0,
+                max_secs: knobs.max_secs,
+            },
+        );
+        let mut degraded_rng = Rng::new(seed).fork_named("faultplan-degraded");
+        plan.degraded = draw_windows(
+            &mut degraded_rng,
+            horizon_days,
+            &OutageKnobs {
+                gap_days: knobs.gap_days * 0.75,
+                median_secs: knobs.median_secs * 4.0,
+                max_secs: knobs.max_secs * 2.0,
+            },
+        );
+        plan.notify_delay_ms = 1_500.0;
+        plan.degraded_5xx_p = 0.25;
+        plan
     }
 
     /// Whether the plan injects anything at all. Consumers gate every
@@ -143,12 +283,79 @@ impl FaultPlan {
             || self.reset_p > 0.0
             || self.notify_churn_p > 0.0
             || !self.outages.is_empty()
+            || self.has_control_plane()
+    }
+
+    /// Whether any control-plane events (notification outages, metadata
+    /// outages, degraded windows) are planned. Consumers gate the
+    /// degraded-mode state machine — and every RNG draw it makes — on
+    /// this, so plans without control-plane faults keep the pre-existing
+    /// draw sequence.
+    pub fn has_control_plane(&self) -> bool {
+        !self.notify_outages.is_empty()
+            || !self.meta_outages.is_empty()
+            || !self.degraded.is_empty()
     }
 
     /// Whether the servers accept transactions at `at` (outside every
     /// outage window).
     pub fn server_available(&self, at: SimTime) -> bool {
-        !self.outages.iter().any(|&(lo, hi)| lo <= at && at < hi)
+        !in_windows(&self.outages, at)
+    }
+
+    /// Whether the notification plane accepts long-poll connections at
+    /// `at`. When false, connected clients lose their push channel and
+    /// fall back to periodic polling.
+    pub fn notify_available(&self, at: SimTime) -> bool {
+        !in_windows(&self.notify_outages, at)
+    }
+
+    /// End of the notification outage covering `at`, if one does.
+    pub fn notify_outage_end(&self, at: SimTime) -> Option<SimTime> {
+        window_end(&self.notify_outages, at)
+    }
+
+    /// First notification outage starting strictly after `at` (by window
+    /// start), if any.
+    pub fn next_notify_outage_after(&self, at: SimTime) -> Option<(SimTime, SimTime)> {
+        self.notify_outages
+            .iter()
+            .filter(|&&(lo, _)| lo > at)
+            .min_by_key(|&&(lo, _)| lo)
+            .copied()
+    }
+
+    /// Whether the metadata plane commits transactions at `at`. When
+    /// false, clients queue local changes offline and flush after the
+    /// window closes.
+    pub fn meta_available(&self, at: SimTime) -> bool {
+        !in_windows(&self.meta_outages, at)
+    }
+
+    /// End of the metadata outage covering `at`, if one does.
+    pub fn meta_outage_end(&self, at: SimTime) -> Option<SimTime> {
+        window_end(&self.meta_outages, at)
+    }
+
+    /// Whether the control plane is in a partial-degradation window at
+    /// `at` (elevated 5xx rates, delayed pushes).
+    pub fn degraded_at(&self, at: SimTime) -> bool {
+        in_windows(&self.degraded, at)
+    }
+
+    /// The instant after which the plan schedules no further events: the
+    /// latest end across every outage/degradation window ([`SimTime::EPOCH`]
+    /// when none are planned). The convergence oracle only judges a run
+    /// after this point, once retry queues have had a chance to drain.
+    pub fn quiescent_after(&self) -> SimTime {
+        self.outages
+            .iter()
+            .chain(&self.notify_outages)
+            .chain(&self.meta_outages)
+            .chain(&self.degraded)
+            .map(|&(_, hi)| hi)
+            .max()
+            .unwrap_or(SimTime::EPOCH)
     }
 
     /// Draw the link-level faults of one flow from `rng` (a stream
@@ -265,5 +472,104 @@ mod tests {
         assert_eq!(m.reset_after_bytes, Some(5_000));
         assert_eq!(FlowFaults::merged(None, Some(a)), Some(a));
         assert_eq!(FlowFaults::merged(None, None), None);
+    }
+
+    #[test]
+    fn lossy_tuned_with_defaults_matches_lossy() {
+        assert_eq!(
+            FaultPlan::lossy(42, 42),
+            FaultPlan::lossy_tuned(42, 42, &OutageKnobs::default())
+        );
+    }
+
+    #[test]
+    fn lossy_tuned_knobs_change_outage_statistics() {
+        let sparse = FaultPlan::lossy_tuned(
+            7,
+            42,
+            &OutageKnobs {
+                gap_days: 8.0,
+                ..OutageKnobs::default()
+            },
+        );
+        let dense = FaultPlan::lossy_tuned(
+            7,
+            42,
+            &OutageKnobs {
+                gap_days: 0.25,
+                ..OutageKnobs::default()
+            },
+        );
+        assert!(
+            dense.outages.len() > sparse.outages.len(),
+            "dense {} vs sparse {}",
+            dense.outages.len(),
+            sparse.outages.len()
+        );
+    }
+
+    #[test]
+    fn chaos_preserves_the_storage_outage_stream() {
+        let knobs = OutageKnobs::default();
+        let lossy = FaultPlan::lossy_tuned(11, 42, &knobs);
+        let chaos = FaultPlan::chaos(11, 42, &knobs);
+        assert_eq!(
+            lossy.outages, chaos.outages,
+            "control-plane draws must come from separate forks"
+        );
+        assert!(chaos.has_control_plane());
+        assert!(!chaos.notify_outages.is_empty());
+        assert!(!chaos.meta_outages.is_empty());
+        assert!(!chaos.degraded.is_empty());
+        assert!(chaos.degraded_5xx_p > 0.0);
+        // Deterministic per seed.
+        assert_eq!(chaos, FaultPlan::chaos(11, 42, &knobs));
+        assert_ne!(
+            chaos.notify_outages,
+            FaultPlan::chaos(12, 42, &knobs).notify_outages
+        );
+    }
+
+    #[test]
+    fn control_plane_availability_queries_track_windows() {
+        let plan = FaultPlan::chaos(3, 42, &OutageKnobs::default());
+        let (lo, hi) = plan.notify_outages[0];
+        let mid = lo + SimDuration::from_micros(hi.saturating_since(lo).micros() / 2);
+        assert!(!plan.notify_available(mid));
+        assert!(plan.notify_outage_end(mid).is_some());
+        assert!(plan.notify_outage_end(mid).unwrap() >= hi);
+        assert!(plan.notify_available(plan.notify_outage_end(mid).unwrap()));
+        let (mlo, mhi) = plan.meta_outages[0];
+        let mmid = mlo + SimDuration::from_micros(mhi.saturating_since(mlo).micros() / 2);
+        assert!(!plan.meta_available(mmid));
+        assert!(plan.meta_available(plan.meta_outage_end(mmid).unwrap()));
+        let (dlo, dhi) = plan.degraded[0];
+        let dmid = dlo + SimDuration::from_micros(dhi.saturating_since(dlo).micros() / 2);
+        assert!(plan.degraded_at(dmid));
+        // next_notify_outage_after steps strictly forward.
+        let next = plan.next_notify_outage_after(lo).expect("more outages");
+        assert!(next.0 > lo);
+    }
+
+    #[test]
+    fn quiescence_bounds_every_window() {
+        let none = FaultPlan::none();
+        assert_eq!(none.quiescent_after(), SimTime::EPOCH);
+        assert!(!none.has_control_plane());
+        let plan = FaultPlan::chaos(5, 21, &OutageKnobs::default());
+        let q = plan.quiescent_after();
+        for &(_, hi) in plan
+            .outages
+            .iter()
+            .chain(&plan.notify_outages)
+            .chain(&plan.meta_outages)
+            .chain(&plan.degraded)
+        {
+            assert!(hi <= q);
+        }
+        assert!(plan.notify_available(q));
+        assert!(plan.meta_available(q));
+        assert!(plan.server_available(q));
+        assert!(!plan.degraded_at(q));
     }
 }

@@ -55,6 +55,7 @@ pub const RULES: &[&str] = &[
     "extern-crate",
     "process-spawn",
     "panic-path",
+    "oracle-pure",
     "schema-drift",
     "allow-syntax",
 ];
@@ -200,6 +201,11 @@ pub struct Options {
     /// checked against scheduling-state arguments (`shard-seed` rule) —
     /// seed streams must be pure functions of stable shard identity.
     pub shard_seed_files: Vec<String>,
+    /// Root-relative path suffixes of the convergence-oracle files: the
+    /// read-only judges of a finished run. Any `&mut` borrow outside
+    /// tests is flagged (`oracle-pure`) — the oracle must not be able to
+    /// mutate the simulation state it is checking.
+    pub oracle_files: Vec<String>,
     /// Crates (directory names under `crates/`) holding analysis code
     /// held to the streaming single-pass contract: re-scanning a
     /// materialised `.flows` vector is flagged (`full-materialize`).
@@ -287,6 +293,7 @@ impl Options {
             .iter()
             .map(|s| s.to_string())
             .collect(),
+            oracle_files: vec!["crates/workload/src/oracle.rs".to_string()],
             analysis_crates: ["core", "experiments"]
                 .iter()
                 .map(|s| s.to_string())
@@ -376,6 +383,7 @@ pub fn run(root: &Path, opts: &Options) -> io::Result<Report> {
         rules::shard_seed(file, opts, &mut violations, &mut allowed);
         rules::hermetic_source(file, &mut violations, &mut allowed);
         rules::panic_path(file, opts, &mut violations, &mut allowed);
+        rules::oracle_pure(file, opts, &mut violations, &mut allowed);
         rules::map_iter(file, opts, emitting, &mut violations, &mut allowed);
         rules::full_materialize(file, opts, &mut violations, &mut allowed);
     }

@@ -332,6 +332,48 @@ pub fn panic_path(
     }
 }
 
+/// Oracle purity: the convergence oracle judges a finished run, so it
+/// must not be able to edit the evidence. In the oracle files
+/// (`Options::oracle_files`) any mutable borrow — `&mut` on a parameter,
+/// receiver, local, or expression — outside tests is a violation: every
+/// check folds over the audit ledger through `&self` accessors only. (A
+/// `fmt::Formatter` counts too; the oracle renders via owned `String`s.)
+pub fn oracle_pure(
+    file: &SourceFile,
+    opts: &Options,
+    violations: &mut Vec<Violation>,
+    allowed: &mut Vec<Suppressed>,
+) {
+    if !opts
+        .oracle_files
+        .iter()
+        .any(|suffix| file.rel.ends_with(suffix.as_str()))
+    {
+        return;
+    }
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        if file.in_test(i) {
+            continue;
+        }
+        if toks[i].is_sym("&") && toks.get(i + 1).is_some_and(|t| t.is_ident("mut")) {
+            emit(
+                file,
+                "oracle-pure",
+                toks[i].line,
+                format!(
+                    "`&mut` in convergence-oracle file `{}`: the oracle is read-only — \
+                     it folds over the audit ledger through `&self` accessors and must \
+                     not be able to mutate the run it is judging",
+                    file.rel
+                ),
+                violations,
+                allowed,
+            );
+        }
+    }
+}
+
 /// Methods that walk or copy a whole materialised flow vector.
 const MATERIALIZE_METHODS: &[&str] = &["iter", "iter_mut", "into_iter", "clone", "to_vec"];
 
@@ -781,6 +823,38 @@ mod tests {
         assert!(check_shard_seed("crates/experiments/src/run.rs", bad).is_empty());
         let outside = "fn f(jobs: u64) -> u64 { let w = jobs.min(4); w }";
         assert!(check_shard_seed("crates/simcore/src/par.rs", outside).is_empty());
+    }
+
+    fn check_oracle(rel: &str, src: &str) -> Vec<Violation> {
+        let file = SourceFile::analyse(rel, src);
+        let mut v = Vec::new();
+        let mut a = Vec::new();
+        oracle_pure(&file, &Options::workspace(), &mut v, &mut a);
+        v
+    }
+
+    #[test]
+    fn oracle_pure_flags_mutable_borrows_in_oracle_files() {
+        let src = "pub fn check(audit: &mut SyncAudit) -> Vec<u8> {\n\
+                   let v: &mut Vec<u8> = &mut audit.buf;\n\
+                   v.clear(); Vec::new() }";
+        let v = check_oracle("crates/workload/src/oracle.rs", src);
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == "oracle-pure"));
+        assert!(v[0].message.contains("read-only"), "{}", v[0].message);
+        // Other files are out of scope, even with `&mut` everywhere.
+        assert!(check_oracle("crates/workload/src/driver.rs", src).is_empty());
+    }
+
+    #[test]
+    fn oracle_pure_permits_shared_borrows_and_test_code() {
+        let src = "pub fn check(audit: &SyncAudit) -> Vec<u8> {\n\
+                   let mut out = Vec::new();\n\
+                   out.extend(audit.commits().iter().map(|c| c.id as u8));\n\
+                   out }\n\
+                   #[cfg(test)]\n\
+                   mod tests { fn t() { let x = &mut Vec::<u8>::new(); x.clear(); } }";
+        assert!(check_oracle("crates/workload/src/oracle.rs", src).is_empty());
     }
 
     #[test]

@@ -113,6 +113,23 @@ fn materialize_fixture_flags_rescans_outside_the_view() {
 }
 
 #[test]
+fn oraclepure_fixture_flags_mutable_borrows() {
+    let r = lint("oraclepure");
+    assert_eq!(
+        rules(&r),
+        ["oracle-pure", "oracle-pure"],
+        "{:?}",
+        r.violations
+    );
+    assert!(r.violations[0]
+        .file
+        .ends_with("crates/workload/src/oracle.rs"));
+    assert!(r.violations[0].message.contains("read-only"));
+    // The `&self` scorer and the test module are clean.
+    assert!(r.allowed.is_empty());
+}
+
+#[test]
 fn allowed_fixture_suppresses_with_justification() {
     let r = lint("allowed");
     assert!(r.ok(), "justified allow must suppress: {:?}", r.violations);

@@ -1,0 +1,27 @@
+//! Known-bad oracle: reaches back into the run it is supposed to judge.
+
+pub fn check(audit: &mut SyncAudit) -> Vec<Violation> {
+    // Mutating the ledger mid-check "fixes" the evidence.
+    audit.repair();
+    let out: &mut Vec<Violation> = &mut audit.scratch;
+    out.clear();
+    Vec::new()
+}
+
+pub fn score(audit: &SyncAudit) -> usize {
+    // Shared borrows and owned `mut` locals are fine.
+    let mut n = 0;
+    for c in audit.commits() {
+        n += c.chunks.len();
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may mutate freely.
+    fn build() {
+        let v = &mut Vec::<u8>::new();
+        v.push(1);
+    }
+}

@@ -1,0 +1,292 @@
+//! The sync-audit ledger: ground-truth propagation events recorded by the
+//! driver while it plays a capture under a fault plan.
+//!
+//! [`SyncAudit`] is a *write-side* journal — the driver appends commits,
+//! expected deliveries, actual deliveries, excuses, flush events,
+//! reconnect probes, and the final chunk-store snapshot as it renders the
+//! capture. It never influences the simulation: recording draws no
+//! randomness and mutates no simulation state, so a run with auditing on
+//! is byte-identical to the same run without it.
+//!
+//! The *read side* lives in [`crate::oracle`]: after the run quiesces,
+//! the convergence oracle folds over this ledger through `&self`
+//! accessors only (simlint's `oracle-pure` rule keeps it that way) and
+//! reports violations of the sync-convergence invariants of DESIGN.md §9.
+
+use dropbox::content::ChunkId;
+use simcore::SimTime;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How a commit reached one member device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeliveryKind {
+    /// Served by the LAN Sync Protocol (no WAN flow).
+    Lan,
+    /// Cloud retrieve while the member was on-line.
+    Online,
+    /// Login synchronisation burst at the next session start.
+    Login,
+}
+
+/// Why an expected delivery legitimately never happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Excuse {
+    /// The member had no session after the commit became visible — the
+    /// capture ended first, as in reality.
+    NoLaterSession,
+    /// The committer itself had no session after the metadata plane
+    /// recovered, so the commit never reached the server.
+    NeverFlushed,
+    /// Every chunk of the commit was superseded by a later offline edit;
+    /// the coalesced queue flushes only the final version.
+    CoalescedAway,
+}
+
+/// One committed changeset, as the driver ordered it.
+#[derive(Clone, Debug)]
+pub struct CommitRecord {
+    /// Ledger-wide commit id (index into [`SyncAudit::commits`]).
+    pub id: u64,
+    /// Namespace the commit landed in.
+    pub ns: u64,
+    /// When the change was made.
+    pub at: SimTime,
+    /// When it became visible on the metadata plane (later than `at` when
+    /// the commit waited out a metadata outage in the offline queue).
+    pub visible_at: SimTime,
+    /// Committing device (`host_int`), `None` for external producers.
+    pub committer: Option<u64>,
+    /// Chunk ids the commit carries.
+    pub chunks: Vec<ChunkId>,
+    /// Whether the commit was queued through a metadata outage.
+    pub deferred: bool,
+}
+
+/// The ground-truth sync ledger of one audited capture.
+#[derive(Debug, Default)]
+pub struct SyncAudit {
+    commits: Vec<CommitRecord>,
+    expects: BTreeSet<(u64, u64)>,
+    delivers: BTreeMap<(u64, u64), Vec<(SimTime, DeliveryKind)>>,
+    excuses: BTreeMap<(u64, u64), Excuse>,
+    commit_excuses: BTreeMap<u64, Excuse>,
+    flushes: BTreeMap<u64, Vec<SimTime>>,
+    superseded: BTreeSet<ChunkId>,
+    stored: BTreeSet<ChunkId>,
+    reconnect_attempts: Vec<(SimTime, u64)>,
+    reconnects: Vec<(SimTime, u64)>,
+    fallback_polls: u64,
+    residual_batches: u64,
+}
+
+impl SyncAudit {
+    /// Fresh empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of commits recorded so far (the next commit's id).
+    pub fn commit_count(&self) -> u64 {
+        self.commits.len() as u64
+    }
+
+    /// Append a commit record; `record.id` must equal
+    /// [`Self::commit_count`] at the time of the call.
+    pub fn push_commit(&mut self, record: CommitRecord) {
+        debug_assert_eq!(record.id, self.commit_count());
+        self.commits.push(record);
+    }
+
+    /// Declare that member device `host` subscribes to commit `id` and is
+    /// expected to receive it (or be excused).
+    pub fn expect_delivery(&mut self, id: u64, host: u64) {
+        self.expects.insert((id, host));
+    }
+
+    /// Record an actual delivery of commit `id` to `host` at `at`.
+    pub fn deliver(&mut self, id: u64, host: u64, at: SimTime, kind: DeliveryKind) {
+        self.delivers
+            .entry((id, host))
+            .or_default()
+            .push((at, kind));
+    }
+
+    /// Excuse member `host` from ever receiving commit `id`.
+    pub fn excuse(&mut self, id: u64, host: u64, why: Excuse) {
+        self.excuses.insert((id, host), why);
+    }
+
+    /// Excuse the commit as a whole (e.g. it never reached the server
+    /// because the committer's capture ended mid-outage); every expected
+    /// member inherits the excuse.
+    pub fn excuse_commit(&mut self, id: u64, why: Excuse) {
+        self.commit_excuses.insert(id, why);
+    }
+
+    /// Record that commit `id`'s upload transaction was rendered at `at`.
+    pub fn flushed(&mut self, id: u64, at: SimTime) {
+        self.flushes.entry(id).or_default().push(at);
+    }
+
+    /// Record chunk versions dropped by offline-queue coalescing — they
+    /// are *expected* never to reach the store.
+    pub fn superseded_chunks(&mut self, ids: &[ChunkId]) {
+        self.superseded.extend(ids.iter().copied());
+    }
+
+    /// Append the final chunk-store content of one household.
+    pub fn snapshot_store(&mut self, ids: impl IntoIterator<Item = ChunkId>) {
+        self.stored.extend(ids);
+    }
+
+    /// Record a failed notification reconnect probe.
+    pub fn reconnect_attempt(&mut self, at: SimTime, host: u64) {
+        self.reconnect_attempts.push((at, host));
+    }
+
+    /// Record a successful notification reconnect.
+    pub fn reconnect(&mut self, at: SimTime, host: u64) {
+        self.reconnects.push((at, host));
+    }
+
+    /// Count one fallback metadata poll.
+    pub fn fallback_poll(&mut self) {
+        self.fallback_polls += 1;
+    }
+
+    /// Record offline-queue batches still undrained at capture end — the
+    /// oracle treats any such batch as a violation.
+    pub fn residual_batches(&mut self, n: u64) {
+        self.residual_batches += n;
+    }
+
+    // ---- read side (what the oracle folds over) -------------------------
+
+    /// Every commit, in ledger order.
+    pub fn commits(&self) -> &[CommitRecord] {
+        &self.commits
+    }
+
+    /// Every `(commit, member host)` pair expected to sync.
+    pub fn expects(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.expects.iter().copied()
+    }
+
+    /// Deliveries of commit `id` to `host`.
+    pub fn deliveries(&self, id: u64, host: u64) -> &[(SimTime, DeliveryKind)] {
+        self.delivers
+            .get(&(id, host))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The excuse for `(id, host)`, honouring commit-wide excuses.
+    pub fn excuse_of(&self, id: u64, host: u64) -> Option<Excuse> {
+        self.excuses
+            .get(&(id, host))
+            .or_else(|| self.commit_excuses.get(&id))
+            .copied()
+    }
+
+    /// The commit-wide excuse of `id`, if any.
+    pub fn commit_excuse(&self, id: u64) -> Option<Excuse> {
+        self.commit_excuses.get(&id).copied()
+    }
+
+    /// Instants commit `id`'s upload transaction was rendered.
+    pub fn flushes_of(&self, id: u64) -> &[SimTime] {
+        self.flushes.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether the chunk was dropped by coalescing.
+    pub fn is_superseded(&self, id: ChunkId) -> bool {
+        self.superseded.contains(&id)
+    }
+
+    /// Whether the chunk ended up in a chunk store.
+    pub fn is_stored(&self, id: ChunkId) -> bool {
+        self.stored.contains(&id)
+    }
+
+    /// Failed reconnect probes as `(time, host)` events.
+    pub fn reconnect_attempt_events(&self) -> &[(SimTime, u64)] {
+        &self.reconnect_attempts
+    }
+
+    /// Successful reconnects as `(time, host)` events.
+    pub fn reconnect_events(&self) -> &[(SimTime, u64)] {
+        &self.reconnects
+    }
+
+    /// Total fallback metadata polls rendered.
+    pub fn fallback_poll_count(&self) -> u64 {
+        self.fallback_polls
+    }
+
+    /// Offline-queue batches left undrained at capture end.
+    pub fn residual_batch_count(&self) -> u64 {
+        self.residual_batches
+    }
+
+    /// Sync-lag samples in seconds: `delivery time − commit time` for
+    /// every recorded delivery (the end-to-end propagation delay a
+    /// member experienced).
+    pub fn sync_lags_secs(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        for (&(id, _host), events) in &self.delivers {
+            let at = self.commits[id as usize].at;
+            for &(t, _) in events {
+                out.push(t.saturating_since(at).as_secs_f64());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_round_trips_events() {
+        let mut a = SyncAudit::new();
+        assert_eq!(a.commit_count(), 0);
+        a.push_commit(CommitRecord {
+            id: 0,
+            ns: 7,
+            at: SimTime::from_secs(10),
+            visible_at: SimTime::from_secs(40),
+            committer: Some(1),
+            chunks: vec![ChunkId(5)],
+            deferred: true,
+        });
+        a.expect_delivery(0, 2);
+        a.deliver(0, 2, SimTime::from_secs(55), DeliveryKind::Online);
+        a.flushed(0, SimTime::from_secs(40));
+        a.snapshot_store([ChunkId(5)]);
+        assert_eq!(a.deliveries(0, 2).len(), 1);
+        assert_eq!(a.flushes_of(0), &[SimTime::from_secs(40)]);
+        assert!(a.is_stored(ChunkId(5)));
+        assert_eq!(a.sync_lags_secs(), vec![45.0]);
+    }
+
+    #[test]
+    fn commit_wide_excuses_cover_members() {
+        let mut a = SyncAudit::new();
+        a.push_commit(CommitRecord {
+            id: 0,
+            ns: 1,
+            at: SimTime::from_secs(1),
+            visible_at: SimTime::from_secs(1),
+            committer: Some(9),
+            chunks: vec![],
+            deferred: true,
+        });
+        a.expect_delivery(0, 3);
+        a.excuse_commit(0, Excuse::NeverFlushed);
+        assert_eq!(a.excuse_of(0, 3), Some(Excuse::NeverFlushed));
+        // A member-specific excuse wins over the commit-wide one.
+        a.excuse(0, 3, Excuse::NoLaterSession);
+        assert_eq!(a.excuse_of(0, 3), Some(Excuse::NoLaterSession));
+    }
+}

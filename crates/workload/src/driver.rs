@@ -20,6 +20,7 @@
 //! truth so the analysis layer's inferences can be scored.
 
 use crate::activity::{device_sessions, file_events, FileEvent, Session};
+use crate::audit::{CommitRecord, DeliveryKind, Excuse, SyncAudit};
 use crate::population::{self, Behavior, Household};
 use crate::providers;
 use crate::vantage::{Access, VantageConfig};
@@ -28,7 +29,8 @@ use dropbox::client::{ChunkWork, ClientVersion, RetryPolicy, SyncConfig, SyncEng
 use dropbox::content::{sample_file_size, ChunkId, Content};
 use dropbox::lan_sync::{Announcement, LanSync};
 use dropbox::metadata::{FileId, HostInt, MetadataServer, NamespaceId, UserId};
-use dropbox::notification::{notification_flow, SessionEnd};
+use dropbox::notification::{notification_flow, reconnect_probe_flow, SessionEnd};
+use dropbox::session::{plan_session, OfflineQueue, PhaseKind, SessionPolicy};
 use dropbox::storage::ChunkStore;
 use dropbox::web::{api_session_flows, direct_link_flow, web_session_flows};
 use dropbox::{FlowSpec, FlowTruth};
@@ -53,6 +55,17 @@ pub struct FaultStats {
     /// Notification connection fragments that ended in an injected abort
     /// (reconnect churn on flaky links).
     pub notify_aborts: u64,
+    /// Failed notification reconnect probes sent during control-plane
+    /// outages (the build-up of the reconnect storm).
+    pub reconnect_attempts: u64,
+    /// Successful notification reconnects after an outage end (the storm
+    /// itself).
+    pub reconnects: u64,
+    /// Fallback metadata polls rendered while the notification plane was
+    /// down.
+    pub fallback_polls: u64,
+    /// Local commits queued through a metadata outage before flushing.
+    pub offline_commits: u64,
 }
 
 impl FaultStats {
@@ -61,6 +74,10 @@ impl FaultStats {
         self.sync_retries += other.sync_retries;
         self.aborted_flows += other.aborted_flows;
         self.notify_aborts += other.notify_aborts;
+        self.reconnect_attempts += other.reconnect_attempts;
+        self.reconnects += other.reconnects;
+        self.fallback_polls += other.fallback_polls;
+        self.offline_commits += other.offline_commits;
     }
 }
 
@@ -94,17 +111,22 @@ struct Commit {
     ns: NamespaceId,
     committer: Option<usize>, // global device index; None = external producer
     chunks: Vec<ChunkWork>,
+    /// Chunk versions this commit replaces (the previous ids of edited
+    /// chunks) — what offline-queue coalescing drops when the same file
+    /// is edited again before the metadata plane recovers.
+    superseded: Vec<ChunkId>,
 }
 
-/// Work queued for a device.
+/// Work queued for a device. Batches carry the ledger ids of the commits
+/// they deliver so the sync audit can match deliveries to commits.
 #[derive(Default)]
 struct DeviceQueue {
-    /// (deliver_at, chunks) for downloads while on-line.
-    online_downloads: Vec<(SimTime, Vec<ChunkWork>)>,
+    /// (deliver_at, commit id, chunks) for downloads while on-line.
+    online_downloads: Vec<(SimTime, u64, Vec<ChunkWork>)>,
     /// Per-commit chunk batches waiting for the next session start.
-    pending: Vec<(SimTime, Vec<ChunkWork>)>,
+    pending: Vec<(SimTime, u64, Vec<ChunkWork>)>,
     /// Pending commit batches per session index (resolved before render).
-    pending_at_start: BTreeMap<usize, Vec<Vec<ChunkWork>>>,
+    pending_at_start: BTreeMap<usize, Vec<(Vec<u64>, Vec<ChunkWork>)>>,
 }
 
 /// Flattened device handle (local to one household).
@@ -137,6 +159,58 @@ impl Dev {
     fn next_session_after(&self, t: SimTime) -> Option<usize> {
         let i = self.sessions.partition_point(|s| s.start <= t);
         (i < self.sessions.len()).then_some(i)
+    }
+}
+
+/// End of the (possibly chained) metadata outage covering `t` — `t`
+/// itself when the plane is up. Pure; draws nothing.
+fn meta_recovery(faults: &FaultPlan, t: SimTime) -> SimTime {
+    let mut at = t;
+    for _ in 0..64 {
+        match faults.meta_outage_end(at) {
+            Some(e) if e > at => at = e,
+            _ => break,
+        }
+    }
+    at
+}
+
+/// Earliest instant a committer can flush a commit made at `t` while the
+/// metadata plane was down: the first moment at or after recovery at
+/// which the device is on-line *and* the plane is up. `None` when the
+/// capture ends first (no later session) — those commits never reach the
+/// server, as in reality.
+fn flush_time(dev: &Dev, t: SimTime, faults: &FaultPlan) -> Option<SimTime> {
+    let mut probe = t;
+    for _ in 0..64 {
+        let recover = meta_recovery(faults, probe);
+        let online = if dev.session_containing(recover).is_some() {
+            Some(recover)
+        } else {
+            dev.next_session_after(recover)
+                .map(|si| dev.sessions[si].start)
+        };
+        let at = online?;
+        if faults.meta_available(at) {
+            return Some(at);
+        }
+        // The next session itself starts inside another outage: chain on.
+        probe = at;
+    }
+    None
+}
+
+/// Drain an offline queue into the committer's upload schedule at its
+/// flush instant. Batches keep their commit tags so the render pass can
+/// journal each commit's flush exactly once.
+fn flush_queue(
+    q: &mut OfflineQueue,
+    at: SimTime,
+    di: usize,
+    uploads: &mut [Vec<(SimTime, Vec<u64>, Vec<ChunkWork>)>],
+) {
+    for b in q.drain() {
+        uploads[di].push((at, b.tags, b.chunks));
     }
 }
 
@@ -173,6 +247,45 @@ pub fn simulate_vantage(
         .into_sim_output(config)
 }
 
+/// Audited form of [`simulate_vantage`]: additionally returns the
+/// [`SyncAudit`] ledger of every commit, expected delivery, actual
+/// delivery, excuse, flush, and reconnect event — the ground truth the
+/// chaos-soak convergence oracle ([`crate::oracle::check`]) judges after
+/// the fault plan quiesces. Recording draws no randomness and mutates no
+/// simulation state, so the record stream is byte-identical to the
+/// unaudited run.
+pub fn simulate_vantage_audited(
+    config: &VantageConfig,
+    version: ClientVersion,
+    seed: u64,
+    faults: &FaultPlan,
+) -> (SimOutput, SyncAudit) {
+    let mut audit = SyncAudit::new();
+    let mut flows: Vec<FlowRecord> = Vec::new();
+    let mut truths: Vec<Option<FlowTruth>> = Vec::new();
+    let stats = simulate_span_impl(
+        config,
+        version,
+        seed,
+        faults,
+        0..config.addresses,
+        &mut |rec, truth| {
+            flows.push(rec);
+            truths.push(truth);
+        },
+        Some(&mut audit),
+    );
+    (
+        SpanOutput {
+            flows,
+            truths,
+            stats,
+        }
+        .into_sim_output(config),
+        audit,
+    )
+}
+
 /// Streaming form of [`simulate_vantage`]: completed records are emitted
 /// into `sink` as the monitor finalises them, in the same canonical order
 /// the materialising wrapper stores them — the capture is never held in
@@ -192,6 +305,7 @@ pub fn simulate_vantage_into(
         faults,
         0..config.addresses,
         &mut |rec, _truth| sink.accept(rec),
+        None,
     )
 }
 
@@ -252,6 +366,7 @@ pub fn simulate_vantage_span(
             flows.push(rec);
             truths.push(truth);
         },
+        None,
     );
     SpanOutput {
         flows,
@@ -272,6 +387,7 @@ fn simulate_span_impl(
     faults: &FaultPlan,
     households: Range<usize>,
     emit: &mut dyn FnMut(FlowRecord, Option<FlowTruth>),
+    mut audit: Option<&mut SyncAudit>,
 ) -> VantageStats {
     assert!(
         households.end <= config.addresses,
@@ -322,6 +438,7 @@ fn simulate_span_impl(
             &providers_root,
             &mut stats,
             emit,
+            audit.as_deref_mut(),
         );
     }
     stats
@@ -348,6 +465,7 @@ fn simulate_household(
     providers_root: &Rng,
     stats: &mut VantageStats,
     emit: &mut dyn FnMut(FlowRecord, Option<FlowTruth>),
+    mut audit: Option<&mut SyncAudit>,
 ) {
     // Every stream below descends from this one: a pure function of
     // (capture seed, capture id, household index) — never of the range
@@ -599,6 +717,7 @@ fn simulate_household(
             // project, dropping a folder): 1 + geometric burst.
             let burst = 1 + simcore::dist::geometric(&mut commit_rng, 0.38) as usize;
             let mut chunks: Vec<ChunkWork> = Vec::new();
+            let mut superseded: Vec<ChunkId> = Vec::new();
             for b in 0..burst {
                 let edit_this = (is_edit || b > 0 && commit_rng.chance(0.5)) && !files.is_empty();
                 if edit_this {
@@ -607,6 +726,7 @@ fn simulate_household(
                     let (next, changed) = files[fi].content.edit(frac, &mut commit_rng);
                     for &ci in &changed {
                         let id = next.chunk_id(ci);
+                        superseded.push(files[fi].chunk_ids[ci as usize]);
                         files[fi].chunk_ids[ci as usize] = id;
                         chunks.push(ChunkWork {
                             id,
@@ -646,6 +766,7 @@ fn simulate_household(
                 ns,
                 committer,
                 chunks,
+                superseded,
             });
         }
 
@@ -653,27 +774,104 @@ fn simulate_household(
         // The household runs the LAN Sync Protocol on its subnet: on-line
         // devices broadcast discovery announcements and serve chunks they hold
         // to peers sharing the namespace, keeping that traffic off the WAN.
+        //
+        // Under control-plane faults a commit may not become *visible* at
+        // its commit time: while the metadata plane refuses writes, local
+        // commits wait in the committer's bounded offline queue (with
+        // coalescing of superseded edits) and flush at the first on-line
+        // instant after recovery; external producers' commits land as soon
+        // as the plane returns. Members propagate from the visibility
+        // instant, not the commit instant.
+        let ctrl_active = plan_active && faults.has_control_plane();
         let mut queues: Vec<DeviceQueue> =
             (0..devs.len()).map(|_| DeviceQueue::default()).collect();
-        let mut uploads: Vec<Vec<(SimTime, Vec<ChunkWork>)>> = vec![Vec::new(); devs.len()];
+        let mut uploads: Vec<Vec<(SimTime, Vec<u64>, Vec<ChunkWork>)>> =
+            vec![Vec::new(); devs.len()];
         let mut lan = LanSync::default();
         let mut prop_rng = hh_rng.fork_named("propagation");
+        const OFFLINE_QUEUE_CAP: usize = 6;
+        let mut offline: Vec<OfflineQueue> = (0..devs.len())
+            .map(|_| OfflineQueue::new(OFFLINE_QUEUE_CAP))
+            .collect();
+        let mut offline_flush: Vec<Option<SimTime>> = vec![None; devs.len()];
+        // Ledger-wide ids of this household's commits.
+        let cid_base = audit.as_ref().map(|a| a.commit_count()).unwrap_or(0);
 
-        for c in &commits {
-            if let Some(di) = c.committer {
-                uploads[di].push((c.at, c.chunks.clone()));
-                // The committer holds the chunks and, while on-line, announces
-                // itself on the household subnet.
-                let dev = &devs[di];
-                if dev.session_containing(c.at).is_some() {
-                    lan.announce(Announcement {
-                        host: dev.host_int,
-                        namespaces: dev.namespaces.clone(),
-                        at: c.at,
-                    });
+        for (local_id, c) in commits.iter().enumerate() {
+            let cid = cid_base + local_id as u64;
+            let deferred = ctrl_active && !faults.meta_available(c.at);
+            let mut flush_at: Option<SimTime> = None;
+            let mut never_flushed = false;
+            let visible_at = if !deferred {
+                c.at
+            } else {
+                match c.committer {
+                    Some(di) => match flush_time(&devs[di], c.at, faults) {
+                        Some(f) => {
+                            flush_at = Some(f);
+                            f
+                        }
+                        None => {
+                            never_flushed = true;
+                            c.at
+                        }
+                    },
+                    // External producers commit from elsewhere; their
+                    // changes land the moment the plane recovers.
+                    None => meta_recovery(faults, c.at),
                 }
-                for w in &c.chunks {
-                    lan.chunk_available(dev.host_int, w.id);
+            };
+            if let Some(a) = audit.as_deref_mut() {
+                a.push_commit(CommitRecord {
+                    id: cid,
+                    ns: c.ns.0,
+                    at: c.at,
+                    visible_at,
+                    committer: c.committer.map(|di| devs[di].host_int.0),
+                    chunks: c.chunks.iter().map(|w| w.id).collect(),
+                    deferred,
+                });
+                if never_flushed {
+                    a.excuse_commit(cid, Excuse::NeverFlushed);
+                }
+            }
+            if let Some(di) = c.committer {
+                if never_flushed {
+                    // The committer's capture ends before the metadata plane
+                    // recovers: the commit never reaches the server.
+                    fault_stats.offline_commits += 1;
+                } else {
+                    match flush_at {
+                        None => uploads[di].push((c.at, vec![cid], c.chunks.clone())),
+                        Some(f) => {
+                            // Queue through the outage. A new flush instant
+                            // means a new outage window: drain the batches
+                            // headed for the earlier one first.
+                            if let Some(f0) = offline_flush[di] {
+                                if f0 != f {
+                                    flush_queue(&mut offline[di], f0, di, &mut uploads);
+                                }
+                            }
+                            offline[di].push(c.at, cid, c.chunks.clone(), &c.superseded);
+                            offline_flush[di] = Some(f);
+                            fault_stats.offline_commits += 1;
+                        }
+                    }
+                    // The committer holds the chunks and, while on-line,
+                    // announces itself on the household subnet — but only
+                    // once the commit is visible: LAN peers discover changes
+                    // through the metadata journal.
+                    let dev = &devs[di];
+                    if dev.session_containing(visible_at).is_some() {
+                        lan.announce(Announcement {
+                            host: dev.host_int,
+                            namespaces: dev.namespaces.clone(),
+                            at: visible_at,
+                        });
+                    }
+                    for w in &c.chunks {
+                        lan.chunk_available(dev.host_int, w.id);
+                    }
                 }
             }
             let members = ns_members.get(&c.ns).cloned().unwrap_or_default();
@@ -682,18 +880,40 @@ fn simulate_household(
                     continue;
                 }
                 let dev = &devs[m];
-                if dev.session_containing(c.at).is_some() {
+                if let Some(a) = audit.as_deref_mut() {
+                    a.expect_delivery(cid, dev.host_int.0);
+                }
+                if never_flushed {
+                    continue; // excused above: the commit never synced
+                }
+                if dev.session_containing(visible_at).is_some() {
                     // On-line member: ask the LAN first (Sec. 5.2), then fall
                     // back to a cloud retrieve.
                     let pairs: Vec<(ChunkId, u64)> =
                         c.chunks.iter().map(|w| (w.id, w.raw_bytes)).collect();
-                    if lan.try_serve(dev.host_int, c.ns, &pairs, c.at).is_some() {
+                    if lan
+                        .try_serve(dev.host_int, c.ns, &pairs, visible_at)
+                        .is_some()
+                    {
+                        if let Some(a) = audit.as_deref_mut() {
+                            a.deliver(cid, dev.host_int.0, visible_at, DeliveryKind::Lan);
+                        }
                         continue;
                     }
-                    let delay = SimDuration::from_secs(prop_rng.range_u64(2, 25));
+                    let mut delay = SimDuration::from_secs(prop_rng.range_u64(2, 25));
+                    if ctrl_active {
+                        if !faults.notify_available(visible_at) {
+                            // The push is lost: the member learns of the
+                            // change from a fallback metadata poll instead.
+                            delay += SimDuration::from_millis(prop_rng.range_u64(30_000, 120_000));
+                        } else if faults.degraded_at(visible_at) {
+                            // Elevated 5xx rates delay the push.
+                            delay += SimDuration::from_millis(faults.notify_delay_ms as u64);
+                        }
+                    }
                     queues[m]
                         .online_downloads
-                        .push((c.at + delay, c.chunks.clone()));
+                        .push((visible_at + delay, cid, c.chunks.clone()));
                     // Once the cloud retrieve lands, this device can serve the
                     // chunks to later peers on its LAN.
                     for w in &c.chunks {
@@ -702,32 +922,66 @@ fn simulate_household(
                     lan.announce(Announcement {
                         host: dev.host_int,
                         namespaces: dev.namespaces.clone(),
-                        at: c.at,
+                        at: visible_at,
                     });
                 } else {
-                    queues[m].pending.push((c.at, c.chunks.clone()));
+                    queues[m].pending.push((visible_at, cid, c.chunks.clone()));
                 }
+            }
+        }
+        // Drain every offline queue still holding batches: its flush
+        // instant was computed against the committer's sessions, so the
+        // drain lands inside one.
+        for di in 0..devs.len() {
+            if let Some(f) = offline_flush[di] {
+                flush_queue(&mut offline[di], f, di, &mut uploads);
+            }
+        }
+        for q in &offline {
+            if let Some(a) = audit.as_deref_mut() {
+                a.superseded_chunks(q.superseded_ids());
+                for &tag in q.coalesced_tags() {
+                    a.excuse_commit(tag, Excuse::CoalescedAway);
+                }
+                if !q.is_empty() {
+                    a.residual_batches(q.len() as u64);
+                }
+            }
+        }
+        if ctrl_active {
+            // Deferred flushes were appended after direct uploads; restore
+            // chronological order for the per-session coalescing below.
+            for u in &mut uploads {
+                u.sort_by_key(|(t, _, _)| *t);
             }
         }
         stats.lan_synced += lan.served_chunks();
         // Resolve pending commit batches to the first session after their
-        // commit time. Commits after a device's last session never sync
-        // (the capture ends first), as in reality.
+        // visibility time. Commits after a device's last session never
+        // sync (the capture ends first), as in reality — the audit excuses
+        // them explicitly so the oracle can tell "capture ended" from
+        // "delivery lost".
         for (di, dev) in devs.iter().enumerate() {
             let pending = std::mem::take(&mut queues[di].pending);
-            for (t, batch) in pending {
+            for (t, cid, batch) in pending {
                 if let Some(si) = dev.next_session_after(t) {
                     queues[di]
                         .pending_at_start
                         .entry(si)
                         .or_default()
-                        .push(batch);
+                        .push((vec![cid], batch));
+                } else if let Some(a) = audit.as_deref_mut() {
+                    a.excuse(cid, dev.host_int.0, Excuse::NoLaterSession);
                 }
             }
         }
 
         // ---- Phase C: render the household's device flows -------------------
         let render_rng = hh_rng.fork_named("render");
+        let session_policy = SessionPolicy {
+            retry: *policy,
+            ..SessionPolicy::default()
+        };
 
         for (di, dev) in devs.iter().enumerate() {
             let sync_config = SyncConfig {
@@ -745,33 +999,39 @@ fn simulate_household(
                 ClientVersion::V1_2_52 => SimDuration::ZERO,
                 ClientVersion::V1_4_0 => SimDuration::from_secs(60),
             };
-            let mut session_uploads: BTreeMap<usize, Vec<(SimTime, Vec<ChunkWork>)>> =
+            let mut session_uploads: BTreeMap<usize, Vec<(SimTime, Vec<u64>, Vec<ChunkWork>)>> =
                 BTreeMap::new();
-            for (t, chunks) in &uploads[di] {
+            for (t, cids, chunks) in &uploads[di] {
                 if let Some(si) = dev.session_containing(*t) {
                     let list = session_uploads.entry(si).or_default();
                     match list.last_mut() {
-                        Some((t0, acc))
+                        Some((t0, acc_ids, acc))
                             if !coalesce.is_zero() && t.saturating_since(*t0) <= coalesce =>
                         {
+                            acc_ids.extend(cids.iter().copied());
                             acc.extend(chunks.iter().copied());
                         }
-                        _ => list.push((*t, chunks.clone())),
+                        _ => list.push((*t, cids.clone(), chunks.clone())),
                     }
                 }
             }
             let mut session_downloads: BTreeMap<usize, Vec<(SimTime, Vec<ChunkWork>)>> =
                 BTreeMap::new();
-            for (t, chunks) in &queues[di].online_downloads {
+            for (t, cid, chunks) in &queues[di].online_downloads {
                 let si = dev
                     .session_containing(*t)
                     .or_else(|| dev.next_session_after(*t));
                 if let Some(si) = si {
                     let t = (*t).max(dev.sessions[si].start);
+                    if let Some(a) = audit.as_deref_mut() {
+                        a.deliver(*cid, dev.host_int.0, t, DeliveryKind::Online);
+                    }
                     session_downloads
                         .entry(si)
                         .or_default()
                         .push((t, chunks.clone()));
+                } else if let Some(a) = audit.as_deref_mut() {
+                    a.excuse(*cid, dev.host_int.0, Excuse::NoLaterSession);
                 }
             }
 
@@ -785,13 +1045,15 @@ fn simulate_household(
                 // offline periods collapse the tail into one bulk transaction.
                 const MAX_LOGIN_TRANSACTIONS: usize = 12;
                 if pending.len() > MAX_LOGIN_TRANSACTIONS {
-                    let tail: Vec<ChunkWork> = pending
-                        .drain(MAX_LOGIN_TRANSACTIONS - 1..)
-                        .flatten()
-                        .collect();
-                    pending.push(tail);
+                    let mut tail_ids: Vec<u64> = Vec::new();
+                    let mut tail: Vec<ChunkWork> = Vec::new();
+                    for (ids, chunks) in pending.drain(MAX_LOGIN_TRANSACTIONS - 1..) {
+                        tail_ids.extend(ids);
+                        tail.extend(chunks);
+                    }
+                    pending.push((tail_ids, tail));
                 }
-                let pending_chunks: usize = pending.iter().map(Vec::len).sum();
+                let pending_chunks: usize = pending.iter().map(|(_, c)| c.len()).sum();
                 for spec in engine.session_start_flows(pending_chunks, &mut dev_rng) {
                     play(
                         &spec,
@@ -859,6 +1121,116 @@ fn simulate_household(
                             &mut dev_rng,
                             &mut scratch,
                         );
+                    }
+                } else if ctrl_active
+                    && (!faults.notify_available(session.start)
+                        || matches!(
+                            faults.next_notify_outage_after(session.start),
+                            Some((lo, _)) if lo < session.end
+                        ))
+                {
+                    // A notification outage overlaps the session: degrade
+                    // per the client's session state machine (DESIGN.md §9)
+                    // — long-poll fragments abort at the outage, jittered
+                    // fallback polls keep metadata flowing, and reconnect
+                    // probes back off until the plane returns. The probes
+                    // and the post-recovery reconnects are the storm the
+                    // chaos experiments aggregate fleet-wide.
+                    let splan = plan_session(
+                        session.start,
+                        session.end,
+                        faults,
+                        &session_policy,
+                        &mut dev_rng,
+                    );
+                    for phase in &splan.phases {
+                        match &phase.kind {
+                            PhaseKind::Notify { end } => {
+                                let frag = phase.end.saturating_since(phase.start);
+                                if frag.is_zero() {
+                                    continue;
+                                }
+                                let n_changes = if *end == SessionEnd::ClientShutdown {
+                                    changes
+                                } else {
+                                    0
+                                };
+                                let spec = notification_flow(
+                                    &dns,
+                                    dev.host_int,
+                                    md.namespaces_of(dev.host_int),
+                                    frag,
+                                    n_changes,
+                                    *end,
+                                    &mut dev_rng,
+                                );
+                                play(
+                                    &spec,
+                                    phase.start,
+                                    hh.ip,
+                                    hh.access,
+                                    day,
+                                    &mut monitor,
+                                    &mut dev_rng,
+                                    &mut scratch,
+                                );
+                                if *end == SessionEnd::Aborted {
+                                    fault_stats.notify_aborts += 1;
+                                }
+                            }
+                            PhaseKind::PollFallback { polls } => {
+                                for &pt in polls {
+                                    // Fallback metadata poll; a dead or
+                                    // degraded metadata plane answers with an
+                                    // error-sized response.
+                                    let resp = if faults.meta_available(pt) { 420 } else { 120 };
+                                    let spec =
+                                        engine.control_flow(false, &[(340, resp)], &mut dev_rng);
+                                    play(
+                                        &spec,
+                                        pt,
+                                        hh.ip,
+                                        hh.access,
+                                        day,
+                                        &mut monitor,
+                                        &mut dev_rng,
+                                        &mut scratch,
+                                    );
+                                    fault_stats.fallback_polls += 1;
+                                    if let Some(a) = audit.as_deref_mut() {
+                                        a.fallback_poll();
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    for &at in &splan.reconnect_attempts {
+                        let spec = reconnect_probe_flow(
+                            &dns,
+                            dev.host_int,
+                            md.namespaces_of(dev.host_int),
+                            &mut dev_rng,
+                        );
+                        play(
+                            &spec,
+                            at,
+                            hh.ip,
+                            hh.access,
+                            day,
+                            &mut monitor,
+                            &mut dev_rng,
+                            &mut scratch,
+                        );
+                        fault_stats.reconnect_attempts += 1;
+                        if let Some(a) = audit.as_deref_mut() {
+                            a.reconnect_attempt(at, dev.host_int.0);
+                        }
+                    }
+                    for &at in &splan.reconnects {
+                        fault_stats.reconnects += 1;
+                        if let Some(a) = audit.as_deref_mut() {
+                            a.reconnect(at, dev.host_int.0);
+                        }
                     }
                 } else if plan_active
                     && faults.notify_churn_p > 0.0
@@ -943,7 +1315,12 @@ fn simulate_household(
                 // Login synchronisation burst: one transaction per missed
                 // changeset, staggered over the first minutes of the session.
                 let mut t_login = session.start + SimDuration::from_secs(dev_rng.range_u64(10, 40));
-                for batch in &pending {
+                for (cids, batch) in &pending {
+                    if let Some(a) = audit.as_deref_mut() {
+                        for &cid in cids {
+                            a.deliver(cid, dev.host_int.0, t_login, DeliveryKind::Login);
+                        }
+                    }
                     if plan_active {
                         let outcome = engine.download_transaction_faulty(
                             batch,
@@ -989,6 +1366,24 @@ fn simulate_household(
                 // Periodic list refreshes (the short meta-data connections).
                 let mut t = session.start + SimDuration::from_mins(dev_rng.range_u64(20, 45));
                 while t < session.end {
+                    if ctrl_active && faults.degraded_at(t) && dev_rng.chance(faults.degraded_5xx_p)
+                    {
+                        // Partially degraded metadata plane: the first
+                        // attempt bounces with a 5xx-sized response and is
+                        // retried immediately after.
+                        let spec = engine.control_flow(false, &[(340, 120)], &mut dev_rng);
+                        play(
+                            &spec,
+                            t,
+                            hh.ip,
+                            hh.access,
+                            day,
+                            &mut monitor,
+                            &mut dev_rng,
+                            &mut scratch,
+                        );
+                        fault_stats.sync_retries += 1;
+                    }
                     let spec = engine.control_flow(false, &[(340, 420)], &mut dev_rng);
                     play(
                         &spec,
@@ -1005,7 +1400,12 @@ fn simulate_household(
 
                 // Uploads.
                 if let Some(ups) = session_uploads.get(&si) {
-                    for (t, chunks) in ups {
+                    for (t, cids, chunks) in ups {
+                        if let Some(a) = audit.as_deref_mut() {
+                            for &cid in cids {
+                                a.flushed(cid, *t);
+                            }
+                        }
                         if plan_active {
                             let outcome = engine.upload_transaction_faulty(
                                 chunks,
@@ -1159,6 +1559,13 @@ fn simulate_household(
                 let _ = dev.workstation;
             }
         }
+
+        // The household's final chunk-store content: the durability side
+        // of the convergence oracle checks every flushed commit's live
+        // chunks against this snapshot.
+        if let Some(a) = audit.as_deref_mut() {
+            a.snapshot_store(store.ids());
+        }
     }
 
     // ---- Phase D: web interface, direct links, API ----------------------
@@ -1292,6 +1699,62 @@ mod tests {
             .flows
             .iter()
             .any(|f| f.up.rtx_bytes > 0 || f.down.rtx_bytes > 0));
+    }
+
+    #[test]
+    fn chaos_plan_exercises_degraded_modes_and_converges() {
+        let mut config = VantageConfig::paper(VantageKind::Home1, 0.02);
+        config.days = 7;
+        let plan = FaultPlan::chaos(42, config.days, &simcore::faults::OutageKnobs::default());
+        let (out, audit) = simulate_vantage_audited(&config, ClientVersion::V1_2_52, 42, &plan);
+        let s = out.fault_stats;
+        assert!(s.reconnect_attempts > 0, "no reconnect probes: {s:?}");
+        assert!(s.reconnects > 0, "no reconnect storm: {s:?}");
+        assert!(s.fallback_polls > 0, "no fallback polls: {s:?}");
+        // The convergence oracle finds nothing to complain about.
+        let violations = crate::oracle::check(&audit);
+        assert!(
+            violations.is_empty(),
+            "oracle violations: {:?}",
+            violations.iter().map(|v| v.render()).collect::<Vec<_>>()
+        );
+        // Degraded sessions still produce a full flow mix.
+        assert!(out.dataset.flows.len() > 100);
+    }
+
+    #[test]
+    fn audited_chaos_run_is_byte_identical_to_unaudited() {
+        let mut config = VantageConfig::paper(VantageKind::Campus1, 0.02);
+        config.days = 7;
+        let plan = FaultPlan::chaos(7, config.days, &simcore::faults::OutageKnobs::default());
+        let plain = simulate_vantage(&config, ClientVersion::V1_2_52, 9, &plan);
+        let (audited, audit) = simulate_vantage_audited(&config, ClientVersion::V1_2_52, 9, &plan);
+        assert_eq!(plain.dataset.flows.len(), audited.dataset.flows.len());
+        for (a, b) in plain.dataset.flows.iter().zip(audited.dataset.flows.iter()) {
+            assert_eq!(a.total_bytes(), b.total_bytes());
+            assert_eq!(a.first_syn, b.first_syn);
+        }
+        assert_eq!(plain.fault_stats, audited.fault_stats);
+        // The ledger actually recorded the capture.
+        assert!(audit.commit_count() > 0);
+    }
+
+    #[test]
+    fn clean_audited_run_has_no_degraded_mode_artifacts() {
+        let mut config = VantageConfig::paper(VantageKind::Home1, 0.02);
+        config.days = 7;
+        let (out, audit) =
+            simulate_vantage_audited(&config, ClientVersion::V1_2_52, 42, &FaultPlan::none());
+        assert_eq!(out.fault_stats, FaultStats::default());
+        assert!(audit.reconnect_events().is_empty());
+        assert_eq!(audit.fallback_poll_count(), 0);
+        assert!(audit.commits().iter().all(|c| !c.deferred));
+        let violations = crate::oracle::check(&audit);
+        assert!(
+            violations.is_empty(),
+            "clean run must converge: {:?}",
+            violations.iter().map(|v| v.render()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

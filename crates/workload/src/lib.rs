@@ -16,6 +16,10 @@
 //!   through the `dropbox` protocol engine and the `tcpmodel` network onto
 //!   a `tstat` monitor, producing one `dropbox_analysis`-ready dataset
 //!   of flow records per vantage point,
+//! * [`audit`] / [`oracle`] — the chaos-soak ground truth: the driver
+//!   journals every commit, delivery, excuse, flush, and reconnect into a
+//!   [`SyncAudit`] ledger, and the read-only convergence oracle checks
+//!   the sync invariants of DESIGN.md §9 over it after quiescence,
 //! * [`shard`] — the parallel decomposition: each of the five captures
 //!   cut into contiguous *household ranges* with independent per-household
 //!   seed streams, executed on `simcore::par` so `--jobs N` runs are
@@ -33,13 +37,20 @@
 #![warn(missing_docs)]
 
 pub mod activity;
+pub mod audit;
 pub mod driver;
+pub mod oracle;
 pub mod population;
 pub mod providers;
 pub mod shard;
 pub mod vantage;
 
-pub use driver::{simulate_vantage, simulate_vantage_span, FaultStats, SimOutput, SpanOutput};
+pub use audit::SyncAudit;
+pub use driver::{
+    simulate_vantage, simulate_vantage_audited, simulate_vantage_span, FaultStats, SimOutput,
+    SpanOutput,
+};
+pub use oracle::Violation;
 pub use shard::{simulate_shards, CaptureShard, HouseholdShard, ShardPlan};
-pub use simcore::faults::{FaultPlan, FlowFaults};
+pub use simcore::faults::{FaultPlan, FlowFaults, OutageKnobs};
 pub use vantage::{VantageConfig, VantageKind};

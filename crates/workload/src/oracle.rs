@@ -1,0 +1,276 @@
+//! The sync-convergence oracle: read-only invariant checks over a
+//! [`SyncAudit`] ledger after a fault plan has quiesced.
+//!
+//! The oracle never touches simulation state — every check folds over the
+//! ledger through `&self` accessors. simlint's `oracle-pure` rule keeps
+//! mutable borrows out of this file, so the oracle cannot "fix up" the
+//! run it is judging.
+//!
+//! Invariants (DESIGN.md §9):
+//!
+//! 1. **Reachability** — every `(commit, member)` pair the driver declared
+//!    is either delivered at least once or carries an explicit excuse
+//!    (capture ended before the member's next session, the commit never
+//!    reached the server, or coalescing superseded it entirely).
+//! 2. **No double-apply** — no member receives a commit twice, and no
+//!    local commit's upload transaction renders more than once.
+//! 3. **Durability** — every chunk of a flushed local commit is present
+//!    in the final chunk-store snapshot, unless a later offline edit
+//!    superseded it.
+//! 4. **Queue drain** — no offline-queue batch survives the capture, and
+//!    every non-excused local commit was flushed.
+//! 5. **Causality** — no delivery precedes its commit.
+
+use crate::audit::SyncAudit;
+
+/// One violated invariant, with enough trace to reproduce and debug it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Which invariant failed (stable machine-readable label).
+    pub invariant: &'static str,
+    /// Offending commit id, when the violation is commit-scoped.
+    pub commit: Option<u64>,
+    /// Human-readable event trace.
+    pub detail: String,
+}
+
+impl Violation {
+    /// One-line report form (no `Display` impl: a `fmt::Formatter` is a
+    /// mutable borrow, and this module stays free of them by contract).
+    pub fn render(&self) -> String {
+        match self.commit {
+            Some(id) => format!("[{}] commit {}: {}", self.invariant, id, self.detail),
+            None => format!("[{}] {}", self.invariant, self.detail),
+        }
+    }
+}
+
+/// Render the ledger's view of one commit — the event trace attached to
+/// violations so a failing seed can be debugged from the report alone.
+fn trace(audit: &SyncAudit, id: u64) -> String {
+    let c = &audit.commits()[id as usize];
+    let mut s = format!(
+        "committed at {} (visible {}) by {:?} into ns {} with {} chunks{}",
+        c.at,
+        c.visible_at,
+        c.committer,
+        c.ns,
+        c.chunks.len(),
+        if c.deferred { ", deferred" } else { "" },
+    );
+    for (cid, host) in audit.expects() {
+        if cid != id {
+            continue;
+        }
+        let dels = audit.deliveries(id, host);
+        if dels.is_empty() {
+            match audit.excuse_of(id, host) {
+                Some(why) => s.push_str(&format!("; dev {host}: excused ({why:?})")),
+                None => s.push_str(&format!("; dev {host}: NO DELIVERY")),
+            }
+        } else {
+            for (t, kind) in dels {
+                s.push_str(&format!("; dev {host}: {kind:?} at {t}"));
+            }
+        }
+    }
+    s
+}
+
+/// Run every convergence check over the ledger; an empty vector means the
+/// capture converged.
+pub fn check(audit: &SyncAudit) -> Vec<Violation> {
+    let mut out = Vec::new();
+
+    // 1 + 2a + 5: per expected (commit, member) pair.
+    for (id, host) in audit.expects() {
+        let dels = audit.deliveries(id, host);
+        if dels.is_empty() && audit.excuse_of(id, host).is_none() {
+            out.push(Violation {
+                invariant: "reachability",
+                commit: Some(id),
+                detail: format!("device {host} never received it: {}", trace(audit, id)),
+            });
+        }
+        if dels.len() > 1 {
+            out.push(Violation {
+                invariant: "double-apply",
+                commit: Some(id),
+                detail: format!(
+                    "device {host} received it {} times: {}",
+                    dels.len(),
+                    trace(audit, id)
+                ),
+            });
+        }
+        let committed_at = audit.commits()[id as usize].at;
+        for (t, kind) in dels {
+            if *t < committed_at {
+                out.push(Violation {
+                    invariant: "causality",
+                    commit: Some(id),
+                    detail: format!(
+                        "device {host} got {kind:?} at {t}, before the commit: {}",
+                        trace(audit, id)
+                    ),
+                });
+            }
+        }
+    }
+
+    // 2b + 3 + 4: per local commit.
+    for c in audit.commits() {
+        if c.committer.is_none() {
+            continue; // external producers upload outside the capture
+        }
+        let flushes = audit.flushes_of(c.id);
+        match (flushes.len(), audit.commit_excuse(c.id)) {
+            (0, None) => out.push(Violation {
+                invariant: "queue-drain",
+                commit: Some(c.id),
+                detail: format!("never flushed and not excused: {}", trace(audit, c.id)),
+            }),
+            (n, _) if n > 1 => out.push(Violation {
+                invariant: "double-apply",
+                commit: Some(c.id),
+                detail: format!("upload rendered {n} times: {}", trace(audit, c.id)),
+            }),
+            _ => {}
+        }
+        if !flushes.is_empty() {
+            for &chunk in &c.chunks {
+                if !audit.is_stored(chunk) && !audit.is_superseded(chunk) {
+                    out.push(Violation {
+                        invariant: "durability",
+                        commit: Some(c.id),
+                        detail: format!(
+                            "chunk {:#x} missing from the store: {}",
+                            chunk.0,
+                            trace(audit, c.id)
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // 4: residual queues.
+    if audit.residual_batch_count() > 0 {
+        out.push(Violation {
+            invariant: "queue-drain",
+            commit: None,
+            detail: format!(
+                "{} offline-queue batches left undrained at capture end",
+                audit.residual_batch_count()
+            ),
+        });
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::{CommitRecord, DeliveryKind, Excuse};
+    use dropbox::content::ChunkId;
+    use simcore::SimTime;
+
+    fn commit(id: u64, committer: Option<u64>, chunks: Vec<ChunkId>) -> CommitRecord {
+        CommitRecord {
+            id,
+            ns: 1,
+            at: SimTime::from_secs(100),
+            visible_at: SimTime::from_secs(100),
+            committer,
+            chunks,
+            deferred: false,
+        }
+    }
+
+    #[test]
+    fn clean_ledger_passes() {
+        let mut a = SyncAudit::new();
+        a.push_commit(commit(0, Some(1), vec![ChunkId(9)]));
+        a.expect_delivery(0, 2);
+        a.deliver(0, 2, SimTime::from_secs(130), DeliveryKind::Online);
+        a.flushed(0, SimTime::from_secs(100));
+        a.snapshot_store([ChunkId(9)]);
+        assert!(check(&a).is_empty());
+    }
+
+    #[test]
+    fn missing_delivery_is_a_reachability_violation() {
+        let mut a = SyncAudit::new();
+        a.push_commit(commit(0, Some(1), vec![]));
+        a.expect_delivery(0, 2);
+        a.flushed(0, SimTime::from_secs(100));
+        let v = check(&a);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "reachability");
+        assert!(v[0].detail.contains("NO DELIVERY"), "{}", v[0].detail);
+    }
+
+    #[test]
+    fn excused_members_do_not_trip_the_oracle() {
+        let mut a = SyncAudit::new();
+        a.push_commit(commit(0, Some(1), vec![]));
+        a.expect_delivery(0, 2);
+        a.excuse(0, 2, Excuse::NoLaterSession);
+        a.flushed(0, SimTime::from_secs(100));
+        assert!(check(&a).is_empty());
+    }
+
+    #[test]
+    fn duplicate_delivery_and_flush_are_double_applies() {
+        let mut a = SyncAudit::new();
+        a.push_commit(commit(0, Some(1), vec![]));
+        a.expect_delivery(0, 2);
+        a.deliver(0, 2, SimTime::from_secs(130), DeliveryKind::Lan);
+        a.deliver(0, 2, SimTime::from_secs(140), DeliveryKind::Login);
+        a.flushed(0, SimTime::from_secs(100));
+        a.flushed(0, SimTime::from_secs(101));
+        let kinds: Vec<&str> = check(&a).iter().map(|v| v.invariant).collect();
+        assert_eq!(kinds, vec!["double-apply", "double-apply"]);
+    }
+
+    #[test]
+    fn lost_chunk_is_a_durability_violation_unless_superseded() {
+        let mut a = SyncAudit::new();
+        a.push_commit(commit(0, Some(1), vec![ChunkId(5), ChunkId(6)]));
+        a.flushed(0, SimTime::from_secs(100));
+        a.snapshot_store([ChunkId(5)]);
+        let v = check(&a);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "durability");
+        // Excusing the missing chunk as superseded clears the violation.
+        let mut b = SyncAudit::new();
+        b.push_commit(commit(0, Some(1), vec![ChunkId(5), ChunkId(6)]));
+        b.flushed(0, SimTime::from_secs(100));
+        b.snapshot_store([ChunkId(5)]);
+        b.superseded_chunks(&[ChunkId(6)]);
+        assert!(check(&b).is_empty());
+    }
+
+    #[test]
+    fn unflushed_local_commit_needs_an_excuse() {
+        let mut a = SyncAudit::new();
+        a.push_commit(commit(0, Some(1), vec![]));
+        let v = check(&a);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "queue-drain");
+        let mut b = SyncAudit::new();
+        b.push_commit(commit(0, Some(1), vec![]));
+        b.excuse_commit(0, Excuse::NeverFlushed);
+        assert!(check(&b).is_empty());
+    }
+
+    #[test]
+    fn residual_batches_trip_the_oracle() {
+        let mut a = SyncAudit::new();
+        a.residual_batches(2);
+        let v = check(&a);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "queue-drain");
+    }
+}

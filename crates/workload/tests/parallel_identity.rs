@@ -78,6 +78,7 @@ fn assert_byte_identical(faults: &FaultPlan, what: &str) {
                 a.fault_stats.notify_aborts, b.fault_stats.notify_aborts,
                 "{what}: notify_aborts"
             );
+            assert_eq!(a.fault_stats, b.fault_stats, "{what}: fault_stats");
         }
     }
 }
@@ -93,6 +94,17 @@ fn parallel_runs_are_byte_identical_under_faults() {
     let faults = FaultPlan::lossy(9, 4);
     assert!(faults.is_active());
     assert_byte_identical(&faults, "faulty");
+}
+
+#[test]
+fn parallel_runs_are_byte_identical_under_chaos() {
+    // The control-plane machinery (offline queues, deferred flushes,
+    // session planning, reconnect storms) draws from per-household
+    // streams too: a full chaos plan must be just as schedule-independent
+    // as the link-fault plan, including the new degraded-mode counters.
+    let faults = FaultPlan::chaos(9, 4, &workload::OutageKnobs::default());
+    assert!(faults.has_control_plane());
+    assert_byte_identical(&faults, "chaos");
 }
 
 // The full (jobs × sub-shards) grid under randomised seeds and fault

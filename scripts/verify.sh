@@ -55,6 +55,16 @@ cargo run --release --offline -p experiments --bin repro -- \
     table2 --scale 0.01 --faults 7 --jobs 8 --hh-shards 1 --out "$coarse_dir"
 diff -r "$smoke_dir" "$coarse_dir"
 
+# Chaos-soak smoke: 32 seeded control-plane fault scenarios, each checked
+# against the sync-convergence oracle; `repro --chaos` exits non-zero on
+# any violation.
+chaos_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir" "$par_dir" "$coarse_dir" "$chaos_dir"' EXIT
+cargo run --release --offline -p experiments --bin repro -- \
+    --chaos 32 --out "$chaos_dir"
+test -s "$chaos_dir/chaos_soak.txt"
+grep -q "convergence oracle: PASS" "$chaos_dir/chaos_soak.txt"
+
 # Fault-substrate benchmark (writes crates/bench/BENCH_faults.json).
 cargo bench --offline -p bench --bench faults
 test -s crates/bench/BENCH_faults.json
@@ -73,3 +83,8 @@ test -s crates/bench/BENCH_parallel.json
 # the single shared pass must digest the full-scale (1.0) capture.
 cargo bench --offline -p bench --bench stream
 test -s crates/bench/BENCH_stream.json
+
+# Chaos-soak benchmark (writes crates/bench/BENCH_chaos.json:
+# scenarios/sec through the audited driver + oracle).
+cargo bench --offline -p bench --bench chaos
+test -s crates/bench/BENCH_chaos.json
