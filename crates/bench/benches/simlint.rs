@@ -1,7 +1,11 @@
 //! Benchmark of the static-analysis pass itself: simlint runs on every
 //! verify invocation, so its wall time over the workspace is tracked like
-//! any other substrate cost. Split into the full end-to-end pass and the
-//! lexer alone (the pass is lexing-dominated on large files).
+//! any other substrate cost. Split into the full end-to-end pass, the
+//! incremental-cache cold/warm pair (a fully-warm run validates file
+//! stats against the cache summary and replays the cached report without
+//! parsing a single fact — the warm/cold ratio is the figure the ≥5x
+//! speedup target is judged on), and the lexer alone (a cold pass is
+//! lexing-dominated on large files).
 
 use bench::{Harness, Throughput};
 use simlint::Options;
@@ -45,6 +49,45 @@ fn main() {
         })
     });
     g.finish();
+
+    // Cold vs warm incremental cache. The cold case removes both cache
+    // files before every iteration (full fact extraction + cache write);
+    // the warm case primes once and then replays the cached report.
+    let cache = root.join("target/simlint-bench-cache.json");
+    let sidecar = simlint::cache::sidecar_path(&cache);
+    let mut g = c.group("simlint");
+    g.throughput(Throughput::Elements(files));
+    g.sample_size(10);
+    g.bench_function("workspace_cold_cache", |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_file(&cache);
+            let _ = std::fs::remove_file(&sidecar);
+            let (report, stats) =
+                simlint::run_with_cache(std::hint::black_box(&root), &opts, &cache)
+                    .expect("workspace readable");
+            assert_eq!(stats.hits, 0);
+            report.violations.len()
+        })
+    });
+    g.finish();
+
+    let (_, primed) = simlint::run_with_cache(&root, &opts, &cache).expect("prime cache");
+    assert!(primed.misses > 0 || primed.hits > 0);
+    let mut g = c.group("simlint");
+    g.throughput(Throughput::Elements(files));
+    g.sample_size(10);
+    g.bench_function("workspace_warm_cache", |b| {
+        b.iter(|| {
+            let (report, stats) =
+                simlint::run_with_cache(std::hint::black_box(&root), &opts, &cache)
+                    .expect("workspace readable");
+            assert_eq!(stats.misses, 0, "warm run must be all cache hits");
+            report.violations.len()
+        })
+    });
+    g.finish();
+    let _ = std::fs::remove_file(&cache);
+    let _ = std::fs::remove_file(&sidecar);
 
     let mut g = c.group("simlint");
     g.throughput(Throughput::Bytes(driver_src.len() as u64));

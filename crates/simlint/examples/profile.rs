@@ -1,0 +1,114 @@
+//! Ad-hoc timing breakdown of the lint pipeline (dev tool, not a test).
+
+use simlint::{cache, Options};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap();
+    let opts = Options::workspace();
+    let cache_path = root.join("target/simlint-profile-cache.json");
+    let _ = std::fs::remove_file(&cache_path);
+
+    let t = Instant::now();
+    let r = simlint::run(&root, &opts).unwrap();
+    println!(
+        "no-cache run:   {:.1} ms ({} files)",
+        t.elapsed().as_secs_f64() * 1e3,
+        r.files_scanned
+    );
+
+    let t = Instant::now();
+    let _ = simlint::run_with_cache(&root, &opts, &cache_path).unwrap();
+    println!("cold cache run: {:.1} ms", t.elapsed().as_secs_f64() * 1e3);
+
+    let t = Instant::now();
+    let (_, s) = simlint::run_with_cache(&root, &opts, &cache_path).unwrap();
+    println!(
+        "warm cache run: {:.1} ms ({} hits)",
+        t.elapsed().as_secs_f64() * 1e3,
+        s.hits
+    );
+
+    let digest = cache::config_digest(&opts);
+    let sidecar = cache::sidecar_path(&cache_path);
+    let t = Instant::now();
+    let c = cache::Summary::load(&cache_path, &digest).unwrap();
+    println!(
+        "summary load:   {:.2} ms ({} entries)",
+        t.elapsed().as_secs_f64() * 1e3,
+        c.files.len()
+    );
+    let t = Instant::now();
+    let f = cache::load_facts(&sidecar);
+    println!(
+        "facts load:     {:.1} ms ({} entries)",
+        t.elapsed().as_secs_f64() * 1e3,
+        f.len()
+    );
+    let t = Instant::now();
+    c.save(&cache_path).unwrap();
+    cache::save_facts(&sidecar, &f).unwrap();
+    println!("cache save:     {:.1} ms", t.elapsed().as_secs_f64() * 1e3);
+    let sz =
+        std::fs::metadata(&cache_path).unwrap().len() + std::fs::metadata(&sidecar).unwrap().len();
+    println!("cache size:     {} kB", sz / 1024);
+    let _ = std::fs::remove_file(&cache_path);
+    let _ = std::fs::remove_file(&sidecar);
+
+    // Per-stage split: read+compute vs the global passes.
+    let mut rs = Vec::new();
+    collect(&root, &mut rs);
+    let t = Instant::now();
+    let mut all = Vec::new();
+    for p in &rs {
+        let rel = p
+            .strip_prefix(&root)
+            .unwrap()
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = std::fs::read_to_string(p).unwrap();
+        all.push(simlint::facts::FileFacts::compute(&rel, &text, &opts));
+    }
+    println!(
+        "read+compute:   {:.1} ms ({} files)",
+        t.elapsed().as_secs_f64() * 1e3,
+        all.len()
+    );
+    let pkg = std::collections::BTreeMap::new();
+    let t = Instant::now();
+    let ws = simlint::resolve::Workspace::build(&all, &pkg);
+    println!("resolve build:  {:.1} ms", t.elapsed().as_secs_f64() * 1e3);
+    let t = Instant::now();
+    let n = simlint::taint::check(&ws, &opts).len();
+    println!(
+        "taint check:    {:.1} ms ({} findings)",
+        t.elapsed().as_secs_f64() * 1e3,
+        n
+    );
+    let t = Instant::now();
+    let j = simcore::json::to_string(&simcore::json::ToJson::to_json(&all[0]));
+    let _ = j.len();
+    println!("facts[0] json:  {:.3} ms", t.elapsed().as_secs_f64() * 1e3);
+}
+
+fn collect(dir: &std::path::Path, out: &mut Vec<PathBuf>) {
+    for e in std::fs::read_dir(dir).unwrap() {
+        let e = e.unwrap();
+        let p = e.path();
+        let name = e.file_name().to_string_lossy().into_owned();
+        if p.is_dir() {
+            if ["target", ".git", "fixtures", "results", "node_modules"].contains(&name.as_str())
+                || name.starts_with('.')
+            {
+                continue;
+            }
+            collect(&p, out);
+        } else if name.ends_with(".rs") {
+            out.push(p);
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Incremental lint cache.
+//!
+//! The whole report is a pure function of `(per-file facts, manifest
+//! contents, configuration)`, and per-file fact extraction
+//! ([`crate::facts::FileFacts::compute`]) is itself a pure function of
+//! `(file bytes, configuration)`. The cache exploits both layers with a
+//! two-file layout under `target/`:
+//!
+//! * **summary** (`simlint-cache.json`) — small: the configuration
+//!   digest, per-file validators (`size`, `mtime`, content hash), the
+//!   manifest hashes, and the full cached [`Report`]. A warm run stats
+//!   every file, and when every validator passes it returns the cached
+//!   report directly — no facts are parsed and no global pass re-runs.
+//! * **facts sidecar** (`simlint-cache.json.facts`) — large: the cached
+//!   [`FileFacts`] per file. Parsed only when something changed, so an
+//!   incremental run recomputes facts for the edited files alone and
+//!   then re-runs the (cheap) global passes over the full fact set.
+//!
+//! Validation is two-tier: `(size, mtime)` short-circuits the common
+//! case without reading the file; on mismatch the content hash decides,
+//! so `touch`ing a file only costs one hash, not a re-analysis. The whole
+//! cache is invalidated by a configuration digest covering the
+//! [`crate::Options`] in effect, the rule list, the crate version, and
+//! the cache format version.
+
+use crate::facts::FileFacts;
+use crate::{Options, Report};
+use simcore::json::{self, FromJson, Json, JsonError, ToJson};
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::UNIX_EPOCH;
+
+/// Bump when the serialised shape of the summary, the facts, or the
+/// report changes.
+const CACHE_FORMAT: u32 = 2;
+
+/// Hit/miss counters for one run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Files whose facts were reused (or whose report was, on the warm
+    /// short-circuit path).
+    pub hits: usize,
+    /// Files that were (re-)analysed.
+    pub misses: usize,
+}
+
+/// Per-file validators: fast stat pair plus the deciding content hash.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Meta {
+    /// File size in bytes.
+    pub size: u64,
+    /// Modification time, seconds since the epoch.
+    pub mtime_s: u64,
+    /// Modification time, subsecond nanoseconds.
+    pub mtime_ns: u64,
+    /// Hex sha256 of the file content.
+    pub sha: String,
+}
+
+/// The summary file: everything needed to decide "nothing changed" and
+/// answer without touching the facts sidecar.
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    /// Digest of the configuration the cache was computed under.
+    pub digest: String,
+    /// Validators per `.rs` file, keyed by root-relative path.
+    pub files: BTreeMap<String, Meta>,
+    /// Hex sha256 per `Cargo.toml`, keyed by root-relative path.
+    pub manifests: BTreeMap<String, String>,
+    /// The report the validated state produced.
+    pub report: Report,
+}
+
+/// Digest of everything the cached results depend on besides file and
+/// manifest content.
+pub fn config_digest(opts: &Options) -> String {
+    let mut input = format!("{opts:?}");
+    input.push('\n');
+    input.push_str(&crate::RULES.join(","));
+    input.push('\n');
+    input.push_str(env!("CARGO_PKG_VERSION"));
+    input.push('\n');
+    input.push_str(&CACHE_FORMAT.to_string());
+    contenthash::sha256(input.as_bytes()).to_hex()
+}
+
+/// `(size, mtime_s, mtime_ns)` of a file, for the fast validators.
+pub fn file_validators(path: &Path) -> io::Result<(u64, u64, u64)> {
+    let meta = fs::metadata(path)?;
+    let (s, ns) = meta
+        .modified()
+        .ok()
+        .and_then(|t| t.duration_since(UNIX_EPOCH).ok())
+        .map(|d| (d.as_secs(), d.subsec_nanos() as u64))
+        .unwrap_or((0, 0));
+    Ok((meta.len(), s, ns))
+}
+
+/// Path of the facts sidecar belonging to the summary at `summary_path`.
+pub fn sidecar_path(summary_path: &Path) -> PathBuf {
+    let mut name = summary_path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    name.push_str(".facts");
+    summary_path.with_file_name(name)
+}
+
+impl Summary {
+    /// Load the summary at `path`; an unreadable, unparsable, or
+    /// digest-mismatched summary yields `None` (everything recomputes).
+    pub fn load(path: &Path, digest: &str) -> Option<Summary> {
+        let text = fs::read_to_string(path).ok()?;
+        let parsed = Json::parse(&text).ok()?;
+        let summary = Summary::from_json(&parsed).ok()?;
+        if summary.digest == digest {
+            Some(summary)
+        } else {
+            None
+        }
+    }
+
+    /// Persist the summary, creating the parent directory if needed.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        fs::write(path, json::to_string(&self.to_json()))
+    }
+}
+
+/// Load the facts sidecar; degrades to empty on any failure (the
+/// affected files recompute from source).
+pub fn load_facts(path: &Path) -> BTreeMap<String, FileFacts> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return BTreeMap::new();
+    };
+    let Ok(parsed) = Json::parse(&text) else {
+        return BTreeMap::new();
+    };
+    let Json::Obj(entries) = parsed else {
+        return BTreeMap::new();
+    };
+    let mut out = BTreeMap::new();
+    for (rel, v) in entries {
+        if let Ok(facts) = FileFacts::from_json(&v) {
+            out.insert(rel, facts);
+        }
+    }
+    out
+}
+
+/// Persist the facts sidecar, creating the parent directory if needed.
+pub fn save_facts(path: &Path, facts: &BTreeMap<String, FileFacts>) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    let obj = Json::Obj(
+        facts
+            .iter()
+            .map(|(rel, f)| (rel.clone(), f.to_json()))
+            .collect(),
+    );
+    fs::write(path, json::to_string(&obj))
+}
+
+impl ToJson for Meta {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("sz", Json::U64(self.size)),
+            ("ms", Json::U64(self.mtime_s)),
+            ("mn", Json::U64(self.mtime_ns)),
+            ("sha", self.sha.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Meta {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Meta {
+            size: v.field_or("sz", 0u64)?,
+            mtime_s: v.field_or("ms", 0u64)?,
+            mtime_ns: v.field_or("mn", 0u64)?,
+            sha: v.field_or("sha", String::new())?,
+        })
+    }
+}
+
+impl ToJson for Summary {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("digest", self.digest.to_json()),
+            (
+                "files",
+                Json::Obj(
+                    self.files
+                        .iter()
+                        .map(|(k, m)| (k.clone(), m.to_json()))
+                        .collect(),
+                ),
+            ),
+            (
+                "manifests",
+                Json::Obj(
+                    self.manifests
+                        .iter()
+                        .map(|(k, sha)| (k.clone(), sha.to_json()))
+                        .collect(),
+                ),
+            ),
+            ("report", self.report.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Summary {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let digest: String = v.field_or("digest", String::new())?;
+        let mut files = BTreeMap::new();
+        if let Json::Obj(entries) = v.field_or("files", Json::obj([]))? {
+            for (k, m) in entries {
+                files.insert(k, Meta::from_json(&m)?);
+            }
+        }
+        let mut manifests = BTreeMap::new();
+        if let Json::Obj(entries) = v.field_or("manifests", Json::obj([]))? {
+            for (k, sha) in entries {
+                manifests.insert(k, String::from_json(&sha)?);
+            }
+        }
+        let report = v.field_or("report", Report::default())?;
+        Ok(Summary {
+            digest,
+            files,
+            manifests,
+            report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Suppressed, Violation};
+
+    #[test]
+    fn digest_changes_with_options() {
+        let a = config_digest(&Options::workspace());
+        let mut opts = Options::workspace();
+        opts.sim_crates.push("zzz".to_string());
+        assert_ne!(a, config_digest(&opts));
+        assert_eq!(a, config_digest(&Options::workspace()));
+    }
+
+    #[test]
+    fn summary_round_trips_and_rejects_stale_digest() {
+        let dir = std::env::temp_dir().join(format!("simlint-cache-test-{}", std::process::id()));
+        let path = dir.join("c.json");
+        let mut summary = Summary {
+            digest: "d1".to_string(),
+            ..Summary::default()
+        };
+        summary.files.insert(
+            "crates/core/src/lib.rs".to_string(),
+            Meta {
+                size: 10,
+                mtime_s: 1,
+                mtime_ns: 2,
+                sha: "abc".to_string(),
+            },
+        );
+        summary
+            .manifests
+            .insert("Cargo.toml".to_string(), "def".to_string());
+        summary.report = Report {
+            files_scanned: 2,
+            violations: vec![Violation {
+                rule: "wall-clock".to_string(),
+                file: "crates/core/src/lib.rs".to_string(),
+                line: 3,
+                message: "no clocks".to_string(),
+                pass: "file".to_string(),
+                symbol: String::new(),
+            }],
+            allowed: vec![Suppressed {
+                rule: "panic-path".to_string(),
+                file: "crates/core/src/lib.rs".to_string(),
+                line: 9,
+                reason: "test fixture".to_string(),
+            }],
+        };
+        summary.save(&path).unwrap();
+        let back = Summary::load(&path, "d1").expect("summary must load");
+        assert_eq!(back.files, summary.files);
+        assert_eq!(back.manifests, summary.manifests);
+        assert_eq!(back.report.files_scanned, 2);
+        assert_eq!(back.report.violations, summary.report.violations);
+        assert_eq!(back.report.allowed, summary.report.allowed);
+        assert!(
+            Summary::load(&path, "d2").is_none(),
+            "digest mismatch must clear"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn facts_sidecar_round_trips_and_degrades_to_empty() {
+        let dir = std::env::temp_dir().join(format!("simlint-facts-test-{}", std::process::id()));
+        let path = dir.join("c.json.facts");
+        let facts = FileFacts::compute(
+            "crates/workload/src/driver.rs",
+            "pub fn f(worker_idx: u64, rng: &Rng) -> Rng { rng.fork(worker_idx) }\n",
+            &Options::workspace(),
+        );
+        let mut map = BTreeMap::new();
+        map.insert("crates/workload/src/driver.rs".to_string(), facts.clone());
+        save_facts(&path, &map).unwrap();
+        let back = load_facts(&path);
+        assert_eq!(back.len(), 1);
+        assert_eq!(back["crates/workload/src/driver.rs"], facts);
+        assert!(load_facts(&dir.join("missing.facts")).is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

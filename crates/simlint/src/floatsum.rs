@@ -1,0 +1,188 @@
+//! Float merge-order rule (`float-merge`).
+//!
+//! Shard-local state is merged in canonical household order, so any f64
+//! reduction inside a merge path must be order-insensitive or the
+//! serial-vs-sharded byte-identity contract quietly depends on merge
+//! order (f64 addition is not associative: `(a + b) + c != a + (b + c)`
+//! in general). This rule flags order-sensitive reductions — `+=` on an
+//! f64, `.sum()` / `.sum::<f64>()`, `.fold(0.0, ..)` — inside merge
+//! contexts: functions named `*merge*`, methods of `*Merge*` types, and
+//! `Accumulate` impls. The fix is `simcore::stats::OrderlessSum` (exact,
+//! permutation-invariant summation) or a justified allow.
+
+use crate::facts::Finding;
+use crate::lexer::TokKind;
+use crate::source::{FnSpan, SourceFile};
+use crate::Options;
+use std::collections::BTreeSet;
+
+/// True when the function sits in a merge path: its own name, its impl
+/// owner, or its trait says so.
+fn is_merge_context(f: &FnSpan) -> bool {
+    if f.owner.as_deref() == Some("OrderlessSum") {
+        return false;
+    }
+    f.name.to_ascii_lowercase().contains("merge")
+        || f.owner.as_deref().is_some_and(|o| o.contains("Merge"))
+        || f.trait_name
+            .as_deref()
+            .is_some_and(|t| t.contains("Accumulate"))
+}
+
+/// Identifiers declared with type `f64` anywhere in the file (struct
+/// fields, params, let-ascriptions): the evidence set for naming a
+/// reduction target as floating point.
+fn f64_names(file: &SourceFile) -> BTreeSet<String> {
+    let toks = &file.toks;
+    let mut names = BTreeSet::new();
+    for k in 0..toks.len().saturating_sub(2) {
+        if toks[k].kind == TokKind::Ident && toks[k + 1].is_sym(":") && toks[k + 2].is_ident("f64")
+        {
+            names.insert(toks[k].text.clone());
+        }
+    }
+    names
+}
+
+/// Run the rule over one file.
+pub fn check(file: &SourceFile, opts: &Options, out: &mut Vec<Finding>) {
+    let in_scope = opts.sim_crates.iter().any(|c| *c == file.crate_name)
+        || opts.analysis_crates.iter().any(|c| *c == file.crate_name);
+    if !in_scope || file.is_test_file {
+        return;
+    }
+    let floats = f64_names(file);
+    let toks = &file.toks;
+    for f in &file.fns {
+        if !is_merge_context(f) || file.in_test(f.sig_start) {
+            continue;
+        }
+        let ctx = match (&f.owner, &f.trait_name) {
+            (Some(o), Some(t)) => format!("{t} for {o}"),
+            (Some(o), None) => o.clone(),
+            _ => f.name.clone(),
+        };
+        for k in f.body_open..f.body_end.min(toks.len()) {
+            let t = &toks[k];
+            // `name += …` where `name: f64` is declared in this file.
+            if t.kind == TokKind::Ident
+                && floats.contains(&t.text)
+                && toks.get(k + 1).is_some_and(|n| n.is_sym("+"))
+                && toks.get(k + 2).is_some_and(|n| n.is_sym("="))
+            {
+                push(out, f, t.line, &ctx, &format!("`{} +=`", t.text));
+                continue;
+            }
+            if !t.is_sym(".") {
+                continue;
+            }
+            let name = match toks.get(k + 1) {
+                Some(n) if n.kind == TokKind::Ident => n.text.as_str(),
+                _ => continue,
+            };
+            // `.sum::<f64>()` is order-sensitive by construction.
+            if name == "sum"
+                && toks.get(k + 2).is_some_and(|n| n.is_sym("::"))
+                && toks.get(k + 4).is_some_and(|n| n.is_ident("f64"))
+            {
+                push(out, f, toks[k + 1].line, &ctx, "`.sum::<f64>()`");
+                continue;
+            }
+            // `.sum()` over something float-named nearby.
+            if name == "sum" && toks.get(k + 2).is_some_and(|n| n.is_sym("(")) {
+                let near_float = toks[k.saturating_sub(12)..k]
+                    .iter()
+                    .any(|p| p.kind == TokKind::Ident && floats.contains(&p.text));
+                if near_float {
+                    push(out, f, toks[k + 1].line, &ctx, "`.sum()` over f64 values");
+                }
+                continue;
+            }
+            // `.fold(0.0, …)`: a float-literal accumulator seed.
+            if name == "fold" && toks.get(k + 2).is_some_and(|n| n.is_sym("(")) {
+                let float_seed = toks
+                    .get(k + 3)
+                    .is_some_and(|n| n.kind == TokKind::Num && n.text.contains('.'));
+                if float_seed {
+                    push(out, f, toks[k + 1].line, &ctx, "`.fold(0.0, ..)`");
+                }
+            }
+        }
+    }
+}
+
+fn push(out: &mut Vec<Finding>, f: &FnSpan, line: u32, ctx: &str, what: &str) {
+    out.push(Finding {
+        pass: "float".to_string(),
+        rule: "float-merge".to_string(),
+        line,
+        message: format!(
+            "order-sensitive f64 reduction {what} in merge path `{ctx}::{name}`: f64 addition \
+             is not associative, so the result depends on merge order — route it through \
+             `simcore::stats::OrderlessSum` or add a justified allow",
+            name = f.name
+        ),
+        symbol: format!("{ctx}::{name}", name = f.name),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_src(rel: &str, src: &str) -> Vec<Finding> {
+        let file = SourceFile::analyse(rel, src);
+        let mut out = Vec::new();
+        check(&file, &Options::workspace(), &mut out);
+        out
+    }
+
+    #[test]
+    fn plus_assign_in_merge_is_flagged() {
+        let src = "pub struct S { sum: f64, n: u64 }\n\
+                   impl S {\n\
+                       pub fn merge(&mut self, other: &S) {\n\
+                           self.sum += other.sum;\n\
+                           self.n += other.n;\n\
+                       }\n\
+                   }\n";
+        let out = check_src("crates/simcore/src/stats.rs", src);
+        assert_eq!(out.len(), 1, "only the f64 field is flagged: {out:?}");
+        assert!(out[0].message.contains("`sum +=`"));
+        assert_eq!(out[0].symbol, "S::merge");
+    }
+
+    #[test]
+    fn sum_and_fold_in_merge_context_are_flagged() {
+        let src = "impl SpanMergeFeed {\n\
+                       fn drain(&mut self, parts: &[f64]) -> f64 {\n\
+                           parts.iter().copied().sum::<f64>()\n\
+                       }\n\
+                       fn total(&self, xs: Vec<f64>) -> f64 {\n\
+                           xs.iter().fold(0.0, |a, b| a + b)\n\
+                       }\n\
+                   }\n";
+        let out = check_src("crates/nettrace/src/sink.rs", src);
+        let what: Vec<&str> = out.iter().map(|f| f.rule.as_str()).collect();
+        assert_eq!(what, ["float-merge", "float-merge"]);
+    }
+
+    #[test]
+    fn non_merge_and_orderless_sum_are_exempt() {
+        let src = "pub struct OrderlessSum { partials: Vec<f64> }\n\
+                   impl OrderlessSum {\n\
+                       pub fn merge(&mut self, x: f64) { self.push_partial(x); }\n\
+                   }\n\
+                   pub fn total(xs: &[f64]) -> f64 { xs.iter().copied().sum::<f64>() }\n";
+        let out = check_src("crates/simcore/src/stats.rs", src);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn out_of_scope_and_tests_are_exempt() {
+        let src = "impl M { fn merge(&mut self, v: f64) { self.acc += v; } }\n\
+                   struct Q { acc: f64 }\n";
+        assert!(check_src("crates/simlint/src/x.rs", src).is_empty());
+        assert!(check_src("crates/simcore/tests/t.rs", src).is_empty());
+    }
+}

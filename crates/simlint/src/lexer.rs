@@ -191,16 +191,17 @@ pub fn lex(src: &str) -> Lexed {
         // Char literal or lifetime.
         if c == '\'' {
             if i + 1 < b.len() && b[i + 1] == '\\' {
-                // Escaped char literal: consume to the closing quote.
-                let mut j = i + 2;
-                let mut text = String::from("\\");
+                // Escaped char literal: the escape pair comes first (so
+                // `'\\'` and `'\''` close correctly), then any remaining
+                // code — `\u{1F4be}` — up to the closing quote.
+                let mut j = i + 1;
+                let mut text = String::new();
+                if j + 1 < b.len() {
+                    text.push(b[j]);
+                    text.push(b[j + 1]);
+                    j += 2;
+                }
                 while j < b.len() && b[j] != '\'' {
-                    if b[j] == '\\' && j + 1 < b.len() {
-                        text.push(b[j]);
-                        text.push(b[j + 1]);
-                        j += 2;
-                        continue;
-                    }
                     text.push(b[j]);
                     j += 1;
                 }
@@ -255,11 +256,34 @@ pub fn lex(src: &str) -> Lexed {
             continue;
         }
 
-        // Numbers.
+        // Numbers, including floats: fraction and signed exponent fuse into
+        // one token (`1.5e-3` is a single Num, not five fragments).
         if c.is_ascii_digit() {
             let mut j = i + 1;
-            while j < b.len() && (is_ident_continue(b[j])) {
-                j += 1;
+            loop {
+                while j < b.len() && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                // Fractional part: the `.` must be followed by a digit so
+                // ranges (`0..n`) and method calls (`1.max(2)`) keep their
+                // own tokens.
+                if j + 1 < b.len() && b[j] == '.' && b[j + 1].is_ascii_digit() {
+                    j += 2;
+                    continue;
+                }
+                // Signed exponent (`1e-3`, `2.5E+8`); hex literals are
+                // excluded so `0xE-2` stays subtraction.
+                let hex = b[i] == '0' && i + 1 < b.len() && matches!(b[i + 1], 'x' | 'X');
+                if !hex
+                    && j + 1 < b.len()
+                    && matches!(b[j - 1], 'e' | 'E')
+                    && matches!(b[j], '+' | '-')
+                    && b[j + 1].is_ascii_digit()
+                {
+                    j += 2;
+                    continue;
+                }
+                break;
             }
             out.toks.push(Tok {
                 kind: TokKind::Num,
@@ -449,5 +473,68 @@ mod tests {
     #[test]
     fn raw_identifiers_lose_their_prefix() {
         assert_eq!(idents("r#fn r#match plain"), ["fn", "match", "plain"]);
+    }
+
+    #[test]
+    fn escaped_backslash_char_literal_closes() {
+        // `'\\'` used to run past its closing quote and swallow `d`.
+        let l = lex(r"let c = '\\'; d");
+        let chars: Vec<&str> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(chars, [r"\\"]);
+        assert!(idents(r"let c = '\\'; d").contains(&"d".to_string()));
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_closes() {
+        // `'\''` used to terminate at the escaped quote, leaving a stray
+        // `'` that mis-lexed the rest of the line as a lifetime.
+        let l = lex(r"let c = '\''; d");
+        let chars: Vec<&str> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(chars, [r"\'"]);
+        assert!(idents(r"let c = '\''; d").contains(&"d".to_string()));
+        assert!(l.toks.iter().all(|t| t.kind != TokKind::Lifetime));
+    }
+
+    #[test]
+    fn unicode_escape_char_literal() {
+        let l = lex(r"let c = '\u{1F4BE}'; d");
+        let chars: Vec<&str> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(chars, [r"\u{1F4BE}"]);
+        assert!(idents(r"let c = '\u{1F4BE}'; d").contains(&"d".to_string()));
+    }
+
+    #[test]
+    fn float_literals_are_single_tokens() {
+        let nums = |src: &str| -> Vec<String> {
+            lex(src)
+                .toks
+                .into_iter()
+                .filter(|t| t.kind == TokKind::Num)
+                .map(|t| t.text)
+                .collect()
+        };
+        assert_eq!(nums("let x = 1.5e-3;"), ["1.5e-3"]);
+        assert_eq!(nums("let x = 2.5E+8;"), ["2.5E+8"]);
+        assert_eq!(nums("let x = 1e9 + 0.25f64;"), ["1e9", "0.25f64"]);
+        // Ranges, method calls on literals, and hex subtraction keep
+        // their own tokens.
+        assert_eq!(nums("for i in 0..10 {}"), ["0", "10"]);
+        assert_eq!(nums("let m = 1.max(2);"), ["1", "2"]);
+        assert_eq!(nums("let h = 0xE-2;"), ["0xE", "2"]);
     }
 }

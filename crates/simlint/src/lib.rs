@@ -9,9 +9,11 @@
 //!   threads confined to the deterministic fork-join executor
 //!   (`simcore::par`, whose own shared-state uses must each be justified —
 //!   the `par-exec` rule), seed streams derived only from stable shard
-//!   identity, never scheduling state (the `shard-seed` rule), and no
+//!   identity, never scheduling state (the seed-provenance taint pass in
+//!   [`taint`], emitting the `shard-seed` and `taint-flow` rules), no
 //!   `HashMap`/`HashSet` iteration whose order can reach serialized
-//!   output ([`rules`], [`callgraph`]);
+//!   output ([`rules`], resolved workspace-wide by [`resolve`]), and no
+//!   order-sensitive f64 reduction in merge paths ([`floatsum`]);
 //! * **hermeticity** — every dependency is an in-tree path dependency and
 //!   no code shells out ([`manifest`], [`rules`]);
 //! * **streaming** — analysis crates consume flow records through the
@@ -24,21 +26,40 @@
 //!
 //! Violations can be suppressed, never silently: a
 //! `// simlint: allow(<rule>) — <reason>` annotation on the offending
-//! line (or the line above) records the justification, and a malformed
-//! annotation is itself a violation (`allow-syntax`).
+//! line (or the line above) records the justification, a malformed
+//! annotation is itself a violation (`allow-syntax`), and an annotation
+//! that suppresses nothing is too (`stale-allow`) — suppressions cannot
+//! outlive the code they excuse.
+//!
+//! The pass runs in two stages. Per-file **fact extraction** ([`facts`])
+//! lexes a file once and records local findings plus everything the
+//! cross-file passes need (call sites with argument structure, taint
+//! sets, schema accesses, `use` declarations); being a pure function of
+//! file content and configuration, it is cached by content hash
+//! ([`cache`]). The **global passes** — symbol resolution and the
+//! emission/parameter-flow fixpoints ([`resolve`]), seed-provenance taint
+//! ([`taint`]), the schema join ([`schema`]), and stale-allow detection —
+//! re-run whenever any input changed; when *nothing* changed, the whole
+//! report (itself a pure function of facts, manifests, and
+//! configuration) is replayed from the cache summary without parsing a
+//! single fact.
 //!
 //! The pass is std-only and builds on its own lightweight lexer
 //! ([`lexer`]) — consistent with the hermetic-workspace rule it enforces.
 
-pub mod callgraph;
+pub mod cache;
+pub mod facts;
+pub mod floatsum;
 pub mod lexer;
 pub mod manifest;
+pub mod resolve;
 pub mod rules;
 pub mod schema;
 pub mod source;
+pub mod taint;
 
-use simcore::json::{Json, ToJson};
-use source::SourceFile;
+use facts::{FileFacts, Finding};
+use simcore::json::{FromJson, Json, JsonError, ToJson};
 use std::collections::BTreeMap;
 use std::fs;
 use std::io;
@@ -49,6 +70,8 @@ pub const RULES: &[&str] = &[
     "wall-clock",
     "par-exec",
     "shard-seed",
+    "taint-flow",
+    "float-merge",
     "map-iter",
     "full-materialize",
     "non-workspace-dep",
@@ -58,6 +81,7 @@ pub const RULES: &[&str] = &[
     "oracle-pure",
     "schema-drift",
     "allow-syntax",
+    "stale-allow",
 ];
 
 /// One diagnostic.
@@ -71,6 +95,12 @@ pub struct Violation {
     pub line: u32,
     /// Human explanation.
     pub message: String,
+    /// Analysis pass that produced the finding (`file`, `manifest`,
+    /// `resolve`, `taint`, `float`, `schema`, `allow`).
+    pub pass: String,
+    /// Resolved symbol path the finding hangs off, when the pass has one
+    /// (e.g. the seed-derivation function a tainted value reached).
+    pub symbol: String,
 }
 
 /// A violation suppressed by a justified allow annotation.
@@ -112,7 +142,10 @@ impl Report {
         counts
     }
 
-    /// Machine-readable report (the `results/simlint_report.json` payload).
+    /// Machine-readable report (the `results/simlint_report.json`
+    /// payload). Each violation carries rule provenance: the `pass` that
+    /// produced it and, when resolution was involved, the resolved
+    /// `symbol` path.
     pub fn to_json(&self) -> Json {
         let viol = Json::Arr(
             self.violations
@@ -123,6 +156,8 @@ impl Report {
                         ("file", v.file.to_json()),
                         ("line", Json::U64(v.line as u64)),
                         ("message", v.message.to_json()),
+                        ("pass", v.pass.to_json()),
+                        ("symbol", v.symbol.to_json()),
                     ])
                 })
                 .collect(),
@@ -180,6 +215,42 @@ impl Report {
     }
 }
 
+impl FromJson for Violation {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Violation {
+            rule: v.field_or("rule", String::new())?,
+            file: v.field_or("file", String::new())?,
+            line: v.field_or("line", 0u64)? as u32,
+            message: v.field_or("message", String::new())?,
+            pass: v.field_or("pass", String::new())?,
+            symbol: v.field_or("symbol", String::new())?,
+        })
+    }
+}
+
+impl FromJson for Suppressed {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Suppressed {
+            rule: v.field_or("rule", String::new())?,
+            file: v.field_or("file", String::new())?,
+            line: v.field_or("line", 0u64)? as u32,
+            reason: v.field_or("reason", String::new())?,
+        })
+    }
+}
+
+impl FromJson for Report {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        // `ok` and `counts` are derived views; only the substance reads
+        // back.
+        Ok(Report {
+            files_scanned: v.field_or("files_scanned", 0u64)? as usize,
+            violations: v.field_or("violations", Vec::new())?,
+            allowed: v.field_or("allowed", Vec::new())?,
+        })
+    }
+}
+
 /// Lint configuration. [`Options::workspace`] is what the binary and the
 /// verify gate use; tests construct variants to lint fixtures.
 #[derive(Clone, Debug)]
@@ -196,11 +267,6 @@ pub struct Options {
     /// primitives are flagged instead, so every exception to "shards are
     /// pure" carries a justified allow annotation.
     pub par_exec_files: Vec<String>,
-    /// Root-relative path suffixes of the seed-derivation files: where
-    /// `fork`/`fork_named`/`shard_stream`/`household_stream` calls are
-    /// checked against scheduling-state arguments (`shard-seed` rule) —
-    /// seed streams must be pure functions of stable shard identity.
-    pub shard_seed_files: Vec<String>,
     /// Root-relative path suffixes of the convergence-oracle files: the
     /// read-only judges of a finished run. Any `&mut` borrow outside
     /// tests is flagged (`oracle-pure`) — the oracle must not be able to
@@ -283,16 +349,6 @@ impl Options {
             .map(|s| s.to_string())
             .collect(),
             par_exec_files: vec!["crates/simcore/src/par.rs".to_string()],
-            shard_seed_files: [
-                "crates/simcore/src/par.rs",
-                "crates/workload/src/driver.rs",
-                "crates/workload/src/shard.rs",
-                "crates/workload/src/population.rs",
-                "crates/workload/src/providers.rs",
-            ]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
             oracle_files: vec!["crates/workload/src/oracle.rs".to_string()],
             analysis_crates: ["core", "experiments"]
                 .iter()
@@ -313,81 +369,297 @@ impl Options {
     }
 }
 
-/// Route a finding to the violation list or, when a justified allow
-/// annotation covers it, to the suppression list.
-pub(crate) fn emit(
-    file: &SourceFile,
-    rule: &str,
-    line: u32,
-    message: String,
-    violations: &mut Vec<Violation>,
-    allowed: &mut Vec<Suppressed>,
-) {
-    if let Some(a) = file.allow_for(rule, line) {
-        allowed.push(Suppressed {
-            rule: rule.to_string(),
-            file: file.rel.clone(),
-            line,
-            reason: a.reason.clone(),
-        });
-    } else {
-        violations.push(Violation {
-            rule: rule.to_string(),
-            file: file.rel.clone(),
-            line,
-            message,
-        });
-    }
-}
-
 /// Directories never descended into: build outputs, VCS metadata, and the
 /// lint's own known-bad test fixtures.
 const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures", "results", "node_modules"];
 
-/// Lint the tree rooted at `root` with the given options.
+/// Lint the tree rooted at `root` with the given options (no cache).
 pub fn run(root: &Path, opts: &Options) -> io::Result<Report> {
+    run_impl(root, opts, None).map(|(report, _)| report)
+}
+
+/// Lint with the incremental cache at `cache_path`: when nothing
+/// changed the cached report is replayed outright; otherwise per-file
+/// facts are reused where content is unchanged and the global passes
+/// re-run over the full fact set.
+pub fn run_with_cache(
+    root: &Path,
+    opts: &Options,
+    cache_path: &Path,
+) -> io::Result<(Report, cache::Stats)> {
+    run_impl(root, opts, Some(cache_path))
+}
+
+fn run_impl(
+    root: &Path,
+    opts: &Options,
+    cache_path: Option<&Path>,
+) -> io::Result<(Report, cache::Stats)> {
     let mut rs = Vec::new();
     let mut manifests = Vec::new();
     walk(root, root, &mut rs, &mut manifests)?;
     rs.sort();
     manifests.sort();
 
-    let mut violations = Vec::new();
-    let mut allowed = Vec::new();
-
+    // Manifests are few and tiny: read them up front. Their hashes take
+    // part in cache validation; their contents feed the hermeticity rule
+    // and the crate-dir → import-name map the resolver needs.
+    let mut manifest_texts = Vec::with_capacity(manifests.len());
+    let mut manifest_shas: BTreeMap<String, String> = BTreeMap::new();
     for path in &manifests {
         let rel = rel_of(root, path);
         let text = fs::read_to_string(path)?;
-        manifest::check(&rel, &text, &mut violations);
+        manifest_shas.insert(rel.clone(), contenthash::sha256(text.as_bytes()).to_hex());
+        manifest_texts.push((rel, text));
     }
 
-    let mut sources = Vec::with_capacity(rs.len());
+    let mut stats = cache::Stats::default();
+
+    // No cache: read and compute everything.
+    let Some(cache_file) = cache_path else {
+        let mut all_facts = Vec::with_capacity(rs.len());
+        for path in &rs {
+            let rel = rel_of(root, path);
+            let text = fs::read_to_string(path)?;
+            all_facts.push(FileFacts::compute(&rel, &text, opts));
+        }
+        let report = finish(
+            rs.len() + manifests.len(),
+            &manifest_texts,
+            &all_facts,
+            opts,
+        );
+        return Ok((report, stats));
+    };
+
+    let digest = cache::config_digest(opts);
+    let old = cache::Summary::load(cache_file, &digest);
+
+    // Validate every `.rs` file against the summary: `(size, mtime)`
+    // fast path first, content hash on mismatch. `changed` keeps the
+    // text of files whose facts must recompute (already read for
+    // hashing).
+    let empty = cache::Summary::default();
+    let prior = old.as_ref().unwrap_or(&empty);
+    let mut metas: BTreeMap<String, cache::Meta> = BTreeMap::new();
+    let mut changed: BTreeMap<String, String> = BTreeMap::new();
+    let mut refreshed = false;
     for path in &rs {
         let rel = rel_of(root, path);
+        let (size, mtime_s, mtime_ns) = cache::file_validators(path)?;
+        if let Some(m) = prior.files.get(&rel) {
+            if m.size == size && m.mtime_s == mtime_s && m.mtime_ns == mtime_ns {
+                metas.insert(rel, m.clone());
+                continue;
+            }
+        }
         let text = fs::read_to_string(path)?;
-        sources.push(SourceFile::analyse(&rel, &text));
+        let sha = contenthash::sha256(text.as_bytes()).to_hex();
+        match prior.files.get(&rel) {
+            // Touched but unchanged: refresh the validators only.
+            Some(m) if m.sha == sha => refreshed = true,
+            _ => {
+                changed.insert(rel.clone(), text);
+            }
+        }
+        metas.insert(
+            rel,
+            cache::Meta {
+                size,
+                mtime_s,
+                mtime_ns,
+                sha,
+            },
+        );
     }
 
-    let emitting = callgraph::emitting_fns(&sources);
-    for (file, emitting) in sources.iter().zip(&emitting) {
-        for bad in &file.bad_allows {
-            violations.push(Violation {
-                rule: "allow-syntax".to_string(),
-                file: file.rel.clone(),
-                line: bad.line,
-                message: format!("malformed simlint annotation: {}", bad.what),
-            });
+    // Warm short-circuit: same configuration, same file set, same
+    // contents, same manifests — the cached report is the answer and the
+    // facts sidecar is never parsed.
+    if let Some(prior) = &old {
+        if changed.is_empty()
+            && metas.len() == prior.files.len()
+            && manifest_shas == prior.manifests
+        {
+            stats.hits = rs.len();
+            let report = prior.report.clone();
+            if refreshed {
+                let fresh = cache::Summary {
+                    digest,
+                    files: metas,
+                    manifests: manifest_shas,
+                    report: report.clone(),
+                };
+                // Cache write failure only costs time next run, never results.
+                let _ = fresh.save(cache_file);
+            }
+            return Ok((report, stats));
         }
-        rules::wall_clock(file, opts, &mut violations, &mut allowed);
-        rules::par_exec(file, opts, &mut violations, &mut allowed);
-        rules::shard_seed(file, opts, &mut violations, &mut allowed);
-        rules::hermetic_source(file, &mut violations, &mut allowed);
-        rules::panic_path(file, opts, &mut violations, &mut allowed);
-        rules::oracle_pure(file, opts, &mut violations, &mut allowed);
-        rules::map_iter(file, opts, emitting, &mut violations, &mut allowed);
-        rules::full_materialize(file, opts, &mut violations, &mut allowed);
     }
-    schema::check(&sources, opts, &mut violations, &mut allowed);
+
+    // Incremental path: parse the facts sidecar, recompute only what
+    // changed (plus anything the sidecar is missing), re-run the global
+    // passes over the full fact set.
+    let sidecar = cache::sidecar_path(cache_file);
+    let mut old_facts = if old.is_some() {
+        cache::load_facts(&sidecar)
+    } else {
+        BTreeMap::new()
+    };
+    let mut all_facts = Vec::with_capacity(rs.len());
+    let mut fresh_facts: BTreeMap<String, FileFacts> = BTreeMap::new();
+    for path in &rs {
+        let rel = rel_of(root, path);
+        let facts = if let Some(text) = changed.get(&rel) {
+            stats.misses += 1;
+            FileFacts::compute(&rel, text, opts)
+        } else if let Some(f) = old_facts.remove(&rel) {
+            stats.hits += 1;
+            f
+        } else {
+            // Validated but absent from the sidecar: recompute from
+            // source.
+            stats.misses += 1;
+            let text = fs::read_to_string(path)?;
+            FileFacts::compute(&rel, &text, opts)
+        };
+        fresh_facts.insert(rel, facts.clone());
+        all_facts.push(facts);
+    }
+
+    let report = finish(
+        rs.len() + manifests.len(),
+        &manifest_texts,
+        &all_facts,
+        opts,
+    );
+    let fresh = cache::Summary {
+        digest,
+        files: metas,
+        manifests: manifest_shas,
+        report: report.clone(),
+    };
+    // Cache write failure only costs time next run, never results.
+    let _ = fresh.save(cache_file);
+    let _ = cache::save_facts(&sidecar, &fresh_facts);
+    Ok((report, stats))
+}
+
+/// The global passes plus finding routing: everything downstream of the
+/// (cacheable) per-file facts.
+fn finish(
+    files_scanned: usize,
+    manifest_texts: &[(String, String)],
+    all_facts: &[FileFacts],
+    opts: &Options,
+) -> Report {
+    // Manifests: hermeticity rule plus the crate-dir → import-name map
+    // the resolver needs.
+    let mut violations = Vec::new();
+    let mut pkg: BTreeMap<String, String> = BTreeMap::new();
+    for (rel, text) in manifest_texts {
+        manifest::check(rel, text, &mut violations);
+        if let Some(name) = manifest::package_name(text) {
+            let crate_dir = match rel
+                .strip_prefix("crates/")
+                .and_then(|r| r.split('/').next())
+            {
+                Some(dir) => dir.to_string(),
+                None => "workspace-root".to_string(),
+            };
+            pkg.insert(crate_dir, name.replace('-', "_"));
+        }
+    }
+    let ws = resolve::Workspace::build(all_facts, &pkg);
+
+    // Gather findings per file: local facts, the emission-tier map-iter
+    // verdicts, taint, and the schema join.
+    let mut findings: Vec<Vec<Finding>> = all_facts.iter().map(|f| f.local.clone()).collect();
+    for (fi, file) in all_facts.iter().enumerate() {
+        for site in &file.map_iter {
+            if ws.emitting[fi]
+                .get(site.fn_idx as usize)
+                .copied()
+                .unwrap_or(false)
+            {
+                findings[fi].push(rules::map_iter_emit_finding(site));
+            }
+        }
+    }
+    for (fi, f) in taint::check(&ws, opts) {
+        findings[fi].push(f);
+    }
+    for (fi, f) in schema::check_facts(all_facts, opts) {
+        findings[fi].push(f);
+    }
+
+    // Route findings through the allow annotations, tracking which allows
+    // actually suppressed something — the rest are stale.
+    let mut allowed = Vec::new();
+    for (fi, file) in all_facts.iter().enumerate() {
+        let mut used = vec![false; file.allows.len()];
+        let allow_idx = |rule: &str, line: u32| {
+            file.allows.iter().position(|a| {
+                (a.line == line || a.line + 1 == line) && a.rules.iter().any(|r| r == rule)
+            })
+        };
+        for f in &findings[fi] {
+            match allow_idx(&f.rule, f.line) {
+                Some(ai) => {
+                    used[ai] = true;
+                    allowed.push(Suppressed {
+                        rule: f.rule.clone(),
+                        file: file.rel.clone(),
+                        line: f.line,
+                        reason: file.allows[ai].reason.clone(),
+                    });
+                }
+                None => violations.push(Violation {
+                    rule: f.rule.clone(),
+                    file: file.rel.clone(),
+                    line: f.line,
+                    message: f.message.clone(),
+                    pass: f.pass.clone(),
+                    symbol: f.symbol.clone(),
+                }),
+            }
+        }
+        // Stale-allow pass. Descending line order so an `allow(stale-allow)`
+        // covering a later stale annotation is marked used before its own
+        // staleness is judged.
+        let mut order: Vec<usize> = (0..file.allows.len()).collect();
+        order.sort_by_key(|&ai| std::cmp::Reverse(file.allows[ai].line));
+        for ai in order {
+            if used[ai] {
+                continue;
+            }
+            let a = &file.allows[ai];
+            let message = format!(
+                "allow({}) suppresses no violations — the code it excused is gone; delete \
+                 the annotation",
+                a.rules.join(", ")
+            );
+            match allow_idx("stale-allow", a.line) {
+                Some(aj) => {
+                    used[aj] = true;
+                    allowed.push(Suppressed {
+                        rule: "stale-allow".to_string(),
+                        file: file.rel.clone(),
+                        line: a.line,
+                        reason: file.allows[aj].reason.clone(),
+                    });
+                }
+                None => violations.push(Violation {
+                    rule: "stale-allow".to_string(),
+                    file: file.rel.clone(),
+                    line: a.line,
+                    message,
+                    pass: "allow".to_string(),
+                    symbol: String::new(),
+                }),
+            }
+        }
+    }
 
     violations.sort_by(|a, b| {
         (&a.file, a.line, &a.rule, &a.message).cmp(&(&b.file, b.line, &b.rule, &b.message))
@@ -396,11 +668,11 @@ pub fn run(root: &Path, opts: &Options) -> io::Result<Report> {
     allowed.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
     allowed.dedup();
 
-    Ok(Report {
-        files_scanned: rs.len() + manifests.len(),
+    Report {
+        files_scanned,
         violations,
         allowed,
-    })
+    }
 }
 
 /// Recursive walk collecting `.rs` files and `Cargo.toml` manifests.

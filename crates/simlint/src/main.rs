@@ -2,26 +2,37 @@
 //! machine-readable report, and exit non-zero on any violation.
 //!
 //! ```text
-//! cargo run -p simlint --release [-- --root <dir>] [--report <path>]
+//! cargo run -p simlint --release [-- --root <dir>] [--report <path>] [--no-cache]
 //! ```
 //!
 //! `--root` defaults to the current directory (verify.sh runs from the
 //! repository root); `--report` defaults to `<root>/results/simlint_report.json`.
+//! The incremental cache lives at `<root>/target/simlint-cache.json`
+//! (plus a `.facts` sidecar), keyed by content hash — a fully-warm run
+//! replays the cached report without re-analysing anything (override the
+//! path with `--cache <path>`, disable with `--no-cache`).
 
 use simcore::json;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut report_path: Option<PathBuf> = None;
+    let mut cache_path: Option<PathBuf> = None;
+    let mut use_cache = true;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => root = args.next().map(PathBuf::from),
             "--report" => report_path = args.next().map(PathBuf::from),
+            "--cache" => cache_path = args.next().map(PathBuf::from),
+            "--no-cache" => use_cache = false,
             "--help" | "-h" => {
-                eprintln!("usage: simlint [--root <dir>] [--report <path>]");
+                eprintln!(
+                    "usage: simlint [--root <dir>] [--report <path>] [--cache <path>] [--no-cache]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -41,17 +52,37 @@ fn main() -> ExitCode {
         },
     };
     let report_path = report_path.unwrap_or_else(|| root.join("results/simlint_report.json"));
+    let cache_path = cache_path.unwrap_or_else(|| root.join("target/simlint-cache.json"));
 
     let opts = simlint::Options::workspace();
-    let report = match simlint::run(&root, &opts) {
+    let started = Instant::now();
+    let outcome = if use_cache {
+        simlint::run_with_cache(&root, &opts, &cache_path).map(|(r, s)| (r, Some(s)))
+    } else {
+        simlint::run(&root, &opts).map(|r| (r, None))
+    };
+    let (report, stats) = match outcome {
         Ok(r) => r,
         Err(e) => {
             eprintln!("simlint: failed to scan {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
+    let elapsed = started.elapsed();
 
     print!("{}", report.render());
+    match stats {
+        Some(s) => eprintln!(
+            "simlint: {:.1} ms ({} cached, {} analysed)",
+            elapsed.as_secs_f64() * 1e3,
+            s.hits,
+            s.misses
+        ),
+        None => eprintln!(
+            "simlint: {:.1} ms (cache disabled)",
+            elapsed.as_secs_f64() * 1e3
+        ),
+    }
 
     if let Some(parent) = report_path.parent() {
         if let Err(e) = std::fs::create_dir_all(parent) {

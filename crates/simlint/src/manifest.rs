@@ -82,7 +82,34 @@ fn non_workspace(rel: &str, line: u32, dep: &str) -> Violation {
             "dependency `{dep}` is not an in-tree path/workspace dependency; \
              the hermetic build forbids registry crates"
         ),
+        pass: "manifest".to_string(),
+        symbol: dep.to_string(),
     }
+}
+
+/// The `[package] name` of a manifest, for mapping crate directories to
+/// import names in the resolver.
+pub fn package_name(text: &str) -> Option<String> {
+    let mut section = String::new();
+    for raw in text.lines() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.starts_with('[') {
+            section = line
+                .trim_matches(|c| c == '[' || c == ']')
+                .trim()
+                .to_string();
+            continue;
+        }
+        if section != "package" {
+            continue;
+        }
+        if let Some((key, value)) = line.split_once('=') {
+            if key.trim() == "name" {
+                return Some(value.trim().trim_matches('"').to_string());
+            }
+        }
+    }
+    None
 }
 
 /// True for sections whose keys declare dependencies.
@@ -191,5 +218,13 @@ mod tests {
     fn workspace_dependency_table_is_checked() {
         let v = run("[workspace.dependencies]\nlibc = \"0.2\"\n");
         assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn package_name_is_parsed() {
+        let text = "[package]\nname = \"dropbox-analysis\" # core\nversion = \"0.1.0\"\n\
+                    [dependencies]\nsimcore.workspace = true\n";
+        assert_eq!(package_name(text).as_deref(), Some("dropbox-analysis"));
+        assert_eq!(package_name("[workspace]\nmembers = []\n"), None);
     }
 }

@@ -1,19 +1,18 @@
 //! The determinism, hermeticity and panic-policy rules that operate on a
-//! single source file. (Cargo manifests are handled in [`crate::manifest`],
-//! the cross-file JSONL schema rule in [`crate::schema`].)
+//! single source file. Rules append [`Finding`]s; allow-annotation
+//! routing happens centrally in [`crate::run`] so unused allows can be
+//! detected. (Cargo manifests are handled in [`crate::manifest`], the
+//! cross-file JSONL schema rule in [`crate::schema`], seed-provenance
+//! taint in [`crate::taint`], float merge-order in [`crate::floatsum`].)
 
+use crate::facts::{Finding, MapIterSite};
 use crate::source::{SourceFile, Span};
-use crate::{emit, Options, Suppressed, Violation};
+use crate::Options;
 
 /// Determinism: wall-clock reads are banned in simulation crates.
 /// Simulated time comes from the event loop; real time would make runs
 /// irreproducible. (Thread primitives are the [`par_exec`] rule.)
-pub fn wall_clock(
-    file: &SourceFile,
-    opts: &Options,
-    violations: &mut Vec<Violation>,
-    allowed: &mut Vec<Suppressed>,
-) {
+pub fn wall_clock(file: &SourceFile, opts: &Options, out: &mut Vec<Finding>) {
     if !opts.is_sim_crate(&file.crate_name) {
         return;
     }
@@ -35,17 +34,14 @@ pub fn wall_clock(
             None
         };
         if let Some(what) = hit {
-            emit(
-                file,
+            out.push(Finding::local(
                 "wall-clock",
                 toks[i].line,
                 format!(
                     "`{what}` in simulation crate `{}`: use simulated time / the event loop",
                     file.crate_name
                 ),
-                violations,
-                allowed,
-            );
+            ));
         }
     }
 }
@@ -85,12 +81,7 @@ const SHARED_STATE_METHODS: &[&str] = &[
 /// point, but shared-mutable-state primitives (mutexes, cells, atomics and
 /// their read-modify-write calls, `static mut`) are flagged so that every
 /// hole in the "shards are pure" argument is individually justified.
-pub fn par_exec(
-    file: &SourceFile,
-    opts: &Options,
-    violations: &mut Vec<Violation>,
-    allowed: &mut Vec<Suppressed>,
-) {
+pub fn par_exec(file: &SourceFile, opts: &Options, out: &mut Vec<Finding>) {
     let is_executor = opts
         .par_exec_files
         .iter()
@@ -121,8 +112,7 @@ pub fn par_exec(
             } else {
                 continue;
             };
-            emit(
-                file,
+            out.push(Finding::local(
                 "par-exec",
                 line,
                 format!(
@@ -130,9 +120,7 @@ pub fn par_exec(
                      justify scheduling-only state with an allow annotation",
                     file.rel
                 ),
-                violations,
-                allowed,
-            );
+            ));
         } else {
             let trailing2 = |b: &str| {
                 toks[i].is_ident("thread")
@@ -149,8 +137,7 @@ pub fn par_exec(
                 None
             };
             if let Some(what) = hit {
-                emit(
-                    file,
+                out.push(Finding::local(
                     "par-exec",
                     toks[i].line,
                     format!(
@@ -158,91 +145,8 @@ pub fn par_exec(
                          the deterministic fork-join executor (`simcore::par`)",
                         file.crate_name
                     ),
-                    violations,
-                    allowed,
-                );
+                ));
             }
-        }
-    }
-}
-
-/// RNG stream-derivation entry points whose arguments must be stable
-/// shard identity (capture label, household index, purpose string) —
-/// never scheduling state.
-const SEED_DERIVE_FNS: &[&str] = &["fork", "fork_named", "shard_stream", "household_stream"];
-
-/// Identifier fragments that smell of scheduling state. Any identifier
-/// containing one of these inside a seed-derivation argument list is
-/// flagged.
-const SCHEDULING_FRAGMENTS: &[&str] = &["job", "worker", "thread", "cpu_", "core_id"];
-
-/// Determinism: seed streams derive from stable shard identity only.
-///
-/// The byte-identity contract (DESIGN.md §7) hangs on every household's
-/// RNG stream being a pure function of `(capture seed, capture label,
-/// household index, purpose)`. If a worker index, job count, or any other
-/// scheduling value ever reaches a `fork` / `fork_named` /
-/// `shard_stream` / `household_stream` argument, outputs silently start
-/// depending on `--jobs` and the contract is gone. In the seed-derivation
-/// files (`Options::shard_seed_files`) this rule flags any scheduling-
-/// flavoured identifier inside such an argument list.
-pub fn shard_seed(
-    file: &SourceFile,
-    opts: &Options,
-    violations: &mut Vec<Violation>,
-    allowed: &mut Vec<Suppressed>,
-) {
-    if !opts
-        .shard_seed_files
-        .iter()
-        .any(|suffix| file.rel.ends_with(suffix.as_str()))
-    {
-        return;
-    }
-    let toks = &file.toks;
-    for i in 0..toks.len() {
-        if file.in_test(i) {
-            continue;
-        }
-        if toks[i].kind != crate::lexer::TokKind::Ident
-            || !SEED_DERIVE_FNS.contains(&toks[i].text.as_str())
-            || !toks.get(i + 1).is_some_and(|t| t.is_sym("("))
-        {
-            continue;
-        }
-        let derive_fn = toks[i].text.clone();
-        // Scan the argument list to the matching close paren.
-        let mut depth = 0i32;
-        let mut j = i + 1;
-        while j < toks.len() && j < i + 96 {
-            let t = &toks[j];
-            if t.is_sym("(") || t.is_sym("[") || t.is_sym("{") {
-                depth += 1;
-            } else if t.is_sym(")") || t.is_sym("]") || t.is_sym("}") {
-                depth -= 1;
-                if depth == 0 {
-                    break;
-                }
-            } else if t.kind == crate::lexer::TokKind::Ident {
-                let lower = t.text.to_lowercase();
-                if SCHEDULING_FRAGMENTS.iter().any(|f| lower.contains(f)) {
-                    emit(
-                        file,
-                        "shard-seed",
-                        t.line,
-                        format!(
-                            "scheduling-state identifier `{}` in a `{derive_fn}(...)` seed \
-                             derivation in `{}`: shard seed streams must depend only on \
-                             stable shard identity (capture, household index), never on \
-                             worker index or job count",
-                            t.text, file.rel
-                        ),
-                        violations,
-                        allowed,
-                    );
-                }
-            }
-            j += 1;
         }
     }
 }
@@ -251,38 +155,28 @@ pub fn shard_seed(
 /// outside tests. The workspace must build and run offline from vendored
 /// sources only, and experiments must not shell out to tools that differ
 /// between machines.
-pub fn hermetic_source(
-    file: &SourceFile,
-    violations: &mut Vec<Violation>,
-    allowed: &mut Vec<Suppressed>,
-) {
+pub fn hermetic_source(file: &SourceFile, out: &mut Vec<Finding>) {
     let toks = &file.toks;
     for i in 0..toks.len() {
         if file.in_test(i) {
             continue;
         }
         if toks[i].is_ident("extern") && toks.get(i + 1).is_some_and(|t| t.is_ident("crate")) {
-            emit(
-                file,
+            out.push(Finding::local(
                 "extern-crate",
                 toks[i].line,
                 "`extern crate`: the workspace is hermetic, only in-tree path dependencies are allowed".to_string(),
-                violations,
-                allowed,
-            );
+            ));
         }
         if toks[i].is_ident("process")
             && toks.get(i + 1).is_some_and(|t| t.is_sym("::"))
             && toks.get(i + 2).is_some_and(|t| t.is_ident("Command"))
         {
-            emit(
-                file,
+            out.push(Finding::local(
                 "process-spawn",
                 toks[i].line,
                 "`process::Command`: spawning external processes breaks hermetic, reproducible runs".to_string(),
-                violations,
-                allowed,
-            );
+            ));
         }
     }
 }
@@ -291,12 +185,7 @@ pub fn hermetic_source(
 /// paths. A fault plan exercises exactly the error branches a panic would
 /// short-circuit, so these files must propagate errors (or carry an
 /// explicit justification).
-pub fn panic_path(
-    file: &SourceFile,
-    opts: &Options,
-    violations: &mut Vec<Violation>,
-    allowed: &mut Vec<Suppressed>,
-) {
+pub fn panic_path(file: &SourceFile, opts: &Options, out: &mut Vec<Finding>) {
     if !opts
         .panic_path_files
         .iter()
@@ -317,17 +206,14 @@ pub fn panic_path(
             _ => continue,
         };
         if toks.get(i + 2).is_some_and(|t| t.is_sym("(")) {
-            emit(
-                file,
+            out.push(Finding::local(
                 "panic-path",
                 toks[i + 1].line,
                 format!(
                     "`.{method}(...)` in fault-recovery path `{}`: propagate the error instead",
                     file.rel
                 ),
-                violations,
-                allowed,
-            );
+            ));
         }
     }
 }
@@ -338,12 +224,7 @@ pub fn panic_path(
 /// receiver, local, or expression — outside tests is a violation: every
 /// check folds over the audit ledger through `&self` accessors only. (A
 /// `fmt::Formatter` counts too; the oracle renders via owned `String`s.)
-pub fn oracle_pure(
-    file: &SourceFile,
-    opts: &Options,
-    violations: &mut Vec<Violation>,
-    allowed: &mut Vec<Suppressed>,
-) {
+pub fn oracle_pure(file: &SourceFile, opts: &Options, out: &mut Vec<Finding>) {
     if !opts
         .oracle_files
         .iter()
@@ -357,8 +238,7 @@ pub fn oracle_pure(
             continue;
         }
         if toks[i].is_sym("&") && toks.get(i + 1).is_some_and(|t| t.is_ident("mut")) {
-            emit(
-                file,
+            out.push(Finding::local(
                 "oracle-pure",
                 toks[i].line,
                 format!(
@@ -367,9 +247,7 @@ pub fn oracle_pure(
                      not be able to mutate the run it is judging",
                     file.rel
                 ),
-                violations,
-                allowed,
-            );
+            ));
         }
     }
 }
@@ -384,12 +262,7 @@ const MATERIALIZE_METHODS: &[&str] = &["iter", "iter_mut", "into_iter", "clone",
 /// is flagged in analysis crates outside the declared compatibility view
 /// (`Options::materialize_exempt_files`); `.flows.len()`, indexing, and
 /// passing the slice onward are fine.
-pub fn full_materialize(
-    file: &SourceFile,
-    opts: &Options,
-    violations: &mut Vec<Violation>,
-    allowed: &mut Vec<Suppressed>,
-) {
+pub fn full_materialize(file: &SourceFile, opts: &Options, out: &mut Vec<Finding>) {
     if !opts.analysis_crates.iter().any(|c| c == &file.crate_name) {
         return;
     }
@@ -405,8 +278,7 @@ pub fn full_materialize(
         if file.in_test(idx) {
             return;
         }
-        emit(
-            file,
+        out.push(Finding::local(
             "full-materialize",
             line,
             format!(
@@ -415,9 +287,7 @@ pub fn full_materialize(
                  (`dropbox_analysis::stream`) instead of re-scanning",
                 file.crate_name
             ),
-            violations,
-            allowed,
-        );
+        ));
     };
 
     // `<expr>.flows.iter()` / `.clone()` / ….
@@ -512,16 +382,35 @@ struct MapDecl {
     kind: &'static str,
 }
 
+/// Render the emission-tier map-iter message for a deferred site once the
+/// global fixpoint has decided the enclosing function reaches emission.
+pub fn map_iter_emit_finding(site: &MapIterSite) -> Finding {
+    Finding {
+        pass: "resolve".to_string(),
+        rule: "map-iter".to_string(),
+        line: site.line,
+        message: format!(
+            "{how} over `{name}` ({kind}): iteration order is nondeterministic and reaches \
+             JSON/JSONL emission; use BTreeMap/BTreeSet or sort first",
+            how = site.how,
+            name = site.name,
+            kind = site.kind
+        ),
+        symbol: String::new(),
+    }
+}
+
 /// Determinism: iterating a `HashMap`/`HashSet` is flagged when the
 /// containing code either lives in a simulation crate (strict tier — any
 /// iteration is banned; hash order varies per process and per run) or
-/// reaches JSON/JSONL emission per the call-graph approximation.
+/// reaches JSON/JSONL emission. The emission tier depends on the global
+/// reachability fixpoint, so those sites are *deferred*: recorded here,
+/// decided in [`crate::run`] once [`crate::resolve::Workspace`] exists.
 pub fn map_iter(
     file: &SourceFile,
     opts: &Options,
-    emitting: &[bool],
-    violations: &mut Vec<Violation>,
-    allowed: &mut Vec<Suppressed>,
+    out: &mut Vec<Finding>,
+    deferred: &mut Vec<MapIterSite>,
 ) {
     let decls = map_decls(file);
     if decls.is_empty() {
@@ -534,34 +423,33 @@ pub fn map_iter(
         if file.in_test(idx) {
             return;
         }
-        let reaches = file
-            .enclosing_fn(idx)
-            .and_then(|f| {
-                file.fns
-                    .iter()
-                    .position(|g| g.sig_start == f.sig_start)
-                    .map(|j| emitting.get(j).copied().unwrap_or(false))
-            })
-            .unwrap_or(false);
-        if !strict && !reaches {
+        if strict {
+            out.push(Finding::local(
+                "map-iter",
+                toks[idx].line,
+                format!(
+                    "{how} over `{name}` ({kind}): iteration order is nondeterministic in \
+                     simulation crate `{}`; use BTreeMap/BTreeSet or sort first",
+                    file.crate_name
+                ),
+            ));
             return;
         }
-        let why = if strict {
-            format!(
-                "iteration order is nondeterministic in simulation crate `{}`",
-                file.crate_name
-            )
-        } else {
-            "iteration order is nondeterministic and reaches JSON/JSONL emission".to_string()
+        // Emission tier: only meaningful inside a function we can map to
+        // the global reachability fixpoint.
+        let Some(f) = file.enclosing_fn(idx) else {
+            return;
         };
-        emit(
-            file,
-            "map-iter",
-            toks[idx].line,
-            format!("{how} over `{name}` ({kind}): {why}; use BTreeMap/BTreeSet or sort first"),
-            violations,
-            allowed,
-        );
+        let Some(fn_idx) = file.fns.iter().position(|g| g.sig_start == f.sig_start) else {
+            return;
+        };
+        deferred.push(MapIterSite {
+            fn_idx: fn_idx as u64,
+            line: toks[idx].line,
+            name: name.to_string(),
+            kind: kind.to_string(),
+            how: how.to_string(),
+        });
     };
 
     // Method-style iteration: `<recv>.iter()`, `.keys()`, …
@@ -587,7 +475,6 @@ pub fn map_iter(
         if !toks[i].is_ident("for") {
             continue;
         }
-        // Find `in` at bracket depth 0 within the loop header.
         let mut depth = 0i32;
         let mut j = i + 1;
         let mut in_idx = None;
@@ -724,24 +611,24 @@ fn map_decls(file: &SourceFile) -> Vec<MapDecl> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::callgraph::emitting_fns;
+    use crate::facts::FileFacts;
+    use crate::resolve::Workspace;
+    use std::collections::BTreeMap;
 
-    fn check(src: &str, sim: bool) -> Vec<Violation> {
+    fn check(src: &str, sim: bool) -> Vec<Finding> {
         let file = SourceFile::analyse("crates/x/src/lib.rs", src);
         let mut opts = Options::workspace();
         if sim {
             opts.sim_crates.push("x".to_string());
         }
-        let emitting = emitting_fns(std::slice::from_ref(&file));
-        let mut v = Vec::new();
-        let mut a = Vec::new();
-        wall_clock(&file, &opts, &mut v, &mut a);
-        par_exec(&file, &opts, &mut v, &mut a);
-        shard_seed(&file, &opts, &mut v, &mut a);
-        hermetic_source(&file, &mut v, &mut a);
-        panic_path(&file, &opts, &mut v, &mut a);
-        map_iter(&file, &opts, &emitting[0], &mut v, &mut a);
-        v
+        let mut out = Vec::new();
+        let mut deferred = Vec::new();
+        wall_clock(&file, &opts, &mut out);
+        par_exec(&file, &opts, &mut out);
+        hermetic_source(&file, &mut out);
+        panic_path(&file, &opts, &mut out);
+        map_iter(&file, &opts, &mut out, &mut deferred);
+        out
     }
 
     #[test]
@@ -776,10 +663,8 @@ mod tests {
                    let _ = c.fetch_add(1, std::sync::atomic::Ordering::Relaxed);\n\
                    let _ = m; }";
         let file = SourceFile::analyse("crates/simcore/src/par.rs", src);
-        let opts = Options::workspace();
         let mut v = Vec::new();
-        let mut a = Vec::new();
-        par_exec(&file, &opts, &mut v, &mut a);
+        par_exec(&file, &Options::workspace(), &mut v);
         let what: Vec<&str> = v.iter().map(|x| x.rule.as_str()).collect();
         assert_eq!(what, ["par-exec", "par-exec", "par-exec"], "{v:?}");
         assert!(v[0].message.contains("`Mutex`"));
@@ -787,49 +672,10 @@ mod tests {
         assert!(v[2].message.contains("`.fetch_add(...)`"));
     }
 
-    fn check_shard_seed(rel: &str, src: &str) -> Vec<Violation> {
+    fn check_oracle(rel: &str, src: &str) -> Vec<Finding> {
         let file = SourceFile::analyse(rel, src);
         let mut v = Vec::new();
-        let mut a = Vec::new();
-        shard_seed(&file, &Options::workspace(), &mut v, &mut a);
-        v
-    }
-
-    #[test]
-    fn shard_seed_flags_scheduling_state_in_derivations() {
-        let src = "fn f(rng: &Rng, worker_idx: u64, jobs: u64, hh: u64) {\n\
-                   let _ = rng.fork(worker_idx);\n\
-                   let _ = rng.fork(hh * jobs);\n\
-                   let _ = household_stream(1, cap, thread_id);\n\
-                   let _ = rng.fork_named(\"x\").fork(hh); }";
-        let v = check_shard_seed("crates/workload/src/driver.rs", src);
-        assert_eq!(v.len(), 3, "{v:?}");
-        assert!(v.iter().all(|x| x.rule == "shard-seed"));
-        assert!(v[0].message.contains("`worker_idx`"));
-        assert!(v[1].message.contains("`jobs`"));
-        assert!(v[2].message.contains("`thread_id`"));
-    }
-
-    #[test]
-    fn shard_seed_permits_identity_derivations_and_other_files() {
-        // Stable-identity arguments are fine, nested call included.
-        let clean = "fn f(rng: &Rng, idx: u64, host_int: u64) {\n\
-                     let _ = rng.fork(idx).fork_named(\"schedules\").fork(host_int);\n\
-                     let _ = shard_stream(seed, capture); }";
-        assert!(check_shard_seed("crates/workload/src/shard.rs", clean).is_empty());
-        // Outside the seed-derivation files the rule does not apply, and
-        // scheduling identifiers outside a derivation call are fine.
-        let bad = "fn f(rng: &Rng, jobs: u64) { let _ = rng.fork(jobs); }";
-        assert!(check_shard_seed("crates/experiments/src/run.rs", bad).is_empty());
-        let outside = "fn f(jobs: u64) -> u64 { let w = jobs.min(4); w }";
-        assert!(check_shard_seed("crates/simcore/src/par.rs", outside).is_empty());
-    }
-
-    fn check_oracle(rel: &str, src: &str) -> Vec<Violation> {
-        let file = SourceFile::analyse(rel, src);
-        let mut v = Vec::new();
-        let mut a = Vec::new();
-        oracle_pure(&file, &Options::workspace(), &mut v, &mut a);
+        oracle_pure(&file, &Options::workspace(), &mut v);
         v
     }
 
@@ -876,12 +722,27 @@ mod tests {
     fn field_map_iteration_reaching_emission_in_non_sim_crate() {
         let src = "struct S { m: HashMap<u32, u32> }\n\
                    impl S { fn dump(&self) { for k in self.m.keys() { k.to_json(); } } }";
-        let v = check(src, false);
-        assert_eq!(v.len(), 1, "{v:?}");
-        assert_eq!(v[0].rule, "map-iter");
+        let opts = Options::workspace();
+        let facts = vec![FileFacts::compute("crates/x/src/lib.rs", src, &opts)];
+        let ws = Workspace::build(&facts, &BTreeMap::new());
+        let fired: Vec<&crate::facts::MapIterSite> = facts[0]
+            .map_iter
+            .iter()
+            .filter(|s| ws.emitting[0][s.fn_idx as usize])
+            .collect();
+        assert_eq!(fired.len(), 1, "{:?}", facts[0].map_iter);
+        let f = map_iter_emit_finding(fired[0]);
+        assert_eq!(f.rule, "map-iter");
+        assert!(f.message.contains("emission"));
+
         let quiet = "struct S { m: HashMap<u32, u32> }\n\
                      impl S { fn count(&self) -> usize { self.m.keys().count() } }";
-        assert!(check(quiet, false).is_empty());
+        let facts = vec![FileFacts::compute("crates/x/src/lib.rs", quiet, &opts)];
+        let ws = Workspace::build(&facts, &BTreeMap::new());
+        assert!(facts[0]
+            .map_iter
+            .iter()
+            .all(|s| !ws.emitting[0][s.fn_idx as usize]));
     }
 
     #[test]
@@ -890,11 +751,10 @@ mod tests {
         assert!(check(src, true).is_empty());
     }
 
-    fn check_materialize(rel: &str, src: &str) -> Vec<Violation> {
+    fn check_materialize(rel: &str, src: &str) -> Vec<Finding> {
         let file = SourceFile::analyse(rel, src);
         let mut v = Vec::new();
-        let mut a = Vec::new();
-        full_materialize(&file, &Options::workspace(), &mut v, &mut a);
+        full_materialize(&file, &Options::workspace(), &mut v);
         v
     }
 

@@ -8,44 +8,106 @@
 //! against the set read, and fails when a written field is read *strictly*
 //! (`field(name)`) unless the `(type, field)` pair is grandfathered in the
 //! baseline compiled into [`crate::Options`].
+//!
+//! The rule is split for the incremental cache: [`collect_facts`] runs
+//! per file (cacheable), [`check_facts`] joins the accesses workspace-wide
+//! (always re-run, cheap).
 
+use crate::facts::{Finding, SchemaFact};
 use crate::lexer::TokKind;
 use crate::source::SourceFile;
-use crate::{emit, Options, Suppressed, Violation};
+use crate::Options;
 use std::collections::BTreeMap;
 
-/// Field usage collected for one type across its serialisation impls.
-#[derive(Default, Debug)]
-struct TypeSchema {
-    /// Fields written by `ToJson` (name → first write line, file).
-    writes: BTreeMap<String, (usize, u32)>,
-    /// Fields read strictly by `FromJson` via `field(...)`.
-    strict: BTreeMap<String, (usize, u32)>,
-    /// Fields read with a default via `field_or(...)`.
-    defaulted: BTreeMap<String, (usize, u32)>,
-}
-
-/// Run the schema rule over the whole workspace.
-pub fn check(
-    files: &[SourceFile],
-    opts: &Options,
-    violations: &mut Vec<Violation>,
-    allowed: &mut Vec<Suppressed>,
-) {
-    let mut types: BTreeMap<String, TypeSchema> = BTreeMap::new();
-
-    for (fi, file) in files.iter().enumerate() {
-        if file.is_test_file
-            || opts
-                .schema_skip
-                .iter()
-                .any(|s| file.rel.ends_with(s.as_str()))
-        {
+/// Collect every serialisation-schema access in one file.
+pub fn collect_facts(file: &SourceFile, opts: &Options) -> Vec<SchemaFact> {
+    if file.is_test_file
+        || opts
+            .schema_skip
+            .iter()
+            .any(|s| file.rel.ends_with(s.as_str()))
+    {
+        return Vec::new();
+    }
+    let toks = &file.toks;
+    let mut out = Vec::new();
+    for imp in &file.impls {
+        if file.in_test(imp.body_open) {
             continue;
         }
-        collect_impls(fi, file, &mut types);
+        match imp.trait_name.as_deref() {
+            Some("ToJson") => {
+                // Field writes: `("name", <expr>,` tuple heads with
+                // identifier-like names (error strings are filtered out).
+                for k in imp.body_open..imp.body_end.min(toks.len()) {
+                    if toks[k].is_sym("(")
+                        && toks.get(k + 1).is_some_and(|t| t.kind == TokKind::Str)
+                        && toks.get(k + 2).is_some_and(|t| t.is_sym(","))
+                        && ident_like(&toks[k + 1].text)
+                    {
+                        out.push(SchemaFact {
+                            ty: imp.owner.clone(),
+                            field: toks[k + 1].text.clone(),
+                            access: "write".to_string(),
+                            line: toks[k + 1].line,
+                        });
+                    }
+                }
+            }
+            Some("FromJson") => {
+                // Field reads: `field("name")` (strict) and
+                // `field_or("name", default)` (back-compatible).
+                for k in imp.body_open..imp.body_end.min(toks.len()) {
+                    let access = if toks[k].is_ident("field") {
+                        "strict"
+                    } else if toks[k].is_ident("field_or") {
+                        "default"
+                    } else {
+                        continue;
+                    };
+                    if !toks.get(k + 1).is_some_and(|t| t.is_sym("(")) {
+                        continue;
+                    }
+                    let Some(name) = toks.get(k + 2).filter(|t| t.kind == TokKind::Str) else {
+                        continue;
+                    };
+                    out.push(SchemaFact {
+                        ty: imp.owner.clone(),
+                        field: name.text.clone(),
+                        access: access.to_string(),
+                        line: name.line,
+                    });
+                }
+            }
+            _ => {}
+        }
     }
+    out
+}
 
+/// Join the per-file accesses workspace-wide and flag strict reads of
+/// written fields that are neither defaulted nor grandfathered.
+pub fn check_facts(files: &[crate::facts::FileFacts], opts: &Options) -> Vec<(usize, Finding)> {
+    #[derive(Default)]
+    struct TypeSchema {
+        writes: BTreeMap<String, (usize, u32)>,
+        strict: BTreeMap<String, (usize, u32)>,
+        defaulted: BTreeMap<String, (usize, u32)>,
+    }
+    let mut types: BTreeMap<String, TypeSchema> = BTreeMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        for s in &file.schema {
+            let entry = types.entry(s.ty.clone()).or_default();
+            let target = match s.access.as_str() {
+                "write" => &mut entry.writes,
+                "strict" => &mut entry.strict,
+                "default" => &mut entry.defaulted,
+                _ => continue,
+            };
+            target.entry(s.field.clone()).or_insert((fi, s.line));
+        }
+    }
+    let mut out = Vec::new();
     for (ty, schema) in &types {
         for (field, _) in schema.writes.iter() {
             if schema.defaulted.contains_key(field) {
@@ -63,145 +125,22 @@ pub fn check(
             if grandfathered {
                 continue;
             }
-            emit(
-                &files[fi],
-                "schema-drift",
-                line,
-                format!(
-                    "`{ty}::from_json` reads new field `{field}` strictly; \
-                     use `field_or(\"{field}\", default)` so logs written before the field existed still parse"
-                ),
-                violations,
-                allowed,
-            );
+            out.push((
+                fi,
+                Finding {
+                    pass: "schema".to_string(),
+                    rule: "schema-drift".to_string(),
+                    line,
+                    message: format!(
+                        "`{ty}::from_json` reads new field `{field}` strictly; \
+                         use `field_or(\"{field}\", default)` so logs written before the field existed still parse"
+                    ),
+                    symbol: format!("{ty}::{field}"),
+                },
+            ));
         }
     }
-}
-
-/// Scan one file for `impl ToJson for T` / `impl FromJson for T` blocks
-/// and record their field writes/reads.
-fn collect_impls(fi: usize, file: &SourceFile, types: &mut BTreeMap<String, TypeSchema>) {
-    let toks = &file.toks;
-    let mut i = 0usize;
-    while i < toks.len() {
-        if !toks[i].is_ident("impl") || file.in_test(i) {
-            i += 1;
-            continue;
-        }
-        // Skip `impl<...>` generics (angle-bracket depth matching).
-        let mut j = i + 1;
-        if toks.get(j).is_some_and(|t| t.is_sym("<")) {
-            let mut depth = 0i32;
-            while j < toks.len() {
-                if toks[j].is_sym("<") {
-                    depth += 1;
-                } else if toks[j].is_sym(">") {
-                    depth -= 1;
-                    if depth == 0 {
-                        j += 1;
-                        break;
-                    }
-                }
-                j += 1;
-            }
-        }
-        let trait_name = match toks.get(j) {
-            Some(t) if t.is_ident("ToJson") || t.is_ident("FromJson") => t.text.clone(),
-            _ => {
-                i += 1;
-                continue;
-            }
-        };
-        if !toks.get(j + 1).is_some_and(|t| t.is_ident("for")) {
-            i += 1;
-            continue;
-        }
-        // Type name: first identifier after `for` (generic parameters,
-        // e.g. `Vec<T>`, are fine — the base name identifies the schema).
-        let mut k = j + 2;
-        while k < toks.len() && !matches!(toks[k].kind, TokKind::Ident) {
-            k += 1;
-        }
-        let Some(ty) = toks.get(k).map(|t| t.text.clone()) else {
-            break;
-        };
-        // Body: brace-match from the next `{`.
-        let mut open = k + 1;
-        while open < toks.len() && !toks[open].is_sym("{") {
-            open += 1;
-        }
-        let mut depth = 0i32;
-        let mut end = open;
-        while end < toks.len() {
-            if toks[end].is_sym("{") {
-                depth += 1;
-            } else if toks[end].is_sym("}") {
-                depth -= 1;
-                if depth == 0 {
-                    break;
-                }
-            }
-            end += 1;
-        }
-        let entry = types.entry(ty).or_default();
-        if trait_name == "ToJson" {
-            collect_writes(fi, toks, open, end, &mut entry.writes);
-        } else {
-            collect_reads(fi, toks, open, end, entry);
-        }
-        i = end + 1;
-    }
-}
-
-/// Field writes inside a `ToJson` body: `("name", <expr>,` tuple heads
-/// with identifier-like names (error-message strings are filtered out).
-fn collect_writes(
-    fi: usize,
-    toks: &[crate::lexer::Tok],
-    open: usize,
-    end: usize,
-    out: &mut BTreeMap<String, (usize, u32)>,
-) {
-    for k in open..end {
-        if toks[k].is_sym("(")
-            && toks.get(k + 1).is_some_and(|t| t.kind == TokKind::Str)
-            && toks.get(k + 2).is_some_and(|t| t.is_sym(","))
-            && ident_like(&toks[k + 1].text)
-        {
-            out.entry(toks[k + 1].text.clone())
-                .or_insert((fi, toks[k + 1].line));
-        }
-    }
-}
-
-/// Field reads inside a `FromJson` body: `field("name")` (strict) and
-/// `field_or("name", default)` (back-compatible).
-fn collect_reads(
-    fi: usize,
-    toks: &[crate::lexer::Tok],
-    open: usize,
-    end: usize,
-    entry: &mut TypeSchema,
-) {
-    for k in open..end {
-        let strict = toks[k].is_ident("field");
-        let defaulted = toks[k].is_ident("field_or");
-        if !strict && !defaulted {
-            continue;
-        }
-        if !toks.get(k + 1).is_some_and(|t| t.is_sym("(")) {
-            continue;
-        }
-        let Some(name) = toks.get(k + 2).filter(|t| t.kind == TokKind::Str) else {
-            continue;
-        };
-        let target = if strict {
-            &mut entry.strict
-        } else {
-            &mut entry.defaulted
-        };
-        target.entry(name.text.clone()).or_insert((fi, name.line));
-    }
+    out
 }
 
 /// True when a string literal looks like a JSON field name rather than a
@@ -213,18 +152,19 @@ fn ident_like(s: &str) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::facts::FileFacts;
 
-    fn run_schema(src: &str, baseline: &[(&str, &str)]) -> Vec<Violation> {
-        let file = SourceFile::analyse("crates/x/src/lib.rs", src);
+    fn run_schema(src: &str, baseline: &[(&str, &str)]) -> Vec<Finding> {
         let mut opts = Options::workspace();
         opts.schema_baseline = baseline
             .iter()
             .map(|(t, f)| (t.to_string(), f.to_string()))
             .collect();
-        let mut v = Vec::new();
-        let mut a = Vec::new();
-        check(std::slice::from_ref(&file), &opts, &mut v, &mut a);
-        v
+        let facts = vec![FileFacts::compute("crates/x/src/lib.rs", src, &opts)];
+        check_facts(&facts, &opts)
+            .into_iter()
+            .map(|(_, f)| f)
+            .collect()
     }
 
     const SRC: &str = r#"
@@ -246,6 +186,7 @@ impl FromJson for Rec {
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].rule, "schema-drift");
         assert!(v[0].message.contains("fresh"));
+        assert_eq!(v[0].symbol, "Rec::fresh");
     }
 
     #[test]

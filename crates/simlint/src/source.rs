@@ -20,6 +20,42 @@ pub struct FnSpan {
     pub body_end: usize,
     /// 1-based line of the `fn` keyword.
     pub line: u32,
+    /// Self type of the enclosing `impl` block (last path segment), if any.
+    pub owner: Option<String>,
+    /// Trait the enclosing `impl` block implements (last path segment), if
+    /// it is a trait impl.
+    pub trait_name: Option<String>,
+    /// Parameter names in declaration order (`self` included literally;
+    /// destructuring patterns contribute each bound name).
+    pub params: Vec<String>,
+}
+
+/// One `use` declaration leaf: a local name bound to a full path. Groups
+/// (`use a::{b, c as d}`) expand to one decl per leaf; globs bind the
+/// alias `*` to the path prefix.
+#[derive(Clone, Debug)]
+pub struct UseDecl {
+    /// Full path segments as written (`crate`/`self`/`super` kept).
+    pub path: Vec<String>,
+    /// Local name the path is bound to; `*` for a glob import.
+    pub alias: String,
+    /// 1-based line of the `use` keyword.
+    pub line: u32,
+}
+
+/// One `impl` block: its self type, optional trait, and body token span.
+#[derive(Clone, Debug)]
+pub struct ImplSpan {
+    /// Self type (last path segment, generics stripped).
+    pub owner: String,
+    /// Trait implemented (last path segment), if a trait impl.
+    pub trait_name: Option<String>,
+    /// Token index of the body's opening `{`.
+    pub body_open: usize,
+    /// Token index one past the body's closing `}`.
+    pub body_end: usize,
+    /// 1-based line of the `impl` keyword.
+    pub line: u32,
 }
 
 /// A parsed suppression annotation.
@@ -66,6 +102,10 @@ pub struct SourceFile {
     pub test_spans: Vec<Span>,
     /// Function spans in source order.
     pub fns: Vec<FnSpan>,
+    /// `use` declarations, one per leaf.
+    pub uses: Vec<UseDecl>,
+    /// `impl` block spans in source order.
+    pub impls: Vec<ImplSpan>,
     /// Parsed allow annotations.
     pub allows: Vec<Allow>,
     /// Malformed `simlint:` comments.
@@ -77,7 +117,9 @@ impl SourceFile {
     pub fn analyse(rel: &str, src: &str) -> SourceFile {
         let lexed = lex(src);
         let test_spans = find_test_spans(&lexed.toks);
-        let fns = find_fn_spans(&lexed.toks);
+        let impls = find_impl_spans(&lexed.toks);
+        let fns = find_fn_spans(&lexed.toks, &impls);
+        let uses = find_use_decls(&lexed.toks);
         let (allows, bad_allows) = parse_allows(&lexed.comments);
         SourceFile {
             rel: rel.to_string(),
@@ -86,6 +128,8 @@ impl SourceFile {
             toks: lexed.toks,
             test_spans,
             fns,
+            uses,
+            impls,
             allows,
             bad_allows,
         }
@@ -214,8 +258,9 @@ fn match_delim(toks: &[Tok], open: usize, od: &str, cd: &str) -> Option<usize> {
     None
 }
 
-/// Find all `fn` items that have a body.
-fn find_fn_spans(toks: &[Tok]) -> Vec<FnSpan> {
+/// Find all `fn` items that have a body, attaching the enclosing `impl`
+/// block (if any) and the declared parameter names.
+fn find_fn_spans(toks: &[Tok], impls: &[ImplSpan]) -> Vec<FnSpan> {
     let mut fns = Vec::new();
     for i in 0..toks.len() {
         if !toks[i].is_ident("fn") {
@@ -254,16 +299,307 @@ fn find_fn_spans(toks: &[Tok]) -> Vec<FnSpan> {
             None => continue,
         };
         if let Some(close) = match_delim(toks, open, "{", "}") {
+            // Innermost impl block whose body contains the `fn` keyword.
+            let imp = impls
+                .iter()
+                .filter(|im| i > im.body_open && i < im.body_end)
+                .min_by_key(|im| im.body_end - im.body_open);
             fns.push(FnSpan {
                 name,
                 sig_start: i,
                 body_open: open,
                 body_end: close + 1,
                 line: toks[i].line,
+                owner: imp.map(|im| im.owner.clone()),
+                trait_name: imp.and_then(|im| im.trait_name.clone()),
+                params: fn_params(toks, i + 1, open),
             });
         }
     }
     fns
+}
+
+/// Parameter names of the `fn` whose name sits at `name_idx`, scanning up
+/// to the body-open token. Destructuring patterns contribute every bound
+/// name; `self` is recorded literally.
+fn fn_params(toks: &[Tok], name_idx: usize, body_open: usize) -> Vec<String> {
+    // Opening paren: first `(` after the name at angle depth 0 (skipping
+    // generic parameters, where `(` cannot appear at depth 0).
+    let mut j = name_idx + 1;
+    let mut angle = 0i32;
+    let open = loop {
+        if j >= body_open {
+            return Vec::new();
+        }
+        match (toks[j].kind, toks[j].text.as_str()) {
+            (TokKind::Sym, "<") => angle += 1,
+            (TokKind::Sym, ">") => angle -= 1,
+            (TokKind::Sym, "(") if angle <= 0 => break j,
+            _ => {}
+        }
+        j += 1;
+    };
+    let close = match match_delim(toks, open, "(", ")") {
+        Some(c) => c.min(body_open),
+        None => return Vec::new(),
+    };
+    // A name is an ident directly inside the parens (round depth 1, no
+    // nested brackets) followed by `:`, plus literal `self`. Destructured
+    // patterns (`(a, b): (u8, u8)`) sit at square/round depth > 1 before
+    // their `:`, so collect idents-before-`:` at any depth left of the
+    // top-level `:`; simplest robust rule: idents followed by `:` while we
+    // have not yet passed that param's top-level `:`.
+    let mut params = Vec::new();
+    let mut round = 0i32;
+    let mut sq = 0i32;
+    let mut ang = 0i32;
+    let mut brace = 0i32;
+    let mut in_type = false; // between a top-level `:` and the next top-level `,`
+    for k in open..close {
+        let t = &toks[k];
+        if t.kind == TokKind::Sym {
+            match t.text.as_str() {
+                "(" => round += 1,
+                ")" => round -= 1,
+                "[" => sq += 1,
+                "]" => sq -= 1,
+                "{" => brace += 1,
+                "}" => brace -= 1,
+                "<" => ang += 1,
+                ">" if k > 0 && !toks[k - 1].is_sym("-") => ang -= 1,
+                ":" if round == 1 && sq == 0 && ang <= 0 && brace == 0 => in_type = true,
+                "," if round == 1 && sq == 0 && ang <= 0 && brace == 0 => in_type = false,
+                _ => {}
+            }
+            continue;
+        }
+        if in_type || t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.text == "self" && round == 1 {
+            params.push("self".to_string());
+            continue;
+        }
+        // Pattern-side ident bound if followed by `:` or `,` or the
+        // closing `)` of its pattern — i.e. not a path segment or keyword.
+        if matches!(t.text.as_str(), "mut" | "ref" | "dyn" | "impl") {
+            continue;
+        }
+        let next = toks.get(k + 1);
+        let bound = match next {
+            Some(n) if n.is_sym(":") => true,
+            Some(n) if (n.is_sym(",") || n.is_sym(")")) && round > 1 => true,
+            _ => false,
+        };
+        let prev_path = k > 0 && toks[k - 1].is_sym("::");
+        if bound && !prev_path {
+            params.push(t.text.clone());
+        }
+    }
+    params
+}
+
+/// Find all `impl` blocks with their self type and optional trait.
+fn find_impl_spans(toks: &[Tok]) -> Vec<ImplSpan> {
+    let mut impls = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        let line = toks[i].line;
+        let mut j = i + 1;
+        // Skip the generic parameter list, if any.
+        if j < toks.len() && toks[j].is_sym("<") {
+            let mut depth = 0i32;
+            while j < toks.len() {
+                if toks[j].is_sym("<") {
+                    depth += 1;
+                } else if toks[j].is_sym(">") && !(j > 0 && toks[j - 1].is_sym("-")) {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        // First path: trait in `impl Trait for Type`, else the self type.
+        let (first, after_first) = impl_path(toks, j);
+        let (owner, trait_name, mut k) =
+            if after_first < toks.len() && toks[after_first].is_ident("for") {
+                let (second, after_second) = impl_path(toks, after_first + 1);
+                (second, first, after_second)
+            } else {
+                (first, None, after_first)
+            };
+        // Body opens at the next `{` (skipping any where-clause).
+        while k < toks.len() && !toks[k].is_sym("{") {
+            k += 1;
+        }
+        if let (Some(owner), Some(close)) = (owner, match_delim(toks, k, "{", "}")) {
+            impls.push(ImplSpan {
+                owner,
+                trait_name,
+                body_open: k,
+                body_end: close + 1,
+                line,
+            });
+            i = k + 1;
+            continue;
+        }
+        i = j.max(i + 1);
+    }
+    impls
+}
+
+/// Parse one type path in an `impl` header starting at `start`: returns
+/// the last identifier segment (generics stripped) and the index after the
+/// path. Leading `&`/`mut`/lifetimes are skipped.
+fn impl_path(toks: &[Tok], start: usize) -> (Option<String>, usize) {
+    let mut j = start;
+    while j < toks.len()
+        && (toks[j].is_sym("&") || toks[j].is_ident("mut") || toks[j].kind == TokKind::Lifetime)
+    {
+        j += 1;
+    }
+    let mut last = None;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.kind == TokKind::Ident {
+            if t.text == "for" || t.text == "where" {
+                break;
+            }
+            last = Some(t.text.clone());
+            j += 1;
+            continue;
+        }
+        if t.is_sym("::") {
+            j += 1;
+            continue;
+        }
+        if t.is_sym("<") {
+            // Skip the generic argument list.
+            let mut depth = 0i32;
+            while j < toks.len() {
+                if toks[j].is_sym("<") {
+                    depth += 1;
+                } else if toks[j].is_sym(">") && !(j > 0 && toks[j - 1].is_sym("-")) {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            continue;
+        }
+        break;
+    }
+    (last, j)
+}
+
+/// Expand every `use` declaration into per-leaf [`UseDecl`]s.
+fn find_use_decls(toks: &[Tok]) -> Vec<UseDecl> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("use") {
+            i += 1;
+            continue;
+        }
+        let end = toks[i..]
+            .iter()
+            .position(|t| t.is_sym(";"))
+            .map(|p| i + p)
+            .unwrap_or(toks.len());
+        let mut prefix = Vec::new();
+        parse_use_tree(&toks[i + 1..end], &mut prefix, toks[i].line, &mut out);
+        i = end + 1;
+    }
+    out
+}
+
+/// Recursive descent over one use-tree: `a::b`, `a::b as c`, `a::{..}`,
+/// `a::*`. Appends one [`UseDecl`] per leaf.
+fn parse_use_tree(toks: &[Tok], prefix: &mut Vec<String>, line: u32, out: &mut Vec<UseDecl>) {
+    let base = prefix.len();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_ident("as") {
+            if let Some(a) = toks.get(i + 1) {
+                if a.kind == TokKind::Ident && prefix.len() > base {
+                    out.push(UseDecl {
+                        path: prefix.clone(),
+                        alias: a.text.clone(),
+                        line,
+                    });
+                    prefix.truncate(base);
+                    return;
+                }
+            }
+            i += 1;
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            prefix.push(t.text.clone());
+            i += 1;
+            continue;
+        }
+        if t.is_sym("::") {
+            i += 1;
+            continue;
+        }
+        if t.is_sym("*") {
+            out.push(UseDecl {
+                path: prefix.clone(),
+                alias: "*".to_string(),
+                line,
+            });
+            prefix.truncate(base);
+            return;
+        }
+        if t.is_sym("{") {
+            if let Some(close) = match_delim(toks, i, "{", "}") {
+                // Split the group on top-level commas.
+                let mut item_start = i + 1;
+                let mut depth = 0i32;
+                for k in i + 1..close {
+                    if toks[k].is_sym("{") {
+                        depth += 1;
+                    } else if toks[k].is_sym("}") {
+                        depth -= 1;
+                    } else if toks[k].is_sym(",") && depth == 0 {
+                        parse_use_tree(&toks[item_start..k], prefix, line, out);
+                        item_start = k + 1;
+                    }
+                }
+                parse_use_tree(&toks[item_start..close], prefix, line, out);
+            }
+            prefix.truncate(base);
+            return;
+        }
+        i += 1;
+    }
+    if prefix.len() > base {
+        // `use a::{self, b}`: the `self` leaf binds the parent name.
+        if prefix.last().map(String::as_str) == Some("self") && prefix.len() > 1 {
+            prefix.pop();
+        }
+        let alias = prefix.last().cloned().unwrap_or_default();
+        if prefix.len() > base || base > 0 {
+            out.push(UseDecl {
+                path: prefix.clone(),
+                alias,
+                line,
+            });
+        }
+    }
+    prefix.truncate(base);
 }
 
 /// Parse `simlint:` annotations out of the comment stream.
@@ -370,6 +706,66 @@ mod tests {
         assert!(f.allow_for("wall-clock", 2).is_some());
         assert!(f.allow_for("wall-clock", 3).is_none());
         assert_eq!(f.bad_allows.len(), 1, "reason-less allow is malformed");
+    }
+
+    #[test]
+    fn use_decl_expansion() {
+        let src = "use simcore::par::{shard_stream, household_stream as hh};\n\
+                   use simcore::rng::Rng;\nuse nettrace::*;\nuse a::b::{self, c};\n";
+        let f = SourceFile::analyse("crates/x/src/lib.rs", src);
+        let decls: Vec<(String, String)> = f
+            .uses
+            .iter()
+            .map(|u| (u.path.join("::"), u.alias.clone()))
+            .collect();
+        assert_eq!(
+            decls,
+            [
+                (
+                    "simcore::par::shard_stream".to_string(),
+                    "shard_stream".to_string()
+                ),
+                (
+                    "simcore::par::household_stream".to_string(),
+                    "hh".to_string()
+                ),
+                ("simcore::rng::Rng".to_string(), "Rng".to_string()),
+                ("nettrace".to_string(), "*".to_string()),
+                ("a::b".to_string(), "b".to_string()),
+                ("a::b::c".to_string(), "c".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn impl_blocks_attach_owner_and_trait() {
+        let src = "impl Summary { fn add(&mut self, x: f64) {} }\n\
+                   impl<T: Clone> Accumulate for Sketch<T> {\n\
+                       fn merge(&mut self, other: &Self) { let _ = other; }\n\
+                   }\nfn free(a: u64) {}";
+        let f = SourceFile::analyse("crates/x/src/lib.rs", src);
+        assert_eq!(f.impls.len(), 2);
+        assert_eq!(f.impls[0].owner, "Summary");
+        assert_eq!(f.impls[0].trait_name, None);
+        assert_eq!(f.impls[1].owner, "Sketch");
+        assert_eq!(f.impls[1].trait_name.as_deref(), Some("Accumulate"));
+        let add = f.fns.iter().find(|x| x.name == "add").unwrap();
+        assert_eq!(add.owner.as_deref(), Some("Summary"));
+        assert_eq!(add.params, ["self", "x"]);
+        let merge = f.fns.iter().find(|x| x.name == "merge").unwrap();
+        assert_eq!(merge.owner.as_deref(), Some("Sketch"));
+        assert_eq!(merge.trait_name.as_deref(), Some("Accumulate"));
+        assert_eq!(merge.params, ["self", "other"]);
+        let free = f.fns.iter().find(|x| x.name == "free").unwrap();
+        assert_eq!(free.owner, None);
+        assert_eq!(free.params, ["a"]);
+    }
+
+    #[test]
+    fn fn_params_handle_generics_and_patterns() {
+        let src = "fn g<K: Ord, V>(map: BTreeMap<K, V>, (lo, hi): (u64, u64), n: u8) {}";
+        let f = SourceFile::analyse("crates/x/src/lib.rs", src);
+        assert_eq!(f.fns[0].params, ["map", "lo", "hi", "n"]);
     }
 
     #[test]

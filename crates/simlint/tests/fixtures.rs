@@ -200,3 +200,133 @@ fn reports_are_deterministic_and_machine_readable() {
     assert!(ja.contains("\"counts\""));
     assert!(ja.contains("\"files_scanned\""));
 }
+
+#[test]
+fn taint_fixture_resolves_aliases_and_crosses_crates() {
+    let r = lint("taint");
+    assert_eq!(
+        rules(&r),
+        ["taint-flow", "shard-seed", "shard-seed"],
+        "{:?}",
+        r.violations
+    );
+    // Emission leg: a scheduling-derived value is serialised.
+    assert!(r.violations[0].file.ends_with("crates/core/src/report.rs"));
+    assert!(r.violations[0].message.contains("`worker_idx`"));
+    assert_eq!(r.violations[0].pass, "taint");
+    // Cross-crate leg: the taint reaches `fork` two crates away, through
+    // `workload::wrap` — only the param-flow fixpoint can see it.
+    assert!(r.violations[1].file.ends_with("crates/dropbox/src/lib.rs"));
+    assert!(r.violations[1].message.contains("`thread_no`"));
+    assert_eq!(r.violations[1].symbol, "workload::wrap");
+    // Aliased leg: `use ... household_stream as stream` must not hide the
+    // seed constructor; provenance names the resolved symbol.
+    assert!(r.violations[2].file.ends_with("crates/workload/src/lib.rs"));
+    assert!(r.violations[2].message.contains("`worker_idx`"));
+    assert!(r.violations[2].message.contains("stable shard identity"));
+    assert_eq!(r.violations[2].symbol, "simcore::par::household_stream");
+    // Identity-derived streams are clean; the annotated one is suppressed.
+    assert_eq!(r.allowed.len(), 1, "{:?}", r.allowed);
+    assert_eq!(r.allowed[0].rule, "shard-seed");
+}
+
+#[test]
+fn floatmerge_fixture_flags_order_sensitive_reductions() {
+    let r = lint("floatmerge");
+    assert_eq!(
+        rules(&r),
+        ["float-merge", "float-merge"],
+        "{:?}",
+        r.violations
+    );
+    // Sorted by line: the `+=` in `Accumulate::merge`, then the re-sum in
+    // a merge-named method.
+    assert!(r.violations[0].message.contains("`sum +=`"));
+    assert_eq!(r.violations[0].symbol, "Accumulate for BadAcc::merge");
+    assert!(r.violations[1].message.contains(".sum::<f64>()"));
+    assert!(r.violations[1].symbol.contains("FoldAcc"));
+    assert_eq!(r.violations[0].pass, "float");
+    // `OrderlessSum` routing is clean; the annotated `+=` is suppressed.
+    assert_eq!(r.allowed.len(), 1, "{:?}", r.allowed);
+    assert_eq!(r.allowed[0].rule, "float-merge");
+    assert!(r.allowed[0].reason.contains("slot order"));
+}
+
+#[test]
+fn staleallow_fixture_flags_suppressions_of_nothing() {
+    let r = lint("staleallow");
+    assert_eq!(rules(&r), ["stale-allow"], "{:?}", r.violations);
+    assert!(r.violations[0].message.contains("wall-clock"));
+    assert!(r.violations[0].message.contains("suppresses no violations"));
+    assert_eq!(r.violations[0].pass, "allow");
+    // The live annotation suppresses a real read; the deliberately-kept
+    // stale annotation is itself excused by an allow(stale-allow).
+    let mut allowed: Vec<&str> = r.allowed.iter().map(|a| a.rule.as_str()).collect();
+    allowed.sort();
+    assert_eq!(allowed, ["stale-allow", "wall-clock"], "{:?}", r.allowed);
+}
+
+#[test]
+fn report_json_carries_rule_provenance() {
+    let r = lint("taint");
+    let j = simcore::json::to_string(&r.to_json());
+    assert!(j.contains("\"pass\":\"taint\""));
+    assert!(j.contains("\"symbol\":\"simcore::par::household_stream\""));
+}
+
+#[test]
+fn incremental_cache_reuses_and_invalidates() {
+    // Copy a fixture into a scratch tree so mtime/content changes don't
+    // touch the committed fixtures.
+    let src = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/taint");
+    let scratch = std::env::temp_dir().join(format!("simlint-cache-it-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    copy_tree(&src, &scratch);
+    let cache = scratch.join("cache.json");
+
+    let opts = Options::workspace();
+    let (cold, s1) = simlint::run_with_cache(&scratch, &opts, &cache).expect("cold run");
+    assert_eq!(s1.hits, 0);
+    assert!(s1.misses >= 5, "{s1:?}");
+
+    let (warm, s2) = simlint::run_with_cache(&scratch, &opts, &cache).expect("warm run");
+    assert_eq!(s2.misses, 0, "{s2:?}");
+    assert_eq!(s2.hits, s1.misses);
+    assert_eq!(
+        simcore::json::to_string(&cold.to_json()),
+        simcore::json::to_string(&warm.to_json()),
+        "cached facts must reproduce the report byte-for-byte"
+    );
+
+    // Edit one file: exactly that file re-analyses, and the cross-file
+    // passes see the change (the aliased violation disappears).
+    let edited = scratch.join("crates/workload/src/lib.rs");
+    let text = std::fs::read_to_string(&edited).unwrap();
+    std::fs::write(
+        &edited,
+        text.replace("stream(rng, worker_idx)", "stream(rng, household_id)"),
+    )
+    .unwrap();
+    let (third, s3) = simlint::run_with_cache(&scratch, &opts, &cache).expect("edited run");
+    assert_eq!(s3.misses, 1, "{s3:?}");
+    assert_eq!(s3.hits, s1.misses - 1);
+    assert!(
+        third.violations.len() < cold.violations.len(),
+        "edit must flow through the cached run: {:?}",
+        third.violations
+    );
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+fn copy_tree(src: &std::path::Path, dst: &std::path::Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        let to = dst.join(entry.file_name());
+        if entry.path().is_dir() {
+            copy_tree(&entry.path(), &to);
+        } else {
+            std::fs::copy(entry.path(), &to).unwrap();
+        }
+    }
+}

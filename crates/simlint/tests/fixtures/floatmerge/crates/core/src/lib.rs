@@ -1,0 +1,47 @@
+//! Known-bad fixture: order-sensitive f64 reductions in merge paths.
+//! `BadAcc` accumulates with `+=` (its result depends on merge order),
+//! `FoldAcc` re-sums a vector inside a merge-named method; `GoodAcc`
+//! routes through `OrderlessSum` and `PinnedAcc` documents why its order
+//! is fixed.
+
+pub struct BadAcc {
+    sum: f64,
+}
+
+impl Accumulate for BadAcc {
+    fn merge(&mut self, other: &BadAcc) {
+        self.sum += other.sum;
+    }
+}
+
+pub struct FoldAcc {
+    parts: Vec<f64>,
+    total: f64,
+}
+
+impl FoldAcc {
+    pub fn merge_totals(&mut self) {
+        self.total = self.parts.iter().sum::<f64>();
+    }
+}
+
+pub struct GoodAcc {
+    sum: OrderlessSum,
+}
+
+impl Accumulate for GoodAcc {
+    fn merge(&mut self, other: &GoodAcc) {
+        self.sum.merge(&other.sum);
+    }
+}
+
+pub struct PinnedAcc {
+    sum: f64,
+}
+
+impl Accumulate for PinnedAcc {
+    fn merge(&mut self, other: &PinnedAcc) {
+        // simlint: allow(float-merge) — fixture: drained in canonical slot order
+        self.sum += other.sum;
+    }
+}

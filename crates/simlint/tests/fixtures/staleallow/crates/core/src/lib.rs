@@ -1,0 +1,22 @@
+//! Known-bad fixture: allow annotations must suppress something to be
+//! legal. `live`'s annotation covers a real wall-clock read; `stale`'s
+//! covers nothing (the clock read it excused is gone) and is flagged;
+//! `pinned` shows the escape hatch — a stale annotation kept on purpose
+//! needs its own `allow(stale-allow)` justification.
+
+pub fn live() -> u64 {
+    // simlint: allow(wall-clock) — fixture: justified self-profiling read
+    let t = std::time::Instant::now();
+    t.elapsed().as_secs()
+}
+
+// simlint: allow(wall-clock) — fixture: the clock read below was deleted
+pub fn stale() -> u64 {
+    7
+}
+
+// simlint: allow(stale-allow) — fixture: annotation kept for a pending revert
+// simlint: allow(panic-path) — fixture: the unwrap was removed
+pub fn pinned() -> u64 {
+    9
+}

@@ -1,0 +1,7 @@
+//! Known-bad fixture, emission leg: a scheduling-derived value is
+//! serialised, so the written artifact depends on `--jobs`.
+
+pub fn emit(out: &mut Out, worker_idx: u64, household: u64) {
+    out.write_jsonl(worker_idx);
+    out.write_jsonl(household);
+}

@@ -1,0 +1,11 @@
+//! Known-bad fixture, cross-crate leg: the tainted value reaches the
+//! seed stream only through `workload::wrap` — two crates away from the
+//! actual `fork` call.
+
+pub fn violating_transitive(rng: &Rng, thread_no: u64) -> Rng {
+    workload::wrap(rng, thread_no)
+}
+
+pub fn clean_transitive(rng: &Rng, capture_id: u64) -> Rng {
+    workload::wrap(rng, capture_id)
+}

@@ -1,0 +1,4 @@
+//! Fixture stand-in for the real `simcore` crate: declares the seed
+//! stream constructor the taint pass treats as a derivation sink.
+
+pub mod par;

@@ -1,0 +1,7 @@
+//! The seed-stream constructor. Its `id` parameter reaches `fork`, so
+//! the param-flow fixpoint marks it as a seed parameter — callers passing
+//! scheduling-derived values are flagged wherever they are.
+
+pub fn household_stream(rng: &Rng, id: u64) -> Rng {
+    rng.fork_named("households").fork(id)
+}

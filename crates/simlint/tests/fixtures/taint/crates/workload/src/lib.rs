@@ -1,0 +1,24 @@
+//! Known-bad fixture: the seed constructor is renamed through `use`, so
+//! a name-based check would miss it — only resolution connects `stream`
+//! back to `simcore::par::household_stream`.
+
+use simcore::par::household_stream as stream;
+
+pub fn violating(rng: &Rng, worker_idx: u64) -> Rng {
+    stream(rng, worker_idx)
+}
+
+pub fn clean(rng: &Rng, household: u64) -> Rng {
+    stream(rng, household)
+}
+
+pub fn annotated(rng: &Rng, job_salt: u64) -> Rng {
+    // simlint: allow(shard-seed) — fixture: pretend this is identity-derived
+    stream(rng, job_salt)
+}
+
+/// Wrapper whose `x` parameter flows into the seed stream: callers of
+/// `wrap` inherit the obligation transitively.
+pub fn wrap(rng: &Rng, x: u64) -> Rng {
+    simcore::par::household_stream(rng, x)
+}

@@ -28,8 +28,19 @@ done < <({ git ls-files 'results/*.csv'; \
            git diff --cached --name-only --diff-filter=AM -- 'results/*.csv'; } | sort -u)
 
 # Determinism & hermeticity lint: hard gate, exits non-zero on any
-# violation and writes results/simlint_report.json.
+# violation and writes results/simlint_report.json. Runs twice: the
+# second run must be served entirely from the warm incremental cache
+# (target/simlint-cache.json) and still reproduce the committed report
+# byte-for-byte — catching both lint regressions and cache unsoundness.
 cargo run --release --offline -p simlint
+cargo run --release --offline -p simlint
+git diff --exit-code -- results/simlint_report.json
+# Suppressions must not outlive the code they excuse: any stale-allow in
+# the report — violation or pinned — fails the gate outright.
+if grep -q '"rule":"stale-allow"' results/simlint_report.json; then
+    echo "error: stale allow annotation(s) recorded in results/simlint_report.json" >&2
+    exit 1
+fi
 
 cargo build --release --offline
 cargo test -q --offline
