@@ -1,0 +1,91 @@
+//! Provider-spec engine throughput: upload-transaction flow construction
+//! per spec (the generic engine's per-provider cost), and one
+//! bundling-vs-RTT sweep cell through the full TCP model (the
+//! `repro --provider-matrix` inner loop).
+
+use bench::{Harness, Throughput};
+use dnssim::DnsDirectory;
+use dropbox::client::{ChunkWork, ClientVersion, SyncConfig, SyncEngine};
+use dropbox::content::ChunkId;
+use dropbox::spec;
+use dropbox::storage::ChunkStore;
+use simcore::{Rng, SimTime};
+
+const CHUNKS: u64 = 80;
+const CHUNK_BYTES: u64 = 50_000;
+
+fn workload() -> Vec<ChunkWork> {
+    (0..CHUNKS)
+        .map(|i| ChunkWork {
+            id: ChunkId(i + 1),
+            wire_bytes: CHUNK_BYTES,
+            raw_bytes: CHUNK_BYTES,
+        })
+        .collect()
+}
+
+/// Flow construction per spec: same chunk workload, fresh store every
+/// iteration so dedup never short-circuits the comparison.
+fn bench_upload(c: &mut Harness) {
+    let chunks = workload();
+    let mut g = c.group("providers");
+    g.throughput(Throughput::Bytes(CHUNKS * CHUNK_BYTES));
+    for prov in spec::ALL {
+        let mut dns = DnsDirectory::new();
+        for (name, ip) in prov.dns_entries() {
+            dns.register(name, ip);
+        }
+        g.bench_function(&format!("upload_{}", prov.slug), |b| {
+            b.iter(|| {
+                let store = ChunkStore::new();
+                let config = SyncConfig {
+                    version: ClientVersion::V1_4_0,
+                    spec: prov,
+                    ..SyncConfig::default()
+                };
+                let mut eng = SyncEngine::new(&dns, &store, config, 7);
+                let mut rng = Rng::new(11);
+                let flows = eng.upload_transaction(
+                    std::hint::black_box(&chunks),
+                    0,
+                    &mut rng,
+                    None,
+                    SimTime::EPOCH,
+                );
+                assert!(!flows.is_empty());
+                flows.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// One bundling-vs-RTT cell end to end (engine + TCP model + monitor):
+/// the unit of work the provider-matrix sweep repeats per series × probe.
+fn bench_sweep_cell(c: &mut Harness) {
+    let mut g = c.group("providers_sweep");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("folder_sync_cell", |b| {
+        b.iter(|| {
+            let secs = experiments::providers::folder_sync_secs(
+                &spec::GDRIVE_LIKE,
+                ClientVersion::V1_4_0,
+                20,
+                40_000,
+                std::hint::black_box(100),
+                3,
+            );
+            assert!(secs > 0.0);
+            secs
+        })
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = Harness::new("providers");
+    bench_upload(&mut c);
+    bench_sweep_cell(&mut c);
+    c.finish().expect("write benchmark results");
+}

@@ -159,6 +159,14 @@ impl DnsDirectory {
         DnsDirectory { forward, reverse }
     }
 
+    /// Register an additional name → address mapping (reverse included).
+    /// Used to overlay non-Dropbox provider deployments on the directory;
+    /// the Dropbox zone of [`DnsDirectory::new`] is never touched.
+    pub fn register(&mut self, name: String, ip: Ipv4) {
+        self.reverse.insert(ip, name.clone());
+        self.forward.insert(name, ip);
+    }
+
     /// Resolve a name to its address (what the client's resolver returns;
     /// identical worldwide, see [`planetlab`]).
     pub fn resolve(&self, name: &str) -> Option<Ipv4> {

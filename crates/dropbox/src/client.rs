@@ -22,6 +22,7 @@
 
 use crate::content::ChunkId;
 use crate::protocol::{Command, ProtocolTrace, Sender};
+use crate::spec::{self, Naming, ProviderSpec};
 use crate::storage::ChunkStore;
 use crate::{FlowSpec, FlowTruth};
 use dnssim::{DnsDirectory, ServerRole};
@@ -52,13 +53,6 @@ pub mod overhead {
     pub const RETRIEVE_CLIENT_MAX: u32 = 426;
 }
 
-/// Bundle budget of v1.4.0 (chunks are ≤ 4 MB; bundles are packed to the
-/// same cap).
-const BUNDLE_BUDGET: u64 = 4 * 1024 * 1024;
-/// Chunks at or above this size are sent with single-chunk commands even
-/// in v1.4.0 ("the system decides at run-time whether chunks are grouped").
-const BUNDLE_MAX_MEMBER: u64 = 1024 * 1024;
-
 /// Certificate common name of every Dropbox service (Sec. 3.1).
 pub const CERT_CN: &str = "*.dropbox.com";
 
@@ -75,6 +69,10 @@ pub struct SyncConfig {
     /// consecutive connections and its flows lack acknowledgment messages
     /// (Secs. 4.3.1, A.3).
     pub no_storage_acks: bool,
+    /// Provider protocol specification the engine is parameterised by
+    /// (chunking, bundling, dedup/delta, naming). Defaults to the measured
+    /// Dropbox deployment.
+    pub spec: &'static ProviderSpec,
 }
 
 impl Default for SyncConfig {
@@ -84,6 +82,7 @@ impl Default for SyncConfig {
             server_reaction_ms: 120.0,
             client_reaction_ms: 60.0,
             no_storage_acks: false,
+            spec: &spec::DROPBOX,
         }
     }
 }
@@ -184,6 +183,16 @@ impl<'a> SyncEngine<'a> {
         &self.config
     }
 
+    /// Server answer to `commit_batch`: deduplicating providers report
+    /// only the chunks the store is missing; the rest demand everything.
+    fn need_blocks(&self, all_ids: &[(ChunkId, u64)]) -> Vec<ChunkId> {
+        if self.config.spec.dedup {
+            self.store.need_blocks(all_ids)
+        } else {
+            all_ids.iter().map(|&(id, _)| id).collect()
+        }
+    }
+
     fn server_reaction(&self, rng: &mut Rng) -> SimDuration {
         SimDuration::from_secs_f64(
             dist::lognormal_median(rng, self.config.server_reaction_ms, 0.4) / 1_000.0,
@@ -196,10 +205,16 @@ impl<'a> SyncEngine<'a> {
         )
     }
 
-    /// Next storage alias in this device's rotation list (Sec. 2.4).
+    /// Next storage front. Dropbox rotates the per-device alias list of
+    /// Sec. 2.4; flat-named providers rotate their `storeN` pool.
     fn next_storage_alias(&mut self, day: u32) -> String {
-        let list = self.dns.storage_aliases_for(self.device_id, day);
-        let name = list[self.alias_cursor % list.len()].clone();
+        let name = match self.config.spec.naming {
+            Naming::DropboxDns => {
+                let list = self.dns.storage_aliases_for(self.device_id, day);
+                list[self.alias_cursor % list.len()].clone()
+            }
+            Naming::Flat { .. } => self.config.spec.storage_name(self.alias_cursor),
+        };
         self.alias_cursor += 1;
         name
     }
@@ -215,8 +230,12 @@ impl<'a> SyncEngine<'a> {
         exchanges: &[(u32, u32)],
         rng: &mut Rng,
     ) -> FlowSpec {
-        let name = self.dns.meta_name(via_lb, rng);
-        let mut messages = tls::handshake(&name, CERT_CN, self.server_reaction(rng));
+        let name = match self.config.spec.naming {
+            Naming::DropboxDns => self.dns.meta_name(via_lb, rng),
+            Naming::Flat { .. } => self.config.spec.control_name(),
+        };
+        let mut messages =
+            tls::handshake(&name, self.config.spec.cert_cn(), self.server_reaction(rng));
         for &(req, resp) in exchanges {
             messages.push(Message {
                 dir: Direction::Up,
@@ -285,7 +304,7 @@ impl<'a> SyncEngine<'a> {
                 },
             );
         }
-        let needed_ids = self.store.need_blocks(&all_ids);
+        let needed_ids = self.need_blocks(&all_ids);
         if let Some(t) = trace.as_deref_mut() {
             t.record(
                 trace_t0,
@@ -332,7 +351,8 @@ impl<'a> SyncEngine<'a> {
         trace_t0: SimTime,
     ) -> FlowSpec {
         let name = self.next_storage_alias(day);
-        let mut messages = tls::handshake(&name, CERT_CN, self.server_reaction(rng));
+        let mut messages =
+            tls::handshake(&name, self.config.spec.cert_cn(), self.server_reaction(rng));
         let mut data_bytes = 0u64;
 
         let groups = self.bundle(batch);
@@ -423,7 +443,7 @@ impl<'a> SyncEngine<'a> {
 
         // commit_batch → need_blocks, deduplicated against the store.
         let all_ids: Vec<(ChunkId, u64)> = chunks.iter().map(|c| (c.id, c.raw_bytes)).collect();
-        let needed_ids = self.store.need_blocks(&all_ids);
+        let needed_ids = self.need_blocks(&all_ids);
         let need_resp = 200 + 70 * needed_ids.len() as u32;
         out.flows.push((
             offset,
@@ -620,7 +640,8 @@ impl<'a> SyncEngine<'a> {
         trace_t0: SimTime,
     ) -> FlowSpec {
         let name = self.next_storage_alias(day);
-        let mut messages = tls::handshake(&name, CERT_CN, self.server_reaction(rng));
+        let mut messages =
+            tls::handshake(&name, self.config.spec.cert_cn(), self.server_reaction(rng));
         let mut data_bytes = 0u64;
 
         let groups = self.bundle(batch);
@@ -671,23 +692,24 @@ impl<'a> SyncEngine<'a> {
         }
     }
 
-    /// Group chunks into transfer operations according to the client
-    /// version: v1.2.52 sends one command per chunk; v1.4.0 packs chunks
-    /// smaller than [`BUNDLE_MAX_MEMBER`] into bundles of up to
-    /// [`BUNDLE_BUDGET`] bytes.
+    /// Group chunks into transfer operations according to the provider
+    /// spec and client version: without bundling every chunk is its own
+    /// command; with bundling, chunks smaller than the spec's
+    /// `max_member` are packed into bundles of up to `budget` bytes
+    /// (Dropbox enables this from v1.4.0, Sec. 4.5.1).
     fn bundle<'b>(&self, batch: &'b [ChunkWork]) -> Vec<Vec<&'b ChunkWork>> {
-        match self.config.version {
-            ClientVersion::V1_2_52 => batch.iter().map(|c| vec![c]).collect(),
-            ClientVersion::V1_4_0 => {
+        match self.config.spec.bundle_params(self.config.version) {
+            None => batch.iter().map(|c| vec![c]).collect(),
+            Some(b) => {
                 let mut groups: Vec<Vec<&ChunkWork>> = Vec::new();
                 let mut current: Vec<&ChunkWork> = Vec::new();
                 let mut current_bytes = 0u64;
                 for c in batch {
-                    if c.wire_bytes >= BUNDLE_MAX_MEMBER {
+                    if c.wire_bytes >= b.max_member {
                         groups.push(vec![c]);
                         continue;
                     }
-                    if current_bytes + c.wire_bytes > BUNDLE_BUDGET && !current.is_empty() {
+                    if current_bytes + c.wire_bytes > b.budget && !current.is_empty() {
                         groups.push(std::mem::take(&mut current));
                         current_bytes = 0;
                     }
@@ -706,7 +728,8 @@ impl<'a> SyncEngine<'a> {
     /// — rare crash reports shipped to Amazon-side collectors.
     pub fn backtrace_flow(&mut self, rng: &mut Rng) -> FlowSpec {
         let name = format!("dl-debug{}.dropbox.com", rng.range_u64(1, 4));
-        let mut messages = tls::handshake(&name, CERT_CN, self.server_reaction(rng));
+        let mut messages =
+            tls::handshake(&name, self.config.spec.cert_cn(), self.server_reaction(rng));
         messages.push(Message {
             dir: Direction::Up,
             delay: SimDuration::from_millis(100),
@@ -732,7 +755,8 @@ impl<'a> SyncEngine<'a> {
     /// small, and excluded from the paper's deeper analysis.
     pub fn event_log_flow(&mut self, rng: &mut Rng) -> FlowSpec {
         let name = "d.dropbox.com".to_owned();
-        let mut messages = tls::handshake(&name, CERT_CN, self.server_reaction(rng));
+        let mut messages =
+            tls::handshake(&name, self.config.spec.cert_cn(), self.server_reaction(rng));
         messages.push(Message {
             dir: Direction::Up,
             delay: SimDuration::from_millis(50),
@@ -820,6 +844,35 @@ mod tests {
         let mut eng2 = SyncEngine::new(&dns, &store, SyncConfig::default(), 43);
         let f2 = eng2.upload_transaction(&chunks, 0, &mut rng, None, SimTime::EPOCH);
         assert!(f2.iter().all(|f| matches!(f.truth, FlowTruth::Control)));
+    }
+
+    #[test]
+    fn no_dedup_spec_reuploads_duplicated_content() {
+        // Same duplicated-content scenario as above, but through a spec
+        // without dedup: the second device must put every chunk back on
+        // the wire, strictly more upload bytes than the deduplicating
+        // provider's zero.
+        let dns = DnsDirectory::new();
+        let store = ChunkStore::new();
+        let chunks: Vec<ChunkWork> = (0..10).map(|i| chunkw(i, 5_000)).collect();
+        let mut rng = Rng::new(2);
+        let config = SyncConfig {
+            spec: &spec::SKYDRIVE_LIKE,
+            ..SyncConfig::default()
+        };
+        let mut eng1 = SyncEngine::new(&dns, &store, config.clone(), 42);
+        eng1.upload_transaction(&chunks, 0, &mut rng, None, SimTime::EPOCH);
+        let mut eng2 = SyncEngine::new(&dns, &store, config, 43);
+        let f2 = eng2.upload_transaction(&chunks, 0, &mut rng, None, SimTime::EPOCH);
+        let storage_up: u64 = f2
+            .iter()
+            .filter(|f| matches!(f.truth, FlowTruth::Store { .. }))
+            .map(|f| f.dialogue.bytes_up())
+            .sum();
+        assert!(
+            storage_up > 10 * 5_000,
+            "no-dedup second device re-uploads everything ({storage_up} B up)"
+        );
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //!   ladders must satisfy (protocol conformance),
 //! * [`lan_sync`] — the LAN Sync Protocol (discovery + local serving),
 //! * [`notification`] — the cleartext notification long-poll,
+//! * [`spec`] — provider protocol specifications: the per-provider knob
+//!   table (chunk size, bundling, dedup/delta, placement, notification
+//!   style, naming) the generic engine is parameterised by; Dropbox is
+//!   one spec among competing "SkyDrive-like"/"GDrive-like" models,
 //! * [`web`] — web interface, direct-link, and API traffic builders.
 //!
 //! Every flow this crate emits carries a [`FlowTruth`] annotation so the
@@ -39,12 +43,14 @@ pub mod notification;
 pub mod protocol;
 pub mod server;
 pub mod session;
+pub mod spec;
 pub mod storage;
 pub mod web;
 
 pub use client::{ClientVersion, SyncEngine};
 pub use content::{ChunkId, Content, ContentKind, CHUNK_SIZE};
 pub use protocol::{Command, ProtocolTrace};
+pub use spec::ProviderSpec;
 
 use simcore::faults::FlowFaults;
 use tcpmodel::Dialogue;

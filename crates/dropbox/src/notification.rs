@@ -52,6 +52,21 @@ pub fn notification_flow(
     rng: &mut Rng,
 ) -> FlowSpec {
     let name = dns.notify_name(rng);
+    notification_flow_named(name, host, namespaces, span, changes, end, rng)
+}
+
+/// [`notification_flow`] against an explicitly named notification server —
+/// the provider-generic entry point (flat-named providers do not route
+/// through the Dropbox `notifyX` pool).
+pub fn notification_flow_named(
+    name: String,
+    host: HostInt,
+    namespaces: &[NamespaceId],
+    span: SimDuration,
+    changes: u32,
+    end: SessionEnd,
+    rng: &mut Rng,
+) -> FlowSpec {
     let ns_list: Vec<u64> = namespaces.iter().map(|n| n.0).collect();
 
     // Request size grows with the advertised namespace list.
@@ -144,6 +159,17 @@ pub fn reconnect_probe_flow(
     rng: &mut Rng,
 ) -> FlowSpec {
     let name = dns.notify_name(rng);
+    reconnect_probe_flow_named(name, host, namespaces, rng)
+}
+
+/// [`reconnect_probe_flow`] against an explicitly named notification
+/// server (provider-generic entry point).
+pub fn reconnect_probe_flow_named(
+    name: String,
+    host: HostInt,
+    namespaces: &[NamespaceId],
+    rng: &mut Rng,
+) -> FlowSpec {
     let ns_list: Vec<u64> = namespaces.iter().map(|n| n.0).collect();
     let req_size = 310 + 18 * ns_list.len() as u32;
     let marker = AppMarker::NotifyRequest {
@@ -167,12 +193,68 @@ pub fn reconnect_probe_flow(
     }
 }
 
+/// One periodic change-poll connection of a *polling* provider (see
+/// [`crate::spec::NotifyStyle::Poll`]): unlike the Dropbox long-poll,
+/// each check is its own short request/response connection, so a polling
+/// client produces many small notification flows instead of one
+/// session-long connection.
+pub fn poll_check_flow(
+    name: String,
+    host: HostInt,
+    namespaces: &[NamespaceId],
+    rng: &mut Rng,
+) -> FlowSpec {
+    let ns_list: Vec<u64> = namespaces.iter().map(|n| n.0).collect();
+    let req_size = 310 + 18 * ns_list.len() as u32;
+    let marker = AppMarker::NotifyRequest {
+        host: name.clone(),
+        host_int: host.0,
+        namespaces: ns_list,
+    };
+    let messages = vec![
+        Message {
+            dir: Direction::Up,
+            delay: SimDuration::from_millis(rng.range_u64(5, 50)),
+            writes: vec![Write::marked(req_size, marker)],
+        },
+        Message {
+            dir: Direction::Down,
+            delay: SimDuration::from_millis(rng.range_u64(60, 400)),
+            writes: vec![Write::plain(160)],
+        },
+    ];
+    FlowSpec {
+        server_name: name,
+        port: ServerRole::Notification.port(),
+        dialogue: Dialogue::new(messages).with_close(CloseMode::ClientFin {
+            delay: SimDuration::from_millis(100),
+        }),
+        truth: FlowTruth::Notification,
+        faults: None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn dns() -> DnsDirectory {
         DnsDirectory::new()
+    }
+
+    #[test]
+    fn poll_check_is_one_short_answered_connection() {
+        let mut rng = Rng::new(9);
+        let f = poll_check_flow(
+            "notify.skydrive-like.example".to_owned(),
+            HostInt(5),
+            &[NamespaceId(2)],
+            &mut rng,
+        );
+        assert_eq!(f.port, 80);
+        assert_eq!(f.dialogue.messages.len(), 2, "request + response");
+        assert!(matches!(f.dialogue.close, CloseMode::ClientFin { .. }));
+        assert_eq!(f.truth, FlowTruth::Notification);
     }
 
     #[test]

@@ -22,7 +22,11 @@
 //!   calls out (server initcwnd, loss rate, batch limit, outage knobs),
 //! * [`chaos`] — the chaos-soak harness (`repro --chaos N`): many seeded
 //!   control-plane fault scenarios, each audited by the driver and
-//!   checked against the sync-convergence oracle (DESIGN.md §9).
+//!   checked against the sync-convergence oracle (DESIGN.md §9),
+//! * [`providers`] — the provider matrix (`repro --provider-matrix`):
+//!   competing [`dropbox::spec`] protocol specifications driven through
+//!   the same Home 1 workload, plus the bundling-vs-RTT sweep
+//!   (DESIGN.md §10).
 //!
 //! The `repro` binary drives everything:
 //!
@@ -35,6 +39,7 @@ pub mod ablations;
 pub mod chaos;
 pub mod chart;
 pub mod figures;
+pub mod providers;
 pub mod recommendations;
 pub mod report;
 pub mod run;

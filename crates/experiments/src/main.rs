@@ -4,6 +4,7 @@
 //! repro [IDS...] [--scale S] [--seed N] [--jobs N] [--hh-shards K]
 //!       [--out DIR] [--faults N] [--export-traces]
 //!       [--chaos N] [--outage-gap-days G] [--outage-secs S]
+//!       [--provider-matrix] [--access wired|wifi|lte]
 //!
 //!   IDS     table1..table5, fig1..fig21, validation, recommendations,
 //!           or `all` (default)
@@ -34,6 +35,14 @@
 //!   --export-traces   also write the anonymised flow logs (JSON-lines,
 //!                     one file per vantage point — the counterpart of the
 //!                     paper's published trace repository)
+//!   --provider-matrix provider-matrix mode: run the Home 1 workload once
+//!                     per provider spec (Dropbox, SkyDrive-like,
+//!                     GDrive-like) and sweep the bundling-vs-RTT folder
+//!                     harness. Writes `provider_matrix.txt` +
+//!                     `provider_matrix_*.csv` + `provider_bundling_rtt.*`
+//!                     to --out. No tables/figures in this mode
+//!   --access P        force every household onto access-link profile P
+//!                     (`wired` | `wifi` | `lte`) in provider-matrix mode
 //! ```
 
 use experiments::ablations;
@@ -59,6 +68,8 @@ fn main() {
     let mut fault_seed: Option<u64> = None;
     let mut chaos_seeds: Option<u64> = None;
     let mut knobs = OutageKnobs::default();
+    let mut provider_matrix = false;
+    let mut access: Option<&'static tcpmodel::AccessLink> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -108,9 +119,17 @@ fn main() {
                 knobs.median_secs = secs;
                 knobs.max_secs = knobs.max_secs.max(20.0 * secs);
             }
+            "--provider-matrix" => provider_matrix = true,
+            "--access" => {
+                let name = args.next().expect("--access value");
+                access = Some(
+                    tcpmodel::AccessLink::by_name(&name)
+                        .unwrap_or_else(|| panic!("unknown access profile `{name}`")),
+                );
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [IDS...] [--scale S] [--seed N] [--jobs N] [--hh-shards K] [--out DIR] [--faults N] [--export-traces] [--chaos N] [--outage-gap-days G] [--outage-secs S]"
+                    "usage: repro [IDS...] [--scale S] [--seed N] [--jobs N] [--hh-shards K] [--out DIR] [--faults N] [--export-traces] [--chaos N] [--outage-gap-days G] [--outage-secs S] [--provider-matrix] [--access wired|wifi|lte]"
                 );
                 return;
             }
@@ -129,6 +148,45 @@ fn main() {
     let want = |id: &str| ids[0] == "all" || ids.iter().any(|i| i == id);
 
     fs::create_dir_all(&out_dir).expect("create output directory");
+
+    // Provider-matrix mode is its own pipeline: per-spec captures + the
+    // bundling-vs-RTT sweep, no tables/figures.
+    if provider_matrix {
+        let resolved_jobs = if jobs == 0 {
+            simcore::par::available_jobs()
+        } else {
+            jobs
+        };
+        let cfg = experiments::providers::MatrixConfig {
+            scale,
+            seed,
+            link: access,
+            ..experiments::providers::MatrixConfig::default()
+        };
+        eprintln!(
+            "provider matrix: {} specs x {}-day Home 1 capture (scale {scale}, seed {seed}, jobs {resolved_jobs}{})…",
+            dropbox::spec::ALL.len(),
+            cfg.days,
+            match access {
+                Some(l) => format!(", access {}", l.name),
+                None => String::new(),
+            }
+        );
+        let t0 = Instant::now();
+        let reports = [
+            experiments::providers::provider_matrix(&cfg, resolved_jobs),
+            experiments::providers::bundling_vs_rtt(seed),
+        ];
+        eprintln!("matrix finished in {:.1}s", t0.elapsed().as_secs_f64());
+        for rep in &reports {
+            println!("{}", rep.render());
+            fs::write(out_dir.join(format!("{}.txt", rep.id)), rep.render()).expect("write report");
+            for (name, contents) in &rep.artifacts {
+                fs::write(out_dir.join(name), contents).expect("write artifact");
+            }
+        }
+        return;
+    }
 
     // Chaos-soak mode is its own pipeline: scenarios + oracle, no
     // tables/figures, non-zero exit on any convergence violation.
@@ -317,8 +375,12 @@ fn main() {
          `BENCH_parallel.json` (serial-vs-parallel capture speedup; see EXPERIMENTS.md),\n\
          `BENCH_stream.json` (single-pass summary throughput and accumulator state),\n\
          `BENCH_faults.json`, `BENCH_simlint.json`, `BENCH_chaos.json` (chaos-soak\n\
-         scenarios/sec), and the substrate/figures/tables benches, all under\n\
-         `crates/bench/`.\n",
+         scenarios/sec), `BENCH_providers.json` (per-spec upload-transaction\n\
+         throughput), and the substrate/figures/tables benches, all under\n\
+         `crates/bench/`.\n\n\
+         Provider-matrix artifacts (written by `repro --provider-matrix`, not by\n\
+         the default run): `provider_matrix.txt`, `provider_matrix_cdf.csv`,\n\
+         `provider_matrix_volume.csv`, `provider_bundling_rtt.txt/.csv`.\n",
     );
     fs::write(out_dir.join("INDEX.md"), index).expect("write index");
     eprintln!("wrote {} reports to {}", reports.len(), out_dir.display());

@@ -231,6 +231,43 @@ fn taint_fixture_resolves_aliases_and_crosses_crates() {
 }
 
 #[test]
+fn providerspec_fixture_holds_new_provider_modules_to_sim_rules() {
+    // The provider-matrix refactor added `dropbox/src/spec.rs` and
+    // provider modules under `workload/` — both sim crates, so the strict
+    // tier (map-iter, seed provenance, float-merge) covers them with no
+    // configuration change.
+    let r = lint("providerspec");
+    let mut found = rules(&r);
+    found.sort_unstable();
+    assert_eq!(
+        found,
+        ["float-merge", "map-iter", "shard-seed"],
+        "{:?}",
+        r.violations
+    );
+    let by_rule = |rule: &str| {
+        r.violations
+            .iter()
+            .find(|v| v.rule == rule)
+            .unwrap_or_else(|| panic!("missing {rule}"))
+    };
+    assert!(by_rule("map-iter")
+        .file
+        .ends_with("crates/dropbox/src/spec.rs"));
+    assert!(by_rule("map-iter").message.contains("specs"));
+    assert!(by_rule("shard-seed")
+        .file
+        .ends_with("crates/workload/src/providers.rs"));
+    assert!(by_rule("shard-seed").message.contains("`worker_idx`"));
+    assert!(by_rule("float-merge")
+        .file
+        .ends_with("crates/workload/src/providers.rs"));
+    assert!(by_rule("float-merge").message.contains("up_bytes"));
+    // The household-identity stream is clean, no suppressions involved.
+    assert!(r.allowed.is_empty(), "{:?}", r.allowed);
+}
+
+#[test]
 fn floatmerge_fixture_flags_order_sensitive_reductions() {
     let r = lint("floatmerge");
     assert_eq!(

@@ -1,0 +1,21 @@
+//! Known-bad fixture: the provider-spec module lives in a sim crate, so
+//! the strict determinism tier applies to it like any other — a hash-map
+//! spec registry iterated in order-undefined fashion is flagged.
+
+use std::collections::HashMap;
+
+pub struct SpecRegistry {
+    specs: HashMap<String, u64>,
+}
+
+impl SpecRegistry {
+    pub fn slugs(&self) -> Vec<String> {
+        // Registry iteration: nondeterministic order.
+        self.specs.keys().cloned().collect()
+    }
+
+    pub fn chunk_bytes(&self, slug: &str) -> Option<u64> {
+        // Lookups alone are not flagged.
+        self.specs.get(slug).copied()
+    }
+}

@@ -1,0 +1,21 @@
+//! Known-bad fixture: provider-matrix modules inherit the seed-provenance
+//! and float-merge rules — a per-provider stream seeded from scheduling
+//! state and an order-sensitive volume reduction are both flagged.
+
+pub fn provider_stream(rng: &Rng, worker_idx: u64) -> Rng {
+    simcore::par::household_stream(rng, worker_idx)
+}
+
+pub fn clean_stream(rng: &Rng, household: u64) -> Rng {
+    simcore::par::household_stream(rng, household)
+}
+
+pub struct ProviderVolume {
+    up_bytes: f64,
+}
+
+impl Accumulate for ProviderVolume {
+    fn merge(&mut self, other: &ProviderVolume) {
+        self.up_bytes += other.up_bytes;
+    }
+}

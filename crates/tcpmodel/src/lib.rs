@@ -34,4 +34,4 @@ pub mod tls;
 
 pub use conn::{simulate, simulate_faulty, ConnSummary};
 pub use dialogue::{CloseMode, Dialogue, Direction, Message, Write};
-pub use params::{PathParams, TcpParams};
+pub use params::{AccessLink, PathParams, TcpParams};

@@ -1,6 +1,6 @@
 //! Path and TCP parameters.
 
-use simcore::SimDuration;
+use simcore::{Rng, SimDuration};
 
 /// Network-path characteristics of one connection.
 ///
@@ -47,6 +47,88 @@ impl PathParams {
             loss_down: 0.0,
             up_rate: None,
             down_rate: None,
+        }
+    }
+}
+
+/// A named access-link profile (loss/latency/rate) injected ahead of the
+/// TCP model, following the Wi-Fi/LTE cloud-storage measurement
+/// methodology (multimedia-over-Wi-Fi/LTE companion study): the access
+/// technology of the *client*, not the provider, sets the inner RTT,
+/// loss, jitter and rate caps of every flow.
+#[derive(Clone, Copy, Debug)]
+pub struct AccessLink {
+    /// Profile name (`wired` | `wifi` | `lte`).
+    pub name: &'static str,
+    /// Inner (client ↔ probe) RTT range in milliseconds.
+    pub latency_ms: (u64, u64),
+    /// Per-segment loss probability, both directions.
+    pub loss: f64,
+    /// Multiplicative RTT jitter (see [`PathParams::jitter`]).
+    pub jitter: f64,
+    /// Uplink rate cap range in bytes/s (`None` = unconstrained).
+    pub up_rate: Option<(u64, u64)>,
+    /// Downlink rate cap range in bytes/s (`None` = unconstrained).
+    pub down_rate: Option<(u64, u64)>,
+}
+
+/// Campus-grade wired Ethernet (the baseline of the paper's Campus 1).
+pub static WIRED: AccessLink = AccessLink {
+    name: "wired",
+    latency_ms: (2, 8),
+    loss: 0.0004,
+    jitter: 0.06,
+    up_rate: None,
+    down_rate: None,
+};
+
+/// 802.11n-era home/office Wi-Fi: moderate added latency, contention
+/// loss, and an effective throughput ceiling well under the air rate.
+pub static WIFI: AccessLink = AccessLink {
+    name: "wifi",
+    latency_ms: (5, 30),
+    loss: 0.01,
+    jitter: 0.12,
+    up_rate: Some((1_500_000, 3_500_000)),
+    down_rate: Some((1_500_000, 3_500_000)),
+};
+
+/// Early-LTE cellular: high and variable latency, low random loss (HARQ
+/// hides most of it), asymmetric rate caps.
+pub static LTE: AccessLink = AccessLink {
+    name: "lte",
+    latency_ms: (30, 90),
+    loss: 0.003,
+    jitter: 0.25,
+    up_rate: Some((600_000, 1_500_000)),
+    down_rate: Some((1_200_000, 3_500_000)),
+};
+
+impl AccessLink {
+    /// Look a profile up by its CLI name.
+    pub fn by_name(name: &str) -> Option<&'static AccessLink> {
+        match name {
+            "wired" => Some(&WIRED),
+            "wifi" => Some(&WIFI),
+            "lte" => Some(&LTE),
+            _ => None,
+        }
+    }
+
+    /// Draw the path parameters of one flow over this access link toward
+    /// a server plane with base RTT `outer`.
+    pub fn path(&self, outer: SimDuration, rng: &mut Rng) -> PathParams {
+        let inner_ms = rng.range_u64(self.latency_ms.0, self.latency_ms.1);
+        let up_rate = self.up_rate.map(|(lo, hi)| rng.range_u64(lo, hi));
+        let down_rate = self.down_rate.map(|(lo, hi)| rng.range_u64(lo, hi));
+        PathParams {
+            inner_rtt: SimDuration::from_millis(inner_ms),
+            outer_rtt: outer,
+            jitter: self.jitter,
+            loss_up: self.loss,
+            loss_down: self.loss,
+            up_rate,
+            down_rate,
         }
     }
 }
@@ -108,6 +190,25 @@ mod tests {
             ..PathParams::lan()
         };
         assert_eq!(p.total_rtt().millis(), 120);
+    }
+
+    #[test]
+    fn access_profiles_resolve_and_order_sensibly() {
+        for n in ["wired", "wifi", "lte"] {
+            assert_eq!(AccessLink::by_name(n).unwrap().name, n);
+        }
+        assert!(AccessLink::by_name("dialup").is_none());
+        // LTE adds more latency and jitter than Wi-Fi, which adds more
+        // than wired; only wireless profiles cap rates.
+        assert!(LTE.latency_ms.0 > WIFI.latency_ms.0);
+        assert!(WIFI.latency_ms.1 > WIRED.latency_ms.1);
+        assert!(LTE.jitter > WIFI.jitter && WIFI.jitter > WIRED.jitter);
+        assert!(WIRED.up_rate.is_none() && LTE.up_rate.is_some());
+        let mut rng = Rng::new(3);
+        let p = LTE.path(SimDuration::from_millis(100), &mut rng);
+        assert_eq!(p.outer_rtt.millis(), 100);
+        assert!((30..=90).contains(&p.inner_rtt.millis()));
+        assert!(p.up_rate.unwrap() <= p.down_rate.unwrap() * 3);
     }
 
     #[test]

@@ -29,8 +29,12 @@ use dropbox::client::{ChunkWork, ClientVersion, RetryPolicy, SyncConfig, SyncEng
 use dropbox::content::{sample_file_size, ChunkId, Content};
 use dropbox::lan_sync::{Announcement, LanSync};
 use dropbox::metadata::{FileId, HostInt, MetadataServer, NamespaceId, UserId};
-use dropbox::notification::{notification_flow, reconnect_probe_flow, SessionEnd};
+use dropbox::notification::{
+    notification_flow, notification_flow_named, poll_check_flow, reconnect_probe_flow,
+    reconnect_probe_flow_named, SessionEnd,
+};
 use dropbox::session::{plan_session, OfflineQueue, PhaseKind, SessionPolicy};
+use dropbox::spec::{Naming, NotifyStyle, ProviderSpec};
 use dropbox::storage::ChunkStore;
 use dropbox::web::{api_session_flows, direct_link_flow, web_session_flows};
 use dropbox::{FlowSpec, FlowTruth};
@@ -102,6 +106,52 @@ impl SimOutput {
     /// validation harness folds over in a single pass.
     pub fn flows_with_truth(&self) -> impl Iterator<Item = (&FlowRecord, &Option<FlowTruth>)> {
         self.dataset.flows.iter().zip(&self.truths)
+    }
+}
+
+/// Provider-aware notification session flow: the Dropbox spec routes
+/// through the `notifyX` pool (drawing the pool pick from `rng`, exactly
+/// as the pre-refactor driver did); flat-named providers pin their single
+/// notify front.
+#[allow(clippy::too_many_arguments)]
+fn spec_notification_flow(
+    proto: &'static ProviderSpec,
+    dns: &DnsDirectory,
+    host: HostInt,
+    namespaces: &[NamespaceId],
+    span: SimDuration,
+    changes: u32,
+    end: SessionEnd,
+    rng: &mut Rng,
+) -> FlowSpec {
+    match proto.naming {
+        Naming::DropboxDns => notification_flow(dns, host, namespaces, span, changes, end, rng),
+        Naming::Flat { .. } => notification_flow_named(
+            proto.notify_name(),
+            host,
+            namespaces,
+            span,
+            changes,
+            end,
+            rng,
+        ),
+    }
+}
+
+/// Provider-aware counterpart of `reconnect_probe_flow` (see
+/// [`spec_notification_flow`] for the naming split).
+fn spec_reconnect_probe_flow(
+    proto: &'static ProviderSpec,
+    dns: &DnsDirectory,
+    host: HostInt,
+    namespaces: &[NamespaceId],
+    rng: &mut Rng,
+) -> FlowSpec {
+    match proto.naming {
+        Naming::DropboxDns => reconnect_probe_flow(dns, host, namespaces, rng),
+        Naming::Flat { .. } => {
+            reconnect_probe_flow_named(proto.notify_name(), host, namespaces, rng)
+        }
     }
 }
 
@@ -409,7 +459,14 @@ fn simulate_span_impl(
     let abnormal = population::abnormal_household(config, &pop_root);
     let providers_root = root_rng.fork_named("providers");
 
-    let dns = DnsDirectory::new();
+    // The Dropbox zone plus (for non-Dropbox specs) the provider's flat
+    // deployment. Registration is name-keyed and empty for the Dropbox
+    // spec, so default runs see a byte-identical directory.
+    let mut dns = DnsDirectory::new();
+    for (name, ip) in config.protocol.dns_entries() {
+        dns.register(name, ip);
+    }
+    let dns = dns;
     let policy = RetryPolicy::default();
     let mut stats = VantageStats {
         lan_synced: 0,
@@ -503,10 +560,15 @@ fn simulate_household(
         // Small household-stable spread on top of the base RTT so the
         // CDFs of Fig. 6 show the narrow band the paper measures.
         let spread = SimDuration::from_millis((client_ip.0 as u64 * 7) % 6);
+        // The storage/control RTT split of Fig. 6, plus the provider's
+        // datacenter-placement surcharge (zero for Dropbox, whose measured
+        // RTTs *are* the baseline).
+        let placement = &config.protocol.placement;
         let outer = spread
-            + match dnssim::DnsDirectory::role_of_name(&spec.server_name) {
-                Some(role) if role.is_amazon() => config.storage_rtt,
-                _ => config.control_rtt_on(day),
+            + if config.protocol.is_storage_name(&spec.server_name) {
+                config.storage_rtt + placement.storage_extra()
+            } else {
+                config.control_rtt_on(day) + placement.control_extra()
             };
         let path = config.path(access, outer, rng);
         let tcp = match spec.truth {
@@ -730,7 +792,13 @@ fn simulate_household(
                         files[fi].chunk_ids[ci as usize] = id;
                         chunks.push(ChunkWork {
                             id,
-                            wire_bytes: next.delta_wire_size(ci, frac),
+                            // Delta-capable providers ship the rsync-style
+                            // delta; the rest re-upload the whole chunk.
+                            wire_bytes: if config.protocol.delta {
+                                next.delta_wire_size(ci, frac)
+                            } else {
+                                next.wire_chunk_size(ci)
+                            },
                             raw_bytes: next.chunk_size(ci),
                         });
                     }
@@ -738,7 +806,12 @@ fn simulate_household(
                 } else {
                     next_seed = next_seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
                     let size = sample_file_size(kind, &mut commit_rng);
-                    let content = Content::new(next_seed, size, kind);
+                    let content = Content::with_chunk_size(
+                        next_seed,
+                        size,
+                        kind,
+                        config.protocol.chunk_bytes,
+                    );
                     let ids = content.chunk_ids();
                     for (i, &id) in ids.iter().enumerate() {
                         chunks.push(ChunkWork {
@@ -987,18 +1060,18 @@ fn simulate_household(
             let sync_config = SyncConfig {
                 version: dev.version,
                 no_storage_acks: dev.abnormal,
+                spec: config.protocol,
                 ..SyncConfig::default()
             };
             let mut engine = SyncEngine::new(&dns, &store, sync_config, dev.host_int.0);
             let mut dev_rng = render_rng.fork(dev.host_int.0);
 
-            // Index per-session transactions. Dropbox 1.4.0's bundling lets
-            // changes detected close together ride one connection: coalesce
-            // commits within 60 s into a single transaction for that version.
-            let coalesce = match dev.version {
-                ClientVersion::V1_2_52 => SimDuration::ZERO,
-                ClientVersion::V1_4_0 => SimDuration::from_secs(60),
-            };
+            // Index per-session transactions. Bundling lets changes
+            // detected close together ride one connection: coalesce
+            // commits within the spec's window when bundling is active for
+            // this client generation (Dropbox: v1.4.0 only — v1.2.52 stays
+            // at zero; per-file-commit providers never coalesce).
+            let coalesce = config.protocol.commit_coalesce(dev.version);
             let mut session_uploads: BTreeMap<usize, Vec<(SimTime, Vec<u64>, Vec<ChunkWork>)>> =
                 BTreeMap::new();
             for (t, cids, chunks) in &uploads[di] {
@@ -1069,7 +1142,36 @@ fn simulate_household(
 
                 // Notification connection(s) covering the session.
                 let span = session.duration();
-                if dev.nat_afflicted {
+                if let NotifyStyle::Poll { period_secs } = config.protocol.notify {
+                    // Polling provider: no session-long long-poll. One
+                    // short change-check connection per period, jittered,
+                    // capped like the long-poll cycle model so 8 h
+                    // sessions stay affordable.
+                    let period = SimDuration::from_secs(period_secs.max(30));
+                    let mut t =
+                        session.start + SimDuration::from_millis(dev_rng.range_u64(500, 5_000));
+                    let mut polls = 0u32;
+                    while t < session.end && polls < 96 {
+                        let spec = poll_check_flow(
+                            config.protocol.notify_name(),
+                            dev.host_int,
+                            md.namespaces_of(dev.host_int),
+                            &mut dev_rng,
+                        );
+                        play(
+                            &spec,
+                            t,
+                            hh.ip,
+                            hh.access,
+                            day,
+                            &mut monitor,
+                            &mut dev_rng,
+                            &mut scratch,
+                        );
+                        t += period + SimDuration::from_millis(dev_rng.range_u64(0, 2_000));
+                        polls += 1;
+                    }
+                } else if dev.nat_afflicted {
                     // The gateway kills the connection within a minute; the
                     // client reconnects immediately. The effect is bursty in
                     // real gateways ([10]): model ~35 kills per session, after
@@ -1079,7 +1181,8 @@ fn simulate_household(
                     while t < session.end && frags < 28 {
                         let frag = SimDuration::from_secs(dev_rng.range_u64(20, 55))
                             .min(session.end.saturating_since(t));
-                        let spec = notification_flow(
+                        let spec = spec_notification_flow(
+                            config.protocol,
                             &dns,
                             dev.host_int,
                             md.namespaces_of(dev.host_int),
@@ -1102,7 +1205,8 @@ fn simulate_household(
                         frags += 1;
                     }
                     if t < session.end {
-                        let spec = notification_flow(
+                        let spec = spec_notification_flow(
+                            config.protocol,
                             &dns,
                             dev.host_int,
                             md.namespaces_of(dev.host_int),
@@ -1155,7 +1259,8 @@ fn simulate_household(
                                 } else {
                                     0
                                 };
-                                let spec = notification_flow(
+                                let spec = spec_notification_flow(
+                                    config.protocol,
                                     &dns,
                                     dev.host_int,
                                     md.namespaces_of(dev.host_int),
@@ -1205,7 +1310,8 @@ fn simulate_household(
                         }
                     }
                     for &at in &splan.reconnect_attempts {
-                        let spec = reconnect_probe_flow(
+                        let spec = spec_reconnect_probe_flow(
+                            config.protocol,
                             &dns,
                             dev.host_int,
                             md.namespaces_of(dev.host_int),
@@ -1246,7 +1352,8 @@ fn simulate_household(
                     while attempt < n_aborts && t < session.end {
                         let frag = SimDuration::from_secs(dev_rng.range_u64(90, 900))
                             .min(session.end.saturating_since(t));
-                        let spec = notification_flow(
+                        let spec = spec_notification_flow(
+                            config.protocol,
                             &dns,
                             dev.host_int,
                             md.namespaces_of(dev.host_int),
@@ -1270,7 +1377,8 @@ fn simulate_household(
                         attempt += 1;
                     }
                     if t < session.end {
-                        let spec = notification_flow(
+                        let spec = spec_notification_flow(
+                            config.protocol,
                             &dns,
                             dev.host_int,
                             md.namespaces_of(dev.host_int),
@@ -1291,7 +1399,8 @@ fn simulate_household(
                         );
                     }
                 } else {
-                    let spec = notification_flow(
+                    let spec = spec_notification_flow(
+                        config.protocol,
                         &dns,
                         dev.host_int,
                         md.namespaces_of(dev.host_int),

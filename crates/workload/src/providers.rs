@@ -27,10 +27,21 @@ pub const GDRIVE_LAUNCH_DAY: u32 = 31;
 /// Capture day of the SkyDrive re-launch volume jump (2012-04-23).
 pub const SKYDRIVE_JUMP_DAY: u32 = 30;
 
+/// Next ephemeral source port of a household: a plain per-household
+/// counter over the 30000–49999 range. Ports are presentation-only (the
+/// digests hash timestamps and byte counts, not ports), but a counter
+/// keeps them independent of flow start times.
+fn ephemeral_port(seq: &mut u32) -> u16 {
+    let port = 30_000 + (*seq % 20_000) as u16;
+    *seq += 1;
+    port
+}
+
 /// A synthetic background flow record.
 #[allow(clippy::too_many_arguments)]
 fn record(
     client: Ipv4,
+    port: u16,
     server: Ipv4,
     server_name: &str,
     sni: bool,
@@ -40,10 +51,7 @@ fn record(
     expose_dns: bool,
 ) -> FlowRecord {
     FlowRecord {
-        key: FlowKey::new(
-            Endpoint::new(client, 30_000 + (at.micros() % 20_000) as u16),
-            Endpoint::new(server, 443),
-        ),
+        key: FlowKey::new(Endpoint::new(client, port), Endpoint::new(server, 443)),
         first_syn: at,
         last_packet: at + SimDuration::from_secs(30 + (up + down) / 200_000),
         up: DirStats {
@@ -68,8 +76,11 @@ fn record(
     }
 }
 
-/// Per-vantage knobs of the background model.
-struct Knobs {
+/// One row of the background-model calibration table. Everything the
+/// provider comparison is fitted with — adoption fractions, volume
+/// medians, and the launch-calendar days — lives here, per vantage, so
+/// recalibrating against Figs. 2–3 touches exactly one table.
+struct Calibration {
     icloud_frac: f64,
     skydrive_frac: f64,
     gdrive_final_frac: f64,
@@ -79,37 +90,51 @@ struct Knobs {
     youtube_median: f64,
     /// Median residual bytes per household-day.
     residual_median: f64,
+    /// Capture day Google Drive adoption can start.
+    gdrive_launch_day: u32,
+    /// Capture day of the SkyDrive volume jump.
+    skydrive_jump_day: u32,
 }
 
-fn knobs(kind: VantageKind) -> Knobs {
+const CAMPUS1_CAL: Calibration = Calibration {
+    icloud_frac: 0.10,
+    skydrive_frac: 0.02,
+    gdrive_final_frac: 0.02,
+    other_frac: 0.015,
+    youtube_frac: 0.55,
+    youtube_median: 90.0e6,
+    residual_median: 350.0e6,
+    gdrive_launch_day: GDRIVE_LAUNCH_DAY,
+    skydrive_jump_day: SKYDRIVE_JUMP_DAY,
+};
+
+const CAMPUS2_CAL: Calibration = Calibration {
+    icloud_frac: 0.13,
+    skydrive_frac: 0.02,
+    gdrive_final_frac: 0.02,
+    other_frac: 0.015,
+    youtube_frac: 0.50,
+    youtube_median: 58.0e6,
+    residual_median: 170.0e6,
+    ..CAMPUS1_CAL
+};
+
+const HOME_CAL: Calibration = Calibration {
+    icloud_frac: 0.111,
+    skydrive_frac: 0.017,
+    gdrive_final_frac: 0.012,
+    other_frac: 0.01,
+    youtube_frac: 0.40,
+    youtube_median: 70.0e6,
+    residual_median: 250.0e6,
+    ..CAMPUS1_CAL
+};
+
+fn calibration(kind: VantageKind) -> &'static Calibration {
     match kind {
-        VantageKind::Campus1 => Knobs {
-            icloud_frac: 0.10,
-            skydrive_frac: 0.02,
-            gdrive_final_frac: 0.02,
-            other_frac: 0.015,
-            youtube_frac: 0.55,
-            youtube_median: 90.0e6,
-            residual_median: 350.0e6,
-        },
-        VantageKind::Campus2 => Knobs {
-            icloud_frac: 0.13,
-            skydrive_frac: 0.02,
-            gdrive_final_frac: 0.02,
-            other_frac: 0.015,
-            youtube_frac: 0.50,
-            youtube_median: 58.0e6,
-            residual_median: 170.0e6,
-        },
-        VantageKind::Home1 | VantageKind::Home2 => Knobs {
-            icloud_frac: 0.111,
-            skydrive_frac: 0.017,
-            gdrive_final_frac: 0.012,
-            other_frac: 0.01,
-            youtube_frac: 0.40,
-            youtube_median: 70.0e6,
-            residual_median: 250.0e6,
-        },
+        VantageKind::Campus1 => &CAMPUS1_CAL,
+        VantageKind::Campus2 => &CAMPUS2_CAL,
+        VantageKind::Home1 | VantageKind::Home2 => &HOME_CAL,
     }
 }
 
@@ -140,7 +165,8 @@ pub fn household_flows(
     hrng: &mut Rng,
     emit: &mut dyn FnMut(FlowRecord),
 ) {
-    let k = knobs(config.kind);
+    let k = calibration(config.kind);
+    let mut port_seq: u32 = 0;
     let weekday = |day: u32| {
         if config.kind.is_home() || CaptureCalendar::is_working_day(day) {
             1.0
@@ -153,7 +179,7 @@ pub fn household_flows(
     let skydrive = hrng.chance(k.skydrive_frac);
     let gdrive_adopter = hrng.chance(k.gdrive_final_frac);
     // Adoption day: launch day or shortly after.
-    let gdrive_day = GDRIVE_LAUNCH_DAY + dist::geometric(hrng, 0.35) as u32;
+    let gdrive_day = k.gdrive_launch_day + dist::geometric(hrng, 0.35) as u32;
     let other = hrng.chance(k.other_frac);
     let youtube = hrng.chance(k.youtube_frac);
 
@@ -170,6 +196,7 @@ pub fn household_flows(
                 let down = dist::lognormal_median(hrng, 110_000.0, 1.2) as u64;
                 emit(record(
                     hh.ip,
+                    ephemeral_port(&mut port_seq),
                     Ipv4::new(17, 172, 100, hrng.range_u64(1, 250) as u8),
                     "p05-content.icloud.com",
                     true,
@@ -181,11 +208,12 @@ pub fn household_flows(
             }
         }
         if skydrive && hrng.chance(0.5 * w) {
-            let boost = if day >= SKYDRIVE_JUMP_DAY { 4.0 } else { 1.0 };
+            let boost = if day >= k.skydrive_jump_day { 4.0 } else { 1.0 };
             let t = at(hrng);
             let down = (dist::lognormal_median(hrng, 900_000.0, 1.4) * boost) as u64;
             emit(record(
                 hh.ip,
+                ephemeral_port(&mut port_seq),
                 Ipv4::new(134, 170, 20, hrng.range_u64(1, 250) as u8),
                 "duc281.livefilestore.com",
                 true,
@@ -200,6 +228,7 @@ pub fn household_flows(
             let down = dist::lognormal_median(hrng, 1_500_000.0, 1.4) as u64;
             emit(record(
                 hh.ip,
+                ephemeral_port(&mut port_seq),
                 Ipv4::new(74, 125, 30, hrng.range_u64(1, 250) as u8),
                 "drive.google.com",
                 true,
@@ -215,6 +244,7 @@ pub fn household_flows(
             let name = *hrng.pick(&["api.sugarsync.com", "upload.box.com", "fs-1.one.ubuntu.com"]);
             emit(record(
                 hh.ip,
+                ephemeral_port(&mut port_seq),
                 Ipv4::new(64, 30, 128, hrng.range_u64(1, 250) as u8),
                 name,
                 true,
@@ -232,6 +262,7 @@ pub fn household_flows(
                 let t = at(hrng);
                 emit(record(
                     hh.ip,
+                    ephemeral_port(&mut port_seq),
                     Ipv4::new(208, 65, 153, hrng.range_u64(1, 250) as u8),
                     "r4---sn-hpa7zn7s.googlevideo.com",
                     true,
@@ -248,6 +279,7 @@ pub fn household_flows(
             let down = (dist::lognormal_median(hrng, k.residual_median, 0.9) * w) as u64;
             emit(record(
                 hh.ip,
+                ephemeral_port(&mut port_seq),
                 Ipv4::new(203, 0, 113, hrng.range_u64(1, 250) as u8),
                 "cdn.example.net",
                 true,
@@ -374,6 +406,24 @@ mod tests {
         let weekday_rate = weekday_bytes as f64 / wd as f64;
         let weekend_rate = weekend_bytes as f64 / we as f64;
         assert!(weekend_rate < 0.75 * weekday_rate);
+    }
+
+    #[test]
+    fn ephemeral_ports_count_per_household_not_per_timestamp() {
+        let (_, flows) = setup(VantageKind::Home1);
+        let mut per_hh: std::collections::BTreeMap<_, Vec<u16>> = Default::default();
+        for f in &flows {
+            let p = f.key.client.port;
+            assert!((30_000..50_000).contains(&p), "port {p} in ephemeral band");
+            per_hh.entry(f.key.client.ip).or_default().push(p);
+        }
+        // Each household's flows are emitted in order with consecutive
+        // ports starting at the base — independent of flow timestamps.
+        for ports in per_hh.values() {
+            for (i, &p) in ports.iter().enumerate() {
+                assert_eq!(p as u32, 30_000 + (i as u32 % 20_000));
+            }
+        }
     }
 
     #[test]

@@ -38,11 +38,13 @@
 use crate::driver::{simulate_vantage, simulate_vantage_span, SimOutput, VantageStats};
 use crate::vantage::{VantageConfig, VantageKind};
 use dropbox::client::ClientVersion;
+use dropbox::spec::{self, ProviderSpec};
 use dropbox_analysis::Dataset;
 use simcore::faults::FaultPlan;
 use simcore::par;
 use simcore::{Rng, ShardId};
 use std::ops::Range;
+use tcpmodel::AccessLink;
 
 /// One independently simulable capture: a vantage point observed over one
 /// simulated day window with one client generation.
@@ -65,6 +67,11 @@ pub struct CaptureShard {
     pub seed_tag: u64,
     /// Position of this capture's output in the merged capture list.
     pub merge_slot: usize,
+    /// Provider protocol the capture's synced devices speak (Dropbox for
+    /// the paper's captures; swapped by the provider-matrix runs).
+    pub protocol: &'static ProviderSpec,
+    /// Forced access-link profile (`None` = per-vantage access mix).
+    pub link: Option<&'static AccessLink>,
 }
 
 impl CaptureShard {
@@ -87,6 +94,8 @@ impl CaptureShard {
     pub fn config(&self, scale: f64) -> VantageConfig {
         let mut config = VantageConfig::paper(self.kind, scale);
         config.days = self.days;
+        config.protocol = self.protocol;
+        config.link = self.link;
         config
     }
 
@@ -195,6 +204,8 @@ impl ShardPlan {
                 days,
                 seed_tag,
                 merge_slot,
+                protocol: &spec::DROPBOX,
+                link: None,
             }
         };
         use ClientVersion::{V1_2_52, V1_4_0};
@@ -226,6 +237,26 @@ impl ShardPlan {
     pub fn with_sub_shards(&self, k: usize) -> ShardPlan {
         let mut plan = self.clone();
         plan.sub_shards = k;
+        plan
+    }
+
+    /// A copy of the plan with every capture's devices speaking the given
+    /// provider protocol (the provider-matrix runs).
+    pub fn with_protocol(&self, protocol: &'static ProviderSpec) -> ShardPlan {
+        let mut plan = self.clone();
+        for shard in &mut plan.shards {
+            shard.protocol = protocol;
+        }
+        plan
+    }
+
+    /// A copy of the plan with every household forced onto the given
+    /// access-link profile (the `--access wifi|lte` runs).
+    pub fn with_link(&self, link: &'static AccessLink) -> ShardPlan {
+        let mut plan = self.clone();
+        for shard in &mut plan.shards {
+            shard.link = Some(link);
+        }
         plan
     }
 

@@ -8,8 +8,9 @@
 //! out — `EXPERIMENTS.md` documents the factor used for the shipped
 //! results.
 
+use dropbox::spec::{self, ProviderSpec};
 use simcore::{Rng, SimDuration};
-use tcpmodel::PathParams;
+use tcpmodel::{AccessLink, PathParams};
 
 /// The four vantage points.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -85,6 +86,14 @@ pub struct VantageConfig {
     pub control_route_steps: Vec<(u32, i64)>,
     /// Whether this vantage hosts the misbehaving single-chunk uploader.
     pub has_abnormal_uploader: bool,
+    /// Provider protocol the synced devices speak. The paper's captures
+    /// are Dropbox; the provider-matrix experiments swap in competing
+    /// specs through the same driver.
+    pub protocol: &'static ProviderSpec,
+    /// Access-link profile override. `None` keeps the per-vantage access
+    /// mix of [`VantageConfig::sample_access`]; `Some` forces every
+    /// household onto the given profile (the `--access wifi|lte` runs).
+    pub link: Option<&'static AccessLink>,
 }
 
 impl VantageConfig {
@@ -103,6 +112,8 @@ impl VantageConfig {
                 control_rtt: SimDuration::from_millis(168),
                 control_route_steps: vec![(12, 6), (30, -4)],
                 has_abnormal_uploader: false,
+                protocol: &spec::DROPBOX,
+                link: None,
             },
             VantageKind::Campus2 => VantageConfig {
                 kind,
@@ -114,6 +125,8 @@ impl VantageConfig {
                 control_rtt: SimDuration::from_millis(152),
                 control_route_steps: Vec::new(),
                 has_abnormal_uploader: false,
+                protocol: &spec::DROPBOX,
+                link: None,
             },
             VantageKind::Home1 => VantageConfig {
                 kind,
@@ -125,6 +138,8 @@ impl VantageConfig {
                 control_rtt: SimDuration::from_millis(204),
                 control_route_steps: Vec::new(),
                 has_abnormal_uploader: false,
+                protocol: &spec::DROPBOX,
+                link: None,
             },
             VantageKind::Home2 => VantageConfig {
                 kind,
@@ -136,6 +151,8 @@ impl VantageConfig {
                 control_rtt: SimDuration::from_millis(146),
                 control_route_steps: vec![(20, 8)],
                 has_abnormal_uploader: true,
+                protocol: &spec::DROPBOX,
+                link: None,
             },
         }
     }
@@ -174,8 +191,14 @@ impl VantageConfig {
     }
 
     /// Path parameters for a flow from a household with the given access
-    /// technology to a server plane with base RTT `outer`.
+    /// technology to a server plane with base RTT `outer`. A forced
+    /// [`AccessLink`] profile (the `--access` runs) takes precedence over
+    /// the vantage's own access mix and draws the same number of RNG
+    /// values per rate-capped path.
     pub fn path(&self, access: Access, outer: SimDuration, rng: &mut Rng) -> PathParams {
+        if let Some(link) = self.link {
+            return link.path(outer, rng);
+        }
         let (inner_ms, loss, up_rate, down_rate) = match access {
             Access::Wired => (rng.range_u64(2, 8), 0.0004, None, None),
             Access::Wireless => (rng.range_u64(6, 35), 0.006, None, None),

@@ -66,11 +66,27 @@ cargo run --release --offline -p experiments --bin repro -- \
     table2 --scale 0.01 --faults 7 --jobs 8 --hh-shards 1 --out "$coarse_dir"
 diff -r "$smoke_dir" "$coarse_dir"
 
+# Provider-matrix smoke: every spec through the same Home 1 workload on
+# an LTE access profile, twice — the artifacts (throughput CDFs, volume
+# table, bundling-vs-RTT sweep) must be deterministic run over run.
+matrix_dir="$(mktemp -d)"
+matrix_dir2="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir" "$par_dir" "$coarse_dir" "$matrix_dir" "$matrix_dir2"' EXIT
+cargo run --release --offline -p experiments --bin repro -- \
+    --provider-matrix --access lte --scale 0.02 --jobs 4 --out "$matrix_dir"
+test -s "$matrix_dir/provider_matrix.txt"
+test -s "$matrix_dir/provider_matrix_cdf.csv"
+test -s "$matrix_dir/provider_bundling_rtt.csv"
+grep -q "forced to \`lte\`" "$matrix_dir/provider_matrix.txt"
+cargo run --release --offline -p experiments --bin repro -- \
+    --provider-matrix --access lte --scale 0.02 --jobs 1 --out "$matrix_dir2"
+diff -r "$matrix_dir" "$matrix_dir2"
+
 # Chaos-soak smoke: 32 seeded control-plane fault scenarios, each checked
 # against the sync-convergence oracle; `repro --chaos` exits non-zero on
 # any violation.
 chaos_dir="$(mktemp -d)"
-trap 'rm -rf "$smoke_dir" "$par_dir" "$coarse_dir" "$chaos_dir"' EXIT
+trap 'rm -rf "$smoke_dir" "$par_dir" "$coarse_dir" "$matrix_dir" "$matrix_dir2" "$chaos_dir"' EXIT
 cargo run --release --offline -p experiments --bin repro -- \
     --chaos 32 --out "$chaos_dir"
 test -s "$chaos_dir/chaos_soak.txt"
@@ -99,3 +115,8 @@ test -s crates/bench/BENCH_stream.json
 # scenarios/sec through the audited driver + oracle).
 cargo bench --offline -p bench --bench chaos
 test -s crates/bench/BENCH_chaos.json
+
+# Provider-spec engine benchmark (writes crates/bench/BENCH_providers.json:
+# per-spec upload-transaction throughput + one matrix sweep cell).
+cargo bench --offline -p bench --bench providers
+test -s crates/bench/BENCH_providers.json
